@@ -1,0 +1,84 @@
+//===- baseline_static.cpp - Static delay-set baseline vs DFENCE ----------===//
+//
+// The paper's related-work claim (§7): static delay-set approaches
+// (Pensieve et al.) are "necessarily more conservative" than dynamic
+// synthesis. This bench quantifies it on the full suite: fences a sound
+// static placement inserts vs the fences dynamic synthesis pins under
+// the strictest applicable specification, and verifies both programs
+// pass a violation-free verification round.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/StringUtils.h"
+#include "synth/StaticBaseline.h"
+
+#include <cstdio>
+
+using namespace dfence;
+using namespace dfence::bench;
+using synth::SpecKind;
+using vm::MemModel;
+
+int main() {
+  std::printf("Static delay-set baseline vs dynamic synthesis\n");
+  std::printf("%-20s %-5s | %7s %8s | %7s %8s | %s\n", "benchmark",
+              "model", "static", "verified", "dynamic", "verified",
+              "over-fencing");
+  std::printf("%s\n", std::string(92, '-').c_str());
+
+  double FactorSum = 0;
+  unsigned FactorCount = 0;
+
+  for (const programs::Benchmark &B : programs::allBenchmarks()) {
+    for (MemModel Model : {MemModel::TSO, MemModel::PSO}) {
+      auto CR = frontend::compileMiniC(B.Source);
+      if (!CR.Ok)
+        reportFatalError(B.Name + ": " + CR.Error);
+
+      SpecKind Spec = B.UseNoGarbage ? SpecKind::NoGarbage
+                      : B.Factory    ? SpecKind::Linearizability
+                                     : SpecKind::MemorySafety;
+
+      // Static placement, then one verification-only pass.
+      synth::StaticBaselineResult Static =
+          synth::staticDelaySetFences(CR.Module, Model);
+      synth::SynthConfig Verify =
+          makeConfig(Model, Spec, B.Factory, 400);
+      Verify.MaxRounds = 1;
+      Verify.MaxRepairRounds = 0;
+      synth::SynthResult StaticCheck = synth::synthesize(
+          Static.FencedModule, B.Clients, Verify);
+
+      // Dynamic synthesis.
+      synth::SynthResult Dynamic = runOne(B, Model, Spec, 1000);
+
+      std::string Factor = "-";
+      if (Dynamic.Converged && !Dynamic.Fences.empty()) {
+        double F = static_cast<double>(Static.FencesInserted) /
+                   static_cast<double>(Dynamic.Fences.size());
+        Factor = strformat("%.1fx", F);
+        FactorSum += F;
+        ++FactorCount;
+      } else if (Dynamic.Converged && Dynamic.Fences.empty() &&
+                 Static.FencesInserted > 0) {
+        Factor = "inf (0 needed)";
+      }
+
+      std::printf("%-20s %-5s | %7u %8s | %7zu %8s | %s\n",
+                  B.Name.c_str(), vm::memModelName(Model),
+                  Static.FencesInserted,
+                  StaticCheck.ViolatingExecutions == 0 ? "yes" : "NO",
+                  Dynamic.Fences.size(),
+                  Dynamic.Converged ? "yes" : "NO", Factor.c_str());
+    }
+  }
+  if (FactorCount)
+    std::printf("\nmean over-fencing factor where both place fences: "
+                "%.1fx\n", FactorSum / FactorCount);
+  std::printf("\nShape to compare with the paper's §7: static delay-set "
+              "placement is sound but\nover-fences by roughly the "
+              "insertion-point count; dynamic synthesis pins the\n"
+              "few fences the executions actually require.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- allocator_study.cpp - The paper's headline case study --------------===//
+//
+// "We believe that this is the first tool that can handle programs at the
+// scale and complexity of a lock-free memory allocator." Reruns that
+// study: infer fences for Michael's allocator under memory safety, then
+// under linearizability, and show the extra fence in release/free that
+// only the stronger criterion requires (paper §6.7).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "programs/Benchmark.h"
+#include "support/Diagnostics.h"
+#include "synth/Synthesizer.h"
+
+#include <cstdio>
+
+using namespace dfence;
+
+namespace {
+
+synth::SynthResult study(const programs::Benchmark &B,
+                         synth::SpecKind Spec) {
+  auto CR = frontend::compileMiniC(B.Source);
+  if (!CR.Ok)
+    reportFatalError(CR.Error);
+  synth::SynthConfig Cfg;
+  Cfg.Model = vm::MemModel::PSO;
+  Cfg.Spec = Spec;
+  Cfg.Factory = B.Factory;
+  Cfg.ExecsPerRound = 1000;
+  Cfg.FlushProbs = {0.5, 0.1};
+  return synth::synthesize(CR.Module, B.Clients, Cfg);
+}
+
+void report(const char *Label, const synth::SynthResult &R) {
+  std::printf("%s\n", Label);
+  std::printf("  executions: %llu (%llu violating), rounds: %u, "
+              "converged: %s\n",
+              static_cast<unsigned long long>(R.TotalExecutions),
+              static_cast<unsigned long long>(R.ViolatingExecutions),
+              R.Rounds, R.Converged ? "yes" : "no");
+  if (R.Fences.empty())
+    std::printf("  fences: none\n");
+  for (const synth::InsertedFence &F : R.Fences)
+    std::printf("  fence: %s\n", F.str().c_str());
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  const programs::Benchmark &B =
+      programs::benchmarkByName("Michael Allocator");
+  std::printf("Michael's lock-free allocator on PSO, client mmmfff|mfmf\n"
+              "(alloc/release are the paper's malloc/free; renamed since "
+              "malloc/free are MiniC builtins)\n\n");
+
+  synth::SynthResult Safety = study(B, synth::SpecKind::MemorySafety);
+  report("[memory safety only]", Safety);
+
+  synth::SynthResult Lin = study(B, synth::SpecKind::Linearizability);
+  report("[linearizability]", Lin);
+
+  bool ReleaseFence = false;
+  for (const synth::InsertedFence &F : Lin.Fences)
+    if (F.Function == "release")
+      ReleaseFence = true;
+  std::printf("paper's §6.7 observation — the stronger criterion adds a "
+              "fence in free/release: %s\n",
+              ReleaseFence ? "reproduced" : "NOT reproduced");
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- minic_tour.cpp - The frontend and VM as a library ------------------===//
+//
+// Shows the compiler substrate on its own: parse MiniC, inspect the IR,
+// run litmus tests under the three memory models, and replay an execution
+// deterministically from its seed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ir/Printer.h"
+#include "vm/Interp.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace dfence;
+
+static const char *Litmus = R"(
+// Store-buffering litmus: both threads store, then read the other's
+// variable. (0,0) is impossible on a sequentially consistent machine.
+global int X = 0;
+global int Y = 0;
+
+int left() {
+  X = 1;
+  return Y;
+}
+
+int right() {
+  Y = 1;
+  return X;
+}
+)";
+
+int main() {
+  frontend::CompileResult CR = frontend::compileMiniC(Litmus);
+  if (!CR.Ok) {
+    std::fprintf(stderr, "compile error: %s\n", CR.Error.c_str());
+    return 1;
+  }
+
+  std::printf("== IR for the store-buffering litmus ==\n%s\n",
+              ir::printModule(CR.Module).c_str());
+
+  vm::Client C;
+  {
+    vm::ThreadScript L, R;
+    vm::MethodCall ML;
+    ML.Func = "left";
+    vm::MethodCall MR;
+    MR.Func = "right";
+    L.Calls = {ML};
+    R.Calls = {MR};
+    C.Threads = {L, R};
+  }
+
+  for (vm::MemModel Model :
+       {vm::MemModel::SC, vm::MemModel::TSO, vm::MemModel::PSO}) {
+    std::map<std::pair<vm::Word, vm::Word>, int> Outcomes;
+    for (uint64_t Seed = 1; Seed <= 2000; ++Seed) {
+      vm::ExecConfig Cfg;
+      Cfg.Model = Model;
+      Cfg.Seed = Seed;
+      Cfg.FlushProb = 0.2;
+      vm::ExecResult R = vm::runExecution(CR.Module, C, Cfg);
+      vm::Word Rets[2] = {0, 0};
+      for (const vm::OpRecord &Op : R.Hist.Ops)
+        Rets[Op.Thread] = Op.Ret;
+      ++Outcomes[{Rets[0], Rets[1]}];
+    }
+    std::printf("%s outcomes over 2000 seeded executions:\n",
+                vm::memModelName(Model));
+    for (const auto &[Pair, Count] : Outcomes)
+      std::printf("  (r1=%llu, r2=%llu): %d%s\n",
+                  static_cast<unsigned long long>(Pair.first),
+                  static_cast<unsigned long long>(Pair.second), Count,
+                  Pair.first == 0 && Pair.second == 0
+                      ? "   <- the relaxed behaviour"
+                      : "");
+  }
+
+  // Determinism: an execution replays exactly from its seed.
+  vm::ExecConfig Cfg;
+  Cfg.Model = vm::MemModel::TSO;
+  Cfg.Seed = 1234;
+  Cfg.FlushProb = 0.2;
+  vm::ExecResult A = vm::runExecution(CR.Module, C, Cfg);
+  vm::ExecResult B = vm::runExecution(CR.Module, C, Cfg);
+  std::printf("\nreplay of seed 1234 identical: %s (%zu steps)\n",
+              A.Steps == B.Steps ? "yes" : "NO", A.Steps);
+  return 0;
+}

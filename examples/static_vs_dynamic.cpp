@@ -1,0 +1,81 @@
+//===- static_vs_dynamic.cpp - Why dynamic synthesis (paper §1, §7) -------===//
+//
+// Contrasts the two ways to make the Chase-Lev deque safe on PSO:
+// a sound static delay-set placement (the conservative approach the
+// paper's related work uses) and DFENCE's dynamic synthesis. Both
+// programs pass the same verification; the dynamic one uses a fraction
+// of the fences.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ir/Printer.h"
+#include "programs/Benchmark.h"
+#include "support/Diagnostics.h"
+#include "synth/StaticBaseline.h"
+#include "synth/Synthesizer.h"
+
+#include <cstdio>
+
+using namespace dfence;
+
+namespace {
+
+unsigned verifyCleanRounds(const ir::Module &M,
+                           const programs::Benchmark &B) {
+  synth::SynthConfig Cfg;
+  Cfg.Model = vm::MemModel::PSO;
+  Cfg.Spec = synth::SpecKind::Linearizability;
+  Cfg.Factory = B.Factory;
+  Cfg.ExecsPerRound = 1000;
+  Cfg.MaxRounds = 1;
+  Cfg.MaxRepairRounds = 0;
+  Cfg.FlushProbs = {0.5, 0.1};
+  synth::SynthResult R = synth::synthesize(M, B.Clients, Cfg);
+  return static_cast<unsigned>(R.ViolatingExecutions);
+}
+
+} // namespace
+
+int main() {
+  const programs::Benchmark &B =
+      programs::benchmarkByName("Chase-Lev WSQ");
+  auto CR = frontend::compileMiniC(B.Source);
+  if (!CR.Ok)
+    reportFatalError(CR.Error);
+
+  std::printf("Chase-Lev WSQ on PSO under linearizability\n\n");
+  std::printf("unfenced program: %u violating executions in a 1000-run "
+              "round\n\n", verifyCleanRounds(CR.Module, B));
+
+  // Conservative static placement.
+  synth::StaticBaselineResult Static =
+      synth::staticDelaySetFences(CR.Module, vm::MemModel::PSO);
+  std::printf("static delay-set placement: %u fences, %u violations "
+              "after fencing\n", Static.FencesInserted,
+              verifyCleanRounds(Static.FencedModule, B));
+
+  // Dynamic synthesis.
+  synth::SynthConfig Cfg;
+  Cfg.Model = vm::MemModel::PSO;
+  Cfg.Spec = synth::SpecKind::Linearizability;
+  Cfg.Factory = B.Factory;
+  Cfg.ExecsPerRound = 1000;
+  Cfg.FlushProbs = {0.5, 0.1};
+  Cfg.CleanRoundsRequired = 3; // Harden against sampling luck.
+  synth::SynthResult Dynamic =
+      synth::synthesize(CR.Module, B.Clients, Cfg);
+  std::printf("dynamic synthesis:          %zu fences, %u violations "
+              "after fencing\n\n", Dynamic.Fences.size(),
+              verifyCleanRounds(Dynamic.FencedModule, B));
+  for (const synth::InsertedFence &F : Dynamic.Fences)
+    std::printf("  dynamic fence: %s\n", F.str().c_str());
+
+  std::printf("\nBoth placements verify clean; dynamic synthesis needs "
+              "%.1fx fewer fences.\n",
+              Dynamic.Fences.empty()
+                  ? 0.0
+                  : static_cast<double>(Static.FencesInserted) /
+                        static_cast<double>(Dynamic.Fences.size()));
+  return 0;
+}

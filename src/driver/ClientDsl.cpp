@@ -1,0 +1,166 @@
+//===- ClientDsl.cpp ------------------------------------------------------===//
+
+#include "driver/ClientDsl.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace dfence;
+using namespace dfence::driver;
+
+namespace {
+
+/// Cursor over the DSL text.
+class DslParser {
+public:
+  DslParser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<vm::Client> parse() {
+    vm::Client C;
+    while (true) {
+      vm::ThreadScript S;
+      if (!parseThread(S))
+        return std::nullopt;
+      C.Threads.push_back(std::move(S));
+      skipSpace();
+      if (!accept('|'))
+        break;
+    }
+    skipSpace();
+    if (Pos != Text.size()) {
+      fail("unexpected trailing input");
+      return std::nullopt;
+    }
+    if (C.Threads.empty() ||
+        (C.Threads.size() == 1 && C.Threads[0].Calls.empty())) {
+      fail("client must have at least one call");
+      return std::nullopt;
+    }
+    return C;
+  }
+
+private:
+  bool parseThread(vm::ThreadScript &S) {
+    while (true) {
+      vm::MethodCall MC;
+      if (!parseCall(MC, S.Calls.size()))
+        return false;
+      S.Calls.push_back(std::move(MC));
+      skipSpace();
+      if (!accept(';'))
+        return true;
+    }
+  }
+
+  bool parseCall(vm::MethodCall &MC, size_t CallIndex) {
+    skipSpace();
+    if (Pos >= Text.size() ||
+        (!std::isalpha(static_cast<unsigned char>(Text[Pos])) &&
+         Text[Pos] != '_'))
+      return fail("expected a method name");
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_'))
+      MC.Func += Text[Pos++];
+    skipSpace();
+    if (!accept('('))
+      return fail("expected '(' after method name");
+    skipSpace();
+    if (accept(')'))
+      return true;
+    while (true) {
+      skipSpace();
+      if (accept('$')) {
+        long Ref = 0;
+        if (!parseInt(Ref) || Ref < 0)
+          return fail("expected a call index after '$'");
+        if (static_cast<size_t>(Ref) >= CallIndex)
+          return fail(strformat("argument $%ld refers to call %ld, but "
+                                "only %zu call(s) precede it",
+                                Ref, Ref, CallIndex));
+        MC.Args.push_back(vm::Arg::resultOf(static_cast<int>(Ref)));
+      } else {
+        long V = 0;
+        if (!parseInt(V))
+          return fail("expected an integer argument");
+        MC.Args.push_back(vm::Arg(static_cast<ir::Word>(
+            static_cast<int64_t>(V))));
+      }
+      skipSpace();
+      if (accept(')'))
+        return true;
+      if (!accept(','))
+        return fail("expected ',' or ')' in argument list");
+    }
+  }
+
+  bool parseInt(long &Out) {
+    skipSpace();
+    bool Neg = accept('-');
+    if (Pos >= Text.size() ||
+        !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      return false;
+    long V = 0;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      V = V * 10 + (Text[Pos++] - '0');
+    Out = Neg ? -V : V;
+    return true;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool accept(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = strformat("client DSL at offset %zu: %s", Pos,
+                        Msg.c_str());
+    return false;
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<vm::Client>
+driver::parseClientDsl(const std::string &Text, std::string &Error) {
+  Error.clear();
+  DslParser P(Text, Error);
+  return P.parse();
+}
+
+std::string driver::printClientDsl(const vm::Client &C) {
+  std::vector<std::string> Threads;
+  for (const vm::ThreadScript &S : C.Threads) {
+    std::vector<std::string> Calls;
+    for (const vm::MethodCall &MC : S.Calls) {
+      std::vector<std::string> Args;
+      for (const vm::Arg &A : MC.Args) {
+        if (A.Ref >= 0)
+          Args.push_back(strformat("$%d", A.Ref));
+        else
+          Args.push_back(std::to_string(
+              static_cast<int64_t>(A.Literal)));
+      }
+      Calls.push_back(MC.Func + "(" + join(Args, ",") + ")");
+    }
+    Threads.push_back(join(Calls, ";"));
+  }
+  return join(Threads, "|");
+}

@@ -1,0 +1,39 @@
+//===- ClientDsl.h - Textual client descriptions for the CLI ---*- C++ -*-===//
+//
+// The dfence command-line tool describes concurrent clients with a tiny
+// DSL:
+//
+//   client  := thread ('|' thread)*
+//   thread  := call (';' call)*
+//   call    := NAME '(' args? ')'
+//   args    := arg (',' arg)*
+//   arg     := INTEGER | '$' INDEX     ($N = return value of this
+//                                       thread's N-th call, 0-based)
+//
+// Example: "put(1);put(2);take()|steal();steal()" is an owner thread and
+// a thief thread; "alloc();release($0)" frees what the first call
+// returned.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_DRIVER_CLIENTDSL_H
+#define DFENCE_DRIVER_CLIENTDSL_H
+
+#include "vm/Client.h"
+
+#include <optional>
+#include <string>
+
+namespace dfence::driver {
+
+/// Parses \p Text into a client. On error returns nullopt and sets
+/// \p Error to a human-readable message.
+std::optional<vm::Client> parseClientDsl(const std::string &Text,
+                                         std::string &Error);
+
+/// Renders \p C back into DSL form (round-trip debugging aid).
+std::string printClientDsl(const vm::Client &C);
+
+} // namespace dfence::driver
+
+#endif // DFENCE_DRIVER_CLIENTDSL_H

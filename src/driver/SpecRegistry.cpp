@@ -1,0 +1,29 @@
+//===- SpecRegistry.cpp ---------------------------------------------------===//
+
+#include "driver/SpecRegistry.h"
+
+#include "spec/Specs.h"
+
+using namespace dfence;
+using namespace dfence::driver;
+using spec::DequeEnd;
+
+spec::SpecFactory driver::specByName(const std::string &Name) {
+  if (Name == "wsq")
+    return spec::WsqSpec::factory(DequeEnd::Tail, DequeEnd::Head);
+  if (Name == "wsq-lifo")
+    return spec::WsqSpec::factory(DequeEnd::Tail, DequeEnd::Tail);
+  if (Name == "wsq-fifo")
+    return spec::WsqSpec::factory(DequeEnd::Head, DequeEnd::Head);
+  if (Name == "queue")
+    return spec::QueueSpec::factory();
+  if (Name == "set")
+    return spec::SetSpec::factory();
+  if (Name == "allocator")
+    return spec::AllocatorSpec::factory();
+  return nullptr;
+}
+
+std::vector<std::string> driver::knownSpecNames() {
+  return {"wsq", "wsq-lifo", "wsq-fifo", "queue", "set", "allocator"};
+}

@@ -1,0 +1,28 @@
+//===- SpecRegistry.h - Named sequential specifications ---------*- C++ -*-===//
+
+#ifndef DFENCE_DRIVER_SPECREGISTRY_H
+#define DFENCE_DRIVER_SPECREGISTRY_H
+
+#include "spec/Spec.h"
+
+#include <string>
+#include <vector>
+
+namespace dfence::driver {
+
+/// Looks up a sequential specification by name for the CLI:
+///   wsq        deque: put at tail, take from tail, steal from head
+///   wsq-lifo   stack: take and steal both pop the tail
+///   wsq-fifo   queue-like: take and steal both pop the head
+///   queue      FIFO queue (enqueue/dequeue)
+///   set        add/remove/contains
+///   allocator  alloc/release (malloc/free) freshness
+/// Returns a null factory for unknown names.
+spec::SpecFactory specByName(const std::string &Name);
+
+/// The recognized spec names (for usage messages).
+std::vector<std::string> knownSpecNames();
+
+} // namespace dfence::driver
+
+#endif // DFENCE_DRIVER_SPECREGISTRY_H

@@ -1,0 +1,222 @@
+//===- Ast.h - MiniC abstract syntax trees ----------------------*- C++ -*-===//
+//
+// MiniC is the C subset in which the benchmark algorithms are written:
+// word-sized integers/pointers, shared globals (scalars and arrays),
+// structs of word fields, functions, structured control flow, and the
+// concurrency builtins of the paper's language (cas, fences, lock/unlock,
+// malloc/free, self, spawn/join).
+//
+// Nodes carry a Kind tag (LLVM-style, no RTTI) and source locations for
+// diagnostics and for reporting inferred fences as line pairs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_FRONTEND_AST_H
+#define DFENCE_FRONTEND_AST_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dfence::frontend {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit,  ///< 42
+    VarRef,  ///< x (local, global, or const)
+    Unary,   ///< -e, !e, *e, &lvalue
+    Binary,  ///< e1 op e2 (&& and || short-circuit)
+    Call,    ///< f(args) — user function or builtin
+    Index,   ///< base[idx]
+    Arrow,   ///< base->field
+  };
+
+  Kind K;
+  SourceLoc Loc;
+
+  explicit Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+  virtual ~Expr() = default;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  int64_t Value;
+  IntLitExpr(int64_t V, SourceLoc L) : Expr(Kind::IntLit, L), Value(V) {}
+};
+
+struct VarRefExpr : Expr {
+  std::string Name;
+  VarRefExpr(std::string N, SourceLoc L)
+      : Expr(Kind::VarRef, L), Name(std::move(N)) {}
+};
+
+enum class UnaryOp : uint8_t { Neg, Not, Deref, AddrOf };
+
+struct UnaryExpr : Expr {
+  UnaryOp Op;
+  ExprPtr Sub;
+  UnaryExpr(UnaryOp Op, ExprPtr Sub, SourceLoc L)
+      : Expr(Kind::Unary, L), Op(Op), Sub(std::move(Sub)) {}
+};
+
+enum class BinaryOp : uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  BitAnd, BitOr, BitXor, Shl, Shr,
+  LogAnd, LogOr, // short-circuit
+};
+
+struct BinaryExpr : Expr {
+  BinaryOp Op;
+  ExprPtr Lhs, Rhs;
+  BinaryExpr(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs, SourceLoc L)
+      : Expr(Kind::Binary, L), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+};
+
+struct CallExpr : Expr {
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc L)
+      : Expr(Kind::Call, L), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+};
+
+struct IndexExpr : Expr {
+  ExprPtr Base, Idx;
+  IndexExpr(ExprPtr Base, ExprPtr Idx, SourceLoc L)
+      : Expr(Kind::Index, L), Base(std::move(Base)), Idx(std::move(Idx)) {}
+};
+
+struct ArrowExpr : Expr {
+  ExprPtr Base;
+  std::string Field;
+  ArrowExpr(ExprPtr Base, std::string Field, SourceLoc L)
+      : Expr(Kind::Arrow, L), Base(std::move(Base)),
+        Field(std::move(Field)) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    LocalDecl, Assign, ExprStmt, If, While, Return, Break, Continue, Block,
+  };
+
+  Kind K;
+  SourceLoc Loc;
+
+  explicit Stmt(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+  virtual ~Stmt() = default;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt {
+  std::vector<StmtPtr> Body;
+  explicit BlockStmt(SourceLoc L) : Stmt(Kind::Block, L) {}
+};
+
+struct LocalDeclStmt : Stmt {
+  std::string Name;
+  ExprPtr Init; ///< May be null (zero-initialized).
+  LocalDeclStmt(std::string N, ExprPtr Init, SourceLoc L)
+      : Stmt(Kind::LocalDecl, L), Name(std::move(N)),
+        Init(std::move(Init)) {}
+};
+
+struct AssignStmt : Stmt {
+  ExprPtr Target; ///< Must be an lvalue (VarRef/Index/Arrow/Deref).
+  ExprPtr Value;
+  AssignStmt(ExprPtr T, ExprPtr V, SourceLoc L)
+      : Stmt(Kind::Assign, L), Target(std::move(T)), Value(std::move(V)) {}
+};
+
+struct ExprStmt : Stmt {
+  ExprPtr E;
+  ExprStmt(ExprPtr E, SourceLoc L) : Stmt(Kind::ExprStmt, L),
+                                     E(std::move(E)) {}
+};
+
+struct IfStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Then; ///< BlockStmt
+  StmtPtr Else; ///< BlockStmt or IfStmt; may be null.
+  IfStmt(ExprPtr C, StmtPtr T, StmtPtr E, SourceLoc L)
+      : Stmt(Kind::If, L), Cond(std::move(C)), Then(std::move(T)),
+        Else(std::move(E)) {}
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Body;
+  WhileStmt(ExprPtr C, StmtPtr B, SourceLoc L)
+      : Stmt(Kind::While, L), Cond(std::move(C)), Body(std::move(B)) {}
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr Value; ///< May be null.
+  ReturnStmt(ExprPtr V, SourceLoc L)
+      : Stmt(Kind::Return, L), Value(std::move(V)) {}
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(SourceLoc L) : Stmt(Kind::Break, L) {}
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(SourceLoc L) : Stmt(Kind::Continue, L) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Top-level declarations
+//===----------------------------------------------------------------------===//
+
+struct GlobalDecl {
+  std::string Name;
+  uint32_t SizeWords = 1; ///< >1 for arrays.
+  bool IsArray = false;
+  int64_t Init = 0;
+  SourceLoc Loc;
+};
+
+struct ConstDecl {
+  std::string Name;
+  int64_t Value = 0;
+  SourceLoc Loc;
+};
+
+struct StructDecl {
+  std::string Name;
+  std::vector<std::string> Fields; ///< Word-sized, offset = index.
+  SourceLoc Loc;
+};
+
+struct FuncDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  StmtPtr Body; ///< BlockStmt
+  SourceLoc Loc;
+};
+
+/// A parsed MiniC translation unit.
+struct Program {
+  std::vector<GlobalDecl> Globals;
+  std::vector<ConstDecl> Consts;
+  std::vector<StructDecl> Structs;
+  std::vector<FuncDecl> Funcs;
+};
+
+} // namespace dfence::frontend
+
+#endif // DFENCE_FRONTEND_AST_H

@@ -1,0 +1,704 @@
+//===- Compiler.cpp - Sema + code generation for MiniC --------------------===//
+
+#include "frontend/Compiler.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace dfence;
+using namespace dfence::frontend;
+using namespace dfence::ir;
+
+namespace {
+
+/// Lowers a parsed Program into an IR module, checking names/arities on
+/// the way (MiniC has a single word type, so "sema" is name resolution).
+class CodeGen {
+public:
+  explicit CodeGen(const Program &P) : P(P) {}
+
+  bool run();
+  ir::Module takeModule() { return std::move(M); }
+  const std::string &errorMessage() const { return ErrorMsg; }
+
+private:
+  using LabelTok = FunctionBuilder::LabelTok;
+
+  bool fail(SourceLoc Loc, const std::string &Msg) {
+    if (ErrorMsg.empty())
+      ErrorMsg = Loc.str() + ": " + Msg;
+    return false;
+  }
+  bool ok() const { return ErrorMsg.empty(); }
+
+  bool declareSymbols();
+  bool genFunction(const FuncDecl &F);
+
+  // Statements.
+  bool genStmt(const Stmt &S);
+  bool genBlock(const BlockStmt &B);
+
+  // Expressions. Returns the result register via \p Out.
+  bool genExpr(const Expr &E, Reg &Out);
+  /// Computes the address of an lvalue expression into \p Out. For local
+  /// variables sets \p IsLocal and \p LocalReg instead.
+  bool genLValue(const Expr &E, bool &IsLocal, Reg &LocalReg, Reg &Out);
+  bool genCall(const CallExpr &E, Reg &Out);
+  bool genShortCircuit(const BinaryExpr &E, Reg &Out);
+
+  // Scoped local symbol table.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  Reg *lookupLocal(const std::string &Name) {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  const Program &P;
+  ir::Module M;
+  std::string ErrorMsg;
+
+  std::unordered_map<std::string, GlobalId> GlobalIds;
+  std::unordered_map<std::string, bool> GlobalIsArray;
+  std::unordered_map<std::string, int64_t> Consts;
+  std::unordered_map<std::string, uint32_t> FieldOffsets;
+  std::unordered_map<std::string, uint32_t> StructSizes;
+  std::unordered_map<std::string, FuncId> FuncIds;
+  std::unordered_map<std::string, uint32_t> FuncArity;
+
+  // Per-function state.
+  FunctionBuilder *B = nullptr;
+  std::vector<std::unordered_map<std::string, Reg>> Scopes;
+  struct LoopLabels {
+    LabelTok Continue, Break;
+  };
+  std::vector<LoopLabels> LoopStack;
+};
+
+} // namespace
+
+bool CodeGen::declareSymbols() {
+  for (const ConstDecl &C : P.Consts) {
+    if (!Consts.emplace(C.Name, C.Value).second)
+      return fail(C.Loc, "duplicate constant '" + C.Name + "'");
+  }
+  for (const GlobalDecl &G : P.Globals) {
+    if (GlobalIds.count(G.Name))
+      return fail(G.Loc, "duplicate global '" + G.Name + "'");
+    GlobalVar GV;
+    GV.Name = G.Name;
+    GV.SizeWords = G.SizeWords;
+    if (G.Init != 0)
+      GV.Init.assign(G.SizeWords, static_cast<Word>(G.Init));
+    GlobalIds.emplace(G.Name, M.addGlobal(std::move(GV)));
+    GlobalIsArray.emplace(G.Name, G.IsArray);
+  }
+  for (const StructDecl &S : P.Structs) {
+    if (!StructSizes
+             .emplace(S.Name, static_cast<uint32_t>(S.Fields.size()))
+             .second)
+      return fail(S.Loc, "duplicate struct '" + S.Name + "'");
+    for (uint32_t I = 0, E = static_cast<uint32_t>(S.Fields.size());
+         I != E; ++I) {
+      // Field names are module-unique so that p->field needs no type
+      // inference; benchmark sources prefix fields per struct.
+      if (!FieldOffsets.emplace(S.Fields[I], I).second)
+        return fail(S.Loc, "field name '" + S.Fields[I] +
+                               "' reused across structs; field names must "
+                               "be unique module-wide");
+    }
+  }
+  // Pre-declare all functions so calls can be forward references. FuncIds
+  // are assigned in declaration order; bodies are generated in the same
+  // order so the ids match the module's function indices.
+  for (const FuncDecl &F : P.Funcs) {
+    if (FuncArity.count(F.Name))
+      return fail(F.Loc, "duplicate function '" + F.Name + "'");
+    FuncIds.emplace(F.Name, static_cast<FuncId>(FuncIds.size()));
+    FuncArity.emplace(F.Name, static_cast<uint32_t>(F.Params.size()));
+  }
+  return true;
+}
+
+bool CodeGen::run() {
+  if (!declareSymbols())
+    return false;
+  for (const FuncDecl &F : P.Funcs)
+    if (!genFunction(F))
+      return false;
+  std::vector<std::string> Problems = verifyModule(M);
+  if (!Problems.empty())
+    return fail(SourceLoc{1, 1},
+                "generated IR failed verification: " + Problems.front());
+  return true;
+}
+
+bool CodeGen::genFunction(const FuncDecl &F) {
+  FunctionBuilder Builder(M, F.Name,
+                          static_cast<uint32_t>(F.Params.size()));
+  B = &Builder;
+  Scopes.clear();
+  LoopStack.clear();
+  pushScope();
+  for (uint32_t I = 0, E = static_cast<uint32_t>(F.Params.size()); I != E;
+       ++I) {
+    if (lookupLocal(F.Params[I]))
+      return fail(F.Loc, "duplicate parameter '" + F.Params[I] + "'");
+    Scopes.back().emplace(F.Params[I], I);
+  }
+  assert(F.Body && F.Body->K == Stmt::Kind::Block);
+  if (!genBlock(static_cast<const BlockStmt &>(*F.Body)))
+    return false;
+  FuncId Id = Builder.finish();
+  // The pre-assigned id must match the actual position.
+  if (Id != FuncIds[F.Name])
+    return fail(F.Loc, "internal error: function id mismatch");
+  B = nullptr;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+bool CodeGen::genBlock(const BlockStmt &Blk) {
+  pushScope();
+  for (const StmtPtr &S : Blk.Body)
+    if (!genStmt(*S)) {
+      popScope();
+      return false;
+    }
+  popScope();
+  return true;
+}
+
+bool CodeGen::genStmt(const Stmt &S) {
+  B->setLine(S.Loc.Line);
+  switch (S.K) {
+  case Stmt::Kind::Block:
+    return genBlock(static_cast<const BlockStmt &>(S));
+
+  case Stmt::Kind::LocalDecl: {
+    const auto &D = static_cast<const LocalDeclStmt &>(S);
+    if (Scopes.back().count(D.Name))
+      return fail(S.Loc, "duplicate local '" + D.Name + "' in scope");
+    Reg Val;
+    if (D.Init) {
+      if (!genExpr(*D.Init, Val))
+        return false;
+    } else {
+      Val = B->emitConst(0);
+    }
+    Reg Slot = B->newReg();
+    B->setLine(S.Loc.Line);
+    B->emitMoveTo(Slot, Val);
+    Scopes.back().emplace(D.Name, Slot);
+    return true;
+  }
+
+  case Stmt::Kind::Assign: {
+    const auto &A = static_cast<const AssignStmt &>(S);
+    Reg Val;
+    if (!genExpr(*A.Value, Val))
+      return false;
+    bool IsLocal = false;
+    Reg LocalReg = 0, Addr = 0;
+    if (!genLValue(*A.Target, IsLocal, LocalReg, Addr))
+      return false;
+    B->setLine(S.Loc.Line);
+    if (IsLocal)
+      B->emitMoveTo(LocalReg, Val);
+    else
+      B->emitStore(Addr, Val);
+    return true;
+  }
+
+  case Stmt::Kind::ExprStmt: {
+    const auto &E = static_cast<const ExprStmt &>(S);
+    Reg Ignored;
+    return genExpr(*E.E, Ignored);
+  }
+
+  case Stmt::Kind::If: {
+    const auto &I = static_cast<const IfStmt &>(S);
+    Reg Cond;
+    if (!genExpr(*I.Cond, Cond))
+      return false;
+    LabelTok ThenL = B->newLabel(), ElseL = B->newLabel(),
+             EndL = B->newLabel();
+    B->setLine(S.Loc.Line);
+    B->emitCondBr(Cond, ThenL, I.Else ? ElseL : EndL);
+    B->bind(ThenL);
+    if (!genStmt(*I.Then))
+      return false;
+    if (I.Else) {
+      B->emitBr(EndL);
+      B->bind(ElseL);
+      if (!genStmt(*I.Else))
+        return false;
+    }
+    B->bind(EndL);
+    B->emitNop(); // Give the end label an anchor.
+    return true;
+  }
+
+  case Stmt::Kind::While: {
+    const auto &W = static_cast<const WhileStmt &>(S);
+    LabelTok HeadL = B->newLabel(), BodyL = B->newLabel(),
+             EndL = B->newLabel();
+    B->bind(HeadL);
+    Reg Cond;
+    if (!genExpr(*W.Cond, Cond))
+      return false;
+    B->setLine(S.Loc.Line);
+    B->emitCondBr(Cond, BodyL, EndL);
+    B->bind(BodyL);
+    LoopStack.push_back({HeadL, EndL});
+    bool BodyOk = genStmt(*W.Body);
+    LoopStack.pop_back();
+    if (!BodyOk)
+      return false;
+    B->emitBr(HeadL);
+    B->bind(EndL);
+    B->emitNop();
+    return true;
+  }
+
+  case Stmt::Kind::Return: {
+    const auto &R = static_cast<const ReturnStmt &>(S);
+    if (R.Value) {
+      Reg V;
+      if (!genExpr(*R.Value, V))
+        return false;
+      B->setLine(S.Loc.Line);
+      B->emitRet(V);
+    } else {
+      B->emitRetVoid();
+    }
+    return true;
+  }
+
+  case Stmt::Kind::Break:
+    if (LoopStack.empty())
+      return fail(S.Loc, "'break' outside of a loop");
+    B->emitBr(LoopStack.back().Break);
+    return true;
+
+  case Stmt::Kind::Continue:
+    if (LoopStack.empty())
+      return fail(S.Loc, "'continue' outside of a loop");
+    B->emitBr(LoopStack.back().Continue);
+    return true;
+  }
+  dfenceUnreachable("invalid statement kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+bool CodeGen::genLValue(const Expr &E, bool &IsLocal, Reg &LocalReg,
+                        Reg &Out) {
+  IsLocal = false;
+  switch (E.K) {
+  case Expr::Kind::VarRef: {
+    const auto &V = static_cast<const VarRefExpr &>(E);
+    if (Reg *R = lookupLocal(V.Name)) {
+      IsLocal = true;
+      LocalReg = *R;
+      return true;
+    }
+    auto G = GlobalIds.find(V.Name);
+    if (G != GlobalIds.end()) {
+      B->setLine(E.Loc.Line);
+      Out = B->emitGlobalAddr(G->second);
+      return true;
+    }
+    return fail(E.Loc, "cannot assign to '" + V.Name + "'");
+  }
+  case Expr::Kind::Index: {
+    const auto &I = static_cast<const IndexExpr &>(E);
+    Reg Base, Idx;
+    if (!genExpr(*I.Base, Base) || !genExpr(*I.Idx, Idx))
+      return false;
+    B->setLine(E.Loc.Line);
+    Out = B->emitBinOp(BinOpKind::Add, Base, Idx);
+    return true;
+  }
+  case Expr::Kind::Arrow: {
+    const auto &A = static_cast<const ArrowExpr &>(E);
+    Reg Base;
+    if (!genExpr(*A.Base, Base))
+      return false;
+    auto F = FieldOffsets.find(A.Field);
+    if (F == FieldOffsets.end())
+      return fail(E.Loc, "unknown struct field '" + A.Field + "'");
+    B->setLine(E.Loc.Line);
+    if (F->second == 0) {
+      Out = Base;
+    } else {
+      Reg Off = B->emitConst(F->second);
+      Out = B->emitBinOp(BinOpKind::Add, Base, Off);
+    }
+    return true;
+  }
+  case Expr::Kind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(E);
+    if (U.Op == UnaryOp::Deref)
+      return genExpr(*U.Sub, Out);
+    return fail(E.Loc, "expression is not an lvalue");
+  }
+  default:
+    return fail(E.Loc, "expression is not an lvalue");
+  }
+}
+
+bool CodeGen::genShortCircuit(const BinaryExpr &E, Reg &Out) {
+  // r = (lhs != 0) [&& / ||] (rhs != 0) with rhs evaluated conditionally.
+  Reg Result = B->newReg();
+  Reg Lhs;
+  if (!genExpr(*E.Lhs, Lhs))
+    return false;
+  LabelTok EvalRhs = B->newLabel(), Short = B->newLabel(),
+           End = B->newLabel();
+  B->setLine(E.Loc.Line);
+  if (E.Op == BinaryOp::LogAnd)
+    B->emitCondBr(Lhs, EvalRhs, Short);
+  else
+    B->emitCondBr(Lhs, Short, EvalRhs);
+  B->bind(EvalRhs);
+  Reg Rhs;
+  if (!genExpr(*E.Rhs, Rhs))
+    return false;
+  B->setLine(E.Loc.Line);
+  Reg Zero = B->emitConst(0);
+  Reg Norm = B->emitBinOp(BinOpKind::Ne, Rhs, Zero);
+  B->emitMoveTo(Result, Norm);
+  B->emitBr(End);
+  B->bind(Short);
+  B->emitConstTo(Result, E.Op == BinaryOp::LogAnd ? 0 : 1);
+  B->bind(End);
+  B->emitNop();
+  Out = Result;
+  return true;
+}
+
+bool CodeGen::genCall(const CallExpr &E, Reg &Out) {
+  B->setLine(E.Loc.Line);
+  const std::string &Name = E.Callee;
+  auto WantArgs = [&](size_t N) {
+    if (E.Args.size() == N)
+      return true;
+    return fail(E.Loc, strformat("builtin '%s' expects %zu argument(s)",
+                                 Name.c_str(), N));
+  };
+  auto GenArgs = [&](std::vector<Reg> &Regs) {
+    for (const ExprPtr &A : E.Args) {
+      Reg R;
+      if (!genExpr(*A, R))
+        return false;
+      Regs.push_back(R);
+    }
+    B->setLine(E.Loc.Line);
+    return true;
+  };
+
+  if (Name == "cas") {
+    if (!WantArgs(3))
+      return false;
+    std::vector<Reg> A;
+    if (!GenArgs(A))
+      return false;
+    Out = B->emitCas(A[0], A[1], A[2]);
+    return true;
+  }
+  if (Name == "fence" || Name == "fence_ss" || Name == "fence_sl") {
+    if (!WantArgs(0))
+      return false;
+    FenceKind K = Name == "fence_ss"   ? FenceKind::StoreStore
+                  : Name == "fence_sl" ? FenceKind::StoreLoad
+                                       : FenceKind::Full;
+    B->emitFence(K);
+    Out = B->emitConst(0);
+    return true;
+  }
+  if (Name == "malloc") {
+    if (!WantArgs(1))
+      return false;
+    std::vector<Reg> A;
+    if (!GenArgs(A))
+      return false;
+    Out = B->emitAlloc(A[0]);
+    return true;
+  }
+  if (Name == "free") {
+    if (!WantArgs(1))
+      return false;
+    std::vector<Reg> A;
+    if (!GenArgs(A))
+      return false;
+    B->emitFree(A[0]);
+    Out = B->emitConst(0);
+    return true;
+  }
+  if (Name == "lock" || Name == "unlock") {
+    if (!WantArgs(1))
+      return false;
+    std::vector<Reg> A;
+    if (!GenArgs(A))
+      return false;
+    if (Name == "lock")
+      B->emitLock(A[0]);
+    else
+      B->emitUnlock(A[0]);
+    Out = B->emitConst(0);
+    return true;
+  }
+  if (Name == "self") {
+    if (!WantArgs(0))
+      return false;
+    Out = B->emitSelf();
+    return true;
+  }
+  if (Name == "assert") {
+    if (!WantArgs(1))
+      return false;
+    std::vector<Reg> A;
+    if (!GenArgs(A))
+      return false;
+    B->emitAssert(A[0]);
+    Out = B->emitConst(0);
+    return true;
+  }
+  if (Name == "sizeof") {
+    if (!WantArgs(1))
+      return false;
+    if (E.Args[0]->K != Expr::Kind::VarRef)
+      return fail(E.Loc, "sizeof expects a struct name");
+    const auto &V = static_cast<const VarRefExpr &>(*E.Args[0]);
+    auto S = StructSizes.find(V.Name);
+    if (S == StructSizes.end())
+      return fail(E.Loc, "unknown struct '" + V.Name + "'");
+    Out = B->emitConst(S->second);
+    return true;
+  }
+  if (Name == "spawn") {
+    if (E.Args.empty() || E.Args[0]->K != Expr::Kind::VarRef)
+      return fail(E.Loc, "spawn expects a function name first");
+    const auto &V = static_cast<const VarRefExpr &>(*E.Args[0]);
+    auto F = FuncIds.find(V.Name);
+    if (F == FuncIds.end())
+      return fail(E.Loc, "spawn of unknown function '" + V.Name + "'");
+    std::vector<Reg> A;
+    for (size_t I = 1; I != E.Args.size(); ++I) {
+      Reg R;
+      if (!genExpr(*E.Args[I], R))
+        return false;
+      A.push_back(R);
+    }
+    if (A.size() != FuncArity[V.Name])
+      return fail(E.Loc, "spawn arity mismatch for '" + V.Name + "'");
+    B->setLine(E.Loc.Line);
+    Out = B->emitSpawn(F->second, A);
+    return true;
+  }
+  if (Name == "join") {
+    if (!WantArgs(1))
+      return false;
+    std::vector<Reg> A;
+    if (!GenArgs(A))
+      return false;
+    B->emitJoin(A[0]);
+    Out = B->emitConst(0);
+    return true;
+  }
+
+  // User function call.
+  auto F = FuncIds.find(Name);
+  if (F == FuncIds.end())
+    return fail(E.Loc, "call of unknown function '" + Name + "'");
+  if (E.Args.size() != FuncArity[Name])
+    return fail(E.Loc,
+                strformat("'%s' expects %u argument(s), got %zu",
+                          Name.c_str(), FuncArity[Name], E.Args.size()));
+  std::vector<Reg> A;
+  if (!GenArgs(A))
+    return false;
+  Out = B->emitCall(F->second, A);
+  return true;
+}
+
+bool CodeGen::genExpr(const Expr &E, Reg &Out) {
+  B->setLine(E.Loc.Line);
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    Out = B->emitConst(
+        static_cast<Word>(static_cast<const IntLitExpr &>(E).Value));
+    return true;
+
+  case Expr::Kind::VarRef: {
+    const auto &V = static_cast<const VarRefExpr &>(E);
+    if (Reg *R = lookupLocal(V.Name)) {
+      Out = *R;
+      return true;
+    }
+    auto C = Consts.find(V.Name);
+    if (C != Consts.end()) {
+      Out = B->emitConst(static_cast<Word>(C->second));
+      return true;
+    }
+    auto G = GlobalIds.find(V.Name);
+    if (G != GlobalIds.end()) {
+      Reg Addr = B->emitGlobalAddr(G->second);
+      if (GlobalIsArray[V.Name]) {
+        Out = Addr; // Arrays decay to their base address.
+      } else {
+        Out = B->emitLoad(Addr);
+      }
+      return true;
+    }
+    return fail(E.Loc, "unknown identifier '" + V.Name + "'");
+  }
+
+  case Expr::Kind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(E);
+    switch (U.Op) {
+    case UnaryOp::Neg: {
+      Reg Sub;
+      if (!genExpr(*U.Sub, Sub))
+        return false;
+      B->setLine(E.Loc.Line);
+      Reg Zero = B->emitConst(0);
+      Out = B->emitBinOp(BinOpKind::Sub, Zero, Sub);
+      return true;
+    }
+    case UnaryOp::Not: {
+      Reg Sub;
+      if (!genExpr(*U.Sub, Sub))
+        return false;
+      B->setLine(E.Loc.Line);
+      Out = B->emitNot(Sub);
+      return true;
+    }
+    case UnaryOp::Deref: {
+      Reg Sub;
+      if (!genExpr(*U.Sub, Sub))
+        return false;
+      B->setLine(E.Loc.Line);
+      Out = B->emitLoad(Sub);
+      return true;
+    }
+    case UnaryOp::AddrOf: {
+      bool IsLocal = false;
+      Reg LocalReg = 0;
+      if (!genLValue(*U.Sub, IsLocal, LocalReg, Out))
+        return false;
+      if (IsLocal)
+        return fail(E.Loc, "cannot take the address of a local variable");
+      return true;
+    }
+    }
+    dfenceUnreachable("invalid unary op");
+  }
+
+  case Expr::Kind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    if (Bin.Op == BinaryOp::LogAnd || Bin.Op == BinaryOp::LogOr)
+      return genShortCircuit(Bin, Out);
+    Reg L, R;
+    if (!genExpr(*Bin.Lhs, L) || !genExpr(*Bin.Rhs, R))
+      return false;
+    B->setLine(E.Loc.Line);
+    BinOpKind K;
+    switch (Bin.Op) {
+    case BinaryOp::Add:    K = BinOpKind::Add; break;
+    case BinaryOp::Sub:    K = BinOpKind::Sub; break;
+    case BinaryOp::Mul:    K = BinOpKind::Mul; break;
+    case BinaryOp::Div:    K = BinOpKind::Div; break;
+    case BinaryOp::Rem:    K = BinOpKind::Rem; break;
+    case BinaryOp::Eq:     K = BinOpKind::Eq; break;
+    case BinaryOp::Ne:     K = BinOpKind::Ne; break;
+    case BinaryOp::Lt:     K = BinOpKind::Lt; break;
+    case BinaryOp::Le:     K = BinOpKind::Le; break;
+    case BinaryOp::Gt:     K = BinOpKind::Gt; break;
+    case BinaryOp::Ge:     K = BinOpKind::Ge; break;
+    case BinaryOp::BitAnd: K = BinOpKind::And; break;
+    case BinaryOp::BitOr:  K = BinOpKind::Or; break;
+    case BinaryOp::BitXor: K = BinOpKind::Xor; break;
+    case BinaryOp::Shl:    K = BinOpKind::Shl; break;
+    case BinaryOp::Shr:    K = BinOpKind::Shr; break;
+    default:
+      dfenceUnreachable("short-circuit ops handled above");
+    }
+    Out = B->emitBinOp(K, L, R);
+    return true;
+  }
+
+  case Expr::Kind::Call:
+    return genCall(static_cast<const CallExpr &>(E), Out);
+
+  case Expr::Kind::Index:
+  case Expr::Kind::Arrow: {
+    bool IsLocal = false;
+    Reg LocalReg = 0, Addr = 0;
+    if (!genLValue(E, IsLocal, LocalReg, Addr))
+      return false;
+    assert(!IsLocal && "index/arrow lvalues are never locals");
+    B->setLine(E.Loc.Line);
+    Out = B->emitLoad(Addr);
+    return true;
+  }
+  }
+  dfenceUnreachable("invalid expression kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+CompileResult frontend::compileMiniC(const std::string &Source) {
+  CompileResult Result;
+  Result.SourceLines =
+      static_cast<unsigned>(std::count(Source.begin(), Source.end(), '\n')) +
+      1;
+
+  Lexer Lex(Source);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Lex.hadError()) {
+    Result.Error = Lex.errorMessage();
+    return Result;
+  }
+
+  Parser P(std::move(Tokens));
+  std::optional<Program> Prog = P.parseProgram();
+  if (!Prog) {
+    Result.Error = P.errorMessage();
+    return Result;
+  }
+
+  CodeGen CG(*Prog);
+  if (!CG.run()) {
+    Result.Error = CG.errorMessage();
+    return Result;
+  }
+  Result.Module = CG.takeModule();
+  Result.Ok = true;
+  return Result;
+}
+
+ir::Module frontend::compileOrDie(const std::string &Source) {
+  CompileResult R = compileMiniC(Source);
+  if (!R.Ok)
+    reportFatalError("MiniC compilation failed: " + R.Error);
+  return std::move(R.Module);
+}

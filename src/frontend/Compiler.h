@@ -1,0 +1,36 @@
+//===- Compiler.h - MiniC -> IR compilation pipeline ------------*- C++ -*-===//
+//
+// compileMiniC drives lexing, parsing, semantic checking and IR code
+// generation, playing the role LLVM-GCC plays in the paper's pipeline
+// (concurrent C algorithm -> bytecode consumed by the interpreter).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_FRONTEND_COMPILER_H
+#define DFENCE_FRONTEND_COMPILER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace dfence::frontend {
+
+/// The outcome of compiling one MiniC translation unit.
+struct CompileResult {
+  bool Ok = false;
+  ir::Module Module;
+  std::string Error;       ///< First diagnostic when !Ok.
+  unsigned SourceLines = 0; ///< Lines in the source (the paper's LOC).
+};
+
+/// Compiles MiniC \p Source into an IR module. The module is verified
+/// before being returned; verification failures are reported as errors.
+CompileResult compileMiniC(const std::string &Source);
+
+/// Convenience wrapper that aborts on compile errors; for benchmarks and
+/// tests whose sources are known-good.
+ir::Module compileOrDie(const std::string &Source);
+
+} // namespace dfence::frontend
+
+#endif // DFENCE_FRONTEND_COMPILER_H

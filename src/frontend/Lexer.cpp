@@ -1,0 +1,229 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace dfence;
+using namespace dfence::frontend;
+
+const char *frontend::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:        return "end of input";
+  case TokKind::Ident:      return "identifier";
+  case TokKind::Number:     return "number";
+  case TokKind::KwInt:      return "'int'";
+  case TokKind::KwGlobal:   return "'global'";
+  case TokKind::KwConst:    return "'const'";
+  case TokKind::KwStruct:   return "'struct'";
+  case TokKind::KwIf:       return "'if'";
+  case TokKind::KwElse:     return "'else'";
+  case TokKind::KwWhile:    return "'while'";
+  case TokKind::KwReturn:   return "'return'";
+  case TokKind::KwBreak:    return "'break'";
+  case TokKind::KwContinue: return "'continue'";
+  case TokKind::LParen:     return "'('";
+  case TokKind::RParen:     return "')'";
+  case TokKind::LBrace:     return "'{'";
+  case TokKind::RBrace:     return "'}'";
+  case TokKind::LBracket:   return "'['";
+  case TokKind::RBracket:   return "']'";
+  case TokKind::Comma:      return "','";
+  case TokKind::Semi:       return "';'";
+  case TokKind::Arrow:      return "'->'";
+  case TokKind::Assign:     return "'='";
+  case TokKind::Plus:       return "'+'";
+  case TokKind::Minus:      return "'-'";
+  case TokKind::Star:       return "'*'";
+  case TokKind::Slash:      return "'/'";
+  case TokKind::Percent:    return "'%'";
+  case TokKind::EqEq:       return "'=='";
+  case TokKind::NotEq:      return "'!='";
+  case TokKind::Lt:         return "'<'";
+  case TokKind::Le:         return "'<='";
+  case TokKind::Gt:         return "'>'";
+  case TokKind::Ge:         return "'>='";
+  case TokKind::AmpAmp:     return "'&&'";
+  case TokKind::PipePipe:   return "'||'";
+  case TokKind::Bang:       return "'!'";
+  case TokKind::Amp:        return "'&'";
+  case TokKind::Pipe:       return "'|'";
+  case TokKind::Caret:      return "'^'";
+  case TokKind::Shl:        return "'<<'";
+  case TokKind::Shr:        return "'>>'";
+  }
+  return "<token>";
+}
+
+Lexer::Lexer(std::string Source) : Src(std::move(Source)) {}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Src.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+    } else if (C == '/' && peek(1) == '/') {
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+    } else if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (Pos < Src.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos < Src.size()) {
+        advance();
+        advance();
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::next() {
+  static const std::unordered_map<std::string, TokKind> Keywords = {
+      {"int", TokKind::KwInt},         {"global", TokKind::KwGlobal},
+      {"const", TokKind::KwConst},     {"struct", TokKind::KwStruct},
+      {"if", TokKind::KwIf},           {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},     {"return", TokKind::KwReturn},
+      {"break", TokKind::KwBreak},     {"continue", TokKind::KwContinue},
+  };
+
+  skipWhitespaceAndComments();
+  Token T;
+  T.Loc = loc();
+  if (Pos >= Src.size()) {
+    T.Kind = TokKind::Eof;
+    return T;
+  }
+
+  char C = advance();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Ident(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) ||
+           peek() == '_')
+      Ident += advance();
+    auto It = Keywords.find(Ident);
+    if (It != Keywords.end()) {
+      T.Kind = It->second;
+    } else {
+      T.Kind = TokKind::Ident;
+      T.Text = std::move(Ident);
+    }
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t V = C - '0';
+    if (C == '0' && (peek() == 'x' || peek() == 'X')) {
+      advance();
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+        char D = advance();
+        int Digit = std::isdigit(static_cast<unsigned char>(D))
+                        ? D - '0'
+                        : (std::tolower(D) - 'a' + 10);
+        V = V * 16 + Digit;
+      }
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        V = V * 10 + (advance() - '0');
+    }
+    T.Kind = TokKind::Number;
+    T.Value = V;
+    return T;
+  }
+
+  switch (C) {
+  case '(': T.Kind = TokKind::LParen; return T;
+  case ')': T.Kind = TokKind::RParen; return T;
+  case '{': T.Kind = TokKind::LBrace; return T;
+  case '}': T.Kind = TokKind::RBrace; return T;
+  case '[': T.Kind = TokKind::LBracket; return T;
+  case ']': T.Kind = TokKind::RBracket; return T;
+  case ',': T.Kind = TokKind::Comma; return T;
+  case ';': T.Kind = TokKind::Semi; return T;
+  case '+': T.Kind = TokKind::Plus; return T;
+  case '*': T.Kind = TokKind::Star; return T;
+  case '/': T.Kind = TokKind::Slash; return T;
+  case '%': T.Kind = TokKind::Percent; return T;
+  case '^': T.Kind = TokKind::Caret; return T;
+  case '-':
+    T.Kind = match('>') ? TokKind::Arrow : TokKind::Minus;
+    return T;
+  case '=':
+    T.Kind = match('=') ? TokKind::EqEq : TokKind::Assign;
+    return T;
+  case '!':
+    T.Kind = match('=') ? TokKind::NotEq : TokKind::Bang;
+    return T;
+  case '<':
+    if (match('='))
+      T.Kind = TokKind::Le;
+    else if (match('<'))
+      T.Kind = TokKind::Shl;
+    else
+      T.Kind = TokKind::Lt;
+    return T;
+  case '>':
+    if (match('='))
+      T.Kind = TokKind::Ge;
+    else if (match('>'))
+      T.Kind = TokKind::Shr;
+    else
+      T.Kind = TokKind::Gt;
+    return T;
+  case '&':
+    T.Kind = match('&') ? TokKind::AmpAmp : TokKind::Amp;
+    return T;
+  case '|':
+    T.Kind = match('|') ? TokKind::PipePipe : TokKind::Pipe;
+    return T;
+  default:
+    ErrorMsg = strformat("%u:%u: unexpected character '%c'", T.Loc.Line,
+                         T.Loc.Col, C);
+    T.Kind = TokKind::Eof;
+    return T;
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = next();
+    bool IsEof = T.Kind == TokKind::Eof;
+    Tokens.push_back(std::move(T));
+    if (IsEof || hadError())
+      break;
+  }
+  if (Tokens.empty() || Tokens.back().Kind != TokKind::Eof) {
+    Token T;
+    T.Kind = TokKind::Eof;
+    Tokens.push_back(std::move(T));
+  }
+  return Tokens;
+}

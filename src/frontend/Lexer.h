@@ -1,0 +1,42 @@
+//===- Lexer.h - MiniC lexer ------------------------------------*- C++ -*-===//
+
+#ifndef DFENCE_FRONTEND_LEXER_H
+#define DFENCE_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace dfence::frontend {
+
+/// Lexes a whole MiniC buffer. On a lexical error, ErrorMsg is set and the
+/// token stream ends with Eof at the error position.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes all tokens (terminated by an Eof token).
+  std::vector<Token> lexAll();
+
+  bool hadError() const { return !ErrorMsg.empty(); }
+  const std::string &errorMessage() const { return ErrorMsg; }
+
+private:
+  Token next();
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  void skipWhitespaceAndComments();
+  SourceLoc loc() const { return {Line, Col}; }
+
+  std::string Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  std::string ErrorMsg;
+};
+
+} // namespace dfence::frontend
+
+#endif // DFENCE_FRONTEND_LEXER_H

@@ -1,0 +1,528 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace dfence;
+using namespace dfence::frontend;
+
+Parser::Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {
+  assert(!this->Tokens.empty() &&
+         this->Tokens.back().Kind == TokKind::Eof &&
+         "token stream must end with Eof");
+}
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1;
+  return Tokens[I];
+}
+
+const Token &Parser::advance() {
+  const Token &T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokKind K) {
+  if (!check(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  error(strformat("expected %s %s, found %s", tokKindName(K), Context,
+                  tokKindName(peek().Kind)),
+        peek().Loc);
+  return false;
+}
+
+void Parser::error(const std::string &Msg, SourceLoc Loc) {
+  if (!ErrorMsg.empty())
+    return;
+  ErrorMsg = Loc.str() + ": " + Msg;
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+std::optional<Program> Parser::parseProgram() {
+  Program P;
+  while (ok() && !check(TokKind::Eof)) {
+    switch (peek().Kind) {
+    case TokKind::KwGlobal:
+      parseGlobal(P);
+      break;
+    case TokKind::KwConst:
+      parseConst(P);
+      break;
+    case TokKind::KwStruct:
+      parseStruct(P);
+      break;
+    case TokKind::KwInt:
+      parseFunc(P);
+      break;
+    default:
+      error(strformat("expected a declaration, found %s",
+                      tokKindName(peek().Kind)),
+            peek().Loc);
+      break;
+    }
+  }
+  if (!ok())
+    return std::nullopt;
+  return P;
+}
+
+std::optional<int64_t> Parser::parseConstExpr(const Program &P) {
+  bool Negate = accept(TokKind::Minus);
+  if (check(TokKind::Number)) {
+    int64_t V = advance().Value;
+    return Negate ? -V : V;
+  }
+  if (check(TokKind::Ident)) {
+    const Token &T = advance();
+    for (const ConstDecl &C : P.Consts)
+      if (C.Name == T.Text)
+        return Negate ? -C.Value : C.Value;
+    error("unknown constant '" + T.Text + "'", T.Loc);
+    return std::nullopt;
+  }
+  error("expected a constant expression", peek().Loc);
+  return std::nullopt;
+}
+
+bool Parser::parseGlobal(Program &P) {
+  SourceLoc Loc = peek().Loc;
+  advance(); // 'global'
+  if (!expect(TokKind::KwInt, "after 'global'"))
+    return false;
+  if (!check(TokKind::Ident)) {
+    error("expected global variable name", peek().Loc);
+    return false;
+  }
+  GlobalDecl G;
+  G.Loc = Loc;
+  G.Name = advance().Text;
+  if (accept(TokKind::LBracket)) {
+    auto Size = parseConstExpr(P);
+    if (!Size)
+      return false;
+    if (*Size <= 0) {
+      error("array size must be positive", Loc);
+      return false;
+    }
+    G.SizeWords = static_cast<uint32_t>(*Size);
+    G.IsArray = true;
+    if (!expect(TokKind::RBracket, "after array size"))
+      return false;
+  }
+  if (accept(TokKind::Assign)) {
+    auto Init = parseConstExpr(P);
+    if (!Init)
+      return false;
+    G.Init = *Init;
+  }
+  if (!expect(TokKind::Semi, "after global declaration"))
+    return false;
+  P.Globals.push_back(std::move(G));
+  return true;
+}
+
+bool Parser::parseConst(Program &P) {
+  SourceLoc Loc = peek().Loc;
+  advance(); // 'const'
+  if (!check(TokKind::Ident)) {
+    error("expected constant name", peek().Loc);
+    return false;
+  }
+  ConstDecl C;
+  C.Loc = Loc;
+  C.Name = advance().Text;
+  if (!expect(TokKind::Assign, "in constant declaration"))
+    return false;
+  auto V = parseConstExpr(P);
+  if (!V)
+    return false;
+  C.Value = *V;
+  if (!expect(TokKind::Semi, "after constant declaration"))
+    return false;
+  P.Consts.push_back(std::move(C));
+  return true;
+}
+
+bool Parser::parseStruct(Program &P) {
+  SourceLoc Loc = peek().Loc;
+  advance(); // 'struct'
+  if (!check(TokKind::Ident)) {
+    error("expected struct name", peek().Loc);
+    return false;
+  }
+  StructDecl S;
+  S.Loc = Loc;
+  S.Name = advance().Text;
+  if (!expect(TokKind::LBrace, "in struct declaration"))
+    return false;
+  while (ok() && !check(TokKind::RBrace)) {
+    if (!expect(TokKind::KwInt, "for struct field"))
+      return false;
+    if (!check(TokKind::Ident)) {
+      error("expected field name", peek().Loc);
+      return false;
+    }
+    S.Fields.push_back(advance().Text);
+    if (!expect(TokKind::Semi, "after struct field"))
+      return false;
+  }
+  if (!expect(TokKind::RBrace, "to close struct"))
+    return false;
+  accept(TokKind::Semi); // Optional trailing semicolon.
+  if (S.Fields.empty()) {
+    error("struct must have at least one field", Loc);
+    return false;
+  }
+  P.Structs.push_back(std::move(S));
+  return true;
+}
+
+bool Parser::parseFunc(Program &P) {
+  SourceLoc Loc = peek().Loc;
+  advance(); // 'int'
+  if (!check(TokKind::Ident)) {
+    error("expected function name", peek().Loc);
+    return false;
+  }
+  FuncDecl F;
+  F.Loc = Loc;
+  F.Name = advance().Text;
+  if (!expect(TokKind::LParen, "after function name"))
+    return false;
+  if (!check(TokKind::RParen)) {
+    do {
+      if (!expect(TokKind::KwInt, "for parameter type"))
+        return false;
+      if (!check(TokKind::Ident)) {
+        error("expected parameter name", peek().Loc);
+        return false;
+      }
+      F.Params.push_back(advance().Text);
+    } while (accept(TokKind::Comma));
+  }
+  if (!expect(TokKind::RParen, "after parameter list"))
+    return false;
+  F.Body = parseBlock();
+  if (!ok())
+    return false;
+  P.Funcs.push_back(std::move(F));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseBlock() {
+  SourceLoc Loc = peek().Loc;
+  if (!expect(TokKind::LBrace, "to open block"))
+    return nullptr;
+  auto Block = std::make_unique<BlockStmt>(Loc);
+  while (ok() && !check(TokKind::RBrace) && !check(TokKind::Eof)) {
+    StmtPtr S = parseStmt();
+    if (!ok())
+      return nullptr;
+    Block->Body.push_back(std::move(S));
+  }
+  if (!expect(TokKind::RBrace, "to close block"))
+    return nullptr;
+  return Block;
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = peek().Loc;
+  advance(); // 'if'
+  if (!expect(TokKind::LParen, "after 'if'"))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!ok())
+    return nullptr;
+  if (!expect(TokKind::RParen, "after condition"))
+    return nullptr;
+  StmtPtr Then = parseBlock();
+  if (!ok())
+    return nullptr;
+  StmtPtr Else;
+  if (accept(TokKind::KwElse)) {
+    if (check(TokKind::KwIf))
+      Else = parseIf();
+    else
+      Else = parseBlock();
+    if (!ok())
+      return nullptr;
+  }
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = peek().Loc;
+  switch (peek().Kind) {
+  case TokKind::LBrace:
+    return parseBlock();
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwWhile: {
+    advance();
+    if (!expect(TokKind::LParen, "after 'while'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!ok())
+      return nullptr;
+    if (!expect(TokKind::RParen, "after condition"))
+      return nullptr;
+    StmtPtr Body = parseBlock();
+    if (!ok())
+      return nullptr;
+    return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body),
+                                       Loc);
+  }
+  case TokKind::KwReturn: {
+    advance();
+    ExprPtr V;
+    if (!check(TokKind::Semi)) {
+      V = parseExpr();
+      if (!ok())
+        return nullptr;
+    }
+    if (!expect(TokKind::Semi, "after return"))
+      return nullptr;
+    return std::make_unique<ReturnStmt>(std::move(V), Loc);
+  }
+  case TokKind::KwBreak:
+    advance();
+    if (!expect(TokKind::Semi, "after 'break'"))
+      return nullptr;
+    return std::make_unique<BreakStmt>(Loc);
+  case TokKind::KwContinue:
+    advance();
+    if (!expect(TokKind::Semi, "after 'continue'"))
+      return nullptr;
+    return std::make_unique<ContinueStmt>(Loc);
+  case TokKind::KwInt: {
+    advance();
+    if (!check(TokKind::Ident)) {
+      error("expected local variable name", peek().Loc);
+      return nullptr;
+    }
+    std::string Name = advance().Text;
+    ExprPtr Init;
+    if (accept(TokKind::Assign)) {
+      Init = parseExpr();
+      if (!ok())
+        return nullptr;
+    }
+    if (!expect(TokKind::Semi, "after local declaration"))
+      return nullptr;
+    return std::make_unique<LocalDeclStmt>(std::move(Name),
+                                           std::move(Init), Loc);
+  }
+  default: {
+    ExprPtr E = parseExpr();
+    if (!ok())
+      return nullptr;
+    if (accept(TokKind::Assign)) {
+      ExprPtr V = parseExpr();
+      if (!ok())
+        return nullptr;
+      if (!expect(TokKind::Semi, "after assignment"))
+        return nullptr;
+      return std::make_unique<AssignStmt>(std::move(E), std::move(V), Loc);
+    }
+    if (!expect(TokKind::Semi, "after expression statement"))
+      return nullptr;
+    return std::make_unique<ExprStmt>(std::move(E), Loc);
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Binary operator precedence (higher binds tighter); -1 = not a binary op.
+int binaryPrec(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe: return 1;
+  case TokKind::AmpAmp:   return 2;
+  case TokKind::Pipe:     return 3;
+  case TokKind::Caret:    return 4;
+  case TokKind::Amp:      return 5;
+  case TokKind::EqEq:
+  case TokKind::NotEq:    return 6;
+  case TokKind::Lt:
+  case TokKind::Le:
+  case TokKind::Gt:
+  case TokKind::Ge:       return 7;
+  case TokKind::Shl:
+  case TokKind::Shr:      return 8;
+  case TokKind::Plus:
+  case TokKind::Minus:    return 9;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:  return 10;
+  default:                return -1;
+  }
+}
+
+BinaryOp binaryOpFor(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe: return BinaryOp::LogOr;
+  case TokKind::AmpAmp:   return BinaryOp::LogAnd;
+  case TokKind::Pipe:     return BinaryOp::BitOr;
+  case TokKind::Caret:    return BinaryOp::BitXor;
+  case TokKind::Amp:      return BinaryOp::BitAnd;
+  case TokKind::EqEq:     return BinaryOp::Eq;
+  case TokKind::NotEq:    return BinaryOp::Ne;
+  case TokKind::Lt:       return BinaryOp::Lt;
+  case TokKind::Le:       return BinaryOp::Le;
+  case TokKind::Gt:       return BinaryOp::Gt;
+  case TokKind::Ge:       return BinaryOp::Ge;
+  case TokKind::Shl:      return BinaryOp::Shl;
+  case TokKind::Shr:      return BinaryOp::Shr;
+  case TokKind::Plus:     return BinaryOp::Add;
+  case TokKind::Minus:    return BinaryOp::Sub;
+  case TokKind::Star:     return BinaryOp::Mul;
+  case TokKind::Slash:    return BinaryOp::Div;
+  case TokKind::Percent:  return BinaryOp::Rem;
+  default:
+    dfenceUnreachable("not a binary operator token");
+  }
+}
+
+} // namespace
+
+ExprPtr Parser::parseExpr() { return parseBinary(0); }
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseUnary();
+  if (!ok())
+    return nullptr;
+  while (true) {
+    int Prec = binaryPrec(peek().Kind);
+    if (Prec < 0 || Prec < MinPrec)
+      return Lhs;
+    const Token &OpTok = advance();
+    ExprPtr Rhs = parseBinary(Prec + 1);
+    if (!ok())
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(binaryOpFor(OpTok.Kind),
+                                       std::move(Lhs), std::move(Rhs),
+                                       OpTok.Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = peek().Loc;
+  if (accept(TokKind::Minus)) {
+    ExprPtr Sub = parseUnary();
+    if (!ok())
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(Sub), Loc);
+  }
+  if (accept(TokKind::Bang)) {
+    ExprPtr Sub = parseUnary();
+    if (!ok())
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, std::move(Sub), Loc);
+  }
+  if (accept(TokKind::Star)) {
+    ExprPtr Sub = parseUnary();
+    if (!ok())
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Deref, std::move(Sub),
+                                       Loc);
+  }
+  if (accept(TokKind::Amp)) {
+    ExprPtr Sub = parseUnary();
+    if (!ok())
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::AddrOf, std::move(Sub),
+                                       Loc);
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  if (!ok())
+    return nullptr;
+  while (true) {
+    SourceLoc Loc = peek().Loc;
+    if (accept(TokKind::LBracket)) {
+      ExprPtr Idx = parseExpr();
+      if (!ok())
+        return nullptr;
+      if (!expect(TokKind::RBracket, "after index"))
+        return nullptr;
+      E = std::make_unique<IndexExpr>(std::move(E), std::move(Idx), Loc);
+    } else if (accept(TokKind::Arrow)) {
+      if (!check(TokKind::Ident)) {
+        error("expected field name after '->'", peek().Loc);
+        return nullptr;
+      }
+      std::string Field = advance().Text;
+      E = std::make_unique<ArrowExpr>(std::move(E), std::move(Field), Loc);
+    } else {
+      return E;
+    }
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+  if (check(TokKind::Number)) {
+    int64_t V = advance().Value;
+    return std::make_unique<IntLitExpr>(V, Loc);
+  }
+  if (check(TokKind::Ident)) {
+    std::string Name = advance().Text;
+    if (accept(TokKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!check(TokKind::RParen)) {
+        do {
+          ExprPtr A = parseExpr();
+          if (!ok())
+            return nullptr;
+          Args.push_back(std::move(A));
+        } while (accept(TokKind::Comma));
+      }
+      if (!expect(TokKind::RParen, "after call arguments"))
+        return nullptr;
+      return std::make_unique<CallExpr>(std::move(Name), std::move(Args),
+                                        Loc);
+    }
+    return std::make_unique<VarRefExpr>(std::move(Name), Loc);
+  }
+  if (accept(TokKind::LParen)) {
+    ExprPtr E = parseExpr();
+    if (!ok())
+      return nullptr;
+    if (!expect(TokKind::RParen, "after parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  error(strformat("expected an expression, found %s",
+                  tokKindName(peek().Kind)),
+        Loc);
+  return nullptr;
+}

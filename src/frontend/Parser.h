@@ -1,0 +1,61 @@
+//===- Parser.h - MiniC recursive-descent parser ----------------*- C++ -*-===//
+
+#ifndef DFENCE_FRONTEND_PARSER_H
+#define DFENCE_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Token.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dfence::frontend {
+
+/// Parses a token stream into a Program. Stops at the first syntax error.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens);
+
+  /// Returns the parsed program, or nullopt on error (see errorMessage()).
+  std::optional<Program> parseProgram();
+
+  const std::string &errorMessage() const { return ErrorMsg; }
+
+private:
+  // Token stream helpers.
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &advance();
+  bool check(TokKind K) const { return peek().Kind == K; }
+  bool accept(TokKind K);
+  bool expect(TokKind K, const char *Context);
+  void error(const std::string &Msg, SourceLoc Loc);
+  bool ok() const { return ErrorMsg.empty(); }
+
+  // Top level.
+  bool parseGlobal(Program &P);
+  bool parseConst(Program &P);
+  bool parseStruct(Program &P);
+  bool parseFunc(Program &P);
+  std::optional<int64_t> parseConstExpr(const Program &P);
+
+  // Statements.
+  StmtPtr parseBlock();
+  StmtPtr parseStmt();
+  StmtPtr parseIf();
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::string ErrorMsg;
+};
+
+} // namespace dfence::frontend
+
+#endif // DFENCE_FRONTEND_PARSER_H

@@ -1,0 +1,44 @@
+//===- Token.h - MiniC tokens -----------------------------------*- C++ -*-===//
+
+#ifndef DFENCE_FRONTEND_TOKEN_H
+#define DFENCE_FRONTEND_TOKEN_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dfence::frontend {
+
+/// Token kinds of the MiniC language.
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  Number,
+  // Keywords.
+  KwInt, KwGlobal, KwConst, KwStruct, KwIf, KwElse, KwWhile, KwReturn,
+  KwBreak, KwContinue,
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi, Arrow,
+  // Operators.
+  Assign,     // =
+  Plus, Minus, Star, Slash, Percent,
+  EqEq, NotEq, Lt, Le, Gt, Ge,
+  AmpAmp, PipePipe, Bang,
+  Amp, Pipe, Caret, Shl, Shr,
+};
+
+const char *tokKindName(TokKind K);
+
+/// A lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   ///< Identifier spelling.
+  int64_t Value = 0;  ///< Number value.
+  SourceLoc Loc;
+};
+
+} // namespace dfence::frontend
+
+#endif // DFENCE_FRONTEND_TOKEN_H

@@ -1,0 +1,215 @@
+//===- Builder.cpp --------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "support/Diagnostics.h"
+
+using namespace dfence;
+using namespace dfence::ir;
+
+FunctionBuilder::FunctionBuilder(Module &M, std::string Name,
+                                 uint32_t NumParams)
+    : M(M) {
+  F.Name = std::move(Name);
+  F.NumParams = NumParams;
+  F.NumRegs = NumParams;
+}
+
+FunctionBuilder::LabelTok FunctionBuilder::newLabel() {
+  LabelTok L;
+  L.Index = static_cast<uint32_t>(LabelTargets.size());
+  LabelTargets.push_back(InvalidInstrId);
+  return L;
+}
+
+void FunctionBuilder::bind(LabelTok L) {
+  assert(L.isValid() && "binding an invalid label");
+  assert(LabelTargets[L.Index] == InvalidInstrId && "label bound twice");
+  PendingBinds.push_back(L.Index);
+}
+
+Instr &FunctionBuilder::emit(Opcode Op) {
+  assert(!Finished && "builder already finished");
+  Instr I;
+  I.Op = Op;
+  I.Id = M.nextInstrId();
+  I.SrcLine = CurLine;
+  F.Body.push_back(std::move(I));
+  Instr &Out = F.Body.back();
+  for (uint32_t LabelIdx : PendingBinds)
+    LabelTargets[LabelIdx] = Out.Id;
+  PendingBinds.clear();
+  return Out;
+}
+
+Reg FunctionBuilder::emitConst(Word V) {
+  Instr &I = emit(Opcode::Const);
+  I.Imm = V;
+  I.Dst = newReg();
+  return I.Dst;
+}
+
+Reg FunctionBuilder::emitMove(Reg A) {
+  Instr &I = emit(Opcode::Move);
+  I.Ops = {A};
+  I.Dst = newReg();
+  return I.Dst;
+}
+
+void FunctionBuilder::emitMoveTo(Reg Dst, Reg Src) {
+  Instr &I = emit(Opcode::Move);
+  I.Ops = {Src};
+  I.Dst = Dst;
+}
+
+void FunctionBuilder::emitConstTo(Reg Dst, Word V) {
+  Instr &I = emit(Opcode::Const);
+  I.Imm = V;
+  I.Dst = Dst;
+}
+
+Reg FunctionBuilder::emitBinOp(BinOpKind K, Reg A, Reg B) {
+  Instr &I = emit(Opcode::BinOp);
+  I.BK = K;
+  I.Ops = {A, B};
+  I.Dst = newReg();
+  return I.Dst;
+}
+
+Reg FunctionBuilder::emitNot(Reg A) {
+  Instr &I = emit(Opcode::Not);
+  I.Ops = {A};
+  I.Dst = newReg();
+  return I.Dst;
+}
+
+Reg FunctionBuilder::emitLoad(Reg Addr) {
+  Instr &I = emit(Opcode::Load);
+  I.Ops = {Addr};
+  I.Dst = newReg();
+  return I.Dst;
+}
+
+void FunctionBuilder::emitStore(Reg Addr, Reg Val) {
+  Instr &I = emit(Opcode::Store);
+  I.Ops = {Addr, Val};
+}
+
+Reg FunctionBuilder::emitCas(Reg Addr, Reg Expected, Reg Desired) {
+  Instr &I = emit(Opcode::Cas);
+  I.Ops = {Addr, Expected, Desired};
+  I.Dst = newReg();
+  return I.Dst;
+}
+
+void FunctionBuilder::emitFence(FenceKind K) {
+  Instr &I = emit(Opcode::Fence);
+  I.FK = K;
+}
+
+Reg FunctionBuilder::emitGlobalAddr(GlobalId G) {
+  Instr &I = emit(Opcode::GlobalAddr);
+  I.GV = G;
+  I.Dst = newReg();
+  return I.Dst;
+}
+
+Reg FunctionBuilder::emitAlloc(Reg SizeWords) {
+  Instr &I = emit(Opcode::Alloc);
+  I.Ops = {SizeWords};
+  I.Dst = newReg();
+  return I.Dst;
+}
+
+void FunctionBuilder::emitFree(Reg Addr) {
+  Instr &I = emit(Opcode::Free);
+  I.Ops = {Addr};
+}
+
+void FunctionBuilder::emitBr(LabelTok L) {
+  Instr &I = emit(Opcode::Br);
+  Fixups.push_back({F.Body.size() - 1, 0, L.Index});
+  (void)I;
+}
+
+void FunctionBuilder::emitCondBr(Reg Cond, LabelTok Then, LabelTok Else) {
+  Instr &I = emit(Opcode::CondBr);
+  I.Ops = {Cond};
+  Fixups.push_back({F.Body.size() - 1, 0, Then.Index});
+  Fixups.push_back({F.Body.size() - 1, 1, Else.Index});
+}
+
+Reg FunctionBuilder::emitCall(FuncId Callee, const std::vector<Reg> &Args) {
+  Instr &I = emit(Opcode::Call);
+  I.Callee = Callee;
+  I.Ops = Args;
+  I.Dst = newReg();
+  return I.Dst;
+}
+
+void FunctionBuilder::emitRet(Reg Val) {
+  Instr &I = emit(Opcode::Ret);
+  I.Ops = {Val};
+}
+
+void FunctionBuilder::emitRetVoid() { emit(Opcode::Ret); }
+
+Reg FunctionBuilder::emitSelf() {
+  Instr &I = emit(Opcode::Self);
+  I.Dst = newReg();
+  return I.Dst;
+}
+
+Reg FunctionBuilder::emitSpawn(FuncId Callee, const std::vector<Reg> &Args) {
+  Instr &I = emit(Opcode::Spawn);
+  I.Callee = Callee;
+  I.Ops = Args;
+  I.Dst = newReg();
+  return I.Dst;
+}
+
+void FunctionBuilder::emitJoin(Reg Tid) {
+  Instr &I = emit(Opcode::Join);
+  I.Ops = {Tid};
+}
+
+void FunctionBuilder::emitLock(Reg Addr) {
+  Instr &I = emit(Opcode::Lock);
+  I.Ops = {Addr};
+}
+
+void FunctionBuilder::emitUnlock(Reg Addr) {
+  Instr &I = emit(Opcode::Unlock);
+  I.Ops = {Addr};
+}
+
+void FunctionBuilder::emitAssert(Reg Cond) {
+  Instr &I = emit(Opcode::Assert);
+  I.Ops = {Cond};
+}
+
+void FunctionBuilder::emitNop() { emit(Opcode::Nop); }
+
+InstrId FunctionBuilder::lastInstrId() const {
+  assert(!F.Body.empty() && "no instructions emitted");
+  return F.Body.back().Id;
+}
+
+FuncId FunctionBuilder::finish() {
+  assert(!Finished && "builder finished twice");
+  Finished = true;
+  // Terminate a fall-through end and give trailing binds a target.
+  if (!PendingBinds.empty() || F.Body.empty() ||
+      !F.Body.back().isTerminator())
+    emitRetVoid();
+  for (const Fixup &Fx : Fixups) {
+    InstrId Target = LabelTargets[Fx.Label];
+    if (Target == InvalidInstrId)
+      reportFatalError("unbound label in function " + F.Name);
+    if (Fx.Slot == 0)
+      F.Body[Fx.Pos].Target0 = Target;
+    else
+      F.Body[Fx.Pos].Target1 = Target;
+  }
+  return M.addFunction(std::move(F));
+}

@@ -1,0 +1,102 @@
+//===- Builder.h - Convenience construction of IR functions ----*- C++ -*-===//
+//
+// FunctionBuilder appends labeled instructions to a function under
+// construction, with forward-referencing labels resolved at finish() time
+// (branch targets are recorded as builder-local label tokens and patched to
+// the InstrId of the first instruction emitted after bind()).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_IR_BUILDER_H
+#define DFENCE_IR_BUILDER_H
+
+#include "ir/Module.h"
+
+#include <cassert>
+#include <vector>
+
+namespace dfence::ir {
+
+/// Builds one function inside a module.
+class FunctionBuilder {
+public:
+  /// Builder-local forward label token.
+  struct LabelTok {
+    uint32_t Index = ~0u;
+    bool isValid() const { return Index != ~0u; }
+  };
+
+  FunctionBuilder(Module &M, std::string Name, uint32_t NumParams);
+
+  /// Allocates a fresh virtual register.
+  Reg newReg() { return F.NumRegs++; }
+
+  /// Creates an unbound label.
+  LabelTok newLabel();
+
+  /// Binds \p L to the next instruction emitted.
+  void bind(LabelTok L);
+
+  // Instruction emitters. Each returns the destination register where
+  // applicable and tags the instruction with CurLine.
+  Reg emitConst(Word V);
+  Reg emitMove(Reg A);
+  /// Writes into an existing register (locals in the frontend).
+  void emitMoveTo(Reg Dst, Reg Src);
+  void emitConstTo(Reg Dst, Word V);
+  Reg emitBinOp(BinOpKind K, Reg A, Reg B);
+  Reg emitNot(Reg A);
+  Reg emitLoad(Reg Addr);
+  void emitStore(Reg Addr, Reg Val);
+  Reg emitCas(Reg Addr, Reg Expected, Reg Desired);
+  void emitFence(FenceKind K = FenceKind::Full);
+  Reg emitGlobalAddr(GlobalId G);
+  Reg emitAlloc(Reg SizeWords);
+  void emitFree(Reg Addr);
+  void emitBr(LabelTok L);
+  void emitCondBr(Reg Cond, LabelTok Then, LabelTok Else);
+  Reg emitCall(FuncId Callee, const std::vector<Reg> &Args);
+  void emitRet(Reg Val);
+  void emitRetVoid();
+  Reg emitSelf();
+  Reg emitSpawn(FuncId Callee, const std::vector<Reg> &Args);
+  void emitJoin(Reg Tid);
+  void emitLock(Reg Addr);
+  void emitUnlock(Reg Addr);
+  void emitAssert(Reg Cond);
+  void emitNop();
+
+  /// Sets the source line attached to subsequently emitted instructions.
+  void setLine(uint32_t Line) { CurLine = Line; }
+  uint32_t line() const { return CurLine; }
+
+  /// Label of the most recently emitted instruction.
+  InstrId lastInstrId() const;
+
+  /// Resolves labels, verifies all were bound, registers the function with
+  /// the module, and returns its id. The builder must not be reused.
+  FuncId finish();
+
+private:
+  Instr &emit(Opcode Op);
+
+  Module &M;
+  Function F;
+  uint32_t CurLine = 0;
+  bool Finished = false;
+  /// For each label token: the InstrId it resolved to (InvalidInstrId while
+  /// unbound) and whether a bind is pending for the next instruction.
+  std::vector<InstrId> LabelTargets;
+  std::vector<uint32_t> PendingBinds;
+  /// Branch fixups: (position in Body, which target slot, label token).
+  struct Fixup {
+    size_t Pos;
+    int Slot;
+    uint32_t Label;
+  };
+  std::vector<Fixup> Fixups;
+};
+
+} // namespace dfence::ir
+
+#endif // DFENCE_IR_BUILDER_H

@@ -1,0 +1,122 @@
+//===- Printer.cpp --------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/StringUtils.h"
+
+using namespace dfence;
+using namespace dfence::ir;
+
+std::string ir::printInstr(const Instr &I) {
+  std::string S = strformat("%%%u: ", I.Id);
+  auto R = [](Reg X) { return strformat("r%u", X); };
+  switch (I.Op) {
+  case Opcode::Const:
+    S += strformat("%s = const %lld", R(I.Dst).c_str(),
+                   static_cast<long long>(I.Imm));
+    break;
+  case Opcode::Move:
+    S += strformat("%s = %s", R(I.Dst).c_str(), R(I.Ops[0]).c_str());
+    break;
+  case Opcode::BinOp:
+    S += strformat("%s = %s %s %s", R(I.Dst).c_str(), R(I.Ops[0]).c_str(),
+                   binOpName(I.BK), R(I.Ops[1]).c_str());
+    break;
+  case Opcode::Not:
+    S += strformat("%s = !%s", R(I.Dst).c_str(), R(I.Ops[0]).c_str());
+    break;
+  case Opcode::Load:
+    S += strformat("%s = load [%s]", R(I.Dst).c_str(), R(I.Ops[0]).c_str());
+    break;
+  case Opcode::Store:
+    S += strformat("store [%s], %s", R(I.Ops[0]).c_str(),
+                   R(I.Ops[1]).c_str());
+    break;
+  case Opcode::Cas:
+    S += strformat("%s = cas [%s], %s, %s", R(I.Dst).c_str(),
+                   R(I.Ops[0]).c_str(), R(I.Ops[1]).c_str(),
+                   R(I.Ops[2]).c_str());
+    break;
+  case Opcode::Fence:
+    S += strformat("fence %s%s", fenceKindName(I.FK),
+                   I.Synthesized ? " (synth)" : "");
+    break;
+  case Opcode::GlobalAddr:
+    S += strformat("%s = gaddr @%u", R(I.Dst).c_str(), I.GV);
+    break;
+  case Opcode::Alloc:
+    S += strformat("%s = alloc %s", R(I.Dst).c_str(), R(I.Ops[0]).c_str());
+    break;
+  case Opcode::Free:
+    S += strformat("free %s", R(I.Ops[0]).c_str());
+    break;
+  case Opcode::Br:
+    S += strformat("br %%%u", I.Target0);
+    break;
+  case Opcode::CondBr:
+    S += strformat("cbr %s, %%%u, %%%u", R(I.Ops[0]).c_str(), I.Target0,
+                   I.Target1);
+    break;
+  case Opcode::Call:
+  case Opcode::Spawn: {
+    std::vector<std::string> Args;
+    for (Reg A : I.Ops)
+      Args.push_back(R(A));
+    S += strformat("%s = %s f%u(%s)", R(I.Dst).c_str(), opcodeName(I.Op),
+                   I.Callee, join(Args, ", ").c_str());
+    break;
+  }
+  case Opcode::Ret:
+    S += I.Ops.empty() ? "ret" : strformat("ret %s", R(I.Ops[0]).c_str());
+    break;
+  case Opcode::Self:
+    S += strformat("%s = self", R(I.Dst).c_str());
+    break;
+  case Opcode::Join:
+    S += strformat("join %s", R(I.Ops[0]).c_str());
+    break;
+  case Opcode::Lock:
+    S += strformat("lock [%s]", R(I.Ops[0]).c_str());
+    break;
+  case Opcode::Unlock:
+    S += strformat("unlock [%s]", R(I.Ops[0]).c_str());
+    break;
+  case Opcode::Assert:
+    S += strformat("assert %s", R(I.Ops[0]).c_str());
+    break;
+  case Opcode::Nop:
+    S += "nop";
+    break;
+  }
+  if (I.SrcLine != 0)
+    S += strformat("  ; line %u", I.SrcLine);
+  return S;
+}
+
+std::string ir::printFunction(const Function &F) {
+  std::string S =
+      strformat("func %s(%u params, %u regs) {\n", F.Name.c_str(),
+                F.NumParams, F.NumRegs);
+  for (const Instr &I : F.Body)
+    S += "  " + printInstr(I) + "\n";
+  S += "}\n";
+  return S;
+}
+
+std::string ir::printModule(const Module &M) {
+  std::string S;
+  for (size_t G = 0, E = M.Globals.size(); G != E; ++G) {
+    S += strformat("global @%zu %s[%u]", G, M.Globals[G].Name.c_str(),
+                   M.Globals[G].SizeWords);
+    if (!M.Globals[G].Init.empty()) {
+      std::vector<std::string> Vals;
+      for (Word V : M.Globals[G].Init)
+        Vals.push_back(std::to_string(static_cast<int64_t>(V)));
+      S += " = " + join(Vals, ",");
+    }
+    S += "\n";
+  }
+  for (const Function &F : M.Funcs)
+    S += printFunction(F);
+  return S;
+}

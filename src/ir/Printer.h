@@ -1,0 +1,23 @@
+//===- Printer.h - Textual dump of IR modules -------------------*- C++ -*-===//
+
+#ifndef DFENCE_IR_PRINTER_H
+#define DFENCE_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace dfence::ir {
+
+/// Renders one instruction as text (without trailing newline).
+std::string printInstr(const Instr &I);
+
+/// Renders a whole function.
+std::string printFunction(const Function &F);
+
+/// Renders a whole module (globals then functions).
+std::string printModule(const Module &M);
+
+} // namespace dfence::ir
+
+#endif // DFENCE_IR_PRINTER_H

@@ -1,0 +1,486 @@
+//===- Reader.cpp - Textual IR parser --------------------------------------===//
+
+#include "ir/Reader.h"
+
+#include "ir/Verifier.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+using namespace dfence;
+using namespace dfence::ir;
+
+namespace {
+
+/// Cursor over one line of IR text.
+class LineCursor {
+public:
+  explicit LineCursor(const std::string &Line) : S(Line) {}
+
+  void skipSpace() {
+    while (Pos < S.size() &&
+           std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool accept(const char *Tok) {
+    skipSpace();
+    size_t Len = std::strlen(Tok);
+    if (S.compare(Pos, Len, Tok) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  bool acceptWord(const char *Word) {
+    skipSpace();
+    size_t Len = std::strlen(Word);
+    if (S.compare(Pos, Len, Word) != 0)
+      return false;
+    char Next = Pos + Len < S.size() ? S[Pos + Len] : ' ';
+    if (std::isalnum(static_cast<unsigned char>(Next)) || Next == '_' ||
+        Next == '-')
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  bool parseInt(int64_t &Out) {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    size_t DigitsStart = Pos;
+    while (Pos < S.size() &&
+           std::isdigit(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+    if (Pos == DigitsStart) {
+      Pos = Start;
+      return false;
+    }
+    Out = std::stoll(S.substr(Start, Pos - Start));
+    return true;
+  }
+
+  bool parseUInt(uint64_t &Out) {
+    int64_t V;
+    if (!parseInt(V) || V < 0)
+      return false;
+    Out = static_cast<uint64_t>(V);
+    return true;
+  }
+
+  bool parseReg(Reg &Out) {
+    if (!accept("r"))
+      return false;
+    uint64_t V;
+    if (!parseUInt(V))
+      return false;
+    Out = static_cast<Reg>(V);
+    return true;
+  }
+
+  bool parseLabelRef(InstrId &Out) {
+    if (!accept("%"))
+      return false;
+    uint64_t V;
+    if (!parseUInt(V))
+      return false;
+    Out = static_cast<InstrId>(V);
+    return true;
+  }
+
+  bool parseIdent(std::string &Out) {
+    skipSpace();
+    Out.clear();
+    while (Pos < S.size() &&
+           (std::isalnum(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '_' || S[Pos] == '-'))
+      Out += S[Pos++];
+    return !Out.empty();
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= S.size();
+  }
+
+  size_t position() const { return Pos; }
+  void reset(size_t P) { Pos = P; }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+/// Stateful parser over all lines.
+class ModuleParser {
+public:
+  ModuleParser(const std::string &Text, std::string &Error)
+      : In(Text), Error(Error) {}
+
+  std::optional<Module> parse();
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = strformat("line %u: %s", LineNo, Msg.c_str());
+    return false;
+  }
+
+  bool parseGlobalLine(LineCursor &C);
+  bool parseFuncHeader(LineCursor &C);
+  bool parseInstrLine(LineCursor &C);
+  bool parseOperandsFor(Instr &I, LineCursor &C);
+  bool parseCallee(Instr &I, LineCursor &C);
+  bool finishFunction();
+
+  Module M;
+  std::istringstream In;
+  std::string &Error;
+  unsigned LineNo = 0;
+  // Current function being assembled.
+  bool InFunc = false;
+  Function F;
+  InstrId MaxId = 0;
+};
+
+bool ModuleParser::parseGlobalLine(LineCursor &C) {
+  uint64_t Idx;
+  if (!C.accept("@") || !C.parseUInt(Idx))
+    return fail("expected '@<index>' after 'global'");
+  GlobalVar G;
+  if (!C.parseIdent(G.Name))
+    return fail("expected global name");
+  uint64_t Size;
+  if (!C.accept("[") || !C.parseUInt(Size) || !C.accept("]"))
+    return fail("expected '[size]'");
+  G.SizeWords = static_cast<uint32_t>(Size);
+  if (C.accept("=")) {
+    int64_t V;
+    while (C.parseInt(V)) {
+      G.Init.push_back(static_cast<Word>(V));
+      if (!C.accept(","))
+        break;
+    }
+    if (G.Init.empty())
+      return fail("expected initializer values after '='");
+  }
+  if (Idx != M.Globals.size())
+    return fail("globals must appear in index order");
+  M.addGlobal(std::move(G));
+  return true;
+}
+
+bool ModuleParser::parseFuncHeader(LineCursor &C) {
+  if (InFunc)
+    return fail("nested function");
+  F = Function();
+  if (!C.parseIdent(F.Name))
+    return fail("expected function name");
+  uint64_t Params, Regs;
+  if (!C.accept("(") || !C.parseUInt(Params) ||
+      !C.accept("params,") || !C.parseUInt(Regs) ||
+      !C.accept("regs)") || !C.accept("{"))
+    return fail("malformed function header");
+  F.NumParams = static_cast<uint32_t>(Params);
+  F.NumRegs = static_cast<uint32_t>(Regs);
+  InFunc = true;
+  return true;
+}
+
+bool ModuleParser::parseOperandsFor(Instr &I, LineCursor &C) {
+  switch (I.Op) {
+  case Opcode::Store: {
+    Reg A, V;
+    if (!C.accept("[") || !C.parseReg(A) || !C.accept("]") ||
+        !C.accept(",") || !C.parseReg(V))
+      return fail("malformed store");
+    I.Ops = {A, V};
+    return true;
+  }
+  case Opcode::Fence: {
+    if (C.acceptWord("st-st"))
+      I.FK = FenceKind::StoreStore;
+    else if (C.acceptWord("st-ld"))
+      I.FK = FenceKind::StoreLoad;
+    else if (C.acceptWord("full"))
+      I.FK = FenceKind::Full;
+    else
+      return fail("malformed fence kind");
+    if (C.accept("(synth)"))
+      I.Synthesized = true;
+    return true;
+  }
+  case Opcode::Free:
+  case Opcode::Join:
+  case Opcode::Assert: {
+    Reg A;
+    if (!C.parseReg(A))
+      return fail("expected register operand");
+    I.Ops = {A};
+    return true;
+  }
+  case Opcode::Lock:
+  case Opcode::Unlock: {
+    Reg A;
+    if (!C.accept("[") || !C.parseReg(A) || !C.accept("]"))
+      return fail("malformed lock operand");
+    I.Ops = {A};
+    return true;
+  }
+  case Opcode::Br:
+    if (!C.parseLabelRef(I.Target0))
+      return fail("malformed branch target");
+    return true;
+  case Opcode::CondBr: {
+    Reg Cond;
+    if (!C.parseReg(Cond) || !C.accept(",") ||
+        !C.parseLabelRef(I.Target0) || !C.accept(",") ||
+        !C.parseLabelRef(I.Target1))
+      return fail("malformed cbr");
+    I.Ops = {Cond};
+    return true;
+  }
+  case Opcode::Ret: {
+    Reg V;
+    if (C.parseReg(V))
+      I.Ops = {V};
+    return true;
+  }
+  case Opcode::Nop:
+    return true;
+  default:
+    return fail("unsupported opcode in operand parser");
+  }
+}
+
+bool ModuleParser::parseCallee(Instr &I, LineCursor &C) {
+  uint64_t Callee;
+  if (!C.accept("f") || !C.parseUInt(Callee) || !C.accept("("))
+    return fail("malformed callee");
+  I.Callee = static_cast<FuncId>(Callee);
+  if (C.accept(")"))
+    return true;
+  while (true) {
+    Reg A;
+    if (!C.parseReg(A))
+      return fail("malformed call argument");
+    I.Ops.push_back(A);
+    if (C.accept(")"))
+      return true;
+    if (!C.accept(","))
+      return fail("expected ',' or ')' in call arguments");
+  }
+}
+
+bool ModuleParser::parseInstrLine(LineCursor &C) {
+  Instr I;
+  uint64_t Id;
+  if (!C.parseUInt(Id) || !C.accept(":"))
+    return fail("expected '%<id>:'");
+  I.Id = static_cast<InstrId>(Id);
+  MaxId = std::max(MaxId, I.Id);
+
+  // Destination-producing forms start with "rN = " (but not "rN ==",
+  // which cannot start an instruction anyway).
+  Reg Dst = 0;
+  bool HasDst = false;
+  {
+    size_t Save = C.position();
+    if (C.parseReg(Dst) && C.accept("=")) {
+      HasDst = true;
+    } else {
+      C.reset(Save);
+    }
+  }
+
+  if (HasDst) {
+    I.Dst = Dst;
+    if (C.acceptWord("const")) {
+      I.Op = Opcode::Const;
+      int64_t V;
+      if (!C.parseInt(V))
+        return fail("malformed const");
+      I.Imm = static_cast<Word>(V);
+    } else if (C.acceptWord("load")) {
+      I.Op = Opcode::Load;
+      Reg A;
+      if (!C.accept("[") || !C.parseReg(A) || !C.accept("]"))
+        return fail("malformed load");
+      I.Ops = {A};
+    } else if (C.acceptWord("cas")) {
+      I.Op = Opcode::Cas;
+      Reg A, E, D;
+      if (!C.accept("[") || !C.parseReg(A) || !C.accept("]") ||
+          !C.accept(",") || !C.parseReg(E) || !C.accept(",") ||
+          !C.parseReg(D))
+        return fail("malformed cas");
+      I.Ops = {A, E, D};
+    } else if (C.acceptWord("gaddr")) {
+      I.Op = Opcode::GlobalAddr;
+      uint64_t G;
+      if (!C.accept("@") || !C.parseUInt(G))
+        return fail("malformed gaddr");
+      I.GV = static_cast<GlobalId>(G);
+    } else if (C.acceptWord("alloc")) {
+      I.Op = Opcode::Alloc;
+      Reg A;
+      if (!C.parseReg(A))
+        return fail("malformed alloc");
+      I.Ops = {A};
+    } else if (C.acceptWord("self")) {
+      I.Op = Opcode::Self;
+    } else if (C.acceptWord("call")) {
+      I.Op = Opcode::Call;
+      if (!parseCallee(I, C))
+        return false;
+    } else if (C.acceptWord("spawn")) {
+      I.Op = Opcode::Spawn;
+      if (!parseCallee(I, C))
+        return false;
+    } else if (C.accept("!")) {
+      I.Op = Opcode::Not;
+      Reg A;
+      if (!C.parseReg(A))
+        return fail("malformed not");
+      I.Ops = {A};
+    } else {
+      // Move or binop: "rA" or "rA <op> rB".
+      Reg A;
+      if (!C.parseReg(A))
+        return fail("malformed value instruction");
+      static const struct {
+        const char *Spelling;
+        BinOpKind Kind;
+      } Ops[] = {
+          // Two-char operators first so '<' does not shadow "<<".
+          {"==", BinOpKind::Eq}, {"!=", BinOpKind::Ne},
+          {"<=", BinOpKind::Le}, {">=", BinOpKind::Ge},
+          {"<<", BinOpKind::Shl}, {">>", BinOpKind::Shr},
+          {"+", BinOpKind::Add}, {"-", BinOpKind::Sub},
+          {"*", BinOpKind::Mul}, {"/", BinOpKind::Div},
+          {"%", BinOpKind::Rem}, {"<", BinOpKind::Lt},
+          {">", BinOpKind::Gt}, {"&", BinOpKind::And},
+          {"|", BinOpKind::Or}, {"^", BinOpKind::Xor},
+      };
+      bool Found = false;
+      for (const auto &Entry : Ops) {
+        if (C.accept(Entry.Spelling)) {
+          Reg B;
+          if (!C.parseReg(B))
+            return fail("malformed binop");
+          I.Op = Opcode::BinOp;
+          I.BK = Entry.Kind;
+          I.Ops = {A, B};
+          Found = true;
+          break;
+        }
+      }
+      if (!Found) {
+        I.Op = Opcode::Move;
+        I.Ops = {A};
+      }
+    }
+  } else {
+    // Opcode-first forms.
+    if (C.acceptWord("store"))
+      I.Op = Opcode::Store;
+    else if (C.acceptWord("fence"))
+      I.Op = Opcode::Fence;
+    else if (C.acceptWord("free"))
+      I.Op = Opcode::Free;
+    else if (C.acceptWord("br"))
+      I.Op = Opcode::Br;
+    else if (C.acceptWord("cbr"))
+      I.Op = Opcode::CondBr;
+    else if (C.acceptWord("ret"))
+      I.Op = Opcode::Ret;
+    else if (C.acceptWord("join"))
+      I.Op = Opcode::Join;
+    else if (C.acceptWord("lock"))
+      I.Op = Opcode::Lock;
+    else if (C.acceptWord("unlock"))
+      I.Op = Opcode::Unlock;
+    else if (C.acceptWord("assert"))
+      I.Op = Opcode::Assert;
+    else if (C.acceptWord("nop"))
+      I.Op = Opcode::Nop;
+    else
+      return fail("unknown instruction");
+    if (!parseOperandsFor(I, C))
+      return false;
+  }
+
+  // Optional trailing "; line N" comment.
+  if (C.accept(";")) {
+    if (C.accept("line")) {
+      uint64_t Line;
+      if (C.parseUInt(Line))
+        I.SrcLine = static_cast<uint32_t>(Line);
+    }
+  }
+  F.Body.push_back(std::move(I));
+  return true;
+}
+
+bool ModuleParser::finishFunction() {
+  if (!InFunc)
+    return fail("'}' outside of a function");
+  InFunc = false;
+  F.buildIndex();
+  M.addFunction(std::move(F));
+  return true;
+}
+
+std::optional<Module> ModuleParser::parse() {
+  std::string Line;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    LineCursor C(Line);
+    if (C.atEnd())
+      continue;
+    if (C.acceptWord("global")) {
+      if (!parseGlobalLine(C))
+        return std::nullopt;
+    } else if (C.acceptWord("func")) {
+      if (!parseFuncHeader(C))
+        return std::nullopt;
+    } else if (C.accept("}")) {
+      if (!finishFunction())
+        return std::nullopt;
+    } else if (C.accept("%")) {
+      if (!InFunc) {
+        fail("instruction outside of a function");
+        return std::nullopt;
+      }
+      if (!parseInstrLine(C))
+        return std::nullopt;
+    } else {
+      fail("unrecognized line");
+      return std::nullopt;
+    }
+  }
+  if (InFunc) {
+    fail("unterminated function");
+    return std::nullopt;
+  }
+  M.reserveInstrIdsThrough(MaxId);
+  std::vector<std::string> Problems = verifyModule(M);
+  if (!Problems.empty()) {
+    Error = "parsed module failed verification: " + Problems.front();
+    return std::nullopt;
+  }
+  return std::move(M);
+}
+
+} // namespace
+
+std::optional<Module> ir::parseModule(const std::string &Text,
+                                      std::string &Error) {
+  Error.clear();
+  ModuleParser P(Text, Error);
+  return P.parse();
+}

@@ -1,0 +1,26 @@
+//===- Reader.h - Parsing the textual IR form -------------------*- C++ -*-===//
+//
+// Parses the format produced by Printer.h back into a Module, enabling
+// save/load of (fenced) programs and printer/reader round-trip testing.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_IR_READER_H
+#define DFENCE_IR_READER_H
+
+#include "ir/Module.h"
+
+#include <optional>
+#include <string>
+
+namespace dfence::ir {
+
+/// Parses a module from its textual form. Returns nullopt on malformed
+/// input, with \p Error describing the first problem. The result is
+/// verified before being returned.
+std::optional<Module> parseModule(const std::string &Text,
+                                  std::string &Error);
+
+} // namespace dfence::ir
+
+#endif // DFENCE_IR_READER_H

@@ -1,0 +1,53 @@
+//===- Verifier.cpp -------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "support/StringUtils.h"
+
+#include <unordered_set>
+
+using namespace dfence;
+using namespace dfence::ir;
+
+std::vector<std::string> ir::verifyModule(const Module &M) {
+  std::vector<std::string> Problems;
+  auto Bad = [&](const Function &F, const Instr &I, const char *Why) {
+    Problems.push_back(
+        strformat("%s: %%%u: %s", F.Name.c_str(), I.Id, Why));
+  };
+
+  std::unordered_set<InstrId> AllLabels;
+  for (const Function &F : M.Funcs) {
+    if (F.Body.empty()) {
+      Problems.push_back(F.Name + ": empty body");
+      continue;
+    }
+    if (!F.Body.back().isTerminator())
+      Problems.push_back(F.Name + ": body does not end in a terminator");
+    for (const Instr &I : F.Body) {
+      if (!AllLabels.insert(I.Id).second)
+        Bad(F, I, "duplicate label across module");
+      for (Reg R : I.Ops)
+        if (R >= F.NumRegs)
+          Bad(F, I, "operand register out of range");
+      if (I.producesValue() && I.Dst >= F.NumRegs)
+        Bad(F, I, "destination register out of range");
+      if (I.Op == Opcode::Br || I.Op == Opcode::CondBr) {
+        if (!F.containsLabel(I.Target0))
+          Bad(F, I, "branch target 0 not in function");
+        if (I.Op == Opcode::CondBr && !F.containsLabel(I.Target1))
+          Bad(F, I, "branch target 1 not in function");
+      }
+      if (I.Op == Opcode::Call || I.Op == Opcode::Spawn) {
+        if (I.Callee >= M.Funcs.size()) {
+          Bad(F, I, "callee id out of range");
+        } else if (M.Funcs[I.Callee].NumParams != I.Ops.size()) {
+          Bad(F, I, "call arity mismatch");
+        }
+      }
+      if (I.Op == Opcode::GlobalAddr && I.GV >= M.Globals.size())
+        Bad(F, I, "global id out of range");
+    }
+  }
+  return Problems;
+}

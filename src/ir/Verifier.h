@@ -1,0 +1,21 @@
+//===- Verifier.h - Structural well-formedness checks ----------*- C++ -*-===//
+
+#ifndef DFENCE_IR_VERIFIER_H
+#define DFENCE_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace dfence::ir {
+
+/// Checks structural invariants of \p M: register indices in range, branch
+/// targets resolve within the same function, callee ids valid, terminators
+/// end each function, labels unique. Returns a list of human-readable
+/// problems; empty means the module is well-formed.
+std::vector<std::string> verifyModule(const Module &M);
+
+} // namespace dfence::ir
+
+#endif // DFENCE_IR_VERIFIER_H

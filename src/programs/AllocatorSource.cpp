@@ -1,0 +1,187 @@
+//===- AllocatorSource.cpp - Michael's lock-free allocator (PLDI'04) ------===//
+//
+// A faithful-in-structure reduction of Michael's scalable lock-free
+// allocator: superblocks carved into fixed-size blocks, descriptors with a
+// packed CAS-able anchor (avail index, free count, ABA tag), a Treiber
+// stack of retired descriptors (DescAlloc/DescRetire), and an Active
+// descriptor installed by MallocFromNewSB. Block layout:
+//
+//   word 0: next-free block index inside the superblock (free-list link)
+//   word 1: owning descriptor pointer
+//   words 2..3: user area
+//
+// The public operations are alloc()/release(p) (the paper's malloc/free —
+// renamed because malloc/free are MiniC builtins). All the fence sites the
+// paper reports live here: MallocFromNewSB's carving stores vs. the CAS
+// that publishes the descriptor, DescAlloc/DescRetire's Treiber push, and
+// release()'s free-list link store vs. the anchor CAS (the extra fence the
+// paper finds only under SC/linearizability).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Benchmark.h"
+
+using namespace dfence;
+using namespace dfence::programs;
+
+const std::string &programs::michaelAllocatorSource() {
+  static const std::string Src = R"(
+const EMPTY = -1;
+const NBLOCKS = 8;
+const BLOCKSZ = 4;
+const CNTMUL = 1024;
+const TAGMUL = 1048576;
+
+global int Active = 0;
+global int DescHead = 0;
+
+struct Desc {
+  int d_next;
+  int d_sb;
+  int d_anchor;
+}
+
+int DescAlloc() {
+  while (1) {
+    int d = DescHead;
+    if (d == 0) {
+      int nd = malloc(sizeof(Desc));
+      nd->d_next = 0;
+      nd->d_sb = 0;
+      nd->d_anchor = 0;
+      return nd;
+    }
+    int next = d->d_next;
+    if (cas(&DescHead, d, next)) {
+      return d;
+    }
+  }
+  return 0;
+}
+
+int DescRetire(int d) {
+  while (1) {
+    int h = DescHead;
+    d->d_next = h;
+    if (cas(&DescHead, h, d)) {
+      return 0;
+    }
+  }
+  return 0;
+}
+
+int MallocFromNewSB() {
+  int sb = malloc(NBLOCKS * BLOCKSZ);
+  int d = DescAlloc();
+  d->d_sb = sb;
+  int i = 0;
+  while (i < NBLOCKS) {
+    int b = sb + i * BLOCKSZ;
+    b[0] = i + 1;
+    b[1] = d;
+    i = i + 1;
+  }
+  d->d_anchor = 1 + (NBLOCKS - 1) * CNTMUL;
+  if (cas(&Active, 0, d)) {
+    return sb;
+  }
+  DescRetire(d);
+  free(sb);
+  return 0;
+}
+
+int alloc() {
+  while (1) {
+    int d = Active;
+    if (d == 0) {
+      int r = MallocFromNewSB();
+      if (r != 0) {
+        return r;
+      }
+      continue;
+    }
+    int a = d->d_anchor;
+    int avail = a % CNTMUL;
+    int count = (a / CNTMUL) % CNTMUL;
+    int tag = a / TAGMUL;
+    if (count == 0) {
+      cas(&Active, d, 0);
+      continue;
+    }
+    int sb = d->d_sb;
+    int b = sb + avail * BLOCKSZ;
+    int nextav = b[0];
+    if (cas(&(d->d_anchor), a,
+            nextav + (count - 1) * CNTMUL + (tag + 1) * TAGMUL)) {
+      return b;
+    }
+  }
+  return 0;
+}
+
+int release(int p) {
+  int d = p[1];
+  int sb = d->d_sb;
+  int idx = (p - sb) / BLOCKSZ;
+  while (1) {
+    int a = d->d_anchor;
+    int count = (a / CNTMUL) % CNTMUL;
+    int tag = a / TAGMUL;
+    int avail = a % CNTMUL;
+    p[0] = avail;
+    if (cas(&(d->d_anchor), a,
+            idx + (count + 1) * CNTMUL + (tag + 1) * TAGMUL)) {
+      return 0;
+    }
+  }
+  return 0;
+}
+)";
+  return Src;
+}
+
+std::vector<vm::Client> programs::allocatorClients() {
+  using vm::Arg;
+  using vm::Client;
+  using vm::MethodCall;
+  using vm::ThreadScript;
+  auto Call = [](const char *F, std::vector<Arg> A = {}) {
+    MethodCall MC;
+    MC.Func = F;
+    MC.Args = std::move(A);
+    return MC;
+  };
+
+  // The paper's allocator client: mmmfff | mfmf, where each free releases
+  // the oldest pointer previously allocated by the same thread.
+  std::vector<Client> Clients;
+  {
+    Client C;
+    C.Name = "mmmfff-mfmf";
+    ThreadScript T0;
+    T0.Calls = {Call("alloc"),
+                Call("alloc"),
+                Call("alloc"),
+                Call("release", {Arg::resultOf(0)}),
+                Call("release", {Arg::resultOf(1)}),
+                Call("release", {Arg::resultOf(2)})};
+    ThreadScript T1;
+    T1.Calls = {Call("alloc"), Call("release", {Arg::resultOf(0)}),
+                Call("alloc"), Call("release", {Arg::resultOf(2)})};
+    C.Threads = {T0, T1};
+    Clients.push_back(std::move(C));
+  }
+  {
+    Client C;
+    C.Name = "alloc-churn";
+    ThreadScript T0;
+    T0.Calls = {Call("alloc"), Call("release", {Arg::resultOf(0)}),
+                Call("alloc"), Call("release", {Arg::resultOf(2)})};
+    ThreadScript T1;
+    T1.Calls = {Call("alloc"), Call("release", {Arg::resultOf(0)}),
+                Call("alloc"), Call("release", {Arg::resultOf(2)})};
+    C.Threads = {T0, T1};
+    Clients.push_back(std::move(C));
+  }
+  return Clients;
+}

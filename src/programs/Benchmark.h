@@ -1,0 +1,86 @@
+//===- Benchmark.h - The paper's benchmark suite (Table 2) ------*- C++ -*-===//
+//
+// Thirteen concurrent C algorithms, rewritten in MiniC: five work-stealing
+// queues, three idempotent work-stealing queues, two queues, two sets, and
+// Michael's lock-free memory allocator. Each benchmark bundles its source,
+// its sequential specification (when SC/linearizability checking applies),
+// and the concurrent clients used to exercise it.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_PROGRAMS_BENCHMARK_H
+#define DFENCE_PROGRAMS_BENCHMARK_H
+
+#include "spec/Spec.h"
+#include "vm/Client.h"
+
+#include <string>
+#include <vector>
+
+namespace dfence::programs {
+
+/// One benchmark of Table 2.
+struct Benchmark {
+  std::string Name;        ///< As in the paper's Table 2.
+  std::string Description; ///< One-line summary.
+  std::string Source;      ///< MiniC source text.
+  std::string InitFunc;    ///< Init function name, "" when none.
+  /// Sequential specification for SC/linearizability; null when the
+  /// benchmark is only analyzed under safety specs (the iWSQs, for which
+  /// the paper leaves SC/linearizability as future work).
+  spec::SpecFactory Factory;
+  /// True for the idempotent WSQs: check "no garbage tasks" instead of
+  /// SC/linearizability.
+  bool UseNoGarbage = false;
+  std::vector<vm::Client> Clients;
+};
+
+/// The full suite, in Table 2 order.
+const std::vector<Benchmark> &allBenchmarks();
+
+/// The extended suite beyond Table 2 (the paper's "wider set of
+/// concurrent C programs" future work): Peterson's lock, Treiber's
+/// stack, Lamport's SPSC ring, and the full Chase-Lev deque with
+/// expand().
+const std::vector<Benchmark> &extendedBenchmarks();
+
+/// Looks up a benchmark by name in both suites; aborts when unknown.
+const Benchmark &benchmarkByName(const std::string &Name);
+
+// Raw MiniC sources (one accessor per algorithm) — exposed for tests and
+// examples that want to compile/inspect individual algorithms.
+const std::string &chaseLevSource();
+/// The complete Chase-Lev deque with a circular buffer and the expand()
+/// growth path (the paper's implementation consumed the full C code but
+/// excluded expand's fences from its Table-3 numbers).
+const std::string &chaseLevFullSource();
+const std::string &cilkTheSource();
+const std::string &lifoIwsqSource();
+const std::string &fifoIwsqSource();
+const std::string &anchorIwsqSource();
+const std::string &lifoWsqSource();
+const std::string &fifoWsqSource();
+const std::string &anchorWsqSource();
+const std::string &ms2QueueSource();
+const std::string &msnQueueSource();
+const std::string &lazyListSource();
+const std::string &harrisSetSource();
+const std::string &michaelAllocatorSource();
+const std::string &petersonLockSource();
+const std::string &treiberStackSource();
+const std::string &lamportRingSource();
+
+// Client families shared by the queue-like benchmarks.
+std::vector<vm::Client> wsqClients();
+/// The paper's §6.6 future-work client for the Chase-Lev queue: tasks
+/// are heap pointers freed right after extraction, so duplicate
+/// extraction trips the memory-safety checker as a double free. Only
+/// meaningful under the memory-safety specification.
+std::vector<vm::Client> wsqPointerClients();
+std::vector<vm::Client> queueClients();
+std::vector<vm::Client> setClients();
+std::vector<vm::Client> allocatorClients();
+
+} // namespace dfence::programs
+
+#endif // DFENCE_PROGRAMS_BENCHMARK_H

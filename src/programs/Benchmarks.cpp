@@ -1,0 +1,94 @@
+//===- Benchmarks.cpp - Registry of the 13 Table-2 algorithms -------------===//
+
+#include "programs/Benchmark.h"
+
+#include "spec/Specs.h"
+#include "support/Diagnostics.h"
+
+using namespace dfence;
+using namespace dfence::programs;
+using spec::DequeEnd;
+
+const std::vector<Benchmark> &programs::allBenchmarks() {
+  static const std::vector<Benchmark> Suite = [] {
+    std::vector<Benchmark> B;
+
+    auto Add = [&](std::string Name, std::string Desc,
+                   const std::string &Src, std::string Init,
+                   spec::SpecFactory Factory, bool NoGarbage,
+                   std::vector<vm::Client> Clients) {
+      Benchmark BM;
+      BM.Name = std::move(Name);
+      BM.Description = std::move(Desc);
+      BM.Source = Src;
+      BM.InitFunc = std::move(Init);
+      BM.Factory = std::move(Factory);
+      BM.UseNoGarbage = NoGarbage;
+      for (vm::Client &C : Clients)
+        if (C.InitFunc.empty())
+          C.InitFunc = BM.InitFunc;
+      BM.Clients = std::move(Clients);
+      B.push_back(std::move(BM));
+    };
+
+    Add("Chase-Lev WSQ",
+        "put/take at the tail, steal at the head; take and steal use CAS",
+        chaseLevSource(), "",
+        spec::WsqSpec::factory(DequeEnd::Tail, DequeEnd::Head), false,
+        wsqClients());
+    Add("Cilk THE WSQ",
+        "Cilk-5 runtime deque; take and steal use a lock on conflict",
+        cilkTheSource(), "",
+        spec::WsqSpec::factory(DequeEnd::Tail, DequeEnd::Head), false,
+        wsqClients());
+    Add("FIFO iWSQ",
+        "idempotent FIFO queue; only steal uses CAS", fifoIwsqSource(),
+        "", nullptr, /*NoGarbage=*/true, wsqClients());
+    Add("LIFO iWSQ",
+        "idempotent LIFO stack with (tail,tag) anchor; only steal CASes",
+        lifoIwsqSource(), "", nullptr, /*NoGarbage=*/true, wsqClients());
+    Add("Anchor iWSQ",
+        "idempotent deque with (head,size,tag) anchor; only steal CASes",
+        anchorIwsqSource(), "", nullptr, /*NoGarbage=*/true, wsqClients());
+    Add("FIFO WSQ", "FIFO iWSQ with take also using CAS on the head",
+        fifoWsqSource(), "",
+        spec::WsqSpec::factory(DequeEnd::Head, DequeEnd::Head), false,
+        wsqClients());
+    Add("LIFO WSQ", "LIFO iWSQ with all operations using CAS",
+        lifoWsqSource(), "",
+        spec::WsqSpec::factory(DequeEnd::Tail, DequeEnd::Tail), false,
+        wsqClients());
+    Add("Anchor WSQ", "Anchor iWSQ with all operations using CAS",
+        anchorWsqSource(), "",
+        spec::WsqSpec::factory(DequeEnd::Tail, DequeEnd::Head), false,
+        wsqClients());
+    Add("MS2 Queue", "Michael-Scott two-lock queue", ms2QueueSource(),
+        "init", spec::QueueSpec::factory(), false, queueClients());
+    Add("MSN Queue", "Michael-Scott non-blocking (CAS) queue",
+        msnQueueSource(), "init", spec::QueueSpec::factory(), false,
+        queueClients());
+    Add("LazyList Set", "lazy sorted list set with per-node locks",
+        lazyListSource(), "init", spec::SetSpec::factory(), false,
+        setClients());
+    Add("Harris Set", "Harris CAS-based sorted list set",
+        harrisSetSource(), "init", spec::SetSpec::factory(), false,
+        setClients());
+    Add("Michael Allocator",
+        "lock-free memory allocator (superblocks + descriptors)",
+        michaelAllocatorSource(), "", spec::AllocatorSpec::factory(),
+        false, allocatorClients());
+
+    return B;
+  }();
+  return Suite;
+}
+
+const Benchmark &programs::benchmarkByName(const std::string &Name) {
+  for (const Benchmark &B : allBenchmarks())
+    if (B.Name == Name)
+      return B;
+  for (const Benchmark &B : extendedBenchmarks())
+    if (B.Name == Name)
+      return B;
+  reportFatalError("unknown benchmark: " + Name);
+}

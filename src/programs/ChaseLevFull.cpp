@@ -1,0 +1,111 @@
+//===- ChaseLevFull.cpp - Chase-Lev with circular buffer + expand ---------===//
+//
+// The complete dynamic circular work-stealing deque of Chase & Lev
+// (SPAA'05): the task array is a heap-allocated circular buffer addressed
+// modulo its size; when put finds the deque full it expands by copying
+// into a buffer twice as large and republishing the buffer pointer. The
+// simplified version used in the main Table-3 runs (chaseLevSource)
+// matches the paper's Fig. 1, which also omits expand.
+//
+// Buffer layout: [0] = capacity, [1..capacity] = slots.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Benchmark.h"
+
+using namespace dfence;
+using namespace dfence::programs;
+
+const std::string &programs::chaseLevFullSource() {
+  static const std::string Src = R"(
+const EMPTY = -1;
+global int H = 0;
+global int T = 0;
+global int BUF = 0;
+
+int init() {
+  int b = malloc(5);
+  b[0] = 4;
+  BUF = b;
+  return 0;
+}
+
+int bufget(int b, int i) {
+  int cap = b[0];
+  return b[1 + (i % cap)];
+}
+
+int bufput(int b, int i, int task) {
+  int cap = b[0];
+  b[1 + (i % cap)] = task;
+  return 0;
+}
+
+int expand(int b, int h, int t) {
+  int cap = b[0];
+  int nb = malloc(2 * cap + 1);
+  nb[0] = 2 * cap;
+  int i = h;
+  while (i < t) {
+    bufput(nb, i, bufget(b, i));
+    i = i + 1;
+  }
+  BUF = nb;
+  return nb;
+}
+
+int put(int task) {
+  int t = T;
+  int h = H;
+  int b = BUF;
+  int cap = b[0];
+  if (t - h >= cap) {
+    b = expand(b, h, t);
+  }
+  bufput(b, t, task);
+  T = t + 1;
+  return 0;
+}
+
+int take() {
+  while (1) {
+    int t = T - 1;
+    T = t;
+    int h = H;
+    if (t < h) {
+      T = h;
+      return EMPTY;
+    }
+    int b = BUF;
+    int task = bufget(b, t);
+    if (t > h) {
+      return task;
+    }
+    T = h + 1;
+    if (!cas(&H, h, h + 1)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+int steal() {
+  while (1) {
+    int h = H;
+    int t = T;
+    if (h >= t) {
+      return EMPTY;
+    }
+    int b = BUF;
+    int task = bufget(b, h);
+    if (!cas(&H, h, h + 1)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+)";
+  return Src;
+}

@@ -1,0 +1,215 @@
+//===- ExtendedSources.cpp - Beyond Table 2 (the paper's future work) -----===//
+//
+// The paper closes with "we also plan to evaluate our tool on a wider
+// set of concurrent C programs". This extended suite adds three classics
+// with well-known fence requirements, plus the full Chase-Lev deque:
+//
+//   * Peterson's mutual-exclusion lock — THE textbook store-load fence:
+//     on TSO the flag store is buffered while the other thread's flag is
+//     read, letting both threads into the critical section.
+//   * Treiber's lock-free stack — push publishes a half-initialized node
+//     through a CAS; needs a store-store fence on PSO.
+//   * Lamport's single-producer/single-consumer ring buffer — the
+//     element store and the tail publication reorder on PSO.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Benchmark.h"
+
+#include "spec/Specs.h"
+
+using namespace dfence;
+using namespace dfence::programs;
+
+const std::string &programs::petersonLockSource() {
+  static const std::string Src = R"(
+global int flag0 = 0;
+global int flag1 = 0;
+global int turn = 0;
+global int COUNT = 0;
+
+int inc(int me) {
+  if (me == 0) {
+    flag0 = 1;
+    turn = 1;
+    while (flag1 == 1 && turn == 1) { }
+  } else {
+    flag1 = 1;
+    turn = 0;
+    while (flag0 == 1 && turn == 0) { }
+  }
+  int v = COUNT;
+  COUNT = v + 1;
+  int r = v + 1;
+  if (me == 0) {
+    flag0 = 0;
+  } else {
+    flag1 = 0;
+  }
+  return r;
+}
+)";
+  return Src;
+}
+
+const std::string &programs::treiberStackSource() {
+  static const std::string Src = R"(
+const EMPTY = -1;
+global int Top = 0;
+
+struct TNode {
+  int t_val;
+  int t_next;
+}
+
+int push(int v) {
+  int node = malloc(sizeof(TNode));
+  node->t_val = v;
+  while (1) {
+    int h = Top;
+    node->t_next = h;
+    if (cas(&Top, h, node)) {
+      return 0;
+    }
+  }
+  return 0;
+}
+
+int pop() {
+  while (1) {
+    int h = Top;
+    if (h == 0) {
+      return EMPTY;
+    }
+    int next = h->t_next;
+    if (cas(&Top, h, next)) {
+      return h->t_val;
+    }
+  }
+  return EMPTY;
+}
+)";
+  return Src;
+}
+
+const std::string &programs::lamportRingSource() {
+  static const std::string Src = R"(
+const EMPTY = -1;
+const SIZE = 16;
+global int RH = 0;
+global int RT = 0;
+global int ring[16];
+
+int enqueue(int v) {
+  int t = RT;
+  ring[t % SIZE] = v;
+  RT = t + 1;
+  return 0;
+}
+
+int dequeue() {
+  int h = RH;
+  int t = RT;
+  if (h == t) {
+    return EMPTY;
+  }
+  int v = ring[h % SIZE];
+  RH = h + 1;
+  return v;
+}
+)";
+  return Src;
+}
+
+const std::vector<Benchmark> &programs::extendedBenchmarks() {
+  static const std::vector<Benchmark> Suite = [] {
+    using vm::Client;
+    using vm::MethodCall;
+    using vm::ThreadScript;
+    auto Call = [](const char *F, std::vector<vm::Arg> A = {}) {
+      MethodCall MC;
+      MC.Func = F;
+      MC.Args = std::move(A);
+      return MC;
+    };
+
+    std::vector<Benchmark> B;
+
+    {
+      Benchmark BM;
+      BM.Name = "Peterson Lock";
+      BM.Description =
+          "Peterson's 2-thread mutual exclusion guarding a counter";
+      BM.Source = petersonLockSource();
+      BM.Factory = spec::CounterSpec::factory();
+      Client C;
+      C.Name = "two-contenders";
+      ThreadScript T0, T1;
+      T0.Calls = {Call("inc", {0}), Call("inc", {0}), Call("inc", {0})};
+      T1.Calls = {Call("inc", {1}), Call("inc", {1}), Call("inc", {1})};
+      C.Threads = {T0, T1};
+      BM.Clients = {C};
+      B.push_back(std::move(BM));
+    }
+
+    {
+      Benchmark BM;
+      BM.Name = "Treiber Stack";
+      BM.Description = "lock-free stack; push/pop CAS the top pointer";
+      BM.Source = treiberStackSource();
+      BM.Factory = spec::StackSpec::factory();
+      Client C1;
+      C1.Name = "push-pop-race";
+      ThreadScript T0, T1;
+      T0.Calls = {Call("push", {1}), Call("push", {2}), Call("pop"),
+                  Call("pop")};
+      T1.Calls = {Call("push", {3}), Call("pop"), Call("pop")};
+      C1.Threads = {T0, T1};
+      Client C2;
+      C2.Name = "producer-consumer";
+      ThreadScript P, Q;
+      P.Calls = {Call("push", {5}), Call("push", {6}), Call("push", {7})};
+      Q.Calls = {Call("pop"), Call("pop"), Call("pop"), Call("pop")};
+      C2.Threads = {P, Q};
+      BM.Clients = {C1, C2};
+      B.push_back(std::move(BM));
+    }
+
+    {
+      Benchmark BM;
+      BM.Name = "Lamport Ring";
+      BM.Description =
+          "single-producer/single-consumer circular buffer";
+      BM.Source = lamportRingSource();
+      BM.Factory = spec::QueueSpec::factory();
+      Client C;
+      C.Name = "spsc";
+      ThreadScript P, Q;
+      P.Calls = {Call("enqueue", {1}), Call("enqueue", {2}),
+                 Call("enqueue", {3})};
+      Q.Calls = {Call("dequeue"), Call("dequeue"), Call("dequeue"),
+                 Call("dequeue")};
+      C.Threads = {P, Q};
+      BM.Clients = {C};
+      B.push_back(std::move(BM));
+    }
+
+    {
+      Benchmark BM;
+      BM.Name = "Chase-Lev Full";
+      BM.Description =
+          "complete Chase-Lev deque: circular buffer + expand()";
+      BM.Source = chaseLevFullSource();
+      BM.InitFunc = "init";
+      BM.Factory = spec::WsqSpec::factory();
+      for (Client C : wsqClients()) {
+        C.InitFunc = "init";
+        BM.Clients.push_back(std::move(C));
+      }
+      B.push_back(std::move(BM));
+    }
+
+    return B;
+  }();
+  return Suite;
+}

@@ -1,0 +1,163 @@
+//===- IwsqSources.cpp - Idempotent work-stealing queues ------------------===//
+//
+// The three idempotent WSQs of Michael, Vechev & Saraswat (PPoPP'09). The
+// owner's operations use plain stores only (no CAS, no store-load fences
+// by design); thieves synchronize with a single CAS. Idempotence means a
+// task may be extracted more than once, so these are checked against the
+// "no garbage tasks" safety property rather than SC/linearizability
+// (matching the paper, which leaves their SC/lin specs as future work).
+//
+// LIFO and Anchor variants pack (tail, tag) into a single "anchor" word
+// (tag defeats ABA on the thieves' CAS).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Benchmark.h"
+
+using namespace dfence;
+using namespace dfence::programs;
+
+const std::string &programs::lifoIwsqSource() {
+  static const std::string Src = R"(
+const EMPTY = -1;
+const TAGMUL = 1048576;
+global int A = 0;
+global int tasks[64];
+
+int put(int task) {
+  int a = A;
+  int t = a % TAGMUL;
+  int g = a / TAGMUL;
+  tasks[t] = task;
+  A = (t + 1) + (g + 1) * TAGMUL;
+  return 0;
+}
+
+int take() {
+  int a = A;
+  int t = a % TAGMUL;
+  int g = a / TAGMUL;
+  if (t == 0) {
+    return EMPTY;
+  }
+  int task = tasks[t - 1];
+  A = (t - 1) + g * TAGMUL;
+  return task;
+}
+
+int steal() {
+  while (1) {
+    int a = A;
+    int t = a % TAGMUL;
+    int g = a / TAGMUL;
+    if (t == 0) {
+      return EMPTY;
+    }
+    int task = tasks[t - 1];
+    if (cas(&A, a, (t - 1) + g * TAGMUL)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+)";
+  return Src;
+}
+
+const std::string &programs::fifoIwsqSource() {
+  static const std::string Src = R"(
+const EMPTY = -1;
+const SIZE = 64;
+global int H = 0;
+global int T = 0;
+global int tasks[64];
+
+int put(int task) {
+  int t = T;
+  tasks[t % SIZE] = task;
+  T = t + 1;
+  return 0;
+}
+
+int take() {
+  int h = H;
+  int t = T;
+  if (h == t) {
+    return EMPTY;
+  }
+  int task = tasks[h % SIZE];
+  H = h + 1;
+  return task;
+}
+
+int steal() {
+  while (1) {
+    int h = H;
+    int t = T;
+    if (h == t) {
+      return EMPTY;
+    }
+    int task = tasks[h % SIZE];
+    if (cas(&H, h, h + 1)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+)";
+  return Src;
+}
+
+const std::string &programs::anchorIwsqSource() {
+  // The anchor-based deque of PPoPP'09 Fig. 3: the anchor word packs
+  // (head, size, tag); the owner updates it with plain stores, thieves
+  // CAS it. take pops the tail, steal pops the head.
+  static const std::string Src = R"(
+const EMPTY = -1;
+const CNTMUL = 1024;
+const TAGMUL = 1048576;
+global int A = 0;
+global int tasks[64];
+
+int put(int task) {
+  int a = A;
+  int h = a % CNTMUL;
+  int sz = (a / CNTMUL) % CNTMUL;
+  int g = a / TAGMUL;
+  tasks[h + sz] = task;
+  A = h + (sz + 1) * CNTMUL + (g + 1) * TAGMUL;
+  return 0;
+}
+
+int take() {
+  int a = A;
+  int h = a % CNTMUL;
+  int sz = (a / CNTMUL) % CNTMUL;
+  int g = a / TAGMUL;
+  if (sz == 0) {
+    return EMPTY;
+  }
+  int task = tasks[h + sz - 1];
+  A = h + (sz - 1) * CNTMUL + g * TAGMUL;
+  return task;
+}
+
+int steal() {
+  while (1) {
+    int a = A;
+    int h = a % CNTMUL;
+    int sz = (a / CNTMUL) % CNTMUL;
+    int g = a / TAGMUL;
+    if (sz == 0) {
+      return EMPTY;
+    }
+    int task = tasks[h];
+    if (cas(&A, a, (h + 1) + (sz - 1) * CNTMUL + (g + 1) * TAGMUL)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+)";
+  return Src;
+}

@@ -1,0 +1,169 @@
+//===- QueueSources.cpp - Michael & Scott queues (PODC'96) ----------------===//
+//
+// MS2: the two-lock queue (head lock + tail lock, fully-fenced spin
+// locks); MSN: the non-blocking CAS-based queue. Both use a linked list
+// with a dummy head node created by init().
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Benchmark.h"
+
+using namespace dfence;
+using namespace dfence::programs;
+
+const std::string &programs::ms2QueueSource() {
+  static const std::string Src = R"(
+const EMPTY = -1;
+global int QHead = 0;
+global int QTail = 0;
+global int HL = 0;
+global int TL = 0;
+
+struct QNode {
+  int q_val;
+  int q_next;
+}
+
+int init() {
+  int n = malloc(sizeof(QNode));
+  n->q_val = 0;
+  n->q_next = 0;
+  QHead = n;
+  QTail = n;
+  return 0;
+}
+
+int enqueue(int v) {
+  int node = malloc(sizeof(QNode));
+  node->q_val = v;
+  node->q_next = 0;
+  lock(&TL);
+  int t = QTail;
+  t->q_next = node;
+  QTail = node;
+  unlock(&TL);
+  return 0;
+}
+
+int dequeue() {
+  lock(&HL);
+  int h = QHead;
+  int next = h->q_next;
+  if (next == 0) {
+    unlock(&HL);
+    return EMPTY;
+  }
+  int v = next->q_val;
+  QHead = next;
+  unlock(&HL);
+  free(h);
+  return v;
+}
+)";
+  return Src;
+}
+
+const std::string &programs::msnQueueSource() {
+  static const std::string Src = R"(
+const EMPTY = -1;
+global int QHead = 0;
+global int QTail = 0;
+
+struct MNode {
+  int m_val;
+  int m_next;
+}
+
+int init() {
+  int n = malloc(sizeof(MNode));
+  n->m_val = 0;
+  n->m_next = 0;
+  QHead = n;
+  QTail = n;
+  return 0;
+}
+
+int enqueue(int v) {
+  int node = malloc(sizeof(MNode));
+  node->m_val = v;
+  node->m_next = 0;
+  while (1) {
+    int t = QTail;
+    int next = t->m_next;
+    if (t == QTail) {
+      if (next == 0) {
+        if (cas(&(t->m_next), 0, node)) {
+          cas(&QTail, t, node);
+          return 0;
+        }
+      } else {
+        cas(&QTail, t, next);
+      }
+    }
+  }
+  return 0;
+}
+
+int dequeue() {
+  while (1) {
+    int h = QHead;
+    int t = QTail;
+    int next = h->m_next;
+    if (h == QHead) {
+      if (h == t) {
+        if (next == 0) {
+          return EMPTY;
+        }
+        cas(&QTail, t, next);
+      } else {
+        int v = next->m_val;
+        if (cas(&QHead, h, next)) {
+          return v;
+        }
+      }
+    }
+  }
+  return EMPTY;
+}
+)";
+  return Src;
+}
+
+std::vector<vm::Client> programs::queueClients() {
+  using vm::Client;
+  using vm::MethodCall;
+  using vm::ThreadScript;
+  auto Call = [](const char *F, std::vector<vm::Arg> A = {}) {
+    MethodCall MC;
+    MC.Func = F;
+    MC.Args = std::move(A);
+    return MC;
+  };
+
+  std::vector<Client> Clients;
+  {
+    Client C;
+    C.Name = "producer-consumer";
+    C.InitFunc = "init";
+    ThreadScript P;
+    P.Calls = {Call("enqueue", {1}), Call("enqueue", {2}),
+               Call("dequeue")};
+    ThreadScript Q;
+    Q.Calls = {Call("dequeue"), Call("dequeue")};
+    C.Threads = {P, Q};
+    Clients.push_back(std::move(C));
+  }
+  {
+    Client C;
+    C.Name = "mixed";
+    C.InitFunc = "init";
+    ThreadScript A;
+    A.Calls = {Call("enqueue", {5}), Call("dequeue"), Call("enqueue", {6}),
+               Call("dequeue")};
+    ThreadScript B;
+    B.Calls = {Call("enqueue", {7}), Call("dequeue")};
+    C.Threads = {A, B};
+    Clients.push_back(std::move(C));
+  }
+  return Clients;
+}

@@ -1,0 +1,282 @@
+//===- SetSources.cpp - LazyList (OPODIS'05) and Harris (DISC'01) sets ----===//
+//
+// Sorted linked-list sets over sentinel head/tail nodes. LazyList uses
+// per-node locks with validation and logical marking; Harris is CAS-based
+// with the deletion mark packed into the low bit of the next pointer
+// (addresses are word indices, so pointers are stored shifted left by one
+// to free the mark bit).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Benchmark.h"
+
+using namespace dfence;
+using namespace dfence::programs;
+
+const std::string &programs::lazyListSource() {
+  static const std::string Src = R"(
+const MINKEY = -1000000;
+const MAXKEY = 1000000;
+global int LHead = 0;
+
+struct LNode {
+  int l_key;
+  int l_mark;
+  int l_lock;
+  int l_next;
+}
+
+int init() {
+  int tail = malloc(sizeof(LNode));
+  tail->l_key = MAXKEY;
+  tail->l_mark = 0;
+  tail->l_lock = 0;
+  tail->l_next = 0;
+  int head = malloc(sizeof(LNode));
+  head->l_key = MINKEY;
+  head->l_mark = 0;
+  head->l_lock = 0;
+  head->l_next = tail;
+  LHead = head;
+  return 0;
+}
+
+int validate(int pred, int curr) {
+  if (pred->l_mark == 0) {
+    if (curr->l_mark == 0) {
+      if (pred->l_next == curr) {
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+int add(int v) {
+  while (1) {
+    int pred = LHead;
+    int curr = pred->l_next;
+    while (curr->l_key < v) {
+      pred = curr;
+      curr = curr->l_next;
+    }
+    lock(&(pred->l_lock));
+    lock(&(curr->l_lock));
+    if (validate(pred, curr)) {
+      if (curr->l_key == v) {
+        unlock(&(curr->l_lock));
+        unlock(&(pred->l_lock));
+        return 0;
+      }
+      int node = malloc(sizeof(LNode));
+      node->l_key = v;
+      node->l_mark = 0;
+      node->l_lock = 0;
+      node->l_next = curr;
+      pred->l_next = node;
+      unlock(&(curr->l_lock));
+      unlock(&(pred->l_lock));
+      return 1;
+    }
+    unlock(&(curr->l_lock));
+    unlock(&(pred->l_lock));
+  }
+  return 0;
+}
+
+int remove(int v) {
+  while (1) {
+    int pred = LHead;
+    int curr = pred->l_next;
+    while (curr->l_key < v) {
+      pred = curr;
+      curr = curr->l_next;
+    }
+    lock(&(pred->l_lock));
+    lock(&(curr->l_lock));
+    if (validate(pred, curr)) {
+      if (curr->l_key != v) {
+        unlock(&(curr->l_lock));
+        unlock(&(pred->l_lock));
+        return 0;
+      }
+      curr->l_mark = 1;
+      pred->l_next = curr->l_next;
+      unlock(&(curr->l_lock));
+      unlock(&(pred->l_lock));
+      return 1;
+    }
+    unlock(&(curr->l_lock));
+    unlock(&(pred->l_lock));
+  }
+  return 0;
+}
+
+int contains(int v) {
+  int curr = LHead;
+  while (curr->l_key < v) {
+    curr = curr->l_next;
+  }
+  if (curr->l_key == v) {
+    if (curr->l_mark == 0) {
+      return 1;
+    }
+  }
+  return 0;
+}
+)";
+  return Src;
+}
+
+const std::string &programs::harrisSetSource() {
+  // h_next holds (pointer << 1) | mark. hsearch returns the (pred, curr)
+  // pair packed as pred * 2^20 + curr (addresses stay far below 2^20),
+  // snipping marked nodes on the way (Harris's helping).
+  static const std::string Src = R"(
+const MINKEY = -1000000;
+const MAXKEY = 1000000;
+const PACKMUL = 1048576;
+global int SHead = 0;
+
+struct HNode {
+  int h_key;
+  int h_next;
+}
+
+int init() {
+  int tail = malloc(sizeof(HNode));
+  tail->h_key = MAXKEY;
+  tail->h_next = 0;
+  int head = malloc(sizeof(HNode));
+  head->h_key = MINKEY;
+  head->h_next = tail * 2;
+  SHead = head;
+  return 0;
+}
+
+int hsearch(int v) {
+  while (1) {
+    int pred = SHead;
+    int curr = (pred->h_next) / 2;
+    int restart = 0;
+    while (1) {
+      int currval = curr->h_next;
+      int succ = currval / 2;
+      int marked = currval % 2;
+      if (marked == 1) {
+        if (!cas(&(pred->h_next), curr * 2, succ * 2)) {
+          restart = 1;
+          break;
+        }
+        curr = succ;
+        continue;
+      }
+      if (curr->h_key >= v) {
+        return pred * PACKMUL + curr;
+      }
+      pred = curr;
+      curr = succ;
+    }
+    if (restart == 1) {
+      continue;
+    }
+  }
+  return 0;
+}
+
+int add(int v) {
+  while (1) {
+    int pc = hsearch(v);
+    int pred = pc / PACKMUL;
+    int curr = pc % PACKMUL;
+    if (curr->h_key == v) {
+      return 0;
+    }
+    int node = malloc(sizeof(HNode));
+    node->h_key = v;
+    node->h_next = curr * 2;
+    if (cas(&(pred->h_next), curr * 2, node * 2)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int remove(int v) {
+  while (1) {
+    int pc = hsearch(v);
+    int pred = pc / PACKMUL;
+    int curr = pc % PACKMUL;
+    if (curr->h_key != v) {
+      return 0;
+    }
+    int currval = curr->h_next;
+    int succ = currval / 2;
+    if (currval % 2 == 1) {
+      return 0;
+    }
+    if (cas(&(curr->h_next), succ * 2, succ * 2 + 1)) {
+      cas(&(pred->h_next), curr * 2, succ * 2);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int contains(int v) {
+  int curr = SHead;
+  while (curr->h_key < v) {
+    int nv = curr->h_next;
+    curr = nv / 2;
+  }
+  if (curr->h_key == v) {
+    int nv2 = curr->h_next;
+    if (nv2 % 2 == 0) {
+      return 1;
+    }
+  }
+  return 0;
+}
+)";
+  return Src;
+}
+
+std::vector<vm::Client> programs::setClients() {
+  using vm::Client;
+  using vm::MethodCall;
+  using vm::ThreadScript;
+  auto Call = [](const char *F, std::vector<vm::Arg> A = {}) {
+    MethodCall MC;
+    MC.Func = F;
+    MC.Args = std::move(A);
+    return MC;
+  };
+
+  std::vector<Client> Clients;
+  {
+    Client C;
+    C.Name = "add-remove-contains";
+    C.InitFunc = "init";
+    ThreadScript A;
+    A.Calls = {Call("add", {1}), Call("add", {2}), Call("remove", {1}),
+               Call("contains", {2})};
+    ThreadScript B;
+    B.Calls = {Call("add", {2}), Call("remove", {2}),
+               Call("contains", {1})};
+    C.Threads = {A, B};
+    Clients.push_back(std::move(C));
+  }
+  {
+    Client C;
+    C.Name = "insert-race";
+    C.InitFunc = "init";
+    ThreadScript A;
+    A.Calls = {Call("add", {3}), Call("contains", {3}),
+               Call("contains", {4})};
+    ThreadScript B;
+    B.Calls = {Call("add", {4}), Call("contains", {3})};
+    C.Threads = {A, B};
+    Clients.push_back(std::move(C));
+  }
+  return Clients;
+}

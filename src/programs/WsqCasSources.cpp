@@ -1,0 +1,181 @@
+//===- WsqCasSources.cpp - CAS-based (exactly-once) WSQ variants ----------===//
+//
+// The LIFO/FIFO/Anchor WSQs of Table 2: "same as the idempotent variant
+// except that [more] operations use CAS", restoring exactly-once
+// extraction, which makes SC/linearizability checking applicable:
+//
+//   LIFO WSQ:   put/take/steal all CAS the packed anchor (a stack).
+//   FIFO WSQ:   take also CASes the head (take/steal both dequeue).
+//   Anchor WSQ: a deque; take CASes the anchor, racing thieves via H on
+//               the last item (Chase-Lev-style).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Benchmark.h"
+
+using namespace dfence;
+using namespace dfence::programs;
+
+const std::string &programs::lifoWsqSource() {
+  static const std::string Src = R"(
+const EMPTY = -1;
+const TAGMUL = 1048576;
+global int A = 0;
+global int tasks[64];
+
+int put(int task) {
+  while (1) {
+    int a = A;
+    int t = a % TAGMUL;
+    int g = a / TAGMUL;
+    tasks[t] = task;
+    if (cas(&A, a, (t + 1) + (g + 1) * TAGMUL)) {
+      return 0;
+    }
+  }
+  return 0;
+}
+
+int take() {
+  while (1) {
+    int a = A;
+    int t = a % TAGMUL;
+    int g = a / TAGMUL;
+    if (t == 0) {
+      return EMPTY;
+    }
+    int task = tasks[t - 1];
+    if (cas(&A, a, (t - 1) + g * TAGMUL)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+
+int steal() {
+  while (1) {
+    int a = A;
+    int t = a % TAGMUL;
+    int g = a / TAGMUL;
+    if (t == 0) {
+      return EMPTY;
+    }
+    int task = tasks[t - 1];
+    if (cas(&A, a, (t - 1) + g * TAGMUL)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+)";
+  return Src;
+}
+
+const std::string &programs::fifoWsqSource() {
+  static const std::string Src = R"(
+const EMPTY = -1;
+const SIZE = 64;
+global int H = 0;
+global int T = 0;
+global int tasks[64];
+
+int put(int task) {
+  int t = T;
+  tasks[t % SIZE] = task;
+  T = t + 1;
+  return 0;
+}
+
+int take() {
+  while (1) {
+    int h = H;
+    int t = T;
+    if (h == t) {
+      return EMPTY;
+    }
+    int task = tasks[h % SIZE];
+    if (cas(&H, h, h + 1)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+
+int steal() {
+  while (1) {
+    int h = H;
+    int t = T;
+    if (h == t) {
+      return EMPTY;
+    }
+    int task = tasks[h % SIZE];
+    if (cas(&H, h, h + 1)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+)";
+  return Src;
+}
+
+const std::string &programs::anchorWsqSource() {
+  // Exactly-once anchor deque: like the Anchor iWSQ but every operation
+  // (put/take/steal) CASes the packed (head, size, tag) anchor.
+  static const std::string Src = R"(
+const EMPTY = -1;
+const CNTMUL = 1024;
+const TAGMUL = 1048576;
+global int A = 0;
+global int tasks[64];
+
+int put(int task) {
+  while (1) {
+    int a = A;
+    int h = a % CNTMUL;
+    int sz = (a / CNTMUL) % CNTMUL;
+    int g = a / TAGMUL;
+    tasks[h + sz] = task;
+    if (cas(&A, a, h + (sz + 1) * CNTMUL + (g + 1) * TAGMUL)) {
+      return 0;
+    }
+  }
+  return 0;
+}
+
+int take() {
+  while (1) {
+    int a = A;
+    int h = a % CNTMUL;
+    int sz = (a / CNTMUL) % CNTMUL;
+    int g = a / TAGMUL;
+    if (sz == 0) {
+      return EMPTY;
+    }
+    int task = tasks[h + sz - 1];
+    if (cas(&A, a, h + (sz - 1) * CNTMUL + g * TAGMUL)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+
+int steal() {
+  while (1) {
+    int a = A;
+    int h = a % CNTMUL;
+    int sz = (a / CNTMUL) % CNTMUL;
+    int g = a / TAGMUL;
+    if (sz == 0) {
+      return EMPTY;
+    }
+    int task = tasks[h];
+    if (cas(&A, a, (h + 1) + (sz - 1) * CNTMUL + (g + 1) * TAGMUL)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+)";
+  return Src;
+}

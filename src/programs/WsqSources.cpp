@@ -1,0 +1,249 @@
+//===- WsqSources.cpp - Chase-Lev and Cilk THE work-stealing queues -------===//
+//
+// The two classic (non-idempotent) work-stealing queues of the paper's
+// motivating example (Fig. 1) and of the Cilk-5 runtime. Both sources are
+// written WITHOUT fences: DFENCE is expected to infer them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Benchmark.h"
+
+using namespace dfence;
+using namespace dfence::programs;
+
+const std::string &programs::chaseLevSource() {
+  // Simplified Chase-Lev deque (paper Fig. 1), fixed-size array, no
+  // expand() slow path (the paper's numbers also exclude expand).
+  // Fences the paper expects the tool to infer:
+  //   F1 store-load in take (T store before H load)     - TSO & PSO, SC
+  //   F2 store-store in put (items store before T store) - PSO, SC
+  //   F3 store-store at end of take/put commit paths     - PSO, lin.
+  static const std::string Src = R"(
+const EMPTY = -1;
+global int H = 0;
+global int T = 0;
+global int items[64];
+
+int put(int task) {
+  int t = T;
+  items[t] = task;
+  T = t + 1;
+  return 0;
+}
+
+int take() {
+  while (1) {
+    int t = T - 1;
+    T = t;
+    int h = H;
+    if (t < h) {
+      T = h;
+      return EMPTY;
+    }
+    int task = items[t];
+    if (t > h) {
+      return task;
+    }
+    T = h + 1;
+    if (!cas(&H, h, h + 1)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+int steal() {
+  while (1) {
+    int h = H;
+    int t = T;
+    if (h >= t) {
+      return EMPTY;
+    }
+    int task = items[h];
+    if (!cas(&H, h, h + 1)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+// Pointer-based wrappers (the paper's §6.6 future-work client): tasks
+// are freshly allocated blocks, freed immediately after extraction, so
+// a duplicated extraction becomes a double free — which the always-on
+// memory-safety checker detects without any sequential specification.
+int put_obj(int tag) {
+  int p = malloc(2);
+  p[0] = tag;
+  put(p);
+  return p;
+}
+
+int take_free() {
+  int p = take();
+  if (p != EMPTY) {
+    free(p);
+  }
+  return p;
+}
+
+int steal_free() {
+  int p = steal();
+  if (p != EMPTY) {
+    free(p);
+  }
+  return p;
+}
+)";
+  return Src;
+}
+
+const std::string &programs::cilkTheSource() {
+  // Cilk-5's THE protocol: the owner's take optimistically decrements T
+  // and falls back to the lock on conflict; thieves always steal under
+  // the lock. The lock itself is a fully-fenced spin lock (paper §5.2).
+  static const std::string Src = R"(
+const EMPTY = -1;
+global int H = 0;
+global int T = 0;
+global int L = 0;
+global int items[64];
+
+int put(int task) {
+  int t = T;
+  items[t] = task;
+  T = t + 1;
+  return 0;
+}
+
+int take() {
+  int t = T - 1;
+  T = t;
+  int h = H;
+  if (t < h) {
+    T = t + 1;
+    lock(&L);
+    t = T - 1;
+    T = t;
+    h = H;
+    if (t < h) {
+      T = t + 1;
+      unlock(&L);
+      return EMPTY;
+    }
+    int task2 = items[t];
+    unlock(&L);
+    return task2;
+  }
+  int task = items[t];
+  return task;
+}
+
+int steal() {
+  lock(&L);
+  int h = H;
+  H = h + 1;
+  int t = T;
+  if (h >= t) {
+    H = h;
+    unlock(&L);
+    return EMPTY;
+  }
+  int task = items[h];
+  unlock(&L);
+  return task;
+}
+)";
+  return Src;
+}
+
+std::vector<vm::Client> programs::wsqClients() {
+  using vm::Client;
+  using vm::MethodCall;
+  using vm::ThreadScript;
+  auto Call = [](const char *F, std::vector<vm::Arg> A = {}) {
+    MethodCall MC;
+    MC.Func = F;
+    MC.Args = std::move(A);
+    return MC;
+  };
+
+  // Good clients keep the thieves active across the owner's whole
+  // operation sequence (the paper's client-vs-coverage discussion): a
+  // thief with too few steals finishes while the queue is still being
+  // filled and never races the owner's takes.
+  std::vector<Client> Clients;
+  {
+    // Owner pushes and pops while one thief steals: the bread-and-butter
+    // scenario of Fig. 2a/2b (take/steal racing on the last item).
+    Client C;
+    C.Name = "owner-thief";
+    ThreadScript Owner;
+    Owner.Calls = {Call("put", {1}), Call("put", {2}), Call("take"),
+                   Call("take"), Call("take")};
+    ThreadScript Thief;
+    Thief.Calls = {Call("steal"), Call("steal"), Call("steal"),
+                   Call("steal"), Call("steal")};
+    C.Threads = {Owner, Thief};
+    Clients.push_back(std::move(C));
+  }
+  {
+    // Single-item races (the paper's Fig. 2 schedules).
+    Client C;
+    C.Name = "single-item";
+    ThreadScript Owner;
+    Owner.Calls = {Call("put", {7}), Call("take"), Call("put", {8}),
+                   Call("take")};
+    ThreadScript Thief;
+    Thief.Calls = {Call("steal"), Call("steal"), Call("steal"),
+                   Call("steal")};
+    C.Threads = {Owner, Thief};
+    Clients.push_back(std::move(C));
+  }
+  {
+    // Two thieves against a deeper queue: exercises steal/steal CAS races
+    // and non-empty/empty transitions.
+    Client C;
+    C.Name = "two-thieves";
+    ThreadScript Owner;
+    Owner.Calls = {Call("put", {1}), Call("put", {2}), Call("put", {3}),
+                   Call("take"), Call("take")};
+    ThreadScript Thief1;
+    Thief1.Calls = {Call("steal"), Call("steal"), Call("steal")};
+    ThreadScript Thief2;
+    Thief2.Calls = {Call("steal"), Call("steal"), Call("steal")};
+    C.Threads = {Owner, Thief1, Thief2};
+    Clients.push_back(std::move(C));
+  }
+  return Clients;
+}
+
+std::vector<vm::Client> programs::wsqPointerClients() {
+  using vm::Client;
+  using vm::MethodCall;
+  using vm::ThreadScript;
+  auto Call = [](const char *F, std::vector<vm::Arg> A = {}) {
+    MethodCall MC;
+    MC.Func = F;
+    MC.Args = std::move(A);
+    return MC;
+  };
+
+  std::vector<Client> Clients;
+  {
+    Client C;
+    C.Name = "pointer-tasks";
+    ThreadScript Owner;
+    Owner.Calls = {Call("put_obj", {1}), Call("put_obj", {2}),
+                   Call("take_free"), Call("take_free"),
+                   Call("take_free")};
+    ThreadScript Thief;
+    Thief.Calls = {Call("steal_free"), Call("steal_free"),
+                   Call("steal_free"), Call("steal_free"),
+                   Call("steal_free")};
+    C.Threads = {Owner, Thief};
+    Clients.push_back(std::move(C));
+  }
+  return Clients;
+}

@@ -1,0 +1,48 @@
+//===- MinimalModels.h - Minimal models of monotone CNF ---------*- C++ -*-===//
+//
+// The repair formula Φ is monotone: a conjunction of disjunctions of
+// positive literals (one per ordering predicate). Its minimal satisfying
+// assignments are exactly the inclusion-minimal hitting sets of the clause
+// family. Following the paper, we enumerate models with the SAT solver
+// (minimize each greedily, block it, repeat) and then select the smallest;
+// a direct branch-and-bound hitting-set solver doubles as an independent
+// cross-check (used in tests and the ablation bench).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SAT_MINIMALMODELS_H
+#define DFENCE_SAT_MINIMALMODELS_H
+
+#include "sat/Solver.h"
+
+#include <vector>
+
+namespace dfence::sat {
+
+/// A monotone CNF formula over variables 0..NumVars-1: each clause is a
+/// disjunction of positive literals.
+struct MonotoneCnf {
+  unsigned NumVars = 0;
+  std::vector<std::vector<Var>> Clauses;
+
+  bool isSatisfiedBy(const std::vector<bool> &Assign) const;
+};
+
+/// Enumerates all inclusion-minimal models via SAT + blocking clauses
+/// (stops after \p MaxModels). Each model is the sorted set of true vars.
+/// An unsatisfiable formula (only possible with an empty clause) yields an
+/// empty result with \p Unsat set.
+std::vector<std::vector<Var>>
+enumerateMinimalModels(const MonotoneCnf &F, size_t MaxModels, bool &Unsat);
+
+/// Among the minimal models, returns one of minimum cardinality
+/// (lexicographically smallest for determinism). Empty when unsat.
+std::vector<Var> minimumModel(const MonotoneCnf &F, bool &Unsat);
+
+/// Independent exact minimum hitting set by branch and bound; used to
+/// cross-check the SAT-based path.
+std::vector<Var> minimumHittingSet(const MonotoneCnf &F, bool &Unsat);
+
+} // namespace dfence::sat
+
+#endif // DFENCE_SAT_MINIMALMODELS_H

@@ -1,0 +1,315 @@
+//===- Solver.cpp - CDCL implementation -----------------------------------===//
+
+#include "sat/Solver.h"
+
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dfence;
+using namespace dfence::sat;
+
+Solver::Solver() = default;
+Solver::~Solver() = default;
+
+Var Solver::newVar() {
+  Var V = static_cast<Var>(Assigns.size());
+  Assigns.push_back(LBool::Undef);
+  Model.push_back(LBool::Undef);
+  Phase.push_back(false);
+  Activity.push_back(0.0);
+  Reasons.push_back(nullptr);
+  Levels.push_back(0);
+  Seen.push_back(0);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  return V;
+}
+
+bool Solver::addClause(std::vector<Lit> Lits) {
+  if (!Ok)
+    return false;
+  assert(TrailLim.empty() && "clauses must be added at decision level 0");
+  // Simplify: sort, dedupe, drop tautologies and false literals.
+  std::sort(Lits.begin(), Lits.end(),
+            [](Lit A, Lit B) { return A.X < B.X; });
+  std::vector<Lit> Simplified;
+  for (size_t I = 0; I != Lits.size(); ++I) {
+    Lit L = Lits[I];
+    assert(L.var() < numVars() && "literal over unknown variable");
+    if (!Simplified.empty() && Simplified.back() == L)
+      continue; // Duplicate.
+    if (!Simplified.empty() && Simplified.back() == ~L)
+      return true; // Tautology.
+    if (value(L) == LBool::True)
+      return true; // Satisfied at top level.
+    if (value(L) == LBool::False)
+      continue; // Falsified at top level; drop.
+    Simplified.push_back(L);
+  }
+  if (Simplified.empty()) {
+    Ok = false;
+    return false;
+  }
+  if (Simplified.size() == 1) {
+    if (!enqueue(Simplified[0], nullptr)) {
+      Ok = false;
+      return false;
+    }
+    if (propagate() != nullptr) {
+      Ok = false;
+      return false;
+    }
+    return true;
+  }
+  auto C = std::make_unique<Clause>();
+  C->Lits = std::move(Simplified);
+  attachClause(C.get());
+  Clauses.push_back(std::move(C));
+  return true;
+}
+
+void Solver::attachClause(Clause *C) {
+  assert(C->Lits.size() >= 2);
+  Watches[(~C->Lits[0]).index()].push_back(C);
+  Watches[(~C->Lits[1]).index()].push_back(C);
+}
+
+bool Solver::enqueue(Lit L, Clause *Reason) {
+  if (value(L) == LBool::False)
+    return false;
+  if (value(L) == LBool::True)
+    return true;
+  Assigns[L.var()] = L.sign() ? LBool::False : LBool::True;
+  Levels[L.var()] = static_cast<unsigned>(TrailLim.size());
+  Reasons[L.var()] = Reason;
+  Trail.push_back(L);
+  return true;
+}
+
+Solver::Clause *Solver::propagate() {
+  while (PropHead < Trail.size()) {
+    Lit P = Trail[PropHead++];
+    ++Propagations;
+    std::vector<Clause *> &Ws = Watches[P.index()];
+    size_t Keep = 0;
+    for (size_t I = 0; I != Ws.size(); ++I) {
+      Clause *C = Ws[I];
+      // Normalize: the falsified watched literal to position 1.
+      if (C->Lits[0] == ~P)
+        std::swap(C->Lits[0], C->Lits[1]);
+      assert(C->Lits[1] == ~P && "watch list out of sync");
+      if (value(C->Lits[0]) == LBool::True) {
+        Ws[Keep++] = C; // Clause satisfied; keep watching.
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool Moved = false;
+      for (size_t K = 2; K != C->Lits.size(); ++K) {
+        if (value(C->Lits[K]) == LBool::False)
+          continue;
+        std::swap(C->Lits[1], C->Lits[K]);
+        Watches[(~C->Lits[1]).index()].push_back(C);
+        Moved = true;
+        break;
+      }
+      if (Moved)
+        continue;
+      // Unit or conflicting.
+      Ws[Keep++] = C;
+      if (!enqueue(C->Lits[0], C)) {
+        // Conflict: keep remaining watches and report.
+        for (size_t K = I + 1; K != Ws.size(); ++K)
+          Ws[Keep++] = Ws[K];
+        Ws.resize(Keep);
+        PropHead = Trail.size();
+        return C;
+      }
+    }
+    Ws.resize(Keep);
+  }
+  return nullptr;
+}
+
+void Solver::bumpVar(Var V) {
+  Activity[V] += ActivityInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    ActivityInc *= 1e-100;
+  }
+}
+
+void Solver::decayActivities() { ActivityInc /= 0.95; }
+
+void Solver::analyze(Clause *Conflict, std::vector<Lit> &Learnt,
+                     unsigned &BackLevel) {
+  Learnt.clear();
+  Learnt.push_back(Lit{}); // Slot for the asserting literal.
+  unsigned Counter = 0;
+  Lit P;
+  size_t TrailIdx = Trail.size();
+  unsigned CurLevel = static_cast<unsigned>(TrailLim.size());
+  Clause *Reason = Conflict;
+  bool First = true;
+
+  do {
+    assert(Reason && "no reason for implied literal");
+    for (Lit Q : Reason->Lits) {
+      if (!First && Q == P)
+        continue;
+      Var V = Q.var();
+      if (Seen[V] || Levels[V] == 0)
+        continue;
+      Seen[V] = 1;
+      bumpVar(V);
+      if (Levels[V] >= CurLevel)
+        ++Counter;
+      else
+        Learnt.push_back(Q);
+    }
+    // Select the next literal on the trail to resolve on.
+    while (!Seen[Trail[TrailIdx - 1].var()])
+      --TrailIdx;
+    --TrailIdx;
+    P = Trail[TrailIdx];
+    Seen[P.var()] = 0;
+    Reason = Reasons[P.var()];
+    First = false;
+    --Counter;
+  } while (Counter > 0);
+  Learnt[0] = ~P;
+
+  // Compute the backjump level: highest level among the other literals.
+  BackLevel = 0;
+  for (size_t I = 1; I != Learnt.size(); ++I)
+    BackLevel = std::max(BackLevel, Levels[Learnt[I].var()]);
+  // Move a literal of BackLevel into position 1 so it gets watched.
+  if (Learnt.size() > 1) {
+    size_t MaxI = 1;
+    for (size_t I = 2; I != Learnt.size(); ++I)
+      if (Levels[Learnt[I].var()] > Levels[Learnt[MaxI].var()])
+        MaxI = I;
+    std::swap(Learnt[1], Learnt[MaxI]);
+  }
+  for (size_t I = 1; I != Learnt.size(); ++I)
+    Seen[Learnt[I].var()] = 0;
+}
+
+void Solver::cancelUntil(unsigned Level) {
+  if (TrailLim.size() <= Level)
+    return;
+  size_t Bound = TrailLim[Level];
+  for (size_t I = Trail.size(); I > Bound; --I) {
+    Var V = Trail[I - 1].var();
+    Phase[V] = Assigns[V] == LBool::True;
+    Assigns[V] = LBool::Undef;
+    Reasons[V] = nullptr;
+  }
+  Trail.resize(Bound);
+  TrailLim.resize(Level);
+  PropHead = Trail.size();
+}
+
+Lit Solver::pickBranchLit() {
+  Var Best = ~0u;
+  double BestAct = -1.0;
+  for (Var V = 0; V != numVars(); ++V) {
+    if (Assigns[V] != LBool::Undef)
+      continue;
+    if (Activity[V] > BestAct) {
+      BestAct = Activity[V];
+      Best = V;
+    }
+  }
+  if (Best == ~0u)
+    return Lit{};
+  return Phase[Best] ? Lit::pos(Best) : Lit::neg(Best);
+}
+
+uint64_t Solver::luby(uint64_t I) {
+  // Luby sequence 1 1 2 1 1 2 4 1 1 2 ... (MiniSAT's formulation).
+  uint64_t Size = 1, Seq = 0;
+  while (Size < I + 1) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != I) {
+    Size = (Size - 1) >> 1;
+    --Seq;
+    I = I % Size;
+  }
+  return 1ULL << Seq;
+}
+
+bool Solver::solve() {
+  if (!Ok)
+    return false;
+  cancelUntil(0);
+  if (propagate() != nullptr) {
+    Ok = false;
+    return false;
+  }
+
+  uint64_t RestartCount = 0;
+  uint64_t ConflictBudget = 64 * luby(RestartCount);
+  uint64_t ConflictsThisRestart = 0;
+
+  while (true) {
+    Clause *Conflict = propagate();
+    if (Conflict) {
+      ++Conflicts;
+      ++ConflictsThisRestart;
+      if (TrailLim.empty()) {
+        Ok = false;
+        return false;
+      }
+      std::vector<Lit> Learnt;
+      unsigned BackLevel = 0;
+      analyze(Conflict, Learnt, BackLevel);
+      cancelUntil(BackLevel);
+      if (Learnt.size() == 1) {
+        cancelUntil(0);
+        if (!enqueue(Learnt[0], nullptr)) {
+          Ok = false;
+          return false;
+        }
+      } else {
+        auto C = std::make_unique<Clause>();
+        C->Lits = std::move(Learnt);
+        C->Learnt = true;
+        attachClause(C.get());
+        bool Enq = enqueue(C->Lits[0], C.get());
+        assert(Enq && "learnt clause not asserting");
+        (void)Enq;
+        Clauses.push_back(std::move(C));
+      }
+      decayActivities();
+      continue;
+    }
+
+    if (ConflictsThisRestart >= ConflictBudget) {
+      // Restart.
+      cancelUntil(0);
+      ++RestartCount;
+      ConflictBudget = 64 * luby(RestartCount);
+      ConflictsThisRestart = 0;
+      continue;
+    }
+
+    Lit Next = pickBranchLit();
+    if (!Next.isValid()) {
+      // All variables assigned: model found.
+      for (Var V = 0; V != numVars(); ++V)
+        Model[V] = Assigns[V];
+      cancelUntil(0);
+      return true;
+    }
+    ++Decisions;
+    TrailLim.push_back(Trail.size());
+    bool Enq = enqueue(Next, nullptr);
+    assert(Enq && "decision literal already assigned");
+    (void)Enq;
+  }
+}

@@ -1,0 +1,117 @@
+//===- Solver.h - CDCL SAT solver (MiniSAT substitute) ----------*- C++ -*-===//
+//
+// The paper uses MiniSAT to find satisfying assignments of the repair
+// formula. This is a from-scratch conflict-driven clause-learning solver
+// with two-watched-literal propagation, first-UIP learning, VSIDS-style
+// activities, phase saving and Luby restarts. It is deliberately general
+// (the repair formulas are monotone, but tests exercise arbitrary CNF).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SAT_SOLVER_H
+#define DFENCE_SAT_SOLVER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dfence::sat {
+
+using Var = uint32_t;
+
+/// A literal: variable plus sign, encoded as 2*var+sign (sign = negated).
+struct Lit {
+  uint32_t X = ~0u;
+
+  static Lit pos(Var V) { return Lit{V << 1}; }
+  static Lit neg(Var V) { return Lit{(V << 1) | 1}; }
+
+  Var var() const { return X >> 1; }
+  bool sign() const { return X & 1; } ///< True when negated.
+  Lit operator~() const { return Lit{X ^ 1}; }
+  bool operator==(const Lit &O) const { return X == O.X; }
+  bool operator!=(const Lit &O) const { return X != O.X; }
+  /// Dense index for watch lists.
+  uint32_t index() const { return X; }
+  bool isValid() const { return X != ~0u; }
+};
+
+enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
+
+/// CDCL solver.
+class Solver {
+public:
+  Solver();
+  ~Solver();
+
+  /// Creates a fresh variable and returns it.
+  Var newVar();
+  unsigned numVars() const { return static_cast<unsigned>(Assigns.size()); }
+
+  /// Adds a clause. Returns false when the solver becomes trivially
+  /// unsatisfiable (empty clause after simplification).
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Solves the current formula. Can be called repeatedly with clauses
+  /// added in between (used for model enumeration).
+  bool solve();
+
+  /// Model access, valid after solve() returned true.
+  LBool modelValue(Var V) const { return Model[V]; }
+
+  /// True while no top-level contradiction has been derived.
+  bool okay() const { return Ok; }
+
+  // Statistics.
+  uint64_t numConflicts() const { return Conflicts; }
+  uint64_t numDecisions() const { return Decisions; }
+  uint64_t numPropagations() const { return Propagations; }
+
+private:
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learnt = false;
+  };
+
+  LBool value(Lit L) const {
+    LBool V = Assigns[L.var()];
+    if (V == LBool::Undef)
+      return LBool::Undef;
+    bool B = (V == LBool::True) != L.sign();
+    return B ? LBool::True : LBool::False;
+  }
+
+  void attachClause(Clause *C);
+  bool enqueue(Lit L, Clause *Reason);
+  Clause *propagate();
+  void analyze(Clause *Conflict, std::vector<Lit> &Learnt,
+               unsigned &BackLevel);
+  void cancelUntil(unsigned Level);
+  Lit pickBranchLit();
+  void bumpVar(Var V);
+  void decayActivities();
+  static uint64_t luby(uint64_t I);
+
+  bool Ok = true;
+  std::vector<std::unique_ptr<Clause>> Clauses;
+  std::vector<std::vector<Clause *>> Watches; ///< Indexed by Lit::index().
+  std::vector<LBool> Assigns;
+  std::vector<LBool> Model;
+  std::vector<bool> Phase; ///< Saved phases.
+  std::vector<double> Activity;
+  double ActivityInc = 1.0;
+  std::vector<Lit> Trail;
+  std::vector<size_t> TrailLim; ///< Decision-level boundaries in Trail.
+  size_t PropHead = 0;
+  std::vector<Clause *> Reasons; ///< Per var.
+  std::vector<unsigned> Levels;  ///< Per var.
+  std::vector<uint8_t> Seen;     ///< Scratch for analyze().
+
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+};
+
+} // namespace dfence::sat
+
+#endif // DFENCE_SAT_SOLVER_H

@@ -1,0 +1,64 @@
+//===- RandomFlushScheduler.cpp -------------------------------------------===//
+
+#include "sched/RandomFlushScheduler.h"
+
+#include "support/Diagnostics.h"
+
+using namespace dfence;
+using namespace dfence::sched;
+
+Scheduler::~Scheduler() = default;
+
+RandomFlushScheduler::RandomFlushScheduler(RandomFlushConfig Cfg)
+    : Cfg(Cfg) {}
+
+RandomFlushScheduler::~RandomFlushScheduler() = default;
+
+void RandomFlushScheduler::reset() {
+  LastTid = ~0u;
+  LocalStreak = 0;
+}
+
+Action RandomFlushScheduler::pick(const std::vector<ThreadView> &Threads,
+                                  Rng &R) {
+  // Partial-order reduction: a thread executing purely local instructions
+  // cannot interact with other threads, so keep running it.
+  if (Cfg.PartialOrderReduction && LastTid != ~0u &&
+      LocalStreak < Cfg.MaxLocalStreak) {
+    for (const ThreadView &T : Threads) {
+      if (T.Tid != LastTid)
+        continue;
+      if (T.Runnable && !T.NextIsShared) {
+        ++LocalStreak;
+        return Action::step(T.Tid);
+      }
+      break;
+    }
+  }
+  LocalStreak = 0;
+
+  // Candidates: runnable threads plus threads with pending stores (a
+  // finished thread's buffer can still drain at any time).
+  std::vector<const ThreadView *> Candidates;
+  for (const ThreadView &T : Threads)
+    if (T.Runnable || T.PendingStores > 0)
+      Candidates.push_back(&T);
+  if (Candidates.empty())
+    reportFatalError("scheduler invoked with no schedulable thread");
+
+  const ThreadView &T =
+      *Candidates[R.nextBelow(Candidates.size())];
+  LastTid = T.Tid;
+
+  if (T.PendingStores == 0)
+    return Action::step(T.Tid);
+  if (!T.Runnable || R.nextBool(Cfg.FlushProb)) {
+    // Flush one entry; under PSO pick a random per-variable buffer.
+    if (!T.BufferedVars.empty()) {
+      ir::Word Var = T.BufferedVars[R.nextBelow(T.BufferedVars.size())];
+      return Action::flushVar(T.Tid, Var);
+    }
+    return Action::flush(T.Tid);
+  }
+  return Action::step(T.Tid);
+}

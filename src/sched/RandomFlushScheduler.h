@@ -1,0 +1,49 @@
+//===- RandomFlushScheduler.h - Flush-delaying demonic scheduler -*- C++ -*-===//
+//
+// The paper's scheduler (§5.2): at each scheduling point an enabled thread
+// is selected at random; if the selected thread has pending buffered
+// stores, the scheduler flushes one with probability FlushProb and
+// otherwise lets the thread step. Small flush probabilities delay stores
+// and expose relaxed behaviours. A partial-order reduction keeps a thread
+// running while it only touches thread-local state.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SCHED_RANDOMFLUSHSCHEDULER_H
+#define DFENCE_SCHED_RANDOMFLUSHSCHEDULER_H
+
+#include "sched/Scheduler.h"
+
+namespace dfence::sched {
+
+/// Configuration of the flush-delaying demonic scheduler.
+struct RandomFlushConfig {
+  /// Probability that a selected thread with a non-empty buffer flushes
+  /// one entry instead of stepping. The paper finds ~0.5 optimal for PSO
+  /// and ~0.1 for TSO.
+  double FlushProb = 0.5;
+  /// Keep scheduling the same thread while it executes thread-local
+  /// instructions (the paper's partial-order reduction).
+  bool PartialOrderReduction = true;
+  /// Safety valve: maximum consecutive local steps before a forced
+  /// rescheduling point.
+  uint32_t MaxLocalStreak = 128;
+};
+
+class RandomFlushScheduler : public Scheduler {
+public:
+  explicit RandomFlushScheduler(RandomFlushConfig Cfg = {});
+  ~RandomFlushScheduler() override;
+
+  Action pick(const std::vector<ThreadView> &Threads, Rng &R) override;
+  void reset() override;
+
+private:
+  RandomFlushConfig Cfg;
+  uint32_t LastTid = ~0u;
+  uint32_t LocalStreak = 0;
+};
+
+} // namespace dfence::sched
+
+#endif // DFENCE_SCHED_RANDOMFLUSHSCHEDULER_H

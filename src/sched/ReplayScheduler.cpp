@@ -1,0 +1,23 @@
+//===- ReplayScheduler.cpp ------------------------------------------------===//
+
+#include "sched/ReplayScheduler.h"
+
+#include "support/Diagnostics.h"
+
+using namespace dfence;
+using namespace dfence::sched;
+
+ReplayScheduler::ReplayScheduler(std::vector<Action> Trace)
+    : Trace(std::move(Trace)) {}
+
+ReplayScheduler::~ReplayScheduler() = default;
+
+Action ReplayScheduler::pick(const std::vector<ThreadView> &Threads,
+                             Rng &R) {
+  (void)Threads;
+  (void)R;
+  if (Pos >= Trace.size())
+    reportFatalError("replay trace exhausted: the replayed program or "
+                     "client differs from the recorded one");
+  return Trace[Pos++];
+}

@@ -1,0 +1,35 @@
+//===- ReplayScheduler.h - Deterministic replay of a recorded run -*- C++ -*-===//
+//
+// The interpreter can record the action sequence of an execution
+// (ExecConfig::RecordTrace); feeding it back through a ReplayScheduler
+// reproduces the execution exactly — the debugging workflow for a
+// violating execution found by the demonic scheduler.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SCHED_REPLAYSCHEDULER_H
+#define DFENCE_SCHED_REPLAYSCHEDULER_H
+
+#include "sched/Scheduler.h"
+
+namespace dfence::sched {
+
+class ReplayScheduler : public Scheduler {
+public:
+  explicit ReplayScheduler(std::vector<Action> Trace);
+  ~ReplayScheduler() override;
+
+  Action pick(const std::vector<ThreadView> &Threads, Rng &R) override;
+  void reset() override { Pos = 0; }
+
+  /// True when the whole trace has been consumed.
+  bool exhausted() const { return Pos >= Trace.size(); }
+
+private:
+  std::vector<Action> Trace;
+  size_t Pos = 0;
+};
+
+} // namespace dfence::sched
+
+#endif // DFENCE_SCHED_REPLAYSCHEDULER_H

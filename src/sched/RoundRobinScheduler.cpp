@@ -1,0 +1,40 @@
+//===- RoundRobinScheduler.cpp --------------------------------------------===//
+
+#include "sched/RoundRobinScheduler.h"
+
+#include "support/Diagnostics.h"
+
+using namespace dfence;
+using namespace dfence::sched;
+
+RoundRobinScheduler::RoundRobinScheduler(RoundRobinConfig Cfg)
+    : Cfg(Cfg) {}
+
+RoundRobinScheduler::~RoundRobinScheduler() = default;
+
+void RoundRobinScheduler::reset() {
+  Current = 0;
+  StepsInTurn = 0;
+}
+
+Action RoundRobinScheduler::pick(const std::vector<ThreadView> &Threads,
+                                 Rng &R) {
+  (void)R; // Deterministic by design.
+  const size_t N = Threads.size();
+  for (size_t Tried = 0; Tried <= N; ++Tried) {
+    const ThreadView &T = Threads[Current % N];
+    bool TurnOver = StepsInTurn >= Cfg.Quantum;
+    if (!TurnOver && (T.Runnable || T.PendingStores > 0)) {
+      ++StepsInTurn;
+      if (T.PendingStores > Cfg.MaxPending || !T.Runnable) {
+        if (!T.BufferedVars.empty())
+          return Action::flushVar(T.Tid, T.BufferedVars.front());
+        return Action::flush(T.Tid);
+      }
+      return Action::step(T.Tid);
+    }
+    Current = (Current + 1) % N;
+    StepsInTurn = 0;
+  }
+  reportFatalError("round-robin scheduler found no schedulable thread");
+}

@@ -1,0 +1,173 @@
+//===- Checkers.cpp -------------------------------------------------------===//
+
+#include "spec/Checkers.h"
+
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace dfence;
+using namespace dfence::spec;
+using vm::EmptyVal;
+using vm::History;
+using vm::OpRecord;
+
+namespace {
+
+/// Shared DFS over sequentializations. Candidate generation is the only
+/// difference between the two criteria.
+class SequentializationSearch {
+public:
+  SequentializationSearch(const History &H, const SpecFactory &Factory,
+                          const CheckerLimits &Limits, bool RealTime)
+      : Ops(H.Ops), Limits(Limits), RealTime(RealTime) {
+    if (Ops.size() > Limits.MaxOps)
+      reportFatalError(
+          strformat("history of %zu operations exceeds checker limit %zu",
+                    Ops.size(), Limits.MaxOps));
+    for (const OpRecord &Op : Ops)
+      if (!Op.Completed)
+        reportFatalError("checker requires a complete history");
+    if (!RealTime) {
+      // Per-thread program order, by invocation time.
+      for (size_t I = 0; I != Ops.size(); ++I) {
+        uint32_t T = Ops[I].Thread;
+        if (T >= PerThread.size())
+          PerThread.resize(T + 1);
+        PerThread[T].push_back(I);
+      }
+      for (auto &Seq : PerThread)
+        std::sort(Seq.begin(), Seq.end(), [&](size_t A, size_t B) {
+          return Ops[A].InvokeSeq < Ops[B].InvokeSeq;
+        });
+    }
+    Initial = Factory();
+  }
+
+  bool search() {
+    if (Ops.empty())
+      return true;
+    return dfs(0, *Initial);
+  }
+
+private:
+  bool dfs(uint64_t Mask, SpecState &State) {
+    uint64_t Full = Ops.size() == 64
+                        ? ~0ULL
+                        : ((1ULL << Ops.size()) - 1);
+    if (Mask == Full)
+      return true;
+    if (++Visited > Limits.MaxVisitedStates)
+      return true; // Budget exhausted: conservatively accept.
+    uint64_t Key = hashCombine(Mask, State.hash());
+    if (Failed.count(Key))
+      return false;
+
+    std::vector<size_t> Candidates;
+    collectCandidates(Mask, Candidates);
+    for (size_t I : Candidates) {
+      std::unique_ptr<SpecState> Next = State.clone();
+      if (!Next->apply(Ops[I]))
+        continue;
+      if (dfs(Mask | (1ULL << I), *Next))
+        return true;
+    }
+    Failed.insert(Key);
+    return false;
+  }
+
+  void collectCandidates(uint64_t Mask, std::vector<size_t> &Out) const {
+    if (RealTime) {
+      // Linearizability: an op is schedulable when no other pending op
+      // responded strictly before it was invoked. With MinResp the
+      // minimum response among pending ops, that is InvokeSeq <= MinResp
+      // (equality is an overlap, not a precedence).
+      uint64_t MinResp = ~0ULL;
+      for (size_t I = 0; I != Ops.size(); ++I)
+        if (!(Mask & (1ULL << I)))
+          MinResp = std::min(MinResp, Ops[I].RespondSeq);
+      for (size_t I = 0; I != Ops.size(); ++I)
+        if (!(Mask & (1ULL << I)) && Ops[I].InvokeSeq <= MinResp)
+          Out.push_back(I);
+      return;
+    }
+    // Operation-level SC: the next pending op of each thread.
+    for (const std::vector<size_t> &Seq : PerThread) {
+      for (size_t I : Seq) {
+        if (Mask & (1ULL << I))
+          continue;
+        Out.push_back(I);
+        break;
+      }
+    }
+  }
+
+  const std::vector<OpRecord> &Ops;
+  CheckerLimits Limits;
+  bool RealTime;
+  std::vector<std::vector<size_t>> PerThread;
+  std::unique_ptr<SpecState> Initial;
+  std::unordered_set<uint64_t> Failed;
+  size_t Visited = 0;
+};
+
+} // namespace
+
+bool spec::isLinearizable(const History &H, const SpecFactory &Factory,
+                          const CheckerLimits &Limits) {
+  SequentializationSearch S(H, Factory, Limits, /*RealTime=*/true);
+  return S.search();
+}
+
+bool spec::isSequentiallyConsistent(const History &H,
+                                    const SpecFactory &Factory,
+                                    const CheckerLimits &Limits) {
+  SequentializationSearch S(H, Factory, Limits, /*RealTime=*/false);
+  return S.search();
+}
+
+History spec::relaxConcurrentEmptyOps(const History &H) {
+  History Out;
+  for (size_t I = 0; I != H.Ops.size(); ++I) {
+    const OpRecord &Op = H.Ops[I];
+    bool IsEmptyWsqOp = (Op.Func == "take" || Op.Func == "steal") &&
+                        Op.Completed && Op.Ret == EmptyVal;
+    if (!IsEmptyWsqOp) {
+      Out.Ops.push_back(Op);
+      continue;
+    }
+    bool Overlaps = false;
+    for (size_t K = 0; K != H.Ops.size() && !Overlaps; ++K) {
+      if (K == I)
+        continue;
+      const OpRecord &Other = H.Ops[K];
+      // Overlap = neither strictly precedes the other.
+      if (!Other.precedes(Op) && !Op.precedes(Other))
+        Overlaps = true;
+    }
+    if (!Overlaps)
+      Out.Ops.push_back(Op); // Must be justified by an empty queue.
+  }
+  return Out;
+}
+
+std::string spec::checkNoGarbageTasks(const History &H) {
+  std::unordered_set<vm::Word> Produced;
+  for (const OpRecord &Op : H.Ops)
+    if (Op.Func == "put" || Op.Func == "enqueue")
+      if (!Op.Args.empty())
+        Produced.insert(Op.Args[0]);
+  for (const OpRecord &Op : H.Ops) {
+    if (Op.Func != "take" && Op.Func != "steal" && Op.Func != "dequeue")
+      continue;
+    if (!Op.Completed || Op.Ret == EmptyVal)
+      continue;
+    if (!Produced.count(Op.Ret))
+      return strformat("garbage task %lld returned by %s on thread %u",
+                       static_cast<long long>(Op.Ret), Op.Func.c_str(),
+                       Op.Thread);
+  }
+  return std::string();
+}

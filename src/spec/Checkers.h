@@ -1,0 +1,68 @@
+//===- Checkers.h - Linearizability and operation-level SC -----*- C++ -*-===//
+//
+// Both criteria ask for a sequentialization of the concurrent history that
+// the sequential specification accepts:
+//
+//   * operation-level sequential consistency: the sequentialization only
+//     has to preserve per-thread (program) order;
+//   * linearizability: it must additionally preserve the real-time order
+//     of non-overlapping operations.
+//
+// Checking is a worst-case exponential search over sequentializations
+// (paper §5.2); memoisation over (linearized-set, spec-state-hash) pairs
+// keeps the small client histories used in practice tractable.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SPEC_CHECKERS_H
+#define DFENCE_SPEC_CHECKERS_H
+
+#include "spec/Spec.h"
+#include "vm/History.h"
+
+#include <string>
+#include <vector>
+
+namespace dfence::spec {
+
+/// Limits for the exponential searches.
+struct CheckerLimits {
+  size_t MaxOps = 40;           ///< Histories longer than this are rejected
+                                ///< by reportFatalError (client too big).
+  size_t MaxVisitedStates = 4u << 20; ///< Search budget; exceeding it
+                                      ///< conservatively reports "ok".
+};
+
+/// Returns true when \p H is linearizable w.r.t. \p Factory.
+/// All operations in \p H must be complete.
+bool isLinearizable(const vm::History &H, const SpecFactory &Factory,
+                    const CheckerLimits &Limits = {});
+
+/// Returns true when \p H is (operation-level) sequentially consistent
+/// w.r.t. \p Factory: some interleaving respecting only per-thread order
+/// is accepted by the spec.
+bool isSequentiallyConsistent(const vm::History &H,
+                              const SpecFactory &Factory,
+                              const CheckerLimits &Limits = {});
+
+/// The work-stealing EMPTY relaxation: take/steal operations that return
+/// EMPTY *while overlapping another operation in real time* behave as
+/// aborts — they may linearize anywhere and are removed from the history.
+/// An EMPTY take/steal that overlaps nothing must genuinely have seen an
+/// empty queue (this is exactly the paper's Fig. 2c argument, which only
+/// flags the non-overlapping EMPTY steal as a linearizability violation).
+/// Operations with other names (dequeue, contains, ...) are never
+/// touched. Returns the filtered history.
+vm::History relaxConcurrentEmptyOps(const vm::History &H);
+
+/// The "no garbage tasks" safety property used for the idempotent
+/// work-stealing queues: every value returned by a consuming operation
+/// (take/steal/dequeue) is either EMPTY or was previously an argument of a
+/// producing operation (put/enqueue). Duplicates are allowed (idempotent
+/// semantics). Returns an empty string when the property holds, otherwise
+/// a description of the violation.
+std::string checkNoGarbageTasks(const vm::History &H);
+
+} // namespace dfence::spec
+
+#endif // DFENCE_SPEC_CHECKERS_H

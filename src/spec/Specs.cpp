@@ -1,0 +1,232 @@
+//===- Specs.cpp ----------------------------------------------------------===//
+
+#include "spec/Specs.h"
+
+#include "support/StringUtils.h"
+
+using namespace dfence;
+using namespace dfence::spec;
+using vm::EmptyVal;
+using vm::OpRecord;
+using vm::Word;
+
+SpecState::~SpecState() = default;
+
+//===----------------------------------------------------------------------===//
+// WsqSpec
+//===----------------------------------------------------------------------===//
+
+bool WsqSpec::apply(const OpRecord &Op) {
+  if (Op.Func == "put") {
+    if (Op.Args.size() != 1)
+      return false;
+    Items.push_back(Op.Args[0]);
+    return true;
+  }
+  DequeEnd End;
+  if (Op.Func == "take")
+    End = TakeEnd;
+  else if (Op.Func == "steal")
+    End = StealEnd;
+  else
+    return false; // Unknown operation.
+  if (Items.empty())
+    return Op.Ret == EmptyVal;
+  Word Expected = End == DequeEnd::Tail ? Items.back() : Items.front();
+  if (Op.Ret != Expected)
+    return false;
+  if (End == DequeEnd::Tail)
+    Items.pop_back();
+  else
+    Items.pop_front();
+  return true;
+}
+
+uint64_t WsqSpec::hash() const {
+  uint64_t H = 0x57535121;
+  for (Word V : Items)
+    H = hashCombine(H, V);
+  return H;
+}
+
+std::unique_ptr<SpecState> WsqSpec::clone() const {
+  return std::make_unique<WsqSpec>(*this);
+}
+
+SpecFactory WsqSpec::factory() {
+  return factory(DequeEnd::Tail, DequeEnd::Head);
+}
+
+SpecFactory WsqSpec::factory(DequeEnd TakeEnd, DequeEnd StealEnd) {
+  return [TakeEnd, StealEnd] {
+    return std::make_unique<WsqSpec>(TakeEnd, StealEnd);
+  };
+}
+
+//===----------------------------------------------------------------------===//
+// QueueSpec
+//===----------------------------------------------------------------------===//
+
+bool QueueSpec::apply(const OpRecord &Op) {
+  if (Op.Func == "enqueue") {
+    if (Op.Args.size() != 1)
+      return false;
+    Items.push_back(Op.Args[0]);
+    return true;
+  }
+  if (Op.Func == "dequeue") {
+    if (Items.empty())
+      return Op.Ret == EmptyVal;
+    if (Op.Ret != Items.front())
+      return false;
+    Items.pop_front();
+    return true;
+  }
+  return false;
+}
+
+uint64_t QueueSpec::hash() const {
+  uint64_t H = 0x51554555;
+  for (Word V : Items)
+    H = hashCombine(H, V);
+  return H;
+}
+
+std::unique_ptr<SpecState> QueueSpec::clone() const {
+  return std::make_unique<QueueSpec>(*this);
+}
+
+SpecFactory QueueSpec::factory() {
+  return [] { return std::make_unique<QueueSpec>(); };
+}
+
+//===----------------------------------------------------------------------===//
+// SetSpec
+//===----------------------------------------------------------------------===//
+
+bool SetSpec::apply(const OpRecord &Op) {
+  if (Op.Args.size() != 1)
+    return false;
+  Word V = Op.Args[0];
+  if (Op.Func == "add") {
+    bool Inserted = Items.insert(V).second;
+    return Op.Ret == static_cast<Word>(Inserted);
+  }
+  if (Op.Func == "remove") {
+    bool Removed = Items.erase(V) != 0;
+    return Op.Ret == static_cast<Word>(Removed);
+  }
+  if (Op.Func == "contains")
+    return Op.Ret == static_cast<Word>(Items.count(V) != 0);
+  return false;
+}
+
+uint64_t SetSpec::hash() const {
+  uint64_t H = 0x53455421;
+  for (Word V : Items)
+    H = hashCombine(H, V);
+  return H;
+}
+
+std::unique_ptr<SpecState> SetSpec::clone() const {
+  return std::make_unique<SetSpec>(*this);
+}
+
+SpecFactory SetSpec::factory() {
+  return [] { return std::make_unique<SetSpec>(); };
+}
+
+//===----------------------------------------------------------------------===//
+// StackSpec
+//===----------------------------------------------------------------------===//
+
+bool StackSpec::apply(const OpRecord &Op) {
+  if (Op.Func == "push") {
+    if (Op.Args.size() != 1)
+      return false;
+    Items.push_back(Op.Args[0]);
+    return true;
+  }
+  if (Op.Func == "pop") {
+    if (Items.empty())
+      return Op.Ret == EmptyVal;
+    if (Op.Ret != Items.back())
+      return false;
+    Items.pop_back();
+    return true;
+  }
+  return false;
+}
+
+uint64_t StackSpec::hash() const {
+  uint64_t H = 0x53544b21;
+  for (Word V : Items)
+    H = hashCombine(H, V);
+  return H;
+}
+
+std::unique_ptr<SpecState> StackSpec::clone() const {
+  return std::make_unique<StackSpec>(*this);
+}
+
+SpecFactory StackSpec::factory() {
+  return [] { return std::make_unique<StackSpec>(); };
+}
+
+//===----------------------------------------------------------------------===//
+// CounterSpec
+//===----------------------------------------------------------------------===//
+
+bool CounterSpec::apply(const OpRecord &Op) {
+  if (Op.Func == "inc") {
+    if (Op.Ret != Value + 1)
+      return false;
+    ++Value;
+    return true;
+  }
+  if (Op.Func == "get")
+    return Op.Ret == Value;
+  return false;
+}
+
+uint64_t CounterSpec::hash() const {
+  return hashCombine(0x434f554e, Value);
+}
+
+std::unique_ptr<SpecState> CounterSpec::clone() const {
+  return std::make_unique<CounterSpec>(*this);
+}
+
+SpecFactory CounterSpec::factory() {
+  return [] { return std::make_unique<CounterSpec>(); };
+}
+
+//===----------------------------------------------------------------------===//
+// AllocatorSpec
+//===----------------------------------------------------------------------===//
+
+bool AllocatorSpec::apply(const OpRecord &Op) {
+  if (Op.Func == "malloc" || Op.Func == "alloc") {
+    if (Op.Ret == 0)
+      return false; // Our benchmarks never exhaust memory.
+    return Live.insert(Op.Ret).second; // Must be fresh among live blocks.
+  }
+  if (Op.Func == "free" || Op.Func == "release")
+    return !Op.Args.empty() && Live.erase(Op.Args[0]) != 0;
+  return false;
+}
+
+uint64_t AllocatorSpec::hash() const {
+  uint64_t H = 0x414c4c4f;
+  for (Word V : Live)
+    H = hashCombine(H, V);
+  return H;
+}
+
+std::unique_ptr<SpecState> AllocatorSpec::clone() const {
+  return std::make_unique<AllocatorSpec>(*this);
+}
+
+SpecFactory AllocatorSpec::factory() {
+  return [] { return std::make_unique<AllocatorSpec>(); };
+}

@@ -1,0 +1,112 @@
+//===- Specs.h - Specs for the paper's benchmark families -------*- C++ -*-===//
+
+#ifndef DFENCE_SPEC_SPECS_H
+#define DFENCE_SPEC_SPECS_H
+
+#include "spec/Spec.h"
+
+#include <deque>
+#include <set>
+
+namespace dfence::spec {
+
+/// Which end of the deque a consuming operation removes from.
+enum class DequeEnd : uint8_t { Head, Tail };
+
+/// Work-stealing queue spec: a deque of tasks. put(v) appends at the
+/// tail; take()/steal() remove from a configurable end (EMPTY when
+/// empty). The Chase-Lev/Anchor shape is take=Tail, steal=Head; the LIFO
+/// WSQ has both at the tail; the FIFO WSQ has both at the head. Return
+/// values of put are ignored.
+class WsqSpec : public SpecState {
+public:
+  WsqSpec(DequeEnd TakeEnd, DequeEnd StealEnd)
+      : TakeEnd(TakeEnd), StealEnd(StealEnd) {}
+
+  bool apply(const vm::OpRecord &Op) override;
+  uint64_t hash() const override;
+  std::unique_ptr<SpecState> clone() const override;
+
+  /// Default deque shape: take from the tail, steal from the head.
+  static SpecFactory factory();
+  static SpecFactory factory(DequeEnd TakeEnd, DequeEnd StealEnd);
+
+private:
+  DequeEnd TakeEnd;
+  DequeEnd StealEnd;
+  std::deque<vm::Word> Items;
+};
+
+/// FIFO queue spec: enqueue(v)/dequeue() with EMPTY on empty.
+class QueueSpec : public SpecState {
+public:
+  bool apply(const vm::OpRecord &Op) override;
+  uint64_t hash() const override;
+  std::unique_ptr<SpecState> clone() const override;
+
+  static SpecFactory factory();
+
+private:
+  std::deque<vm::Word> Items;
+};
+
+/// Sorted-set spec: add(v)->1 if inserted else 0; remove(v)->1 if removed
+/// else 0; contains(v)->0/1.
+class SetSpec : public SpecState {
+public:
+  bool apply(const vm::OpRecord &Op) override;
+  uint64_t hash() const override;
+  std::unique_ptr<SpecState> clone() const override;
+
+  static SpecFactory factory();
+
+private:
+  std::set<vm::Word> Items;
+};
+
+/// Stack spec: push(v)/pop() with EMPTY on empty (Treiber-style stacks).
+class StackSpec : public SpecState {
+public:
+  bool apply(const vm::OpRecord &Op) override;
+  uint64_t hash() const override;
+  std::unique_ptr<SpecState> clone() const override;
+
+  static SpecFactory factory();
+
+private:
+  std::deque<vm::Word> Items;
+};
+
+/// Shared-counter spec: inc() returns the new counter value. Mutual-
+/// exclusion failures show up as duplicate or skipped return values,
+/// which no sequentialization can explain.
+class CounterSpec : public SpecState {
+public:
+  bool apply(const vm::OpRecord &Op) override;
+  uint64_t hash() const override;
+  std::unique_ptr<SpecState> clone() const override;
+
+  static SpecFactory factory();
+
+private:
+  vm::Word Value = 0;
+};
+
+/// Allocator spec: malloc(sz) may return any address that is non-null and
+/// not currently live (freshness/uniqueness is the linearizable behaviour
+/// of a correct allocator); free(p) requires p to be live.
+class AllocatorSpec : public SpecState {
+public:
+  bool apply(const vm::OpRecord &Op) override;
+  uint64_t hash() const override;
+  std::unique_ptr<SpecState> clone() const override;
+
+  static SpecFactory factory();
+
+private:
+  std::set<vm::Word> Live;
+};
+
+} // namespace dfence::spec
+
+#endif // DFENCE_SPEC_SPECS_H

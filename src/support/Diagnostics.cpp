@@ -1,0 +1,22 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dfence;
+
+std::string SourceLoc::str() const {
+  return std::to_string(Line) + ":" + std::to_string(Col);
+}
+
+void dfence::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "dfence fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void dfence::dfenceUnreachable(const char *Message) {
+  std::fprintf(stderr, "dfence unreachable: %s\n", Message);
+  std::abort();
+}

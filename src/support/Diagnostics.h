@@ -1,0 +1,35 @@
+//===- Diagnostics.h - Fatal errors and source locations -------*- C++ -*-===//
+//
+// Part of the DFENCE reproduction. Error reporting helpers shared by every
+// library in the project. Library code never throws; unrecoverable errors
+// abort with a message, recoverable ones are returned through result types.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SUPPORT_DIAGNOSTICS_H
+#define DFENCE_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+
+namespace dfence {
+
+/// A position in a MiniC source buffer (1-based line and column).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// Prints \p Message to stderr and aborts. Used for broken invariants that
+/// indicate a bug in this project rather than bad user input.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks unreachable code; aborts with \p Message when executed.
+[[noreturn]] void dfenceUnreachable(const char *Message);
+
+} // namespace dfence
+
+#endif // DFENCE_SUPPORT_DIAGNOSTICS_H

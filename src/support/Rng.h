@@ -1,0 +1,81 @@
+//===- Rng.h - Deterministic pseudo-random number generator -----*- C++ -*-===//
+//
+// A small, fast, reproducible RNG (SplitMix64 seeding a xoshiro256**).
+// Every randomized component of the framework (the demonic scheduler,
+// clients, tests) draws from an explicitly seeded Rng so that any execution
+// can be replayed bit-for-bit from its seed.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SUPPORT_RNG_H
+#define DFENCE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace dfence {
+
+/// Deterministic xoshiro256** generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via SplitMix64.
+  void reseed(uint64_t Seed) {
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // small bounds used by the scheduler.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns true with probability \p P (clamped to [0,1]).
+  bool nextBool(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return nextDouble() < P;
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace dfence
+
+#endif // DFENCE_SUPPORT_RNG_H

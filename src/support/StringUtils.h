@@ -1,0 +1,34 @@
+//===- StringUtils.h - Small string helpers ---------------------*- C++ -*-===//
+
+#ifndef DFENCE_SUPPORT_STRINGUTILS_H
+#define DFENCE_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfence {
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Left-pads \p S with spaces to at least \p Width characters.
+std::string padLeft(const std::string &S, size_t Width);
+
+/// Right-pads \p S with spaces to at least \p Width characters.
+std::string padRight(const std::string &S, size_t Width);
+
+/// FNV-1a hash combiner used by the checker memo tables.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4);
+  return Seed;
+}
+
+} // namespace dfence
+
+#endif // DFENCE_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,322 @@
+//===- FenceEnforcer.cpp --------------------------------------------------===//
+
+#include "synth/FenceEnforcer.h"
+
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+
+#include <unordered_set>
+
+using namespace dfence;
+using namespace dfence::synth;
+using namespace dfence::ir;
+
+std::string InsertedFence::str() const {
+  std::string After =
+      LineAfter == 0 ? std::string("-") : std::to_string(LineAfter);
+  return strformat("(%s, %u:%s) %s", Function.c_str(), LineBefore,
+                   After.c_str(), fenceKindName(Kind));
+}
+
+namespace {
+
+/// Finds the source line of the next original (non-synthesized)
+/// instruction after position \p Pos; 0 when the method ends first.
+uint32_t nextSourceLine(const Function &F, size_t Pos) {
+  for (size_t I = Pos + 1; I < F.Body.size(); ++I) {
+    const Instr &In = F.Body[I];
+    if (In.Synthesized || In.SrcLine == 0)
+      continue;
+    if (In.Op == Opcode::Ret)
+      return 0; // Report as "method end" like the paper's '-'.
+    return In.SrcLine;
+  }
+  return 0;
+}
+
+/// True when an enforcement (synthesized fence or dummy-CAS pair) already
+/// sits right after position \p Pos.
+bool alreadyEnforcedAfter(const Function &F, size_t Pos) {
+  if (Pos + 1 >= F.Body.size())
+    return false;
+  const Instr &Next = F.Body[Pos + 1];
+  return Next.Synthesized &&
+         (Next.Op == Opcode::Fence || Next.Op == Opcode::GlobalAddr);
+}
+
+GlobalId dummyGlobal(Module &M) {
+  if (auto G = M.findGlobal("__dfence_dummy"))
+    return *G;
+  GlobalVar GV;
+  GV.Name = "__dfence_dummy";
+  GV.SizeWords = 1;
+  return M.addGlobal(std::move(GV));
+}
+
+GlobalId sectionLock(Module &M) {
+  if (auto G = M.findGlobal("__dfence_lock"))
+    return *G;
+  GlobalVar GV;
+  GV.Name = "__dfence_lock";
+  GV.SizeWords = 1;
+  return M.addGlobal(std::move(GV));
+}
+
+/// True when [l..k] (inclusive, layout order) is a straight-line region
+/// with no synthesized lock operations, so an atomic section wrapping it
+/// neither deadlocks nor leaks the lock on an early exit.
+bool regionIsWrappable(const Function &F, size_t L, size_t K) {
+  if (L > K)
+    return false;
+  std::unordered_set<InstrId> Targets;
+  for (const Instr &I : F.Body) {
+    if (I.Op == Opcode::Br || I.Op == Opcode::CondBr) {
+      Targets.insert(I.Target0);
+      if (I.Op == Opcode::CondBr)
+        Targets.insert(I.Target1);
+    }
+  }
+  for (size_t I = L; I <= K; ++I) {
+    const Instr &In = F.Body[I];
+    if (In.isTerminator())
+      return false;
+    if (In.Op == Opcode::Lock || In.Op == Opcode::Unlock)
+      return false; // Nested locking would self-deadlock.
+    if (I != L && Targets.count(In.Id))
+      return false; // A jump into the middle would skip the Lock.
+  }
+  return true;
+}
+
+/// Wraps [l..k] in lock/unlock of the module-wide synthesized lock.
+void wrapAtomicSection(Module &M, Function &F, InstrId L, InstrId K) {
+  GlobalId LockVar = sectionLock(M);
+  Reg AddrReg = F.NumRegs++;
+
+  // unlock after K first (inserting after L would shift K's position).
+  Instr GA2;
+  GA2.Op = Opcode::GlobalAddr;
+  GA2.GV = LockVar;
+  GA2.Dst = AddrReg;
+  GA2.Id = M.nextInstrId();
+  GA2.Synthesized = true;
+  InstrId GA2Id = GA2.Id;
+  F.insertAfter(K, std::move(GA2));
+  Instr Unl;
+  Unl.Op = Opcode::Unlock;
+  Unl.Ops = {AddrReg};
+  Unl.Id = M.nextInstrId();
+  Unl.Synthesized = true;
+  F.insertAfter(GA2Id, std::move(Unl));
+
+  // lock before L: insert after L's predecessor, or at function entry.
+  size_t LPos = F.indexOf(L);
+  Instr GA1;
+  GA1.Op = Opcode::GlobalAddr;
+  GA1.GV = LockVar;
+  GA1.Dst = AddrReg;
+  GA1.Id = M.nextInstrId();
+  GA1.Synthesized = true;
+  Instr Lk;
+  Lk.Op = Opcode::Lock;
+  Lk.Ops = {AddrReg};
+  Lk.Id = M.nextInstrId();
+  Lk.Synthesized = true;
+  if (LPos == 0) {
+    F.Body.insert(F.Body.begin(), std::move(Lk));
+    F.Body.insert(F.Body.begin(), std::move(GA1));
+    F.buildIndex();
+  } else {
+    InstrId Pred = F.Body[LPos - 1].Id;
+    InstrId GA1Id = GA1.Id;
+    F.insertAfter(Pred, std::move(GA1));
+    F.insertAfter(GA1Id, std::move(Lk));
+  }
+}
+
+} // namespace
+
+std::vector<InsertedFence> synth::enforcePredicates(
+    Module &M, const std::vector<vm::OrderingPredicate> &Predicates,
+    EnforceMode Mode) {
+  std::vector<InsertedFence> Inserted;
+  for (const vm::OrderingPredicate &P : Predicates) {
+    auto FId = M.functionOfLabel(P.Before);
+    if (!FId)
+      reportFatalError("ordering predicate over unknown label");
+    Function &F = M.function(*FId);
+    size_t Pos = F.indexOf(P.Before);
+    FenceKind Kind =
+        P.AfterIsLoad ? FenceKind::StoreLoad : FenceKind::StoreStore;
+
+    if (alreadyEnforcedAfter(F, Pos)) {
+      // A prior predicate with the same left label was already enforced;
+      // widen the fence kind to full if the new requirement differs.
+      Instr &Next = F.Body[Pos + 1];
+      if (Next.Op == Opcode::Fence && Next.FK != Kind)
+        Next.FK = FenceKind::Full;
+      continue;
+    }
+
+    InsertedFence Rec;
+    Rec.Function = F.Name;
+    Rec.Kind = Kind;
+    Rec.LineBefore = F.Body[Pos].SrcLine;
+
+    // Atomic sections need both labels in one wrappable region; anything
+    // else (inter-operation predicates in particular) falls back to a
+    // fence.
+    EnforceMode EffectiveMode = Mode;
+    if (Mode == EnforceMode::AtomicSection) {
+      // Skip when the region is already guarded by a synthesized lock.
+      if (Pos > 0 && F.Body[Pos - 1].Synthesized &&
+          F.Body[Pos - 1].Op == Opcode::Lock)
+        continue;
+      bool SameFunc = F.containsLabel(P.After);
+      if (SameFunc &&
+          regionIsWrappable(F, Pos, F.indexOf(P.After))) {
+        wrapAtomicSection(M, F, P.Before, P.After);
+        Rec.FenceLabel = F.Body[F.indexOf(P.Before) - 1].Id; // the Lock
+        Rec.LineAfter = nextSourceLine(F, F.indexOf(P.After));
+        Inserted.push_back(std::move(Rec));
+        continue;
+      }
+      EffectiveMode = EnforceMode::Fence;
+    }
+
+    if (EffectiveMode == EnforceMode::Fence) {
+      Instr Fence;
+      Fence.Op = Opcode::Fence;
+      Fence.FK = Kind;
+      Fence.Id = M.nextInstrId();
+      Fence.Synthesized = true;
+      Fence.SrcLine = 0;
+      Rec.FenceLabel = Fence.Id;
+      F.insertAfter(P.Before, std::move(Fence));
+    } else {
+      // CAS to a dummy location: on TSO executing any CAS requires the
+      // whole store buffer to drain, acting as a fence (paper §4.2).
+      GlobalId Dummy = dummyGlobal(M);
+      Reg AddrReg = F.NumRegs++;
+      Instr GA;
+      GA.Op = Opcode::GlobalAddr;
+      GA.GV = Dummy;
+      GA.Dst = AddrReg;
+      GA.Id = M.nextInstrId();
+      GA.Synthesized = true;
+      Instr Cas;
+      Cas.Op = Opcode::Cas;
+      // expected == desired == the address value itself: the CAS almost
+      // always fails, and its result is written to a dead register.
+      Cas.Ops = {AddrReg, AddrReg, AddrReg};
+      Cas.Dst = F.NumRegs++;
+      Cas.Id = M.nextInstrId();
+      Cas.Synthesized = true;
+      Rec.FenceLabel = GA.Id;
+      InstrId GAId = GA.Id;
+      F.insertAfter(P.Before, std::move(GA));
+      F.insertAfter(GAId, std::move(Cas));
+    }
+
+    Rec.LineAfter = nextSourceLine(F, F.indexOf(P.Before));
+    Inserted.push_back(std::move(Rec));
+  }
+  return Inserted;
+}
+
+unsigned synth::mergeRedundantFences(Module &M) {
+  unsigned Removed = 0;
+  for (Function &F : M.Funcs) {
+    // Labels that are branch targets cannot be merged away blindly, and a
+    // branch target in between invalidates the "always follows" claim.
+    std::unordered_set<InstrId> Targets;
+    for (const Instr &I : F.Body) {
+      if (I.Op == Opcode::Br || I.Op == Opcode::CondBr) {
+        Targets.insert(I.Target0);
+        if (I.Op == Opcode::CondBr)
+          Targets.insert(I.Target1);
+      }
+    }
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      bool FenceActive = false;
+      for (size_t I = 0; I != F.Body.size(); ++I) {
+        const Instr &In = F.Body[I];
+        if (Targets.count(In.Id)) {
+          // Unknown predecessors: forget the active fence, and never
+          // remove a fence that is itself a branch target.
+          FenceActive = false;
+        }
+        switch (In.Op) {
+        case Opcode::Fence:
+          if (FenceActive && In.Synthesized && !Targets.count(In.Id)) {
+            F.erase(In.Id);
+            ++Removed;
+            Changed = true;
+          } else {
+            FenceActive = true;
+          }
+          break;
+        case Opcode::Lock:
+        case Opcode::Unlock:
+          // Lock operations are fully fenced (paper §5.2).
+          FenceActive = true;
+          break;
+        case Opcode::Store:
+        case Opcode::Cas:
+        case Opcode::Call:
+        case Opcode::Spawn:
+        case Opcode::Br:
+        case Opcode::CondBr:
+        case Opcode::Ret:
+          // Stores invalidate; calls may store; control flow leaves the
+          // straight-line region.
+          FenceActive = false;
+          break;
+        default:
+          break; // Local instructions preserve the fence.
+        }
+        if (Changed)
+          break; // Indexes were rebuilt; rescan.
+      }
+    }
+  }
+  return Removed;
+}
+
+std::vector<InsertedFence>
+synth::collectSynthesizedFences(const Module &M) {
+  std::vector<InsertedFence> Result;
+  for (const Function &F : M.Funcs) {
+    for (size_t I = 0; I != F.Body.size(); ++I) {
+      const Instr &In = F.Body[I];
+      bool IsFence = In.Op == Opcode::Fence && In.Synthesized;
+      // A synthesized GlobalAddr starts a CAS enforcement or the lock
+      // side of an atomic section; the unlock side is not counted.
+      bool IsCasEnforce =
+          In.Op == Opcode::GlobalAddr && In.Synthesized &&
+          I + 1 < F.Body.size() &&
+          (F.Body[I + 1].Op == Opcode::Cas ||
+           F.Body[I + 1].Op == Opcode::Lock);
+      if (!IsFence && !IsCasEnforce)
+        continue;
+      InsertedFence Rec;
+      Rec.FenceLabel = In.Id;
+      Rec.Function = F.Name;
+      Rec.Kind = IsFence ? In.FK : FenceKind::Full;
+      // Line of the last original instruction before the fence.
+      for (size_t K = I; K > 0; --K) {
+        const Instr &Prev = F.Body[K - 1];
+        if (!Prev.Synthesized && Prev.SrcLine != 0) {
+          Rec.LineBefore = Prev.SrcLine;
+          break;
+        }
+      }
+      Rec.LineAfter = nextSourceLine(F, IsCasEnforce ? I + 1 : I);
+      Result.push_back(std::move(Rec));
+    }
+  }
+  return Result;
+}

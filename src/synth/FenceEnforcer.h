@@ -1,0 +1,72 @@
+//===- FenceEnforcer.h - Enforcing ordering predicates ----------*- C++ -*-===//
+//
+// Realizes satisfying assignments of the repair formula in the program
+// (paper Algorithm 2 and §4.2): an ordering predicate [l ≺ k] is enforced
+// by inserting a memory fence right after label l — store-store when k is
+// a store, store-load when k is a load — or, alternatively on TSO, by a
+// CAS to a dummy location. A static merge pass afterwards removes fences
+// that provably always follow another fence with no intervening shared
+// store (paper §5.2).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SYNTH_FENCEENFORCER_H
+#define DFENCE_SYNTH_FENCEENFORCER_H
+
+#include "ir/Module.h"
+#include "vm/Repair.h"
+
+#include <string>
+#include <vector>
+
+namespace dfence::synth {
+
+/// How ordering constraints are realized in the program.
+enum class EnforceMode : uint8_t {
+  Fence,    ///< Insert fence instructions (the default in the paper).
+  CasDummy, ///< Insert a CAS to a dummy global; equivalent on TSO.
+  /// Wrap the [l .. k] region in a module-wide synthesized lock (paper
+  /// §4.2 "enforce with atomicity"). Only applicable when both labels sit
+  /// in one straight-line region of the same function; other predicates
+  /// fall back to fences. Lock release drains the store buffers, and
+  /// mutually-exclusive repaired regions cannot interleave, which is how
+  /// the atomicity constraint subsumes the ordering constraint once all
+  /// racing regions are wrapped.
+  AtomicSection,
+};
+
+/// A record of one synthesized enforcement, reported the way the paper's
+/// Table 3 reports fences: (method, lineBefore:lineAfter).
+struct InsertedFence {
+  ir::InstrId FenceLabel = ir::InvalidInstrId;
+  std::string Function;
+  ir::FenceKind Kind = ir::FenceKind::Full;
+  uint32_t LineBefore = 0; ///< Source line of the store before the fence.
+  uint32_t LineAfter = 0;  ///< Next source line after it; 0 = method end.
+
+  std::string str() const;
+};
+
+/// Inserts enforcement for \p Predicates into \p M (mutating it).
+/// Duplicate work is skipped: if the instruction right after l is already
+/// a synthesized enforcement, the predicate is considered enforced.
+/// Returns the records of newly inserted enforcements.
+std::vector<InsertedFence>
+enforcePredicates(ir::Module &M,
+                  const std::vector<vm::OrderingPredicate> &Predicates,
+                  EnforceMode Mode);
+
+/// The paper's fence-merge optimization: removes a synthesized fence when
+/// it always follows a previous fence in program order with no shared
+/// store in between (conservative: any branch target or potentially
+/// storing instruction in between blocks the merge). Returns the number of
+/// fences removed.
+unsigned mergeRedundantFences(ir::Module &M);
+
+/// Collects the synthesized enforcements currently present in \p M
+/// (post-merge reporting).
+std::vector<InsertedFence> collectSynthesizedFences(const ir::Module &M);
+
+} // namespace dfence::synth
+
+#endif // DFENCE_SYNTH_FENCEENFORCER_H

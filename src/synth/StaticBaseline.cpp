@@ -1,0 +1,142 @@
+//===- StaticBaseline.cpp -------------------------------------------------===//
+
+#include "synth/StaticBaseline.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace dfence;
+using namespace dfence::synth;
+using namespace dfence::ir;
+
+namespace {
+
+/// True when \p I may read shared memory before draining the buffer.
+/// Lock/Unlock read the lock variable but drain the issuing thread's
+/// buffers first, so they act as barriers (handled by the reachability
+/// walk), not as conflicting accesses.
+bool mayLoad(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::Load:
+  case Opcode::Cas:  // Under PSO a CAS only drains its own variable.
+  case Opcode::Call: // Callee may load.
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True when \p I may touch shared memory at all (or leaves the
+/// function, which under PSO publishes the operation's effects).
+bool mayAccessOrExit(const Instr &I) {
+  return mayLoad(I) || I.Op == Opcode::Store || I.Op == Opcode::Free ||
+         I.Op == Opcode::Ret || I.Op == Opcode::Spawn;
+}
+
+/// Forward reachability from the instruction after \p From: does any
+/// instruction satisfying \p Pred appear before a full drain (an
+/// explicit fence drains the buffer and kills the delay)? Under TSO a
+/// CAS is also a full drain (\p CasIsBarrier).
+template <typename PredT>
+bool reachesBeforeFence(const Function &F, size_t From, bool CasIsBarrier,
+                        PredT Pred) {
+  std::unordered_set<size_t> Visited;
+  std::deque<size_t> Work;
+  auto Push = [&](size_t Pos) {
+    if (Pos < F.Body.size() && Visited.insert(Pos).second)
+      Work.push_back(Pos);
+  };
+  // Successors of the starting instruction.
+  const Instr &Start = F.Body[From];
+  if (Start.Op == Opcode::Br) {
+    Push(F.indexOf(Start.Target0));
+  } else if (Start.Op == Opcode::CondBr) {
+    Push(F.indexOf(Start.Target0));
+    Push(F.indexOf(Start.Target1));
+  } else if (Start.Op != Opcode::Ret) {
+    Push(From + 1);
+  }
+  while (!Work.empty()) {
+    size_t Pos = Work.front();
+    Work.pop_front();
+    const Instr &I = F.Body[Pos];
+    // Fences (and the fully-fenced lock ops, and CAS under TSO) drain
+    // the store buffer before executing, so the delayed store cannot be
+    // reordered past anything at or beyond them.
+    if (I.Op == Opcode::Fence || I.Op == Opcode::Lock ||
+        I.Op == Opcode::Unlock ||
+        (CasIsBarrier && I.Op == Opcode::Cas))
+      continue;
+    if (Pred(I))
+      return true;
+    if (I.Op == Opcode::Br) {
+      Push(F.indexOf(I.Target0));
+    } else if (I.Op == Opcode::CondBr) {
+      Push(F.indexOf(I.Target0));
+      Push(F.indexOf(I.Target1));
+    } else if (I.Op != Opcode::Ret) {
+      Push(Pos + 1);
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+StaticBaselineResult synth::staticDelaySetFences(const Module &M,
+                                                 vm::MemModel Model) {
+  StaticBaselineResult Result;
+  Result.FencedModule = M;
+  Module &Out = Result.FencedModule;
+  Out.buildIndexes();
+  if (Model == vm::MemModel::SC)
+    return Result;
+
+  for (Function &F : Out.Funcs) {
+    // Collect the stores needing fences first; inserting invalidates
+    // positions, so work on stable labels.
+    std::vector<InstrId> NeedFence;
+    std::vector<FenceKind> Kinds;
+    for (size_t Pos = 0; Pos != F.Body.size(); ++Pos) {
+      const Instr &I = F.Body[Pos];
+      if (I.Op != Opcode::Store)
+        continue;
+      // Already followed by a fence?
+      if (Pos + 1 < F.Body.size() &&
+          F.Body[Pos + 1].Op == Opcode::Fence)
+        continue;
+      // TSO: later loads reorder with the store; a reachable return also
+      // needs the fence so the store commits within the operation
+      // (otherwise linearizability-style specs are violated by the
+      // delayed publication — soundness demands it without execution
+      // information). PSO: any later shared access or exit conflicts.
+      bool Needs =
+          Model == vm::MemModel::TSO
+              ? reachesBeforeFence(F, Pos, /*CasIsBarrier=*/true,
+                                   [](const Instr &A) {
+                                     return mayLoad(A) ||
+                                            A.Op == Opcode::Ret;
+                                   })
+              : reachesBeforeFence(F, Pos, /*CasIsBarrier=*/false,
+                                   [](const Instr &A) {
+                                     return mayAccessOrExit(A);
+                                   });
+      if (!Needs)
+        continue;
+      NeedFence.push_back(I.Id);
+      Kinds.push_back(Model == vm::MemModel::TSO
+                          ? FenceKind::StoreLoad
+                          : FenceKind::StoreStore);
+    }
+    for (size_t K = 0; K != NeedFence.size(); ++K) {
+      Instr Fence;
+      Fence.Op = Opcode::Fence;
+      Fence.FK = Kinds[K];
+      Fence.Id = Out.nextInstrId();
+      Fence.Synthesized = true;
+      F.insertAfter(NeedFence[K], std::move(Fence));
+      ++Result.FencesInserted;
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,43 @@
+//===- StaticBaseline.h - Conservative static fence insertion --*- C++ -*-===//
+//
+// The class of static approaches the paper compares against (delay-set
+// analysis in the style of Shasha & Snir, as implemented by the Pensieve
+// project): without execution information, a sound static tool must
+// order every store against every later conflicting access it cannot
+// prove independent. On our IR, where addresses are dynamic, the sound
+// approximation is:
+//
+//   TSO: a store with a reachable later load/CAS (or call, which may
+//        load) in the same function needs a store-load fence.
+//   PSO: a store with ANY reachable later shared access, call, or
+//        function return needs a store-store fence.
+//
+// The point of the baseline is the paper's scalability/precision claim:
+// static placement over-fences by roughly the insertion-point count,
+// while dynamic synthesis pins the handful of fences that executions
+// actually require (see bench/baseline_static).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SYNTH_STATICBASELINE_H
+#define DFENCE_SYNTH_STATICBASELINE_H
+
+#include "ir/Module.h"
+#include "vm/StoreBuffer.h"
+
+namespace dfence::synth {
+
+/// Result of the static baseline.
+struct StaticBaselineResult {
+  unsigned FencesInserted = 0;
+  ir::Module FencedModule;
+};
+
+/// Inserts conservative delay-set fences for \p Model into a copy of
+/// \p M. Never inserts two fences at the same point.
+StaticBaselineResult staticDelaySetFences(const ir::Module &M,
+                                          vm::MemModel Model);
+
+} // namespace dfence::synth
+
+#endif // DFENCE_SYNTH_STATICBASELINE_H

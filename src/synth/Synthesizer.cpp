@@ -1,0 +1,200 @@
+//===- Synthesizer.cpp - Algorithm 1 --------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include "sat/MinimalModels.h"
+#include "spec/Checkers.h"
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace dfence;
+using namespace dfence::synth;
+using vm::OrderingPredicate;
+
+const char *synth::specKindName(SpecKind K) {
+  switch (K) {
+  case SpecKind::MemorySafety:          return "memory-safety";
+  case SpecKind::NoGarbage:             return "no-garbage";
+  case SpecKind::SequentialConsistency: return "sequential-consistency";
+  case SpecKind::Linearizability:       return "linearizability";
+  }
+  dfenceUnreachable("invalid spec kind");
+}
+
+std::string SynthResult::fenceSummary() const {
+  if (Fences.empty())
+    return "0";
+  std::vector<std::string> Parts;
+  for (const InsertedFence &F : Fences)
+    Parts.push_back(F.str());
+  return join(Parts, " ");
+}
+
+std::string synth::checkExecution(const vm::ExecResult &R,
+                                  const SynthConfig &Cfg) {
+  switch (R.Out) {
+  case vm::Outcome::MemSafety:
+  case vm::Outcome::AssertFail:
+    return R.Message.empty() ? "memory safety violation" : R.Message;
+  case vm::Outcome::StepLimit:
+  case vm::Outcome::Deadlock:
+    return std::string(); // Discarded, never treated as a violation.
+  case vm::Outcome::Completed:
+    break;
+  }
+
+  switch (Cfg.Spec) {
+  case SpecKind::MemorySafety:
+    return std::string();
+  case SpecKind::NoGarbage:
+    return spec::checkNoGarbageTasks(R.Hist);
+  case SpecKind::SequentialConsistency:
+    assert(Cfg.Factory && "SC checking needs a sequential specification");
+    if (!spec::isSequentiallyConsistent(R.Hist, Cfg.Factory))
+      return "history is not sequentially consistent:\n" + R.Hist.str();
+    return std::string();
+  case SpecKind::Linearizability: {
+    assert(Cfg.Factory && "lin checking needs a sequential specification");
+    // Work-stealing relaxation: concurrent EMPTY take/steal are aborts
+    // (see relaxConcurrentEmptyOps); only non-overlapping EMPTY answers
+    // must be justified by an empty queue (the paper's Fig. 2c).
+    vm::History Relaxed = spec::relaxConcurrentEmptyOps(R.Hist);
+    if (!spec::isLinearizable(Relaxed, Cfg.Factory))
+      return "history is not linearizable:\n" + R.Hist.str();
+    return std::string();
+  }
+  }
+  dfenceUnreachable("invalid spec kind");
+}
+
+SynthResult synth::synthesize(const ir::Module &M,
+                              const std::vector<vm::Client> &Clients,
+                              const SynthConfig &Cfg) {
+  assert(!Clients.empty() && "synthesis needs at least one client");
+  SynthResult Result;
+  ir::Module Cur = M; // Work on a copy; labels stay stable.
+  Cur.buildIndexes();
+
+  // Stable mapping predicate <-> SAT variable across the whole run
+  // (statistics only need the universe size; the formula itself is reset
+  // after every repair, following Algorithm 1 line 13).
+  std::map<OrderingPredicate, sat::Var> PredVar;
+  std::vector<OrderingPredicate> VarPred;
+
+  unsigned RepairRounds = 0;
+  unsigned CleanRounds = 0;
+  for (unsigned Round = 1; Round <= Cfg.MaxRounds; ++Round) {
+    Result.Rounds = Round;
+    RoundStats Stats;
+    Stats.Round = Round;
+
+    // One round: K executions against the current program.
+    std::vector<std::vector<OrderingPredicate>> ViolationRepairs;
+    for (unsigned I = 0; I != Cfg.ExecsPerRound; ++I) {
+      const vm::Client &Client =
+          Clients[Result.TotalExecutions % Clients.size()];
+      vm::ExecConfig EC;
+      EC.Model = Cfg.Model;
+      EC.Seed = Cfg.BaseSeed + Result.TotalExecutions;
+      EC.MaxSteps = Cfg.MaxStepsPerExec;
+      EC.CollectRepairs = true;
+      EC.InterOpPredicates = Cfg.InterOpPredicates;
+      EC.FlushProb =
+          Cfg.FlushProbs.empty()
+              ? Cfg.FlushProb
+              : Cfg.FlushProbs[Result.TotalExecutions %
+                               Cfg.FlushProbs.size()];
+      EC.PartialOrderReduction = Cfg.PartialOrderReduction;
+      vm::ExecResult R = vm::runExecution(Cur, Client, EC);
+      ++Result.TotalExecutions;
+
+      if (R.Out == vm::Outcome::StepLimit ||
+          R.Out == vm::Outcome::Deadlock) {
+        ++Result.DiscardedExecutions;
+        continue;
+      }
+      std::string Violation = checkExecution(R, Cfg);
+      if (Violation.empty())
+        continue;
+      ++Result.ViolatingExecutions;
+      ++Stats.Violations;
+      if (Stats.SampleViolation.empty())
+        Stats.SampleViolation = Violation;
+      if (Result.FirstViolation.empty())
+        Result.FirstViolation = Violation;
+      if (R.Repairs.empty()) {
+        // avoid() returned false for this execution: no reordering can
+        // explain it. Repairable violations may still exist in the same
+        // round; abort only when a whole round is unrepairable.
+        continue;
+      }
+      ViolationRepairs.push_back(std::move(R.Repairs));
+    }
+    Stats.Executions = Cfg.ExecsPerRound;
+
+    if (Stats.Violations == 0) {
+      Stats.FencesEnforced =
+          static_cast<unsigned>(collectSynthesizedFences(Cur).size());
+      Result.RoundLog.push_back(std::move(Stats));
+      if (++CleanRounds >= std::max(1u, Cfg.CleanRoundsRequired)) {
+        Result.Converged = true;
+        break;
+      }
+      continue;
+    }
+    CleanRounds = 0;
+    if (ViolationRepairs.empty()) {
+      // Every violation this round had an empty repair disjunction: the
+      // misbehaviour is not caused by reordering ("cannot be fixed").
+      Result.CannotFix = true;
+      Result.RoundLog.push_back(std::move(Stats));
+      break;
+    }
+    if (RepairRounds >= Cfg.MaxRepairRounds) {
+      Result.RoundLog.push_back(std::move(Stats));
+      break; // Out of repair budget; report unconverged.
+    }
+
+    // Build Φ = conjunction of the per-execution disjunctions and find a
+    // minimal satisfying assignment.
+    sat::MonotoneCnf F;
+    for (const std::vector<OrderingPredicate> &Disj : ViolationRepairs) {
+      std::vector<sat::Var> Clause;
+      for (const OrderingPredicate &P : Disj) {
+        auto It = PredVar.find(P);
+        if (It == PredVar.end()) {
+          sat::Var V = static_cast<sat::Var>(VarPred.size());
+          It = PredVar.emplace(P, V).first;
+          VarPred.push_back(P);
+        }
+        Clause.push_back(It->second);
+      }
+      F.Clauses.push_back(std::move(Clause));
+    }
+    F.NumVars = static_cast<unsigned>(VarPred.size());
+    Result.DistinctPredicates = VarPred.size();
+
+    bool Unsat = false;
+    std::vector<sat::Var> Chosen = sat::minimumModel(F, Unsat);
+    assert(!Unsat && "positive CNF with non-empty clauses must be SAT");
+
+    std::vector<OrderingPredicate> ChosenPreds;
+    ChosenPreds.reserve(Chosen.size());
+    for (sat::Var V : Chosen)
+      ChosenPreds.push_back(VarPred[V]);
+    enforcePredicates(Cur, ChosenPreds, Cfg.Mode);
+    if (Cfg.MergeFences)
+      mergeRedundantFences(Cur);
+    ++RepairRounds;
+    Stats.FencesEnforced =
+        static_cast<unsigned>(collectSynthesizedFences(Cur).size());
+    Result.RoundLog.push_back(std::move(Stats));
+  }
+
+  Result.FencedModule = std::move(Cur);
+  Result.Fences = collectSynthesizedFences(Result.FencedModule);
+  Result.DistinctPredicates = VarPred.size();
+  return Result;
+}

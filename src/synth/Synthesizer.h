@@ -1,0 +1,113 @@
+//===- Synthesizer.h - Dynamic synthesis driver (Algorithm 1) --*- C++ -*-===//
+//
+// The paper's main loop: repeatedly execute the program under the demonic
+// scheduler; whenever a round of executions produced violations, build the
+// repair formula Φ (conjunction over violating executions of the
+// disjunction of ordering predicates collected along each), find a minimal
+// satisfying assignment with the SAT machinery, enforce it as fences, and
+// continue with the repaired program. Terminates when a full round finds
+// no violation (or limits are hit).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SYNTH_SYNTHESIZER_H
+#define DFENCE_SYNTH_SYNTHESIZER_H
+
+#include "ir/Module.h"
+#include "spec/Spec.h"
+#include "synth/FenceEnforcer.h"
+#include "vm/Client.h"
+#include "vm/Interp.h"
+
+#include <string>
+#include <vector>
+
+namespace dfence::synth {
+
+/// Which specification violations trigger repair. Memory safety checking
+/// is always on (as in the paper); the other criteria add history checks.
+enum class SpecKind : uint8_t {
+  MemorySafety,           ///< Only the always-on safety checks.
+  NoGarbage,              ///< + "no garbage tasks" (idempotent WSQs).
+  SequentialConsistency,  ///< + operation-level SC.
+  Linearizability,        ///< + linearizability.
+};
+
+const char *specKindName(SpecKind K);
+
+/// Synthesis configuration (the paper's four experimental dimensions:
+/// memory model, specification, clients, scheduler parameters).
+struct SynthConfig {
+  vm::MemModel Model = vm::MemModel::PSO;
+  SpecKind Spec = SpecKind::SequentialConsistency;
+  /// Sequential specification; required for SC/linearizability.
+  spec::SpecFactory Factory;
+
+  double FlushProb = 0.5;
+  /// Optional portfolio of flush probabilities cycled across executions;
+  /// when non-empty it overrides FlushProb. Different delay regimes
+  /// surface different violation classes (long delays expose store-load
+  /// races, moderate ones store-store races), so mixing them inside one
+  /// round improves coverage at a fixed K.
+  std::vector<double> FlushProbs;
+  unsigned ExecsPerRound = 400; ///< The paper's K.
+  unsigned MaxRounds = 24;
+  /// Cap on repair (enforcement) rounds; the "one-shot" strategy of
+  /// Fig. 4 uses 1 here with a final verification round.
+  unsigned MaxRepairRounds = 24;
+  /// Consecutive violation-free rounds required to declare convergence.
+  /// 1 matches the paper's termination rule; 2+ hardens against a clean
+  /// round being sampling luck on a low-rate residual violation.
+  unsigned CleanRoundsRequired = 1;
+  uint64_t BaseSeed = 0x5eed;
+  size_t MaxStepsPerExec = 60000;
+
+  EnforceMode Mode = EnforceMode::Fence;
+  bool MergeFences = true;
+  bool PartialOrderReduction = true;
+  /// Ablation: disable the inter-operation [store ≺ return] predicates.
+  bool InterOpPredicates = true;
+};
+
+/// Per-round synthesis statistics (drives the Fig. 4 reproduction).
+struct RoundStats {
+  unsigned Round = 0;
+  uint64_t Executions = 0;
+  uint64_t Violations = 0;
+  unsigned FencesEnforced = 0; ///< Fences present after this round.
+  std::string SampleViolation;
+};
+
+/// The outcome of a synthesis run.
+struct SynthResult {
+  bool Converged = false; ///< A full round showed no violations.
+  bool CannotFix = false; ///< A violating execution had no repair.
+  std::vector<InsertedFence> Fences; ///< Enforcements in final program.
+  unsigned Rounds = 0;
+  uint64_t TotalExecutions = 0;
+  uint64_t ViolatingExecutions = 0;
+  uint64_t DiscardedExecutions = 0; ///< Step-limit/deadlock runs.
+  uint64_t DistinctPredicates = 0;  ///< Size of the predicate universe.
+  ir::Module FencedModule;
+  std::string FirstViolation; ///< Diagnostics of the first violation.
+  std::vector<RoundStats> RoundLog;
+
+  std::string fenceSummary() const;
+};
+
+/// Runs dynamic synthesis of \p M exercised by \p Clients (cycled through
+/// round-robin across executions). \p M is copied, never modified.
+SynthResult synthesize(const ir::Module &M,
+                       const std::vector<vm::Client> &Clients,
+                       const SynthConfig &Cfg);
+
+/// Checks a single execution result against \p Cfg's specification.
+/// Returns an empty string when the execution is acceptable, otherwise a
+/// description of the violation. Step-limited/deadlocked executions are
+/// reported as acceptable ("discarded") per the synthesis loop's policy;
+/// the caller distinguishes them via the outcome.
+std::string checkExecution(const vm::ExecResult &R, const SynthConfig &Cfg);
+
+} // namespace dfence::synth
+
+#endif // DFENCE_SYNTH_SYNTHESIZER_H

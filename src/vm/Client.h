@@ -1,0 +1,60 @@
+//===- Client.h - Concurrent clients driving an algorithm ------*- C++ -*-===//
+//
+// A client exercises the methods of a concurrent algorithm: one script per
+// thread, each script a fixed sequence of method calls. The interpreter
+// runs all scripts concurrently under the demonic scheduler and records
+// the resulting history. This corresponds to the paper's "(concurrent)
+// client that calls the methods of the algorithm".
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_VM_CLIENT_H
+#define DFENCE_VM_CLIENT_H
+
+#include "ir/Instr.h"
+
+#include <string>
+#include <vector>
+
+namespace dfence::vm {
+
+/// An argument of a client call: either a literal word, or a reference to
+/// the return value of an earlier call of the same thread (by call index).
+/// References let clients express patterns like "free the pointer returned
+/// by my first malloc" — the paper's allocator client mmmfff|mfmf.
+struct Arg {
+  ir::Word Literal = 0;
+  int Ref = -1; ///< >= 0: index of the producing call in this thread.
+
+  Arg(ir::Word V) : Literal(V) {} // NOLINT(google-explicit-constructor)
+  Arg(int V) : Literal(static_cast<ir::Word>(static_cast<int64_t>(V))) {}
+  static Arg resultOf(int CallIndex) {
+    Arg A(0);
+    A.Ref = CallIndex;
+    return A;
+  }
+};
+
+/// One top-level call a client thread performs.
+struct MethodCall {
+  std::string Func;
+  std::vector<Arg> Args;
+};
+
+/// The per-thread sequence of calls.
+struct ThreadScript {
+  std::vector<MethodCall> Calls;
+};
+
+/// A whole client: one script per logical thread. If InitFunc is non-empty
+/// the interpreter runs it to completion single-threaded (under SC-like
+/// conditions: buffers drained afterwards) before starting the scripts.
+struct Client {
+  std::string Name;
+  std::string InitFunc;
+  std::vector<ThreadScript> Threads;
+};
+
+} // namespace dfence::vm
+
+#endif // DFENCE_VM_CLIENT_H

@@ -1,0 +1,660 @@
+//===- Interp.cpp - Execution engine with TSO/PSO semantics ---------------===//
+
+#include "vm/Interp.h"
+
+#include "sched/RandomFlushScheduler.h"
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+
+using namespace dfence;
+using namespace dfence::vm;
+using namespace dfence::ir;
+
+const char *vm::outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Completed:  return "completed";
+  case Outcome::StepLimit:  return "step-limit";
+  case Outcome::MemSafety:  return "memory-safety";
+  case Outcome::AssertFail: return "assert-failed";
+  case Outcome::Deadlock:   return "deadlock";
+  }
+  dfenceUnreachable("invalid outcome");
+}
+
+std::string History::str() const {
+  std::string S;
+  for (const OpRecord &Op : Ops) {
+    std::vector<std::string> Args;
+    for (Word A : Op.Args)
+      Args.push_back(std::to_string(static_cast<int64_t>(A)));
+    S += strformat("T%u %s(%s)", Op.Thread, Op.Func.c_str(),
+                   join(Args, ",").c_str());
+    if (Op.Completed)
+      S += strformat(" = %lld [%llu,%llu]",
+                     static_cast<long long>(Op.Ret),
+                     static_cast<unsigned long long>(Op.InvokeSeq),
+                     static_cast<unsigned long long>(Op.RespondSeq));
+    else
+      S += " pending";
+    S += "\n";
+  }
+  return S;
+}
+
+namespace {
+
+/// One stack frame of a VM thread.
+struct Frame {
+  FuncId F = 0;
+  size_t Ip = 0;
+  std::vector<Word> Regs;
+  Reg RetDst = 0;          ///< Caller register receiving the return value.
+  bool IsTopLevel = false; ///< Frame of a recorded client method call.
+  size_t OpIndex = 0;      ///< History slot when IsTopLevel.
+};
+
+/// A VM thread: client-script threads and Spawn-created threads alike.
+struct Thread {
+  uint32_t Tid = 0;
+  std::vector<Frame> Frames;
+  StoreBufferSet Buf;
+  const ThreadScript *Script = nullptr; ///< Null for spawned threads.
+  size_t ScriptPos = 0;
+  std::vector<Word> CallResults; ///< Return values of completed calls.
+  bool DoneFlag = false;
+
+  explicit Thread(MemModel M) : Buf(M) {}
+
+  bool hasWork() const {
+    if (!Frames.empty())
+      return true;
+    return Script && ScriptPos < Script->Calls.size();
+  }
+};
+
+/// The execution engine for a single run.
+class Engine {
+public:
+  Engine(const Module &M, const Client &C, const ExecConfig &Cfg)
+      : M(M), C(C), Cfg(Cfg), R(Cfg.Seed) {
+    if (Cfg.Sched) {
+      Sched = Cfg.Sched;
+    } else {
+      sched::RandomFlushConfig SC;
+      SC.FlushProb = Cfg.FlushProb;
+      SC.PartialOrderReduction = Cfg.PartialOrderReduction;
+      OwnedSched = std::make_unique<sched::RandomFlushScheduler>(SC);
+      Sched = OwnedSched.get();
+    }
+  }
+
+  ExecResult run();
+
+private:
+  // Violation plumbing.
+  void violate(Outcome O, std::string Msg) {
+    if (Halted)
+      return;
+    Halted = true;
+    Result.Out = O;
+    Result.Message = std::move(Msg);
+  }
+
+  void layoutGlobals();
+  void runInit();
+  void createClientThreads();
+  void mainLoop();
+  void finalDrain();
+
+  void startNextCall(Thread &T);
+  /// Executes one instruction (or a blocked-progress flush) of \p T.
+  /// Returns true when the thread made progress.
+  bool stepThread(Thread &T);
+  /// Flushes one buffered entry of \p T (of \p Var under PSO when
+  /// \p HasVar), performing the memory-safety check of the FLUSH rule.
+  void flushOne(Thread &T, bool HasVar, Word Var);
+  /// Drains one entry of the buffers relevant to an atomic operation on
+  /// \p Addr; used to make progress while a fence/CAS/lock is blocked.
+  void drainForAtomic(Thread &T, Word Addr);
+
+  /// Instrumented semantics: records ordering predicates between pending
+  /// stores and the access at label \p K on variable \p Addr.
+  void collectRepairs(Thread &T, InstrId K, Word Addr, bool IsLoad);
+
+  /// Memory-safety checked accessors; return false after flagging a
+  /// violation.
+  bool checkAddr(Word Addr, const char *What, InstrId Label);
+
+  Word regVal(const Frame &F, Reg Rg) const {
+    assert(Rg < F.Regs.size());
+    return F.Regs[Rg];
+  }
+
+  FuncId resolveFunc(const std::string &Name);
+
+  const Module &M;
+  const Client &C;
+  ExecConfig Cfg;
+  Rng R;
+  std::unique_ptr<sched::Scheduler> OwnedSched;
+  sched::Scheduler *Sched = nullptr;
+
+  Memory Mem;
+  std::vector<Word> GlobalAddrs;
+  std::vector<std::unique_ptr<Thread>> Threads;
+  uint64_t Seq = 0;
+  size_t Steps = 0;
+  uint64_t NoProgress = 0;
+  bool Halted = false;
+  std::set<OrderingPredicate> Repairs;
+  ExecResult Result;
+  std::unordered_map<std::string, FuncId> FuncCache;
+};
+
+} // namespace
+
+FuncId Engine::resolveFunc(const std::string &Name) {
+  auto It = FuncCache.find(Name);
+  if (It != FuncCache.end())
+    return It->second;
+  auto F = M.findFunction(Name);
+  if (!F)
+    reportFatalError("client calls unknown function: " + Name);
+  FuncCache.emplace(Name, *F);
+  return *F;
+}
+
+void Engine::layoutGlobals() {
+  GlobalAddrs.reserve(M.Globals.size());
+  for (const GlobalVar &G : M.Globals) {
+    Word Addr = Mem.allocateGlobal(G.SizeWords);
+    for (size_t I = 0, E = G.Init.size(); I != E && I < G.SizeWords; ++I)
+      Mem.write(Addr + I, G.Init[I]);
+    GlobalAddrs.push_back(Addr);
+  }
+}
+
+void Engine::runInit() {
+  // The init function runs to completion, alone, with SC semantics: a
+  // dedicated SC-buffered (i.e. unbuffered) thread stepping until done.
+  Thread Init(MemModel::SC);
+  Init.Tid = ~0u;
+  FuncId F = resolveFunc(C.InitFunc);
+  Frame Fr;
+  Fr.F = F;
+  Fr.Regs.assign(M.Funcs[F].NumRegs, 0);
+  Init.Frames.push_back(std::move(Fr));
+  size_t InitSteps = 0;
+  while (!Init.Frames.empty() && !Halted) {
+    if (++InitSteps > Cfg.MaxSteps) {
+      violate(Outcome::StepLimit, "init function exceeded step limit");
+      return;
+    }
+    stepThread(Init);
+  }
+}
+
+void Engine::createClientThreads() {
+  for (size_t I = 0, E = C.Threads.size(); I != E; ++I) {
+    auto T = std::make_unique<Thread>(Cfg.Model);
+    T->Tid = static_cast<uint32_t>(I);
+    T->Script = &C.Threads[I];
+    Threads.push_back(std::move(T));
+  }
+}
+
+void Engine::startNextCall(Thread &T) {
+  assert(T.Script && T.ScriptPos < T.Script->Calls.size());
+  const MethodCall &MC = T.Script->Calls[T.ScriptPos++];
+  FuncId F = resolveFunc(MC.Func);
+  const Function &Fn = M.Funcs[F];
+  if (MC.Args.size() != Fn.NumParams)
+    reportFatalError("client call arity mismatch for " + MC.Func);
+
+  std::vector<Word> ArgVals;
+  ArgVals.reserve(MC.Args.size());
+  for (const Arg &A : MC.Args) {
+    if (A.Ref < 0) {
+      ArgVals.push_back(A.Literal);
+    } else {
+      if (static_cast<size_t>(A.Ref) >= T.CallResults.size())
+        reportFatalError("client argument references a later call");
+      ArgVals.push_back(T.CallResults[A.Ref]);
+    }
+  }
+
+  OpRecord Op;
+  Op.Func = MC.Func;
+  Op.Args = ArgVals;
+  Op.Thread = T.Tid;
+  Op.InvokeSeq = ++Seq;
+  size_t OpIndex = Result.Hist.Ops.size();
+  Result.Hist.Ops.push_back(std::move(Op));
+
+  Frame Fr;
+  Fr.F = F;
+  Fr.Regs.assign(Fn.NumRegs, 0);
+  for (size_t I = 0; I != ArgVals.size(); ++I)
+    Fr.Regs[I] = ArgVals[I];
+  Fr.IsTopLevel = true;
+  Fr.OpIndex = OpIndex;
+  T.Frames.push_back(std::move(Fr));
+}
+
+bool Engine::checkAddr(Word Addr, const char *What, InstrId Label) {
+  if (Mem.isValid(Addr))
+    return true;
+  const char *Why = Addr == 0            ? "null dereference"
+                    : Mem.isFreed(Addr)  ? "use after free"
+                                         : "out-of-bounds access";
+  violate(Outcome::MemSafety,
+          strformat("%s at address %llu (%%%u): %s", What,
+                    static_cast<unsigned long long>(Addr), Label, Why));
+  return false;
+}
+
+void Engine::collectRepairs(Thread &T, InstrId K, Word Addr, bool IsLoad) {
+  if (!Cfg.CollectRepairs || Cfg.Model == MemModel::SC)
+    return;
+  // Under TSO only store→load reordering is possible, so only later loads
+  // yield ordering predicates; PSO additionally relaxes store→store.
+  if (Cfg.Model == MemModel::TSO && !IsLoad)
+    return;
+  std::vector<InstrId> Labels;
+  T.Buf.pendingLabelsExcept(Addr, Labels);
+  for (InstrId L : Labels)
+    Repairs.insert(OrderingPredicate{L, K, IsLoad});
+}
+
+void Engine::flushOne(Thread &T, bool HasVar, Word Var) {
+  assert(!T.Buf.empty() && "flush of empty buffer");
+  BufferEntry E = (HasVar && Cfg.Model == MemModel::PSO)
+                      ? T.Buf.popOldestFor(Var)
+                      : T.Buf.popOldest();
+  // The FLUSH rule is where delayed stores become visible; the paper
+  // checks safety of the target here (a store to memory freed in the
+  // meantime is a violation).
+  if (!checkAddr(E.Addr, "flush of buffered store", E.Label))
+    return;
+  Mem.write(E.Addr, E.Val);
+}
+
+void Engine::drainForAtomic(Thread &T, Word Addr) {
+  if (Cfg.Model == MemModel::PSO && !T.Buf.emptyFor(Addr)) {
+    BufferEntry E = T.Buf.popOldestFor(Addr);
+    if (!checkAddr(E.Addr, "flush of buffered store", E.Label))
+      return;
+    Mem.write(E.Addr, E.Val);
+    return;
+  }
+  flushOne(T, false, 0);
+}
+
+bool Engine::stepThread(Thread &T) {
+  if (T.Frames.empty()) {
+    if (T.Script && T.ScriptPos < T.Script->Calls.size()) {
+      startNextCall(T);
+      return true;
+    }
+    T.DoneFlag = true;
+    return false;
+  }
+
+  Frame &F = T.Frames.back();
+  const Function &Fn = M.Funcs[F.F];
+  assert(F.Ip < Fn.Body.size() && "instruction pointer out of range");
+  const Instr &I = Fn.Body[F.Ip];
+
+  auto Jump = [&](InstrId Target) { F.Ip = Fn.indexOf(Target); };
+
+  switch (I.Op) {
+  case Opcode::Const:
+    F.Regs[I.Dst] = I.Imm;
+    break;
+  case Opcode::Move:
+    F.Regs[I.Dst] = regVal(F, I.Ops[0]);
+    break;
+  case Opcode::BinOp:
+    F.Regs[I.Dst] =
+        evalBinOp(I.BK, regVal(F, I.Ops[0]), regVal(F, I.Ops[1]));
+    break;
+  case Opcode::Not:
+    F.Regs[I.Dst] = regVal(F, I.Ops[0]) == 0;
+    break;
+  case Opcode::GlobalAddr:
+    assert(I.GV < GlobalAddrs.size());
+    F.Regs[I.Dst] = GlobalAddrs[I.GV];
+    break;
+  case Opcode::Self:
+    F.Regs[I.Dst] = T.Tid;
+    break;
+  case Opcode::Nop:
+    break;
+
+  case Opcode::Load: {
+    Word Addr = regVal(F, I.Ops[0]);
+    collectRepairs(T, I.Id, Addr, /*IsLoad=*/true);
+    if (!checkAddr(Addr, "load", I.Id))
+      return true;
+    Word V;
+    if (!T.Buf.forward(Addr, V)) // LOAD-B else LOAD-G
+      V = Mem.read(Addr);
+    F.Regs[I.Dst] = V;
+    break;
+  }
+
+  case Opcode::Store: {
+    Word Addr = regVal(F, I.Ops[0]);
+    Word Val = regVal(F, I.Ops[1]);
+    collectRepairs(T, I.Id, Addr, /*IsLoad=*/false);
+    if (T.Buf.model() == MemModel::SC) {
+      if (!checkAddr(Addr, "store", I.Id))
+        return true;
+      Mem.write(Addr, Val);
+    } else {
+      // STORE rule: append to the buffer; safety is checked at flush.
+      T.Buf.push(Addr, Val, I.Id);
+    }
+    break;
+  }
+
+  case Opcode::Cas: {
+    Word Addr = regVal(F, I.Ops[0]);
+    // CAS premise: the buffer of the accessed variable must be empty
+    // (TSO: the whole per-thread buffer). Make progress by draining.
+    if (!T.Buf.emptyFor(Addr)) {
+      drainForAtomic(T, Addr);
+      return true;
+    }
+    collectRepairs(T, I.Id, Addr, /*IsLoad=*/false);
+    if (!checkAddr(Addr, "cas", I.Id))
+      return true;
+    Word Expected = regVal(F, I.Ops[1]);
+    Word Desired = regVal(F, I.Ops[2]);
+    if (Mem.read(Addr) == Expected) {
+      Mem.write(Addr, Desired);
+      F.Regs[I.Dst] = 1;
+    } else {
+      F.Regs[I.Dst] = 0;
+    }
+    break;
+  }
+
+  case Opcode::Fence: {
+    // FENCE rule: blocks until all of the thread's buffers are empty.
+    if (!T.Buf.empty()) {
+      flushOne(T, false, 0);
+      return true;
+    }
+    break;
+  }
+
+  case Opcode::Lock: {
+    // Lock acquire is a CAS loop surrounded by full fences (paper §5.2).
+    if (!T.Buf.empty()) {
+      flushOne(T, false, 0);
+      return true;
+    }
+    Word Addr = regVal(F, I.Ops[0]);
+    if (!checkAddr(Addr, "lock", I.Id))
+      return true;
+    if (Mem.read(Addr) != 0)
+      return false; // Spin; no progress this step.
+    Mem.write(Addr, 1);
+    break;
+  }
+
+  case Opcode::Unlock: {
+    if (!T.Buf.empty()) {
+      flushOne(T, false, 0);
+      return true;
+    }
+    Word Addr = regVal(F, I.Ops[0]);
+    if (!checkAddr(Addr, "unlock", I.Id))
+      return true;
+    Mem.write(Addr, 0);
+    break;
+  }
+
+  case Opcode::Alloc: {
+    Word Size = regVal(F, I.Ops[0]);
+    if (Size > (1u << 24)) {
+      violate(Outcome::MemSafety,
+              strformat("unreasonable allocation of %llu words (%%%u)",
+                        static_cast<unsigned long long>(Size), I.Id));
+      return true;
+    }
+    F.Regs[I.Dst] = Mem.allocate(Size);
+    break;
+  }
+
+  case Opcode::Free: {
+    Word Addr = regVal(F, I.Ops[0]);
+    // Note: free does NOT flush write buffers (paper §5.2); pending
+    // stores into the freed block will fault when they flush.
+    if (!Mem.freeBlock(Addr)) {
+      violate(Outcome::MemSafety,
+              strformat("invalid free of address %llu (%%%u)",
+                        static_cast<unsigned long long>(Addr), I.Id));
+      return true;
+    }
+    break;
+  }
+
+  case Opcode::Br:
+    Jump(I.Target0);
+    return true;
+  case Opcode::CondBr:
+    Jump(regVal(F, I.Ops[0]) != 0 ? I.Target0 : I.Target1);
+    return true;
+
+  case Opcode::Call: {
+    const Function &Callee = M.Funcs[I.Callee];
+    Frame NewF;
+    NewF.F = I.Callee;
+    NewF.Regs.assign(Callee.NumRegs, 0);
+    for (size_t A = 0; A != I.Ops.size(); ++A)
+      NewF.Regs[A] = regVal(F, I.Ops[A]);
+    NewF.RetDst = I.Dst;
+    ++F.Ip; // Return continues after the call.
+    T.Frames.push_back(std::move(NewF));
+    return true;
+  }
+
+  case Opcode::Ret: {
+    Word RetVal = I.Ops.empty() ? 0 : regVal(F, I.Ops[0]);
+    bool WasTopLevel = F.IsTopLevel;
+    // Inter-operation predicates: a store still buffered when its method
+    // returns can take effect after the operation's response — the
+    // linearizability violations of the paper's Fig. 2c. Record
+    // [pending-store ≺ return] so enforcement can place a fence at the
+    // end of the method (the paper's "(m, line:-)" inter-op fences).
+    if (WasTopLevel && Cfg.CollectRepairs && Cfg.InterOpPredicates &&
+        !T.Buf.empty() && Cfg.Model != MemModel::SC) {
+      std::vector<InstrId> Labels;
+      T.Buf.pendingLabelsExcept(static_cast<Word>(-1), Labels);
+      for (InstrId L : Labels)
+        Repairs.insert(OrderingPredicate{L, I.Id, /*AfterIsLoad=*/false});
+    }
+    size_t OpIndex = F.OpIndex;
+    Reg RetDst = F.RetDst;
+    T.Frames.pop_back();
+    if (!T.Frames.empty()) {
+      T.Frames.back().Regs[RetDst] = RetVal;
+    } else if (WasTopLevel) {
+      OpRecord &Op = Result.Hist.Ops[OpIndex];
+      Op.Ret = RetVal;
+      Op.RespondSeq = ++Seq;
+      Op.Completed = true;
+      T.CallResults.push_back(RetVal);
+    }
+    return true;
+  }
+
+  case Opcode::Spawn: {
+    if (T.Tid == ~0u)
+      reportFatalError("spawn is not allowed in client init functions");
+    auto NewT = std::make_unique<Thread>(Cfg.Model);
+    NewT->Tid = static_cast<uint32_t>(Threads.size());
+    const Function &Callee = M.Funcs[I.Callee];
+    Frame NewF;
+    NewF.F = I.Callee;
+    NewF.Regs.assign(Callee.NumRegs, 0);
+    for (size_t A = 0; A != I.Ops.size(); ++A)
+      NewF.Regs[A] = regVal(F, I.Ops[A]);
+    NewF.IsTopLevel = false;
+    NewT->Frames.push_back(std::move(NewF));
+    F.Regs[I.Dst] = NewT->Tid;
+    Threads.push_back(std::move(NewT));
+    break;
+  }
+
+  case Opcode::Join: {
+    Word Target = regVal(F, I.Ops[0]);
+    if (Target >= Threads.size()) {
+      violate(Outcome::AssertFail,
+              strformat("join of invalid thread %llu (%%%u)",
+                        static_cast<unsigned long long>(Target), I.Id));
+      return true;
+    }
+    Thread &U = *Threads[Target];
+    // JOIN rule: target finished and its buffers drained.
+    if (U.hasWork())
+      return false;
+    if (!U.Buf.empty()) {
+      flushOne(U, false, 0);
+      return true;
+    }
+    break;
+  }
+
+  case Opcode::Assert: {
+    if (regVal(F, I.Ops[0]) == 0) {
+      violate(Outcome::AssertFail,
+              strformat("assertion failed (%%%u, line %u)", I.Id,
+                        I.SrcLine));
+      return true;
+    }
+    break;
+  }
+  }
+
+  ++F.Ip;
+  return true;
+}
+
+void Engine::mainLoop() {
+  std::vector<sched::ThreadView> Views;
+  while (!Halted) {
+    if (Steps >= Cfg.MaxSteps) {
+      violate(Outcome::StepLimit, "execution exceeded step limit");
+      return;
+    }
+
+    Views.clear();
+    bool AnyWork = false;
+    for (auto &TPtr : Threads) {
+      Thread &T = *TPtr;
+      sched::ThreadView V;
+      V.Tid = T.Tid;
+      V.Runnable = T.hasWork();
+      V.PendingStores = T.Buf.size();
+      if (V.Runnable || V.PendingStores > 0) {
+        AnyWork = true;
+        V.BufferedVars = T.Buf.nonEmptyVars();
+        if (V.Runnable) {
+          if (T.Frames.empty()) {
+            V.NextIsShared = true; // Next step records an invoke.
+          } else {
+            const Frame &F = T.Frames.back();
+            const Instr &I = M.Funcs[F.F].Body[F.Ip];
+            V.NextIsShared = I.isSharedAccess() ||
+                             I.Op == Opcode::Fence ||
+                             I.Op == Opcode::Call || I.Op == Opcode::Ret ||
+                             I.Op == Opcode::Spawn ||
+                             I.Op == Opcode::Join ||
+                             I.Op == Opcode::Alloc;
+          }
+        }
+      }
+      Views.push_back(std::move(V));
+    }
+    if (!AnyWork)
+      return; // Completed.
+
+    sched::Action A = Sched->pick(Views, R);
+    if (Cfg.RecordTrace)
+      Result.Trace.push_back(A);
+    assert(A.Tid < Threads.size() && "scheduler picked invalid thread");
+    Thread &T = *Threads[A.Tid];
+
+    bool Progress;
+    if (A.Kind == sched::Action::Flush) {
+      assert(!T.Buf.empty() && "scheduler flushed an empty buffer");
+      flushOne(T, A.HasVar, A.Var);
+      Progress = true;
+    } else {
+      Progress = stepThread(T);
+    }
+    ++Steps;
+
+    if (Progress) {
+      NoProgress = 0;
+    } else if (++NoProgress > 100000) {
+      violate(Outcome::Deadlock, "no thread can make progress");
+      return;
+    }
+  }
+}
+
+void Engine::finalDrain() {
+  for (auto &TPtr : Threads) {
+    while (!TPtr->Buf.empty() && !Halted)
+      flushOne(*TPtr, false, 0);
+  }
+}
+
+ExecResult Engine::run() {
+  Sched->reset();
+  layoutGlobals();
+  if (!C.InitFunc.empty() && !Halted)
+    runInit();
+  createClientThreads();
+  if (!Halted)
+    mainLoop();
+  if (!Halted)
+    finalDrain();
+  Result.Steps = Steps;
+  Result.Repairs.assign(Repairs.begin(), Repairs.end());
+  return std::move(Result);
+}
+
+ExecResult vm::runExecution(const Module &M, const Client &Client,
+                            const ExecConfig &Cfg) {
+  Engine E(M, Client, Cfg);
+  return E.run();
+}
+
+Word vm::runSequential(const Module &M, const std::string &Func,
+                       const std::vector<Word> &Args) {
+  Client C;
+  C.Name = "sequential";
+  ThreadScript S;
+  MethodCall MC;
+  MC.Func = Func;
+  for (Word A : Args)
+    MC.Args.push_back(Arg(A));
+  S.Calls.push_back(std::move(MC));
+  C.Threads.push_back(std::move(S));
+  ExecConfig Cfg;
+  Cfg.Model = MemModel::SC;
+  Cfg.Seed = 1;
+  ExecResult R = runExecution(M, C, Cfg);
+  if (R.Out != Outcome::Completed)
+    reportFatalError("runSequential(" + Func +
+                     ") did not complete: " + R.Message);
+  assert(R.Hist.Ops.size() == 1 && R.Hist.Ops[0].Completed);
+  return R.Hist.Ops[0].Ret;
+}

@@ -1,0 +1,89 @@
+//===- Interp.h - The extended interpreter (paper §5) -----------*- C++ -*-===//
+//
+// Executes an IR module under a chosen memory model (SC/TSO/PSO, paper
+// Semantics 1), a demonic scheduler, and always-on memory-safety checking.
+// Optionally runs the instrumented semantics (paper Semantics 2) that
+// collects the ordering predicates able to repair the execution.
+//
+// This is the reproduction's stand-in for the paper's extended LLVM
+// interpreter `lli` (multi-threading, relaxed memory models, scheduler
+// plug-ins, specification hooks).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_VM_INTERP_H
+#define DFENCE_VM_INTERP_H
+
+#include "ir/Module.h"
+#include "sched/Scheduler.h"
+#include "support/Rng.h"
+#include "vm/Client.h"
+#include "vm/History.h"
+#include "vm/Memory.h"
+#include "vm/Repair.h"
+#include "vm/StoreBuffer.h"
+
+#include <memory>
+#include <set>
+#include <string>
+
+namespace dfence::vm {
+
+/// How one execution ended.
+enum class Outcome : uint8_t {
+  Completed,  ///< All scripts ran to completion, buffers drained.
+  StepLimit,  ///< Execution exceeded MaxSteps (discarded by synthesis).
+  MemSafety,  ///< Memory-safety violation (null/OOB/use-after-free).
+  AssertFail, ///< An Assert instruction observed zero.
+  Deadlock,   ///< No schedulable thread while work remains.
+};
+
+const char *outcomeName(Outcome O);
+
+/// Per-execution configuration.
+struct ExecConfig {
+  MemModel Model = MemModel::SC;
+  uint64_t Seed = 1;
+  size_t MaxSteps = 1 << 20;
+  /// Collect ordering predicates (instrumented semantics).
+  bool CollectRepairs = false;
+  /// Also emit [store ≺ return] predicates when a top-level method
+  /// returns with buffered stores (yields the paper's inter-operation
+  /// "(m, line:-)" fences; disable for ablation).
+  bool InterOpPredicates = true;
+  /// Scheduler to use; when null a RandomFlushScheduler with FlushProb is
+  /// created internally.
+  sched::Scheduler *Sched = nullptr;
+  double FlushProb = 0.5;
+  bool PartialOrderReduction = true;
+  /// Record the scheduler action sequence into ExecResult::Trace so the
+  /// execution can be reproduced with a ReplayScheduler.
+  bool RecordTrace = false;
+};
+
+/// The result of one execution.
+struct ExecResult {
+  Outcome Out = Outcome::Completed;
+  History Hist;
+  /// Predicates collected along the execution (the repair disjunction).
+  RepairDisjunction Repairs;
+  std::string Message; ///< Violation diagnostics.
+  size_t Steps = 0;
+  /// Scheduler actions (filled when ExecConfig::RecordTrace).
+  std::vector<sched::Action> Trace;
+};
+
+/// Runs \p Client against \p M under \p Cfg and returns the result. The
+/// module is not modified. Deterministic given (module, client, config).
+ExecResult runExecution(const ir::Module &M, const Client &Client,
+                        const ExecConfig &Cfg);
+
+/// Convenience: runs function \p Func single-threaded under SC with the
+/// given arguments and returns its return value. Asserts on violations.
+/// Useful for tests and for sequential sanity checks of the benchmarks.
+Word runSequential(const ir::Module &M, const std::string &Func,
+                   const std::vector<Word> &Args);
+
+} // namespace dfence::vm
+
+#endif // DFENCE_VM_INTERP_H

@@ -1,0 +1,66 @@
+//===- Memory.cpp ---------------------------------------------------------===//
+
+#include "vm/Memory.h"
+
+using namespace dfence;
+using namespace dfence::vm;
+
+Memory::Memory() : BumpPtr(16) {
+  // Address 0 is the null pointer; the low words are a permanent red zone.
+  Data.resize(16, 0);
+}
+
+Word Memory::allocate(Word SizeWords) {
+  if (SizeWords == 0)
+    SizeWords = 1;
+  Word Start = BumpPtr;
+  // One-word red zone after every unit makes off-by-one indexing land in
+  // untracked memory and trip the safety checker.
+  BumpPtr += SizeWords + 1;
+  Data.resize(BumpPtr, 0);
+  Blocks.emplace(Start, Block{SizeWords, /*Live=*/true, /*IsGlobal=*/false});
+  return Start;
+}
+
+Word Memory::allocateGlobal(Word SizeWords) {
+  Word Start = allocate(SizeWords);
+  Blocks[Start].IsGlobal = true;
+  return Start;
+}
+
+bool Memory::freeBlock(Word Addr) {
+  auto It = Blocks.find(Addr);
+  if (It == Blocks.end() || !It->second.Live || It->second.IsGlobal)
+    return false;
+  It->second.Live = false;
+  return true;
+}
+
+const Memory::Block *Memory::findBlock(Word Addr) const {
+  // Greatest start <= Addr.
+  auto It = Blocks.upper_bound(Addr);
+  if (It == Blocks.begin())
+    return nullptr;
+  --It;
+  if (Addr >= It->first && Addr < It->first + It->second.Size)
+    return &It->second;
+  return nullptr;
+}
+
+bool Memory::isValid(Word Addr) const {
+  const Block *B = findBlock(Addr);
+  return B && B->Live;
+}
+
+bool Memory::isFreed(Word Addr) const {
+  const Block *B = findBlock(Addr);
+  return B && !B->Live;
+}
+
+size_t Memory::liveHeapBlocks() const {
+  size_t N = 0;
+  for (const auto &[Start, B] : Blocks)
+    if (B.Live && !B.IsGlobal)
+      ++N;
+  return N;
+}

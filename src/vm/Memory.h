@@ -1,0 +1,82 @@
+//===- Memory.h - Word-addressed shared memory + safety oracle -*- C++ -*-===//
+//
+// All shared state (globals and heap) lives in one flat, zero-initialized,
+// word-addressed memory. Alongside the data the Memory tracks every
+// allocation unit (globals are permanent units, heap blocks are created by
+// Alloc and retired by Free) in an ordered map keyed by start address —
+// the paper's "self balanced binary tree with the starting addresses as
+// the keys" used to detect memory safety violations.
+//
+// Addresses are never reused, so accesses through dangling pointers are
+// always detectable.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_VM_MEMORY_H
+#define DFENCE_VM_MEMORY_H
+
+#include "ir/Instr.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+namespace dfence::vm {
+
+using ir::Word;
+
+/// Flat shared memory with allocation tracking.
+class Memory {
+public:
+  Memory();
+
+  /// Allocates \p SizeWords fresh words (at least one). Never returns 0.
+  Word allocate(Word SizeWords);
+
+  /// Frees the block starting exactly at \p Addr. Returns false when
+  /// \p Addr is not the start of a live heap block (a safety violation at
+  /// the call site). Globals cannot be freed.
+  bool freeBlock(Word Addr);
+
+  /// Allocates a permanent (global) unit; identical to allocate but the
+  /// unit is marked non-freeable.
+  Word allocateGlobal(Word SizeWords);
+
+  /// True when \p Addr lies inside a live allocation unit.
+  bool isValid(Word Addr) const;
+
+  /// True when \p Addr lies inside a unit that was freed (use-after-free
+  /// diagnostics); false for wild addresses.
+  bool isFreed(Word Addr) const;
+
+  Word read(Word Addr) const {
+    assert(Addr < Data.size() && "read out of backing store");
+    return Data[Addr];
+  }
+
+  void write(Word Addr, Word V) {
+    assert(Addr < Data.size() && "write out of backing store");
+    Data[Addr] = V;
+  }
+
+  /// Number of live heap blocks (tests/diagnostics).
+  size_t liveHeapBlocks() const;
+
+private:
+  struct Block {
+    Word Size = 0;
+    bool Live = true;
+    bool IsGlobal = false;
+  };
+
+  /// Finds the block containing \p Addr, live or freed; nullptr if wild.
+  const Block *findBlock(Word Addr) const;
+
+  std::vector<Word> Data;
+  std::map<Word, Block> Blocks; ///< keyed by start address
+  Word BumpPtr;
+};
+
+} // namespace dfence::vm
+
+#endif // DFENCE_VM_MEMORY_H

@@ -1,0 +1,53 @@
+//===- Repair.h - Ordering predicates collected at runtime -----*- C++ -*-===//
+//
+// An ordering predicate [L before K] states that the store at label L must
+// take (globally visible) effect before the access at label K executes,
+// for any execution in which both occur in the same thread. The
+// instrumented semantics (paper Semantics 2) emits one predicate per
+// (pending store, later access to a different variable) pair; a violating
+// execution is repaired by enforcing at least one of the predicates
+// collected along it (the per-execution disjunction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_VM_REPAIR_H
+#define DFENCE_VM_REPAIR_H
+
+#include "ir/Instr.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dfence::vm {
+
+/// An ordering predicate [Before ≺ After] over instruction labels.
+struct OrderingPredicate {
+  ir::InstrId Before = ir::InvalidInstrId; ///< The (earlier) store.
+  ir::InstrId After = ir::InvalidInstrId;  ///< The later load/store/CAS.
+  /// Kind of the later access; decides the fence flavor to insert
+  /// (store-store when the later access writes, store-load when it reads).
+  bool AfterIsLoad = false;
+
+  bool operator==(const OrderingPredicate &O) const {
+    return Before == O.Before && After == O.After;
+  }
+  bool operator<(const OrderingPredicate &O) const {
+    if (Before != O.Before)
+      return Before < O.Before;
+    return After < O.After;
+  }
+};
+
+/// The disjunction of predicates able to repair one execution.
+using RepairDisjunction = std::vector<OrderingPredicate>;
+
+} // namespace dfence::vm
+
+template <> struct std::hash<dfence::vm::OrderingPredicate> {
+  size_t operator()(const dfence::vm::OrderingPredicate &P) const {
+    return (static_cast<size_t>(P.Before) << 32) ^ P.After;
+  }
+};
+
+#endif // DFENCE_VM_REPAIR_H

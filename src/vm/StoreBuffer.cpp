@@ -1,0 +1,134 @@
+//===- StoreBuffer.cpp ----------------------------------------------------===//
+
+#include "vm/StoreBuffer.h"
+
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dfence;
+using namespace dfence::vm;
+
+const char *vm::memModelName(MemModel M) {
+  switch (M) {
+  case MemModel::SC:  return "SC";
+  case MemModel::TSO: return "TSO";
+  case MemModel::PSO: return "PSO";
+  }
+  dfenceUnreachable("invalid memory model");
+}
+
+bool StoreBufferSet::forward(Word Addr, Word &Out) const {
+  switch (Model) {
+  case MemModel::SC:
+    return false;
+  case MemModel::PSO: {
+    auto It = PerVar.find(Addr);
+    if (It == PerVar.end() || It->second.empty())
+      return false;
+    Out = It->second.back().Val;
+    return true;
+  }
+  case MemModel::TSO: {
+    // Newest pending store to Addr wins.
+    for (auto It = Fifo.rbegin(), E = Fifo.rend(); It != E; ++It) {
+      if (It->Addr == Addr) {
+        Out = It->Val;
+        return true;
+      }
+    }
+    return false;
+  }
+  }
+  dfenceUnreachable("invalid memory model");
+}
+
+void StoreBufferSet::push(Word Addr, Word Val, InstrId Label) {
+  assert(Model != MemModel::SC && "SC never buffers stores");
+  BufferEntry E{Addr, Val, Label};
+  if (Model == MemModel::PSO)
+    PerVar[Addr].push_back(E);
+  else
+    Fifo.push_back(E);
+  ++Count;
+}
+
+bool StoreBufferSet::emptyFor(Word Addr) const {
+  switch (Model) {
+  case MemModel::SC:
+    return true;
+  case MemModel::PSO: {
+    auto It = PerVar.find(Addr);
+    return It == PerVar.end() || It->second.empty();
+  }
+  case MemModel::TSO:
+    return Fifo.empty();
+  }
+  dfenceUnreachable("invalid memory model");
+}
+
+BufferEntry StoreBufferSet::popOldest() {
+  assert(Count > 0 && "pop from empty buffer");
+  --Count;
+  if (Model == MemModel::TSO) {
+    BufferEntry E = Fifo.front();
+    Fifo.pop_front();
+    return E;
+  }
+  for (auto &[Addr, Q] : PerVar) {
+    if (Q.empty())
+      continue;
+    BufferEntry E = Q.front();
+    Q.pop_front();
+    if (Q.empty())
+      PerVar.erase(Addr);
+    return E;
+  }
+  dfenceUnreachable("count/buffer mismatch");
+}
+
+BufferEntry StoreBufferSet::popOldestFor(Word Addr) {
+  if (Model == MemModel::TSO)
+    return popOldest();
+  auto It = PerVar.find(Addr);
+  assert(It != PerVar.end() && !It->second.empty() &&
+         "no pending store for variable");
+  --Count;
+  BufferEntry E = It->second.front();
+  It->second.pop_front();
+  if (It->second.empty())
+    PerVar.erase(It);
+  return E;
+}
+
+std::vector<Word> StoreBufferSet::nonEmptyVars() const {
+  std::vector<Word> Vars;
+  if (Model == MemModel::PSO) {
+    Vars.reserve(PerVar.size());
+    for (const auto &[Addr, Q] : PerVar)
+      if (!Q.empty())
+        Vars.push_back(Addr);
+  } else if (Model == MemModel::TSO && !Fifo.empty()) {
+    Vars.push_back(0);
+  }
+  return Vars;
+}
+
+void StoreBufferSet::pendingLabelsExcept(Word ExcludeAddr,
+                                         std::vector<InstrId> &Out) const {
+  auto Append = [&](const BufferEntry &E) {
+    if (E.Addr == ExcludeAddr)
+      return;
+    if (std::find(Out.begin(), Out.end(), E.Label) == Out.end())
+      Out.push_back(E.Label);
+  };
+  if (Model == MemModel::PSO) {
+    for (const auto &[Addr, Q] : PerVar)
+      for (const BufferEntry &E : Q)
+        Append(E);
+  } else if (Model == MemModel::TSO) {
+    for (const BufferEntry &E : Fifo)
+      Append(E);
+  }
+}

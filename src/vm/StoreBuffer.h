@@ -1,0 +1,95 @@
+//===- StoreBuffer.h - TSO/PSO store buffers (Semantics 1) ------*- C++ -*-===//
+//
+// Per-thread write buffers implementing the paper's operational semantics:
+//
+//   PSO: one FIFO of values per (thread, shared variable) pair.
+//   TSO: one FIFO of (variable, value) pairs per thread.
+//   SC:  no buffering (the buffer is always empty).
+//
+// Each buffered entry also carries the label of the store that produced it
+// — the auxiliary map B-hat of the paper's instrumented semantics
+// (Semantics 2) used to derive ordering predicates for repair.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_VM_STOREBUFFER_H
+#define DFENCE_VM_STOREBUFFER_H
+
+#include "ir/Instr.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace dfence::vm {
+
+using ir::InstrId;
+using ir::Word;
+
+/// The memory models of the paper.
+enum class MemModel : uint8_t { SC, TSO, PSO };
+
+const char *memModelName(MemModel M);
+
+/// A pending buffered store.
+struct BufferEntry {
+  Word Addr = 0;
+  Word Val = 0;
+  InstrId Label = ir::InvalidInstrId; ///< Label of the originating store.
+};
+
+/// The write-buffer state of a single thread.
+class StoreBufferSet {
+public:
+  explicit StoreBufferSet(MemModel M) : Model(M) {}
+
+  MemModel model() const { return Model; }
+
+  /// Store-to-load forwarding: returns true and sets \p Out to the newest
+  /// buffered value for \p Addr if one exists (LOAD-B rule).
+  bool forward(Word Addr, Word &Out) const;
+
+  /// Buffers a store (STORE rule). Must not be called under SC.
+  void push(Word Addr, Word Val, InstrId Label);
+
+  bool empty() const { return Count == 0; }
+  size_t size() const { return Count; }
+
+  /// True when no store to \p Addr is pending. Under TSO this is the
+  /// whole-buffer emptiness (the TSO CAS/fence premise quantifies over the
+  /// single per-thread buffer).
+  bool emptyFor(Word Addr) const;
+
+  /// Pops the oldest pending entry (TSO: of the FIFO; PSO: of the lowest-
+  /// addressed non-empty variable buffer). Buffer must be non-empty.
+  BufferEntry popOldest();
+
+  /// Pops the oldest pending entry for \p Addr (PSO flush of a particular
+  /// variable). Under TSO, pops the oldest entry regardless of \p Addr to
+  /// preserve FIFO order. Buffer must have a pending store to \p Addr
+  /// (PSO) / be non-empty (TSO).
+  BufferEntry popOldestFor(Word Addr);
+
+  /// Variables with pending stores. PSO: the distinct addresses; TSO: a
+  /// singleton {0} marker when non-empty (the flush choice is positional).
+  std::vector<Word> nonEmptyVars() const;
+
+  /// Labels of pending stores to variables other than \p ExcludeAddr —
+  /// the candidate "earlier store" sides of ordering predicates
+  /// (Semantics 2). Deduplicated, deterministic order.
+  void pendingLabelsExcept(Word ExcludeAddr,
+                           std::vector<InstrId> &Out) const;
+
+private:
+  MemModel Model;
+  size_t Count = 0;
+  // PSO state.
+  std::map<Word, std::deque<BufferEntry>> PerVar;
+  // TSO state.
+  std::deque<BufferEntry> Fifo;
+};
+
+} // namespace dfence::vm
+
+#endif // DFENCE_VM_STOREBUFFER_H

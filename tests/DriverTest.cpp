@@ -1,0 +1,115 @@
+//===- DriverTest.cpp - Client DSL and spec registry ----------------------===//
+
+#include "driver/ClientDsl.h"
+#include "driver/SpecRegistry.h"
+#include "vm/History.h"
+
+#include <gtest/gtest.h>
+
+using namespace dfence;
+using namespace dfence::driver;
+
+TEST(ClientDslTest, SingleThreadSingleCall) {
+  std::string Err;
+  auto C = parseClientDsl("put(1)", Err);
+  ASSERT_TRUE(C.has_value()) << Err;
+  ASSERT_EQ(C->Threads.size(), 1u);
+  ASSERT_EQ(C->Threads[0].Calls.size(), 1u);
+  EXPECT_EQ(C->Threads[0].Calls[0].Func, "put");
+  ASSERT_EQ(C->Threads[0].Calls[0].Args.size(), 1u);
+  EXPECT_EQ(C->Threads[0].Calls[0].Args[0].Literal, 1u);
+}
+
+TEST(ClientDslTest, MultiThreadMultiCall) {
+  std::string Err;
+  auto C = parseClientDsl("put(1);put(2);take()|steal();steal()", Err);
+  ASSERT_TRUE(C.has_value()) << Err;
+  ASSERT_EQ(C->Threads.size(), 2u);
+  EXPECT_EQ(C->Threads[0].Calls.size(), 3u);
+  EXPECT_EQ(C->Threads[1].Calls.size(), 2u);
+  EXPECT_EQ(C->Threads[0].Calls[2].Func, "take");
+  EXPECT_TRUE(C->Threads[0].Calls[2].Args.empty());
+}
+
+TEST(ClientDslTest, ResultReferences) {
+  std::string Err;
+  auto C = parseClientDsl("alloc();release($0);alloc()", Err);
+  ASSERT_TRUE(C.has_value()) << Err;
+  ASSERT_EQ(C->Threads[0].Calls[1].Args.size(), 1u);
+  EXPECT_EQ(C->Threads[0].Calls[1].Args[0].Ref, 0);
+}
+
+TEST(ClientDslTest, NegativeAndMultipleArguments) {
+  std::string Err;
+  auto C = parseClientDsl("f(-3, 7, $0)|g( 1 )", Err);
+  // $0 in the second call of a thread with one preceding call — wait,
+  // f is the first call so $0 is invalid there.
+  EXPECT_FALSE(C.has_value());
+  C = parseClientDsl("h();f(-3, 7, $0)|g( 1 )", Err);
+  ASSERT_TRUE(C.has_value()) << Err;
+  EXPECT_EQ(static_cast<int64_t>(C->Threads[0].Calls[1].Args[0].Literal),
+            -3);
+  EXPECT_EQ(C->Threads[0].Calls[1].Args[2].Ref, 0);
+}
+
+TEST(ClientDslTest, ForwardReferenceRejected) {
+  std::string Err;
+  EXPECT_FALSE(parseClientDsl("release($0)", Err).has_value());
+  EXPECT_NE(Err.find("$0"), std::string::npos);
+  EXPECT_FALSE(parseClientDsl("a();b($2)", Err).has_value());
+}
+
+TEST(ClientDslTest, SyntaxErrors) {
+  std::string Err;
+  EXPECT_FALSE(parseClientDsl("", Err).has_value());
+  EXPECT_FALSE(parseClientDsl("put(1", Err).has_value());
+  EXPECT_FALSE(parseClientDsl("put 1)", Err).has_value());
+  EXPECT_FALSE(parseClientDsl("put(1,)", Err).has_value());
+  EXPECT_FALSE(parseClientDsl("put(1)extra", Err).has_value());
+  EXPECT_FALSE(parseClientDsl("123()", Err).has_value());
+}
+
+TEST(ClientDslTest, RoundTrip) {
+  std::string Err;
+  const char *Text = "put(1);take()|steal();release($0)";
+  auto C = parseClientDsl(Text, Err);
+  ASSERT_TRUE(C.has_value()) << Err;
+  EXPECT_EQ(printClientDsl(*C), Text);
+  auto C2 = parseClientDsl(printClientDsl(*C), Err);
+  ASSERT_TRUE(C2.has_value());
+  EXPECT_EQ(printClientDsl(*C2), Text);
+}
+
+TEST(SpecRegistryTest, KnownSpecsResolve) {
+  for (const std::string &Name : knownSpecNames()) {
+    spec::SpecFactory F = specByName(Name);
+    ASSERT_TRUE(static_cast<bool>(F)) << Name;
+    EXPECT_TRUE(F() != nullptr) << Name;
+  }
+}
+
+TEST(SpecRegistryTest, UnknownSpecIsNull) {
+  EXPECT_FALSE(static_cast<bool>(specByName("nope")));
+  EXPECT_FALSE(static_cast<bool>(specByName("")));
+}
+
+TEST(SpecRegistryTest, WsqVariantsDiffer) {
+  // The three WSQ variants disagree on which element steal removes.
+  auto MakeOp = [](const char *F, vm::Word Arg, vm::Word Ret) {
+    vm::OpRecord O;
+    O.Func = F;
+    if (F == std::string("put"))
+      O.Args = {Arg};
+    O.Ret = Ret;
+    O.Completed = true;
+    return O;
+  };
+  for (const char *Name : {"wsq", "wsq-lifo", "wsq-fifo"}) {
+    auto S = specByName(Name)();
+    ASSERT_TRUE(S->apply(MakeOp("put", 1, 0)));
+    ASSERT_TRUE(S->apply(MakeOp("put", 2, 0)));
+    bool StealsHead = S->apply(MakeOp("steal", 0, 1));
+    bool ExpectHead = std::string(Name) != "wsq-lifo";
+    EXPECT_EQ(StealsHead, ExpectHead) << Name;
+  }
+}

@@ -1,0 +1,269 @@
+//===- EnforcerTest.cpp - Fence insertion and merge pass ------------------===//
+
+#include "frontend/Compiler.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "synth/FenceEnforcer.h"
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace dfence;
+using namespace dfence::synth;
+using namespace dfence::ir;
+
+namespace {
+
+/// Finds the label of the Nth store in function \p Name.
+InstrId nthStore(const Module &M, const std::string &Name, unsigned N) {
+  auto F = M.findFunction(Name);
+  EXPECT_TRUE(F.has_value());
+  unsigned Seen = 0;
+  for (const Instr &I : M.function(*F).Body)
+    if (I.Op == Opcode::Store && Seen++ == N)
+      return I.Id;
+  ADD_FAILURE() << "store " << N << " not found in " << Name;
+  return InvalidInstrId;
+}
+
+const char *MpSrc = R"(
+global int DATA = 0;
+global int FLAG = 0;
+int writer() {
+  DATA = 1;
+  FLAG = 1;
+  return 0;
+}
+)";
+
+} // namespace
+
+TEST(EnforcerTest, InsertsFenceAfterLabel) {
+  Module M = frontend::compileOrDie(MpSrc);
+  InstrId DataStore = nthStore(M, "writer", 0);
+  vm::OrderingPredicate P{DataStore, nthStore(M, "writer", 1), false};
+  auto Inserted = enforcePredicates(M, {P}, EnforceMode::Fence);
+  ASSERT_EQ(Inserted.size(), 1u);
+  EXPECT_EQ(Inserted[0].Kind, FenceKind::StoreStore);
+  EXPECT_EQ(Inserted[0].Function, "writer");
+  const Function &F = M.function(*M.findFunction("writer"));
+  size_t Pos = F.indexOf(DataStore);
+  ASSERT_LT(Pos + 1, F.Body.size());
+  EXPECT_EQ(F.Body[Pos + 1].Op, Opcode::Fence);
+  EXPECT_TRUE(F.Body[Pos + 1].Synthesized);
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+TEST(EnforcerTest, StoreLoadKindForLoadPredicates) {
+  Module M = frontend::compileOrDie(MpSrc);
+  InstrId DataStore = nthStore(M, "writer", 0);
+  vm::OrderingPredicate P{DataStore, nthStore(M, "writer", 1), true};
+  auto Inserted = enforcePredicates(M, {P}, EnforceMode::Fence);
+  ASSERT_EQ(Inserted.size(), 1u);
+  EXPECT_EQ(Inserted[0].Kind, FenceKind::StoreLoad);
+}
+
+TEST(EnforcerTest, DuplicatePredicatesEnforceOnce) {
+  Module M = frontend::compileOrDie(MpSrc);
+  InstrId DataStore = nthStore(M, "writer", 0);
+  InstrId FlagStore = nthStore(M, "writer", 1);
+  vm::OrderingPredicate P1{DataStore, FlagStore, false};
+  vm::OrderingPredicate P2{DataStore, FlagStore, true};
+  auto First = enforcePredicates(M, {P1}, EnforceMode::Fence);
+  auto Second = enforcePredicates(M, {P2}, EnforceMode::Fence);
+  EXPECT_EQ(First.size(), 1u);
+  EXPECT_EQ(Second.size(), 0u) << "existing fence is reused";
+  // The reused fence widens to a full fence when kinds differ.
+  const Function &F = M.function(*M.findFunction("writer"));
+  size_t Pos = F.indexOf(DataStore);
+  EXPECT_EQ(F.Body[Pos + 1].FK, FenceKind::Full);
+}
+
+TEST(EnforcerTest, CasDummyEnforcement) {
+  Module M = frontend::compileOrDie(MpSrc);
+  InstrId DataStore = nthStore(M, "writer", 0);
+  vm::OrderingPredicate P{DataStore, nthStore(M, "writer", 1), false};
+  auto Inserted = enforcePredicates(M, {P}, EnforceMode::CasDummy);
+  ASSERT_EQ(Inserted.size(), 1u);
+  EXPECT_TRUE(M.findGlobal("__dfence_dummy").has_value());
+  const Function &F = M.function(*M.findFunction("writer"));
+  size_t Pos = F.indexOf(DataStore);
+  EXPECT_EQ(F.Body[Pos + 1].Op, Opcode::GlobalAddr);
+  EXPECT_EQ(F.Body[Pos + 2].Op, Opcode::Cas);
+  EXPECT_TRUE(verifyModule(M).empty());
+  // The instrumented program still runs.
+  EXPECT_EQ(vm::runSequential(M, "writer", {}), 0u);
+}
+
+TEST(EnforcerTest, MergeRemovesBackToBackFences) {
+  Module M = frontend::compileOrDie(MpSrc);
+  InstrId DataStore = nthStore(M, "writer", 0);
+  // Insert two synthesized fences right after the same store.
+  vm::OrderingPredicate P{DataStore, nthStore(M, "writer", 1), false};
+  enforcePredicates(M, {P}, EnforceMode::Fence);
+  Function &F = M.function(*M.findFunction("writer"));
+  Instr Extra;
+  Extra.Op = Opcode::Fence;
+  Extra.FK = FenceKind::StoreStore;
+  Extra.Id = M.nextInstrId();
+  Extra.Synthesized = true;
+  F.insertAfter(F.Body[F.indexOf(DataStore) + 1].Id, Extra);
+  EXPECT_EQ(F.countSynthesizedFences(), 2u);
+  unsigned Removed = mergeRedundantFences(M);
+  EXPECT_EQ(Removed, 1u);
+  EXPECT_EQ(F.countSynthesizedFences(), 1u);
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+TEST(EnforcerTest, MergeKeepsFenceAfterInterveningStore) {
+  Module M = frontend::compileOrDie(MpSrc);
+  InstrId DataStore = nthStore(M, "writer", 0);
+  InstrId FlagStore = nthStore(M, "writer", 1);
+  vm::OrderingPredicate P1{DataStore, FlagStore, false};
+  vm::OrderingPredicate P2{FlagStore, FlagStore, false};
+  enforcePredicates(M, {P1}, EnforceMode::Fence);
+  enforcePredicates(M, {P2}, EnforceMode::Fence);
+  Function &F = M.function(*M.findFunction("writer"));
+  EXPECT_EQ(F.countSynthesizedFences(), 2u);
+  unsigned Removed = mergeRedundantFences(M);
+  EXPECT_EQ(Removed, 0u)
+      << "a store between the fences blocks the merge";
+}
+
+TEST(EnforcerTest, MergeNeverRemovesUserFences) {
+  Module M = frontend::compileOrDie(R"(
+global int X = 0;
+int f() {
+  X = 1;
+  fence();
+  fence();
+  return 0;
+}
+)");
+  unsigned Removed = mergeRedundantFences(M);
+  EXPECT_EQ(Removed, 0u) << "only synthesized fences are merged";
+}
+
+TEST(EnforcerTest, CollectSynthesizedFencesReportsLines) {
+  Module M = frontend::compileOrDie(MpSrc);
+  InstrId DataStore = nthStore(M, "writer", 0);
+  vm::OrderingPredicate P{DataStore, nthStore(M, "writer", 1), false};
+  enforcePredicates(M, {P}, EnforceMode::Fence);
+  auto Fences = collectSynthesizedFences(M);
+  ASSERT_EQ(Fences.size(), 1u);
+  EXPECT_EQ(Fences[0].Function, "writer");
+  // The raw-string source starts with a newline: DATA=1 is on line 5.
+  EXPECT_EQ(Fences[0].LineBefore, 5u) << "DATA = 1; is on line 5";
+  EXPECT_EQ(Fences[0].LineAfter, 6u) << "FLAG = 1; is on line 6";
+  EXPECT_NE(Fences[0].str().find("(writer, 5:6)"), std::string::npos);
+}
+
+TEST(EnforcerTest, AtomicSectionWrapsRegion) {
+  Module M = frontend::compileOrDie(MpSrc);
+  InstrId DataStore = nthStore(M, "writer", 0);
+  InstrId FlagStore = nthStore(M, "writer", 1);
+  vm::OrderingPredicate P{DataStore, FlagStore, false};
+  auto Inserted =
+      enforcePredicates(M, {P}, EnforceMode::AtomicSection);
+  ASSERT_EQ(Inserted.size(), 1u);
+  EXPECT_TRUE(M.findGlobal("__dfence_lock").has_value());
+  const Function &F = M.function(*M.findFunction("writer"));
+  size_t LPos = F.indexOf(DataStore);
+  size_t KPos = F.indexOf(FlagStore);
+  EXPECT_EQ(F.Body[LPos - 1].Op, Opcode::Lock);
+  EXPECT_TRUE(F.Body[LPos - 1].Synthesized);
+  EXPECT_EQ(F.Body[KPos + 2].Op, Opcode::Unlock);
+  EXPECT_TRUE(verifyModule(M).empty());
+  // The wrapped program still runs (lock acquired and released).
+  EXPECT_EQ(vm::runSequential(M, "writer", {}), 0u);
+}
+
+TEST(EnforcerTest, AtomicSectionIdempotent) {
+  Module M = frontend::compileOrDie(MpSrc);
+  InstrId DataStore = nthStore(M, "writer", 0);
+  InstrId FlagStore = nthStore(M, "writer", 1);
+  vm::OrderingPredicate P{DataStore, FlagStore, false};
+  enforcePredicates(M, {P}, EnforceMode::AtomicSection);
+  auto Second = enforcePredicates(M, {P}, EnforceMode::AtomicSection);
+  EXPECT_TRUE(Second.empty()) << "re-wrapping would self-deadlock";
+  EXPECT_EQ(vm::runSequential(M, "writer", {}), 0u);
+}
+
+TEST(EnforcerTest, AtomicSectionFallsBackToFenceAcrossBranches) {
+  // l and k separated by control flow: must fall back to a fence.
+  Module M = frontend::compileOrDie(R"(
+global int X = 0;
+global int Y = 0;
+int f(int c) {
+  X = 1;
+  if (c) {
+    Y = 2;
+  }
+  Y = 3;
+  return 0;
+}
+)");
+  InstrId XStore = nthStore(M, "f", 0);
+  InstrId LastYStore = nthStore(M, "f", 2);
+  vm::OrderingPredicate P{XStore, LastYStore, false};
+  enforcePredicates(M, {P}, EnforceMode::AtomicSection);
+  const Function &F = M.function(*M.findFunction("f"));
+  size_t Pos = F.indexOf(XStore);
+  EXPECT_EQ(F.Body[Pos + 1].Op, Opcode::Fence)
+      << "branchy regions are enforced with a fence";
+  EXPECT_TRUE(verifyModule(M).empty());
+  EXPECT_EQ(vm::runSequential(M, "f", {1}), 0u);
+}
+
+TEST(EnforcerTest, AtomicSectionEnforcesOrderUnderPSO) {
+  // SB shape where both racing regions get wrapped: mutual exclusion plus
+  // the unlock drain forbids the (0,0) outcome.
+  const char *Src = R"(
+global int X = 0;
+global int Y = 0;
+int t1() { X = 1; int r = Y; return r; }
+int t2() { Y = 1; int r = X; return r; }
+)";
+  Module M = frontend::compileOrDie(Src);
+  auto FindLoad = [&](const char *Fn) {
+    for (const Instr &I : M.function(*M.findFunction(Fn)).Body)
+      if (I.Op == Opcode::Load)
+        return I.Id;
+    return InvalidInstrId;
+  };
+  vm::OrderingPredicate P1{nthStore(M, "t1", 0), FindLoad("t1"), true};
+  vm::OrderingPredicate P2{nthStore(M, "t2", 0), FindLoad("t2"), true};
+  enforcePredicates(M, {P1, P2}, EnforceMode::AtomicSection);
+  ASSERT_TRUE(verifyModule(M).empty());
+
+  vm::Client C;
+  vm::ThreadScript S1, S2;
+  vm::MethodCall M1;
+  M1.Func = "t1";
+  vm::MethodCall M2;
+  M2.Func = "t2";
+  S1.Calls = {M1};
+  S2.Calls = {M2};
+  C.Threads = {S1, S2};
+  for (uint64_t Seed = 1; Seed <= 500; ++Seed) {
+    vm::ExecConfig Cfg;
+    Cfg.Model = vm::MemModel::PSO;
+    Cfg.Seed = Seed;
+    Cfg.FlushProb = 0.1;
+    vm::ExecResult R = vm::runExecution(M, C, Cfg);
+    ASSERT_EQ(R.Out, vm::Outcome::Completed) << R.Message;
+    vm::Word Rets[2] = {9, 9};
+    for (const auto &Op : R.Hist.Ops)
+      Rets[Op.Thread] = Op.Ret;
+    EXPECT_FALSE(Rets[0] == 0 && Rets[1] == 0)
+        << "atomic sections must forbid the SB relaxed outcome";
+  }
+}
+
+TEST(EnforcerTest, FencedProgramStillBehaves) {
+  Module M = frontend::compileOrDie(MpSrc);
+  InstrId DataStore = nthStore(M, "writer", 0);
+  vm::OrderingPredicate P{DataStore, nthStore(M, "writer", 1), false};
+  enforcePredicates(M, {P}, EnforceMode::Fence);
+  EXPECT_EQ(vm::runSequential(M, "writer", {}), 0u);
+}

@@ -1,0 +1,334 @@
+//===- FrontendTest.cpp - Lexer/parser/codegen tests ----------------------===//
+
+#include "frontend/Compiler.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "ir/Verifier.h"
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace dfence;
+using namespace dfence::frontend;
+
+namespace {
+
+/// Compiles and runs Func(Args) sequentially, returning the result.
+ir::Word evalMiniC(const std::string &Src, const std::string &Func,
+                   std::vector<ir::Word> Args = {}) {
+  CompileResult R = compileMiniC(Src);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return vm::runSequential(R.Module, Func, Args);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LexerTest, BasicTokens) {
+  Lexer L("int x = 42; // comment\nwhile (x <= 7) { }");
+  auto Toks = L.lexAll();
+  ASSERT_FALSE(L.hadError());
+  EXPECT_EQ(Toks[0].Kind, TokKind::KwInt);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Ident);
+  EXPECT_EQ(Toks[1].Text, "x");
+  EXPECT_EQ(Toks[2].Kind, TokKind::Assign);
+  EXPECT_EQ(Toks[3].Kind, TokKind::Number);
+  EXPECT_EQ(Toks[3].Value, 42);
+  EXPECT_EQ(Toks[5].Kind, TokKind::KwWhile);
+  EXPECT_EQ(Toks.back().Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  Lexer L("== != <= >= && || -> << >>");
+  auto Toks = L.lexAll();
+  ASSERT_FALSE(L.hadError());
+  EXPECT_EQ(Toks[0].Kind, TokKind::EqEq);
+  EXPECT_EQ(Toks[1].Kind, TokKind::NotEq);
+  EXPECT_EQ(Toks[2].Kind, TokKind::Le);
+  EXPECT_EQ(Toks[3].Kind, TokKind::Ge);
+  EXPECT_EQ(Toks[4].Kind, TokKind::AmpAmp);
+  EXPECT_EQ(Toks[5].Kind, TokKind::PipePipe);
+  EXPECT_EQ(Toks[6].Kind, TokKind::Arrow);
+  EXPECT_EQ(Toks[7].Kind, TokKind::Shl);
+  EXPECT_EQ(Toks[8].Kind, TokKind::Shr);
+}
+
+TEST(LexerTest, HexNumbersAndBlockComments) {
+  Lexer L("/* multi\nline */ 0x10 0xff");
+  auto Toks = L.lexAll();
+  ASSERT_FALSE(L.hadError());
+  EXPECT_EQ(Toks[0].Value, 16);
+  EXPECT_EQ(Toks[1].Value, 255);
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  Lexer L("a\nb\n  c");
+  auto Toks = L.lexAll();
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[2].Loc.Line, 3u);
+  EXPECT_EQ(Toks[2].Loc.Col, 3u);
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  Lexer L("int $x;");
+  L.lexAll();
+  EXPECT_TRUE(L.hadError());
+}
+
+//===----------------------------------------------------------------------===//
+// Parser errors
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, ReportsMissingSemicolon) {
+  CompileResult R = compileMiniC("int f() { return 1 }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("';'"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, ReportsBadTopLevel) {
+  CompileResult R = compileMiniC("return 1;");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(ParserTest, ReportsUnclosedBlock) {
+  CompileResult R = compileMiniC("int f() { while (1) { }");
+  EXPECT_FALSE(R.Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Sema errors
+//===----------------------------------------------------------------------===//
+
+TEST(SemaTest, UnknownIdentifier) {
+  CompileResult R = compileMiniC("int f() { return y; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unknown identifier"), std::string::npos);
+}
+
+TEST(SemaTest, UnknownFunction) {
+  CompileResult R = compileMiniC("int f() { return g(); }");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(SemaTest, ArityMismatch) {
+  CompileResult R =
+      compileMiniC("int g(int a) { return a; } int f() { return g(); }");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(SemaTest, AddressOfLocalRejected) {
+  CompileResult R = compileMiniC("int f() { int x = 1; return cas(&x, 1, 2); }");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(SemaTest, BreakOutsideLoop) {
+  CompileResult R = compileMiniC("int f() { break; return 0; }");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(SemaTest, DuplicateFieldAcrossStructs) {
+  CompileResult R = compileMiniC(
+      "struct A { int k; } struct B { int k; } int f() { return 0; }");
+  EXPECT_FALSE(R.Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end semantics (compile + run sequentially)
+//===----------------------------------------------------------------------===//
+
+TEST(CodeGenTest, Arithmetic) {
+  EXPECT_EQ(evalMiniC("int f() { return 2 + 3 * 4; }", "f"), 14u);
+  EXPECT_EQ(evalMiniC("int f() { return (2 + 3) * 4; }", "f"), 20u);
+  EXPECT_EQ(evalMiniC("int f() { return 17 % 5; }", "f"), 2u);
+  EXPECT_EQ(evalMiniC("int f() { return 1 << 4; }", "f"), 16u);
+  EXPECT_EQ(static_cast<int64_t>(evalMiniC("int f() { return -7; }", "f")),
+            -7);
+}
+
+TEST(CodeGenTest, Comparisons) {
+  EXPECT_EQ(evalMiniC("int f() { return 0 - 1 < 0; }", "f"), 1u);
+  EXPECT_EQ(evalMiniC("int f() { return 3 >= 3; }", "f"), 1u);
+  EXPECT_EQ(evalMiniC("int f() { return 3 != 3; }", "f"), 0u);
+}
+
+TEST(CodeGenTest, LocalsAndAssignment) {
+  EXPECT_EQ(evalMiniC("int f() { int x = 1; x = x + 5; return x; }", "f"),
+            6u);
+  EXPECT_EQ(evalMiniC("int f() { int x; return x; }", "f"), 0u)
+      << "locals are zero-initialized";
+}
+
+TEST(CodeGenTest, GlobalsAndArrays) {
+  const char *Src = R"(
+global int G = 7;
+global int arr[8];
+int f() {
+  arr[2] = G + 1;
+  G = arr[2] * 2;
+  return G;
+}
+)";
+  EXPECT_EQ(evalMiniC(Src, "f"), 16u);
+}
+
+TEST(CodeGenTest, WhileLoopAndBreakContinue) {
+  const char *Src = R"(
+int f() {
+  int sum = 0;
+  int i = 0;
+  while (1) {
+    i = i + 1;
+    if (i > 10) { break; }
+    if (i % 2 == 0) { continue; }
+    sum = sum + i;
+  }
+  return sum;
+}
+)";
+  EXPECT_EQ(evalMiniC(Src, "f"), 25u); // 1+3+5+7+9
+}
+
+TEST(CodeGenTest, IfElseChains) {
+  const char *Src = R"(
+int classify(int v) {
+  if (v < 0) {
+    return 0 - 1;
+  } else if (v == 0) {
+    return 0;
+  } else {
+    return 1;
+  }
+}
+)";
+  EXPECT_EQ(static_cast<int64_t>(
+                evalMiniC(Src, "classify", {static_cast<ir::Word>(-5)})),
+            -1);
+  EXPECT_EQ(evalMiniC(Src, "classify", {0}), 0u);
+  EXPECT_EQ(evalMiniC(Src, "classify", {9}), 1u);
+}
+
+TEST(CodeGenTest, ShortCircuitEvaluation) {
+  // RHS must not execute when LHS decides: guard a null dereference.
+  const char *Src = R"(
+global int P = 0;
+int f() {
+  if (P != 0 && *P == 5) {
+    return 1;
+  }
+  return 0;
+}
+)";
+  EXPECT_EQ(evalMiniC(Src, "f"), 0u);
+}
+
+TEST(CodeGenTest, ShortCircuitOr) {
+  const char *Src = R"(
+int f(int a, int b) { return a || b; }
+)";
+  EXPECT_EQ(evalMiniC(Src, "f", {0, 0}), 0u);
+  EXPECT_EQ(evalMiniC(Src, "f", {2, 0}), 1u);
+  EXPECT_EQ(evalMiniC(Src, "f", {0, 2}), 1u);
+}
+
+TEST(CodeGenTest, FunctionCallsAndRecursion) {
+  const char *Src = R"(
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+)";
+  EXPECT_EQ(evalMiniC(Src, "fib", {10}), 55u);
+}
+
+TEST(CodeGenTest, StructsAndMalloc) {
+  const char *Src = R"(
+struct Pair { int first; int second; }
+int f() {
+  int p = malloc(sizeof(Pair));
+  p->first = 3;
+  p->second = 4;
+  int q = p->first * p->second;
+  free(p);
+  return q;
+}
+)";
+  EXPECT_EQ(evalMiniC(Src, "f"), 12u);
+}
+
+TEST(CodeGenTest, PointerDerefAndAddressOf) {
+  const char *Src = R"(
+global int G = 5;
+int f() {
+  int p = &G;
+  *p = *p + 1;
+  return G;
+}
+)";
+  EXPECT_EQ(evalMiniC(Src, "f"), 6u);
+}
+
+TEST(CodeGenTest, CasBuiltin) {
+  const char *Src = R"(
+global int X = 5;
+int f() {
+  int ok1 = cas(&X, 5, 7);
+  int ok2 = cas(&X, 5, 9);
+  return ok1 * 10 + ok2 + X;
+}
+)";
+  EXPECT_EQ(evalMiniC(Src, "f"), 17u); // 10 + 0 + 7
+}
+
+TEST(CodeGenTest, ConstDeclarations) {
+  const char *Src = R"(
+const NEG = -3;
+const POS = 10;
+int f() { return POS + NEG; }
+)";
+  EXPECT_EQ(evalMiniC(Src, "f"), 7u);
+}
+
+TEST(CodeGenTest, SpawnJoin) {
+  const char *Src = R"(
+global int G = 0;
+int worker(int v) {
+  G = v;
+  return 0;
+}
+int f() {
+  int t = spawn(worker, 42);
+  join(t);
+  return G;
+}
+)";
+  EXPECT_EQ(evalMiniC(Src, "f"), 42u);
+}
+
+TEST(CodeGenTest, LineNumbersAttached) {
+  CompileResult R = compileMiniC("global int G = 0;\nint f() {\n  G = 1;\n  return G;\n}\n");
+  ASSERT_TRUE(R.Ok);
+  bool FoundStoreLine3 = false;
+  for (const auto &I : R.Module.Funcs[0].Body)
+    if (I.Op == ir::Opcode::Store && I.SrcLine == 3)
+      FoundStoreLine3 = true;
+  EXPECT_TRUE(FoundStoreLine3);
+}
+
+TEST(CodeGenTest, GeneratedModulesVerify) {
+  CompileResult R = compileMiniC(R"(
+global int a = 1;
+struct S { int s1; int s2; }
+int helper(int x) { return x * 2; }
+int f() {
+  int p = malloc(sizeof(S));
+  p->s1 = helper(a);
+  return p->s1;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(ir::verifyModule(R.Module).empty());
+}

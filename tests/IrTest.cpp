@@ -1,0 +1,159 @@
+//===- IrTest.cpp - Tests for the IR library ------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace dfence;
+using namespace dfence::ir;
+
+namespace {
+
+/// Builds: f(a, b) { return a + b; }
+FuncId buildAdd(Module &M) {
+  FunctionBuilder B(M, "add", 2);
+  Reg Sum = B.emitBinOp(BinOpKind::Add, 0, 1);
+  B.emitRet(Sum);
+  return B.finish();
+}
+
+} // namespace
+
+TEST(IrTest, BuilderProducesVerifiableModule) {
+  Module M;
+  buildAdd(M);
+  EXPECT_TRUE(verifyModule(M).empty());
+  EXPECT_EQ(M.Funcs.size(), 1u);
+  EXPECT_EQ(M.Funcs[0].NumParams, 2u);
+}
+
+TEST(IrTest, LabelsAreModuleUnique) {
+  Module M;
+  buildAdd(M);
+  FunctionBuilder B(M, "g", 0);
+  B.emitConst(1);
+  B.emitRetVoid();
+  B.finish();
+  std::set<InstrId> Ids;
+  for (const Function &F : M.Funcs)
+    for (const Instr &I : F.Body)
+      EXPECT_TRUE(Ids.insert(I.Id).second) << "duplicate label";
+}
+
+TEST(IrTest, ForwardBranchesResolve) {
+  Module M;
+  FunctionBuilder B(M, "f", 1);
+  auto Then = B.newLabel();
+  auto End = B.newLabel();
+  B.emitCondBr(0, Then, End);
+  B.bind(Then);
+  Reg One = B.emitConst(1);
+  B.emitRet(One);
+  B.bind(End);
+  Reg Zero = B.emitConst(0);
+  B.emitRet(Zero);
+  FuncId F = B.finish();
+  EXPECT_TRUE(verifyModule(M).empty());
+  const Function &Fn = M.function(F);
+  const Instr &CBr = Fn.Body[0];
+  ASSERT_EQ(CBr.Op, Opcode::CondBr);
+  EXPECT_EQ(Fn.indexOf(CBr.Target0), 1u);
+  EXPECT_EQ(Fn.indexOf(CBr.Target1), 3u);
+}
+
+TEST(IrTest, InsertAfterKeepsLabelsStable) {
+  Module M;
+  FuncId F = buildAdd(M);
+  Function &Fn = M.function(F);
+  InstrId FirstId = Fn.Body[0].Id;
+  Instr Fence;
+  Fence.Op = Opcode::Fence;
+  Fence.Id = M.nextInstrId();
+  Fence.Synthesized = true;
+  Fn.insertAfter(FirstId, Fence);
+  EXPECT_EQ(Fn.Body.size(), 3u);
+  EXPECT_EQ(Fn.indexOf(FirstId), 0u);
+  EXPECT_EQ(Fn.Body[1].Op, Opcode::Fence);
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+TEST(IrTest, EraseRemovesInstruction) {
+  Module M;
+  FuncId F = buildAdd(M);
+  Function &Fn = M.function(F);
+  Instr Nop;
+  Nop.Op = Opcode::Nop;
+  Nop.Id = M.nextInstrId();
+  Fn.insertAfter(Fn.Body[0].Id, Nop);
+  InstrId NopId = Fn.Body[1].Id;
+  Fn.erase(NopId);
+  EXPECT_FALSE(Fn.containsLabel(NopId));
+  EXPECT_EQ(Fn.Body.size(), 2u);
+}
+
+TEST(IrTest, CountStoresMatchesInsertionPoints) {
+  Module M;
+  GlobalId G = M.addGlobal(GlobalVar{"x", 1, {}});
+  FunctionBuilder B(M, "f", 0);
+  Reg A = B.emitGlobalAddr(G);
+  Reg V = B.emitConst(5);
+  B.emitStore(A, V);
+  B.emitStore(A, V);
+  Reg L = B.emitLoad(A);
+  B.emitRet(L);
+  FuncId F = B.finish();
+  EXPECT_EQ(M.function(F).countStores(), 2u);
+  EXPECT_EQ(M.totalStoreCount(), 2u);
+}
+
+TEST(IrTest, VerifierCatchesBadRegister) {
+  Module M;
+  FunctionBuilder B(M, "f", 0);
+  B.emitRetVoid();
+  FuncId F = B.finish();
+  M.function(F).Body[0].Ops = {99}; // Out-of-range operand.
+  EXPECT_FALSE(verifyModule(M).empty());
+}
+
+TEST(IrTest, VerifierCatchesMissingTerminator) {
+  Module M;
+  FunctionBuilder B(M, "f", 0);
+  B.emitConst(1);
+  FuncId F = B.finish(); // finish() appends ret; remove it.
+  M.function(F).Body.pop_back();
+  M.function(F).buildIndex();
+  EXPECT_FALSE(verifyModule(M).empty());
+}
+
+TEST(IrTest, PrinterMentionsOpcodes) {
+  Module M;
+  buildAdd(M);
+  std::string S = printModule(M);
+  EXPECT_NE(S.find("func add"), std::string::npos);
+  EXPECT_NE(S.find("ret"), std::string::npos);
+}
+
+TEST(IrTest, EvalBinOpSignedSemantics) {
+  auto W = [](int64_t V) { return static_cast<Word>(V); };
+  EXPECT_EQ(evalBinOp(BinOpKind::Lt, W(-1), W(0)), 1u);
+  EXPECT_EQ(evalBinOp(BinOpKind::Gt, W(-1), W(0)), 0u);
+  EXPECT_EQ(evalBinOp(BinOpKind::Div, W(-7), W(2)), W(-3));
+  EXPECT_EQ(evalBinOp(BinOpKind::Rem, W(7), W(3)), 1u);
+  EXPECT_EQ(evalBinOp(BinOpKind::Div, W(1), W(0)), 0u) << "div-by-0 safe";
+  EXPECT_EQ(evalBinOp(BinOpKind::Add, W(-1), W(1)), 0u);
+  EXPECT_EQ(evalBinOp(BinOpKind::Shl, W(1), W(70)), 0u);
+}
+
+TEST(IrTest, FunctionOfLabel) {
+  Module M;
+  FuncId F1 = buildAdd(M);
+  FunctionBuilder B(M, "g", 0);
+  B.emitRetVoid();
+  FuncId F2 = B.finish();
+  EXPECT_EQ(M.functionOfLabel(M.function(F1).Body[0].Id), F1);
+  EXPECT_EQ(M.functionOfLabel(M.function(F2).Body[0].Id), F2);
+  EXPECT_FALSE(M.functionOfLabel(9999).has_value());
+}

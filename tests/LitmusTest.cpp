@@ -1,0 +1,259 @@
+//===- LitmusTest.cpp - Classic litmus tests against Semantics 1 ----------===//
+//
+// Validates the operational TSO/PSO semantics on the standard litmus
+// shapes: store buffering (SB), message passing (MP), store-to-load
+// forwarding, fence effects, and the CAS-drains-buffer rules. Each test
+// sweeps many seeds under the flush-delaying scheduler and checks which
+// outcomes are observable under which model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+using namespace dfence;
+using namespace dfence::vm;
+
+namespace {
+
+/// Runs a two-thread client (one call per thread) across seeds and
+/// returns the set of (ret0, ret1) pairs observed.
+std::set<std::pair<Word, Word>>
+observeOutcomes(const std::string &Src, const char *F0, const char *F1,
+                MemModel Model, int Seeds = 300, double FlushProb = 0.3) {
+  auto M = frontend::compileOrDie(Src);
+  Client C;
+  ThreadScript S0, S1;
+  MethodCall M0;
+  M0.Func = F0;
+  MethodCall M1;
+  M1.Func = F1;
+  S0.Calls = {M0};
+  S1.Calls = {M1};
+  C.Threads = {S0, S1};
+
+  std::set<std::pair<Word, Word>> Outcomes;
+  for (int Seed = 1; Seed <= Seeds; ++Seed) {
+    ExecConfig Cfg;
+    Cfg.Model = Model;
+    Cfg.Seed = static_cast<uint64_t>(Seed);
+    Cfg.FlushProb = FlushProb;
+    ExecResult R = runExecution(M, C, Cfg);
+    EXPECT_EQ(R.Out, Outcome::Completed) << R.Message;
+    // History ops are in invocation order; map back to thread indices.
+    Word Rets[2] = {0, 0};
+    for (const OpRecord &Op : R.Hist.Ops)
+      Rets[Op.Thread] = Op.Ret;
+    Outcomes.insert({Rets[0], Rets[1]});
+  }
+  return Outcomes;
+}
+
+// SB: both threads store then load the other variable.
+const char *SbSrc = R"(
+global int X = 0;
+global int Y = 0;
+int t1() { X = 1; return Y; }
+int t2() { Y = 1; return X; }
+)";
+
+// SB with a store-load fence between store and load.
+const char *SbFencedSrc = R"(
+global int X = 0;
+global int Y = 0;
+int t1() { X = 1; fence_sl(); return Y; }
+int t2() { Y = 1; fence_sl(); return X; }
+)";
+
+// SB with a CAS to an unrelated variable between store and load.
+const char *SbCasSrc = R"(
+global int X = 0;
+global int Y = 0;
+global int D = 0;
+int t1() { X = 1; cas(&D, 0, 1); return Y; }
+int t2() { Y = 1; cas(&D, 0, 1); return X; }
+)";
+
+// MP: writer publishes data then flag; reader checks flag then data.
+// Reader returns flag*2 + data.
+const char *MpSrc = R"(
+global int DATA = 0;
+global int FLAG = 0;
+int writer() { DATA = 1; FLAG = 1; return 0; }
+int reader() {
+  int f = FLAG;
+  int d = DATA;
+  return f * 2 + d;
+}
+)";
+
+// MP with a store-store fence in the writer.
+const char *MpFencedSrc = R"(
+global int DATA = 0;
+global int FLAG = 0;
+int writer() { DATA = 1; fence_ss(); FLAG = 1; return 0; }
+int reader() {
+  int f = FLAG;
+  int d = DATA;
+  return f * 2 + d;
+}
+)";
+
+} // namespace
+
+TEST(LitmusTest, SbForbiddenUnderSC) {
+  auto O = observeOutcomes(SbSrc, "t1", "t2", MemModel::SC);
+  EXPECT_FALSE(O.count({0, 0})) << "SC forbids r1=r2=0";
+  EXPECT_TRUE(O.size() >= 2) << "interleavings should vary";
+}
+
+TEST(LitmusTest, SbObservableUnderTSO) {
+  auto O = observeOutcomes(SbSrc, "t1", "t2", MemModel::TSO, 300, 0.1);
+  EXPECT_TRUE(O.count({0, 0})) << "TSO store buffering must show (0,0)";
+}
+
+TEST(LitmusTest, SbObservableUnderPSO) {
+  auto O = observeOutcomes(SbSrc, "t1", "t2", MemModel::PSO, 300, 0.3);
+  EXPECT_TRUE(O.count({0, 0}));
+}
+
+TEST(LitmusTest, StoreLoadFenceRestoresSbUnderTSO) {
+  auto O = observeOutcomes(SbFencedSrc, "t1", "t2", MemModel::TSO, 300,
+                           0.1);
+  EXPECT_FALSE(O.count({0, 0})) << "fence must forbid (0,0)";
+}
+
+TEST(LitmusTest, StoreLoadFenceRestoresSbUnderPSO) {
+  auto O = observeOutcomes(SbFencedSrc, "t1", "t2", MemModel::PSO, 300,
+                           0.3);
+  EXPECT_FALSE(O.count({0, 0}));
+}
+
+TEST(LitmusTest, CasActsAsFenceOnTSO) {
+  auto O = observeOutcomes(SbCasSrc, "t1", "t2", MemModel::TSO, 300, 0.1);
+  EXPECT_FALSE(O.count({0, 0}))
+      << "TSO CAS requires the whole buffer to drain";
+}
+
+TEST(LitmusTest, CasDoesNotFenceOtherVariablesOnPSO) {
+  auto O = observeOutcomes(SbCasSrc, "t1", "t2", MemModel::PSO, 500, 0.2);
+  EXPECT_TRUE(O.count({0, 0}))
+      << "PSO CAS only drains the buffer of its own variable";
+}
+
+TEST(LitmusTest, MpIntactUnderTSO) {
+  // flag=1,data=0 (reader returns 2) requires store-store reordering.
+  auto O = observeOutcomes(MpSrc, "writer", "reader", MemModel::TSO, 300,
+                           0.1);
+  EXPECT_FALSE(O.count({0, 2})) << "TSO preserves store order";
+}
+
+TEST(LitmusTest, MpBrokenUnderPSO) {
+  auto O = observeOutcomes(MpSrc, "writer", "reader", MemModel::PSO, 500,
+                           0.3);
+  EXPECT_TRUE(O.count({0, 2})) << "PSO reorders the two stores";
+}
+
+TEST(LitmusTest, StoreStoreFenceRestoresMpUnderPSO) {
+  auto O = observeOutcomes(MpFencedSrc, "writer", "reader", MemModel::PSO,
+                           500, 0.3);
+  EXPECT_FALSE(O.count({0, 2}));
+}
+
+TEST(LitmusTest, StoreToLoadForwarding) {
+  // A thread always sees its own buffered stores.
+  const char *Src = R"(
+global int X = 0;
+int t1() { X = 7; return X; }
+int t2() { return X; }
+)";
+  for (MemModel Model : {MemModel::TSO, MemModel::PSO}) {
+    auto O = observeOutcomes(Src, "t1", "t2", Model, 200, 0.1);
+    for (const auto &[R1, R2] : O)
+      EXPECT_EQ(R1, 7u) << "forwarding must return the buffered value";
+  }
+}
+
+TEST(LitmusTest, FlushProbabilityOneBehavesLikeSC) {
+  auto O = observeOutcomes(SbSrc, "t1", "t2", MemModel::PSO, 300, 1.0);
+  EXPECT_FALSE(O.count({0, 0}))
+      << "with certain flushing a thread's loads follow its own stores";
+}
+
+TEST(LitmusTest, LockedIncrementsAreNotLost) {
+  const char *Src = R"(
+global int L = 0;
+global int G = 0;
+int bump2() {
+  lock(&L);
+  int v = G;
+  G = v + 1;
+  unlock(&L);
+  lock(&L);
+  int w = G;
+  G = w + 1;
+  unlock(&L);
+  return 0;
+}
+int readG() {
+  return G;
+}
+)";
+  auto M = frontend::compileOrDie(Src);
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    Client C;
+    ThreadScript S0, S1, S2;
+    MethodCall B;
+    B.Func = "bump2";
+    S0.Calls = {B};
+    S1.Calls = {B};
+    MethodCall RG;
+    RG.Func = "readG";
+    S2.Calls = {RG};
+    C.Threads = {S0, S1, S2};
+    ExecConfig Cfg;
+    Cfg.Model = MemModel::PSO;
+    Cfg.Seed = Seed;
+    Cfg.FlushProb = 0.3;
+    ExecResult R = runExecution(M, C, Cfg);
+    ASSERT_EQ(R.Out, Outcome::Completed) << R.Message;
+    // The observer may read any prefix count, but a fully-ordered final
+    // read (observer last) must see 4. We instead check monotonicity:
+    // the observed value never exceeds 4.
+    EXPECT_LE(R.Hist.Ops[2].Ret, 4u);
+  }
+}
+
+TEST(LitmusTest, JoinWaitsForBufferDrain) {
+  const char *Src = R"(
+global int X = 0;
+int child() { X = 9; return 0; }
+int parent() {
+  int t = spawn(child);
+  join(t);
+  return X;
+}
+)";
+  auto M = frontend::compileOrDie(Src);
+  Client C;
+  ThreadScript S;
+  MethodCall P;
+  P.Func = "parent";
+  S.Calls = {P};
+  C.Threads = {S};
+  for (uint64_t Seed = 1; Seed <= 100; ++Seed) {
+    ExecConfig Cfg;
+    Cfg.Model = MemModel::PSO;
+    Cfg.Seed = Seed;
+    Cfg.FlushProb = 0.2;
+    ExecResult R = runExecution(M, C, Cfg);
+    ASSERT_EQ(R.Out, Outcome::Completed) << R.Message;
+    EXPECT_EQ(R.Hist.Ops[0].Ret, 9u)
+        << "JOIN rule requires the child's buffers to be drained";
+  }
+}

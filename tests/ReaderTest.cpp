@@ -1,0 +1,164 @@
+//===- ReaderTest.cpp - Printer/Reader round-trips ------------------------===//
+//
+// The textual IR form must round-trip: print(parse(print(M))) ==
+// print(M), and parsed modules must behave identically. Exercised on
+// hand-written snippets and on every Table-2 benchmark (including their
+// fenced versions after synthesis).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ir/Printer.h"
+#include "ir/Reader.h"
+#include "ir/Verifier.h"
+#include "programs/Benchmark.h"
+#include "synth/FenceEnforcer.h"
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace dfence;
+using namespace dfence::ir;
+
+namespace {
+
+Module roundTrip(const Module &M) {
+  std::string Text = printModule(M);
+  std::string Error;
+  auto Parsed = parseModule(Text, Error);
+  EXPECT_TRUE(Parsed.has_value()) << Error << "\n" << Text;
+  if (!Parsed)
+    return Module();
+  EXPECT_EQ(printModule(*Parsed), Text) << "round-trip not stable";
+  return std::move(*Parsed);
+}
+
+} // namespace
+
+TEST(ReaderTest, SimpleFunctionRoundTrip) {
+  Module M = frontend::compileOrDie(R"(
+global int G = 7;
+int f(int a) {
+  int x = a * 2;
+  G = x;
+  return G + 1;
+}
+)");
+  Module P = roundTrip(M);
+  EXPECT_EQ(vm::runSequential(P, "f", {5}), 11u);
+}
+
+TEST(ReaderTest, ControlFlowRoundTrip) {
+  Module M = frontend::compileOrDie(R"(
+int collatzSteps(int n) {
+  int steps = 0;
+  while (n != 1) {
+    if (n % 2 == 0) {
+      n = n / 2;
+    } else {
+      n = 3 * n + 1;
+    }
+    steps = steps + 1;
+  }
+  return steps;
+}
+)");
+  Module P = roundTrip(M);
+  EXPECT_EQ(vm::runSequential(P, "collatzSteps", {6}), 8u);
+  EXPECT_EQ(vm::runSequential(P, "collatzSteps", {1}), 0u);
+}
+
+TEST(ReaderTest, ConcurrencyOpsRoundTrip) {
+  Module M = frontend::compileOrDie(R"(
+global int L = 0;
+global int X = 0;
+int f() {
+  lock(&L);
+  X = 1;
+  unlock(&L);
+  fence();
+  fence_ss();
+  fence_sl();
+  int ok = cas(&X, 1, 2);
+  int t = spawn(g, 5);
+  join(t);
+  int me = self();
+  int p = malloc(3);
+  free(p);
+  assert(ok);
+  return X;
+}
+int g(int v) { return v; }
+)");
+  Module P = roundTrip(M);
+  EXPECT_EQ(vm::runSequential(P, "f", {}), 2u);
+}
+
+TEST(ReaderTest, GlobalInitializersPreserved) {
+  Module M = frontend::compileOrDie(R"(
+global int A = 5;
+global int B[3] = 2;
+int f() { return A + B[0] + B[2]; }
+)");
+  Module P = roundTrip(M);
+  EXPECT_EQ(vm::runSequential(P, "f", {}), 9u);
+}
+
+TEST(ReaderTest, SynthesizedFencesSurviveRoundTrip) {
+  Module M = frontend::compileOrDie(R"(
+global int X = 0;
+global int Y = 0;
+int w() {
+  X = 1;
+  Y = 2;
+  return 0;
+}
+)");
+  InstrId First = InvalidInstrId;
+  for (const Instr &I : M.Funcs[0].Body)
+    if (I.Op == Opcode::Store) {
+      First = I.Id;
+      break;
+    }
+  synth::enforcePredicates(M, {{First, First, false}},
+                           synth::EnforceMode::Fence);
+  Module P = roundTrip(M);
+  EXPECT_EQ(synth::collectSynthesizedFences(P).size(), 1u);
+}
+
+TEST(ReaderTest, FreshLabelsAfterParsing) {
+  Module M = frontend::compileOrDie("int f() { return 1; }");
+  Module P = roundTrip(M);
+  InstrId MaxId = 0;
+  for (const Instr &I : P.Funcs[0].Body)
+    MaxId = std::max(MaxId, I.Id);
+  EXPECT_GT(P.nextInstrId(), MaxId)
+      << "parsed modules must not recycle labels";
+}
+
+TEST(ReaderTest, RejectsMalformedInput) {
+  std::string Error;
+  EXPECT_FALSE(parseModule("gibberish\n", Error).has_value());
+  EXPECT_FALSE(parseModule("%1: nop\n", Error).has_value())
+      << "instruction outside a function";
+  EXPECT_FALSE(
+      parseModule("func f(0 params, 0 regs) {\n", Error).has_value())
+      << "unterminated function";
+  EXPECT_FALSE(parseModule("func f(0 params, 0 regs) {\n"
+                           "  %1: r0 = load [r1]\n"
+                           "}\n",
+                           Error)
+                   .has_value())
+      << "verifier must reject out-of-range registers";
+}
+
+TEST(ReaderTest, AllBenchmarksRoundTrip) {
+  for (const programs::Benchmark &B : programs::allBenchmarks()) {
+    auto CR = frontend::compileMiniC(B.Source);
+    ASSERT_TRUE(CR.Ok) << B.Name;
+    Module P = roundTrip(CR.Module);
+    EXPECT_TRUE(verifyModule(P).empty()) << B.Name;
+    EXPECT_EQ(P.totalInstrCount(), CR.Module.totalInstrCount())
+        << B.Name;
+  }
+}

@@ -1,0 +1,238 @@
+//===- SpecTest.cpp - Sequential specs and history checkers ---------------===//
+
+#include "spec/Checkers.h"
+#include "spec/Specs.h"
+
+#include <gtest/gtest.h>
+
+using namespace dfence;
+using namespace dfence::spec;
+using vm::EmptyVal;
+using vm::History;
+using vm::OpRecord;
+using vm::Word;
+
+namespace {
+
+/// History construction helper: sequential timestamps are assigned from
+/// the (InvokeSeq, RespondSeq) pairs given explicitly.
+OpRecord op(const char *Func, std::vector<Word> Args, Word Ret,
+            uint32_t Thread, uint64_t Inv, uint64_t Res) {
+  OpRecord O;
+  O.Func = Func;
+  O.Args = std::move(Args);
+  O.Ret = Ret;
+  O.Thread = Thread;
+  O.InvokeSeq = Inv;
+  O.RespondSeq = Res;
+  O.Completed = true;
+  return O;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Specs
+//===----------------------------------------------------------------------===//
+
+TEST(SpecsTest, WsqDequeSemantics) {
+  WsqSpec S(DequeEnd::Tail, DequeEnd::Head);
+  EXPECT_TRUE(S.apply(op("put", {1}, 0, 0, 1, 2)));
+  EXPECT_TRUE(S.apply(op("put", {2}, 0, 0, 3, 4)));
+  EXPECT_TRUE(S.apply(op("steal", {}, 1, 1, 5, 6))); // head
+  EXPECT_TRUE(S.apply(op("take", {}, 2, 0, 7, 8)));  // tail
+  EXPECT_TRUE(S.apply(op("take", {}, EmptyVal, 0, 9, 10)));
+}
+
+TEST(SpecsTest, WsqRejectsWrongValue) {
+  WsqSpec S(DequeEnd::Tail, DequeEnd::Head);
+  EXPECT_TRUE(S.apply(op("put", {1}, 0, 0, 1, 2)));
+  EXPECT_FALSE(S.apply(op("take", {}, 9, 0, 3, 4)));
+}
+
+TEST(SpecsTest, WsqRejectsEmptyOnNonEmpty) {
+  WsqSpec S(DequeEnd::Tail, DequeEnd::Head);
+  EXPECT_TRUE(S.apply(op("put", {1}, 0, 0, 1, 2)));
+  EXPECT_FALSE(S.apply(op("steal", {}, EmptyVal, 1, 3, 4)));
+}
+
+TEST(SpecsTest, WsqStackVariant) {
+  WsqSpec S(DequeEnd::Tail, DequeEnd::Tail); // LIFO WSQ shape
+  EXPECT_TRUE(S.apply(op("put", {1}, 0, 0, 1, 2)));
+  EXPECT_TRUE(S.apply(op("put", {2}, 0, 0, 3, 4)));
+  EXPECT_TRUE(S.apply(op("steal", {}, 2, 1, 5, 6))) << "steal pops top";
+}
+
+TEST(SpecsTest, QueueFifoOrder) {
+  QueueSpec S;
+  EXPECT_TRUE(S.apply(op("enqueue", {1}, 0, 0, 1, 2)));
+  EXPECT_TRUE(S.apply(op("enqueue", {2}, 0, 0, 3, 4)));
+  EXPECT_FALSE(S.clone()->apply(op("dequeue", {}, 2, 1, 5, 6)));
+  EXPECT_TRUE(S.apply(op("dequeue", {}, 1, 1, 5, 6)));
+  EXPECT_TRUE(S.apply(op("dequeue", {}, 2, 1, 7, 8)));
+  EXPECT_TRUE(S.apply(op("dequeue", {}, EmptyVal, 1, 9, 10)));
+}
+
+TEST(SpecsTest, SetSemantics) {
+  SetSpec S;
+  EXPECT_TRUE(S.apply(op("add", {5}, 1, 0, 1, 2)));
+  EXPECT_FALSE(S.clone()->apply(op("add", {5}, 1, 0, 3, 4)))
+      << "re-adding must return 0";
+  EXPECT_TRUE(S.apply(op("add", {5}, 0, 0, 3, 4)));
+  EXPECT_TRUE(S.apply(op("contains", {5}, 1, 1, 5, 6)));
+  EXPECT_TRUE(S.apply(op("remove", {5}, 1, 1, 7, 8)));
+  EXPECT_TRUE(S.apply(op("contains", {5}, 0, 0, 9, 10)));
+  EXPECT_TRUE(S.apply(op("remove", {5}, 0, 0, 11, 12)));
+}
+
+TEST(SpecsTest, AllocatorFreshnessAndFree) {
+  AllocatorSpec S;
+  EXPECT_TRUE(S.apply(op("alloc", {}, 100, 0, 1, 2)));
+  EXPECT_FALSE(S.clone()->apply(op("alloc", {}, 100, 1, 3, 4)))
+      << "double allocation of a live pointer is invalid";
+  EXPECT_TRUE(S.apply(op("alloc", {}, 200, 1, 3, 4)));
+  EXPECT_TRUE(S.apply(op("release", {100}, 0, 0, 5, 6)));
+  EXPECT_TRUE(S.apply(op("alloc", {}, 100, 0, 7, 8)))
+      << "freed pointers may be handed out again";
+  EXPECT_FALSE(S.clone()->apply(op("release", {999}, 0, 0, 9, 10)))
+      << "freeing a non-live pointer is invalid";
+  EXPECT_FALSE(S.clone()->apply(op("alloc", {}, 0, 0, 9, 10)))
+      << "allocator must not return null";
+}
+
+TEST(SpecsTest, HashDistinguishesStates) {
+  WsqSpec A(DequeEnd::Tail, DequeEnd::Head);
+  WsqSpec B(DequeEnd::Tail, DequeEnd::Head);
+  EXPECT_EQ(A.hash(), B.hash());
+  A.apply(op("put", {1}, 0, 0, 1, 2));
+  EXPECT_NE(A.hash(), B.hash());
+}
+
+//===----------------------------------------------------------------------===//
+// Linearizability / SC checkers
+//===----------------------------------------------------------------------===//
+
+TEST(CheckerTest, SequentialHistoryIsLinearizable) {
+  History H;
+  H.Ops = {op("put", {1}, 0, 0, 1, 2), op("take", {}, 1, 0, 3, 4)};
+  EXPECT_TRUE(isLinearizable(H, WsqSpec::factory()));
+  EXPECT_TRUE(isSequentiallyConsistent(H, WsqSpec::factory()));
+}
+
+TEST(CheckerTest, EmptyHistoryOk) {
+  History H;
+  EXPECT_TRUE(isLinearizable(H, WsqSpec::factory()));
+  EXPECT_TRUE(isSequentiallyConsistent(H, WsqSpec::factory()));
+}
+
+TEST(CheckerTest, OverlappingOpsMayReorder) {
+  // take overlaps put: the EMPTY return is fine (take linearizes first).
+  History H;
+  H.Ops = {op("put", {1}, 0, 0, 1, 4),
+           op("take", {}, EmptyVal, 1, 2, 3)};
+  EXPECT_TRUE(isLinearizable(H, WsqSpec::factory()));
+}
+
+TEST(CheckerTest, RealTimeOrderEnforcedByLinearizability) {
+  // The paper's Fig. 2c: put(1) completes strictly before steal, yet the
+  // steal misses the element. SC accepts (per-thread reordering), but
+  // linearizability must reject.
+  History H;
+  H.Ops = {op("put", {1}, 0, 0, 1, 2),
+           op("steal", {}, EmptyVal, 1, 3, 4)};
+  EXPECT_FALSE(isLinearizable(H, WsqSpec::factory()));
+  EXPECT_TRUE(isSequentiallyConsistent(H, WsqSpec::factory()));
+}
+
+TEST(CheckerTest, ScStillRequiresPerThreadOrder) {
+  // Same thread: put(1) then steal() = EMPTY is wrong even under SC.
+  History H;
+  H.Ops = {op("put", {1}, 0, 0, 1, 2),
+           op("steal", {}, EmptyVal, 0, 3, 4)};
+  EXPECT_FALSE(isSequentiallyConsistent(H, WsqSpec::factory()));
+}
+
+TEST(CheckerTest, DuplicateExtractionRejected) {
+  // Fig. 2a: the same element returned twice.
+  History H;
+  H.Ops = {op("put", {1}, 0, 0, 1, 2), op("take", {}, 1, 0, 3, 6),
+           op("steal", {}, 1, 1, 4, 5)};
+  EXPECT_FALSE(isLinearizable(H, WsqSpec::factory()));
+  EXPECT_FALSE(isSequentiallyConsistent(H, WsqSpec::factory()));
+}
+
+TEST(CheckerTest, GarbageValueRejected) {
+  // Fig. 2b: a value that was never put (uninitialized read).
+  History H;
+  H.Ops = {op("put", {1}, 0, 0, 1, 2), op("steal", {}, 0, 1, 3, 4)};
+  EXPECT_FALSE(isSequentiallyConsistent(H, WsqSpec::factory()));
+}
+
+TEST(CheckerTest, ConcurrentQueueInterleavings) {
+  // Two producers, values may interleave either way.
+  History H;
+  H.Ops = {op("enqueue", {1}, 0, 0, 1, 4), op("enqueue", {2}, 0, 1, 2, 3),
+           op("dequeue", {}, 2, 0, 5, 6), op("dequeue", {}, 1, 1, 7, 8)};
+  EXPECT_TRUE(isLinearizable(H, QueueSpec::factory()));
+}
+
+TEST(CheckerTest, QueueFifoViolationCaught) {
+  // enqueue(1) strictly before enqueue(2), dequeues in wrong order:
+  // linearizability rejects. SC accepts — the enqueues are in different
+  // threads, so nothing orders them under SC.
+  History H;
+  H.Ops = {op("enqueue", {1}, 0, 0, 1, 2), op("enqueue", {2}, 0, 1, 3, 4),
+           op("dequeue", {}, 2, 0, 5, 6), op("dequeue", {}, 1, 1, 7, 8)};
+  EXPECT_FALSE(isLinearizable(H, QueueSpec::factory()));
+  EXPECT_TRUE(isSequentiallyConsistent(H, QueueSpec::factory()));
+}
+
+TEST(CheckerTest, QueueFifoViolationCaughtUnderScSameThread) {
+  // Same shape but the enqueues share a thread: now SC rejects too.
+  History H;
+  H.Ops = {op("enqueue", {1}, 0, 0, 1, 2), op("enqueue", {2}, 0, 0, 3, 4),
+           op("dequeue", {}, 2, 1, 5, 6), op("dequeue", {}, 1, 1, 7, 8)};
+  EXPECT_FALSE(isLinearizable(H, QueueSpec::factory()));
+  EXPECT_FALSE(isSequentiallyConsistent(H, QueueSpec::factory()));
+}
+
+TEST(CheckerTest, ScAllowsCrossThreadReorderingQueue) {
+  // Same shape, but under SC the two enqueues are in different threads
+  // with no program-order constraint, so dequeue order 2,1 is fine.
+  History H;
+  H.Ops = {op("enqueue", {1}, 0, 0, 1, 2), op("enqueue", {2}, 0, 1, 3, 4),
+           op("dequeue", {}, 2, 2, 5, 6), op("dequeue", {}, 1, 3, 7, 8)};
+  EXPECT_TRUE(isSequentiallyConsistent(H, QueueSpec::factory()));
+  EXPECT_FALSE(isLinearizable(H, QueueSpec::factory()));
+}
+
+TEST(CheckerTest, NoGarbageTasks) {
+  History Good;
+  Good.Ops = {op("put", {5}, 0, 0, 1, 2), op("steal", {}, 5, 1, 3, 4),
+              op("take", {}, 5, 0, 5, 6), // duplicate: allowed
+              op("steal", {}, EmptyVal, 1, 7, 8)};
+  EXPECT_EQ(checkNoGarbageTasks(Good), "");
+
+  History Bad;
+  Bad.Ops = {op("put", {5}, 0, 0, 1, 2), op("steal", {}, 0, 1, 3, 4)};
+  EXPECT_NE(checkNoGarbageTasks(Bad), "");
+}
+
+TEST(CheckerTest, LargerHistoriesTerminate) {
+  // 16 ops across 4 threads; stress the memoized search.
+  History H;
+  uint64_t T = 1;
+  for (int I = 0; I < 8; ++I) {
+    uint64_t Inv = T++;
+    uint64_t Res = T++;
+    H.Ops.push_back(
+        op("enqueue", {static_cast<Word>(I + 1)}, 0, 0, Inv, Res));
+  }
+  for (int I = 0; I < 8; ++I) {
+    uint64_t Inv = T++;
+    uint64_t Res = T++;
+    H.Ops.push_back(
+        op("dequeue", {}, static_cast<Word>(I + 1), 1, Inv, Res));
+  }
+  EXPECT_TRUE(isLinearizable(H, QueueSpec::factory()));
+}

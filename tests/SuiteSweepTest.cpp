@@ -1,0 +1,125 @@
+//===- SuiteSweepTest.cpp - Whole-suite synthesis invariants --------------===//
+//
+// Runs fence synthesis for every benchmark under both relaxed models
+// (strictest applicable specification) and asserts the paper's structural
+// invariants hold on the measured data:
+//
+//   * every run converges (no benchmark is unfixable by fences),
+//   * PSO never needs fewer fences than TSO,
+//   * the repaired program passes an independently-seeded verification
+//     round,
+//   * fully-locked algorithms need no fences anywhere.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "programs/Benchmark.h"
+#include "synth/Synthesizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dfence;
+using namespace dfence::programs;
+using namespace dfence::synth;
+using vm::MemModel;
+
+namespace {
+
+SpecKind strictestSpec(const Benchmark &B) {
+  if (B.UseNoGarbage)
+    return SpecKind::NoGarbage;
+  return B.Factory ? SpecKind::Linearizability : SpecKind::MemorySafety;
+}
+
+SynthConfig sweepConfig(const Benchmark &B, MemModel Model) {
+  SynthConfig Cfg;
+  Cfg.Model = Model;
+  Cfg.Spec = strictestSpec(B);
+  Cfg.Factory = B.Factory;
+  Cfg.ExecsPerRound = 400;
+  Cfg.MaxRounds = 16;
+  Cfg.MaxRepairRounds = 16;
+  Cfg.MaxStepsPerExec = 30000;
+  Cfg.CleanRoundsRequired = 2;
+  Cfg.FlushProb = Model == MemModel::TSO ? 0.1 : 0.5;
+  if (Model == MemModel::PSO)
+    Cfg.FlushProbs = {0.5, 0.1};
+  return Cfg;
+}
+
+class SuiteSweepTest : public ::testing::TestWithParam<std::string> {};
+
+} // namespace
+
+TEST_P(SuiteSweepTest, ConvergesAndRespectsModelOrdering) {
+  const Benchmark &B = benchmarkByName(GetParam());
+  auto CR = frontend::compileMiniC(B.Source);
+  ASSERT_TRUE(CR.Ok) << CR.Error;
+
+  SynthResult Tso =
+      synthesize(CR.Module, B.Clients, sweepConfig(B, MemModel::TSO));
+  SynthResult Pso =
+      synthesize(CR.Module, B.Clients, sweepConfig(B, MemModel::PSO));
+
+  EXPECT_TRUE(Tso.Converged) << B.Name << " TSO: " << Tso.FirstViolation;
+  EXPECT_TRUE(Pso.Converged) << B.Name << " PSO: " << Pso.FirstViolation;
+  EXPECT_FALSE(Tso.CannotFix) << B.Name;
+  EXPECT_FALSE(Pso.CannotFix) << B.Name;
+  EXPECT_GE(Pso.Fences.size(), Tso.Fences.size())
+      << B.Name << ": PSO relaxes strictly more than TSO\n"
+      << "TSO: " << Tso.fenceSummary() << "\nPSO: "
+      << Pso.fenceSummary();
+
+  // Independent verification with fresh seeds on the PSO result.
+  SynthConfig Verify = sweepConfig(B, MemModel::PSO);
+  Verify.BaseSeed = 0xfeedbeef;
+  Verify.MaxRounds = 1;
+  Verify.MaxRepairRounds = 0;
+  Verify.CleanRoundsRequired = 1;
+  SynthResult Check =
+      synthesize(Pso.FencedModule, B.Clients, Verify);
+  EXPECT_EQ(Check.ViolatingExecutions, 0u)
+      << B.Name << ": " << Check.FirstViolation;
+}
+
+TEST_P(SuiteSweepTest, SynthesisIsDeterministic) {
+  const Benchmark &B = benchmarkByName(GetParam());
+  auto CR = frontend::compileMiniC(B.Source);
+  ASSERT_TRUE(CR.Ok);
+  SynthConfig Cfg = sweepConfig(B, MemModel::PSO);
+  Cfg.ExecsPerRound = 150; // Keep the double run cheap.
+  SynthResult A = synthesize(CR.Module, B.Clients, Cfg);
+  SynthResult B2 = synthesize(CR.Module, B.Clients, Cfg);
+  EXPECT_EQ(A.fenceSummary(), B2.fenceSummary()) << B.Name;
+  EXPECT_EQ(A.TotalExecutions, B2.TotalExecutions) << B.Name;
+  EXPECT_EQ(A.ViolatingExecutions, B2.ViolatingExecutions) << B.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuiteSweepTest,
+    ::testing::ValuesIn([] {
+      std::vector<std::string> Names;
+      for (const Benchmark &B : allBenchmarks())
+        Names.push_back(B.Name);
+      return Names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(SuiteSweepTest, FullyLockedAlgorithmsNeedNoFences) {
+  for (const char *Name : {"MS2 Queue", "LazyList Set"}) {
+    const Benchmark &B = benchmarkByName(Name);
+    auto CR = frontend::compileMiniC(B.Source);
+    ASSERT_TRUE(CR.Ok);
+    SynthConfig Cfg = sweepConfig(B, MemModel::TSO);
+    SynthResult R = synthesize(CR.Module, B.Clients, Cfg);
+    EXPECT_TRUE(R.Converged) << Name;
+    EXPECT_EQ(R.Fences.size(), 0u)
+        << Name << " on TSO: " << R.fenceSummary();
+  }
+}

@@ -1,0 +1,92 @@
+//===- SupportTest.cpp - Tests for the support library --------------------===//
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace dfence;
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 5);
+}
+
+TEST(RngTest, ReseedResets) {
+  Rng A(7);
+  uint64_t First = A.next();
+  A.next();
+  A.reseed(7);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng R(3);
+  for (uint64_t Bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(R.nextBelow(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng R(5);
+  int True05 = 0;
+  for (int I = 0; I < 10000; ++I)
+    True05 += R.nextBool(0.5);
+  EXPECT_NEAR(True05, 5000, 300);
+  EXPECT_FALSE(R.nextBool(0.0));
+  EXPECT_TRUE(R.nextBool(1.0));
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilsTest, Strformat) {
+  EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(StringUtilsTest, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padLeft("abcd", 2), "abcd");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+}
+
+TEST(StringUtilsTest, HashCombineSpreads) {
+  std::set<uint64_t> H;
+  for (uint64_t I = 0; I < 1000; ++I)
+    H.insert(hashCombine(0, I));
+  EXPECT_EQ(H.size(), 1000u);
+}

@@ -1,0 +1,303 @@
+//===- SynthTest.cpp - Dynamic synthesis driver tests ---------------------===//
+
+#include "frontend/Compiler.h"
+#include "spec/Specs.h"
+#include "synth/Synthesizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dfence;
+using namespace dfence::synth;
+using vm::MemModel;
+
+namespace {
+
+// Message-passing publication: under PSO the pointer/flag stores reorder
+// and the reader dereferences null — a pure memory-safety synthesis case.
+const char *PublishSrc = R"(
+global int FLAG = 0;
+global int PTR = 0;
+int writer() {
+  int p = malloc(2);
+  *p = 5;
+  PTR = p;
+  FLAG = 1;
+  return 0;
+}
+int reader() {
+  int f = FLAG;
+  if (f == 1) {
+    int p = PTR;
+    return *p;
+  }
+  return 0;
+}
+)";
+
+vm::Client publishClient() {
+  vm::Client C;
+  vm::ThreadScript W, R;
+  vm::MethodCall MW;
+  MW.Func = "writer";
+  vm::MethodCall MR;
+  MR.Func = "reader";
+  W.Calls = {MW};
+  R.Calls = {MR, MR};
+  C.Threads = {W, R};
+  return C;
+}
+
+SynthConfig baseConfig(MemModel Model, SpecKind Spec) {
+  SynthConfig Cfg;
+  Cfg.Model = Model;
+  Cfg.Spec = Spec;
+  Cfg.ExecsPerRound = 150;
+  Cfg.MaxRounds = 12;
+  Cfg.MaxRepairRounds = 12;
+  Cfg.MaxStepsPerExec = 20000;
+  Cfg.FlushProb = Model == MemModel::TSO ? 0.1 : 0.4;
+  return Cfg;
+}
+
+} // namespace
+
+TEST(SynthTest, InfersPublicationFenceUnderPSO) {
+  auto M = frontend::compileOrDie(PublishSrc);
+  SynthConfig Cfg = baseConfig(MemModel::PSO, SpecKind::MemorySafety);
+  SynthResult R = synthesize(M, {publishClient()}, Cfg);
+  EXPECT_TRUE(R.Converged) << R.FirstViolation;
+  EXPECT_FALSE(R.CannotFix);
+  ASSERT_GE(R.Fences.size(), 1u);
+  for (const auto &F : R.Fences)
+    EXPECT_EQ(F.Function, "writer") << "all fences belong in the writer";
+  EXPECT_GT(R.ViolatingExecutions, 0u)
+      << "the unfenced program must actually misbehave";
+}
+
+TEST(SynthTest, NoFenceNeededUnderTSO) {
+  // TSO preserves store-store order, so publication is already safe.
+  auto M = frontend::compileOrDie(PublishSrc);
+  SynthConfig Cfg = baseConfig(MemModel::TSO, SpecKind::MemorySafety);
+  SynthResult R = synthesize(M, {publishClient()}, Cfg);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_EQ(R.Fences.size(), 0u);
+  EXPECT_EQ(R.ViolatingExecutions, 0u);
+}
+
+TEST(SynthTest, FencedProgramPassesVerificationRound) {
+  auto M = frontend::compileOrDie(PublishSrc);
+  SynthConfig Cfg = baseConfig(MemModel::PSO, SpecKind::MemorySafety);
+  SynthResult R1 = synthesize(M, {publishClient()}, Cfg);
+  ASSERT_TRUE(R1.Converged);
+  // Re-running synthesis on the fenced program finds nothing new.
+  Cfg.BaseSeed += 99991;
+  SynthResult R2 = synthesize(R1.FencedModule, {publishClient()}, Cfg);
+  EXPECT_TRUE(R2.Converged);
+  EXPECT_EQ(R2.ViolatingExecutions, 0u);
+  EXPECT_EQ(R2.Fences.size(), R1.Fences.size());
+}
+
+TEST(SynthTest, AlgorithmicBugIsCannotFix) {
+  // take() fabricates a value that was never put: no fence can repair
+  // this, and under SC no ordering predicates exist at all.
+  const char *Src = R"(
+global int X = 0;
+int put(int v) { X = v; return 0; }
+int take() { return 99; }
+)";
+  auto M = frontend::compileOrDie(Src);
+  vm::Client C;
+  vm::ThreadScript S;
+  vm::MethodCall P;
+  P.Func = "put";
+  P.Args = {vm::Arg(1)};
+  vm::MethodCall T;
+  T.Func = "take";
+  S.Calls = {P, T};
+  C.Threads = {S};
+  SynthConfig Cfg = baseConfig(MemModel::SC, SpecKind::Linearizability);
+  Cfg.Factory = spec::WsqSpec::factory();
+  SynthResult R = synthesize(M, {C}, Cfg);
+  EXPECT_TRUE(R.CannotFix);
+  EXPECT_FALSE(R.Converged);
+}
+
+TEST(SynthTest, OneShotStrategyNeedsMoreExecutions) {
+  // Fig. 4's observation: repairing once after a big batch requires far
+  // more executions than repairing in small rounds. Here we only check
+  // that the one-shot mode converges when given a big enough batch.
+  auto M = frontend::compileOrDie(PublishSrc);
+  SynthConfig Cfg = baseConfig(MemModel::PSO, SpecKind::MemorySafety);
+  Cfg.ExecsPerRound = 600;
+  Cfg.MaxRepairRounds = 1;
+  Cfg.MaxRounds = 2;
+  SynthResult R = synthesize(M, {publishClient()}, Cfg);
+  EXPECT_TRUE(R.Converged) << "one repair round should fix publication";
+  EXPECT_GE(R.Fences.size(), 1u);
+}
+
+TEST(SynthTest, CasEnforcementSemantics) {
+  // Enforce [load-of-SB-pattern] with a dummy CAS after the first store
+  // and check the semantics directly: on TSO any CAS drains the whole
+  // buffer (so the enforcement works); on PSO it only drains the dummy's
+  // buffer (so it does not — the paper calls CAS a TSO-only enforcement).
+  const char *Src = R"(
+global int DATA = 0;
+global int FLAG = 0;
+int writer() { DATA = 1; FLAG = 1; return 0; }
+int reader() {
+  int f = FLAG;
+  int d = DATA;
+  return f * 2 + d;
+}
+)";
+  auto Observe = [&](MemModel Model) {
+    auto M = frontend::compileOrDie(Src);
+    // Predicate: DATA store before FLAG store, enforced with CasDummy.
+    ir::InstrId DataStore = ir::InvalidInstrId;
+    for (const auto &I : M.function(*M.findFunction("writer")).Body)
+      if (I.Op == ir::Opcode::Store) {
+        DataStore = I.Id;
+        break;
+      }
+    vm::OrderingPredicate P{DataStore, DataStore, false};
+    enforcePredicates(M, {P}, EnforceMode::CasDummy);
+
+    vm::Client C;
+    vm::ThreadScript W, R;
+    vm::MethodCall MW;
+    MW.Func = "writer";
+    vm::MethodCall MR;
+    MR.Func = "reader";
+    W.Calls = {MW};
+    R.Calls = {MR};
+    C.Threads = {W, R};
+    bool SawReorder = false;
+    for (uint64_t Seed = 1; Seed <= 2000 && !SawReorder; ++Seed) {
+      vm::ExecConfig EC;
+      EC.Model = Model;
+      EC.Seed = Seed;
+      EC.FlushProb = 0.05;
+      vm::ExecResult Res = vm::runExecution(M, C, EC);
+      EXPECT_EQ(Res.Out, vm::Outcome::Completed);
+      for (const auto &Op : Res.Hist.Ops)
+        if (Op.Func == "reader" && Op.Ret == 2)
+          SawReorder = true; // flag seen without data: reordering.
+    }
+    return SawReorder;
+  };
+  EXPECT_FALSE(Observe(MemModel::TSO))
+      << "on TSO a dummy CAS drains the buffer and orders the stores";
+  EXPECT_TRUE(Observe(MemModel::PSO))
+      << "on PSO the dummy CAS leaves other variables' buffers pending";
+}
+
+TEST(SynthTest, CheckExecutionDiscardsStepLimit) {
+  vm::ExecResult R;
+  R.Out = vm::Outcome::StepLimit;
+  SynthConfig Cfg;
+  Cfg.Spec = SpecKind::MemorySafety;
+  EXPECT_EQ(checkExecution(R, Cfg), "");
+}
+
+TEST(SynthTest, CheckExecutionReportsMemSafety) {
+  vm::ExecResult R;
+  R.Out = vm::Outcome::MemSafety;
+  R.Message = "null dereference";
+  SynthConfig Cfg;
+  Cfg.Spec = SpecKind::MemorySafety;
+  EXPECT_NE(checkExecution(R, Cfg), "");
+}
+
+TEST(SynthTest, CheckExecutionNoGarbage) {
+  vm::ExecResult R;
+  R.Out = vm::Outcome::Completed;
+  vm::OpRecord Put;
+  Put.Func = "put";
+  Put.Args = {5};
+  Put.Completed = true;
+  vm::OpRecord Steal;
+  Steal.Func = "steal";
+  Steal.Ret = 77;
+  Steal.Completed = true;
+  R.Hist.Ops = {Put, Steal};
+  SynthConfig Cfg;
+  Cfg.Spec = SpecKind::NoGarbage;
+  EXPECT_NE(checkExecution(R, Cfg), "") << "77 was never put";
+}
+
+TEST(SynthTest, DeterministicAcrossRuns) {
+  auto M = frontend::compileOrDie(PublishSrc);
+  SynthConfig Cfg = baseConfig(MemModel::PSO, SpecKind::MemorySafety);
+  SynthResult A = synthesize(M, {publishClient()}, Cfg);
+  SynthResult B = synthesize(M, {publishClient()}, Cfg);
+  EXPECT_EQ(A.Fences.size(), B.Fences.size());
+  EXPECT_EQ(A.Rounds, B.Rounds);
+  EXPECT_EQ(A.TotalExecutions, B.TotalExecutions);
+  EXPECT_EQ(A.ViolatingExecutions, B.ViolatingExecutions);
+}
+
+TEST(SynthTest, RoundLogIsConsistent) {
+  auto M = frontend::compileOrDie(PublishSrc);
+  SynthConfig Cfg = baseConfig(MemModel::PSO, SpecKind::MemorySafety);
+  SynthResult R = synthesize(M, {publishClient()}, Cfg);
+  ASSERT_TRUE(R.Converged);
+  ASSERT_FALSE(R.RoundLog.empty());
+  uint64_t TotalViol = 0, TotalExecs = 0;
+  for (size_t I = 0; I != R.RoundLog.size(); ++I) {
+    const RoundStats &S = R.RoundLog[I];
+    EXPECT_EQ(S.Round, I + 1);
+    EXPECT_EQ(S.Executions, Cfg.ExecsPerRound);
+    TotalViol += S.Violations;
+    TotalExecs += S.Executions;
+  }
+  EXPECT_EQ(TotalViol, R.ViolatingExecutions);
+  EXPECT_EQ(TotalExecs, R.TotalExecutions);
+  EXPECT_EQ(R.RoundLog.back().Violations, 0u)
+      << "the converging round is clean";
+  EXPECT_EQ(R.RoundLog.back().FencesEnforced, R.Fences.size());
+}
+
+TEST(SynthTest, RepairsCollectedOnCorrectExecutionsToo) {
+  // Paper §4.1: avoid() is independent of whether the execution violates
+  // anything — the instrumented semantics records ordering predicates on
+  // every run (recent work repairs *correct* executions). Verify the
+  // collection works on a program with no violations at all.
+  auto M = frontend::compileOrDie(R"(
+global int X = 0;
+global int Y = 0;
+int w() { X = 1; Y = 2; return 0; }
+)");
+  vm::Client C;
+  vm::ThreadScript S;
+  vm::MethodCall MC;
+  MC.Func = "w";
+  S.Calls = {MC};
+  C.Threads = {S};
+  bool SawPredicates = false;
+  for (uint64_t Seed = 1; Seed <= 100 && !SawPredicates; ++Seed) {
+    vm::ExecConfig EC;
+    EC.Model = vm::MemModel::PSO;
+    EC.Seed = Seed;
+    EC.FlushProb = 0.1;
+    EC.CollectRepairs = true;
+    vm::ExecResult R = vm::runExecution(M, C, EC);
+    EXPECT_EQ(R.Out, vm::Outcome::Completed);
+    if (!R.Repairs.empty())
+      SawPredicates = true;
+  }
+  EXPECT_TRUE(SawPredicates)
+      << "the X store should be pending at the Y store sometimes";
+}
+
+TEST(SynthTest, FlushProbPortfolioCyclesAcrossExecutions) {
+  // The portfolio must not change determinism: two identical runs agree.
+  auto M = frontend::compileOrDie(PublishSrc);
+  SynthConfig Cfg = baseConfig(MemModel::PSO, SpecKind::MemorySafety);
+  Cfg.FlushProbs = {0.5, 0.1, 0.3};
+  SynthResult A = synthesize(M, {publishClient()}, Cfg);
+  SynthResult B = synthesize(M, {publishClient()}, Cfg);
+  EXPECT_EQ(A.ViolatingExecutions, B.ViolatingExecutions);
+  EXPECT_EQ(A.Fences.size(), B.Fences.size());
+  EXPECT_TRUE(A.Converged);
+}

@@ -1,0 +1,393 @@
+//===- dfence_cli.cpp - The dfence command-line tool ----------------------===//
+//
+// The reproduction's counterpart of the paper's DFENCE tool driver:
+//
+//   dfence compile <file.mc>
+//       Compile MiniC and dump the IR.
+//
+//   dfence run <file.mc> --func NAME [--args 1,2,...]
+//       Run one function sequentially (SC) and print its result.
+//
+//   dfence litmus <file.mc> --client DSL [--model sc|tso|pso]
+//       [--seeds N] [--flush P]
+//       Execute a concurrent client many times and print the histogram
+//       of per-thread return tuples.
+//
+//   dfence synth <file.mc> --client DSL [--model tso|pso]
+//       [--spec safety|nogarbage|sc|lin] [--seq-spec wsq|queue|...]
+//       [--k N] [--rounds N] [--flush P] [--enforce fence|cas|atomic]
+//       [--init FUNC] [--no-merge] [--dump]
+//       Run dynamic fence synthesis and report the inferred fences.
+//
+//   dfence bench <benchmark-name> [--model ...] [--spec ...]
+//       Synthesis for one of the built-in Table-2 benchmarks
+//       ("list" prints their names).
+//
+// Client DSL: "put(1);take()|steal();steal()" — threads separated by
+// '|', calls by ';', '$N' references the thread's N-th return value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ClientDsl.h"
+#include "driver/SpecRegistry.h"
+#include "frontend/Compiler.h"
+#include "ir/Printer.h"
+#include "programs/Benchmark.h"
+#include "support/StringUtils.h"
+#include "synth/Synthesizer.h"
+#include "vm/Interp.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace dfence;
+
+namespace {
+
+struct Options {
+  std::string Command;
+  std::string File;
+  std::map<std::string, std::string> Flags;
+
+  bool has(const std::string &K) const { return Flags.count(K) != 0; }
+  std::string get(const std::string &K,
+                  const std::string &Default = "") const {
+    auto It = Flags.find(K);
+    return It == Flags.end() ? Default : It->second;
+  }
+  long getInt(const std::string &K, long Default) const {
+    auto It = Flags.find(K);
+    return It == Flags.end() ? Default : std::stol(It->second);
+  }
+  double getDouble(const std::string &K, double Default) const {
+    auto It = Flags.find(K);
+    return It == Flags.end() ? Default : std::stod(It->second);
+  }
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: dfence <command> [...]\n"
+      "  compile <file.mc>\n"
+      "  run     <file.mc> --func NAME [--args 1,2]\n"
+      "  litmus  <file.mc> --client DSL [--model sc|tso|pso] "
+      "[--seeds N] [--flush P]\n"
+      "  synth   <file.mc> --client DSL [--model tso|pso] "
+      "[--spec safety|nogarbage|sc|lin] [--seq-spec %s]\n"
+      "          [--k N] [--rounds N] [--flush P] "
+      "[--enforce fence|cas|atomic] [--init FUNC] [--no-merge] [--dump]\n"
+      "  bench   <name|list> [--model tso|pso] [--spec ...]\n",
+      join(driver::knownSpecNames(), "|").c_str());
+  return 2;
+}
+
+std::optional<vm::MemModel> parseModel(const std::string &S) {
+  if (S == "sc")
+    return vm::MemModel::SC;
+  if (S == "tso")
+    return vm::MemModel::TSO;
+  if (S == "pso")
+    return vm::MemModel::PSO;
+  return std::nullopt;
+}
+
+std::optional<synth::SpecKind> parseSpec(const std::string &S) {
+  if (S == "safety")
+    return synth::SpecKind::MemorySafety;
+  if (S == "nogarbage")
+    return synth::SpecKind::NoGarbage;
+  if (S == "sc")
+    return synth::SpecKind::SequentialConsistency;
+  if (S == "lin")
+    return synth::SpecKind::Linearizability;
+  return std::nullopt;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+int cmdCompile(const Options &Opt) {
+  std::string Src;
+  if (!readFile(Opt.File, Src)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Opt.File.c_str());
+    return 1;
+  }
+  frontend::CompileResult CR = frontend::compileMiniC(Src);
+  if (!CR.Ok) {
+    std::fprintf(stderr, "%s: error: %s\n", Opt.File.c_str(),
+                 CR.Error.c_str());
+    return 1;
+  }
+  std::printf("%s", ir::printModule(CR.Module).c_str());
+  std::printf("; %u source lines, %u instructions, %u stores\n",
+              CR.SourceLines, CR.Module.totalInstrCount(),
+              CR.Module.totalStoreCount());
+  return 0;
+}
+
+int cmdRun(const Options &Opt) {
+  std::string Src;
+  if (!readFile(Opt.File, Src)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Opt.File.c_str());
+    return 1;
+  }
+  frontend::CompileResult CR = frontend::compileMiniC(Src);
+  if (!CR.Ok) {
+    std::fprintf(stderr, "%s: error: %s\n", Opt.File.c_str(),
+                 CR.Error.c_str());
+    return 1;
+  }
+  std::string Func = Opt.get("func");
+  if (Func.empty() || !CR.Module.findFunction(Func)) {
+    std::fprintf(stderr, "error: --func must name a function\n");
+    return 1;
+  }
+  std::vector<ir::Word> Args;
+  std::string ArgStr = Opt.get("args");
+  if (!ArgStr.empty()) {
+    std::stringstream SS(ArgStr);
+    std::string Tok;
+    while (std::getline(SS, Tok, ','))
+      Args.push_back(
+          static_cast<ir::Word>(static_cast<int64_t>(std::stoll(Tok))));
+  }
+  ir::Word R = vm::runSequential(CR.Module, Func, Args);
+  std::printf("%s(...) = %lld\n", Func.c_str(),
+              static_cast<long long>(R));
+  return 0;
+}
+
+int cmdLitmus(const Options &Opt) {
+  std::string Src;
+  if (!readFile(Opt.File, Src)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Opt.File.c_str());
+    return 1;
+  }
+  frontend::CompileResult CR = frontend::compileMiniC(Src);
+  if (!CR.Ok) {
+    std::fprintf(stderr, "%s: error: %s\n", Opt.File.c_str(),
+                 CR.Error.c_str());
+    return 1;
+  }
+  std::string Error;
+  auto Client = driver::parseClientDsl(Opt.get("client"), Error);
+  if (!Client) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  Client->InitFunc = Opt.get("init");
+  auto Model = parseModel(Opt.get("model", "pso"));
+  if (!Model) {
+    std::fprintf(stderr, "error: unknown --model\n");
+    return 1;
+  }
+  long Seeds = Opt.getInt("seeds", 1000);
+  double Flush = Opt.getDouble("flush", 0.3);
+
+  std::map<std::string, int> Hist;
+  int Violations = 0;
+  for (long Seed = 1; Seed <= Seeds; ++Seed) {
+    vm::ExecConfig Cfg;
+    Cfg.Model = *Model;
+    Cfg.Seed = static_cast<uint64_t>(Seed);
+    Cfg.FlushProb = Flush;
+    vm::ExecResult R = vm::runExecution(CR.Module, *Client, Cfg);
+    if (R.Out != vm::Outcome::Completed) {
+      ++Violations;
+      ++Hist["<" + std::string(vm::outcomeName(R.Out)) + "> " +
+             R.Message];
+      continue;
+    }
+    std::vector<std::string> Rets;
+    for (const vm::OpRecord &Op : R.Hist.Ops)
+      Rets.push_back(strformat("%s=%lld", Op.Func.c_str(),
+                               static_cast<long long>(Op.Ret)));
+    ++Hist[join(Rets, " ")];
+  }
+  for (const auto &[Key, Count] : Hist)
+    std::printf("%6d  %s\n", Count, Key.c_str());
+  std::printf("%ld executions under %s, %d non-completed\n", Seeds,
+              vm::memModelName(*Model), Violations);
+  return 0;
+}
+
+int runSynthesis(const ir::Module &M,
+                 const std::vector<vm::Client> &Clients,
+                 const Options &Opt, const spec::SpecFactory &Factory,
+                 synth::SpecKind Spec) {
+  synth::SynthConfig Cfg;
+  auto Model = parseModel(Opt.get("model", "pso"));
+  if (!Model || *Model == vm::MemModel::SC) {
+    std::fprintf(stderr,
+                 "error: --model must be tso or pso for synthesis\n");
+    return 1;
+  }
+  Cfg.Model = *Model;
+  Cfg.Spec = Spec;
+  Cfg.Factory = Factory;
+  Cfg.ExecsPerRound = static_cast<unsigned>(Opt.getInt("k", 1000));
+  Cfg.MaxRounds = static_cast<unsigned>(Opt.getInt("rounds", 16));
+  Cfg.MaxRepairRounds = Cfg.MaxRounds;
+  if (Opt.has("flush")) {
+    Cfg.FlushProb = Opt.getDouble("flush", 0.5);
+  } else if (*Model == vm::MemModel::TSO) {
+    Cfg.FlushProb = 0.1;
+  } else {
+    Cfg.FlushProbs = {0.5, 0.1};
+  }
+  std::string Enf = Opt.get("enforce", "fence");
+  if (Enf == "cas")
+    Cfg.Mode = synth::EnforceMode::CasDummy;
+  else if (Enf == "atomic")
+    Cfg.Mode = synth::EnforceMode::AtomicSection;
+  else if (Enf != "fence") {
+    std::fprintf(stderr, "error: unknown --enforce mode\n");
+    return 1;
+  }
+  Cfg.MergeFences = !Opt.has("no-merge");
+
+  synth::SynthResult R = synth::synthesize(M, Clients, Cfg);
+  std::printf("model: %s, spec: %s, K=%u\n", vm::memModelName(Cfg.Model),
+              synth::specKindName(Cfg.Spec), Cfg.ExecsPerRound);
+  for (const synth::RoundStats &S : R.RoundLog)
+    std::printf("round %u: %llu violating / %llu executions, %u "
+                "enforcement(s) in program\n",
+                S.Round, static_cast<unsigned long long>(S.Violations),
+                static_cast<unsigned long long>(S.Executions),
+                S.FencesEnforced);
+  if (R.CannotFix)
+    std::printf("result: violations not caused by reordering — cannot "
+                "be fixed with fences\nfirst violation: %s\n",
+                R.FirstViolation.c_str());
+  else if (!R.Converged)
+    std::printf("result: did not converge within %u rounds\n",
+                R.Rounds);
+  else if (R.Fences.empty())
+    std::printf("result: no fences needed\n");
+  else {
+    std::printf("result: %zu enforcement(s)\n", R.Fences.size());
+    for (const synth::InsertedFence &F : R.Fences)
+      std::printf("  %s\n", F.str().c_str());
+  }
+  if (Opt.has("dump"))
+    std::printf("%s", ir::printModule(R.FencedModule).c_str());
+  return R.Converged || R.Fences.empty() ? 0 : 1;
+}
+
+int cmdSynth(const Options &Opt) {
+  std::string Src;
+  if (!readFile(Opt.File, Src)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Opt.File.c_str());
+    return 1;
+  }
+  frontend::CompileResult CR = frontend::compileMiniC(Src);
+  if (!CR.Ok) {
+    std::fprintf(stderr, "%s: error: %s\n", Opt.File.c_str(),
+                 CR.Error.c_str());
+    return 1;
+  }
+  std::string Error;
+  auto Client = driver::parseClientDsl(Opt.get("client"), Error);
+  if (!Client) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  Client->InitFunc = Opt.get("init");
+
+  auto Spec = parseSpec(Opt.get("spec", "safety"));
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown --spec\n");
+    return 1;
+  }
+  spec::SpecFactory Factory;
+  if (*Spec == synth::SpecKind::SequentialConsistency ||
+      *Spec == synth::SpecKind::Linearizability) {
+    Factory = driver::specByName(Opt.get("seq-spec"));
+    if (!Factory) {
+      std::fprintf(stderr,
+                   "error: --spec sc/lin needs --seq-spec (one of %s)\n",
+                   join(driver::knownSpecNames(), ", ").c_str());
+      return 1;
+    }
+  }
+  return runSynthesis(CR.Module, {*Client}, Opt, Factory, *Spec);
+}
+
+int cmdBench(const Options &Opt) {
+  if (Opt.File == "list") {
+    for (const programs::Benchmark &B : programs::allBenchmarks())
+      std::printf("%-20s %s\n", B.Name.c_str(), B.Description.c_str());
+    for (const programs::Benchmark &B : programs::extendedBenchmarks())
+      std::printf("%-20s %s (extended suite)\n", B.Name.c_str(),
+                  B.Description.c_str());
+    return 0;
+  }
+  const programs::Benchmark *Found = nullptr;
+  for (const programs::Benchmark &B : programs::allBenchmarks())
+    if (B.Name == Opt.File)
+      Found = &B;
+  for (const programs::Benchmark &B : programs::extendedBenchmarks())
+    if (B.Name == Opt.File)
+      Found = &B;
+  if (!Found) {
+    std::fprintf(stderr,
+                 "error: unknown benchmark (try 'dfence bench list')\n");
+    return 1;
+  }
+  frontend::CompileResult CR = frontend::compileMiniC(Found->Source);
+  if (!CR.Ok)
+    return 1;
+  auto Spec = parseSpec(
+      Opt.get("spec", Found->UseNoGarbage ? "nogarbage" : "sc"));
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown --spec\n");
+    return 1;
+  }
+  return runSynthesis(CR.Module, Found->Clients, Opt, Found->Factory,
+                      *Spec);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  Options Opt;
+  Opt.Command = Argv[1];
+  Opt.File = Argv[2];
+  for (int I = 3; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--", 0) != 0)
+      return usage();
+    std::string Key = A.substr(2);
+    if (Key == "dump" || Key == "no-merge") {
+      Opt.Flags[Key] = "1";
+    } else {
+      if (I + 1 >= Argc)
+        return usage();
+      Opt.Flags[Key] = Argv[++I];
+    }
+  }
+
+  if (Opt.Command == "compile")
+    return cmdCompile(Opt);
+  if (Opt.Command == "run")
+    return cmdRun(Opt);
+  if (Opt.Command == "litmus")
+    return cmdLitmus(Opt);
+  if (Opt.Command == "synth")
+    return cmdSynth(Opt);
+  if (Opt.Command == "bench")
+    return cmdBench(Opt);
+  return usage();
+}
