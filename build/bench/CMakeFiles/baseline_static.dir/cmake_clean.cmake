@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_static.dir/baseline_static.cpp.o"
+  "CMakeFiles/baseline_static.dir/baseline_static.cpp.o.d"
+  "baseline_static"
+  "baseline_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

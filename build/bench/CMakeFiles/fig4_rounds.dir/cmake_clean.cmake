@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rounds.dir/fig4_rounds.cpp.o"
+  "CMakeFiles/fig4_rounds.dir/fig4_rounds.cpp.o.d"
+  "fig4_rounds"
+  "fig4_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_flushprob.dir/fig5_flushprob.cpp.o"
+  "CMakeFiles/fig5_flushprob.dir/fig5_flushprob.cpp.o.d"
+  "fig5_flushprob"
+  "fig5_flushprob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_flushprob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

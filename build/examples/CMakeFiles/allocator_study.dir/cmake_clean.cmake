@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_study.dir/allocator_study.cpp.o"
+  "CMakeFiles/allocator_study.dir/allocator_study.cpp.o.d"
+  "allocator_study"
+  "allocator_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

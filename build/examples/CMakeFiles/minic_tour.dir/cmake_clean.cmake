@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_tour.dir/minic_tour.cpp.o"
+  "CMakeFiles/minic_tour.dir/minic_tour.cpp.o.d"
+  "minic_tour"
+  "minic_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

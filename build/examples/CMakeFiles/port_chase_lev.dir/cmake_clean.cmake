@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_chase_lev.dir/port_chase_lev.cpp.o"
+  "CMakeFiles/port_chase_lev.dir/port_chase_lev.cpp.o.d"
+  "port_chase_lev"
+  "port_chase_lev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_chase_lev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfence_driver.dir/ClientDsl.cpp.o"
+  "CMakeFiles/dfence_driver.dir/ClientDsl.cpp.o.d"
+  "CMakeFiles/dfence_driver.dir/SpecRegistry.cpp.o"
+  "CMakeFiles/dfence_driver.dir/SpecRegistry.cpp.o.d"
+  "libdfence_driver.a"
+  "libdfence_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfence_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfence_frontend.dir/Compiler.cpp.o"
+  "CMakeFiles/dfence_frontend.dir/Compiler.cpp.o.d"
+  "CMakeFiles/dfence_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/dfence_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/dfence_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/dfence_frontend.dir/Parser.cpp.o.d"
+  "libdfence_frontend.a"
+  "libdfence_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfence_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

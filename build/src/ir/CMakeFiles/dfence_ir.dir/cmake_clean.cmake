@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfence_ir.dir/Builder.cpp.o"
+  "CMakeFiles/dfence_ir.dir/Builder.cpp.o.d"
+  "CMakeFiles/dfence_ir.dir/Instr.cpp.o"
+  "CMakeFiles/dfence_ir.dir/Instr.cpp.o.d"
+  "CMakeFiles/dfence_ir.dir/Module.cpp.o"
+  "CMakeFiles/dfence_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/dfence_ir.dir/Printer.cpp.o"
+  "CMakeFiles/dfence_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/dfence_ir.dir/Reader.cpp.o"
+  "CMakeFiles/dfence_ir.dir/Reader.cpp.o.d"
+  "CMakeFiles/dfence_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/dfence_ir.dir/Verifier.cpp.o.d"
+  "libdfence_ir.a"
+  "libdfence_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfence_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/programs/AllocatorSource.cpp" "src/programs/CMakeFiles/dfence_programs.dir/AllocatorSource.cpp.o" "gcc" "src/programs/CMakeFiles/dfence_programs.dir/AllocatorSource.cpp.o.d"
+  "/root/repo/src/programs/Benchmarks.cpp" "src/programs/CMakeFiles/dfence_programs.dir/Benchmarks.cpp.o" "gcc" "src/programs/CMakeFiles/dfence_programs.dir/Benchmarks.cpp.o.d"
+  "/root/repo/src/programs/ChaseLevFull.cpp" "src/programs/CMakeFiles/dfence_programs.dir/ChaseLevFull.cpp.o" "gcc" "src/programs/CMakeFiles/dfence_programs.dir/ChaseLevFull.cpp.o.d"
+  "/root/repo/src/programs/ExtendedSources.cpp" "src/programs/CMakeFiles/dfence_programs.dir/ExtendedSources.cpp.o" "gcc" "src/programs/CMakeFiles/dfence_programs.dir/ExtendedSources.cpp.o.d"
+  "/root/repo/src/programs/IwsqSources.cpp" "src/programs/CMakeFiles/dfence_programs.dir/IwsqSources.cpp.o" "gcc" "src/programs/CMakeFiles/dfence_programs.dir/IwsqSources.cpp.o.d"
+  "/root/repo/src/programs/QueueSources.cpp" "src/programs/CMakeFiles/dfence_programs.dir/QueueSources.cpp.o" "gcc" "src/programs/CMakeFiles/dfence_programs.dir/QueueSources.cpp.o.d"
+  "/root/repo/src/programs/SetSources.cpp" "src/programs/CMakeFiles/dfence_programs.dir/SetSources.cpp.o" "gcc" "src/programs/CMakeFiles/dfence_programs.dir/SetSources.cpp.o.d"
+  "/root/repo/src/programs/WsqCasSources.cpp" "src/programs/CMakeFiles/dfence_programs.dir/WsqCasSources.cpp.o" "gcc" "src/programs/CMakeFiles/dfence_programs.dir/WsqCasSources.cpp.o.d"
+  "/root/repo/src/programs/WsqSources.cpp" "src/programs/CMakeFiles/dfence_programs.dir/WsqSources.cpp.o" "gcc" "src/programs/CMakeFiles/dfence_programs.dir/WsqSources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/dfence_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/dfence_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dfence_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dfence_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dfence_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dfence_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfence_programs.dir/AllocatorSource.cpp.o"
+  "CMakeFiles/dfence_programs.dir/AllocatorSource.cpp.o.d"
+  "CMakeFiles/dfence_programs.dir/Benchmarks.cpp.o"
+  "CMakeFiles/dfence_programs.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/dfence_programs.dir/ChaseLevFull.cpp.o"
+  "CMakeFiles/dfence_programs.dir/ChaseLevFull.cpp.o.d"
+  "CMakeFiles/dfence_programs.dir/ExtendedSources.cpp.o"
+  "CMakeFiles/dfence_programs.dir/ExtendedSources.cpp.o.d"
+  "CMakeFiles/dfence_programs.dir/IwsqSources.cpp.o"
+  "CMakeFiles/dfence_programs.dir/IwsqSources.cpp.o.d"
+  "CMakeFiles/dfence_programs.dir/QueueSources.cpp.o"
+  "CMakeFiles/dfence_programs.dir/QueueSources.cpp.o.d"
+  "CMakeFiles/dfence_programs.dir/SetSources.cpp.o"
+  "CMakeFiles/dfence_programs.dir/SetSources.cpp.o.d"
+  "CMakeFiles/dfence_programs.dir/WsqCasSources.cpp.o"
+  "CMakeFiles/dfence_programs.dir/WsqCasSources.cpp.o.d"
+  "CMakeFiles/dfence_programs.dir/WsqSources.cpp.o"
+  "CMakeFiles/dfence_programs.dir/WsqSources.cpp.o.d"
+  "libdfence_programs.a"
+  "libdfence_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfence_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

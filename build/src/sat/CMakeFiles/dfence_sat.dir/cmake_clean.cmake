@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfence_sat.dir/MinimalModels.cpp.o"
+  "CMakeFiles/dfence_sat.dir/MinimalModels.cpp.o.d"
+  "CMakeFiles/dfence_sat.dir/Solver.cpp.o"
+  "CMakeFiles/dfence_sat.dir/Solver.cpp.o.d"
+  "libdfence_sat.a"
+  "libdfence_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfence_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/RandomFlushScheduler.cpp" "src/sched/CMakeFiles/dfence_sched.dir/RandomFlushScheduler.cpp.o" "gcc" "src/sched/CMakeFiles/dfence_sched.dir/RandomFlushScheduler.cpp.o.d"
+  "/root/repo/src/sched/ReplayScheduler.cpp" "src/sched/CMakeFiles/dfence_sched.dir/ReplayScheduler.cpp.o" "gcc" "src/sched/CMakeFiles/dfence_sched.dir/ReplayScheduler.cpp.o.d"
+  "/root/repo/src/sched/RoundRobinScheduler.cpp" "src/sched/CMakeFiles/dfence_sched.dir/RoundRobinScheduler.cpp.o" "gcc" "src/sched/CMakeFiles/dfence_sched.dir/RoundRobinScheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/dfence_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dfence_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfence_sched.dir/RandomFlushScheduler.cpp.o"
+  "CMakeFiles/dfence_sched.dir/RandomFlushScheduler.cpp.o.d"
+  "CMakeFiles/dfence_sched.dir/ReplayScheduler.cpp.o"
+  "CMakeFiles/dfence_sched.dir/ReplayScheduler.cpp.o.d"
+  "CMakeFiles/dfence_sched.dir/RoundRobinScheduler.cpp.o"
+  "CMakeFiles/dfence_sched.dir/RoundRobinScheduler.cpp.o.d"
+  "libdfence_sched.a"
+  "libdfence_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfence_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfence_spec.dir/Checkers.cpp.o"
+  "CMakeFiles/dfence_spec.dir/Checkers.cpp.o.d"
+  "CMakeFiles/dfence_spec.dir/Specs.cpp.o"
+  "CMakeFiles/dfence_spec.dir/Specs.cpp.o.d"
+  "libdfence_spec.a"
+  "libdfence_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfence_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

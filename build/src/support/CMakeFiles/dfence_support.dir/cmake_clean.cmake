@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfence_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/dfence_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/dfence_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/dfence_support.dir/StringUtils.cpp.o.d"
+  "libdfence_support.a"
+  "libdfence_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfence_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfence_synth.dir/FenceEnforcer.cpp.o"
+  "CMakeFiles/dfence_synth.dir/FenceEnforcer.cpp.o.d"
+  "CMakeFiles/dfence_synth.dir/StaticBaseline.cpp.o"
+  "CMakeFiles/dfence_synth.dir/StaticBaseline.cpp.o.d"
+  "CMakeFiles/dfence_synth.dir/Synthesizer.cpp.o"
+  "CMakeFiles/dfence_synth.dir/Synthesizer.cpp.o.d"
+  "libdfence_synth.a"
+  "libdfence_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfence_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

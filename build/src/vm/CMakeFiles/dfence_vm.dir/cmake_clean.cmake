@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfence_vm.dir/Interp.cpp.o"
+  "CMakeFiles/dfence_vm.dir/Interp.cpp.o.d"
+  "CMakeFiles/dfence_vm.dir/Memory.cpp.o"
+  "CMakeFiles/dfence_vm.dir/Memory.cpp.o.d"
+  "CMakeFiles/dfence_vm.dir/StoreBuffer.cpp.o"
+  "CMakeFiles/dfence_vm.dir/StoreBuffer.cpp.o.d"
+  "libdfence_vm.a"
+  "libdfence_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfence_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_property_test.dir/CheckerPropertyTest.cpp.o"
+  "CMakeFiles/checker_property_test.dir/CheckerPropertyTest.cpp.o.d"
+  "checker_property_test"
+  "checker_property_test.pdb"
+  "checker_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

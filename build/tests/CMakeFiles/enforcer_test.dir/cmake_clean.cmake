@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enforcer_test.dir/EnforcerTest.cpp.o"
+  "CMakeFiles/enforcer_test.dir/EnforcerTest.cpp.o.d"
+  "enforcer_test"
+  "enforcer_test.pdb"
+  "enforcer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enforcer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_fuzz_test.dir/ExprFuzzTest.cpp.o"
+  "CMakeFiles/expr_fuzz_test.dir/ExprFuzzTest.cpp.o.d"
+  "expr_fuzz_test"
+  "expr_fuzz_test.pdb"
+  "expr_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_suite_test.dir/ExtendedSuiteTest.cpp.o"
+  "CMakeFiles/extended_suite_test.dir/ExtendedSuiteTest.cpp.o.d"
+  "extended_suite_test"
+  "extended_suite_test.pdb"
+  "extended_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memmodel_property_test.dir/MemModelPropertyTest.cpp.o"
+  "CMakeFiles/memmodel_property_test.dir/MemModelPropertyTest.cpp.o.d"
+  "memmodel_property_test"
+  "memmodel_property_test.pdb"
+  "memmodel_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memmodel_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_semantics_test.dir/MiniCSemanticsTest.cpp.o"
+  "CMakeFiles/minic_semantics_test.dir/MiniCSemanticsTest.cpp.o.d"
+  "minic_semantics_test"
+  "minic_semantics_test.pdb"
+  "minic_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

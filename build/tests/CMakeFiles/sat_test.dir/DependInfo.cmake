@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/SatTest.cpp" "tests/CMakeFiles/sat_test.dir/SatTest.cpp.o" "gcc" "tests/CMakeFiles/sat_test.dir/SatTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/dfence_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/programs/CMakeFiles/dfence_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/dfence_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/dfence_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/dfence_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dfence_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dfence_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/dfence_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dfence_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dfence_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_baseline_test.dir/StaticBaselineTest.cpp.o"
+  "CMakeFiles/static_baseline_test.dir/StaticBaselineTest.cpp.o.d"
+  "static_baseline_test"
+  "static_baseline_test.pdb"
+  "static_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

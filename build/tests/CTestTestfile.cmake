@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_test[1]_include.cmake")
+include("/root/repo/build/tests/enforcer_test[1]_include.cmake")
+include("/root/repo/build/tests/programs_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/memmodel_property_test[1]_include.cmake")
+include("/root/repo/build/tests/minic_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_property_test[1]_include.cmake")
+include("/root/repo/build/tests/reader_test[1]_include.cmake")
+include("/root/repo/build/tests/static_baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/suite_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/extended_suite_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfence.dir/dfence_cli.cpp.o"
+  "CMakeFiles/dfence.dir/dfence_cli.cpp.o.d"
+  "dfence"
+  "dfence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage "/root/repo/build/tools/dfence")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compile "/root/repo/build/tools/dfence" "compile" "/root/repo/build/tools/sample_mp.mc")
+set_tests_properties(cli_compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run "/root/repo/build/tools/dfence" "run" "/root/repo/build/tools/sample_mp.mc" "--func" "answer")
+set_tests_properties(cli_run PROPERTIES  PASS_REGULAR_EXPRESSION "= 42" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_litmus "/root/repo/build/tools/dfence" "litmus" "/root/repo/build/tools/sample_mp.mc" "--client" "writer()|reader()" "--model" "pso" "--seeds" "200")
+set_tests_properties(cli_litmus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_synth "/root/repo/build/tools/dfence" "synth" "/root/repo/build/tools/sample_mp.mc" "--client" "writer()|reader();reader()" "--model" "pso" "--spec" "safety" "--k" "300")
+set_tests_properties(cli_synth PROPERTIES  PASS_REGULAR_EXPRESSION "no fences needed" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bench_list "/root/repo/build/tools/dfence" "bench" "list")
+set_tests_properties(cli_bench_list PROPERTIES  PASS_REGULAR_EXPRESSION "Chase-Lev WSQ" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;40;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bench_synth "/root/repo/build/tools/dfence" "bench" "LIFO WSQ" "--model" "pso" "--spec" "sc" "--k" "300")
+set_tests_properties(cli_bench_synth PROPERTIES  PASS_REGULAR_EXPRESSION "enforcement" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;43;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_client "/root/repo/build/tools/dfence" "synth" "/root/repo/build/tools/sample_mp.mc" "--client" "oops(")
+set_tests_properties(cli_bad_client PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;47;add_test;/root/repo/tools/CMakeLists.txt;0;")
