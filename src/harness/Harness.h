@@ -1,0 +1,153 @@
+//===- Harness.h - Resilient execution supervisor ---------------*- C++ -*-===//
+//
+// The robustness layer between the synthesis loop (and the CLI) and
+// vm::runExecution. The paper's guarantee rests on thousands of
+// flush-randomized executions per round actually completing; this harness
+// makes sure a single pathological execution cannot take the whole run
+// down with it:
+//
+//  * per-execution budgets and watchdogs — every runExecution call gets a
+//    wall-clock deadline and a step budget;
+//  * an escalation policy — a discarded execution (step limit, deadlock,
+//    watchdog timeout) is retried up to MaxRetries times with a reseeded
+//    schedule and an exponentially growing step budget before it is
+//    finally counted as discarded;
+//  * round- and run-level time budgets (Stopwatch + Budget) that the
+//    synthesis loop consults between executions to trigger graceful
+//    degradation instead of overrunning;
+//  * crash-repro bundle capture for violating or aborted executions
+//    (see ReproBundle.h).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_HARNESS_HARNESS_H
+#define DFENCE_HARNESS_HARNESS_H
+
+#include "harness/ReproBundle.h"
+#include "vm/Interp.h"
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace dfence::harness {
+
+/// Per-execution supervision policy.
+struct ExecPolicy {
+  /// Wall-clock watchdog per attempt in milliseconds; 0 = none.
+  uint32_t ExecWallMs = 0;
+  /// How many times a discarded execution (StepLimit / Deadlock /
+  /// Timeout) is retried with a reseeded schedule before giving up.
+  unsigned MaxRetries = 2;
+  /// Step-budget multiplier applied on each retry (a StepLimit discard is
+  /// often just a budget that was a bit too tight for a long schedule).
+  double StepBudgetGrowth = 2.0;
+  /// Mixed into the seed on each retry so the schedule actually changes.
+  uint64_t RetrySeedSalt = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Monotonic elapsed-time measurement.
+class Stopwatch {
+public:
+  Stopwatch() : Start(std::chrono::steady_clock::now()) {}
+  uint64_t elapsedMs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// A wall-clock budget; 0 = unlimited.
+struct Budget {
+  uint64_t LimitMs = 0;
+  bool expired(const Stopwatch &W) const {
+    return LimitMs != 0 && W.elapsedMs() >= LimitMs;
+  }
+};
+
+/// The outcome of one supervised execution.
+struct SupervisedExec {
+  vm::ExecResult Result;
+  unsigned Attempts = 1; ///< 1 = no retry was needed.
+  bool Discarded = false; ///< Still discarded after all retries.
+  bool TimedOut = false;  ///< Some attempt hit the wall-clock watchdog.
+  /// Seed and step budget of the attempt that produced Result (differ
+  /// from the request after retries); a repro bundle must record these,
+  /// since engine-level fault decisions derive from the seed.
+  uint64_t UsedSeed = 0;
+  size_t UsedMaxSteps = 0;
+};
+
+/// True for the outcomes the synthesis loop discards rather than checks.
+bool isDiscardedOutcome(vm::Outcome O);
+
+/// Runs one execution of \p C against \p M under \p Policy: applies the
+/// watchdog and retries discarded runs with a reseeded schedule and an
+/// exponentially larger step budget. \p EC is taken by value; the policy
+/// overrides its WallClockMs and (on retries) Seed and MaxSteps.
+SupervisedExec runSupervised(const ir::Module &M, const vm::Client &C,
+                             vm::ExecConfig EC, const ExecPolicy &Policy);
+
+/// Cumulative accounting across a supervisor's lifetime.
+struct SupervisorStats {
+  uint64_t Executions = 0; ///< Supervised executions (not attempts).
+  uint64_t Retries = 0;    ///< Extra attempts beyond the first.
+  uint64_t Discarded = 0;  ///< Executions discarded after retries.
+  uint64_t TimedOut = 0;   ///< Executions where the watchdog fired.
+};
+
+/// The execution supervisor: runSupervised + stats accounting + optional
+/// crash-repro bundle capture. One instance supervises one synthesis run
+/// (or one CLI command).
+class Supervisor {
+public:
+  explicit Supervisor(ExecPolicy Policy = {}) : Policy(Policy) {}
+
+  /// Enables bundle capture (at most \p MaxBundles are kept). Executions
+  /// supervised afterwards run with trace recording on.
+  void enableBundleCapture(size_t MaxBundles) {
+    CaptureBundles = true;
+    this->MaxBundles = MaxBundles;
+  }
+  bool capturing() const { return CaptureBundles; }
+
+  /// Advisory checker metadata stamped into captured bundles.
+  void setSpecInfo(std::string Spec, std::string SeqSpec) {
+    SpecName = std::move(Spec);
+    SeqSpecName = std::move(SeqSpec);
+  }
+
+  /// Supervises one execution. When capture is enabled, trace recording
+  /// is forced on and an aborted (still-discarded) execution is captured
+  /// automatically; violating executions are captured by the caller via
+  /// capture(), because only the caller's checker can judge a Completed
+  /// history.
+  SupervisedExec run(const ir::Module &M, const vm::Client &C,
+                     vm::ExecConfig EC);
+
+  /// Captures a bundle for an execution this supervisor ran (no-op when
+  /// capture is disabled or the cap is reached).
+  void capture(const ir::Module &M, const vm::Client &C,
+               const vm::ExecConfig &EC, const vm::ExecResult &R,
+               const std::string &Message);
+
+  const SupervisorStats &stats() const { return Stats; }
+  std::vector<ReproBundle> takeBundles() { return std::move(Bundles); }
+  const std::vector<ReproBundle> &bundles() const { return Bundles; }
+
+private:
+  ExecPolicy Policy;
+  SupervisorStats Stats;
+  bool CaptureBundles = false;
+  size_t MaxBundles = 4;
+  std::string SpecName, SeqSpecName;
+  std::vector<ReproBundle> Bundles;
+};
+
+} // namespace dfence::harness
+
+#endif // DFENCE_HARNESS_HARNESS_H

@@ -1,0 +1,82 @@
+//===- ReproBundle.h - Deterministic crash-repro bundles --------*- C++ -*-===//
+//
+// A repro bundle freezes everything needed to re-execute one interesting
+// (violating or aborted) execution deterministically: the module's textual
+// IR, the client scripts, the execution configuration (model, seed, flush
+// probability, step budget, fault plan) and the recorded scheduler action
+// trace. Bundles serialize to a single JSON document that
+// `dfence --replay <bundle>` feeds back through a ReplayScheduler.
+//
+// Replay semantics: the trace pins every scheduling decision, so
+// scheduler-level faults (flush storms, forced switches) are already
+// baked into it and are stripped on replay; engine-level faults
+// (allocation failure, buffer caps) re-fire identically because they draw
+// from a dedicated RNG stream consumed only at fault points (see
+// vm/FaultPlan.h).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_HARNESS_REPROBUNDLE_H
+#define DFENCE_HARNESS_REPROBUNDLE_H
+
+#include "sched/Scheduler.h"
+#include "support/Json.h"
+#include "vm/Client.h"
+#include "vm/Interp.h"
+
+#include <optional>
+#include <string>
+
+namespace dfence::harness {
+
+struct ReproBundle {
+  /// Bumped when the schema changes; readers reject unknown versions.
+  static constexpr unsigned FormatVersion = 1;
+
+  std::string ModuleText; ///< ir::printModule of the executed module.
+  vm::Client Client;
+  vm::MemModel Model = vm::MemModel::PSO;
+  uint64_t Seed = 1;
+  double FlushProb = 0.5;
+  size_t MaxSteps = 1 << 20;
+  bool InterOpPredicates = true;
+  bool PartialOrderReduction = true;
+  vm::FaultPlan Faults; ///< As injected during the recorded run.
+  std::vector<sched::Action> Trace;
+
+  std::string Outcome;  ///< vm::outcomeName at record time.
+  std::string Message;  ///< Violation / checker diagnostic at record time.
+
+  /// Advisory checker metadata (opaque to the harness): the synthesis
+  /// spec kind ("safety", "nogarbage", "sc", "lin") and the sequential
+  /// spec name, so a replaying tool can re-run the history checker that
+  /// produced Message. Empty when unknown.
+  std::string SpecName;
+  std::string SeqSpecName;
+
+  Json toJson() const;
+  static std::optional<ReproBundle> fromJson(const Json &J,
+                                             std::string &Error);
+
+  /// Writes the bundle (pretty-printed JSON) to \p Path.
+  bool saveFile(const std::string &Path, std::string &Error) const;
+  static std::optional<ReproBundle> loadFile(const std::string &Path,
+                                             std::string &Error);
+};
+
+/// Builds a bundle from an execution the caller just ran. \p EC must have
+/// had RecordTrace set (the bundle embeds R.Trace). \p Message overrides
+/// R.Message when non-empty (spec violations live outside the VM result).
+ReproBundle makeBundle(const ir::Module &M, const vm::Client &C,
+                       const vm::ExecConfig &EC, const vm::ExecResult &R,
+                       const std::string &Message = std::string());
+
+/// Re-executes \p B deterministically via a lenient ReplayScheduler.
+/// Returns nullopt (with \p Error set) when the embedded module does not
+/// parse; every other failure mode surfaces as the ExecResult's outcome.
+std::optional<vm::ExecResult> replayBundle(const ReproBundle &B,
+                                           std::string &Error);
+
+} // namespace dfence::harness
+
+#endif // DFENCE_HARNESS_REPROBUNDLE_H

@@ -197,11 +197,11 @@ InstrId FunctionBuilder::lastInstrId() const {
 
 FuncId FunctionBuilder::finish() {
   assert(!Finished && "builder finished twice");
-  Finished = true;
   // Terminate a fall-through end and give trailing binds a target.
   if (!PendingBinds.empty() || F.Body.empty() ||
       !F.Body.back().isTerminator())
     emitRetVoid();
+  Finished = true;
   for (const Fixup &Fx : Fixups) {
     InstrId Target = LabelTargets[Fx.Label];
     if (Target == InvalidInstrId)

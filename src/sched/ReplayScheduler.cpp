@@ -7,17 +7,26 @@
 using namespace dfence;
 using namespace dfence::sched;
 
-ReplayScheduler::ReplayScheduler(std::vector<Action> Trace)
-    : Trace(std::move(Trace)) {}
+ReplayScheduler::ReplayScheduler(std::vector<Action> Trace, bool Strict)
+    : Trace(std::move(Trace)), Strict(Strict) {}
 
 ReplayScheduler::~ReplayScheduler() = default;
 
 Action ReplayScheduler::pick(const std::vector<ThreadView> &Threads,
                              Rng &R) {
-  (void)Threads;
   (void)R;
-  if (Pos >= Trace.size())
+  if (Pos < Trace.size())
+    return Trace[Pos++];
+  if (Strict)
     reportFatalError("replay trace exhausted: the replayed program or "
                      "client differs from the recorded one");
-  return Trace[Pos++];
+  // Lenient fallback past the recorded prefix: deterministic and simple.
+  for (const ThreadView &V : Threads)
+    if (V.Runnable)
+      return Action::step(V.Tid);
+  for (const ThreadView &V : Threads)
+    if (V.PendingStores > 0)
+      return Action::flush(V.Tid);
+  // No schedulable work; the engine flags this as an invalid action.
+  return Action::step(Threads.empty() ? 0 : Threads.front().Tid);
 }

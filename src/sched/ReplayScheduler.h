@@ -16,7 +16,13 @@ namespace dfence::sched {
 
 class ReplayScheduler : public Scheduler {
 public:
-  explicit ReplayScheduler(std::vector<Action> Trace);
+  /// \p Strict controls what happens when the trace runs out while work
+  /// remains: strict replay treats it as a fatal mismatch between the
+  /// recorded and replayed program (the debugging default), lenient
+  /// replay falls back to a simple deterministic policy (step the first
+  /// runnable thread, else flush the first buffered one) so a truncated
+  /// or hand-edited crash-repro bundle still finishes gracefully.
+  explicit ReplayScheduler(std::vector<Action> Trace, bool Strict = true);
   ~ReplayScheduler() override;
 
   Action pick(const std::vector<ThreadView> &Threads, Rng &R) override;
@@ -25,9 +31,13 @@ public:
   /// True when the whole trace has been consumed.
   bool exhausted() const { return Pos >= Trace.size(); }
 
+  /// Number of trace entries consumed so far.
+  size_t consumed() const { return Pos; }
+
 private:
   std::vector<Action> Trace;
   size_t Pos = 0;
+  bool Strict = true;
 };
 
 } // namespace dfence::sched

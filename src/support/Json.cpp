@@ -1,0 +1,478 @@
+//===- Json.cpp - Minimal JSON value, parser and writer -------------------===//
+
+#include "support/Json.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+using namespace dfence;
+
+Json Json::boolean(bool V) {
+  Json J;
+  J.K = Kind::Bool;
+  J.B = V;
+  return J;
+}
+
+Json Json::number(uint64_t V) {
+  Json J;
+  J.K = Kind::Number;
+  J.Num = strformat("%llu", static_cast<unsigned long long>(V));
+  return J;
+}
+
+Json Json::number(int64_t V) {
+  Json J;
+  J.K = Kind::Number;
+  J.Num = strformat("%lld", static_cast<long long>(V));
+  return J;
+}
+
+Json Json::number(double V) {
+  Json J;
+  J.K = Kind::Number;
+  // %.17g round-trips every finite double; JSON has no inf/nan.
+  J.Num = strformat("%.17g", V);
+  if (J.Num.find_first_of("0123456789") == std::string::npos)
+    J.Num = "0";
+  return J;
+}
+
+Json Json::string(std::string V) {
+  Json J;
+  J.K = Kind::String;
+  J.Str = std::move(V);
+  return J;
+}
+
+Json Json::array() {
+  Json J;
+  J.K = Kind::Array;
+  return J;
+}
+
+Json Json::object() {
+  Json J;
+  J.K = Kind::Object;
+  return J;
+}
+
+void Json::push(Json V) {
+  K = Kind::Array;
+  Arr.push_back(std::move(V));
+}
+
+void Json::set(const std::string &Key, Json V) {
+  K = Kind::Object;
+  Obj.emplace_back(Key, std::move(V));
+}
+
+const Json *Json::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Value] : Obj)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+bool Json::asBool(bool Default) const {
+  return K == Kind::Bool ? B : Default;
+}
+
+uint64_t Json::asU64(uint64_t Default) const {
+  if (K != Kind::Number)
+    return Default;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Num.c_str(), &End, 10);
+  if (errno != 0 || End == Num.c_str())
+    return Default;
+  return static_cast<uint64_t>(V);
+}
+
+int64_t Json::asI64(int64_t Default) const {
+  if (K != Kind::Number)
+    return Default;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Num.c_str(), &End, 10);
+  if (errno != 0 || End == Num.c_str())
+    return Default;
+  return static_cast<int64_t>(V);
+}
+
+double Json::asDouble(double Default) const {
+  if (K != Kind::Number)
+    return Default;
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(Num.c_str(), &End);
+  if (End == Num.c_str())
+    return Default;
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+static void escapeInto(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':  Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n";  break;
+    case '\t': Out += "\\t";  break;
+    case '\r': Out += "\\r";  break;
+    case '\b': Out += "\\b";  break;
+    case '\f': Out += "\\f";  break;
+    default:
+      if (C < 0x20)
+        Out += strformat("\\u%04x", C);
+      else
+        Out += static_cast<char>(C);
+    }
+  }
+  Out += '"';
+}
+
+void Json::dumpTo(std::string &Out, unsigned Indent, unsigned Depth) const {
+  auto Newline = [&](unsigned D) {
+    if (Indent == 0)
+      return;
+    Out += '\n';
+    Out.append(static_cast<size_t>(Indent) * D, ' ');
+  };
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += B ? "true" : "false";
+    break;
+  case Kind::Number:
+    Out += Num;
+    break;
+  case Kind::String:
+    escapeInto(Out, Str);
+    break;
+  case Kind::Array: {
+    if (Arr.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += '[';
+    for (size_t I = 0; I != Arr.size(); ++I) {
+      if (I)
+        Out += ',';
+      Newline(Depth + 1);
+      Arr[I].dumpTo(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += ']';
+    break;
+  }
+  case Kind::Object: {
+    if (Obj.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += '{';
+    for (size_t I = 0; I != Obj.size(); ++I) {
+      if (I)
+        Out += ',';
+      Newline(Depth + 1);
+      escapeInto(Out, Obj[I].first);
+      Out += Indent ? ": " : ":";
+      Obj[I].second.dumpTo(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += '}';
+    break;
+  }
+  }
+}
+
+std::string Json::dump(unsigned Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<Json> run() {
+    skipWs();
+    Json V;
+    if (!value(V))
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON value");
+    return V;
+  }
+
+private:
+  std::optional<Json> fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = strformat("JSON error at offset %zu: %s", Pos, Msg.c_str());
+    return std::nullopt;
+  }
+  bool failB(const std::string &Msg) {
+    fail(Msg);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::char_traits<char>::length(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return failB("invalid literal");
+    Pos += Len;
+    return true;
+  }
+
+  bool value(Json &Out) {
+    if (++Depth > 256)
+      return failB("nesting too deep");
+    bool Ok = valueImpl(Out);
+    --Depth;
+    return Ok;
+  }
+
+  bool valueImpl(Json &Out) {
+    if (Pos >= Text.size())
+      return failB("unexpected end of input");
+    switch (Text[Pos]) {
+    case 'n':
+      Out = Json::null();
+      return literal("null");
+    case 't':
+      Out = Json::boolean(true);
+      return literal("true");
+    case 'f':
+      Out = Json::boolean(false);
+      return literal("false");
+    case '"': {
+      std::string S;
+      if (!stringBody(S))
+        return false;
+      Out = Json::string(std::move(S));
+      return true;
+    }
+    case '[': {
+      ++Pos;
+      Out = Json::array();
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        Json Elem;
+        skipWs();
+        if (!value(Elem))
+          return false;
+        Out.push(std::move(Elem));
+        skipWs();
+        if (Pos >= Text.size())
+          return failB("unterminated array");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == ']') {
+          ++Pos;
+          return true;
+        }
+        return failB("expected ',' or ']' in array");
+      }
+    }
+    case '{': {
+      ++Pos;
+      Out = Json::object();
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        if (Pos >= Text.size() || Text[Pos] != '"')
+          return failB("expected object key string");
+        std::string Key;
+        if (!stringBody(Key))
+          return false;
+        skipWs();
+        if (Pos >= Text.size() || Text[Pos] != ':')
+          return failB("expected ':' after object key");
+        ++Pos;
+        skipWs();
+        Json Val;
+        if (!value(Val))
+          return false;
+        Out.set(Key, std::move(Val));
+        skipWs();
+        if (Pos >= Text.size())
+          return failB("unterminated object");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == '}') {
+          ++Pos;
+          return true;
+        }
+        return failB("expected ',' or '}' in object");
+      }
+    }
+    default:
+      return number(Out);
+    }
+  }
+
+  bool number(Json &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    bool AnyDigit = false;
+    auto Digits = [&]() {
+      while (Pos < Text.size() && std::isdigit(
+                 static_cast<unsigned char>(Text[Pos]))) {
+        ++Pos;
+        AnyDigit = true;
+      }
+    };
+    Digits();
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      Digits();
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      Digits();
+    }
+    if (!AnyDigit)
+      return failB("invalid number");
+    Out = rawNumber(Text.substr(Start, Pos - Start));
+    return true;
+  }
+
+  /// Re-types validated JSON number text: exact 64-bit integers go through
+  /// the integer constructors (lossless seeds), everything else through
+  /// the double one.
+  static Json rawNumber(const std::string &Raw) {
+    errno = 0;
+    char *End = nullptr;
+    if (!Raw.empty() && Raw[0] == '-') {
+      long long V = std::strtoll(Raw.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0')
+        return Json::number(static_cast<int64_t>(V));
+    } else {
+      unsigned long long V = std::strtoull(Raw.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0')
+        return Json::number(static_cast<uint64_t>(V));
+    }
+    return Json::number(std::strtod(Raw.c_str(), nullptr));
+  }
+
+  bool stringBody(std::string &Out) {
+    // Pos is at the opening quote.
+    ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      ++Pos;
+      if (Pos >= Text.size())
+        return failB("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':  Out += '"';  break;
+      case '\\': Out += '\\'; break;
+      case '/':  Out += '/';  break;
+      case 'n':  Out += '\n'; break;
+      case 't':  Out += '\t'; break;
+      case 'r':  Out += '\r'; break;
+      case 'b':  Out += '\b'; break;
+      case 'f':  Out += '\f'; break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return failB("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return failB("invalid \\u escape");
+        }
+        // UTF-8 encode the basic-plane code point (bundles only ever
+        // contain ASCII; surrogate pairs are not supported).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xc0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3f));
+        } else {
+          Out += static_cast<char>(0xe0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+          Out += static_cast<char>(0x80 | (Code & 0x3f));
+        }
+        break;
+      }
+      default:
+        return failB("unknown escape character");
+      }
+    }
+    return failB("unterminated string");
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+  unsigned Depth = 0;
+};
+
+} // namespace
+
+std::optional<Json> Json::parse(const std::string &Text,
+                                std::string &Error) {
+  Error.clear();
+  Parser P(Text, Error);
+  return P.run();
+}

@@ -1,0 +1,87 @@
+//===- Json.h - Minimal JSON value, parser and writer -----------*- C++ -*-===//
+//
+// A small dependency-free JSON implementation for the crash-repro bundle
+// format (src/harness/ReproBundle.*). Numbers are kept as their raw text,
+// so 64-bit seeds round-trip without the double-precision loss a
+// double-backed number type would introduce. Object key order is
+// preserved (deterministic dumps diff cleanly).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SUPPORT_JSON_H
+#define DFENCE_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dfence {
+
+class Json {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  // Constructors.
+  static Json null() { return Json(); }
+  static Json boolean(bool V);
+  static Json number(uint64_t V);
+  static Json number(int64_t V);
+  static Json number(double V);
+  static Json string(std::string V);
+  static Json array();
+  static Json object();
+
+  /// Appends \p V to an array value.
+  void push(Json V);
+  /// Sets key \p Key of an object value (appends; keys are not deduped —
+  /// writers control uniqueness, readers take the first match).
+  void set(const std::string &Key, Json V);
+
+  /// Object lookup; null when absent or not an object.
+  const Json *find(const std::string &Key) const;
+
+  // Scalar accessors; return the default on kind mismatch or unparsable
+  // numeric text (robust readers for possibly hand-edited bundles).
+  bool asBool(bool Default = false) const;
+  uint64_t asU64(uint64_t Default = 0) const;
+  int64_t asI64(int64_t Default = 0) const;
+  double asDouble(double Default = 0.0) const;
+  const std::string &asString() const { return Str; }
+
+  const std::vector<Json> &items() const { return Arr; }
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    return Obj;
+  }
+
+  /// Serializes the value. \p Indent > 0 pretty-prints with that many
+  /// spaces per level; 0 emits the compact single-line form.
+  std::string dump(unsigned Indent = 0) const;
+
+  /// Parses \p Text. Returns nullopt and sets \p Error (with an offset)
+  /// on malformed input. Trailing garbage after the value is an error.
+  static std::optional<Json> parse(const std::string &Text,
+                                   std::string &Error);
+
+private:
+  void dumpTo(std::string &Out, unsigned Indent, unsigned Depth) const;
+
+  Kind K = Kind::Null;
+  bool B = false;
+  std::string Num; ///< Raw numeric text (valid JSON number).
+  std::string Str;
+  std::vector<Json> Arr;
+  std::vector<std::pair<std::string, Json>> Obj;
+};
+
+} // namespace dfence
+
+#endif // DFENCE_SUPPORT_JSON_H

@@ -2,6 +2,7 @@
 
 #include "synth/StaticBaseline.h"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_set>
 
@@ -85,6 +86,12 @@ bool reachesBeforeFence(const Function &F, size_t From, bool CasIsBarrier,
 
 StaticBaselineResult synth::staticDelaySetFences(const Module &M,
                                                  vm::MemModel Model) {
+  return staticDelaySetFences(M, Model, {});
+}
+
+StaticBaselineResult
+synth::staticDelaySetFences(const Module &M, vm::MemModel Model,
+                            const std::vector<FuncId> &OnlyFuncs) {
   StaticBaselineResult Result;
   Result.FencedModule = M;
   Module &Out = Result.FencedModule;
@@ -92,7 +99,13 @@ StaticBaselineResult synth::staticDelaySetFences(const Module &M,
   if (Model == vm::MemModel::SC)
     return Result;
 
-  for (Function &F : Out.Funcs) {
+  for (FuncId FId = 0; FId != static_cast<FuncId>(Out.Funcs.size());
+       ++FId) {
+    Function &F = Out.Funcs[FId];
+    if (!OnlyFuncs.empty() &&
+        std::find(OnlyFuncs.begin(), OnlyFuncs.end(), FId) ==
+            OnlyFuncs.end())
+      continue;
     // Collect the stores needing fences first; inserting invalidates
     // positions, so work on stable labels.
     std::vector<InstrId> NeedFence;

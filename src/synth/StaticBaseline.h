@@ -38,6 +38,15 @@ struct StaticBaselineResult {
 StaticBaselineResult staticDelaySetFences(const ir::Module &M,
                                           vm::MemModel Model);
 
+/// As above, but restricted to the functions in \p OnlyFuncs; an empty
+/// list means every function. This is the graceful-degradation fallback:
+/// when dynamic synthesis runs out of budget, the harness fences just the
+/// functions implicated by the observed violations conservatively instead
+/// of giving up with a broken program.
+StaticBaselineResult
+staticDelaySetFences(const ir::Module &M, vm::MemModel Model,
+                     const std::vector<ir::FuncId> &OnlyFuncs);
+
 } // namespace dfence::synth
 
 #endif // DFENCE_SYNTH_STATICBASELINE_H

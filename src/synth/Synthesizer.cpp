@@ -2,12 +2,15 @@
 
 #include "synth/Synthesizer.h"
 
+#include "harness/Harness.h"
 #include "sat/MinimalModels.h"
 #include "spec/Checkers.h"
 #include "support/Diagnostics.h"
 #include "support/StringUtils.h"
+#include "synth/StaticBaseline.h"
 
 #include <map>
+#include <set>
 
 using namespace dfence;
 using namespace dfence::synth;
@@ -21,6 +24,17 @@ const char *synth::specKindName(SpecKind K) {
   case SpecKind::Linearizability:       return "linearizability";
   }
   dfenceUnreachable("invalid spec kind");
+}
+
+const char *synth::synthStatusName(SynthStatus S) {
+  switch (S) {
+  case SynthStatus::Converged:   return "converged";
+  case SynthStatus::Degraded:    return "degraded";
+  case SynthStatus::Exhausted:   return "exhausted";
+  case SynthStatus::CannotFix:   return "cannot-fix";
+  case SynthStatus::ConfigError: return "config-error";
+  }
+  dfenceUnreachable("invalid synth status");
 }
 
 std::string SynthResult::fenceSummary() const {
@@ -40,6 +54,7 @@ std::string synth::checkExecution(const vm::ExecResult &R,
     return R.Message.empty() ? "memory safety violation" : R.Message;
   case vm::Outcome::StepLimit:
   case vm::Outcome::Deadlock:
+  case vm::Outcome::Timeout:
     return std::string(); // Discarded, never treated as a violation.
   case vm::Outcome::Completed:
     break;
@@ -51,12 +66,16 @@ std::string synth::checkExecution(const vm::ExecResult &R,
   case SpecKind::NoGarbage:
     return spec::checkNoGarbageTasks(R.Hist);
   case SpecKind::SequentialConsistency:
-    assert(Cfg.Factory && "SC checking needs a sequential specification");
+    if (!Cfg.Factory)
+      return "configuration error: sequential-consistency checking "
+             "requires a sequential specification";
     if (!spec::isSequentiallyConsistent(R.Hist, Cfg.Factory))
       return "history is not sequentially consistent:\n" + R.Hist.str();
     return std::string();
   case SpecKind::Linearizability: {
-    assert(Cfg.Factory && "lin checking needs a sequential specification");
+    if (!Cfg.Factory)
+      return "configuration error: linearizability checking requires a "
+             "sequential specification";
     // Work-stealing relaxation: concurrent EMPTY take/steal are aborts
     // (see relaxConcurrentEmptyOps); only non-overlapping EMPTY answers
     // must be justified by an empty queue (the paper's Fig. 2c).
@@ -72,10 +91,47 @@ std::string synth::checkExecution(const vm::ExecResult &R,
 SynthResult synth::synthesize(const ir::Module &M,
                               const std::vector<vm::Client> &Clients,
                               const SynthConfig &Cfg) {
-  assert(!Clients.empty() && "synthesis needs at least one client");
   SynthResult Result;
+  Result.FencedModule = M;
+  if (Clients.empty()) {
+    Result.Status = SynthStatus::ConfigError;
+    Result.Error = "synthesis needs at least one client";
+    return Result;
+  }
+  if ((Cfg.Spec == SpecKind::SequentialConsistency ||
+       Cfg.Spec == SpecKind::Linearizability) &&
+      !Cfg.Factory) {
+    Result.Status = SynthStatus::ConfigError;
+    Result.Error = strformat("%s checking requires a sequential "
+                             "specification (SynthConfig::Factory)",
+                             specKindName(Cfg.Spec));
+    return Result;
+  }
   ir::Module Cur = M; // Work on a copy; labels stay stable.
   Cur.buildIndexes();
+
+  harness::Supervisor Sup(Cfg.Exec);
+  if (Cfg.CaptureBundles)
+    Sup.enableBundleCapture(Cfg.MaxBundles);
+  Sup.setSpecInfo(specKindName(Cfg.Spec), Cfg.SeqSpecName);
+  harness::Stopwatch Watch;
+  harness::Budget TotalBudget{Cfg.TotalWallMs};
+
+  // Functions implicated by some violation's repair candidates; the
+  // degradation fallback restricts static fencing to these (fencing
+  // everything when no violation was localized before the budget ran
+  // out — conservative but safe).
+  std::set<ir::FuncId> Implicated;
+  auto Degrade = [&](std::string Reason) {
+    Result.DegradeReason = std::move(Reason);
+    if (!Cfg.DegradeToStatic)
+      return;
+    std::vector<ir::FuncId> Only(Implicated.begin(), Implicated.end());
+    StaticBaselineResult SB = staticDelaySetFences(Cur, Cfg.Model, Only);
+    Cur = std::move(SB.FencedModule);
+    Result.StaticFallbackFences = SB.FencesInserted;
+    Result.Degraded = true;
+  };
 
   // Stable mapping predicate <-> SAT variable across the whole run
   // (statistics only need the universe size; the formula itself is reset
@@ -85,14 +141,28 @@ SynthResult synth::synthesize(const ir::Module &M,
 
   unsigned RepairRounds = 0;
   unsigned CleanRounds = 0;
+  bool OutOfTime = false;
   for (unsigned Round = 1; Round <= Cfg.MaxRounds; ++Round) {
     Result.Rounds = Round;
     RoundStats Stats;
     Stats.Round = Round;
+    harness::Stopwatch RoundWatch;
+    harness::Budget RoundBudget{Cfg.RoundWallMs};
+    bool Truncated = false; // Round stopped before running all of K.
 
-    // One round: K executions against the current program.
+    // One round: K executions against the current program, each run
+    // under the harness (watchdog + retry escalation for discards).
     std::vector<std::vector<OrderingPredicate>> ViolationRepairs;
     for (unsigned I = 0; I != Cfg.ExecsPerRound; ++I) {
+      if (TotalBudget.expired(Watch)) {
+        OutOfTime = true;
+        Truncated = true;
+        break;
+      }
+      if (RoundBudget.expired(RoundWatch)) {
+        Truncated = true;
+        break;
+      }
       const vm::Client &Client =
           Clients[Result.TotalExecutions % Clients.size()];
       vm::ExecConfig EC;
@@ -107,11 +177,14 @@ SynthResult synth::synthesize(const ir::Module &M,
               : Cfg.FlushProbs[Result.TotalExecutions %
                                Cfg.FlushProbs.size()];
       EC.PartialOrderReduction = Cfg.PartialOrderReduction;
-      vm::ExecResult R = vm::runExecution(Cur, Client, EC);
+      if (Cfg.Faults.enabled())
+        EC.Faults = &Cfg.Faults;
+      harness::SupervisedExec SE = Sup.run(Cur, Client, EC);
+      vm::ExecResult &R = SE.Result;
       ++Result.TotalExecutions;
+      ++Stats.Executions;
 
-      if (R.Out == vm::Outcome::StepLimit ||
-          R.Out == vm::Outcome::Deadlock) {
+      if (SE.Discarded) {
         ++Result.DiscardedExecutions;
         continue;
       }
@@ -124,6 +197,18 @@ SynthResult synth::synthesize(const ir::Module &M,
         Stats.SampleViolation = Violation;
       if (Result.FirstViolation.empty())
         Result.FirstViolation = Violation;
+      // Spec-level violations complete normally in the VM, so the
+      // supervisor cannot capture them on its own (it captures VM-level
+      // violations); do it here, with the attempt that actually ran.
+      if (Sup.capturing() && R.Out == vm::Outcome::Completed) {
+        vm::ExecConfig CapEC = EC;
+        CapEC.Seed = SE.UsedSeed;
+        CapEC.MaxSteps = SE.UsedMaxSteps;
+        Sup.capture(Cur, Client, CapEC, R, Violation);
+      }
+      for (const OrderingPredicate &P : R.Repairs)
+        if (auto F = Cur.functionOfLabel(P.Before))
+          Implicated.insert(*F);
       if (R.Repairs.empty()) {
         // avoid() returned false for this execution: no reordering can
         // explain it. Repairable violations may still exist in the same
@@ -132,12 +217,29 @@ SynthResult synth::synthesize(const ir::Module &M,
       }
       ViolationRepairs.push_back(std::move(R.Repairs));
     }
-    Stats.Executions = Cfg.ExecsPerRound;
+
+    if (OutOfTime) {
+      Stats.FencesEnforced =
+          static_cast<unsigned>(collectSynthesizedFences(Cur).size());
+      Result.RoundLog.push_back(std::move(Stats));
+      Degrade(strformat("total wall-clock budget of %u ms exhausted "
+                        "after %llu executions",
+                        Cfg.TotalWallMs,
+                        static_cast<unsigned long long>(
+                            Result.TotalExecutions)));
+      break;
+    }
 
     if (Stats.Violations == 0) {
       Stats.FencesEnforced =
           static_cast<unsigned>(collectSynthesizedFences(Cur).size());
       Result.RoundLog.push_back(std::move(Stats));
+      if (Truncated) {
+        // A cut-short round with no violations proves nothing; do not
+        // let it count toward (or keep) a convergence streak.
+        CleanRounds = 0;
+        continue;
+      }
       if (++CleanRounds >= std::max(1u, Cfg.CleanRoundsRequired)) {
         Result.Converged = true;
         break;
@@ -154,7 +256,10 @@ SynthResult synth::synthesize(const ir::Module &M,
     }
     if (RepairRounds >= Cfg.MaxRepairRounds) {
       Result.RoundLog.push_back(std::move(Stats));
-      break; // Out of repair budget; report unconverged.
+      Degrade(strformat("repair budget of %u rounds exhausted with "
+                        "violations remaining",
+                        Cfg.MaxRepairRounds));
+      break;
     }
 
     // Build Φ = conjunction of the per-execution disjunctions and find a
@@ -178,7 +283,14 @@ SynthResult synth::synthesize(const ir::Module &M,
 
     bool Unsat = false;
     std::vector<sat::Var> Chosen = sat::minimumModel(F, Unsat);
-    assert(!Unsat && "positive CNF with non-empty clauses must be SAT");
+    if (Unsat) {
+      // A positive CNF with non-empty clauses is always satisfiable, so
+      // this is a solver defect — degrade rather than enforce garbage.
+      Result.RoundLog.push_back(std::move(Stats));
+      Degrade("SAT solver reported a positive repair formula "
+              "unsatisfiable (solver defect)");
+      break;
+    }
 
     std::vector<OrderingPredicate> ChosenPreds;
     ChosenPreds.reserve(Chosen.size());
@@ -193,8 +305,26 @@ SynthResult synth::synthesize(const ir::Module &M,
     Result.RoundLog.push_back(std::move(Stats));
   }
 
+  // MaxRounds ran out (or a truncated-round stall) without a verdict.
+  if (!Result.Converged && !Result.CannotFix &&
+      Result.DegradeReason.empty())
+    Degrade(strformat("round budget of %u rounds exhausted without "
+                      "convergence",
+                      Cfg.MaxRounds));
+
   Result.FencedModule = std::move(Cur);
   Result.Fences = collectSynthesizedFences(Result.FencedModule);
   Result.DistinctPredicates = VarPred.size();
+  Result.RetriedExecutions = Sup.stats().Retries;
+  Result.TimedOutExecutions = Sup.stats().TimedOut;
+  Result.Bundles = Sup.takeBundles();
+  if (Result.Converged)
+    Result.Status = SynthStatus::Converged;
+  else if (Result.CannotFix)
+    Result.Status = SynthStatus::CannotFix;
+  else if (Result.Degraded)
+    Result.Status = SynthStatus::Degraded;
+  else
+    Result.Status = SynthStatus::Exhausted;
   return Result;
 }

@@ -13,6 +13,8 @@
 #ifndef DFENCE_SYNTH_SYNTHESIZER_H
 #define DFENCE_SYNTH_SYNTHESIZER_H
 
+#include "harness/Harness.h"
+#include "harness/ReproBundle.h"
 #include "ir/Module.h"
 #include "spec/Spec.h"
 #include "synth/FenceEnforcer.h"
@@ -67,7 +69,45 @@ struct SynthConfig {
   bool PartialOrderReduction = true;
   /// Ablation: disable the inter-operation [store ≺ return] predicates.
   bool InterOpPredicates = true;
+
+  //===--- Resilience policy (see harness/Harness.h) ---===//
+
+  /// Per-execution supervision: wall-clock watchdog and retry escalation
+  /// for discarded (step-limited / deadlocked / timed-out) executions.
+  harness::ExecPolicy Exec;
+  /// Wall-clock budget per round in milliseconds; 0 = unlimited. A round
+  /// that runs out of time stops early (RoundStats::Executions records
+  /// how many executions actually ran).
+  uint32_t RoundWallMs = 0;
+  /// Wall-clock budget for the whole synthesis run; 0 = unlimited.
+  uint32_t TotalWallMs = 0;
+  /// When budgets are exhausted before convergence, fall back to
+  /// conservative static delay-set fencing of the implicated functions
+  /// instead of returning an unconverged (unsafe) program.
+  bool DegradeToStatic = true;
+  /// Capture crash-repro bundles for violating executions (at most
+  /// MaxBundles; see harness/ReproBundle.h). Forces trace recording.
+  bool CaptureBundles = false;
+  unsigned MaxBundles = 4;
+  /// Advisory name of the sequential spec behind Factory, stamped into
+  /// captured bundles so `dfence --replay` can re-run the checker.
+  std::string SeqSpecName;
+  /// Fault-injection plan forwarded to every execution (hardening tests;
+  /// empty by default). Lives here so fault campaigns run through the
+  /// exact production synthesis loop.
+  vm::FaultPlan Faults;
 };
+
+/// Overall disposition of a synthesis run, most desirable first.
+enum class SynthStatus : uint8_t {
+  Converged,   ///< A clean round verified the fenced program.
+  Degraded,    ///< Budgets exhausted; static fallback fences applied.
+  Exhausted,   ///< Budgets exhausted and degradation disabled.
+  CannotFix,   ///< A round of violations had no repair candidates.
+  ConfigError, ///< Invalid configuration; see SynthResult::Error.
+};
+
+const char *synthStatusName(SynthStatus S);
 
 /// Per-round synthesis statistics (drives the Fig. 4 reproduction).
 struct RoundStats {
@@ -82,15 +122,27 @@ struct RoundStats {
 struct SynthResult {
   bool Converged = false; ///< A full round showed no violations.
   bool CannotFix = false; ///< A violating execution had no repair.
+  /// True when budget exhaustion triggered the static-fencing fallback;
+  /// FencedModule is then conservatively (over-)fenced but safe.
+  bool Degraded = false;
+  SynthStatus Status = SynthStatus::Exhausted;
+  std::string DegradeReason; ///< Why degradation / exhaustion happened.
+  std::string Error;         ///< Non-empty iff Status == ConfigError.
   std::vector<InsertedFence> Fences; ///< Enforcements in final program.
   unsigned Rounds = 0;
   uint64_t TotalExecutions = 0;
   uint64_t ViolatingExecutions = 0;
-  uint64_t DiscardedExecutions = 0; ///< Step-limit/deadlock runs.
+  uint64_t DiscardedExecutions = 0; ///< Discarded after all retries.
+  uint64_t RetriedExecutions = 0;   ///< Extra attempts the harness ran.
+  uint64_t TimedOutExecutions = 0;  ///< Watchdog-expired executions.
   uint64_t DistinctPredicates = 0;  ///< Size of the predicate universe.
+  unsigned StaticFallbackFences = 0; ///< Fences added by degradation.
   ir::Module FencedModule;
   std::string FirstViolation; ///< Diagnostics of the first violation.
   std::vector<RoundStats> RoundLog;
+  /// Crash-repro bundles captured for violating executions (when
+  /// SynthConfig::CaptureBundles is set).
+  std::vector<harness::ReproBundle> Bundles;
 
   std::string fenceSummary() const;
 };
@@ -103,9 +155,9 @@ SynthResult synthesize(const ir::Module &M,
 
 /// Checks a single execution result against \p Cfg's specification.
 /// Returns an empty string when the execution is acceptable, otherwise a
-/// description of the violation. Step-limited/deadlocked executions are
-/// reported as acceptable ("discarded") per the synthesis loop's policy;
-/// the caller distinguishes them via the outcome.
+/// description of the violation. Step-limited/deadlocked/timed-out
+/// executions are reported as acceptable ("discarded") per the synthesis
+/// loop's policy; the caller distinguishes them via the outcome.
 std::string checkExecution(const vm::ExecResult &R, const SynthConfig &Cfg);
 
 } // namespace dfence::synth

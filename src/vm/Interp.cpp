@@ -6,6 +6,8 @@
 #include "support/Diagnostics.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
 using namespace dfence;
@@ -19,6 +21,7 @@ const char *vm::outcomeName(Outcome O) {
   case Outcome::MemSafety:  return "memory-safety";
   case Outcome::AssertFail: return "assert-failed";
   case Outcome::Deadlock:   return "deadlock";
+  case Outcome::Timeout:    return "timeout";
   }
   dfenceUnreachable("invalid outcome");
 }
@@ -78,7 +81,11 @@ struct Thread {
 class Engine {
 public:
   Engine(const Module &M, const Client &C, const ExecConfig &Cfg)
-      : M(M), C(C), Cfg(Cfg), R(Cfg.Seed) {
+      : M(M), C(C), Cfg(Cfg), R(Cfg.Seed),
+        FaultR(Cfg.Seed ^ 0xfa017b0b5ULL) {
+    if (Cfg.WallClockMs > 0)
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Cfg.WallClockMs);
     if (Cfg.Sched) {
       Sched = Cfg.Sched;
     } else {
@@ -123,6 +130,20 @@ private:
   /// stores and the access at label \p K on variable \p Addr.
   void collectRepairs(Thread &T, InstrId K, Word Addr, bool IsLoad);
 
+  /// Wall-clock watchdog: true (and flags Timeout) when the deadline
+  /// passed. Cheap to call on a sampled cadence only.
+  bool deadlineExpired();
+  /// Fault injection: decides whether the next Alloc fails.
+  bool allocFaultFires();
+  /// Fault injection: with FlushStormProb, drains one whole buffer.
+  /// Returns true when a storm ran (the scheduling point is consumed).
+  bool maybeFlushStorm(const std::vector<sched::ThreadView> &Views);
+  /// Fault injection: reroutes \p A away from a marked label when
+  /// possible. The returned action is what actually executes (and what
+  /// gets recorded into the trace).
+  sched::Action applyForcedSwitch(sched::Action A,
+                                  const std::vector<sched::ThreadView> &Views);
+
   /// Memory-safety checked accessors; return false after flagging a
   /// violation.
   bool checkAddr(Word Addr, const char *What, InstrId Label);
@@ -148,6 +169,14 @@ private:
   size_t Steps = 0;
   uint64_t NoProgress = 0;
   bool Halted = false;
+  // Fault-injection state: dedicated RNG stream (never consumed by
+  // scheduling, so engine-level faults replay under a recorded trace),
+  // allocation counter, and the per-thread "already deferred at this
+  // label" markers for forced context switches.
+  Rng FaultR;
+  uint64_t AllocAttempts = 0;
+  std::vector<InstrId> DeferredAt;
+  std::chrono::steady_clock::time_point Deadline{};
   std::set<OrderingPredicate> Repairs;
   ExecResult Result;
   std::unordered_map<std::string, FuncId> FuncCache;
@@ -192,6 +221,8 @@ void Engine::runInit() {
       violate(Outcome::StepLimit, "init function exceeded step limit");
       return;
     }
+    if ((InitSteps & 1023) == 0 && deadlineExpired())
+      return;
     stepThread(Init);
   }
 }
@@ -266,6 +297,87 @@ void Engine::collectRepairs(Thread &T, InstrId K, Word Addr, bool IsLoad) {
   T.Buf.pendingLabelsExcept(Addr, Labels);
   for (InstrId L : Labels)
     Repairs.insert(OrderingPredicate{L, K, IsLoad});
+}
+
+bool Engine::deadlineExpired() {
+  if (Cfg.WallClockMs == 0 || Halted)
+    return false;
+  if (std::chrono::steady_clock::now() < Deadline)
+    return false;
+  violate(Outcome::Timeout,
+          strformat("execution exceeded wall-clock budget of %u ms",
+                    Cfg.WallClockMs));
+  return true;
+}
+
+bool Engine::allocFaultFires() {
+  const FaultPlan *FP = Cfg.Faults;
+  if (!FP)
+    return false;
+  ++AllocAttempts;
+  if (FP->AllocFailAfter > 0 && AllocAttempts > FP->AllocFailAfter)
+    return true;
+  return FP->AllocFailProb > 0.0 && FaultR.nextBool(FP->AllocFailProb);
+}
+
+bool Engine::maybeFlushStorm(const std::vector<sched::ThreadView> &Views) {
+  const FaultPlan *FP = Cfg.Faults;
+  if (!FP || FP->FlushStormProb <= 0.0 ||
+      !FaultR.nextBool(FP->FlushStormProb))
+    return false;
+  std::vector<uint32_t> Buffered;
+  for (const sched::ThreadView &V : Views)
+    if (V.PendingStores > 0)
+      Buffered.push_back(V.Tid);
+  if (Buffered.empty())
+    return false;
+  uint32_t Tid = Buffered[FaultR.nextBelow(Buffered.size())];
+  Thread &T = *Threads[Tid];
+  // Drain the whole buffer; each flush is a recorded action so a replay
+  // of the trace reproduces the storm without needing the fault plan.
+  while (!T.Buf.empty() && !Halted && Steps < Cfg.MaxSteps) {
+    if (Cfg.RecordTrace)
+      Result.Trace.push_back(sched::Action::flush(Tid));
+    flushOne(T, false, 0);
+    ++Steps;
+  }
+  NoProgress = 0;
+  return true;
+}
+
+sched::Action
+Engine::applyForcedSwitch(sched::Action A,
+                          const std::vector<sched::ThreadView> &Views) {
+  const FaultPlan *FP = Cfg.Faults;
+  if (FP && !FP->SwitchBeforeLabels.empty() &&
+      A.Kind == sched::Action::StepThread && A.Tid < Threads.size()) {
+    Thread &T = *Threads[A.Tid];
+    DeferredAt.resize(Threads.size(), InvalidInstrId);
+    if (!T.Frames.empty()) {
+      const Frame &F = T.Frames.back();
+      InstrId Next = M.Funcs[F.F].Body[F.Ip].Id;
+      bool Marked = std::find(FP->SwitchBeforeLabels.begin(),
+                              FP->SwitchBeforeLabels.end(),
+                              Next) != FP->SwitchBeforeLabels.end();
+      if (Marked && DeferredAt[A.Tid] != Next) {
+        std::vector<uint32_t> Other;
+        for (const sched::ThreadView &V : Views)
+          if (V.Tid != A.Tid && (V.Runnable || V.PendingStores > 0))
+            Other.push_back(V.Tid);
+        if (!Other.empty()) {
+          DeferredAt[A.Tid] = Next; // Defer this arrival exactly once.
+          uint32_t Alt = Other[FaultR.nextBelow(Other.size())];
+          return Views[Alt].Runnable ? sched::Action::step(Alt)
+                                     : sched::Action::flush(Alt);
+        }
+      }
+    }
+  }
+  // The chosen thread really runs: clear its deferral marker so its next
+  // arrival at a marked label is deferred again.
+  if (A.Kind == sched::Action::StepThread && A.Tid < DeferredAt.size())
+    DeferredAt[A.Tid] = InvalidInstrId;
+  return A;
 }
 
 void Engine::flushOne(Thread &T, bool HasVar, Word Var) {
@@ -354,6 +466,14 @@ bool Engine::stepThread(Thread &T) {
         return true;
       Mem.write(Addr, Val);
     } else {
+      // Bounded-buffer fault: at capacity, the oldest entry commits
+      // before the new store can be buffered (as real hardware would).
+      if (Cfg.Faults && Cfg.Faults->BufferCapacity > 0) {
+        while (T.Buf.size() >= Cfg.Faults->BufferCapacity && !Halted)
+          flushOne(T, false, 0);
+        if (Halted)
+          return true;
+      }
       // STORE rule: append to the buffer; safety is checked at flush.
       T.Buf.push(Addr, Val, I.Id);
     }
@@ -426,7 +546,9 @@ bool Engine::stepThread(Thread &T) {
                         static_cast<unsigned long long>(Size), I.Id));
       return true;
     }
-    F.Regs[I.Dst] = Mem.allocate(Size);
+    // Simulated OOM: the allocation yields null and the memory-safety
+    // checker flags whichever access dereferences it.
+    F.Regs[I.Dst] = allocFaultFires() ? 0 : Mem.allocate(Size);
     break;
   }
 
@@ -552,6 +674,8 @@ void Engine::mainLoop() {
       violate(Outcome::StepLimit, "execution exceeded step limit");
       return;
     }
+    if ((Steps & 1023) == 0 && deadlineExpired())
+      return;
 
     Views.clear();
     bool AnyWork = false;
@@ -584,15 +708,39 @@ void Engine::mainLoop() {
     if (!AnyWork)
       return; // Completed.
 
+    if (maybeFlushStorm(Views))
+      continue;
+
     sched::Action A = Sched->pick(Views, R);
+    if (Cfg.Faults)
+      A = applyForcedSwitch(A, Views);
     if (Cfg.RecordTrace)
       Result.Trace.push_back(A);
-    assert(A.Tid < Threads.size() && "scheduler picked invalid thread");
+    // Validate the action for real (not assert-only): a stale or corrupt
+    // replay trace must end the execution, not corrupt the engine.
+    if (A.Tid >= Threads.size()) {
+      violate(Outcome::Deadlock,
+              strformat("scheduler picked invalid thread %u (stale "
+                        "replay trace?)",
+                        A.Tid));
+      return;
+    }
     Thread &T = *Threads[A.Tid];
 
     bool Progress;
     if (A.Kind == sched::Action::Flush) {
-      assert(!T.Buf.empty() && "scheduler flushed an empty buffer");
+      if (T.Buf.empty()) {
+        violate(Outcome::Deadlock,
+                strformat("scheduler flushed empty buffer of thread %u "
+                          "(stale replay trace?)",
+                          A.Tid));
+        return;
+      }
+      // A per-variable flush of a variable with nothing pending (possible
+      // only with a foreign trace) degrades to a positional flush.
+      if (A.HasVar && T.Buf.model() == MemModel::PSO &&
+          T.Buf.emptyFor(A.Var))
+        A.HasVar = false;
       flushOne(T, A.HasVar, A.Var);
       Progress = true;
     } else {

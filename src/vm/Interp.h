@@ -18,6 +18,7 @@
 #include "sched/Scheduler.h"
 #include "support/Rng.h"
 #include "vm/Client.h"
+#include "vm/FaultPlan.h"
 #include "vm/History.h"
 #include "vm/Memory.h"
 #include "vm/Repair.h"
@@ -35,7 +36,9 @@ enum class Outcome : uint8_t {
   StepLimit,  ///< Execution exceeded MaxSteps (discarded by synthesis).
   MemSafety,  ///< Memory-safety violation (null/OOB/use-after-free).
   AssertFail, ///< An Assert instruction observed zero.
-  Deadlock,   ///< No schedulable thread while work remains.
+  Deadlock,   ///< No schedulable thread while work remains, or the
+              ///< scheduler produced an invalid action (stale replay).
+  Timeout,    ///< Wall-clock watchdog expired (discarded, like StepLimit).
 };
 
 const char *outcomeName(Outcome O);
@@ -59,6 +62,11 @@ struct ExecConfig {
   /// Record the scheduler action sequence into ExecResult::Trace so the
   /// execution can be reproduced with a ReplayScheduler.
   bool RecordTrace = false;
+  /// Wall-clock budget for the execution in milliseconds; 0 = unlimited.
+  /// Checked every couple thousand steps; expiry yields Outcome::Timeout.
+  uint32_t WallClockMs = 0;
+  /// Adversarial fault plan (see vm/FaultPlan.h). Not owned; may be null.
+  const FaultPlan *Faults = nullptr;
 };
 
 /// The result of one execution.

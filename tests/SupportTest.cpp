@@ -1,5 +1,6 @@
 //===- SupportTest.cpp - Tests for the support library --------------------===//
 
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 
@@ -89,4 +90,69 @@ TEST(StringUtilsTest, HashCombineSpreads) {
   for (uint64_t I = 0; I < 1000; ++I)
     H.insert(hashCombine(0, I));
   EXPECT_EQ(H.size(), 1000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, ParsesScalarsAndContainers) {
+  std::string Error;
+  auto J = Json::parse(
+      R"({"a": 1, "b": -2.5, "c": "s\"x", "d": [true, false, null]})",
+      Error);
+  ASSERT_TRUE(J) << Error;
+  EXPECT_EQ(J->find("a")->asU64(), 1u);
+  EXPECT_EQ(J->find("b")->asDouble(), -2.5);
+  EXPECT_EQ(J->find("c")->asString(), "s\"x");
+  const Json *D = J->find("d");
+  ASSERT_TRUE(D && D->isArray());
+  EXPECT_EQ(D->items().size(), 3u);
+  EXPECT_TRUE(D->items()[0].asBool());
+  EXPECT_FALSE(D->items()[1].asBool(true));
+  EXPECT_TRUE(D->items()[2].isNull());
+}
+
+TEST(JsonTest, PreservesU64SeedPrecision) {
+  // Doubles lose integers above 2^53; the raw-text representation must
+  // round-trip a full 64-bit seed exactly.
+  uint64_t Seed = 0xfedcba9876543210ULL;
+  Json J = Json::object();
+  J.set("seed", Json::number(Seed));
+  std::string Error;
+  auto Back = Json::parse(J.dump(), Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_EQ(Back->find("seed")->asU64(), Seed);
+}
+
+TEST(JsonTest, DumpParseRoundTripNested) {
+  Json Inner = Json::array();
+  Inner.push(Json::number(static_cast<int64_t>(-7)));
+  Inner.push(Json::string("x\ny"));
+  Json J = Json::object();
+  J.set("list", std::move(Inner));
+  J.set("flag", Json::boolean(true));
+  std::string Error;
+  auto Back = Json::parse(J.dump(2), Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_EQ(Back->find("list")->items()[0].asI64(), -7);
+  EXPECT_EQ(Back->find("list")->items()[1].asString(), "x\ny");
+  EXPECT_TRUE(Back->find("flag")->asBool());
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  std::string Error;
+  EXPECT_FALSE(Json::parse("{", Error));
+  EXPECT_FALSE(Json::parse("[1,]", Error));
+  EXPECT_FALSE(Json::parse("\"unterminated", Error));
+  EXPECT_FALSE(Json::parse("{\"a\": 1} trailing", Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(JsonTest, ParsesUnicodeEscapes) {
+  std::string Error;
+  auto J = Json::parse("\"a\\u00e9b\\n\"", Error);
+  ASSERT_TRUE(J) << Error;
+  EXPECT_EQ(J->asString(), "a\xc3\xa9"
+                           "b\n");
 }

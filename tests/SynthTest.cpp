@@ -290,6 +290,159 @@ int w() { X = 1; Y = 2; return 0; }
       << "the X store should be pending at the Y store sometimes";
 }
 
+TEST(SynthTest, ConfigErrorOnMissingClients) {
+  auto M = frontend::compileOrDie(PublishSrc);
+  SynthConfig Cfg = baseConfig(MemModel::PSO, SpecKind::MemorySafety);
+  SynthResult R = synthesize(M, {}, Cfg);
+  EXPECT_EQ(R.Status, SynthStatus::ConfigError);
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.TotalExecutions, 0u);
+}
+
+TEST(SynthTest, ConfigErrorOnMissingSequentialSpec) {
+  auto M = frontend::compileOrDie(PublishSrc);
+  SynthConfig Cfg =
+      baseConfig(MemModel::PSO, SpecKind::SequentialConsistency);
+  ASSERT_FALSE(Cfg.Factory);
+  SynthResult R = synthesize(M, {publishClient()}, Cfg);
+  EXPECT_EQ(R.Status, SynthStatus::ConfigError);
+  EXPECT_NE(R.Error.find("sequential"), std::string::npos) << R.Error;
+}
+
+TEST(SynthTest, DiscardedExecutionsAreRetriedAndCounted) {
+  // Every execution spins past the step budget; the harness retries each
+  // one and finally discards it. Discard-only rounds are violation-free,
+  // so the run converges trivially with full accounting.
+  auto M = frontend::compileOrDie(R"(
+global int X = 0;
+int spin() {
+  int i = 1;
+  while (i == 1) { X = i; }
+  return 0;
+}
+)");
+  vm::Client C;
+  vm::ThreadScript S;
+  vm::MethodCall MC;
+  MC.Func = "spin";
+  S.Calls = {MC};
+  C.Threads = {S};
+  SynthConfig Cfg = baseConfig(MemModel::PSO, SpecKind::MemorySafety);
+  Cfg.ExecsPerRound = 4;
+  Cfg.MaxStepsPerExec = 300;
+  Cfg.Exec.MaxRetries = 1;
+  Cfg.Exec.StepBudgetGrowth = 1.0;
+  SynthResult R = synthesize(M, {C}, Cfg);
+  EXPECT_EQ(R.DiscardedExecutions, R.TotalExecutions);
+  EXPECT_EQ(R.RetriedExecutions, R.TotalExecutions)
+      << "one retry per discarded execution";
+  EXPECT_EQ(R.ViolatingExecutions, 0u);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_TRUE(R.Fences.empty());
+}
+
+TEST(SynthTest, RepairBudgetExhaustionDegradesToStaticFences) {
+  // With zero repair rounds allowed, the first violating round can only
+  // degrade: conservative static fences on the implicated functions.
+  auto M = frontend::compileOrDie(PublishSrc);
+  SynthConfig Cfg = baseConfig(MemModel::PSO, SpecKind::MemorySafety);
+  Cfg.MaxRepairRounds = 0;
+  SynthResult R = synthesize(M, {publishClient()}, Cfg);
+  EXPECT_EQ(R.Status, SynthStatus::Degraded);
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_NE(R.DegradeReason.find("repair budget"), std::string::npos)
+      << R.DegradeReason;
+  EXPECT_GT(R.StaticFallbackFences, 0u);
+  ASSERT_FALSE(R.Fences.empty());
+  for (const auto &F : R.Fences)
+    EXPECT_EQ(F.Function, "writer")
+        << "degradation fences only the implicated function";
+
+  // The degraded module must actually be safe: a fresh synthesis run on
+  // it finds nothing left to fix.
+  SynthConfig Verify = baseConfig(MemModel::PSO, SpecKind::MemorySafety);
+  Verify.BaseSeed += 424243;
+  SynthResult V = synthesize(R.FencedModule, {publishClient()}, Verify);
+  EXPECT_TRUE(V.Converged);
+  EXPECT_EQ(V.ViolatingExecutions, 0u);
+}
+
+TEST(SynthTest, DegradationDisabledReportsExhausted) {
+  auto M = frontend::compileOrDie(PublishSrc);
+  SynthConfig Cfg = baseConfig(MemModel::PSO, SpecKind::MemorySafety);
+  Cfg.MaxRepairRounds = 0;
+  Cfg.DegradeToStatic = false;
+  SynthResult R = synthesize(M, {publishClient()}, Cfg);
+  EXPECT_EQ(R.Status, SynthStatus::Exhausted);
+  EXPECT_FALSE(R.Degraded);
+  EXPECT_EQ(R.StaticFallbackFences, 0u);
+  EXPECT_FALSE(R.DegradeReason.empty());
+}
+
+TEST(SynthTest, TotalWallBudgetExhaustionDegrades) {
+  auto M = frontend::compileOrDie(PublishSrc);
+  SynthConfig Cfg = baseConfig(MemModel::PSO, SpecKind::MemorySafety);
+  Cfg.ExecsPerRound = 100000; // Far more than 1 ms of work.
+  Cfg.TotalWallMs = 1;
+  SynthResult R = synthesize(M, {publishClient()}, Cfg);
+  EXPECT_EQ(R.Status, SynthStatus::Degraded);
+  EXPECT_NE(R.DegradeReason.find("wall-clock"), std::string::npos)
+      << R.DegradeReason;
+  EXPECT_LT(R.TotalExecutions, 100000u)
+      << "the budget must cut the round short";
+  ASSERT_FALSE(R.RoundLog.empty());
+  EXPECT_EQ(R.RoundLog.back().Executions,
+            R.TotalExecutions); // Truncated rounds log actual counts.
+}
+
+TEST(SynthTest, CannotFixStillWinsOverDegradation) {
+  // A semantic bug is not repairable by fencing; degradation must not
+  // mask the CannotFix verdict with useless static fences.
+  const char *Src = R"(
+global int X = 0;
+int put(int v) { X = v; return 0; }
+int take() { return 99; }
+)";
+  auto M = frontend::compileOrDie(Src);
+  vm::Client C;
+  vm::ThreadScript S;
+  vm::MethodCall P;
+  P.Func = "put";
+  P.Args = {vm::Arg(1)};
+  vm::MethodCall T;
+  T.Func = "take";
+  S.Calls = {P, T};
+  C.Threads = {S};
+  SynthConfig Cfg = baseConfig(MemModel::SC, SpecKind::Linearizability);
+  Cfg.Factory = spec::WsqSpec::factory();
+  SynthResult R = synthesize(M, {C}, Cfg);
+  EXPECT_EQ(R.Status, SynthStatus::CannotFix);
+  EXPECT_TRUE(R.CannotFix);
+  EXPECT_FALSE(R.Degraded);
+  EXPECT_EQ(R.StaticFallbackFences, 0u);
+}
+
+TEST(SynthTest, CapturedBundlesReplayTheViolation) {
+  auto M = frontend::compileOrDie(PublishSrc);
+  SynthConfig Cfg = baseConfig(MemModel::PSO, SpecKind::MemorySafety);
+  Cfg.CaptureBundles = true;
+  Cfg.MaxBundles = 2;
+  SynthResult R = synthesize(M, {publishClient()}, Cfg);
+  ASSERT_TRUE(R.Converged);
+  ASSERT_GT(R.ViolatingExecutions, 0u);
+  ASSERT_FALSE(R.Bundles.empty());
+  EXPECT_LE(R.Bundles.size(), 2u);
+  for (const harness::ReproBundle &B : R.Bundles) {
+    std::string Error;
+    auto Replayed = harness::replayBundle(B, Error);
+    ASSERT_TRUE(Replayed) << Error;
+    EXPECT_EQ(vm::outcomeName(Replayed->Out), B.Outcome);
+    EXPECT_EQ(Replayed->Message, B.Message);
+  }
+}
+
 TEST(SynthTest, FlushProbPortfolioCyclesAcrossExecutions) {
   // The portfolio must not change determinism: two identical runs agree.
   auto M = frontend::compileOrDie(PublishSrc);

@@ -23,6 +23,16 @@
 //       Synthesis for one of the built-in Table-2 benchmarks
 //       ("list" prints their names).
 //
+//   dfence --replay <bundle.json>
+//       Deterministically re-execute a crash-repro bundle captured with
+//       --repro and check that the recorded violation reproduces.
+//
+// Synthesis resilience flags: --exec-ms N (per-execution watchdog),
+// --retries N (discard retry budget), --round-ms N / --total-ms N (wall
+// budgets; on exhaustion synthesis degrades to conservative static
+// fencing), --repro PATH (write crash-repro bundles of violating
+// executions).
+//
 // Client DSL: "put(1);take()|steal();steal()" — threads separated by
 // '|', calls by ';', '$N' references the thread's N-th return value.
 //
@@ -31,6 +41,7 @@
 #include "driver/ClientDsl.h"
 #include "driver/SpecRegistry.h"
 #include "frontend/Compiler.h"
+#include "harness/ReproBundle.h"
 #include "ir/Printer.h"
 #include "programs/Benchmark.h"
 #include "support/StringUtils.h"
@@ -79,7 +90,10 @@ int usage() {
       "[--spec safety|nogarbage|sc|lin] [--seq-spec %s]\n"
       "          [--k N] [--rounds N] [--flush P] "
       "[--enforce fence|cas|atomic] [--init FUNC] [--no-merge] [--dump]\n"
-      "  bench   <name|list> [--model tso|pso] [--spec ...]\n",
+      "          [--exec-ms N] [--retries N] [--round-ms N] "
+      "[--total-ms N] [--repro PATH]\n"
+      "  bench   <name|list> [--model tso|pso] [--spec ...]\n"
+      "  --replay <bundle.json>\n",
       join(driver::knownSpecNames(), "|").c_str());
   return 2;
 }
@@ -256,7 +270,23 @@ int runSynthesis(const ir::Module &M,
   }
   Cfg.MergeFences = !Opt.has("no-merge");
 
+  // Resilience policy: watchdogs, retry budget, wall budgets, bundles.
+  Cfg.Exec.ExecWallMs =
+      static_cast<uint32_t>(Opt.getInt("exec-ms", 0));
+  Cfg.Exec.MaxRetries =
+      static_cast<unsigned>(Opt.getInt("retries", Cfg.Exec.MaxRetries));
+  Cfg.RoundWallMs = static_cast<uint32_t>(Opt.getInt("round-ms", 0));
+  Cfg.TotalWallMs = static_cast<uint32_t>(Opt.getInt("total-ms", 0));
+  Cfg.SeqSpecName = Opt.get("seq-spec");
+  std::string ReproPath = Opt.get("repro");
+  if (!ReproPath.empty())
+    Cfg.CaptureBundles = true;
+
   synth::SynthResult R = synth::synthesize(M, Clients, Cfg);
+  if (R.Status == synth::SynthStatus::ConfigError) {
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    return 1;
+  }
   std::printf("model: %s, spec: %s, K=%u\n", vm::memModelName(Cfg.Model),
               synth::specKindName(Cfg.Spec), Cfg.ExecsPerRound);
   for (const synth::RoundStats &S : R.RoundLog)
@@ -265,13 +295,24 @@ int runSynthesis(const ir::Module &M,
                 S.Round, static_cast<unsigned long long>(S.Violations),
                 static_cast<unsigned long long>(S.Executions),
                 S.FencesEnforced);
+  if (R.DiscardedExecutions || R.RetriedExecutions ||
+      R.TimedOutExecutions)
+    std::printf("harness: %llu discarded, %llu retried, %llu "
+                "timed out\n",
+                static_cast<unsigned long long>(R.DiscardedExecutions),
+                static_cast<unsigned long long>(R.RetriedExecutions),
+                static_cast<unsigned long long>(R.TimedOutExecutions));
   if (R.CannotFix)
     std::printf("result: violations not caused by reordering — cannot "
                 "be fixed with fences\nfirst violation: %s\n",
                 R.FirstViolation.c_str());
+  else if (R.Degraded)
+    std::printf("result: degraded — %s; fell back to conservative "
+                "static fencing (%u fence(s) added)\n",
+                R.DegradeReason.c_str(), R.StaticFallbackFences);
   else if (!R.Converged)
-    std::printf("result: did not converge within %u rounds\n",
-                R.Rounds);
+    std::printf("result: %s — %s\n", synth::synthStatusName(R.Status),
+                R.DegradeReason.c_str());
   else if (R.Fences.empty())
     std::printf("result: no fences needed\n");
   else {
@@ -279,9 +320,25 @@ int runSynthesis(const ir::Module &M,
     for (const synth::InsertedFence &F : R.Fences)
       std::printf("  %s\n", F.str().c_str());
   }
+  if (!ReproPath.empty()) {
+    for (size_t I = 0; I != R.Bundles.size(); ++I) {
+      std::string Path =
+          I == 0 ? ReproPath : strformat("%s.%zu", ReproPath.c_str(), I);
+      std::string Error;
+      if (R.Bundles[I].saveFile(Path, Error))
+        std::printf("repro bundle: %s\n", Path.c_str());
+      else
+        std::fprintf(stderr, "warning: %s\n", Error.c_str());
+    }
+    if (R.Bundles.empty())
+      std::printf("repro bundle: none captured (no violating "
+                  "executions)\n");
+  }
   if (Opt.has("dump"))
     std::printf("%s", ir::printModule(R.FencedModule).c_str());
-  return R.Converged || R.Fences.empty() ? 0 : 1;
+  // Degraded counts as success: the output program is conservatively
+  // fenced and safe, which is the harness's whole point.
+  return R.Converged || R.Degraded || R.Fences.empty() ? 0 : 1;
 }
 
 int cmdSynth(const Options &Opt) {
@@ -321,6 +378,74 @@ int cmdSynth(const Options &Opt) {
     }
   }
   return runSynthesis(CR.Module, {*Client}, Opt, Factory, *Spec);
+}
+
+std::optional<synth::SpecKind> specKindByName(const std::string &S) {
+  for (synth::SpecKind K :
+       {synth::SpecKind::MemorySafety, synth::SpecKind::NoGarbage,
+        synth::SpecKind::SequentialConsistency,
+        synth::SpecKind::Linearizability})
+    if (S == synth::specKindName(K))
+      return K;
+  return std::nullopt;
+}
+
+int cmdReplay(const Options &Opt) {
+  std::string Error;
+  auto B = harness::ReproBundle::loadFile(Opt.File, Error);
+  if (!B) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("bundle: model %s, seed %llu, %zu trace action(s)\n",
+              vm::memModelName(B->Model),
+              static_cast<unsigned long long>(B->Seed),
+              B->Trace.size());
+  std::printf("recorded: <%s> %s\n", B->Outcome.c_str(),
+              B->Message.c_str());
+
+  auto R = harness::replayBundle(*B, Error);
+  if (!R) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  // Reconstruct the diagnostic the recording run saw: VM-level outcomes
+  // carry their own message; a Completed history needs the bundle's
+  // advisory spec metadata to re-run the checker.
+  std::string Message = R->Message;
+  if (R->Out == vm::Outcome::Completed && !B->SpecName.empty()) {
+    auto Kind = specKindByName(B->SpecName);
+    if (!Kind) {
+      std::fprintf(stderr, "error: bundle names unknown spec '%s'\n",
+                   B->SpecName.c_str());
+      return 1;
+    }
+    synth::SynthConfig Check;
+    Check.Spec = *Kind;
+    if (!B->SeqSpecName.empty()) {
+      Check.Factory = driver::specByName(B->SeqSpecName);
+      if (!Check.Factory) {
+        std::fprintf(stderr,
+                     "error: bundle names unknown seq-spec '%s'\n",
+                     B->SeqSpecName.c_str());
+        return 1;
+      }
+    }
+    Message = synth::checkExecution(*R, Check);
+  }
+  std::printf("replayed: <%s> %s\n", vm::outcomeName(R->Out),
+              Message.c_str());
+
+  bool OutcomeMatch = vm::outcomeName(R->Out) == B->Outcome;
+  bool MessageMatch = Message == B->Message;
+  if (OutcomeMatch && MessageMatch) {
+    std::printf("replay: reproduced the recorded violation exactly\n");
+    return 0;
+  }
+  std::printf("replay: MISMATCH (%s differ)\n",
+              OutcomeMatch ? "messages" : "outcomes");
+  return 1;
 }
 
 int cmdBench(const Options &Opt) {
@@ -364,6 +489,10 @@ int main(int Argc, char **Argv) {
     return usage();
   Options Opt;
   Opt.Command = Argv[1];
+  // `dfence --replay <bundle>` reads naturally at a shell; accept it as
+  // a spelling of the replay command.
+  if (Opt.Command == "--replay")
+    Opt.Command = "replay";
   Opt.File = Argv[2];
   for (int I = 3; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -389,5 +518,7 @@ int main(int Argc, char **Argv) {
     return cmdSynth(Opt);
   if (Opt.Command == "bench")
     return cmdBench(Opt);
+  if (Opt.Command == "replay")
+    return cmdReplay(Opt);
   return usage();
 }
