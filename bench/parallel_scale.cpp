@@ -1,0 +1,212 @@
+//===- parallel_scale.cpp - Parallel round engine throughput --------------===//
+//
+// Measures the parallel round execution engine (src/exec/) on a subset of
+// the Table 2 suite: synthesis throughput (executions/second) at 1, 2, 4
+// and 8 workers on a fixed workload, the speedup relative to the
+// sequential engine, and a determinism smoke check — every job count must
+// produce the same fences, counters, and round log (the engine's ordered
+// merge makes the SynthResult bit-identical at any thread count).
+//
+// Emits BENCH_parallel.json (machine-readable, schema in the "schema"
+// key) next to the human-readable table, so CI can trend the speedup.
+// Note the speedup ceiling is min(jobs, cores): on a 1-core container
+// every configuration measures ~1x while determinism still gets checked.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace dfence;
+using namespace dfence::bench;
+using synth::SpecKind;
+using synth::SynthConfig;
+using synth::SynthResult;
+using vm::MemModel;
+
+namespace {
+
+struct Subject {
+  const char *Bench;
+  MemModel Model;
+  SpecKind Spec;
+};
+
+// A workload mix covering both models and the main spec classes; kept
+// small enough that the 4-point jobs sweep finishes in CI time.
+const Subject Subjects[] = {
+    {"Chase-Lev WSQ", MemModel::PSO, SpecKind::SequentialConsistency},
+    {"Cilk THE WSQ", MemModel::TSO, SpecKind::SequentialConsistency},
+    {"MSN Queue", MemModel::PSO, SpecKind::SequentialConsistency},
+    {"FIFO iWSQ", MemModel::PSO, SpecKind::NoGarbage},
+};
+
+// Fixed work per measurement: exactly MaxRounds rounds of K executions.
+// CleanRoundsRequired > MaxRounds keeps the loop from converging early
+// and DegradeToStatic=false keeps the exit path identical across runs,
+// so every job count executes the same number of interpreter steps.
+SynthConfig fixedWorkConfig(const Subject &S,
+                            const programs::Benchmark &B, unsigned Jobs) {
+  SynthConfig Cfg = makeConfig(S.Model, S.Spec, B.Factory, /*K=*/400);
+  Cfg.MaxRounds = 2;
+  Cfg.MaxRepairRounds = 2;
+  Cfg.CleanRoundsRequired = 3;
+  Cfg.DegradeToStatic = false;
+  Cfg.Jobs = Jobs;
+  return Cfg;
+}
+
+struct Measurement {
+  unsigned Jobs = 0;
+  double Seconds = 0;
+  uint64_t Executions = 0;
+  double ExecsPerSec = 0;
+  SynthResult Result;
+};
+
+Measurement measure(const Subject &S, const programs::Benchmark &B,
+                    const ir::Module &M, unsigned Jobs) {
+  Measurement Out;
+  Out.Jobs = Jobs;
+  auto T0 = std::chrono::steady_clock::now();
+  Out.Result =
+      synth::synthesize(M, B.Clients, fixedWorkConfig(S, B, Jobs));
+  auto T1 = std::chrono::steady_clock::now();
+  Out.Seconds = std::chrono::duration<double>(T1 - T0).count();
+  Out.Executions = Out.Result.TotalExecutions;
+  Out.ExecsPerSec =
+      Out.Seconds > 0 ? static_cast<double>(Out.Executions) / Out.Seconds
+                      : 0;
+  return Out;
+}
+
+bool sameObservables(const SynthResult &A, const SynthResult &B) {
+  if (A.fenceSummary() != B.fenceSummary() || A.Rounds != B.Rounds ||
+      A.TotalExecutions != B.TotalExecutions ||
+      A.ViolatingExecutions != B.ViolatingExecutions ||
+      A.DiscardedExecutions != B.DiscardedExecutions ||
+      A.FirstViolation != B.FirstViolation ||
+      A.RoundLog.size() != B.RoundLog.size())
+    return false;
+  for (size_t I = 0; I != A.RoundLog.size(); ++I)
+    if (A.RoundLog[I].Violations != B.RoundLog[I].Violations ||
+        A.RoundLog[I].Executions != B.RoundLog[I].Executions ||
+        A.RoundLog[I].FencesEnforced != B.RoundLog[I].FencesEnforced)
+      return false;
+  return true;
+}
+
+} // namespace
+
+int main() {
+  const unsigned JobCounts[] = {1, 2, 4, 8};
+  const unsigned Cores = std::thread::hardware_concurrency();
+
+  std::printf("Parallel round engine: throughput vs worker count\n");
+  std::printf("hardware_concurrency = %u (speedup ceiling is "
+              "min(jobs, cores))\n\n",
+              Cores);
+
+  Json Doc = Json::object();
+  Doc.set("schema", Json::string("dfence-parallel-scale-v1"));
+  Doc.set("hardware_concurrency", Json::number(uint64_t(Cores)));
+  Json JSubjects = Json::array();
+
+  bool AllDeterministic = true;
+  // Aggregate throughput across subjects per job count, for the headline
+  // "speedup at N workers" number.
+  double TotalSecs[4] = {0, 0, 0, 0};
+  uint64_t TotalExecs[4] = {0, 0, 0, 0};
+
+  for (const Subject &S : Subjects) {
+    const programs::Benchmark &B = programs::benchmarkByName(S.Bench);
+    auto CR = frontend::compileMiniC(B.Source);
+    if (!CR.Ok)
+      reportFatalError(std::string(S.Bench) + ": " + CR.Error);
+
+    std::printf("%s (%s, %s)\n", S.Bench, vm::memModelName(S.Model),
+                synth::specKindName(S.Spec));
+    std::printf("%8s %10s %12s %10s %8s\n", "jobs", "seconds",
+                "executions", "execs/s", "speedup");
+
+    Json JS = Json::object();
+    JS.set("benchmark", Json::string(S.Bench));
+    JS.set("model", Json::string(vm::memModelName(S.Model)));
+    JS.set("spec", Json::string(synth::specKindName(S.Spec)));
+    Json JRuns = Json::array();
+
+    Measurement Base;
+    bool Deterministic = true;
+    for (size_t JI = 0; JI != 4; ++JI) {
+      Measurement M = measure(S, B, CR.Module, JobCounts[JI]);
+      if (JI == 0)
+        Base = M;
+      else if (!sameObservables(Base.Result, M.Result))
+        Deterministic = false;
+      double Speedup =
+          M.Seconds > 0 ? Base.Seconds / M.Seconds : 0;
+      std::printf("%8u %10.3f %12llu %10.0f %7.2fx\n", M.Jobs,
+                  M.Seconds,
+                  static_cast<unsigned long long>(M.Executions),
+                  M.ExecsPerSec, Speedup);
+      TotalSecs[JI] += M.Seconds;
+      TotalExecs[JI] += M.Executions;
+
+      Json JR = Json::object();
+      JR.set("jobs", Json::number(uint64_t(M.Jobs)));
+      JR.set("seconds", Json::number(M.Seconds));
+      JR.set("executions", Json::number(M.Executions));
+      JR.set("execs_per_sec", Json::number(M.ExecsPerSec));
+      JR.set("speedup", Json::number(Speedup));
+      JR.set("fences", Json::string(M.Result.fenceSummary()));
+      JRuns.push(std::move(JR));
+    }
+    std::printf("  deterministic across job counts: %s\n\n",
+                Deterministic ? "yes" : "NO — ENGINE BUG");
+    AllDeterministic = AllDeterministic && Deterministic;
+
+    JS.set("runs", std::move(JRuns));
+    JS.set("deterministic", Json::boolean(Deterministic));
+    JSubjects.push(std::move(JS));
+  }
+
+  std::printf("aggregate over %zu subjects:\n",
+              sizeof(Subjects) / sizeof(Subjects[0]));
+  std::printf("%8s %10s %10s %8s\n", "jobs", "seconds", "execs/s",
+              "speedup");
+  Json JAgg = Json::array();
+  double BaseRate = TotalSecs[0] > 0
+                        ? static_cast<double>(TotalExecs[0]) / TotalSecs[0]
+                        : 0;
+  for (size_t JI = 0; JI != 4; ++JI) {
+    double Rate = TotalSecs[JI] > 0
+                      ? static_cast<double>(TotalExecs[JI]) / TotalSecs[JI]
+                      : 0;
+    double Speedup = BaseRate > 0 ? Rate / BaseRate : 0;
+    std::printf("%8u %10.3f %10.0f %7.2fx\n", JobCounts[JI],
+                TotalSecs[JI], Rate, Speedup);
+    Json JA = Json::object();
+    JA.set("jobs", Json::number(uint64_t(JobCounts[JI])));
+    JA.set("seconds", Json::number(TotalSecs[JI]));
+    JA.set("execs_per_sec", Json::number(Rate));
+    JA.set("speedup", Json::number(Speedup));
+    JAgg.push(std::move(JA));
+  }
+
+  Doc.set("subjects", std::move(JSubjects));
+  Doc.set("aggregate", std::move(JAgg));
+  Doc.set("deterministic", Json::boolean(AllDeterministic));
+
+  std::ofstream Out("BENCH_parallel.json");
+  Out << Doc.dump(2) << "\n";
+  std::printf("\nwrote BENCH_parallel.json\n");
+
+  return AllDeterministic ? 0 : 1;
+}

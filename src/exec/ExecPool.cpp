@@ -1,0 +1,110 @@
+//===- ExecPool.cpp - Persistent worker pool for round execution ----------===//
+
+#include "exec/ExecPool.h"
+
+#include <algorithm>
+
+using namespace dfence;
+using namespace dfence::exec;
+
+unsigned exec::resolveJobs(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+ExecPool::ExecPool(unsigned Jobs) : NumJobs(resolveJobs(Jobs)) {
+  Workers.reserve(NumJobs - 1);
+  for (unsigned I = 1; I < NumJobs; ++I)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+ExecPool::~ExecPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ExecPool::claimLoop() {
+  for (;;) {
+    // Check the sticky stop flag first so that after one worker observes
+    // an expired budget the others stop claiming without re-reading the
+    // clock themselves.
+    if (Stopped.load(std::memory_order_acquire))
+      return;
+    if (CurStop && *CurStop && (*CurStop)()) {
+      Stopped.store(true, std::memory_order_release);
+      return;
+    }
+    // Claim-then-run: a handed-out index always executes, so the executed
+    // set is a contiguous prefix of [0, Count) whatever the interleaving.
+    size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= CurCount)
+      return;
+    (*CurBody)(I);
+  }
+}
+
+void ExecPool::workerMain() {
+  uint64_t SeenGen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      WorkCv.wait(L,
+                  [&] { return ShuttingDown || Generation != SeenGen; });
+      if (ShuttingDown)
+        return;
+      SeenGen = Generation;
+    }
+    claimLoop();
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      if (--Busy == 0)
+        DoneCv.notify_one();
+    }
+  }
+}
+
+size_t ExecPool::runOrdered(size_t Count,
+                            const std::function<void(size_t)> &Body,
+                            const std::function<bool()> &ShouldStop) {
+  if (Workers.empty()) {
+    // Jobs == 1: the plain sequential loop, byte-for-byte the shape the
+    // pre-pool synthesizer ran.
+    size_t I = 0;
+    for (; I != Count; ++I) {
+      if (ShouldStop && ShouldStop())
+        break;
+      Body(I);
+    }
+    return I;
+  }
+
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    CurCount = Count;
+    CurBody = &Body;
+    CurStop = &ShouldStop;
+    Next.store(0, std::memory_order_relaxed);
+    Stopped.store(false, std::memory_order_relaxed);
+    Busy = static_cast<unsigned>(Workers.size());
+    ++Generation;
+  }
+  WorkCv.notify_all();
+  claimLoop(); // The caller is a worker too.
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    DoneCv.wait(L, [&] { return Busy == 0; });
+    CurBody = nullptr;
+    CurStop = nullptr;
+  }
+  // Every claim below Count ran; claims are consecutive, so the executed
+  // prefix ends at the final counter value (workers overshoot past Count
+  // or past the stop point, never below it).
+  return std::min(Next.load(std::memory_order_relaxed), Count);
+}

@@ -1,0 +1,91 @@
+//===- ExecPool.h - Persistent worker pool for round execution -*- C++ -*-===//
+//
+// A synthesis round runs K independent executions (runExecution is
+// deterministic given (module, client, config) and the module is read-only
+// during a round), so the round is embarrassingly parallel. The ExecPool
+// owns N-1 worker threads (the caller of runOrdered is the N-th worker)
+// that live for a whole synthesis run and get handed one indexed batch of
+// work per round.
+//
+// The pool's one primitive, runOrdered, guarantees *prefix semantics*:
+// indices are claimed in increasing order from a shared counter, a claimed
+// index always runs to completion, and cancellation only stops indices
+// that have not been claimed yet. The set of executed indices is therefore
+// always exactly [0, Cut) for the returned Cut — the same shape a
+// sequential loop produces when it breaks on a budget check — which is
+// what lets the synthesizer merge results in index order and stay
+// bit-identical to the sequential engine at any thread count.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_EXEC_EXECPOOL_H
+#define DFENCE_EXEC_EXECPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dfence::exec {
+
+/// Resolves a jobs request to a concrete worker count: 0 means "use the
+/// hardware" (std::thread::hardware_concurrency, at least 1), any other
+/// value is taken as-is.
+unsigned resolveJobs(unsigned Requested);
+
+/// A fixed-size pool of reusable worker threads executing indexed batches.
+class ExecPool {
+public:
+  /// Creates a pool for \p Jobs-way parallelism (0 = hardware
+  /// concurrency). Jobs == 1 spawns no threads at all: runOrdered then
+  /// degenerates to an inline sequential loop on the caller's thread.
+  explicit ExecPool(unsigned Jobs);
+  ~ExecPool();
+
+  ExecPool(const ExecPool &) = delete;
+  ExecPool &operator=(const ExecPool &) = delete;
+
+  /// Total parallelism, including the calling thread.
+  unsigned jobs() const { return NumJobs; }
+
+  /// Runs \p Body(I) for indices claimed in increasing order from
+  /// [0, Count) across all workers (the caller participates). When
+  /// \p ShouldStop is non-null it is consulted before every claim; once
+  /// it returns true no further index starts. Returns the cut index C:
+  /// every I < C ran to completion before this call returned, no I >= C
+  /// ran at all. \p Body and \p ShouldStop must be safe to call from
+  /// multiple threads; all of Body's side effects are visible to the
+  /// caller when runOrdered returns.
+  size_t runOrdered(size_t Count, const std::function<void(size_t)> &Body,
+                    const std::function<bool()> &ShouldStop = nullptr);
+
+private:
+  void workerMain();
+  void claimLoop();
+
+  unsigned NumJobs = 1;
+  std::vector<std::thread> Workers; ///< NumJobs - 1 threads.
+
+  std::mutex Mu;
+  std::condition_variable WorkCv; ///< Wakes workers for a new batch.
+  std::condition_variable DoneCv; ///< Wakes the caller when a batch ends.
+  uint64_t Generation = 0;        ///< Batch counter; bumped per runOrdered.
+  unsigned Busy = 0;              ///< Workers still inside this batch.
+  bool ShuttingDown = false;
+
+  // The current batch; written by the caller under Mu before workers are
+  // woken, immutable until every worker reports done.
+  size_t CurCount = 0;
+  const std::function<void(size_t)> *CurBody = nullptr;
+  const std::function<bool()> *CurStop = nullptr;
+  std::atomic<size_t> Next{0};
+  std::atomic<bool> Stopped{false};
+};
+
+} // namespace dfence::exec
+
+#endif // DFENCE_EXEC_EXECPOOL_H

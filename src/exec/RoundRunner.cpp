@@ -1,0 +1,34 @@
+//===- RoundRunner.cpp - One fully pre-planned synthesis round ------------===//
+
+#include "exec/RoundRunner.h"
+
+#include <cassert>
+
+using namespace dfence;
+using namespace dfence::exec;
+
+RoundResult exec::runRound(ExecPool &Pool, const ir::Module &M,
+                           const std::vector<vm::Client> &Clients,
+                           const RoundPlan &Plan,
+                           const harness::ExecPolicy &Policy,
+                           const ViolationCheck &Check,
+                           const std::function<bool()> &Stop) {
+  RoundResult RR;
+  RR.Slots.resize(Plan.Slots.size());
+  RR.Ran = Pool.runOrdered(
+      Plan.Slots.size(),
+      [&](size_t I) {
+        const ExecPlan &P = Plan.Slots[I];
+        assert(P.ClientIdx < Clients.size());
+        RoundSlot &S = RR.Slots[I];
+        S.SE = harness::runSupervised(M, Clients[P.ClientIdx], P.EC,
+                                      Policy);
+        // Discarded executions are counted, never judged; everything else
+        // is judged here so the (possibly exponential) spec check also
+        // runs off the merge thread.
+        if (!S.SE.Discarded && Check)
+          S.Violation = Check(S.SE.Result);
+      },
+      Stop);
+  return RR;
+}

@@ -1,0 +1,82 @@
+//===- RoundRunner.h - One fully pre-planned synthesis round ----*- C++ -*-===//
+//
+// The bridge between the synthesis loop and the ExecPool. The synthesizer
+// plans a whole round up front — one ExecPlan per execution slot, with the
+// seed, client and flush probability all derived from the slot's index
+// before anything runs — and runRound fans the slots across the pool.
+// Workers run the supervised execution (harness::runSupervised is
+// reentrant; each call carries its own state) and the violation check
+// (spec checking is a pure function of the execution result, and is often
+// the most expensive per-execution step, so it belongs on the workers).
+//
+// Results land in a slot array indexed by execution index. The caller
+// merges them in index order, which makes the aggregate bit-identical to
+// running the same plan sequentially: prefix cancellation (ExecPool) plus
+// ordered merge is the engine's whole determinism contract.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_EXEC_ROUNDRUNNER_H
+#define DFENCE_EXEC_ROUNDRUNNER_H
+
+#include "exec/ExecPool.h"
+#include "harness/Harness.h"
+#include "vm/Client.h"
+#include "vm/Interp.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dfence::exec {
+
+/// Everything about one execution slot, decided before the round starts.
+struct ExecPlan {
+  vm::ExecConfig EC;
+  uint32_t ClientIdx = 0; ///< Index into the round's client vector.
+};
+
+/// A whole round's worth of slots. Slot I of round R must be planned from
+/// the *nominal* global execution index (R-1)*K + I — never from mutable
+/// run state such as the number of executions that actually ran — so a
+/// truncated round cannot shift the seed/client/flush streams of later
+/// rounds.
+struct RoundPlan {
+  std::vector<ExecPlan> Slots;
+};
+
+/// What one slot produced.
+struct RoundSlot {
+  harness::SupervisedExec SE;
+  /// Violation diagnostics from the caller-supplied check; empty when the
+  /// execution was acceptable or discarded.
+  std::string Violation;
+};
+
+struct RoundResult {
+  /// Sized like the plan; only [0, Ran) hold results.
+  std::vector<RoundSlot> Slots;
+  /// Executed prefix length: slots [0, Ran) ran, the rest were cancelled
+  /// by the stop predicate before starting.
+  size_t Ran = 0;
+};
+
+/// Judges one (non-discarded) execution result; returns violation
+/// diagnostics or empty. Called concurrently from pool workers, so it
+/// must be thread-safe (the synthesizer's checkExecution is: it only
+/// reads the config and builds local checker state).
+using ViolationCheck = std::function<std::string(const vm::ExecResult &)>;
+
+/// Runs \p Plan against \p M (read-only for the whole round) on \p Pool.
+/// \p Stop may be null; when it fires, not-yet-started slots are
+/// cancelled and the result is the executed prefix.
+RoundResult runRound(ExecPool &Pool, const ir::Module &M,
+                     const std::vector<vm::Client> &Clients,
+                     const RoundPlan &Plan,
+                     const harness::ExecPolicy &Policy,
+                     const ViolationCheck &Check,
+                     const std::function<bool()> &Stop = nullptr);
+
+} // namespace dfence::exec
+
+#endif // DFENCE_EXEC_ROUNDRUNNER_H

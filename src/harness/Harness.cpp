@@ -61,6 +61,12 @@ SupervisedExec Supervisor::run(const ir::Module &M, const vm::Client &C,
   if (CaptureBundles)
     EC.RecordTrace = true;
   SupervisedExec SE = runSupervised(M, C, EC, Policy);
+  fold(M, C, EC, SE);
+  return SE;
+}
+
+void Supervisor::fold(const ir::Module &M, const vm::Client &C,
+                      vm::ExecConfig EC, const SupervisedExec &SE) {
   Stats.Executions += 1;
   Stats.Retries += SE.Attempts - 1;
   if (SE.Discarded)
@@ -77,7 +83,6 @@ SupervisedExec Supervisor::run(const ir::Module &M, const vm::Client &C,
     EC.MaxSteps = SE.UsedMaxSteps;
     capture(M, C, EC, SE.Result, SE.Result.Message);
   }
-  return SE;
 }
 
 void Supervisor::capture(const ir::Module &M, const vm::Client &C,

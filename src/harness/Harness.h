@@ -129,6 +129,17 @@ public:
   SupervisedExec run(const ir::Module &M, const vm::Client &C,
                      vm::ExecConfig EC);
 
+  /// Folds an execution that was run out-of-band into this supervisor's
+  /// accounting, capturing VM-level violations exactly as run() would.
+  /// The parallel round engine (src/exec/) runs executions on worker
+  /// threads through the reentrant runSupervised and folds the results
+  /// back in deterministic execution-index order; fold itself must only
+  /// be called from one thread at a time. \p EC is the config the
+  /// execution was *requested* with (UsedSeed/UsedMaxSteps of \p SE
+  /// override it for capture, as retries may have changed them).
+  void fold(const ir::Module &M, const vm::Client &C, vm::ExecConfig EC,
+            const SupervisedExec &SE);
+
   /// Captures a bundle for an execution this supervisor ran (no-op when
   /// capture is disabled or the cap is reached).
   void capture(const ir::Module &M, const vm::Client &C,

@@ -2,6 +2,8 @@
 
 #include "synth/Synthesizer.h"
 
+#include "exec/ExecPool.h"
+#include "exec/RoundRunner.h"
 #include "harness/Harness.h"
 #include "sat/MinimalModels.h"
 #include "spec/Checkers.h"
@@ -60,6 +62,11 @@ std::string synth::checkExecution(const vm::ExecResult &R,
     break;
   }
 
+  // The accept path below is the per-execution hot path (K executions per
+  // round, the overwhelming majority clean): it must return before any
+  // diagnostic string or history copy is built. This function is called
+  // concurrently by the round engine's workers; it only reads Cfg and
+  // builds checker-local state.
   switch (Cfg.Spec) {
   case SpecKind::MemorySafety:
     return std::string();
@@ -69,23 +76,71 @@ std::string synth::checkExecution(const vm::ExecResult &R,
     if (!Cfg.Factory)
       return "configuration error: sequential-consistency checking "
              "requires a sequential specification";
-    if (!spec::isSequentiallyConsistent(R.Hist, Cfg.Factory))
-      return "history is not sequentially consistent:\n" + R.Hist.str();
-    return std::string();
+    if (spec::isSequentiallyConsistent(R.Hist, Cfg.Factory))
+      return std::string();
+    return "history is not sequentially consistent:\n" + R.Hist.str();
   case SpecKind::Linearizability: {
     if (!Cfg.Factory)
       return "configuration error: linearizability checking requires a "
              "sequential specification";
     // Work-stealing relaxation: concurrent EMPTY take/steal are aborts
     // (see relaxConcurrentEmptyOps); only non-overlapping EMPTY answers
-    // must be justified by an empty queue (the paper's Fig. 2c).
-    vm::History Relaxed = spec::relaxConcurrentEmptyOps(R.Hist);
-    if (!spec::isLinearizable(Relaxed, Cfg.Factory))
-      return "history is not linearizable:\n" + R.Hist.str();
-    return std::string();
+    // must be justified by an empty queue (the paper's Fig. 2c). The
+    // relaxation is the identity on histories without EMPTY take/steal
+    // answers — the common case — so skip the copy for those.
+    bool HasEmptyWsqOp = false;
+    for (const vm::OpRecord &Op : R.Hist.Ops)
+      if ((Op.Func == "take" || Op.Func == "steal") && Op.Completed &&
+          Op.Ret == vm::EmptyVal) {
+        HasEmptyWsqOp = true;
+        break;
+      }
+    bool Ok = HasEmptyWsqOp
+                  ? spec::isLinearizable(
+                        spec::relaxConcurrentEmptyOps(R.Hist), Cfg.Factory)
+                  : spec::isLinearizable(R.Hist, Cfg.Factory);
+    if (Ok)
+      return std::string();
+    return "history is not linearizable:\n" + R.Hist.str();
   }
   }
   dfenceUnreachable("invalid spec kind");
+}
+
+/// Plans round \p Round (1-based) of a run: one ExecPlan per slot, every
+/// per-slot knob derived from the slot's *nominal* global execution index
+/// (Round-1)*K + I. Earlier code derived these from the mutable
+/// TotalExecutions counter, so a wall-clock-truncated round shifted the
+/// seed/client/flush streams of every later round — a reproducibility
+/// wart on its own, and fatal for parallel dispatch, which must know the
+/// whole plan before anything runs. For untruncated runs the two schemes
+/// coincide (TotalExecutions advances by exactly K per round).
+static exec::RoundPlan planRound(const SynthConfig &Cfg,
+                                 size_t NumClients, unsigned Round) {
+  exec::RoundPlan Plan;
+  Plan.Slots.resize(Cfg.ExecsPerRound);
+  uint64_t First = static_cast<uint64_t>(Round - 1) * Cfg.ExecsPerRound;
+  for (unsigned I = 0; I != Cfg.ExecsPerRound; ++I) {
+    uint64_t G = First + I;
+    exec::ExecPlan &P = Plan.Slots[I];
+    P.ClientIdx = static_cast<uint32_t>(G % NumClients);
+    vm::ExecConfig &EC = P.EC;
+    EC.Model = Cfg.Model;
+    EC.Seed = Cfg.BaseSeed + G;
+    EC.MaxSteps = Cfg.MaxStepsPerExec;
+    EC.CollectRepairs = true;
+    EC.InterOpPredicates = Cfg.InterOpPredicates;
+    EC.FlushProb = Cfg.FlushProbs.empty()
+                       ? Cfg.FlushProb
+                       : Cfg.FlushProbs[G % Cfg.FlushProbs.size()];
+    EC.PartialOrderReduction = Cfg.PartialOrderReduction;
+    // The supervisor forces trace recording when capturing; the plan must
+    // bake it in because workers bypass Supervisor::run.
+    EC.RecordTrace = Cfg.CaptureBundles;
+    if (Cfg.Faults.enabled())
+      EC.Faults = &Cfg.Faults;
+  }
+  return Plan;
 }
 
 SynthResult synth::synthesize(const ir::Module &M,
@@ -139,6 +194,11 @@ SynthResult synth::synthesize(const ir::Module &M,
   std::map<OrderingPredicate, sat::Var> PredVar;
   std::vector<OrderingPredicate> VarPred;
 
+  // The worker pool lives for the whole run; each round fans its K
+  // executions across it and merges in execution-index order, so the
+  // result is bit-identical to the sequential engine at any Jobs value.
+  exec::ExecPool Pool(Cfg.Jobs);
+
   unsigned RepairRounds = 0;
   unsigned CleanRounds = 0;
   bool OutOfTime = false;
@@ -148,39 +208,41 @@ SynthResult synth::synthesize(const ir::Module &M,
     Stats.Round = Round;
     harness::Stopwatch RoundWatch;
     harness::Budget RoundBudget{Cfg.RoundWallMs};
-    bool Truncated = false; // Round stopped before running all of K.
 
-    // One round: K executions against the current program, each run
-    // under the harness (watchdog + retry escalation for discards).
+    // One round: K executions against the current program, planned up
+    // front (seed/client/flush-prob derive from the round-local index),
+    // dispatched across the pool, each run under the harness (watchdog +
+    // retry escalation for discards) with the spec check on the worker.
+    exec::RoundPlan Plan = planRound(Cfg, Clients.size(), Round);
+    std::function<bool()> StopFn;
+    if (Cfg.TotalWallMs != 0 || Cfg.RoundWallMs != 0)
+      StopFn = [&] {
+        return TotalBudget.expired(Watch) ||
+               RoundBudget.expired(RoundWatch);
+      };
+    exec::RoundResult RR = exec::runRound(
+        Pool, Cur, Clients, Plan, Cfg.Exec,
+        [&Cfg](const vm::ExecResult &R) { return checkExecution(R, Cfg); },
+        StopFn);
+    // Budget expiry cancels the slots that had not started; the executed
+    // prefix [0, Ran) truncates at a deterministic index boundary,
+    // exactly where a sequential loop breaking on the budget would.
+    bool Truncated = RR.Ran < Plan.Slots.size();
+    if (Truncated && TotalBudget.expired(Watch))
+      OutOfTime = true;
+
+    // Deterministic aggregation: fold the slots in execution-index order.
+    // Every SynthResult field — counters, round log, first violation,
+    // captured bundles (lowest-index violations up to MaxBundles),
+    // implicated functions, repair formula — comes out of this loop in
+    // the same order the sequential engine produced it.
     std::vector<std::vector<OrderingPredicate>> ViolationRepairs;
-    for (unsigned I = 0; I != Cfg.ExecsPerRound; ++I) {
-      if (TotalBudget.expired(Watch)) {
-        OutOfTime = true;
-        Truncated = true;
-        break;
-      }
-      if (RoundBudget.expired(RoundWatch)) {
-        Truncated = true;
-        break;
-      }
-      const vm::Client &Client =
-          Clients[Result.TotalExecutions % Clients.size()];
-      vm::ExecConfig EC;
-      EC.Model = Cfg.Model;
-      EC.Seed = Cfg.BaseSeed + Result.TotalExecutions;
-      EC.MaxSteps = Cfg.MaxStepsPerExec;
-      EC.CollectRepairs = true;
-      EC.InterOpPredicates = Cfg.InterOpPredicates;
-      EC.FlushProb =
-          Cfg.FlushProbs.empty()
-              ? Cfg.FlushProb
-              : Cfg.FlushProbs[Result.TotalExecutions %
-                               Cfg.FlushProbs.size()];
-      EC.PartialOrderReduction = Cfg.PartialOrderReduction;
-      if (Cfg.Faults.enabled())
-        EC.Faults = &Cfg.Faults;
-      harness::SupervisedExec SE = Sup.run(Cur, Client, EC);
+    for (size_t I = 0; I != RR.Ran; ++I) {
+      const exec::ExecPlan &P = Plan.Slots[I];
+      const vm::Client &Client = Clients[P.ClientIdx];
+      harness::SupervisedExec &SE = RR.Slots[I].SE;
       vm::ExecResult &R = SE.Result;
+      Sup.fold(Cur, Client, P.EC, SE);
       ++Result.TotalExecutions;
       ++Stats.Executions;
 
@@ -188,7 +250,7 @@ SynthResult synth::synthesize(const ir::Module &M,
         ++Result.DiscardedExecutions;
         continue;
       }
-      std::string Violation = checkExecution(R, Cfg);
+      const std::string &Violation = RR.Slots[I].Violation;
       if (Violation.empty())
         continue;
       ++Result.ViolatingExecutions;
@@ -201,13 +263,13 @@ SynthResult synth::synthesize(const ir::Module &M,
       // supervisor cannot capture them on its own (it captures VM-level
       // violations); do it here, with the attempt that actually ran.
       if (Sup.capturing() && R.Out == vm::Outcome::Completed) {
-        vm::ExecConfig CapEC = EC;
+        vm::ExecConfig CapEC = P.EC;
         CapEC.Seed = SE.UsedSeed;
         CapEC.MaxSteps = SE.UsedMaxSteps;
         Sup.capture(Cur, Client, CapEC, R, Violation);
       }
-      for (const OrderingPredicate &P : R.Repairs)
-        if (auto F = Cur.functionOfLabel(P.Before))
+      for (const OrderingPredicate &Pr : R.Repairs)
+        if (auto F = Cur.functionOfLabel(Pr.Before))
           Implicated.insert(*F);
       if (R.Repairs.empty()) {
         // avoid() returned false for this execution: no reordering can

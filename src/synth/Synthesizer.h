@@ -64,6 +64,13 @@ struct SynthConfig {
   uint64_t BaseSeed = 0x5eed;
   size_t MaxStepsPerExec = 60000;
 
+  /// Worker threads running each round's K executions (the parallel
+  /// round engine, src/exec/). Per-execution results are merged in
+  /// execution-index order, so the SynthResult is bit-identical at any
+  /// value; 1 = run in-process sequentially, 0 = use
+  /// std::thread::hardware_concurrency().
+  unsigned Jobs = 1;
+
   EnforceMode Mode = EnforceMode::Fence;
   bool MergeFences = true;
   bool PartialOrderReduction = true;
@@ -149,6 +156,8 @@ struct SynthResult {
 
 /// Runs dynamic synthesis of \p M exercised by \p Clients (cycled through
 /// round-robin across executions). \p M is copied, never modified.
+/// Each round's executions run on SynthConfig::Jobs worker threads and
+/// merge deterministically: the result is bit-identical for any Jobs.
 SynthResult synthesize(const ir::Module &M,
                        const std::vector<vm::Client> &Clients,
                        const SynthConfig &Cfg);

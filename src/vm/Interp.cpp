@@ -228,6 +228,15 @@ void Engine::runInit() {
 }
 
 void Engine::createClientThreads() {
+  // Every top-level call appends one OpRecord; size the history once so
+  // the hot loop never reallocates it (K executions per round make this
+  // per-execution setup cost part of the synthesis hot path).
+  size_t TotalCalls = 0;
+  for (const ThreadScript &S : C.Threads)
+    TotalCalls += S.Calls.size();
+  Result.Hist.Ops.reserve(TotalCalls);
+  if (Cfg.RecordTrace)
+    Result.Trace.reserve(std::min<size_t>(Cfg.MaxSteps, 1 << 14));
   for (size_t I = 0, E = C.Threads.size(); I != E; ++I) {
     auto T = std::make_unique<Thread>(Cfg.Model);
     T->Tid = static_cast<uint32_t>(I);

@@ -2,12 +2,15 @@
 
 #include "vm/Memory.h"
 
+#include <algorithm>
+
 using namespace dfence;
 using namespace dfence::vm;
 
 Memory::Memory() : BumpPtr(16) {
   // Address 0 is the null pointer; the low words are a permanent red zone.
   Data.resize(16, 0);
+  Blocks.reserve(16);
 }
 
 Word Memory::allocate(Word SizeWords) {
@@ -18,32 +21,46 @@ Word Memory::allocate(Word SizeWords) {
   // untracked memory and trip the safety checker.
   BumpPtr += SizeWords + 1;
   Data.resize(BumpPtr, 0);
-  Blocks.emplace(Start, Block{SizeWords, /*Live=*/true, /*IsGlobal=*/false});
+  // Start > every earlier start, so the vector stays sorted.
+  Blocks.push_back(
+      Block{Start, SizeWords, /*Live=*/true, /*IsGlobal=*/false});
   return Start;
 }
 
 Word Memory::allocateGlobal(Word SizeWords) {
   Word Start = allocate(SizeWords);
-  Blocks[Start].IsGlobal = true;
+  Blocks.back().IsGlobal = true;
   return Start;
 }
 
 bool Memory::freeBlock(Word Addr) {
-  auto It = Blocks.find(Addr);
-  if (It == Blocks.end() || !It->second.Live || It->second.IsGlobal)
+  auto It = std::lower_bound(
+      Blocks.begin(), Blocks.end(), Addr,
+      [](const Block &B, Word A) { return B.Start < A; });
+  if (It == Blocks.end() || It->Start != Addr || !It->Live ||
+      It->IsGlobal)
     return false;
-  It->second.Live = false;
+  It->Live = false;
   return true;
 }
 
 const Memory::Block *Memory::findBlock(Word Addr) const {
+  if (LastBlock < Blocks.size()) {
+    const Block &C = Blocks[LastBlock];
+    if (Addr >= C.Start && Addr - C.Start < C.Size)
+      return &C;
+  }
   // Greatest start <= Addr.
-  auto It = Blocks.upper_bound(Addr);
+  auto It = std::upper_bound(
+      Blocks.begin(), Blocks.end(), Addr,
+      [](Word A, const Block &B) { return A < B.Start; });
   if (It == Blocks.begin())
     return nullptr;
   --It;
-  if (Addr >= It->first && Addr < It->first + It->second.Size)
-    return &It->second;
+  if (Addr >= It->Start && Addr - It->Start < It->Size) {
+    LastBlock = static_cast<size_t>(It - Blocks.begin());
+    return &*It;
+  }
   return nullptr;
 }
 
@@ -59,7 +76,7 @@ bool Memory::isFreed(Word Addr) const {
 
 size_t Memory::liveHeapBlocks() const {
   size_t N = 0;
-  for (const auto &[Start, B] : Blocks)
+  for (const Block &B : Blocks)
     if (B.Live && !B.IsGlobal)
       ++N;
   return N;

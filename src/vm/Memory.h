@@ -3,9 +3,14 @@
 // All shared state (globals and heap) lives in one flat, zero-initialized,
 // word-addressed memory. Alongside the data the Memory tracks every
 // allocation unit (globals are permanent units, heap blocks are created by
-// Alloc and retired by Free) in an ordered map keyed by start address —
-// the paper's "self balanced binary tree with the starting addresses as
-// the keys" used to detect memory safety violations.
+// Alloc and retired by Free), ordered by start address. The paper uses "a
+// self balanced binary tree with the starting addresses as the keys"; the
+// bump allocator hands out strictly increasing addresses, so a sorted flat
+// vector gets the same O(log n) lookup from a plain push_back, without the
+// per-node allocations — and a one-entry last-block cache catches the long
+// runs of accesses that hit the same unit back to back, which is nearly
+// every access the interpreter makes (this is the per-execution hot path:
+// every load, store, flush and CAS consults the safety oracle).
 //
 // Addresses are never reused, so accesses through dangling pointers are
 // always detectable.
@@ -18,7 +23,7 @@
 #include "ir/Instr.h"
 
 #include <cassert>
-#include <map>
+#include <cstddef>
 #include <vector>
 
 namespace dfence::vm {
@@ -64,6 +69,7 @@ public:
 
 private:
   struct Block {
+    Word Start = 0;
     Word Size = 0;
     bool Live = true;
     bool IsGlobal = false;
@@ -73,7 +79,11 @@ private:
   const Block *findBlock(Word Addr) const;
 
   std::vector<Word> Data;
-  std::map<Word, Block> Blocks; ///< keyed by start address
+  /// Allocation units sorted by start address (bump allocation keeps
+  /// push_back order sorted; binary-searched on lookup).
+  std::vector<Block> Blocks;
+  /// Index of the most recently hit unit; pure cache, checked first.
+  mutable size_t LastBlock = 0;
   Word BumpPtr;
 };
 

@@ -33,6 +33,11 @@
 // fencing), --repro PATH (write crash-repro bundles of violating
 // executions).
 //
+// Synthesis performance: --jobs N runs each round's K executions on N
+// worker threads (default: the machine's hardware concurrency). Results
+// merge in execution-index order, so the output is bit-identical for any
+// N — --jobs only changes the wall clock.
+//
 // Client DSL: "put(1);take()|steal();steal()" — threads separated by
 // '|', calls by ';', '$N' references the thread's N-th return value.
 //
@@ -40,6 +45,7 @@
 
 #include "driver/ClientDsl.h"
 #include "driver/SpecRegistry.h"
+#include "exec/ExecPool.h"
 #include "frontend/Compiler.h"
 #include "harness/ReproBundle.h"
 #include "ir/Printer.h"
@@ -91,7 +97,7 @@ int usage() {
       "          [--k N] [--rounds N] [--flush P] "
       "[--enforce fence|cas|atomic] [--init FUNC] [--no-merge] [--dump]\n"
       "          [--exec-ms N] [--retries N] [--round-ms N] "
-      "[--total-ms N] [--repro PATH]\n"
+      "[--total-ms N] [--repro PATH] [--jobs N]\n"
       "  bench   <name|list> [--model tso|pso] [--spec ...]\n"
       "  --replay <bundle.json>\n",
       join(driver::knownSpecNames(), "|").c_str());
@@ -269,6 +275,9 @@ int runSynthesis(const ir::Module &M,
     return 1;
   }
   Cfg.MergeFences = !Opt.has("no-merge");
+  // Parallel round engine; 0 = hardware concurrency (the CLI default —
+  // deterministic merge makes the result identical at any width).
+  Cfg.Jobs = static_cast<unsigned>(Opt.getInt("jobs", 0));
 
   // Resilience policy: watchdogs, retry budget, wall budgets, bundles.
   Cfg.Exec.ExecWallMs =
@@ -287,8 +296,9 @@ int runSynthesis(const ir::Module &M,
     std::fprintf(stderr, "error: %s\n", R.Error.c_str());
     return 1;
   }
-  std::printf("model: %s, spec: %s, K=%u\n", vm::memModelName(Cfg.Model),
-              synth::specKindName(Cfg.Spec), Cfg.ExecsPerRound);
+  std::printf("model: %s, spec: %s, K=%u, jobs=%u\n",
+              vm::memModelName(Cfg.Model), synth::specKindName(Cfg.Spec),
+              Cfg.ExecsPerRound, exec::resolveJobs(Cfg.Jobs));
   for (const synth::RoundStats &S : R.RoundLog)
     std::printf("round %u: %llu violating / %llu executions, %u "
                 "enforcement(s) in program\n",
