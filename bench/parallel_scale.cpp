@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
+#include "obs/Obs.h"
 #include "support/Json.h"
 
 #include <chrono>
@@ -68,6 +69,12 @@ struct Measurement {
   double Seconds = 0;
   uint64_t Executions = 0;
   double ExecsPerSec = 0;
+  // Pool telemetry from the run's metrics registry (see src/obs/):
+  // utilization is busy-time / (batch wall-time x jobs), queue waits are
+  // claim-start latencies relative to the batch start.
+  double WorkerUtilization = 0;
+  double QueueWaitP50Us = 0;
+  double QueueWaitP95Us = 0;
   SynthResult Result;
 };
 
@@ -75,15 +82,25 @@ Measurement measure(const Subject &S, const programs::Benchmark &B,
                     const ir::Module &M, unsigned Jobs) {
   Measurement Out;
   Out.Jobs = Jobs;
+  obs::Registry Reg;
+  obs::ObsContext Obs;
+  Obs.Metrics = &Reg;
+  SynthConfig Cfg = fixedWorkConfig(S, B, Jobs);
+  Cfg.Obs = &Obs;
   auto T0 = std::chrono::steady_clock::now();
-  Out.Result =
-      synth::synthesize(M, B.Clients, fixedWorkConfig(S, B, Jobs));
+  Out.Result = synth::synthesize(M, B.Clients, Cfg);
   auto T1 = std::chrono::steady_clock::now();
   Out.Seconds = std::chrono::duration<double>(T1 - T0).count();
   Out.Executions = Out.Result.TotalExecutions;
   Out.ExecsPerSec =
       Out.Seconds > 0 ? static_cast<double>(Out.Executions) / Out.Seconds
                       : 0;
+  double Busy = Reg.gauge("exec_pool_busy_us").value();
+  double Wall = Reg.gauge("exec_pool_wall_us").value();
+  Out.WorkerUtilization = Wall > 0 ? Busy / (Wall * Jobs) : 0;
+  const obs::Histogram &H = Reg.histogram("exec_pool_queue_wait_us");
+  Out.QueueWaitP50Us = H.percentile(0.50);
+  Out.QueueWaitP95Us = H.percentile(0.95);
   return Out;
 }
 
@@ -116,6 +133,10 @@ int main() {
 
   Json Doc = Json::object();
   Doc.set("schema", Json::string("dfence-parallel-scale-v1"));
+  // v2: per-run "metrics" sub-object (worker utilization, queue-wait
+  // percentiles). Existing keys are unchanged; consumers that only know
+  // v1 keep working.
+  Doc.set("schema_version", Json::number(uint64_t(2)));
   Doc.set("hardware_concurrency", Json::number(uint64_t(Cores)));
   Json JSubjects = Json::array();
 
@@ -133,8 +154,8 @@ int main() {
 
     std::printf("%s (%s, %s)\n", S.Bench, vm::memModelName(S.Model),
                 synth::specKindName(S.Spec));
-    std::printf("%8s %10s %12s %10s %8s\n", "jobs", "seconds",
-                "executions", "execs/s", "speedup");
+    std::printf("%8s %10s %12s %10s %8s %6s\n", "jobs", "seconds",
+                "executions", "execs/s", "speedup", "util");
 
     Json JS = Json::object();
     JS.set("benchmark", Json::string(S.Bench));
@@ -152,10 +173,10 @@ int main() {
         Deterministic = false;
       double Speedup =
           M.Seconds > 0 ? Base.Seconds / M.Seconds : 0;
-      std::printf("%8u %10.3f %12llu %10.0f %7.2fx\n", M.Jobs,
+      std::printf("%8u %10.3f %12llu %10.0f %7.2fx %5.0f%%\n", M.Jobs,
                   M.Seconds,
                   static_cast<unsigned long long>(M.Executions),
-                  M.ExecsPerSec, Speedup);
+                  M.ExecsPerSec, Speedup, M.WorkerUtilization * 100);
       TotalSecs[JI] += M.Seconds;
       TotalExecs[JI] += M.Executions;
 
@@ -166,6 +187,11 @@ int main() {
       JR.set("execs_per_sec", Json::number(M.ExecsPerSec));
       JR.set("speedup", Json::number(Speedup));
       JR.set("fences", Json::string(M.Result.fenceSummary()));
+      Json JM = Json::object();
+      JM.set("worker_utilization", Json::number(M.WorkerUtilization));
+      JM.set("queue_wait_us_p50", Json::number(M.QueueWaitP50Us));
+      JM.set("queue_wait_us_p95", Json::number(M.QueueWaitP95Us));
+      JR.set("metrics", std::move(JM));
       JRuns.push(std::move(JR));
     }
     std::printf("  deterministic across job counts: %s\n\n",

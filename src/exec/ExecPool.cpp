@@ -2,7 +2,11 @@
 
 #include "exec/ExecPool.h"
 
+#include "obs/Obs.h"
+#include "support/StringUtils.h"
+
 #include <algorithm>
+#include <chrono>
 
 using namespace dfence;
 using namespace dfence::exec;
@@ -14,10 +18,25 @@ unsigned exec::resolveJobs(unsigned Requested) {
   return HW == 0 ? 1 : HW;
 }
 
+namespace {
+
+thread_local unsigned TlsWorker = 0;
+
+/// Monotonic microseconds; only read when a timing sink is attached.
+int64_t monoUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+unsigned exec::currentWorker() { return TlsWorker; }
+
 ExecPool::ExecPool(unsigned Jobs) : NumJobs(resolveJobs(Jobs)) {
   Workers.reserve(NumJobs - 1);
   for (unsigned I = 1; I < NumJobs; ++I)
-    Workers.emplace_back([this] { workerMain(); });
+    Workers.emplace_back([this, I] { workerMain(I); });
 }
 
 ExecPool::~ExecPool() {
@@ -30,27 +49,62 @@ ExecPool::~ExecPool() {
     W.join();
 }
 
-void ExecPool::claimLoop() {
+void ExecPool::setObs(const obs::ObsContext *O) {
+  ClaimsC = obs::counterOrNull(O, "exec_pool_claims_total");
+  BatchesC = obs::counterOrNull(O, "exec_pool_batches_total");
+  CancelledC = obs::counterOrNull(O, "exec_pool_cancelled_total");
+  BusyUsG = obs::gaugeOrNull(O, "exec_pool_busy_us");
+  WallUsG = obs::gaugeOrNull(O, "exec_pool_wall_us");
+  QueueWaitH = obs::histogramOrNull(O, "exec_pool_queue_wait_us");
+  Trace = obs::traceOrNull(O);
+  if (Trace) {
+    Trace->setThreadName(0, "merge");
+    for (unsigned I = 1; I < NumJobs; ++I)
+      Trace->setThreadName(I, strformat("worker-%u", I));
+  }
+}
+
+void ExecPool::claimLoop(unsigned Worker) {
+  TlsWorker = Worker;
+  // One occupancy span per worker per batch: its extent is the worker's
+  // active window in this batch, its args the work it actually did.
+  OBS_SPAN(WorkerSpan, Trace, "worker", "pool", Worker);
+  const bool Timing = BusyUsG || QueueWaitH;
+  uint64_t Claims = 0;
   for (;;) {
     // Check the sticky stop flag first so that after one worker observes
     // an expired budget the others stop claiming without re-reading the
     // clock themselves.
     if (Stopped.load(std::memory_order_acquire))
-      return;
+      break;
     if (CurStop && *CurStop && (*CurStop)()) {
       Stopped.store(true, std::memory_order_release);
-      return;
+      break;
     }
     // Claim-then-run: a handed-out index always executes, so the executed
     // set is a contiguous prefix of [0, Count) whatever the interleaving.
     size_t I = Next.fetch_add(1, std::memory_order_relaxed);
     if (I >= CurCount)
-      return;
-    (*CurBody)(I);
+      break;
+    ++Claims;
+    if (ClaimsC)
+      ClaimsC->add(1, Worker);
+    if (Timing) {
+      int64_t T0 = monoUs();
+      if (QueueWaitH)
+        QueueWaitH->observe(static_cast<double>(T0 - BatchStartUs));
+      (*CurBody)(I);
+      if (BusyUsG)
+        BusyUsG->add(static_cast<double>(monoUs() - T0));
+    } else {
+      (*CurBody)(I);
+    }
   }
+  WorkerSpan.arg("claims", Claims);
+  TlsWorker = 0;
 }
 
-void ExecPool::workerMain() {
+void ExecPool::workerMain(unsigned Worker) {
   uint64_t SeenGen = 0;
   for (;;) {
     {
@@ -61,7 +115,7 @@ void ExecPool::workerMain() {
         return;
       SeenGen = Generation;
     }
-    claimLoop();
+    claimLoop(Worker);
     {
       std::lock_guard<std::mutex> L(Mu);
       if (--Busy == 0)
@@ -73,14 +127,32 @@ void ExecPool::workerMain() {
 size_t ExecPool::runOrdered(size_t Count,
                             const std::function<void(size_t)> &Body,
                             const std::function<bool()> &ShouldStop) {
+  OBS_COUNT(BatchesC, 1);
+  const bool Timing = BusyUsG || WallUsG || QueueWaitH;
+  int64_t WallT0 = Timing ? monoUs() : 0;
+  BatchStartUs = WallT0;
   if (Workers.empty()) {
     // Jobs == 1: the plain sequential loop, byte-for-byte the shape the
-    // pre-pool synthesizer ran.
+    // pre-pool synthesizer ran (plus at most a clock read per iteration
+    // when timing sinks are attached).
     size_t I = 0;
     for (; I != Count; ++I) {
       if (ShouldStop && ShouldStop())
         break;
+      if (ClaimsC)
+        ClaimsC->add(1);
+      if (QueueWaitH)
+        QueueWaitH->observe(static_cast<double>(monoUs() - WallT0));
       Body(I);
+    }
+    OBS_COUNT(CancelledC, Count - I);
+    if (Timing) {
+      double Wall = static_cast<double>(monoUs() - WallT0);
+      if (WallUsG)
+        WallUsG->add(Wall);
+      // Sequentially, the caller is busy for the whole batch.
+      if (BusyUsG)
+        BusyUsG->add(Wall);
     }
     return I;
   }
@@ -96,15 +168,19 @@ size_t ExecPool::runOrdered(size_t Count,
     ++Generation;
   }
   WorkCv.notify_all();
-  claimLoop(); // The caller is a worker too.
+  claimLoop(0); // The caller is a worker too.
   {
     std::unique_lock<std::mutex> L(Mu);
     DoneCv.wait(L, [&] { return Busy == 0; });
     CurBody = nullptr;
     CurStop = nullptr;
   }
+  if (WallUsG)
+    WallUsG->add(static_cast<double>(monoUs() - WallT0));
   // Every claim below Count ran; claims are consecutive, so the executed
   // prefix ends at the final counter value (workers overshoot past Count
   // or past the stop point, never below it).
-  return std::min(Next.load(std::memory_order_relaxed), Count);
+  size_t Cut = std::min(Next.load(std::memory_order_relaxed), Count);
+  OBS_COUNT(CancelledC, Count - Cut);
+  return Cut;
 }

@@ -30,12 +30,26 @@
 #include <thread>
 #include <vector>
 
+namespace dfence::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class TraceSink;
+struct ObsContext;
+} // namespace dfence::obs
+
 namespace dfence::exec {
 
 /// Resolves a jobs request to a concrete worker count: 0 means "use the
 /// hardware" (std::thread::hardware_concurrency, at least 1), any other
 /// value is taken as-is.
 unsigned resolveJobs(unsigned Requested);
+
+/// Index of the pool worker executing the current thread: 0 for the
+/// runOrdered caller (and for any thread never owned by a pool), 1..N-1
+/// for spawned workers. Thread-local; valid inside Body callbacks, where
+/// instrumentation uses it as the trace tid and the counter shard.
+unsigned currentWorker();
 
 /// A fixed-size pool of reusable worker threads executing indexed batches.
 class ExecPool {
@@ -52,6 +66,14 @@ public:
   /// Total parallelism, including the calling thread.
   unsigned jobs() const { return NumJobs; }
 
+  /// Attaches (or detaches, with null) an observability context. Metric
+  /// handles are resolved once here so the claim loop pays only a null
+  /// check per event. The context must outlive the pool or the next
+  /// setObs call. The claim counter is jobs-invariant (claims == the
+  /// executed prefix); queue-wait / busy-time observations are wall-clock
+  /// and live in gauges and histograms only.
+  void setObs(const obs::ObsContext *O);
+
   /// Runs \p Body(I) for indices claimed in increasing order from
   /// [0, Count) across all workers (the caller participates). When
   /// \p ShouldStop is non-null it is consulted before every claim; once
@@ -64,11 +86,21 @@ public:
                     const std::function<bool()> &ShouldStop = nullptr);
 
 private:
-  void workerMain();
-  void claimLoop();
+  void workerMain(unsigned Worker);
+  void claimLoop(unsigned Worker);
 
   unsigned NumJobs = 1;
   std::vector<std::thread> Workers; ///< NumJobs - 1 threads.
+
+  // Pre-resolved observability handles (all null when obs is off).
+  obs::Counter *ClaimsC = nullptr;    ///< exec_pool_claims_total
+  obs::Counter *BatchesC = nullptr;   ///< exec_pool_batches_total
+  obs::Counter *CancelledC = nullptr; ///< exec_pool_cancelled_total
+  obs::Gauge *BusyUsG = nullptr;      ///< exec_pool_busy_us (accumulated)
+  obs::Gauge *WallUsG = nullptr;      ///< exec_pool_wall_us (accumulated)
+  obs::Histogram *QueueWaitH = nullptr; ///< exec_pool_queue_wait_us
+  obs::TraceSink *Trace = nullptr;
+  int64_t BatchStartUs = 0; ///< Trace timestamp of the current batch.
 
   std::mutex Mu;
   std::condition_variable WorkCv; ///< Wakes workers for a new batch.

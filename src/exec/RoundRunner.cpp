@@ -2,6 +2,8 @@
 
 #include "exec/RoundRunner.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 
 using namespace dfence;
@@ -12,7 +14,9 @@ RoundResult exec::runRound(ExecPool &Pool, const ir::Module &M,
                            const RoundPlan &Plan,
                            const harness::ExecPolicy &Policy,
                            const ViolationCheck &Check,
-                           const std::function<bool()> &Stop) {
+                           const std::function<bool()> &Stop,
+                           const obs::ObsContext *Obs) {
+  obs::TraceSink *Trace = obs::traceOrNull(Obs);
   RoundResult RR;
   RR.Slots.resize(Plan.Slots.size());
   RR.Ran = Pool.runOrdered(
@@ -21,6 +25,7 @@ RoundResult exec::runRound(ExecPool &Pool, const ir::Module &M,
         const ExecPlan &P = Plan.Slots[I];
         assert(P.ClientIdx < Clients.size());
         RoundSlot &S = RR.Slots[I];
+        OBS_SPAN(SlotSpan, Trace, "slot", "exec", currentWorker());
         S.SE = harness::runSupervised(M, Clients[P.ClientIdx], P.EC,
                                       Policy);
         // Discarded executions are counted, never judged; everything else
@@ -28,6 +33,17 @@ RoundResult exec::runRound(ExecPool &Pool, const ir::Module &M,
         // runs off the merge thread.
         if (!S.SE.Discarded && Check)
           S.Violation = Check(S.SE.Result);
+        if (Trace) {
+          SlotSpan.arg("index", static_cast<uint64_t>(I));
+          SlotSpan.arg("seed", P.EC.Seed);
+          SlotSpan.arg("outcome",
+                       std::string(vm::outcomeName(S.SE.Result.Out)));
+          SlotSpan.arg("steps",
+                       static_cast<uint64_t>(S.SE.Result.Steps));
+          SlotSpan.arg("attempts", static_cast<uint64_t>(S.SE.Attempts));
+          if (!S.Violation.empty())
+            SlotSpan.arg("violation", S.Violation);
+        }
       },
       Stop);
   return RR;

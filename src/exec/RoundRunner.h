@@ -69,13 +69,17 @@ using ViolationCheck = std::function<std::string(const vm::ExecResult &)>;
 
 /// Runs \p Plan against \p M (read-only for the whole round) on \p Pool.
 /// \p Stop may be null; when it fires, not-yet-started slots are
-/// cancelled and the result is the executed prefix.
+/// cancelled and the result is the executed prefix. When \p Obs carries a
+/// trace sink, every slot emits a "slot" span on its worker's trace track
+/// (tid = currentWorker()) with the slot index, seed, outcome and retry
+/// count as args.
 RoundResult runRound(ExecPool &Pool, const ir::Module &M,
                      const std::vector<vm::Client> &Clients,
                      const RoundPlan &Plan,
                      const harness::ExecPolicy &Policy,
                      const ViolationCheck &Check,
-                     const std::function<bool()> &Stop = nullptr);
+                     const std::function<bool()> &Stop = nullptr,
+                     const obs::ObsContext *Obs = nullptr);
 
 } // namespace dfence::exec
 

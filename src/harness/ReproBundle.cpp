@@ -171,6 +171,8 @@ Json ReproBundle::toJson() const {
     TraceJ.push(Json::string(actionText(A)));
   J.set("trace", std::move(TraceJ));
   J.set("module", Json::string(ModuleText));
+  if (!Metrics.isNull())
+    J.set("metrics", Metrics);
   return J;
 }
 
@@ -232,6 +234,8 @@ std::optional<ReproBundle> ReproBundle::fromJson(const Json &J,
     return std::nullopt;
   }
   B.ModuleText = Mod->asString();
+  if (const Json *Met = J.find("metrics"))
+    B.Metrics = *Met;
   return B;
 }
 

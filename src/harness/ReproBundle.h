@@ -54,6 +54,12 @@ struct ReproBundle {
   std::string SpecName;
   std::string SeqSpecName;
 
+  /// Optional metrics snapshot of the run that captured this bundle (the
+  /// registry's deterministic counter subset, stamped by the synthesizer
+  /// when observability is on). Opaque to the harness; omitted from the
+  /// serialized form when null.
+  Json Metrics;
+
   Json toJson() const;
   static std::optional<ReproBundle> fromJson(const Json &J,
                                              std::string &Error);

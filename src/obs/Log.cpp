@@ -1,0 +1,60 @@
+//===- Log.cpp - Structured logger ----------------------------------------===//
+
+#include "obs/Log.h"
+
+#include "support/Json.h"
+
+using namespace dfence;
+using namespace dfence::obs;
+
+const char *obs::logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug: return "debug";
+  case LogLevel::Info:  return "info";
+  case LogLevel::Warn:  return "warn";
+  case LogLevel::Error: return "error";
+  case LogLevel::Off:   return "off";
+  }
+  return "unknown";
+}
+
+std::optional<LogLevel> obs::logLevelByName(const std::string &S) {
+  for (LogLevel L : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                     LogLevel::Error, LogLevel::Off})
+    if (S == logLevelName(L))
+      return L;
+  return std::nullopt;
+}
+
+void Logger::log(LogLevel L, const char *Component,
+                 const std::string &Message, std::vector<LogField> Fields) {
+  if (!enabled(L))
+    return;
+  std::string Line;
+  if (JsonLines) {
+    Json J = Json::object();
+    J.set("level", Json::string(logLevelName(L)));
+    J.set("component", Json::string(Component));
+    J.set("msg", Json::string(Message));
+    for (const LogField &F : Fields)
+      J.set(F.first, Json::string(F.second));
+    Line = J.dump();
+  } else {
+    Line = "[";
+    Line += logLevelName(L);
+    Line += "] ";
+    Line += Component;
+    Line += ": ";
+    Line += Message;
+    for (const LogField &F : Fields) {
+      Line += " ";
+      Line += F.first;
+      Line += "=";
+      Line += F.second;
+    }
+  }
+  Line += "\n";
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::fwrite(Line.data(), 1, Line.size(), Out);
+  std::fflush(Out);
+}

@@ -1,0 +1,74 @@
+//===- Log.h - Structured logger --------------------------------*- C++ -*-===//
+//
+// The engine's one logging channel, replacing ad-hoc stderr prints. Two
+// output shapes behind one call site: human-readable single lines
+// (`[warn] synth: degraded reason=...`) and machine-readable JSON lines
+// (`--log-json`), one object per event, safe to feed a log pipeline.
+// Level filtering happens before any formatting work; a disabled level
+// costs one branch.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_OBS_LOG_H
+#define DFENCE_OBS_LOG_H
+
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dfence::obs {
+
+enum class LogLevel : uint8_t { Debug = 0, Info, Warn, Error, Off };
+
+const char *logLevelName(LogLevel L);
+/// Parses "debug" / "info" / "warn" / "error" / "off".
+std::optional<LogLevel> logLevelByName(const std::string &S);
+
+/// One key=value pair attached to a log event.
+using LogField = std::pair<std::string, std::string>;
+
+class Logger {
+public:
+  explicit Logger(LogLevel Level = LogLevel::Warn, bool JsonLines = false,
+                  FILE *Out = stderr)
+      : Level(Level), JsonLines(JsonLines), Out(Out) {}
+
+  bool enabled(LogLevel L) const { return L >= Level && L != LogLevel::Off; }
+  LogLevel level() const { return Level; }
+
+  /// Emits one event. \p Component names the engine layer ("synth",
+  /// "harness", "cli", ...). Thread-safe; one write per event so lines
+  /// never interleave.
+  void log(LogLevel L, const char *Component, const std::string &Message,
+           std::vector<LogField> Fields = {});
+
+  void debug(const char *C, const std::string &M,
+             std::vector<LogField> F = {}) {
+    log(LogLevel::Debug, C, M, std::move(F));
+  }
+  void info(const char *C, const std::string &M,
+            std::vector<LogField> F = {}) {
+    log(LogLevel::Info, C, M, std::move(F));
+  }
+  void warn(const char *C, const std::string &M,
+            std::vector<LogField> F = {}) {
+    log(LogLevel::Warn, C, M, std::move(F));
+  }
+  void error(const char *C, const std::string &M,
+             std::vector<LogField> F = {}) {
+    log(LogLevel::Error, C, M, std::move(F));
+  }
+
+private:
+  LogLevel Level;
+  bool JsonLines;
+  FILE *Out;
+  std::mutex Mu;
+};
+
+} // namespace dfence::obs
+
+#endif // DFENCE_OBS_LOG_H

@@ -1,0 +1,268 @@
+//===- Metrics.cpp - Sharded metrics registry -----------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace dfence;
+using namespace dfence::obs;
+
+const char *obs::metricKindName(MetricKind K) {
+  switch (K) {
+  case MetricKind::Counter:   return "counter";
+  case MetricKind::Gauge:     return "gauge";
+  case MetricKind::Histogram: return "histogram";
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+static uint64_t packDouble(double V) {
+  uint64_t B;
+  __builtin_memcpy(&B, &V, sizeof(B));
+  return B;
+}
+
+static double unpackDouble(uint64_t B) {
+  double V;
+  __builtin_memcpy(&V, &B, sizeof(V));
+  return V;
+}
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)),
+      Buckets(new std::atomic<uint64_t>[Bounds.size() + 1]),
+      MinBits(packDouble(std::numeric_limits<double>::infinity())),
+      MaxBits(packDouble(-std::numeric_limits<double>::infinity())) {
+  for (size_t I = 0; I != Bounds.size() + 1; ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::defaultTimeBoundsUs() {
+  std::vector<double> B;
+  for (double V = 1.0; V <= 16.0 * 1000 * 1000; V *= 2)
+    B.push_back(V); // 1us, 2us, ... ~16.8s (25 buckets).
+  return B;
+}
+
+void Histogram::observe(double V) {
+  size_t I = static_cast<size_t>(
+      std::lower_bound(Bounds.begin(), Bounds.end(), V) - Bounds.begin());
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  Sum.add(V);
+  uint64_t Cur = MinBits.load(std::memory_order_relaxed);
+  while (V < unpackDouble(Cur) &&
+         !MinBits.compare_exchange_weak(Cur, packDouble(V),
+                                        std::memory_order_relaxed))
+    ;
+  Cur = MaxBits.load(std::memory_order_relaxed);
+  while (V > unpackDouble(Cur) &&
+         !MaxBits.compare_exchange_weak(Cur, packDouble(V),
+                                        std::memory_order_relaxed))
+    ;
+}
+
+double Histogram::minimum() const {
+  double V = unpackDouble(MinBits.load(std::memory_order_relaxed));
+  return std::isinf(V) ? 0.0 : V;
+}
+
+double Histogram::maximum() const {
+  double V = unpackDouble(MaxBits.load(std::memory_order_relaxed));
+  return std::isinf(V) ? 0.0 : V;
+}
+
+double Histogram::percentile(double Q) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0.0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  double Target = Q * static_cast<double>(Total);
+  uint64_t Cum = 0;
+  for (size_t I = 0; I != numBuckets(); ++I) {
+    uint64_t C = bucketCount(I);
+    if (C == 0)
+      continue;
+    if (static_cast<double>(Cum + C) >= Target) {
+      // Interpolate inside [Lo, Hi); the overflow bucket reports the
+      // observed maximum (no finite upper edge to interpolate toward).
+      if (I >= Bounds.size())
+        return maximum();
+      double Lo = I == 0 ? 0.0 : Bounds[I - 1];
+      double Hi = Bounds[I];
+      double Frac = (Target - static_cast<double>(Cum)) /
+                    static_cast<double>(C);
+      return Lo + (Hi - Lo) * std::min(1.0, std::max(0.0, Frac));
+    }
+    Cum += C;
+  }
+  return maximum();
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+template <class T>
+T &Registry::findOrCreate(
+    std::vector<std::pair<std::string, std::unique_ptr<T>>> &Vec,
+    const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  for (auto &[N, P] : Vec)
+    if (N == Name)
+      return *P;
+  Vec.emplace_back(Name, std::make_unique<T>());
+  return *Vec.back().second;
+}
+
+// Histogram has no default constructor; specialize creation.
+template <>
+Histogram &Registry::findOrCreate<Histogram>(
+    std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> &Vec,
+    const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  for (auto &[N, P] : Vec)
+    if (N == Name)
+      return *P;
+  Vec.emplace_back(Name, std::make_unique<Histogram>(
+                             Histogram::defaultTimeBoundsUs()));
+  return *Vec.back().second;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  return findOrCreate(Counters, Name);
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  return findOrCreate(Gauges, Name);
+}
+
+Histogram &Registry::histogram(const std::string &Name,
+                               std::vector<double> UpperBounds) {
+  std::lock_guard<std::mutex> L(Mu);
+  for (auto &[N, P] : Histograms)
+    if (N == Name)
+      return *P;
+  if (UpperBounds.empty())
+    UpperBounds = Histogram::defaultTimeBoundsUs();
+  Histograms.emplace_back(Name,
+                          std::make_unique<Histogram>(
+                              std::move(UpperBounds)));
+  return *Histograms.back().second;
+}
+
+namespace {
+
+template <class T>
+std::vector<std::pair<std::string, const T *>>
+sortedView(const std::vector<std::pair<std::string, std::unique_ptr<T>>>
+               &Vec) {
+  std::vector<std::pair<std::string, const T *>> Out;
+  Out.reserve(Vec.size());
+  for (const auto &[N, P] : Vec)
+    Out.emplace_back(N, P.get());
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Out;
+}
+
+Json histogramJson(const Histogram &H) {
+  Json J = Json::object();
+  J.set("count", Json::number(H.count()));
+  J.set("sum", Json::number(H.sum()));
+  J.set("min", Json::number(H.minimum()));
+  J.set("max", Json::number(H.maximum()));
+  J.set("p50", Json::number(H.percentile(0.5)));
+  J.set("p95", Json::number(H.percentile(0.95)));
+  J.set("p99", Json::number(H.percentile(0.99)));
+  Json Buckets = Json::array();
+  for (size_t I = 0; I != H.numBuckets(); ++I) {
+    // Skip empty buckets: the default time scale has 26 of them and the
+    // dump should stay readable.
+    if (H.bucketCount(I) == 0)
+      continue;
+    Json B = Json::object();
+    if (I < H.bounds().size())
+      B.set("le", Json::number(H.bounds()[I]));
+    else
+      B.set("le", Json::string("+inf"));
+    B.set("count", Json::number(H.bucketCount(I)));
+    Buckets.push(std::move(B));
+  }
+  J.set("buckets", std::move(Buckets));
+  return J;
+}
+
+} // namespace
+
+Json Registry::countersJson() const {
+  Json Doc = Json::object();
+  Json C = Json::object();
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    for (const auto &[Name, Ptr] : sortedView(Counters))
+      C.set(Name, Json::number(Ptr->value()));
+  }
+  Doc.set("counters", std::move(C));
+  return Doc;
+}
+
+Json Registry::toJson() const {
+  Json Doc = Json::object();
+  Doc.set("schema", Json::string("dfence-metrics-v1"));
+  std::lock_guard<std::mutex> L(Mu);
+  Json C = Json::object();
+  for (const auto &[Name, Ptr] : sortedView(Counters))
+    C.set(Name, Json::number(Ptr->value()));
+  Doc.set("counters", std::move(C));
+  Json G = Json::object();
+  for (const auto &[Name, Ptr] : sortedView(Gauges))
+    G.set(Name, Json::number(Ptr->value()));
+  Doc.set("gauges", std::move(G));
+  Json H = Json::object();
+  for (const auto &[Name, Ptr] : sortedView(Histograms))
+    H.set(Name, histogramJson(*Ptr));
+  Doc.set("histograms", std::move(H));
+  return Doc;
+}
+
+std::string Registry::toPrometheus() const {
+  std::string Out;
+  std::lock_guard<std::mutex> L(Mu);
+  for (const auto &[Name, Ptr] : sortedView(Counters)) {
+    Out += strformat("# TYPE dfence_%s counter\n", Name.c_str());
+    Out += strformat("dfence_%s %llu\n", Name.c_str(),
+                     static_cast<unsigned long long>(Ptr->value()));
+  }
+  for (const auto &[Name, Ptr] : sortedView(Gauges)) {
+    Out += strformat("# TYPE dfence_%s gauge\n", Name.c_str());
+    Out += strformat("dfence_%s %g\n", Name.c_str(), Ptr->value());
+  }
+  for (const auto &[Name, Ptr] : sortedView(Histograms)) {
+    Out += strformat("# TYPE dfence_%s histogram\n", Name.c_str());
+    uint64_t Cum = 0;
+    for (size_t I = 0; I != Ptr->numBuckets(); ++I) {
+      Cum += Ptr->bucketCount(I);
+      if (I < Ptr->bounds().size())
+        Out += strformat("dfence_%s_bucket{le=\"%g\"} %llu\n",
+                         Name.c_str(), Ptr->bounds()[I],
+                         static_cast<unsigned long long>(Cum));
+      else
+        Out += strformat("dfence_%s_bucket{le=\"+Inf\"} %llu\n",
+                         Name.c_str(),
+                         static_cast<unsigned long long>(Cum));
+    }
+    Out += strformat("dfence_%s_sum %g\n", Name.c_str(), Ptr->sum());
+    Out += strformat("dfence_%s_count %llu\n", Name.c_str(),
+                     static_cast<unsigned long long>(Ptr->count()));
+  }
+  return Out;
+}

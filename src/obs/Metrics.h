@@ -1,0 +1,185 @@
+//===- Metrics.h - Sharded metrics registry ---------------------*- C++ -*-===//
+//
+// The quantitative backbone of the observability layer (src/obs/): named
+// counters, gauges and histograms collected while synthesis runs and
+// exported as JSON or Prometheus-style text (`dfence --metrics-out`).
+//
+// Determinism contract: counters are the *only* metric class compared
+// across `--jobs` widths. Every counter the engine maintains is either
+// incremented on the merge thread while folding per-execution results in
+// execution-index order, or counts events whose multiset is identical at
+// any worker count (e.g. pool claims, which always cover the executed
+// prefix [0, Ran)). Counter increments use lock-free per-worker shards
+// (cache-line padded, relaxed atomics); the merged value reads shards in
+// fixed shard-index order and integer addition is commutative, so the
+// exported number is bit-identical however work was distributed. Gauges
+// and histograms may hold wall-clock observations and are excluded from
+// cross-jobs comparison (`Registry::countersJson` is the deterministic
+// subset).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_OBS_METRICS_H
+#define DFENCE_OBS_METRICS_H
+
+#include "support/Json.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dfence::obs {
+
+enum class MetricKind : uint8_t { Counter, Gauge, Histogram };
+
+const char *metricKindName(MetricKind K);
+
+/// A monotonically increasing event count. Thread-safe and lock-free:
+/// callers on distinct workers should pass distinct \p Shard indices so
+/// hot increments never contend on one cache line.
+class Counter {
+public:
+  static constexpr unsigned NumShards = 32;
+
+  void add(uint64_t N = 1, unsigned Shard = 0) {
+    Shards[Shard % NumShards].V.fetch_add(N, std::memory_order_relaxed);
+  }
+
+  /// Merged value: shards summed in shard-index order.
+  uint64_t value() const {
+    uint64_t Sum = 0;
+    for (unsigned I = 0; I != NumShards; ++I)
+      Sum += Shards[I].V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+private:
+  struct alignas(64) PaddedU64 {
+    std::atomic<uint64_t> V{0};
+  };
+  PaddedU64 Shards[NumShards];
+};
+
+/// A last-write-wins (or accumulated / max-tracked) double value. Used
+/// for wall-clock aggregates and high-water marks; never part of the
+/// deterministic counter subset.
+class Gauge {
+public:
+  void set(double V) { Bits.store(pack(V), std::memory_order_relaxed); }
+
+  void add(double Delta) {
+    uint64_t Cur = Bits.load(std::memory_order_relaxed);
+    while (!Bits.compare_exchange_weak(Cur, pack(unpack(Cur) + Delta),
+                                       std::memory_order_relaxed))
+      ;
+  }
+
+  /// Raises the gauge to \p V when larger (high-water semantics).
+  void max(double V) {
+    uint64_t Cur = Bits.load(std::memory_order_relaxed);
+    while (unpack(Cur) < V &&
+           !Bits.compare_exchange_weak(Cur, pack(V),
+                                       std::memory_order_relaxed))
+      ;
+  }
+
+  double value() const {
+    return unpack(Bits.load(std::memory_order_relaxed));
+  }
+
+private:
+  static uint64_t pack(double V) {
+    uint64_t B;
+    static_assert(sizeof(B) == sizeof(V));
+    __builtin_memcpy(&B, &V, sizeof(B));
+    return B;
+  }
+  static double unpack(uint64_t B) {
+    double V;
+    __builtin_memcpy(&V, &B, sizeof(V));
+    return V;
+  }
+
+  std::atomic<uint64_t> Bits{pack(0.0)};
+};
+
+/// A fixed-bucket histogram (upper-bound edges plus an overflow bucket).
+/// Bucket counts are relaxed atomics, so concurrent observe() calls are
+/// race-free; count/sum/min/max ride along for summary export.
+class Histogram {
+public:
+  /// \p UpperBounds must be strictly increasing; an implicit +inf
+  /// overflow bucket is appended.
+  explicit Histogram(std::vector<double> UpperBounds);
+
+  /// Exponential 1us .. ~16s bounds — the default for duration metrics.
+  static std::vector<double> defaultTimeBoundsUs();
+
+  void observe(double V);
+
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  double sum() const { return Sum.value(); }
+  double minimum() const;
+  double maximum() const;
+
+  const std::vector<double> &bounds() const { return Bounds; }
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  size_t numBuckets() const { return Bounds.size() + 1; }
+
+  /// Approximate quantile (\p Q in [0,1]) by linear interpolation inside
+  /// the containing bucket; returns 0 when empty.
+  double percentile(double Q) const;
+
+private:
+  std::vector<double> Bounds;
+  std::unique_ptr<std::atomic<uint64_t>[]> Buckets;
+  std::atomic<uint64_t> N{0};
+  Gauge Sum;
+  std::atomic<uint64_t> MinBits;
+  std::atomic<uint64_t> MaxBits;
+};
+
+/// The process-wide (or per-run) metric namespace. Registration is
+/// mutex-guarded and idempotent by name; hot paths resolve a metric once
+/// and keep the pointer (entries are never invalidated while the
+/// registry lives). Exports list metrics in sorted-name order so dumps
+/// diff cleanly.
+class Registry {
+public:
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  /// Creates with \p UpperBounds on first use (defaultTimeBoundsUs when
+  /// empty); later calls ignore the bounds argument.
+  Histogram &histogram(const std::string &Name,
+                       std::vector<double> UpperBounds = {});
+
+  /// Full export: {"schema", "counters", "gauges", "histograms"}.
+  Json toJson() const;
+  /// The deterministic subset: {"counters": {name: value, ...}} with
+  /// names sorted. Bit-identical across --jobs widths by construction.
+  Json countersJson() const;
+  /// Prometheus text exposition (dfence_ prefix, TYPE comments,
+  /// histogram bucket/sum/count series).
+  std::string toPrometheus() const;
+
+private:
+  template <class T>
+  T &findOrCreate(std::vector<std::pair<std::string, std::unique_ptr<T>>>
+                      &Vec,
+                  const std::string &Name);
+
+  mutable std::mutex Mu;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> Counters;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> Gauges;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>>
+      Histograms;
+};
+
+} // namespace dfence::obs
+
+#endif // DFENCE_OBS_METRICS_H

@@ -1,0 +1,113 @@
+//===- Trace.cpp - Chrome trace-event span tracer -------------------------===//
+
+#include "obs/Trace.h"
+
+#include <fstream>
+
+using namespace dfence;
+using namespace dfence::obs;
+
+void TraceSink::complete(std::string Name, std::string Cat, uint32_t Tid,
+                         uint64_t StartUs, uint64_t DurUs, Json Args) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = std::move(Cat);
+  E.Phase = 'X';
+  E.Tid = Tid;
+  E.TsUs = StartUs;
+  E.DurUs = DurUs;
+  E.Args = std::move(Args);
+  std::lock_guard<std::mutex> L(Mu);
+  Events.push_back(std::move(E));
+}
+
+void TraceSink::instant(std::string Name, std::string Cat, uint32_t Tid,
+                        Json Args) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = std::move(Cat);
+  E.Phase = 'i';
+  E.Tid = Tid;
+  E.TsUs = nowUs();
+  E.Args = std::move(Args);
+  std::lock_guard<std::mutex> L(Mu);
+  Events.push_back(std::move(E));
+}
+
+void TraceSink::setThreadName(uint32_t Tid, std::string Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  for (auto &[T, N] : ThreadNames)
+    if (T == Tid) {
+      N = std::move(Name);
+      return;
+    }
+  ThreadNames.emplace_back(Tid, std::move(Name));
+}
+
+size_t TraceSink::eventCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Events.size();
+}
+
+Json TraceSink::toJson() const {
+  Json Doc = Json::object();
+  Json Arr = Json::array();
+  std::lock_guard<std::mutex> L(Mu);
+  // Process metadata first so viewers label the single dfence process.
+  {
+    Json Meta = Json::object();
+    Meta.set("name", Json::string("process_name"));
+    Meta.set("ph", Json::string("M"));
+    Meta.set("pid", Json::number(uint64_t(1)));
+    Meta.set("tid", Json::number(uint64_t(0)));
+    Json Args = Json::object();
+    Args.set("name", Json::string("dfence"));
+    Meta.set("args", std::move(Args));
+    Arr.push(std::move(Meta));
+  }
+  for (const auto &[Tid, Name] : ThreadNames) {
+    Json Meta = Json::object();
+    Meta.set("name", Json::string("thread_name"));
+    Meta.set("ph", Json::string("M"));
+    Meta.set("pid", Json::number(uint64_t(1)));
+    Meta.set("tid", Json::number(uint64_t(Tid)));
+    Json Args = Json::object();
+    Args.set("name", Json::string(Name));
+    Meta.set("args", std::move(Args));
+    Arr.push(std::move(Meta));
+  }
+  for (const TraceEvent &E : Events) {
+    Json J = Json::object();
+    J.set("name", Json::string(E.Name));
+    J.set("cat", Json::string(E.Cat));
+    J.set("ph", Json::string(std::string(1, E.Phase)));
+    J.set("pid", Json::number(uint64_t(1)));
+    J.set("tid", Json::number(uint64_t(E.Tid)));
+    J.set("ts", Json::number(E.TsUs));
+    if (E.Phase == 'X')
+      J.set("dur", Json::number(E.DurUs));
+    if (E.Phase == 'i')
+      J.set("s", Json::string("t")); // Thread-scoped instant.
+    if (E.Args.isObject())
+      J.set("args", E.Args);
+    Arr.push(std::move(J));
+  }
+  Doc.set("traceEvents", std::move(Arr));
+  Doc.set("displayTimeUnit", Json::string("ms"));
+  return Doc;
+}
+
+bool TraceSink::saveFile(const std::string &Path,
+                         std::string &Error) const {
+  std::ofstream Out(Path);
+  if (!Out) {
+    Error = "cannot open " + Path + " for writing";
+    return false;
+  }
+  Out << toJson().dump() << "\n";
+  if (!Out.good()) {
+    Error = "write to " + Path + " failed";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,136 @@
+//===- Trace.h - Chrome trace-event span tracer -----------------*- C++ -*-===//
+//
+// Collects timing spans while the engine runs and serializes them as
+// Chrome trace-event JSON (the `{"traceEvents": [...]}` format), loadable
+// in chrome://tracing and Perfetto (`dfence --trace-out FILE`). The span
+// hierarchy mirrors the engine's layers:
+//
+//   synthesize                         (tid 0, the merge thread)
+//     round                            one per synthesis round
+//       slot                           one per execution, on its worker's
+//                                      tid (queue position = args.index)
+//       fold                           deterministic index-order merge
+//       sat_solve                      repair formula -> minimal model
+//       enforce                        fence insertion + merging
+//
+// Timestamps are microseconds from the sink's construction (Chrome's
+// expected unit); events are appended under a mutex — tracing is opt-in,
+// and the event rate is per-execution/per-round, never per-VM-step, so
+// contention stays negligible next to interpreter work.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_OBS_TRACE_H
+#define DFENCE_OBS_TRACE_H
+
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dfence::obs {
+
+/// One recorded trace event (complete span or instant).
+struct TraceEvent {
+  std::string Name;
+  std::string Cat;
+  char Phase = 'X';     ///< 'X' complete, 'i' instant.
+  uint32_t Tid = 0;
+  uint64_t TsUs = 0;    ///< Start, microseconds since sink epoch.
+  uint64_t DurUs = 0;   ///< Duration ('X' only).
+  Json Args;            ///< Object or null.
+};
+
+class TraceSink {
+public:
+  TraceSink() : Epoch(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since the sink was created.
+  uint64_t nowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  void complete(std::string Name, std::string Cat, uint32_t Tid,
+                uint64_t StartUs, uint64_t DurUs, Json Args = Json());
+  void instant(std::string Name, std::string Cat, uint32_t Tid,
+               Json Args = Json());
+  /// Names thread \p Tid in the trace viewer ("merge", "worker-3", ...).
+  void setThreadName(uint32_t Tid, std::string Name);
+
+  size_t eventCount() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} plus thread-name
+  /// metadata events.
+  Json toJson() const;
+  bool saveFile(const std::string &Path, std::string &Error) const;
+
+private:
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mu;
+  std::vector<TraceEvent> Events;
+  std::vector<std::pair<uint32_t, std::string>> ThreadNames;
+};
+
+/// RAII span. Null-sink safe: with a null sink the constructor is a
+/// single branch and no clock is read — the compiled cost of a disabled
+/// OBS_SPAN site. Args attach lazily and are emitted with the closing
+/// event.
+class Span {
+public:
+  Span(TraceSink *S, const char *Name, const char *Cat, uint32_t Tid = 0)
+      : S(S), Name(Name), Cat(Cat), Tid(Tid) {
+    if (S)
+      StartUs = S->nowUs();
+  }
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+  ~Span() { end(); }
+
+  void arg(const char *Key, uint64_t V) {
+    if (S)
+      args().set(Key, Json::number(V));
+  }
+  void arg(const char *Key, double V) {
+    if (S)
+      args().set(Key, Json::number(V));
+  }
+  void arg(const char *Key, const std::string &V) {
+    if (S)
+      args().set(Key, Json::string(V));
+  }
+
+  /// Emits the complete event now (idempotent; the destructor is a no-op
+  /// afterwards).
+  void end() {
+    if (!S)
+      return;
+    S->complete(Name, Cat, Tid, StartUs, S->nowUs() - StartUs,
+                std::move(Args));
+    S = nullptr;
+  }
+
+private:
+  Json &args() {
+    if (!Args.isObject())
+      Args = Json::object();
+    return Args;
+  }
+
+  TraceSink *S;
+  const char *Name;
+  const char *Cat;
+  uint32_t Tid;
+  uint64_t StartUs = 0;
+  Json Args;
+};
+
+} // namespace dfence::obs
+
+#endif // DFENCE_OBS_TRACE_H

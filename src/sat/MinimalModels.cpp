@@ -41,9 +41,25 @@ void minimizeModel(const MonotoneCnf &F, std::vector<bool> &Assign) {
 
 } // namespace
 
+namespace {
+
+void fillStats(SolveStats *Stats, const MonotoneCnf &F, const Solver &S,
+               size_t Models) {
+  if (!Stats)
+    return;
+  Stats->Vars = F.NumVars;
+  Stats->Clauses = F.Clauses.size();
+  Stats->Models = Models;
+  Stats->Conflicts = S.numConflicts();
+  Stats->Decisions = S.numDecisions();
+  Stats->Propagations = S.numPropagations();
+}
+
+} // namespace
+
 std::vector<std::vector<Var>>
 sat::enumerateMinimalModels(const MonotoneCnf &F, size_t MaxModels,
-                            bool &Unsat) {
+                            bool &Unsat, SolveStats *Stats) {
   Unsat = false;
   Solver S;
   for (unsigned V = 0; V != F.NumVars; ++V)
@@ -55,6 +71,7 @@ sat::enumerateMinimalModels(const MonotoneCnf &F, size_t MaxModels,
       Lits.push_back(Lit::pos(V));
     if (!S.addClause(std::move(Lits))) {
       Unsat = true;
+      fillStats(Stats, F, S, 0);
       return {};
     }
   }
@@ -83,12 +100,14 @@ sat::enumerateMinimalModels(const MonotoneCnf &F, size_t MaxModels,
   }
   if (Models.empty() && !S.okay())
     Unsat = true;
+  fillStats(Stats, F, S, Models.size());
   return Models;
 }
 
-std::vector<Var> sat::minimumModel(const MonotoneCnf &F, bool &Unsat) {
+std::vector<Var> sat::minimumModel(const MonotoneCnf &F, bool &Unsat,
+                                   SolveStats *Stats) {
   std::vector<std::vector<Var>> Models =
-      enumerateMinimalModels(F, /*MaxModels=*/4096, Unsat);
+      enumerateMinimalModels(F, /*MaxModels=*/4096, Unsat, Stats);
   if (Models.empty())
     return {};
   auto Better = [](const std::vector<Var> &A, const std::vector<Var> &B) {

@@ -28,16 +28,31 @@ struct MonotoneCnf {
   bool isSatisfiedBy(const std::vector<bool> &Assign) const;
 };
 
+/// Solver-effort telemetry for one enumerate/minimum call, filled from the
+/// Solver's own statistics accessors. Purely observational — the results
+/// of the solve do not depend on it.
+struct SolveStats {
+  uint64_t Vars = 0;         ///< Variables of the formula.
+  uint64_t Clauses = 0;      ///< Input clauses (blocking clauses excluded).
+  uint64_t Models = 0;       ///< Minimal models enumerated.
+  uint64_t Conflicts = 0;    ///< Solver conflicts across all solve() calls.
+  uint64_t Decisions = 0;    ///< Solver decisions across all solve() calls.
+  uint64_t Propagations = 0; ///< Solver propagations across all calls.
+};
+
 /// Enumerates all inclusion-minimal models via SAT + blocking clauses
 /// (stops after \p MaxModels). Each model is the sorted set of true vars.
 /// An unsatisfiable formula (only possible with an empty clause) yields an
-/// empty result with \p Unsat set.
+/// empty result with \p Unsat set. When \p Stats is non-null it receives
+/// solver-effort telemetry for the call.
 std::vector<std::vector<Var>>
-enumerateMinimalModels(const MonotoneCnf &F, size_t MaxModels, bool &Unsat);
+enumerateMinimalModels(const MonotoneCnf &F, size_t MaxModels, bool &Unsat,
+                       SolveStats *Stats = nullptr);
 
 /// Among the minimal models, returns one of minimum cardinality
 /// (lexicographically smallest for determinism). Empty when unsat.
-std::vector<Var> minimumModel(const MonotoneCnf &F, bool &Unsat);
+std::vector<Var> minimumModel(const MonotoneCnf &F, bool &Unsat,
+                              SolveStats *Stats = nullptr);
 
 /// Independent exact minimum hitting set by branch and bound; used to
 /// cross-check the SAT-based path.

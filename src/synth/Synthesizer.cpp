@@ -5,6 +5,7 @@
 #include "exec/ExecPool.h"
 #include "exec/RoundRunner.h"
 #include "harness/Harness.h"
+#include "obs/Obs.h"
 #include "sat/MinimalModels.h"
 #include "spec/Checkers.h"
 #include "support/Diagnostics.h"
@@ -165,6 +166,55 @@ SynthResult synth::synthesize(const ir::Module &M,
   ir::Module Cur = M; // Work on a copy; labels stay stable.
   Cur.buildIndexes();
 
+  // Pre-resolved observability handles: every instrumentation site below
+  // is a branch on one of these (all null when Cfg.Obs carries no sink).
+  // Counters are only bumped here on the merge thread, in execution-index
+  // order — that is what keeps their values bit-identical at any Jobs.
+  obs::TraceSink *Trace = obs::traceOrNull(Cfg.Obs);
+  obs::Logger *Log = obs::logOrNull(Cfg.Obs);
+  obs::Counter *ExecsC = obs::counterOrNull(Cfg.Obs, "synth_executions_total");
+  obs::Counter *ViolationsC =
+      obs::counterOrNull(Cfg.Obs, "synth_violations_total");
+  obs::Counter *DiscardedC =
+      obs::counterOrNull(Cfg.Obs, "synth_discarded_total");
+  obs::Counter *RoundsC = obs::counterOrNull(Cfg.Obs, "synth_rounds_total");
+  obs::Counter *RepairRoundsC =
+      obs::counterOrNull(Cfg.Obs, "synth_repair_rounds_total");
+  obs::Counter *VmStepsC = obs::counterOrNull(Cfg.Obs, "vm_steps_total");
+  obs::Counter *VmFlushesC = obs::counterOrNull(Cfg.Obs, "vm_flushes_total");
+  obs::Counter *VmSchedStepsC =
+      obs::counterOrNull(Cfg.Obs, "vm_sched_steps_total");
+  obs::Counter *VmSchedFlushesC =
+      obs::counterOrNull(Cfg.Obs, "vm_sched_flushes_total");
+  obs::Counter *VmFwdC =
+      obs::counterOrNull(Cfg.Obs, "vm_store_forwards_total");
+  obs::Counter *VmBufStoresC =
+      obs::counterOrNull(Cfg.Obs, "vm_buffered_stores_total");
+  obs::Gauge *BufHighG = obs::gaugeOrNull(Cfg.Obs, "vm_buf_high_water");
+  obs::Counter *SatSolvesC = obs::counterOrNull(Cfg.Obs, "sat_solves_total");
+  obs::Counter *SatClausesC =
+      obs::counterOrNull(Cfg.Obs, "sat_clauses_total");
+  obs::Counter *SatModelsC = obs::counterOrNull(Cfg.Obs, "sat_models_total");
+  obs::Counter *SatConflictsC =
+      obs::counterOrNull(Cfg.Obs, "sat_conflicts_total");
+  obs::Counter *SatDecisionsC =
+      obs::counterOrNull(Cfg.Obs, "sat_decisions_total");
+  obs::Counter *SatPropsC =
+      obs::counterOrNull(Cfg.Obs, "sat_propagations_total");
+
+  OBS_SPAN(RunSpan, Trace, "synthesize", "synth", 0);
+  RunSpan.arg("model", std::string(vm::memModelName(Cfg.Model)));
+  RunSpan.arg("spec", std::string(specKindName(Cfg.Spec)));
+  RunSpan.arg("k", static_cast<uint64_t>(Cfg.ExecsPerRound));
+  RunSpan.arg("jobs", static_cast<uint64_t>(Cfg.Jobs));
+  if (Log)
+    Log->info("synth",
+              strformat("starting synthesis: model=%s spec=%s k=%u "
+                        "max-rounds=%u jobs=%u",
+                        vm::memModelName(Cfg.Model),
+                        specKindName(Cfg.Spec), Cfg.ExecsPerRound,
+                        Cfg.MaxRounds, Cfg.Jobs));
+
   harness::Supervisor Sup(Cfg.Exec);
   if (Cfg.CaptureBundles)
     Sup.enableBundleCapture(Cfg.MaxBundles);
@@ -198,6 +248,7 @@ SynthResult synth::synthesize(const ir::Module &M,
   // executions across it and merges in execution-index order, so the
   // result is bit-identical to the sequential engine at any Jobs value.
   exec::ExecPool Pool(Cfg.Jobs);
+  Pool.setObs(Cfg.Obs);
 
   unsigned RepairRounds = 0;
   unsigned CleanRounds = 0;
@@ -208,6 +259,9 @@ SynthResult synth::synthesize(const ir::Module &M,
     Stats.Round = Round;
     harness::Stopwatch RoundWatch;
     harness::Budget RoundBudget{Cfg.RoundWallMs};
+    OBS_COUNT(RoundsC, 1);
+    OBS_SPAN(RoundSpan, Trace, "round", "synth", 0);
+    RoundSpan.arg("round", static_cast<uint64_t>(Round));
 
     // One round: K executions against the current program, planned up
     // front (seed/client/flush-prob derive from the round-local index),
@@ -223,7 +277,7 @@ SynthResult synth::synthesize(const ir::Module &M,
     exec::RoundResult RR = exec::runRound(
         Pool, Cur, Clients, Plan, Cfg.Exec,
         [&Cfg](const vm::ExecResult &R) { return checkExecution(R, Cfg); },
-        StopFn);
+        StopFn, Cfg.Obs);
     // Budget expiry cancels the slots that had not started; the executed
     // prefix [0, Ran) truncates at a deterministic index boundary,
     // exactly where a sequential loop breaking on the budget would.
@@ -237,6 +291,7 @@ SynthResult synth::synthesize(const ir::Module &M,
     // implicated functions, repair formula — comes out of this loop in
     // the same order the sequential engine produced it.
     std::vector<std::vector<OrderingPredicate>> ViolationRepairs;
+    OBS_SPAN(FoldSpan, Trace, "fold", "synth", 0);
     for (size_t I = 0; I != RR.Ran; ++I) {
       const exec::ExecPlan &P = Plan.Slots[I];
       const vm::Client &Client = Clients[P.ClientIdx];
@@ -245,9 +300,19 @@ SynthResult synth::synthesize(const ir::Module &M,
       Sup.fold(Cur, Client, P.EC, SE);
       ++Result.TotalExecutions;
       ++Stats.Executions;
+      OBS_COUNT(ExecsC, 1);
+      OBS_COUNT(VmStepsC, R.Steps);
+      OBS_COUNT(VmFlushesC, R.Stats.Flushes);
+      OBS_COUNT(VmSchedStepsC, R.Stats.SchedSteps);
+      OBS_COUNT(VmSchedFlushesC, R.Stats.SchedFlushes);
+      OBS_COUNT(VmFwdC, R.Stats.StoreForwards);
+      OBS_COUNT(VmBufStoresC, R.Stats.BufferedStores);
+      if (BufHighG)
+        BufHighG->max(R.Stats.BufHighWater);
 
       if (SE.Discarded) {
         ++Result.DiscardedExecutions;
+        OBS_COUNT(DiscardedC, 1);
         continue;
       }
       const std::string &Violation = RR.Slots[I].Violation;
@@ -255,6 +320,13 @@ SynthResult synth::synthesize(const ir::Module &M,
         continue;
       ++Result.ViolatingExecutions;
       ++Stats.Violations;
+      OBS_COUNT(ViolationsC, 1);
+      if (Trace && Stats.Violations == 1) {
+        Json A = Json::object();
+        A.set("round", Json::number(static_cast<uint64_t>(Round)));
+        A.set("index", Json::number(static_cast<uint64_t>(I)));
+        Trace->instant("first_violation", "synth", 0, std::move(A));
+      }
       if (Stats.SampleViolation.empty())
         Stats.SampleViolation = Violation;
       if (Result.FirstViolation.empty())
@@ -279,6 +351,18 @@ SynthResult synth::synthesize(const ir::Module &M,
       }
       ViolationRepairs.push_back(std::move(R.Repairs));
     }
+    FoldSpan.arg("ran", static_cast<uint64_t>(RR.Ran));
+    FoldSpan.end();
+    RoundSpan.arg("executions", Stats.Executions);
+    RoundSpan.arg("violations", Stats.Violations);
+    if (Log)
+      Log->debug("synth",
+                 strformat("round %u: %llu executions, %llu violations",
+                           Round,
+                           static_cast<unsigned long long>(
+                               Stats.Executions),
+                           static_cast<unsigned long long>(
+                               Stats.Violations)));
 
     if (OutOfTime) {
       Stats.FencesEnforced =
@@ -344,7 +428,20 @@ SynthResult synth::synthesize(const ir::Module &M,
     Result.DistinctPredicates = VarPred.size();
 
     bool Unsat = false;
-    std::vector<sat::Var> Chosen = sat::minimumModel(F, Unsat);
+    sat::SolveStats SS;
+    OBS_SPAN(SatSpan, Trace, "sat_solve", "sat", 0);
+    std::vector<sat::Var> Chosen = sat::minimumModel(F, Unsat, &SS);
+    SatSpan.arg("clauses", SS.Clauses);
+    SatSpan.arg("vars", SS.Vars);
+    SatSpan.arg("models", SS.Models);
+    SatSpan.arg("conflicts", SS.Conflicts);
+    SatSpan.end();
+    OBS_COUNT(SatSolvesC, 1);
+    OBS_COUNT(SatClausesC, SS.Clauses);
+    OBS_COUNT(SatModelsC, SS.Models);
+    OBS_COUNT(SatConflictsC, SS.Conflicts);
+    OBS_COUNT(SatDecisionsC, SS.Decisions);
+    OBS_COUNT(SatPropsC, SS.Propagations);
     if (Unsat) {
       // A positive CNF with non-empty clauses is always satisfiable, so
       // this is a solver defect — degrade rather than enforce garbage.
@@ -358,12 +455,25 @@ SynthResult synth::synthesize(const ir::Module &M,
     ChosenPreds.reserve(Chosen.size());
     for (sat::Var V : Chosen)
       ChosenPreds.push_back(VarPred[V]);
-    enforcePredicates(Cur, ChosenPreds, Cfg.Mode);
-    if (Cfg.MergeFences)
-      mergeRedundantFences(Cur);
+    {
+      OBS_SPAN(EnforceSpan, Trace, "enforce", "synth", 0);
+      EnforceSpan.arg("predicates",
+                      static_cast<uint64_t>(ChosenPreds.size()));
+      enforcePredicates(Cur, ChosenPreds, Cfg.Mode);
+      if (Cfg.MergeFences)
+        mergeRedundantFences(Cur);
+    }
     ++RepairRounds;
+    OBS_COUNT(RepairRoundsC, 1);
     Stats.FencesEnforced =
         static_cast<unsigned>(collectSynthesizedFences(Cur).size());
+    RoundSpan.arg("fences", static_cast<uint64_t>(Stats.FencesEnforced));
+    if (Log)
+      Log->info("synth",
+                strformat("round %u: enforced %zu predicates "
+                          "(%u fences total after merge)",
+                          Round, ChosenPreds.size(),
+                          Stats.FencesEnforced));
     Result.RoundLog.push_back(std::move(Stats));
   }
 
@@ -388,5 +498,38 @@ SynthResult synth::synthesize(const ir::Module &M,
     Result.Status = SynthStatus::Degraded;
   else
     Result.Status = SynthStatus::Exhausted;
+
+  // End-of-run totals (added exactly once, on the merge thread) and the
+  // bundle metrics snapshot. The snapshot is the deterministic counter
+  // subset only, so captured bundles stay byte-identical at any Jobs.
+  if (Cfg.Obs && Cfg.Obs->Metrics) {
+    obs::Registry &Reg = *Cfg.Obs->Metrics;
+    Reg.counter("synth_fences_total").add(Result.Fences.size());
+    Reg.counter("synth_predicates_distinct")
+        .add(Result.DistinctPredicates);
+    Reg.counter("synth_static_fallback_fences_total")
+        .add(Result.StaticFallbackFences);
+    Reg.counter("harness_retries_total").add(Sup.stats().Retries);
+    Reg.counter("harness_discarded_total").add(Sup.stats().Discarded);
+    Reg.counter("harness_timeouts_total").add(Sup.stats().TimedOut);
+    Json Snap = Reg.countersJson();
+    for (harness::ReproBundle &B : Result.Bundles)
+      B.Metrics = Snap;
+  }
+  RunSpan.arg("status", std::string(synthStatusName(Result.Status)));
+  RunSpan.arg("rounds", static_cast<uint64_t>(Result.Rounds));
+  RunSpan.arg("fences", static_cast<uint64_t>(Result.Fences.size()));
+  if (Log) {
+    std::string Msg = strformat(
+        "%s after %u rounds: %llu executions, %llu violating, %zu fences",
+        synthStatusName(Result.Status), Result.Rounds,
+        static_cast<unsigned long long>(Result.TotalExecutions),
+        static_cast<unsigned long long>(Result.ViolatingExecutions),
+        Result.Fences.size());
+    if (Result.Status == SynthStatus::Converged)
+      Log->info("synth", Msg);
+    else
+      Log->warn("synth", Msg, {{"reason", Result.DegradeReason}});
+  }
   return Result;
 }

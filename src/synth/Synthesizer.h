@@ -24,6 +24,10 @@
 #include <string>
 #include <vector>
 
+namespace dfence::obs {
+struct ObsContext;
+} // namespace dfence::obs
+
 namespace dfence::synth {
 
 /// Which specification violations trigger repair. Memory safety checking
@@ -103,6 +107,18 @@ struct SynthConfig {
   /// empty by default). Lives here so fault campaigns run through the
   /// exact production synthesis loop.
   vm::FaultPlan Faults;
+
+  //===--- Observability (see src/obs/) ---===//
+
+  /// Optional observability context (metrics registry, trace sink,
+  /// logger; each independently nullable). Null — the default — keeps
+  /// every instrumentation site at the cost of a branch on a null
+  /// pointer. Not owned; must outlive synthesize(). The registry's
+  /// counters come out bit-identical at any Jobs value (they are folded
+  /// on the merge thread in execution-index order, or count
+  /// jobs-invariant events); wall-clock readings go to gauges and
+  /// histograms only.
+  const obs::ObsContext *Obs = nullptr;
 };
 
 /// Overall disposition of a synthesis run, most desirable first.

@@ -397,6 +397,7 @@ void Engine::flushOne(Thread &T, bool HasVar, Word Var) {
   // The FLUSH rule is where delayed stores become visible; the paper
   // checks safety of the target here (a store to memory freed in the
   // meantime is a violation).
+  ++Result.Stats.Flushes;
   if (!checkAddr(E.Addr, "flush of buffered store", E.Label))
     return;
   Mem.write(E.Addr, E.Val);
@@ -405,6 +406,7 @@ void Engine::flushOne(Thread &T, bool HasVar, Word Var) {
 void Engine::drainForAtomic(Thread &T, Word Addr) {
   if (Cfg.Model == MemModel::PSO && !T.Buf.emptyFor(Addr)) {
     BufferEntry E = T.Buf.popOldestFor(Addr);
+    ++Result.Stats.Flushes;
     if (!checkAddr(E.Addr, "flush of buffered store", E.Label))
       return;
     Mem.write(E.Addr, E.Val);
@@ -460,8 +462,11 @@ bool Engine::stepThread(Thread &T) {
     if (!checkAddr(Addr, "load", I.Id))
       return true;
     Word V;
-    if (!T.Buf.forward(Addr, V)) // LOAD-B else LOAD-G
+    if (T.Buf.forward(Addr, V)) { // LOAD-B else LOAD-G
+      ++Result.Stats.StoreForwards;
+    } else {
       V = Mem.read(Addr);
+    }
     F.Regs[I.Dst] = V;
     break;
   }
@@ -485,6 +490,9 @@ bool Engine::stepThread(Thread &T) {
       }
       // STORE rule: append to the buffer; safety is checked at flush.
       T.Buf.push(Addr, Val, I.Id);
+      ++Result.Stats.BufferedStores;
+      if (T.Buf.size() > Result.Stats.BufHighWater)
+        Result.Stats.BufHighWater = static_cast<uint32_t>(T.Buf.size());
     }
     break;
   }
@@ -751,9 +759,11 @@ void Engine::mainLoop() {
           T.Buf.emptyFor(A.Var))
         A.HasVar = false;
       flushOne(T, A.HasVar, A.Var);
+      ++Result.Stats.SchedFlushes;
       Progress = true;
     } else {
       Progress = stepThread(T);
+      ++Result.Stats.SchedSteps;
     }
     ++Steps;
 

@@ -69,10 +69,30 @@ struct ExecConfig {
   const FaultPlan *Faults = nullptr;
 };
 
+/// Cheap always-on per-execution telemetry: plain counters the engine
+/// maintains unconditionally (each is one increment on an operation that
+/// already does real work, so the obs-off overhead is unmeasurable). The
+/// synthesis loop folds these into the metrics registry in
+/// execution-index order, which makes the aggregated values bit-identical
+/// at any --jobs width (see src/obs/Metrics.h).
+struct ExecStats {
+  uint64_t SchedSteps = 0;     ///< Thread-step actions taken.
+  uint64_t SchedFlushes = 0;   ///< Flush actions the scheduler chose
+                               ///< (the flush-delay knob at work).
+  uint64_t Flushes = 0;        ///< Buffered stores committed to memory
+                               ///< (all paths: scheduled, fence/CAS
+                               ///< drains, final drain, storms).
+  uint64_t BufferedStores = 0; ///< Stores that entered a write buffer.
+  uint64_t StoreForwards = 0;  ///< Loads answered from the own buffer
+                               ///< (the LOAD-B rule firing).
+  uint32_t BufHighWater = 0;   ///< Max per-thread buffer occupancy seen.
+};
+
 /// The result of one execution.
 struct ExecResult {
   Outcome Out = Outcome::Completed;
   History Hist;
+  ExecStats Stats;
   /// Predicates collected along the execution (the repair disjunction).
   RepairDisjunction Repairs;
   std::string Message; ///< Violation diagnostics.

@@ -1,0 +1,172 @@
+//===- CliObsSmokeTest.cpp - End-to-end CLI observability smoke -----------===//
+//
+// Drives the real `dfence` binary (path injected as DFENCE_BIN by CMake)
+// on a Table 2 benchmark with --trace-out / --metrics-out and validates
+// the artifacts: both files parse as JSON, the trace contains the
+// round / slot / sat_solve span hierarchy, and the metrics counters are
+// populated. Also pins down the CLI hardening contract: unknown flags
+// exit 2 with a pointed message, and --help lists every observability
+// flag. Runs as part of tier 1 so the end-to-end path cannot rot.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+
+using namespace dfence;
+
+#ifndef DFENCE_BIN
+#error "DFENCE_BIN must be defined to the dfence executable path"
+#endif
+
+namespace {
+
+/// Runs \p Cmd through the shell; returns the exit status (-1 on spawn
+/// failure) and leaves combined stdout+stderr in \p Output.
+int runCommand(const std::string &Cmd, std::string &Output) {
+  Output.clear();
+  FILE *P = popen((Cmd + " 2>&1").c_str(), "r");
+  if (!P)
+    return -1;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Output.append(Buf, N);
+  int Status = pclose(P);
+  if (Status == -1)
+    return -1;
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+Json parseOrFail(const std::string &Text, const std::string &What) {
+  std::string Error;
+  std::optional<Json> J = Json::parse(Text, Error);
+  EXPECT_TRUE(J.has_value()) << What << ": " << Error;
+  return J ? *J : Json();
+}
+
+} // namespace
+
+TEST(CliObsSmokeTest, TraceAndMetricsArtifactsAreValid) {
+  const std::string MetricsPath = "cli_obs_metrics.json";
+  const std::string TracePath = "cli_obs_trace.json";
+  std::string Out;
+  int Exit = runCommand(std::string(DFENCE_BIN) +
+                            " bench \"Chase-Lev WSQ\" --model pso"
+                            " --spec sc --k 100 --rounds 4 --jobs 2"
+                            " --metrics-out " + MetricsPath +
+                            " --trace-out " + TracePath,
+                        Out);
+  ASSERT_EQ(Exit, 0) << Out;
+  EXPECT_NE(Out.find("metrics: " + MetricsPath), std::string::npos) << Out;
+  EXPECT_NE(Out.find("trace: " + TracePath), std::string::npos) << Out;
+
+  // The metrics artifact: schema + populated counters that add up.
+  Json Metrics = parseOrFail(readFile(MetricsPath), MetricsPath);
+  ASSERT_NE(Metrics.find("schema"), nullptr);
+  EXPECT_EQ(Metrics.find("schema")->asString(), "dfence-metrics-v1");
+  const Json *Counters = Metrics.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_NE(Counters->find("synth_executions_total"), nullptr);
+  EXPECT_GT(Counters->find("synth_executions_total")->asU64(), 0u);
+  ASSERT_NE(Counters->find("synth_rounds_total"), nullptr);
+  EXPECT_GT(Counters->find("synth_rounds_total")->asU64(), 0u);
+  ASSERT_NE(Counters->find("vm_steps_total"), nullptr);
+  EXPECT_GT(Counters->find("vm_steps_total")->asU64(), 0u);
+  EXPECT_NE(Metrics.find("gauges"), nullptr);
+  EXPECT_NE(Metrics.find("histograms"), nullptr);
+
+  // The trace artifact: Chrome trace-event JSON with the span hierarchy.
+  Json Trace = parseOrFail(readFile(TracePath), TracePath);
+  const Json *Events = Trace.find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  std::set<std::string> Names;
+  for (const Json &E : Events->items())
+    Names.insert(E.find("name")->asString());
+  EXPECT_TRUE(Names.count("synthesize")) << "missing synthesize span";
+  EXPECT_TRUE(Names.count("round")) << "missing round spans";
+  EXPECT_TRUE(Names.count("slot")) << "missing per-execution spans";
+  // Chase-Lev under PSO/SC violates, so a repair (SAT solve + fence
+  // enforcement) must appear in the trace.
+  EXPECT_TRUE(Names.count("sat_solve")) << "missing sat_solve span";
+  EXPECT_TRUE(Names.count("enforce")) << "missing enforce span";
+  EXPECT_TRUE(Names.count("thread_name")) << "missing thread metadata";
+
+  std::remove(MetricsPath.c_str());
+  std::remove(TracePath.c_str());
+}
+
+TEST(CliObsSmokeTest, PrometheusExtensionSelectsTextFormat) {
+  const std::string Path = "cli_obs_metrics.prom";
+  std::string Out;
+  int Exit = runCommand(std::string(DFENCE_BIN) +
+                            " bench \"MSN Queue\" --model pso --spec sc"
+                            " --k 50 --rounds 1 --metrics-out " + Path,
+                        Out);
+  ASSERT_EQ(Exit, 0) << Out;
+  std::string Text = readFile(Path);
+  EXPECT_NE(Text.find("# TYPE dfence_synth_executions_total counter"),
+            std::string::npos)
+      << Text.substr(0, 400);
+  EXPECT_NE(Text.find("dfence_synth_executions_total 50"),
+            std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(CliObsSmokeTest, UnknownFlagExitsTwoWithPointedError) {
+  std::string Out;
+  int Exit = runCommand(std::string(DFENCE_BIN) +
+                            " bench \"MSN Queue\" --bogus-flag 1",
+                        Out);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_NE(Out.find("unknown flag '--bogus-flag'"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("--help"), std::string::npos) << Out;
+}
+
+TEST(CliObsSmokeTest, MissingFlagValueExitsTwo) {
+  std::string Out;
+  int Exit = runCommand(std::string(DFENCE_BIN) +
+                            " bench \"MSN Queue\" --metrics-out",
+                        Out);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_NE(Out.find("requires a value"), std::string::npos) << Out;
+}
+
+TEST(CliObsSmokeTest, HelpListsEveryObservabilityFlag) {
+  std::string Out;
+  int Exit = runCommand(std::string(DFENCE_BIN) + " --help", Out);
+  EXPECT_EQ(Exit, 0);
+  for (const char *Flag :
+       {"--metrics-out", "--trace-out", "--log-level", "--log-json",
+        "--jobs", "--repro", "--replay", "--k", "--rounds"})
+    EXPECT_NE(Out.find(Flag), std::string::npos)
+        << "help is missing " << Flag << "\n" << Out;
+}
+
+TEST(CliObsSmokeTest, InvalidLogLevelExitsTwo) {
+  std::string Out;
+  int Exit = runCommand(std::string(DFENCE_BIN) +
+                            " bench \"MSN Queue\" --k 50 --rounds 1"
+                            " --log-level loud",
+                        Out);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_NE(Out.find("log-level"), std::string::npos) << Out;
+}

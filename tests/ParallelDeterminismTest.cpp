@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "frontend/Compiler.h"
+#include "obs/Obs.h"
 #include "programs/Benchmark.h"
 #include "synth/Synthesizer.h"
 
@@ -148,6 +149,49 @@ TEST(ParallelDeterminismTest, OddJobCountsAgreeToo) {
   SynthResult C =
       runWithJobs(B, MemModel::PSO, SpecKind::SequentialConsistency, 8);
   expectIdentical(A, C, "MSN Queue jobs=3 vs jobs=8");
+}
+
+TEST(ParallelDeterminismTest, MetricsCountersIdenticalAcrossJobs) {
+  // The observability layer extends the determinism contract to metrics:
+  // every *counter* (the deterministic subset, Registry::countersJson) is
+  // folded on the merge thread in execution-index order or counts
+  // jobs-invariant events, so the exported counter map must be
+  // byte-identical at any --jobs width. Gauges/histograms hold wall-clock
+  // readings and are deliberately outside the comparison.
+  const programs::Benchmark &B = programs::benchmarkByName("Chase-Lev WSQ");
+  auto RunCounted = [&B](unsigned Jobs, obs::Registry &Reg) {
+    auto CR = frontend::compileMiniC(B.Source);
+    EXPECT_TRUE(CR.Ok) << CR.Error;
+    obs::ObsContext Obs;
+    Obs.Metrics = &Reg;
+    SynthConfig Cfg;
+    Cfg.Model = MemModel::PSO;
+    Cfg.Spec = SpecKind::SequentialConsistency;
+    Cfg.Factory = B.Factory;
+    Cfg.ExecsPerRound = 100;
+    Cfg.MaxRounds = 4;
+    Cfg.MaxRepairRounds = 4;
+    Cfg.Jobs = Jobs;
+    Cfg.Obs = &Obs;
+    return synthesize(CR.Module, B.Clients, Cfg);
+  };
+  obs::Registry RegSeq, RegPar;
+  SynthResult Seq = RunCounted(1, RegSeq);
+  SynthResult Par = RunCounted(8, RegPar);
+  expectIdentical(Seq, Par, "Chase-Lev WSQ with metrics");
+  EXPECT_EQ(RegSeq.countersJson().dump(), RegPar.countersJson().dump());
+
+  // The counters must also agree with the run's own SynthResult — they
+  // are a second bookkeeping of the same events, not an estimate.
+  const Json Counters = *RegSeq.countersJson().find("counters");
+  EXPECT_EQ(Counters.find("synth_executions_total")->asU64(),
+            Seq.TotalExecutions);
+  EXPECT_EQ(Counters.find("synth_violations_total")->asU64(),
+            Seq.ViolatingExecutions);
+  EXPECT_EQ(Counters.find("synth_rounds_total")->asU64(), Seq.Rounds);
+  EXPECT_EQ(Counters.find("synth_fences_total")->asU64(),
+            Seq.Fences.size());
+  EXPECT_GT(Counters.find("vm_steps_total")->asU64(), 0u);
 }
 
 TEST(ParallelDeterminismTest, TotalBudgetStarvationDegradesSafely) {

@@ -49,12 +49,14 @@
 #include "frontend/Compiler.h"
 #include "harness/ReproBundle.h"
 #include "ir/Printer.h"
+#include "obs/Obs.h"
 #include "programs/Benchmark.h"
 #include "support/StringUtils.h"
 #include "synth/Synthesizer.h"
 #include "vm/Interp.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -84,24 +86,101 @@ struct Options {
   }
 };
 
-int usage() {
+void printHelp(FILE *Out) {
   std::fprintf(
-      stderr,
-      "usage: dfence <command> [...]\n"
-      "  compile <file.mc>\n"
-      "  run     <file.mc> --func NAME [--args 1,2]\n"
-      "  litmus  <file.mc> --client DSL [--model sc|tso|pso] "
-      "[--seeds N] [--flush P]\n"
-      "  synth   <file.mc> --client DSL [--model tso|pso] "
-      "[--spec safety|nogarbage|sc|lin] [--seq-spec %s]\n"
-      "          [--k N] [--rounds N] [--flush P] "
-      "[--enforce fence|cas|atomic] [--init FUNC] [--no-merge] [--dump]\n"
-      "          [--exec-ms N] [--retries N] [--round-ms N] "
-      "[--total-ms N] [--repro PATH] [--jobs N]\n"
-      "  bench   <name|list> [--model tso|pso] [--spec ...]\n"
-      "  --replay <bundle.json>\n",
+      Out,
+      "usage: dfence <command> <file|name> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  compile <file.mc>               compile MiniC and dump the IR\n"
+      "  run     <file.mc>               run one function sequentially "
+      "(SC)\n"
+      "  litmus  <file.mc>               execute a concurrent client "
+      "repeatedly\n"
+      "  synth   <file.mc>               dynamic fence synthesis\n"
+      "  bench   <name|list>             synthesis on a built-in Table-2 "
+      "benchmark\n"
+      "  replay  <bundle.json>           re-execute a crash-repro bundle "
+      "(also: --replay)\n"
+      "  --help                          print this help\n"
+      "\n"
+      "run flags:\n"
+      "  --func NAME         function to call (required)\n"
+      "  --args 1,2          comma-separated integer arguments\n"
+      "\n"
+      "litmus flags:\n"
+      "  --client DSL        client script: threads '|', calls ';', "
+      "'$N' backrefs\n"
+      "  --init FUNC         initialization function run before the "
+      "threads\n"
+      "  --model sc|tso|pso  memory model (default pso)\n"
+      "  --seeds N           number of executions (default 1000)\n"
+      "  --flush P           scheduler flush probability (default 0.3)\n"
+      "\n"
+      "synth / bench flags:\n"
+      "  --client DSL        client script (synth only; bench has "
+      "built-in clients)\n"
+      "  --init FUNC         initialization function (synth only)\n"
+      "  --model tso|pso     memory model (default pso)\n"
+      "  --spec KIND         safety|nogarbage|sc|lin\n"
+      "  --seq-spec NAME     sequential spec, one of: %s\n"
+      "  --k N               executions per round (default 1000)\n"
+      "  --rounds N          maximum rounds (default 16)\n"
+      "  --flush P           flush probability (default: per-model "
+      "portfolio)\n"
+      "  --enforce MODE      fence|cas|atomic (default fence)\n"
+      "  --no-merge          keep redundant fences\n"
+      "  --dump              print the fenced module\n"
+      "  --jobs N            worker threads per round; 0 = hardware "
+      "concurrency\n"
+      "                      (default 0; the result is bit-identical at "
+      "any N)\n"
+      "  --exec-ms N         per-execution wall-clock watchdog\n"
+      "  --retries N         retry budget for discarded executions "
+      "(default 2)\n"
+      "  --round-ms N        wall-clock budget per round\n"
+      "  --total-ms N        wall-clock budget for the whole run\n"
+      "  --repro PATH        write crash-repro bundles of violating "
+      "executions\n"
+      "\n"
+      "observability flags (synth / bench):\n"
+      "  --metrics-out FILE  write run metrics; .prom/.txt gets "
+      "Prometheus text,\n"
+      "                      anything else JSON\n"
+      "  --trace-out FILE    write Chrome trace-event JSON (open in "
+      "chrome://tracing\n"
+      "                      or https://ui.perfetto.dev)\n"
+      "  --log-level LEVEL   debug|info|warn|error|off; enables "
+      "structured logging\n"
+      "  --log-json          emit log lines as JSON objects\n",
       join(driver::knownSpecNames(), "|").c_str());
+}
+
+int usage() {
+  printHelp(stderr);
   return 2;
+}
+
+/// Flags each command accepts; everything else is rejected with exit 2.
+/// A leading '=' marks a boolean flag (present/absent, no value).
+const std::map<std::string, std::vector<const char *>> &knownFlags() {
+  static const std::map<std::string, std::vector<const char *>> Table = {
+      {"compile", {}},
+      {"run", {"func", "args"}},
+      {"litmus", {"client", "init", "model", "seeds", "flush"}},
+      {"synth",
+       {"client", "init", "model", "spec", "seq-spec", "k", "rounds",
+        "flush", "enforce", "=no-merge", "=dump", "jobs", "exec-ms",
+        "retries", "round-ms", "total-ms", "repro", "metrics-out",
+        "trace-out", "log-level", "=log-json"}},
+      {"bench",
+       {"model", "spec", "seq-spec", "k", "rounds", "flush", "enforce",
+        "=no-merge", "=dump", "jobs", "exec-ms", "retries", "round-ms",
+        "total-ms", "repro", "metrics-out", "trace-out", "log-level",
+        "=log-json"}},
+      {"replay", {}},
+  };
+  return Table;
 }
 
 std::optional<vm::MemModel> parseModel(const std::string &S) {
@@ -291,6 +370,29 @@ int runSynthesis(const ir::Module &M,
   if (!ReproPath.empty())
     Cfg.CaptureBundles = true;
 
+  // Observability (src/obs/): each sink is attached only when requested,
+  // so a plain run pays nothing but null checks in the engine.
+  std::string MetricsOut = Opt.get("metrics-out");
+  std::string TraceOut = Opt.get("trace-out");
+  obs::Registry Metrics;
+  obs::TraceSink Trace;
+  auto Level = obs::logLevelByName(Opt.get("log-level", "warn"));
+  if (!Level) {
+    std::fprintf(stderr, "error: --log-level must be one of "
+                         "debug|info|warn|error|off\n");
+    return 2;
+  }
+  obs::Logger Log(*Level, Opt.has("log-json"));
+  obs::ObsContext Obs;
+  if (!MetricsOut.empty())
+    Obs.Metrics = &Metrics;
+  if (!TraceOut.empty())
+    Obs.Trace = &Trace;
+  if (Opt.has("log-level") || Opt.has("log-json"))
+    Obs.Log = &Log;
+  if (Obs.Metrics || Obs.Trace || Obs.Log)
+    Cfg.Obs = &Obs;
+
   synth::SynthResult R = synth::synthesize(M, Clients, Cfg);
   if (R.Status == synth::SynthStatus::ConfigError) {
     std::fprintf(stderr, "error: %s\n", R.Error.c_str());
@@ -346,6 +448,37 @@ int runSynthesis(const ir::Module &M,
   }
   if (Opt.has("dump"))
     std::printf("%s", ir::printModule(R.FencedModule).c_str());
+
+  if (!MetricsOut.empty()) {
+    // File extension picks the exposition format: .prom/.txt gets the
+    // Prometheus text format, everything else the JSON document.
+    auto EndsWith = [&](const char *Suf) {
+      size_t N = std::strlen(Suf);
+      return MetricsOut.size() >= N &&
+             MetricsOut.compare(MetricsOut.size() - N, N, Suf) == 0;
+    };
+    bool Prom = EndsWith(".prom") || EndsWith(".txt");
+    std::ofstream Out(MetricsOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   MetricsOut.c_str());
+      return 1;
+    }
+    if (Prom)
+      Out << Metrics.toPrometheus();
+    else
+      Out << Metrics.toJson().dump(2) << "\n";
+    std::printf("metrics: %s\n", MetricsOut.c_str());
+  }
+  if (!TraceOut.empty()) {
+    std::string Error;
+    if (!Trace.saveFile(TraceOut, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("trace: %s (%zu events)\n", TraceOut.c_str(),
+                Trace.eventCount());
+  }
   // Degraded counts as success: the output program is conservatively
   // fenced and safe, which is the harness's whole point.
   return R.Converged || R.Degraded || R.Fences.empty() ? 0 : 1;
@@ -495,6 +628,11 @@ int cmdBench(const Options &Opt) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc >= 2 && (std::strcmp(Argv[1], "--help") == 0 ||
+                    std::strcmp(Argv[1], "help") == 0)) {
+    printHelp(stdout);
+    return 0;
+  }
   if (Argc < 3)
     return usage();
   Options Opt;
@@ -503,32 +641,69 @@ int main(int Argc, char **Argv) {
   // a spelling of the replay command.
   if (Opt.Command == "--replay")
     Opt.Command = "replay";
+  auto CmdIt = knownFlags().find(Opt.Command);
+  if (CmdIt == knownFlags().end()) {
+    std::fprintf(stderr, "error: unknown command '%s'\n\n",
+                 Opt.Command.c_str());
+    return usage();
+  }
   Opt.File = Argv[2];
+  const std::vector<const char *> &Known = CmdIt->second;
   for (int I = 3; I < Argc; ++I) {
     std::string A = Argv[I];
-    if (A.rfind("--", 0) != 0)
-      return usage();
+    if (A.rfind("--", 0) != 0) {
+      std::fprintf(stderr,
+                   "error: unexpected argument '%s' (flags start with "
+                   "--; see 'dfence --help')\n",
+                   A.c_str());
+      return 2;
+    }
     std::string Key = A.substr(2);
-    if (Key == "dump" || Key == "no-merge") {
+    bool IsBool = false, IsValue = false;
+    for (const char *K : Known) {
+      if (K[0] == '=' && Key == K + 1)
+        IsBool = true;
+      else if (K[0] != '=' && Key == K)
+        IsValue = true;
+    }
+    if (IsBool) {
       Opt.Flags[Key] = "1";
-    } else {
-      if (I + 1 >= Argc)
-        return usage();
+    } else if (IsValue) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: flag '--%s' requires a value\n",
+                     Key.c_str());
+        return 2;
+      }
       Opt.Flags[Key] = Argv[++I];
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown flag '--%s' for command '%s' (see "
+                   "'dfence --help')\n",
+                   Key.c_str(), Opt.Command.c_str());
+      return 2;
     }
   }
 
-  if (Opt.Command == "compile")
-    return cmdCompile(Opt);
-  if (Opt.Command == "run")
-    return cmdRun(Opt);
-  if (Opt.Command == "litmus")
-    return cmdLitmus(Opt);
-  if (Opt.Command == "synth")
-    return cmdSynth(Opt);
-  if (Opt.Command == "bench")
-    return cmdBench(Opt);
-  if (Opt.Command == "replay")
-    return cmdReplay(Opt);
+  try {
+    if (Opt.Command == "compile")
+      return cmdCompile(Opt);
+    if (Opt.Command == "run")
+      return cmdRun(Opt);
+    if (Opt.Command == "litmus")
+      return cmdLitmus(Opt);
+    if (Opt.Command == "synth")
+      return cmdSynth(Opt);
+    if (Opt.Command == "bench")
+      return cmdBench(Opt);
+    if (Opt.Command == "replay")
+      return cmdReplay(Opt);
+  } catch (const std::exception &E) {
+    // std::stol / std::stod throw on malformed numeric flag values.
+    std::fprintf(stderr,
+                 "error: invalid numeric flag value (%s); see "
+                 "'dfence --help'\n",
+                 E.what());
+    return 2;
+  }
   return usage();
 }
