@@ -1,0 +1,179 @@
+//===- exec_throughput.cpp - Raw execution-core throughput ----------------===//
+//
+// Measures the per-execution cost of the execution core in isolation: no
+// SAT, no enforcement, no checking — just the interpreter running the
+// synthesis hot-path configuration (CollectRepairs on, per-model flush
+// probability) over the parallel_scale workload subjects. Reports
+// executions/second and interpreter steps/second per memory model, which
+// is the curve the prepared-program / context-reuse work moves.
+//
+// Emits BENCH_exec.json (schema "dfence-exec-throughput-v1"). Pass a
+// number to scale the per-(subject, model) execution count (default 300);
+// pass "--smoke" for a tiny run that just validates the pipeline — the
+// binary re-reads and structurally checks the JSON it wrote and exits
+// nonzero on malformed output, which is what the bench_exec_smoke ctest
+// entry asserts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/Json.h"
+#include "vm/ExecContext.h"
+#include "vm/Prepared.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace dfence;
+using vm::MemModel;
+
+namespace {
+
+struct Subject {
+  const char *Bench;
+};
+
+// The parallel_scale workload subjects (minus the spec dimension, which
+// the raw core never sees).
+const Subject Subjects[] = {
+    {"Chase-Lev WSQ"},
+    {"Cilk THE WSQ"},
+    {"MSN Queue"},
+    {"FIFO iWSQ"},
+};
+
+struct ModelRate {
+  uint64_t Execs = 0;
+  uint64_t Steps = 0;
+  double Seconds = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned ExecsPer = 300;
+  bool Smoke = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--smoke") == 0) {
+      Smoke = true;
+      ExecsPer = 4;
+    } else {
+      ExecsPer = static_cast<unsigned>(std::atoi(Argv[I]));
+      if (ExecsPer == 0)
+        ExecsPer = 1;
+    }
+  }
+
+  const MemModel Models[] = {MemModel::SC, MemModel::TSO, MemModel::PSO};
+  ModelRate Rates[3];
+
+  std::printf("Execution core throughput (%u execs per subject/model)\n\n",
+              ExecsPer);
+  std::printf("%-16s %5s %10s %12s %14s\n", "subject", "model", "seconds",
+              "execs/s", "steps/s");
+
+  for (const Subject &S : Subjects) {
+    const programs::Benchmark &B = programs::benchmarkByName(S.Bench);
+    auto CR = frontend::compileMiniC(B.Source);
+    if (!CR.Ok)
+      reportFatalError(std::string(S.Bench) + ": " + CR.Error);
+
+    // The round engine's shape: prepare once, then run every execution
+    // on one reusable context — what a pool slot does for a whole round.
+    vm::PreparedProgram Prog(CR.Module, B.Clients);
+    vm::ExecContext Ctx;
+    vm::ExecResult R;
+
+    for (size_t MI = 0; MI != 3; ++MI) {
+      MemModel Model = Models[MI];
+      uint64_t Steps = 0;
+      auto T0 = std::chrono::steady_clock::now();
+      for (unsigned I = 0; I != ExecsPer; ++I) {
+        vm::ExecConfig EC;
+        EC.Model = Model;
+        EC.Seed = 0x5eed + I;
+        EC.MaxSteps = 30000;
+        EC.CollectRepairs = Model != MemModel::SC;
+        EC.FlushProb = vm::defaultFlushProb(Model);
+        Ctx.run(Prog, I % Prog.numClients(), EC, R);
+        Steps += R.Steps;
+      }
+      auto T1 = std::chrono::steady_clock::now();
+      double Secs = std::chrono::duration<double>(T1 - T0).count();
+      std::printf("%-16s %5s %10.3f %12.0f %14.0f\n", S.Bench,
+                  vm::memModelName(Model), Secs,
+                  Secs > 0 ? ExecsPer / Secs : 0,
+                  Secs > 0 ? static_cast<double>(Steps) / Secs : 0);
+      Rates[MI].Execs += ExecsPer;
+      Rates[MI].Steps += Steps;
+      Rates[MI].Seconds += Secs;
+    }
+  }
+
+  Json Doc = Json::object();
+  Doc.set("schema", Json::string("dfence-exec-throughput-v1"));
+  Doc.set("schema_version", Json::number(uint64_t(1)));
+  Doc.set("execs_per_subject", Json::number(uint64_t(ExecsPer)));
+  Json JModels = Json::array();
+  std::printf("\naggregate over %zu subjects:\n",
+              sizeof(Subjects) / sizeof(Subjects[0]));
+  std::printf("%5s %10s %12s %14s\n", "model", "seconds", "execs/s",
+              "steps/s");
+  for (size_t MI = 0; MI != 3; ++MI) {
+    const ModelRate &R = Rates[MI];
+    double ExecsPerSec =
+        R.Seconds > 0 ? static_cast<double>(R.Execs) / R.Seconds : 0;
+    double StepsPerSec =
+        R.Seconds > 0 ? static_cast<double>(R.Steps) / R.Seconds : 0;
+    std::printf("%5s %10.3f %12.0f %14.0f\n",
+                vm::memModelName(Models[MI]), R.Seconds, ExecsPerSec,
+                StepsPerSec);
+    Json JM = Json::object();
+    JM.set("model", Json::string(vm::memModelName(Models[MI])));
+    JM.set("executions", Json::number(R.Execs));
+    JM.set("steps", Json::number(R.Steps));
+    JM.set("seconds", Json::number(R.Seconds));
+    JM.set("execs_per_sec", Json::number(ExecsPerSec));
+    JM.set("steps_per_sec", Json::number(StepsPerSec));
+    JModels.push(std::move(JM));
+  }
+  Doc.set("models", std::move(JModels));
+
+  {
+    std::ofstream Out("BENCH_exec.json");
+    Out << Doc.dump(2) << "\n";
+  }
+  std::printf("\nwrote BENCH_exec.json%s\n", Smoke ? " (smoke)" : "");
+
+  // Self-check: re-read the emitted document and validate its shape, so
+  // the smoke ctest entry catches a malformed emitter without a parser
+  // of its own.
+  std::ifstream In("BENCH_exec.json");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Error;
+  auto Parsed = Json::parse(SS.str(), Error);
+  if (!Parsed) {
+    std::fprintf(stderr, "BENCH_exec.json is unparsable: %s\n",
+                 Error.c_str());
+    return 1;
+  }
+  const Json *Schema = Parsed->find("schema");
+  const Json *ModelsJ = Parsed->find("models");
+  if (!Schema || Schema->asString() != "dfence-exec-throughput-v1" ||
+      !ModelsJ || !ModelsJ->isArray() || ModelsJ->items().size() != 3) {
+    std::fprintf(stderr, "BENCH_exec.json is malformed\n");
+    return 1;
+  }
+  for (const Json &JM : ModelsJ->items())
+    if (!JM.find("execs_per_sec") || !JM.find("steps_per_sec") ||
+        JM.find("executions")->asU64() == 0) {
+      std::fprintf(stderr, "BENCH_exec.json has an empty model entry\n");
+      return 1;
+    }
+  return 0;
+}

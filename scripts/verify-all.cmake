@@ -1,0 +1,20 @@
+# verify-all: run the default, sanitize and tsan verification workflows
+# in sequence, stopping at the first failure.
+#
+#   cmake -P scripts/verify-all.cmake
+#
+# A CMake workflow preset cannot chain steps across different configure
+# presets, so "verify-all" is this driver over the three single-preset
+# workflows (verify-default, verify-sanitize, verify-tsan) defined in
+# CMakePresets.json. Run from the repository root.
+
+foreach(preset IN ITEMS verify-default verify-sanitize verify-tsan)
+  message(STATUS "==== workflow: ${preset} ====")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} --workflow --preset ${preset}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "workflow ${preset} failed (exit ${rc})")
+  endif()
+endforeach()
+message(STATUS "verify-all: all three workflows passed")

@@ -4,8 +4,10 @@
 
 #include "obs/Obs.h"
 #include "support/StringUtils.h"
+#include "vm/ExecContext.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 
 using namespace dfence;
@@ -33,7 +35,30 @@ int64_t monoUs() {
 
 unsigned exec::currentWorker() { return TlsWorker; }
 
+vm::ExecContext &ExecPool::workerContext(unsigned Worker) {
+  assert(Worker < Contexts.size() && "not a pool worker index");
+  return *Contexts[Worker];
+}
+
+void ExecPool::publishContextStats() {
+  if (!CtxReusesG && !RegArenaHwG)
+    return;
+  uint64_t Reuses = 0;
+  size_t RegHw = 0;
+  for (const auto &C : Contexts) {
+    Reuses += C->stats().Reuses;
+    RegHw = std::max(RegHw, C->stats().RegArenaHighWater);
+  }
+  if (CtxReusesG)
+    CtxReusesG->set(static_cast<double>(Reuses));
+  if (RegArenaHwG)
+    RegArenaHwG->max(static_cast<double>(RegHw));
+}
+
 ExecPool::ExecPool(unsigned Jobs) : NumJobs(resolveJobs(Jobs)) {
+  Contexts.reserve(NumJobs);
+  for (unsigned I = 0; I < NumJobs; ++I)
+    Contexts.push_back(std::make_unique<vm::ExecContext>());
   Workers.reserve(NumJobs - 1);
   for (unsigned I = 1; I < NumJobs; ++I)
     Workers.emplace_back([this, I] { workerMain(I); });
@@ -55,6 +80,8 @@ void ExecPool::setObs(const obs::ObsContext *O) {
   CancelledC = obs::counterOrNull(O, "exec_pool_cancelled_total");
   BusyUsG = obs::gaugeOrNull(O, "exec_pool_busy_us");
   WallUsG = obs::gaugeOrNull(O, "exec_pool_wall_us");
+  CtxReusesG = obs::gaugeOrNull(O, "exec_pool_context_reuses");
+  RegArenaHwG = obs::gaugeOrNull(O, "exec_pool_reg_arena_high_water");
   QueueWaitH = obs::histogramOrNull(O, "exec_pool_queue_wait_us");
   Trace = obs::traceOrNull(O);
   if (Trace) {
@@ -154,6 +181,7 @@ size_t ExecPool::runOrdered(size_t Count,
       if (BusyUsG)
         BusyUsG->add(Wall);
     }
+    publishContextStats();
     return I;
   }
 
@@ -182,5 +210,6 @@ size_t ExecPool::runOrdered(size_t Count,
   // or past the stop point, never below it).
   size_t Cut = std::min(Next.load(std::memory_order_relaxed), Count);
   OBS_COUNT(CancelledC, Count - Cut);
+  publishContextStats();
   return Cut;
 }

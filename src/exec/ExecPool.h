@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -37,6 +38,10 @@ class Histogram;
 class TraceSink;
 struct ObsContext;
 } // namespace dfence::obs
+
+namespace dfence::vm {
+class ExecContext;
+} // namespace dfence::vm
 
 namespace dfence::exec {
 
@@ -85,12 +90,30 @@ public:
   size_t runOrdered(size_t Count, const std::function<void(size_t)> &Body,
                     const std::function<bool()> &ShouldStop = nullptr);
 
+  /// The persistent execution context owned by pool slot \p Worker
+  /// (0 = the runOrdered caller). Inside a Body callback,
+  /// workerContext(currentWorker()) is the context the current thread
+  /// may use exclusively until Body returns — contexts are reused across
+  /// every execution a slot claims over the pool's whole lifetime, so
+  /// steady-state rounds allocate ~nothing. Never touch another slot's
+  /// context from a Body.
+  vm::ExecContext &workerContext(unsigned Worker);
+
 private:
+  /// Reuse telemetry: folds per-slot context stats into the gauges after
+  /// a batch (jobs-variant values; gauges are excluded from the
+  /// deterministic counter snapshot by design).
+  void publishContextStats();
+
   void workerMain(unsigned Worker);
   void claimLoop(unsigned Worker);
 
   unsigned NumJobs = 1;
   std::vector<std::thread> Workers; ///< NumJobs - 1 threads.
+  /// One persistent vm::ExecContext per slot, built in the constructor
+  /// (construction is cheap — the arenas grow on first use) so Body
+  /// callbacks can fetch theirs without synchronisation.
+  std::vector<std::unique_ptr<vm::ExecContext>> Contexts;
 
   // Pre-resolved observability handles (all null when obs is off).
   obs::Counter *ClaimsC = nullptr;    ///< exec_pool_claims_total
@@ -98,6 +121,8 @@ private:
   obs::Counter *CancelledC = nullptr; ///< exec_pool_cancelled_total
   obs::Gauge *BusyUsG = nullptr;      ///< exec_pool_busy_us (accumulated)
   obs::Gauge *WallUsG = nullptr;      ///< exec_pool_wall_us (accumulated)
+  obs::Gauge *CtxReusesG = nullptr;   ///< exec_pool_context_reuses
+  obs::Gauge *RegArenaHwG = nullptr;  ///< exec_pool_reg_arena_high_water
   obs::Histogram *QueueWaitH = nullptr; ///< exec_pool_queue_wait_us
   obs::TraceSink *Trace = nullptr;
   int64_t BatchStartUs = 0; ///< Trace timestamp of the current batch.

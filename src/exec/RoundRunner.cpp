@@ -9,8 +9,7 @@
 using namespace dfence;
 using namespace dfence::exec;
 
-RoundResult exec::runRound(ExecPool &Pool, const ir::Module &M,
-                           const std::vector<vm::Client> &Clients,
+RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
                            const RoundPlan &Plan,
                            const harness::ExecPolicy &Policy,
                            const ViolationCheck &Check,
@@ -22,12 +21,16 @@ RoundResult exec::runRound(ExecPool &Pool, const ir::Module &M,
   RR.Ran = Pool.runOrdered(
       Plan.Slots.size(),
       [&](size_t I) {
-        const ExecPlan &P = Plan.Slots[I];
-        assert(P.ClientIdx < Clients.size());
+        const ExecPlan &EP = Plan.Slots[I];
+        assert(EP.ClientIdx < P.numClients());
         RoundSlot &S = RR.Slots[I];
         OBS_SPAN(SlotSpan, Trace, "slot", "exec", currentWorker());
-        S.SE = harness::runSupervised(M, Clients[P.ClientIdx], P.EC,
-                                      Policy);
+        // Each slot runs on its pool worker's persistent context; the
+        // context carries the arenas across executions, so steady-state
+        // slots are reset-and-go rather than build-and-tear-down.
+        S.SE = harness::runSupervised(
+            P, EP.ClientIdx, Pool.workerContext(currentWorker()), EP.EC,
+            Policy);
         // Discarded executions are counted, never judged; everything else
         // is judged here so the (possibly exponential) spec check also
         // runs off the merge thread.
@@ -35,7 +38,7 @@ RoundResult exec::runRound(ExecPool &Pool, const ir::Module &M,
           S.Violation = Check(S.SE.Result);
         if (Trace) {
           SlotSpan.arg("index", static_cast<uint64_t>(I));
-          SlotSpan.arg("seed", P.EC.Seed);
+          SlotSpan.arg("seed", EP.EC.Seed);
           SlotSpan.arg("outcome",
                        std::string(vm::outcomeName(S.SE.Result.Out)));
           SlotSpan.arg("steps",

@@ -1,13 +1,15 @@
 //===- RoundRunner.h - One fully pre-planned synthesis round ----*- C++ -*-===//
 //
 // The bridge between the synthesis loop and the ExecPool. The synthesizer
-// plans a whole round up front — one ExecPlan per execution slot, with the
-// seed, client and flush probability all derived from the slot's index
-// before anything runs — and runRound fans the slots across the pool.
-// Workers run the supervised execution (harness::runSupervised is
-// reentrant; each call carries its own state) and the violation check
-// (spec checking is a pure function of the execution result, and is often
-// the most expensive per-execution step, so it belongs on the workers).
+// builds one vm::PreparedProgram per round (client names resolved, frame
+// sizes precomputed) and plans the whole round up front — one ExecPlan per
+// execution slot, with the seed, client and flush probability all derived
+// from the slot's index before anything runs — and runRound fans the
+// slots across the pool. Each worker runs its slots on the pool slot's
+// persistent vm::ExecContext (harness::runSupervised's prepared overload;
+// contexts are never shared between slots) plus the violation check (spec
+// checking is a pure function of the execution result, and is often the
+// most expensive per-execution step, so it belongs on the workers).
 //
 // Results land in a slot array indexed by execution index. The caller
 // merges them in index order, which makes the aggregate bit-identical to
@@ -23,6 +25,7 @@
 #include "harness/Harness.h"
 #include "vm/Client.h"
 #include "vm/Interp.h"
+#include "vm/Prepared.h"
 
 #include <functional>
 #include <string>
@@ -67,14 +70,14 @@ struct RoundResult {
 /// reads the config and builds local checker state).
 using ViolationCheck = std::function<std::string(const vm::ExecResult &)>;
 
-/// Runs \p Plan against \p M (read-only for the whole round) on \p Pool.
-/// \p Stop may be null; when it fires, not-yet-started slots are
-/// cancelled and the result is the executed prefix. When \p Obs carries a
-/// trace sink, every slot emits a "slot" span on its worker's trace track
-/// (tid = currentWorker()) with the slot index, seed, outcome and retry
-/// count as args.
-RoundResult runRound(ExecPool &Pool, const ir::Module &M,
-                     const std::vector<vm::Client> &Clients,
+/// Runs \p Plan against prepared program \p P (read-only for the whole
+/// round; its module and clients must stay alive and unmodified until
+/// runRound returns). \p Stop may be null; when it fires, not-yet-started
+/// slots are cancelled and the result is the executed prefix. When \p Obs
+/// carries a trace sink, every slot emits a "slot" span on its worker's
+/// trace track (tid = currentWorker()) with the slot index, seed, outcome
+/// and retry count as args.
+RoundResult runRound(ExecPool &Pool, const vm::PreparedProgram &P,
                      const RoundPlan &Plan,
                      const harness::ExecPolicy &Policy,
                      const ViolationCheck &Check,

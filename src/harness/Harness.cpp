@@ -2,6 +2,9 @@
 
 #include "harness/Harness.h"
 
+#include "vm/ExecContext.h"
+#include "vm/Prepared.h"
+
 #include <cmath>
 
 using namespace dfence;
@@ -21,10 +24,12 @@ static uint64_t remixSeed(uint64_t Seed, uint64_t Salt, unsigned Attempt) {
   return Z ^ (Z >> 31);
 }
 
-SupervisedExec harness::runSupervised(const ir::Module &M,
-                                      const vm::Client &C,
-                                      vm::ExecConfig EC,
-                                      const ExecPolicy &Policy) {
+/// The shared supervision loop: watchdog, reseeded retries, growing step
+/// budget. \p Run fills an ExecResult for the attempt's config; both
+/// public overloads differ only in how an attempt executes.
+template <typename RunFn>
+static SupervisedExec superviseLoop(vm::ExecConfig EC,
+                                    const ExecPolicy &Policy, RunFn Run) {
   if (Policy.ExecWallMs != 0)
     EC.WallClockMs = Policy.ExecWallMs;
 
@@ -40,7 +45,7 @@ SupervisedExec harness::runSupervised(const ir::Module &M,
                         ? static_cast<size_t>(Grown)
                         : BaseSteps;
     }
-    SE.Result = vm::runExecution(M, C, EC);
+    Run(EC, SE.Result);
     SE.Attempts = Attempt + 1;
     SE.UsedSeed = EC.Seed;
     SE.UsedMaxSteps = EC.MaxSteps;
@@ -54,6 +59,29 @@ SupervisedExec harness::runSupervised(const ir::Module &M,
     }
   }
   return SE;
+}
+
+SupervisedExec harness::runSupervised(const ir::Module &M,
+                                      const vm::Client &C,
+                                      vm::ExecConfig EC,
+                                      const ExecPolicy &Policy) {
+  return superviseLoop(EC, Policy,
+                       [&](const vm::ExecConfig &AttemptEC,
+                           vm::ExecResult &R) {
+                         R = vm::runExecution(M, C, AttemptEC);
+                       });
+}
+
+SupervisedExec harness::runSupervised(const vm::PreparedProgram &P,
+                                      size_t ClientIdx,
+                                      vm::ExecContext &Ctx,
+                                      vm::ExecConfig EC,
+                                      const ExecPolicy &Policy) {
+  return superviseLoop(EC, Policy,
+                       [&](const vm::ExecConfig &AttemptEC,
+                           vm::ExecResult &R) {
+                         Ctx.run(P, ClientIdx, AttemptEC, R);
+                       });
 }
 
 SupervisedExec Supervisor::run(const ir::Module &M, const vm::Client &C,

@@ -30,6 +30,11 @@
 #include <cstdint>
 #include <vector>
 
+namespace dfence::vm {
+class ExecContext;
+class PreparedProgram;
+} // namespace dfence::vm
+
 namespace dfence::harness {
 
 /// Per-execution supervision policy.
@@ -91,6 +96,17 @@ bool isDiscardedOutcome(vm::Outcome O);
 /// overrides its WallClockMs and (on retries) Seed and MaxSteps.
 SupervisedExec runSupervised(const ir::Module &M, const vm::Client &C,
                              vm::ExecConfig EC, const ExecPolicy &Policy);
+
+/// Prepared-program variant: the same supervision loop (same retry
+/// seeds, same budget growth, bit-identical results), but every attempt
+/// runs client \p ClientIdx of \p P on the caller-owned reusable \p Ctx
+/// instead of building a fresh engine. This is the round engine's hot
+/// path — each pool slot passes its persistent context, so steady-state
+/// rounds execute without per-execution allocation. \p Ctx must not be
+/// used concurrently from another thread.
+SupervisedExec runSupervised(const vm::PreparedProgram &P, size_t ClientIdx,
+                             vm::ExecContext &Ctx, vm::ExecConfig EC,
+                             const ExecPolicy &Policy);
 
 /// Cumulative accounting across a supervisor's lifetime.
 struct SupervisorStats {

@@ -6,6 +6,8 @@
 #include "ir/Reader.h"
 #include "sched/ReplayScheduler.h"
 #include "support/StringUtils.h"
+#include "vm/ExecContext.h"
+#include "vm/Prepared.h"
 
 #include <fstream>
 #include <sstream>
@@ -311,5 +313,11 @@ std::optional<vm::ExecResult> harness::replayBundle(const ReproBundle &B,
   EC.Sched = &Replay;
   if (Faults.enabled())
     EC.Faults = &Faults;
-  return vm::runExecution(*M, B.Client, EC);
+  // Replays take the same prepared-program path the round engine runs, so
+  // a bundle reproduces the exact code path that captured it.
+  vm::PreparedProgram P(*M, B.Client);
+  vm::ExecContext Ctx;
+  vm::ExecResult R;
+  Ctx.run(P, 0, EC, R);
+  return R;
 }

@@ -35,7 +35,7 @@ struct ReproBundle {
 
   std::string ModuleText; ///< ir::printModule of the executed module.
   vm::Client Client;
-  vm::MemModel Model = vm::MemModel::PSO;
+  vm::MemModel Model = vm::DefaultMemModel;
   uint64_t Seed = 1;
   double FlushProb = 0.5;
   size_t MaxSteps = 1 << 20;

@@ -39,15 +39,16 @@ Action RandomFlushScheduler::pick(const std::vector<ThreadView> &Threads,
 
   // Candidates: runnable threads plus threads with pending stores (a
   // finished thread's buffer can still drain at any time).
-  std::vector<const ThreadView *> Candidates;
-  for (const ThreadView &T : Threads)
-    if (T.Runnable || T.PendingStores > 0)
-      Candidates.push_back(&T);
+  Candidates.clear();
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Threads.size()); I != E;
+       ++I)
+    if (Threads[I].Runnable || Threads[I].PendingStores > 0)
+      Candidates.push_back(I);
   if (Candidates.empty())
     reportFatalError("scheduler invoked with no schedulable thread");
 
   const ThreadView &T =
-      *Candidates[R.nextBelow(Candidates.size())];
+      Threads[Candidates[R.nextBelow(Candidates.size())]];
   LastTid = T.Tid;
 
   if (T.PendingStores == 0)

@@ -35,6 +35,11 @@ public:
   explicit RandomFlushScheduler(RandomFlushConfig Cfg = {});
   ~RandomFlushScheduler() override;
 
+  /// Replaces the configuration (a reusable execution context owns one
+  /// scheduler for its lifetime and reconfigures it per run). Call
+  /// reset() afterwards, as before any execution.
+  void configure(RandomFlushConfig NewCfg) { Cfg = NewCfg; }
+
   Action pick(const std::vector<ThreadView> &Threads, Rng &R) override;
   void reset() override;
 
@@ -42,6 +47,9 @@ private:
   RandomFlushConfig Cfg;
   uint32_t LastTid = ~0u;
   uint32_t LocalStreak = 0;
+  /// Indices of schedulable threads, rebuilt each pick; a member so the
+  /// per-step hot path reuses its capacity instead of reallocating.
+  std::vector<uint32_t> Candidates;
 };
 
 } // namespace dfence::sched

@@ -11,8 +11,10 @@
 #include "support/Diagnostics.h"
 #include "support/StringUtils.h"
 #include "synth/StaticBaseline.h"
+#include "vm/Prepared.h"
 
 #include <map>
+#include <optional>
 #include <set>
 
 using namespace dfence;
@@ -250,6 +252,12 @@ SynthResult synth::synthesize(const ir::Module &M,
   exec::ExecPool Pool(Cfg.Jobs);
   Pool.setObs(Cfg.Obs);
 
+  // Resolve the clients against the working module once up front; every
+  // execution of every round runs from these tables. Rebuilt below after
+  // fence enforcement mutates Cur (cheap: a handful of name lookups).
+  std::optional<vm::PreparedProgram> Prepared;
+  Prepared.emplace(Cur, Clients);
+
   unsigned RepairRounds = 0;
   unsigned CleanRounds = 0;
   bool OutOfTime = false;
@@ -275,7 +283,7 @@ SynthResult synth::synthesize(const ir::Module &M,
                RoundBudget.expired(RoundWatch);
       };
     exec::RoundResult RR = exec::runRound(
-        Pool, Cur, Clients, Plan, Cfg.Exec,
+        Pool, *Prepared, Plan, Cfg.Exec,
         [&Cfg](const vm::ExecResult &R) { return checkExecution(R, Cfg); },
         StopFn, Cfg.Obs);
     // Budget expiry cancels the slots that had not started; the executed
@@ -462,6 +470,10 @@ SynthResult synth::synthesize(const ir::Module &M,
       enforcePredicates(Cur, ChosenPreds, Cfg.Mode);
       if (Cfg.MergeFences)
         mergeRedundantFences(Cur);
+      // Fence insertion changes no FuncId, name, arity or register
+      // count, but the prepared program points into Cur — rebuild so the
+      // next round runs against the fenced bodies with fresh tables.
+      Prepared.emplace(Cur, Clients);
     }
     ++RepairRounds;
     OBS_COUNT(RepairRoundsC, 1);

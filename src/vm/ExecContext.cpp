@@ -1,0 +1,779 @@
+//===- ExecContext.cpp - Long-lived, reusable execution engine ------------===//
+//
+// The per-run driver ported from the old one-shot Engine (Interp.cpp),
+// restructured so every piece of state is reset in place: frames live in a
+// flat stack indexing a shared per-thread register arena, threads are
+// pooled and revived, repairs collect into a flat vector deduped once at
+// the end, and the scheduler views are updated in place each step. The
+// semantics — including RNG stream consumption, action validation and
+// every diagnostic — are byte-for-byte those of the old engine, which is
+// what keeps recorded replay traces reproducing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/ExecContext.h"
+
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dfence;
+using namespace dfence::vm;
+using namespace dfence::ir;
+
+/// A VM thread: client-script threads and Spawn-created threads alike.
+/// Pooled by the context; reset() revives a retired object with all its
+/// vector capacities intact.
+struct ExecContext::Thread {
+  /// One stack frame. Registers live in the thread's shared arena at
+  /// [RegBase, RegBase + frameSize(F)) — a frame push/pop is an arena
+  /// resize, not a vector allocation.
+  struct Frame {
+    FuncId F = 0;
+    size_t Ip = 0;
+    size_t RegBase = 0;
+    Reg RetDst = 0;          ///< Caller register receiving the return value.
+    bool IsTopLevel = false; ///< Frame of a recorded client method call.
+    size_t OpIndex = 0;      ///< History slot when IsTopLevel.
+  };
+
+  uint32_t Tid = 0;
+  std::vector<Frame> Frames;
+  std::vector<Word> RegArena;
+  StoreBufferSet Buf;
+  const ThreadScript *Script = nullptr;   ///< Null for spawned threads.
+  const PreparedThread *Prep = nullptr;   ///< Resolved callees of Script.
+  size_t ScriptPos = 0;
+  std::vector<Word> CallResults; ///< Return values of completed calls.
+  bool DoneFlag = false;
+
+  Thread() : Buf(MemModel::SC) {}
+
+  void reset(uint32_t T, MemModel M, const ThreadScript *S,
+             const PreparedThread *P) {
+    Tid = T;
+    Frames.clear();
+    RegArena.clear();
+    Buf.reset(M);
+    Script = S;
+    Prep = P;
+    ScriptPos = 0;
+    CallResults.clear();
+    DoneFlag = false;
+  }
+
+  bool hasWork() const {
+    if (!Frames.empty())
+      return true;
+    return Script && ScriptPos < Script->Calls.size();
+  }
+
+  /// Pushes a zeroed frame for \p F with \p NRegs registers; returns it.
+  Frame &pushFrame(FuncId F, uint32_t NRegs) {
+    Frame Fr;
+    Fr.F = F;
+    Fr.RegBase = RegArena.size();
+    RegArena.resize(Fr.RegBase + NRegs, 0);
+    Frames.push_back(Fr);
+    return Frames.back();
+  }
+
+  void popFrame() {
+    RegArena.resize(Frames.back().RegBase);
+    Frames.pop_back();
+  }
+
+  Word reg(const Frame &F, Reg Rg) const {
+    return RegArena[F.RegBase + Rg];
+  }
+  Word &reg(const Frame &F, Reg Rg) { return RegArena[F.RegBase + Rg]; }
+};
+
+ExecContext::ExecContext() = default;
+ExecContext::~ExecContext() = default;
+
+void ExecContext::violate(Outcome O, std::string Msg) {
+  if (Halted)
+    return;
+  Halted = true;
+  Result->Out = O;
+  Result->Message = std::move(Msg);
+}
+
+ExecContext::Thread &ExecContext::acquireThread(uint32_t Tid,
+                                                MemModel Model) {
+  if (LiveThreads == Threads.size())
+    Threads.push_back(std::make_unique<Thread>());
+  Thread &T = *Threads[LiveThreads++];
+  T.reset(Tid, Model, nullptr, nullptr);
+  return T;
+}
+
+void ExecContext::layoutGlobals() {
+  const Module &M = P->module();
+  GlobalAddrs.reserve(M.Globals.size());
+  for (const GlobalVar &G : M.Globals) {
+    Word Addr = Mem.allocateGlobal(G.SizeWords);
+    for (size_t I = 0, E = G.Init.size(); I != E && I < G.SizeWords; ++I)
+      Mem.write(Addr + I, G.Init[I]);
+    GlobalAddrs.push_back(Addr);
+  }
+}
+
+void ExecContext::runInit() {
+  // The init function runs to completion, alone, with SC semantics: a
+  // dedicated SC-buffered (i.e. unbuffered) thread stepping until done.
+  if (!InitThread)
+    InitThread = std::make_unique<Thread>();
+  Thread &Init = *InitThread;
+  Init.reset(~0u, MemModel::SC, nullptr, nullptr);
+  Init.pushFrame(PC->Init, P->frameSize(PC->Init));
+  size_t InitSteps = 0;
+  while (!Init.Frames.empty() && !Halted) {
+    if (++InitSteps > Cfg.MaxSteps) {
+      violate(Outcome::StepLimit, "init function exceeded step limit");
+      return;
+    }
+    if ((InitSteps & 1023) == 0 && deadlineExpired())
+      return;
+    stepThread(Init);
+  }
+}
+
+void ExecContext::createClientThreads() {
+  const Client &C = *PC->C;
+  // Every top-level call appends one OpRecord; the prepared client knows
+  // the total up front, so the hot loop never reallocates the history.
+  Result->Hist.Ops.reserve(PC->TotalCalls);
+  if (Cfg.RecordTrace)
+    Result->Trace.reserve(std::min<size_t>(Cfg.MaxSteps, 1 << 14));
+  for (size_t I = 0, E = C.Threads.size(); I != E; ++I) {
+    Thread &T = acquireThread(static_cast<uint32_t>(I), Cfg.Model);
+    T.Script = &C.Threads[I];
+    T.Prep = &PC->Threads[I];
+  }
+}
+
+void ExecContext::startNextCall(Thread &T) {
+  assert(T.Script && T.ScriptPos < T.Script->Calls.size());
+  const MethodCall &MC = T.Script->Calls[T.ScriptPos];
+  FuncId F = T.Prep->Calls[T.ScriptPos];
+  ++T.ScriptPos;
+
+  // Arity and back-references were validated at prepare time.
+  ArgScratch.clear();
+  for (const Arg &A : MC.Args) {
+    if (A.Ref < 0) {
+      ArgScratch.push_back(A.Literal);
+    } else {
+      assert(static_cast<size_t>(A.Ref) < T.CallResults.size());
+      ArgScratch.push_back(T.CallResults[A.Ref]);
+    }
+  }
+
+  OpRecord Op;
+  Op.Func = MC.Func;
+  Op.Args = ArgScratch;
+  Op.Thread = T.Tid;
+  Op.InvokeSeq = ++Seq;
+  size_t OpIndex = Result->Hist.Ops.size();
+  Result->Hist.Ops.push_back(std::move(Op));
+
+  Thread::Frame &Fr = T.pushFrame(F, P->frameSize(F));
+  for (size_t I = 0; I != ArgScratch.size(); ++I)
+    T.reg(Fr, static_cast<Reg>(I)) = ArgScratch[I];
+  Fr.IsTopLevel = true;
+  Fr.OpIndex = OpIndex;
+  if (T.RegArena.size() > CStats.RegArenaHighWater)
+    CStats.RegArenaHighWater = T.RegArena.size();
+}
+
+bool ExecContext::checkAddr(Word Addr, const char *What, InstrId Label) {
+  if (Mem.isValid(Addr))
+    return true;
+  const char *Why = Addr == 0            ? "null dereference"
+                    : Mem.isFreed(Addr)  ? "use after free"
+                                         : "out-of-bounds access";
+  violate(Outcome::MemSafety,
+          strformat("%s at address %llu (%%%u): %s", What,
+                    static_cast<unsigned long long>(Addr), Label, Why));
+  return false;
+}
+
+void ExecContext::collectRepairs(Thread &T, InstrId K, Word Addr,
+                                 bool IsLoad) {
+  if (!Cfg.CollectRepairs || Cfg.Model == MemModel::SC)
+    return;
+  // Under TSO only store→load reordering is possible, so only later loads
+  // yield ordering predicates; PSO additionally relaxes store→store.
+  if (Cfg.Model == MemModel::TSO && !IsLoad)
+    return;
+  LabelScratch.clear();
+  T.Buf.pendingLabelsExcept(Addr, LabelScratch);
+  for (InstrId L : LabelScratch)
+    Repairs.push_back(OrderingPredicate{L, K, IsLoad});
+}
+
+bool ExecContext::deadlineExpired() {
+  if (Cfg.WallClockMs == 0 || Halted)
+    return false;
+  if (std::chrono::steady_clock::now() < Deadline)
+    return false;
+  violate(Outcome::Timeout,
+          strformat("execution exceeded wall-clock budget of %u ms",
+                    Cfg.WallClockMs));
+  return true;
+}
+
+bool ExecContext::allocFaultFires() {
+  const FaultPlan *FP = Cfg.Faults;
+  if (!FP)
+    return false;
+  ++AllocAttempts;
+  if (FP->AllocFailAfter > 0 && AllocAttempts > FP->AllocFailAfter)
+    return true;
+  return FP->AllocFailProb > 0.0 && FaultR.nextBool(FP->AllocFailProb);
+}
+
+bool ExecContext::maybeFlushStorm() {
+  const FaultPlan *FP = Cfg.Faults;
+  if (!FP || FP->FlushStormProb <= 0.0 ||
+      !FaultR.nextBool(FP->FlushStormProb))
+    return false;
+  std::vector<uint32_t> Buffered;
+  for (const sched::ThreadView &V : Views)
+    if (V.PendingStores > 0)
+      Buffered.push_back(V.Tid);
+  if (Buffered.empty())
+    return false;
+  uint32_t Tid = Buffered[FaultR.nextBelow(Buffered.size())];
+  Thread &T = *Threads[Tid];
+  // Drain the whole buffer; each flush is a recorded action so a replay
+  // of the trace reproduces the storm without needing the fault plan.
+  while (!T.Buf.empty() && !Halted && Steps < Cfg.MaxSteps) {
+    if (Cfg.RecordTrace)
+      Result->Trace.push_back(sched::Action::flush(Tid));
+    flushOne(T, false, 0);
+    ++Steps;
+  }
+  NoProgress = 0;
+  return true;
+}
+
+sched::Action ExecContext::applyForcedSwitch(sched::Action A) {
+  const FaultPlan *FP = Cfg.Faults;
+  if (FP && !FP->SwitchBeforeLabels.empty() &&
+      A.Kind == sched::Action::StepThread && A.Tid < LiveThreads) {
+    Thread &T = *Threads[A.Tid];
+    DeferredAt.resize(LiveThreads, InvalidInstrId);
+    if (!T.Frames.empty()) {
+      const Thread::Frame &F = T.Frames.back();
+      InstrId Next = P->module().Funcs[F.F].Body[F.Ip].Id;
+      bool Marked = std::find(FP->SwitchBeforeLabels.begin(),
+                              FP->SwitchBeforeLabels.end(),
+                              Next) != FP->SwitchBeforeLabels.end();
+      if (Marked && DeferredAt[A.Tid] != Next) {
+        std::vector<uint32_t> Other;
+        for (const sched::ThreadView &V : Views)
+          if (V.Tid != A.Tid && (V.Runnable || V.PendingStores > 0))
+            Other.push_back(V.Tid);
+        if (!Other.empty()) {
+          DeferredAt[A.Tid] = Next; // Defer this arrival exactly once.
+          uint32_t Alt = Other[FaultR.nextBelow(Other.size())];
+          return Views[Alt].Runnable ? sched::Action::step(Alt)
+                                     : sched::Action::flush(Alt);
+        }
+      }
+    }
+  }
+  // The chosen thread really runs: clear its deferral marker so its next
+  // arrival at a marked label is deferred again.
+  if (A.Kind == sched::Action::StepThread && A.Tid < DeferredAt.size())
+    DeferredAt[A.Tid] = InvalidInstrId;
+  return A;
+}
+
+void ExecContext::flushOne(Thread &T, bool HasVar, Word Var) {
+  assert(!T.Buf.empty() && "flush of empty buffer");
+  BufferEntry E = (HasVar && Cfg.Model == MemModel::PSO)
+                      ? T.Buf.popOldestFor(Var)
+                      : T.Buf.popOldest();
+  // The FLUSH rule is where delayed stores become visible; the paper
+  // checks safety of the target here (a store to memory freed in the
+  // meantime is a violation).
+  ++Result->Stats.Flushes;
+  if (!checkAddr(E.Addr, "flush of buffered store", E.Label))
+    return;
+  Mem.write(E.Addr, E.Val);
+}
+
+void ExecContext::drainForAtomic(Thread &T, Word Addr) {
+  if (Cfg.Model == MemModel::PSO && !T.Buf.emptyFor(Addr)) {
+    BufferEntry E = T.Buf.popOldestFor(Addr);
+    ++Result->Stats.Flushes;
+    if (!checkAddr(E.Addr, "flush of buffered store", E.Label))
+      return;
+    Mem.write(E.Addr, E.Val);
+    return;
+  }
+  flushOne(T, false, 0);
+}
+
+bool ExecContext::stepThread(Thread &T) {
+  if (T.Frames.empty()) {
+    if (T.Script && T.ScriptPos < T.Script->Calls.size()) {
+      startNextCall(T);
+      return true;
+    }
+    T.DoneFlag = true;
+    return false;
+  }
+
+  Thread::Frame &F = T.Frames.back();
+  const Module &M = P->module();
+  const Function &Fn = M.Funcs[F.F];
+  assert(F.Ip < Fn.Body.size() && "instruction pointer out of range");
+  const Instr &I = Fn.Body[F.Ip];
+
+  switch (I.Op) {
+  case Opcode::Const:
+    T.reg(F, I.Dst) = I.Imm;
+    break;
+  case Opcode::Move:
+    T.reg(F, I.Dst) = T.reg(F, I.Ops[0]);
+    break;
+  case Opcode::BinOp:
+    T.reg(F, I.Dst) =
+        evalBinOp(I.BK, T.reg(F, I.Ops[0]), T.reg(F, I.Ops[1]));
+    break;
+  case Opcode::Not:
+    T.reg(F, I.Dst) = T.reg(F, I.Ops[0]) == 0;
+    break;
+  case Opcode::GlobalAddr:
+    assert(I.GV < GlobalAddrs.size());
+    T.reg(F, I.Dst) = GlobalAddrs[I.GV];
+    break;
+  case Opcode::Self:
+    T.reg(F, I.Dst) = T.Tid;
+    break;
+  case Opcode::Nop:
+    break;
+
+  case Opcode::Load: {
+    Word Addr = T.reg(F, I.Ops[0]);
+    collectRepairs(T, I.Id, Addr, /*IsLoad=*/true);
+    if (!checkAddr(Addr, "load", I.Id))
+      return true;
+    Word V;
+    if (T.Buf.forward(Addr, V)) { // LOAD-B else LOAD-G
+      ++Result->Stats.StoreForwards;
+    } else {
+      V = Mem.read(Addr);
+    }
+    T.reg(F, I.Dst) = V;
+    break;
+  }
+
+  case Opcode::Store: {
+    Word Addr = T.reg(F, I.Ops[0]);
+    Word Val = T.reg(F, I.Ops[1]);
+    collectRepairs(T, I.Id, Addr, /*IsLoad=*/false);
+    if (T.Buf.model() == MemModel::SC) {
+      if (!checkAddr(Addr, "store", I.Id))
+        return true;
+      Mem.write(Addr, Val);
+    } else {
+      // Bounded-buffer fault: at capacity, the oldest entry commits
+      // before the new store can be buffered (as real hardware would).
+      if (Cfg.Faults && Cfg.Faults->BufferCapacity > 0) {
+        while (T.Buf.size() >= Cfg.Faults->BufferCapacity && !Halted)
+          flushOne(T, false, 0);
+        if (Halted)
+          return true;
+      }
+      // STORE rule: append to the buffer; safety is checked at flush.
+      T.Buf.push(Addr, Val, I.Id);
+      ++Result->Stats.BufferedStores;
+      if (T.Buf.size() > Result->Stats.BufHighWater)
+        Result->Stats.BufHighWater = static_cast<uint32_t>(T.Buf.size());
+    }
+    break;
+  }
+
+  case Opcode::Cas: {
+    Word Addr = T.reg(F, I.Ops[0]);
+    // CAS premise: the buffer of the accessed variable must be empty
+    // (TSO: the whole per-thread buffer). Make progress by draining.
+    if (!T.Buf.emptyFor(Addr)) {
+      drainForAtomic(T, Addr);
+      return true;
+    }
+    collectRepairs(T, I.Id, Addr, /*IsLoad=*/false);
+    if (!checkAddr(Addr, "cas", I.Id))
+      return true;
+    Word Expected = T.reg(F, I.Ops[1]);
+    Word Desired = T.reg(F, I.Ops[2]);
+    if (Mem.read(Addr) == Expected) {
+      Mem.write(Addr, Desired);
+      T.reg(F, I.Dst) = 1;
+    } else {
+      T.reg(F, I.Dst) = 0;
+    }
+    break;
+  }
+
+  case Opcode::Fence: {
+    // FENCE rule: blocks until all of the thread's buffers are empty.
+    if (!T.Buf.empty()) {
+      flushOne(T, false, 0);
+      return true;
+    }
+    break;
+  }
+
+  case Opcode::Lock: {
+    // Lock acquire is a CAS loop surrounded by full fences (paper §5.2).
+    if (!T.Buf.empty()) {
+      flushOne(T, false, 0);
+      return true;
+    }
+    Word Addr = T.reg(F, I.Ops[0]);
+    if (!checkAddr(Addr, "lock", I.Id))
+      return true;
+    if (Mem.read(Addr) != 0)
+      return false; // Spin; no progress this step.
+    Mem.write(Addr, 1);
+    break;
+  }
+
+  case Opcode::Unlock: {
+    if (!T.Buf.empty()) {
+      flushOne(T, false, 0);
+      return true;
+    }
+    Word Addr = T.reg(F, I.Ops[0]);
+    if (!checkAddr(Addr, "unlock", I.Id))
+      return true;
+    Mem.write(Addr, 0);
+    break;
+  }
+
+  case Opcode::Alloc: {
+    Word Size = T.reg(F, I.Ops[0]);
+    if (Size > (1u << 24)) {
+      violate(Outcome::MemSafety,
+              strformat("unreasonable allocation of %llu words (%%%u)",
+                        static_cast<unsigned long long>(Size), I.Id));
+      return true;
+    }
+    // Simulated OOM: the allocation yields null and the memory-safety
+    // checker flags whichever access dereferences it.
+    T.reg(F, I.Dst) = allocFaultFires() ? 0 : Mem.allocate(Size);
+    break;
+  }
+
+  case Opcode::Free: {
+    Word Addr = T.reg(F, I.Ops[0]);
+    // Note: free does NOT flush write buffers (paper §5.2); pending
+    // stores into the freed block will fault when they flush.
+    if (!Mem.freeBlock(Addr)) {
+      violate(Outcome::MemSafety,
+              strformat("invalid free of address %llu (%%%u)",
+                        static_cast<unsigned long long>(Addr), I.Id));
+      return true;
+    }
+    break;
+  }
+
+  case Opcode::Br:
+    F.Ip = P->func(F.F).Jump0[F.Ip];
+    return true;
+  case Opcode::CondBr: {
+    const PreparedFunc &PF = P->func(F.F);
+    F.Ip = T.reg(F, I.Ops[0]) != 0 ? PF.Jump0[F.Ip] : PF.Jump1[F.Ip];
+    return true;
+  }
+
+  case Opcode::Call: {
+    ArgScratch.clear();
+    for (size_t A = 0; A != I.Ops.size(); ++A)
+      ArgScratch.push_back(T.reg(F, I.Ops[A]));
+    Reg Dst = I.Dst;
+    FuncId Callee = I.Callee;
+    ++F.Ip; // Return continues after the call.
+    // pushFrame grows the arena and the frame stack; F is dead past here.
+    Thread::Frame &NewF = T.pushFrame(Callee, P->frameSize(Callee));
+    for (size_t A = 0; A != ArgScratch.size(); ++A)
+      T.reg(NewF, static_cast<Reg>(A)) = ArgScratch[A];
+    NewF.RetDst = Dst;
+    if (T.RegArena.size() > CStats.RegArenaHighWater)
+      CStats.RegArenaHighWater = T.RegArena.size();
+    return true;
+  }
+
+  case Opcode::Ret: {
+    Word RetVal = I.Ops.empty() ? 0 : T.reg(F, I.Ops[0]);
+    bool WasTopLevel = F.IsTopLevel;
+    // Inter-operation predicates: a store still buffered when its method
+    // returns can take effect after the operation's response — the
+    // linearizability violations of the paper's Fig. 2c. Record
+    // [pending-store ≺ return] so enforcement can place a fence at the
+    // end of the method (the paper's "(m, line:-)" inter-op fences).
+    if (WasTopLevel && Cfg.CollectRepairs && Cfg.InterOpPredicates &&
+        !T.Buf.empty() && Cfg.Model != MemModel::SC) {
+      LabelScratch.clear();
+      T.Buf.pendingLabelsExcept(static_cast<Word>(-1), LabelScratch);
+      for (InstrId L : LabelScratch)
+        Repairs.push_back(
+            OrderingPredicate{L, I.Id, /*AfterIsLoad=*/false});
+    }
+    size_t OpIndex = F.OpIndex;
+    Reg RetDst = F.RetDst;
+    T.popFrame();
+    if (!T.Frames.empty()) {
+      T.reg(T.Frames.back(), RetDst) = RetVal;
+    } else if (WasTopLevel) {
+      OpRecord &Op = Result->Hist.Ops[OpIndex];
+      Op.Ret = RetVal;
+      Op.RespondSeq = ++Seq;
+      Op.Completed = true;
+      T.CallResults.push_back(RetVal);
+    }
+    return true;
+  }
+
+  case Opcode::Spawn: {
+    if (T.Tid == ~0u)
+      reportFatalError("spawn is not allowed in client init functions");
+    ArgScratch.clear();
+    for (size_t A = 0; A != I.Ops.size(); ++A)
+      ArgScratch.push_back(T.reg(F, I.Ops[A]));
+    uint32_t NewTid = static_cast<uint32_t>(LiveThreads);
+    Thread &NewT = acquireThread(NewTid, Cfg.Model);
+    Thread::Frame &NewF =
+        NewT.pushFrame(I.Callee, P->frameSize(I.Callee));
+    for (size_t A = 0; A != ArgScratch.size(); ++A)
+      NewT.reg(NewF, static_cast<Reg>(A)) = ArgScratch[A];
+    if (NewT.RegArena.size() > CStats.RegArenaHighWater)
+      CStats.RegArenaHighWater = NewT.RegArena.size();
+    T.reg(F, I.Dst) = NewTid;
+    break;
+  }
+
+  case Opcode::Join: {
+    Word Target = T.reg(F, I.Ops[0]);
+    if (Target >= LiveThreads) {
+      violate(Outcome::AssertFail,
+              strformat("join of invalid thread %llu (%%%u)",
+                        static_cast<unsigned long long>(Target), I.Id));
+      return true;
+    }
+    Thread &U = *Threads[Target];
+    // JOIN rule: target finished and its buffers drained.
+    if (U.hasWork())
+      return false;
+    if (!U.Buf.empty()) {
+      flushOne(U, false, 0);
+      return true;
+    }
+    break;
+  }
+
+  case Opcode::Assert: {
+    if (T.reg(F, I.Ops[0]) == 0) {
+      violate(Outcome::AssertFail,
+              strformat("assertion failed (%%%u, line %u)", I.Id,
+                        I.SrcLine));
+      return true;
+    }
+    break;
+  }
+  }
+
+  ++F.Ip;
+  return true;
+}
+
+void ExecContext::mainLoop() {
+  const Module &M = P->module();
+  while (!Halted) {
+    if (Steps >= Cfg.MaxSteps) {
+      violate(Outcome::StepLimit, "execution exceeded step limit");
+      return;
+    }
+    if ((Steps & 1023) == 0 && deadlineExpired())
+      return;
+
+    // Views are updated in place (Views[Tid] describes thread Tid): the
+    // vector and its BufferedVars keep their capacities across steps.
+    Views.resize(LiveThreads);
+    bool AnyWork = false;
+    for (size_t TI = 0; TI != LiveThreads; ++TI) {
+      Thread &T = *Threads[TI];
+      sched::ThreadView &V = Views[TI];
+      V.Tid = T.Tid;
+      V.Runnable = T.hasWork();
+      V.PendingStores = T.Buf.size();
+      V.NextIsShared = false;
+      if (V.Runnable || V.PendingStores > 0) {
+        AnyWork = true;
+        T.Buf.nonEmptyVars(V.BufferedVars);
+        if (V.Runnable) {
+          if (T.Frames.empty()) {
+            V.NextIsShared = true; // Next step records an invoke.
+          } else {
+            const Thread::Frame &F = T.Frames.back();
+            const Instr &I = M.Funcs[F.F].Body[F.Ip];
+            V.NextIsShared = I.isSharedAccess() ||
+                             I.Op == Opcode::Fence ||
+                             I.Op == Opcode::Call || I.Op == Opcode::Ret ||
+                             I.Op == Opcode::Spawn ||
+                             I.Op == Opcode::Join ||
+                             I.Op == Opcode::Alloc;
+          }
+        }
+      } else {
+        V.BufferedVars.clear();
+      }
+    }
+    if (!AnyWork)
+      return; // Completed.
+
+    if (maybeFlushStorm())
+      continue;
+
+    sched::Action A = Sched->pick(Views, R);
+    if (Cfg.Faults)
+      A = applyForcedSwitch(A);
+    if (Cfg.RecordTrace)
+      Result->Trace.push_back(A);
+    // Validate the action for real (not assert-only): a stale or corrupt
+    // replay trace must end the execution, not corrupt the engine.
+    if (A.Tid >= LiveThreads) {
+      violate(Outcome::Deadlock,
+              strformat("scheduler picked invalid thread %u (stale "
+                        "replay trace?)",
+                        A.Tid));
+      return;
+    }
+    Thread &T = *Threads[A.Tid];
+
+    bool Progress;
+    if (A.Kind == sched::Action::Flush) {
+      if (T.Buf.empty()) {
+        violate(Outcome::Deadlock,
+                strformat("scheduler flushed empty buffer of thread %u "
+                          "(stale replay trace?)",
+                          A.Tid));
+        return;
+      }
+      // A per-variable flush of a variable with nothing pending (possible
+      // only with a foreign trace) degrades to a positional flush.
+      if (A.HasVar && T.Buf.model() == MemModel::PSO &&
+          T.Buf.emptyFor(A.Var))
+        A.HasVar = false;
+      flushOne(T, A.HasVar, A.Var);
+      ++Result->Stats.SchedFlushes;
+      Progress = true;
+    } else {
+      Progress = stepThread(T);
+      ++Result->Stats.SchedSteps;
+    }
+    ++Steps;
+
+    if (Progress) {
+      NoProgress = 0;
+    } else if (++NoProgress > 100000) {
+      violate(Outcome::Deadlock, "no thread can make progress");
+      return;
+    }
+  }
+}
+
+void ExecContext::finalDrain() {
+  for (size_t TI = 0; TI != LiveThreads; ++TI) {
+    Thread &T = *Threads[TI];
+    while (!T.Buf.empty() && !Halted)
+      flushOne(T, false, 0);
+  }
+}
+
+void ExecContext::run(const PreparedProgram &Prog, size_t ClientIdx,
+                      const ExecConfig &RunCfg, ExecResult &Out) {
+  assert(ClientIdx < Prog.numClients());
+  P = &Prog;
+  PC = &Prog.client(ClientIdx);
+  Cfg = RunCfg;
+  Result = &Out;
+
+  // Reset the result in place (a reused ExecResult keeps its capacities).
+  Out.Out = Outcome::Completed;
+  Out.Hist.Ops.clear();
+  Out.Stats = ExecStats{};
+  Out.Repairs.clear();
+  Out.Message.clear();
+  Out.Steps = 0;
+  Out.Trace.clear();
+
+  ++CStats.Executions;
+  if (CStats.Executions > 1)
+    ++CStats.Reuses;
+
+  // Reset the context: same capacities, fresh state.
+  Mem.reset();
+  GlobalAddrs.clear();
+  LiveThreads = 0;
+  Repairs.clear();
+  DeferredAt.clear();
+  Seq = 0;
+  Steps = 0;
+  NoProgress = 0;
+  Halted = false;
+  AllocAttempts = 0;
+  R.reseed(Cfg.Seed);
+  // Dedicated fault RNG stream: never consumed by scheduling, so
+  // engine-level faults replay under a recorded trace.
+  FaultR.reseed(Cfg.Seed ^ 0xfa017b0b5ULL);
+  if (Cfg.WallClockMs > 0)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(Cfg.WallClockMs);
+  if (Cfg.Sched) {
+    Sched = Cfg.Sched;
+  } else {
+    sched::RandomFlushConfig SC;
+    SC.FlushProb = Cfg.FlushProb;
+    SC.PartialOrderReduction = Cfg.PartialOrderReduction;
+    OwnedSched.configure(SC);
+    Sched = &OwnedSched;
+  }
+
+  Sched->reset();
+  layoutGlobals();
+  if (PC->HasInit && !Halted)
+    runInit();
+  createClientThreads();
+  if (!Halted)
+    mainLoop();
+  if (!Halted)
+    finalDrain();
+  Out.Steps = Steps;
+
+  // Repairs were collected without dedup; sort-and-unique here produces
+  // exactly the order the old std::set gave: sorted by (Before, After),
+  // first-inserted kept among predicates equal under that key (stable
+  // sort preserves insertion order; operator== ignores AfterIsLoad just
+  // like operator<).
+  std::stable_sort(Repairs.begin(), Repairs.end());
+  Repairs.erase(std::unique(Repairs.begin(), Repairs.end()),
+                Repairs.end());
+  Out.Repairs.assign(Repairs.begin(), Repairs.end());
+
+  if (LiveThreads > CStats.ThreadHighWater)
+    CStats.ThreadHighWater = LiveThreads;
+  P = nullptr;
+  PC = nullptr;
+  Result = nullptr;
+  Sched = nullptr;
+}

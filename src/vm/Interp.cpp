@@ -1,14 +1,19 @@
-//===- Interp.cpp - Execution engine with TSO/PSO semantics ---------------===//
+//===- Interp.cpp - Convenience entry points to the execution core --------===//
+//
+// The engine itself lives in ExecContext.cpp (a long-lived, reusable
+// context) with name resolution in Prepared.cpp. runExecution is kept as
+// the one-shot convenience wrapper: it prepares the single client and
+// runs it in a transient context — same semantics, same determinism, used
+// by tests, litmus sweeps and everything that does not batch executions.
+//
+//===----------------------------------------------------------------------===//
 
 #include "vm/Interp.h"
 
-#include "sched/RandomFlushScheduler.h"
 #include "support/Diagnostics.h"
 #include "support/StringUtils.h"
-
-#include <algorithm>
-#include <chrono>
-#include <unordered_map>
+#include "vm/ExecContext.h"
+#include "vm/Prepared.h"
 
 using namespace dfence;
 using namespace dfence::vm;
@@ -46,762 +51,13 @@ std::string History::str() const {
   return S;
 }
 
-namespace {
-
-/// One stack frame of a VM thread.
-struct Frame {
-  FuncId F = 0;
-  size_t Ip = 0;
-  std::vector<Word> Regs;
-  Reg RetDst = 0;          ///< Caller register receiving the return value.
-  bool IsTopLevel = false; ///< Frame of a recorded client method call.
-  size_t OpIndex = 0;      ///< History slot when IsTopLevel.
-};
-
-/// A VM thread: client-script threads and Spawn-created threads alike.
-struct Thread {
-  uint32_t Tid = 0;
-  std::vector<Frame> Frames;
-  StoreBufferSet Buf;
-  const ThreadScript *Script = nullptr; ///< Null for spawned threads.
-  size_t ScriptPos = 0;
-  std::vector<Word> CallResults; ///< Return values of completed calls.
-  bool DoneFlag = false;
-
-  explicit Thread(MemModel M) : Buf(M) {}
-
-  bool hasWork() const {
-    if (!Frames.empty())
-      return true;
-    return Script && ScriptPos < Script->Calls.size();
-  }
-};
-
-/// The execution engine for a single run.
-class Engine {
-public:
-  Engine(const Module &M, const Client &C, const ExecConfig &Cfg)
-      : M(M), C(C), Cfg(Cfg), R(Cfg.Seed),
-        FaultR(Cfg.Seed ^ 0xfa017b0b5ULL) {
-    if (Cfg.WallClockMs > 0)
-      Deadline = std::chrono::steady_clock::now() +
-                 std::chrono::milliseconds(Cfg.WallClockMs);
-    if (Cfg.Sched) {
-      Sched = Cfg.Sched;
-    } else {
-      sched::RandomFlushConfig SC;
-      SC.FlushProb = Cfg.FlushProb;
-      SC.PartialOrderReduction = Cfg.PartialOrderReduction;
-      OwnedSched = std::make_unique<sched::RandomFlushScheduler>(SC);
-      Sched = OwnedSched.get();
-    }
-  }
-
-  ExecResult run();
-
-private:
-  // Violation plumbing.
-  void violate(Outcome O, std::string Msg) {
-    if (Halted)
-      return;
-    Halted = true;
-    Result.Out = O;
-    Result.Message = std::move(Msg);
-  }
-
-  void layoutGlobals();
-  void runInit();
-  void createClientThreads();
-  void mainLoop();
-  void finalDrain();
-
-  void startNextCall(Thread &T);
-  /// Executes one instruction (or a blocked-progress flush) of \p T.
-  /// Returns true when the thread made progress.
-  bool stepThread(Thread &T);
-  /// Flushes one buffered entry of \p T (of \p Var under PSO when
-  /// \p HasVar), performing the memory-safety check of the FLUSH rule.
-  void flushOne(Thread &T, bool HasVar, Word Var);
-  /// Drains one entry of the buffers relevant to an atomic operation on
-  /// \p Addr; used to make progress while a fence/CAS/lock is blocked.
-  void drainForAtomic(Thread &T, Word Addr);
-
-  /// Instrumented semantics: records ordering predicates between pending
-  /// stores and the access at label \p K on variable \p Addr.
-  void collectRepairs(Thread &T, InstrId K, Word Addr, bool IsLoad);
-
-  /// Wall-clock watchdog: true (and flags Timeout) when the deadline
-  /// passed. Cheap to call on a sampled cadence only.
-  bool deadlineExpired();
-  /// Fault injection: decides whether the next Alloc fails.
-  bool allocFaultFires();
-  /// Fault injection: with FlushStormProb, drains one whole buffer.
-  /// Returns true when a storm ran (the scheduling point is consumed).
-  bool maybeFlushStorm(const std::vector<sched::ThreadView> &Views);
-  /// Fault injection: reroutes \p A away from a marked label when
-  /// possible. The returned action is what actually executes (and what
-  /// gets recorded into the trace).
-  sched::Action applyForcedSwitch(sched::Action A,
-                                  const std::vector<sched::ThreadView> &Views);
-
-  /// Memory-safety checked accessors; return false after flagging a
-  /// violation.
-  bool checkAddr(Word Addr, const char *What, InstrId Label);
-
-  Word regVal(const Frame &F, Reg Rg) const {
-    assert(Rg < F.Regs.size());
-    return F.Regs[Rg];
-  }
-
-  FuncId resolveFunc(const std::string &Name);
-
-  const Module &M;
-  const Client &C;
-  ExecConfig Cfg;
-  Rng R;
-  std::unique_ptr<sched::Scheduler> OwnedSched;
-  sched::Scheduler *Sched = nullptr;
-
-  Memory Mem;
-  std::vector<Word> GlobalAddrs;
-  std::vector<std::unique_ptr<Thread>> Threads;
-  uint64_t Seq = 0;
-  size_t Steps = 0;
-  uint64_t NoProgress = 0;
-  bool Halted = false;
-  // Fault-injection state: dedicated RNG stream (never consumed by
-  // scheduling, so engine-level faults replay under a recorded trace),
-  // allocation counter, and the per-thread "already deferred at this
-  // label" markers for forced context switches.
-  Rng FaultR;
-  uint64_t AllocAttempts = 0;
-  std::vector<InstrId> DeferredAt;
-  std::chrono::steady_clock::time_point Deadline{};
-  std::set<OrderingPredicate> Repairs;
-  ExecResult Result;
-  std::unordered_map<std::string, FuncId> FuncCache;
-};
-
-} // namespace
-
-FuncId Engine::resolveFunc(const std::string &Name) {
-  auto It = FuncCache.find(Name);
-  if (It != FuncCache.end())
-    return It->second;
-  auto F = M.findFunction(Name);
-  if (!F)
-    reportFatalError("client calls unknown function: " + Name);
-  FuncCache.emplace(Name, *F);
-  return *F;
-}
-
-void Engine::layoutGlobals() {
-  GlobalAddrs.reserve(M.Globals.size());
-  for (const GlobalVar &G : M.Globals) {
-    Word Addr = Mem.allocateGlobal(G.SizeWords);
-    for (size_t I = 0, E = G.Init.size(); I != E && I < G.SizeWords; ++I)
-      Mem.write(Addr + I, G.Init[I]);
-    GlobalAddrs.push_back(Addr);
-  }
-}
-
-void Engine::runInit() {
-  // The init function runs to completion, alone, with SC semantics: a
-  // dedicated SC-buffered (i.e. unbuffered) thread stepping until done.
-  Thread Init(MemModel::SC);
-  Init.Tid = ~0u;
-  FuncId F = resolveFunc(C.InitFunc);
-  Frame Fr;
-  Fr.F = F;
-  Fr.Regs.assign(M.Funcs[F].NumRegs, 0);
-  Init.Frames.push_back(std::move(Fr));
-  size_t InitSteps = 0;
-  while (!Init.Frames.empty() && !Halted) {
-    if (++InitSteps > Cfg.MaxSteps) {
-      violate(Outcome::StepLimit, "init function exceeded step limit");
-      return;
-    }
-    if ((InitSteps & 1023) == 0 && deadlineExpired())
-      return;
-    stepThread(Init);
-  }
-}
-
-void Engine::createClientThreads() {
-  // Every top-level call appends one OpRecord; size the history once so
-  // the hot loop never reallocates it (K executions per round make this
-  // per-execution setup cost part of the synthesis hot path).
-  size_t TotalCalls = 0;
-  for (const ThreadScript &S : C.Threads)
-    TotalCalls += S.Calls.size();
-  Result.Hist.Ops.reserve(TotalCalls);
-  if (Cfg.RecordTrace)
-    Result.Trace.reserve(std::min<size_t>(Cfg.MaxSteps, 1 << 14));
-  for (size_t I = 0, E = C.Threads.size(); I != E; ++I) {
-    auto T = std::make_unique<Thread>(Cfg.Model);
-    T->Tid = static_cast<uint32_t>(I);
-    T->Script = &C.Threads[I];
-    Threads.push_back(std::move(T));
-  }
-}
-
-void Engine::startNextCall(Thread &T) {
-  assert(T.Script && T.ScriptPos < T.Script->Calls.size());
-  const MethodCall &MC = T.Script->Calls[T.ScriptPos++];
-  FuncId F = resolveFunc(MC.Func);
-  const Function &Fn = M.Funcs[F];
-  if (MC.Args.size() != Fn.NumParams)
-    reportFatalError("client call arity mismatch for " + MC.Func);
-
-  std::vector<Word> ArgVals;
-  ArgVals.reserve(MC.Args.size());
-  for (const Arg &A : MC.Args) {
-    if (A.Ref < 0) {
-      ArgVals.push_back(A.Literal);
-    } else {
-      if (static_cast<size_t>(A.Ref) >= T.CallResults.size())
-        reportFatalError("client argument references a later call");
-      ArgVals.push_back(T.CallResults[A.Ref]);
-    }
-  }
-
-  OpRecord Op;
-  Op.Func = MC.Func;
-  Op.Args = ArgVals;
-  Op.Thread = T.Tid;
-  Op.InvokeSeq = ++Seq;
-  size_t OpIndex = Result.Hist.Ops.size();
-  Result.Hist.Ops.push_back(std::move(Op));
-
-  Frame Fr;
-  Fr.F = F;
-  Fr.Regs.assign(Fn.NumRegs, 0);
-  for (size_t I = 0; I != ArgVals.size(); ++I)
-    Fr.Regs[I] = ArgVals[I];
-  Fr.IsTopLevel = true;
-  Fr.OpIndex = OpIndex;
-  T.Frames.push_back(std::move(Fr));
-}
-
-bool Engine::checkAddr(Word Addr, const char *What, InstrId Label) {
-  if (Mem.isValid(Addr))
-    return true;
-  const char *Why = Addr == 0            ? "null dereference"
-                    : Mem.isFreed(Addr)  ? "use after free"
-                                         : "out-of-bounds access";
-  violate(Outcome::MemSafety,
-          strformat("%s at address %llu (%%%u): %s", What,
-                    static_cast<unsigned long long>(Addr), Label, Why));
-  return false;
-}
-
-void Engine::collectRepairs(Thread &T, InstrId K, Word Addr, bool IsLoad) {
-  if (!Cfg.CollectRepairs || Cfg.Model == MemModel::SC)
-    return;
-  // Under TSO only store→load reordering is possible, so only later loads
-  // yield ordering predicates; PSO additionally relaxes store→store.
-  if (Cfg.Model == MemModel::TSO && !IsLoad)
-    return;
-  std::vector<InstrId> Labels;
-  T.Buf.pendingLabelsExcept(Addr, Labels);
-  for (InstrId L : Labels)
-    Repairs.insert(OrderingPredicate{L, K, IsLoad});
-}
-
-bool Engine::deadlineExpired() {
-  if (Cfg.WallClockMs == 0 || Halted)
-    return false;
-  if (std::chrono::steady_clock::now() < Deadline)
-    return false;
-  violate(Outcome::Timeout,
-          strformat("execution exceeded wall-clock budget of %u ms",
-                    Cfg.WallClockMs));
-  return true;
-}
-
-bool Engine::allocFaultFires() {
-  const FaultPlan *FP = Cfg.Faults;
-  if (!FP)
-    return false;
-  ++AllocAttempts;
-  if (FP->AllocFailAfter > 0 && AllocAttempts > FP->AllocFailAfter)
-    return true;
-  return FP->AllocFailProb > 0.0 && FaultR.nextBool(FP->AllocFailProb);
-}
-
-bool Engine::maybeFlushStorm(const std::vector<sched::ThreadView> &Views) {
-  const FaultPlan *FP = Cfg.Faults;
-  if (!FP || FP->FlushStormProb <= 0.0 ||
-      !FaultR.nextBool(FP->FlushStormProb))
-    return false;
-  std::vector<uint32_t> Buffered;
-  for (const sched::ThreadView &V : Views)
-    if (V.PendingStores > 0)
-      Buffered.push_back(V.Tid);
-  if (Buffered.empty())
-    return false;
-  uint32_t Tid = Buffered[FaultR.nextBelow(Buffered.size())];
-  Thread &T = *Threads[Tid];
-  // Drain the whole buffer; each flush is a recorded action so a replay
-  // of the trace reproduces the storm without needing the fault plan.
-  while (!T.Buf.empty() && !Halted && Steps < Cfg.MaxSteps) {
-    if (Cfg.RecordTrace)
-      Result.Trace.push_back(sched::Action::flush(Tid));
-    flushOne(T, false, 0);
-    ++Steps;
-  }
-  NoProgress = 0;
-  return true;
-}
-
-sched::Action
-Engine::applyForcedSwitch(sched::Action A,
-                          const std::vector<sched::ThreadView> &Views) {
-  const FaultPlan *FP = Cfg.Faults;
-  if (FP && !FP->SwitchBeforeLabels.empty() &&
-      A.Kind == sched::Action::StepThread && A.Tid < Threads.size()) {
-    Thread &T = *Threads[A.Tid];
-    DeferredAt.resize(Threads.size(), InvalidInstrId);
-    if (!T.Frames.empty()) {
-      const Frame &F = T.Frames.back();
-      InstrId Next = M.Funcs[F.F].Body[F.Ip].Id;
-      bool Marked = std::find(FP->SwitchBeforeLabels.begin(),
-                              FP->SwitchBeforeLabels.end(),
-                              Next) != FP->SwitchBeforeLabels.end();
-      if (Marked && DeferredAt[A.Tid] != Next) {
-        std::vector<uint32_t> Other;
-        for (const sched::ThreadView &V : Views)
-          if (V.Tid != A.Tid && (V.Runnable || V.PendingStores > 0))
-            Other.push_back(V.Tid);
-        if (!Other.empty()) {
-          DeferredAt[A.Tid] = Next; // Defer this arrival exactly once.
-          uint32_t Alt = Other[FaultR.nextBelow(Other.size())];
-          return Views[Alt].Runnable ? sched::Action::step(Alt)
-                                     : sched::Action::flush(Alt);
-        }
-      }
-    }
-  }
-  // The chosen thread really runs: clear its deferral marker so its next
-  // arrival at a marked label is deferred again.
-  if (A.Kind == sched::Action::StepThread && A.Tid < DeferredAt.size())
-    DeferredAt[A.Tid] = InvalidInstrId;
-  return A;
-}
-
-void Engine::flushOne(Thread &T, bool HasVar, Word Var) {
-  assert(!T.Buf.empty() && "flush of empty buffer");
-  BufferEntry E = (HasVar && Cfg.Model == MemModel::PSO)
-                      ? T.Buf.popOldestFor(Var)
-                      : T.Buf.popOldest();
-  // The FLUSH rule is where delayed stores become visible; the paper
-  // checks safety of the target here (a store to memory freed in the
-  // meantime is a violation).
-  ++Result.Stats.Flushes;
-  if (!checkAddr(E.Addr, "flush of buffered store", E.Label))
-    return;
-  Mem.write(E.Addr, E.Val);
-}
-
-void Engine::drainForAtomic(Thread &T, Word Addr) {
-  if (Cfg.Model == MemModel::PSO && !T.Buf.emptyFor(Addr)) {
-    BufferEntry E = T.Buf.popOldestFor(Addr);
-    ++Result.Stats.Flushes;
-    if (!checkAddr(E.Addr, "flush of buffered store", E.Label))
-      return;
-    Mem.write(E.Addr, E.Val);
-    return;
-  }
-  flushOne(T, false, 0);
-}
-
-bool Engine::stepThread(Thread &T) {
-  if (T.Frames.empty()) {
-    if (T.Script && T.ScriptPos < T.Script->Calls.size()) {
-      startNextCall(T);
-      return true;
-    }
-    T.DoneFlag = true;
-    return false;
-  }
-
-  Frame &F = T.Frames.back();
-  const Function &Fn = M.Funcs[F.F];
-  assert(F.Ip < Fn.Body.size() && "instruction pointer out of range");
-  const Instr &I = Fn.Body[F.Ip];
-
-  auto Jump = [&](InstrId Target) { F.Ip = Fn.indexOf(Target); };
-
-  switch (I.Op) {
-  case Opcode::Const:
-    F.Regs[I.Dst] = I.Imm;
-    break;
-  case Opcode::Move:
-    F.Regs[I.Dst] = regVal(F, I.Ops[0]);
-    break;
-  case Opcode::BinOp:
-    F.Regs[I.Dst] =
-        evalBinOp(I.BK, regVal(F, I.Ops[0]), regVal(F, I.Ops[1]));
-    break;
-  case Opcode::Not:
-    F.Regs[I.Dst] = regVal(F, I.Ops[0]) == 0;
-    break;
-  case Opcode::GlobalAddr:
-    assert(I.GV < GlobalAddrs.size());
-    F.Regs[I.Dst] = GlobalAddrs[I.GV];
-    break;
-  case Opcode::Self:
-    F.Regs[I.Dst] = T.Tid;
-    break;
-  case Opcode::Nop:
-    break;
-
-  case Opcode::Load: {
-    Word Addr = regVal(F, I.Ops[0]);
-    collectRepairs(T, I.Id, Addr, /*IsLoad=*/true);
-    if (!checkAddr(Addr, "load", I.Id))
-      return true;
-    Word V;
-    if (T.Buf.forward(Addr, V)) { // LOAD-B else LOAD-G
-      ++Result.Stats.StoreForwards;
-    } else {
-      V = Mem.read(Addr);
-    }
-    F.Regs[I.Dst] = V;
-    break;
-  }
-
-  case Opcode::Store: {
-    Word Addr = regVal(F, I.Ops[0]);
-    Word Val = regVal(F, I.Ops[1]);
-    collectRepairs(T, I.Id, Addr, /*IsLoad=*/false);
-    if (T.Buf.model() == MemModel::SC) {
-      if (!checkAddr(Addr, "store", I.Id))
-        return true;
-      Mem.write(Addr, Val);
-    } else {
-      // Bounded-buffer fault: at capacity, the oldest entry commits
-      // before the new store can be buffered (as real hardware would).
-      if (Cfg.Faults && Cfg.Faults->BufferCapacity > 0) {
-        while (T.Buf.size() >= Cfg.Faults->BufferCapacity && !Halted)
-          flushOne(T, false, 0);
-        if (Halted)
-          return true;
-      }
-      // STORE rule: append to the buffer; safety is checked at flush.
-      T.Buf.push(Addr, Val, I.Id);
-      ++Result.Stats.BufferedStores;
-      if (T.Buf.size() > Result.Stats.BufHighWater)
-        Result.Stats.BufHighWater = static_cast<uint32_t>(T.Buf.size());
-    }
-    break;
-  }
-
-  case Opcode::Cas: {
-    Word Addr = regVal(F, I.Ops[0]);
-    // CAS premise: the buffer of the accessed variable must be empty
-    // (TSO: the whole per-thread buffer). Make progress by draining.
-    if (!T.Buf.emptyFor(Addr)) {
-      drainForAtomic(T, Addr);
-      return true;
-    }
-    collectRepairs(T, I.Id, Addr, /*IsLoad=*/false);
-    if (!checkAddr(Addr, "cas", I.Id))
-      return true;
-    Word Expected = regVal(F, I.Ops[1]);
-    Word Desired = regVal(F, I.Ops[2]);
-    if (Mem.read(Addr) == Expected) {
-      Mem.write(Addr, Desired);
-      F.Regs[I.Dst] = 1;
-    } else {
-      F.Regs[I.Dst] = 0;
-    }
-    break;
-  }
-
-  case Opcode::Fence: {
-    // FENCE rule: blocks until all of the thread's buffers are empty.
-    if (!T.Buf.empty()) {
-      flushOne(T, false, 0);
-      return true;
-    }
-    break;
-  }
-
-  case Opcode::Lock: {
-    // Lock acquire is a CAS loop surrounded by full fences (paper §5.2).
-    if (!T.Buf.empty()) {
-      flushOne(T, false, 0);
-      return true;
-    }
-    Word Addr = regVal(F, I.Ops[0]);
-    if (!checkAddr(Addr, "lock", I.Id))
-      return true;
-    if (Mem.read(Addr) != 0)
-      return false; // Spin; no progress this step.
-    Mem.write(Addr, 1);
-    break;
-  }
-
-  case Opcode::Unlock: {
-    if (!T.Buf.empty()) {
-      flushOne(T, false, 0);
-      return true;
-    }
-    Word Addr = regVal(F, I.Ops[0]);
-    if (!checkAddr(Addr, "unlock", I.Id))
-      return true;
-    Mem.write(Addr, 0);
-    break;
-  }
-
-  case Opcode::Alloc: {
-    Word Size = regVal(F, I.Ops[0]);
-    if (Size > (1u << 24)) {
-      violate(Outcome::MemSafety,
-              strformat("unreasonable allocation of %llu words (%%%u)",
-                        static_cast<unsigned long long>(Size), I.Id));
-      return true;
-    }
-    // Simulated OOM: the allocation yields null and the memory-safety
-    // checker flags whichever access dereferences it.
-    F.Regs[I.Dst] = allocFaultFires() ? 0 : Mem.allocate(Size);
-    break;
-  }
-
-  case Opcode::Free: {
-    Word Addr = regVal(F, I.Ops[0]);
-    // Note: free does NOT flush write buffers (paper §5.2); pending
-    // stores into the freed block will fault when they flush.
-    if (!Mem.freeBlock(Addr)) {
-      violate(Outcome::MemSafety,
-              strformat("invalid free of address %llu (%%%u)",
-                        static_cast<unsigned long long>(Addr), I.Id));
-      return true;
-    }
-    break;
-  }
-
-  case Opcode::Br:
-    Jump(I.Target0);
-    return true;
-  case Opcode::CondBr:
-    Jump(regVal(F, I.Ops[0]) != 0 ? I.Target0 : I.Target1);
-    return true;
-
-  case Opcode::Call: {
-    const Function &Callee = M.Funcs[I.Callee];
-    Frame NewF;
-    NewF.F = I.Callee;
-    NewF.Regs.assign(Callee.NumRegs, 0);
-    for (size_t A = 0; A != I.Ops.size(); ++A)
-      NewF.Regs[A] = regVal(F, I.Ops[A]);
-    NewF.RetDst = I.Dst;
-    ++F.Ip; // Return continues after the call.
-    T.Frames.push_back(std::move(NewF));
-    return true;
-  }
-
-  case Opcode::Ret: {
-    Word RetVal = I.Ops.empty() ? 0 : regVal(F, I.Ops[0]);
-    bool WasTopLevel = F.IsTopLevel;
-    // Inter-operation predicates: a store still buffered when its method
-    // returns can take effect after the operation's response — the
-    // linearizability violations of the paper's Fig. 2c. Record
-    // [pending-store ≺ return] so enforcement can place a fence at the
-    // end of the method (the paper's "(m, line:-)" inter-op fences).
-    if (WasTopLevel && Cfg.CollectRepairs && Cfg.InterOpPredicates &&
-        !T.Buf.empty() && Cfg.Model != MemModel::SC) {
-      std::vector<InstrId> Labels;
-      T.Buf.pendingLabelsExcept(static_cast<Word>(-1), Labels);
-      for (InstrId L : Labels)
-        Repairs.insert(OrderingPredicate{L, I.Id, /*AfterIsLoad=*/false});
-    }
-    size_t OpIndex = F.OpIndex;
-    Reg RetDst = F.RetDst;
-    T.Frames.pop_back();
-    if (!T.Frames.empty()) {
-      T.Frames.back().Regs[RetDst] = RetVal;
-    } else if (WasTopLevel) {
-      OpRecord &Op = Result.Hist.Ops[OpIndex];
-      Op.Ret = RetVal;
-      Op.RespondSeq = ++Seq;
-      Op.Completed = true;
-      T.CallResults.push_back(RetVal);
-    }
-    return true;
-  }
-
-  case Opcode::Spawn: {
-    if (T.Tid == ~0u)
-      reportFatalError("spawn is not allowed in client init functions");
-    auto NewT = std::make_unique<Thread>(Cfg.Model);
-    NewT->Tid = static_cast<uint32_t>(Threads.size());
-    const Function &Callee = M.Funcs[I.Callee];
-    Frame NewF;
-    NewF.F = I.Callee;
-    NewF.Regs.assign(Callee.NumRegs, 0);
-    for (size_t A = 0; A != I.Ops.size(); ++A)
-      NewF.Regs[A] = regVal(F, I.Ops[A]);
-    NewF.IsTopLevel = false;
-    NewT->Frames.push_back(std::move(NewF));
-    F.Regs[I.Dst] = NewT->Tid;
-    Threads.push_back(std::move(NewT));
-    break;
-  }
-
-  case Opcode::Join: {
-    Word Target = regVal(F, I.Ops[0]);
-    if (Target >= Threads.size()) {
-      violate(Outcome::AssertFail,
-              strformat("join of invalid thread %llu (%%%u)",
-                        static_cast<unsigned long long>(Target), I.Id));
-      return true;
-    }
-    Thread &U = *Threads[Target];
-    // JOIN rule: target finished and its buffers drained.
-    if (U.hasWork())
-      return false;
-    if (!U.Buf.empty()) {
-      flushOne(U, false, 0);
-      return true;
-    }
-    break;
-  }
-
-  case Opcode::Assert: {
-    if (regVal(F, I.Ops[0]) == 0) {
-      violate(Outcome::AssertFail,
-              strformat("assertion failed (%%%u, line %u)", I.Id,
-                        I.SrcLine));
-      return true;
-    }
-    break;
-  }
-  }
-
-  ++F.Ip;
-  return true;
-}
-
-void Engine::mainLoop() {
-  std::vector<sched::ThreadView> Views;
-  while (!Halted) {
-    if (Steps >= Cfg.MaxSteps) {
-      violate(Outcome::StepLimit, "execution exceeded step limit");
-      return;
-    }
-    if ((Steps & 1023) == 0 && deadlineExpired())
-      return;
-
-    Views.clear();
-    bool AnyWork = false;
-    for (auto &TPtr : Threads) {
-      Thread &T = *TPtr;
-      sched::ThreadView V;
-      V.Tid = T.Tid;
-      V.Runnable = T.hasWork();
-      V.PendingStores = T.Buf.size();
-      if (V.Runnable || V.PendingStores > 0) {
-        AnyWork = true;
-        V.BufferedVars = T.Buf.nonEmptyVars();
-        if (V.Runnable) {
-          if (T.Frames.empty()) {
-            V.NextIsShared = true; // Next step records an invoke.
-          } else {
-            const Frame &F = T.Frames.back();
-            const Instr &I = M.Funcs[F.F].Body[F.Ip];
-            V.NextIsShared = I.isSharedAccess() ||
-                             I.Op == Opcode::Fence ||
-                             I.Op == Opcode::Call || I.Op == Opcode::Ret ||
-                             I.Op == Opcode::Spawn ||
-                             I.Op == Opcode::Join ||
-                             I.Op == Opcode::Alloc;
-          }
-        }
-      }
-      Views.push_back(std::move(V));
-    }
-    if (!AnyWork)
-      return; // Completed.
-
-    if (maybeFlushStorm(Views))
-      continue;
-
-    sched::Action A = Sched->pick(Views, R);
-    if (Cfg.Faults)
-      A = applyForcedSwitch(A, Views);
-    if (Cfg.RecordTrace)
-      Result.Trace.push_back(A);
-    // Validate the action for real (not assert-only): a stale or corrupt
-    // replay trace must end the execution, not corrupt the engine.
-    if (A.Tid >= Threads.size()) {
-      violate(Outcome::Deadlock,
-              strformat("scheduler picked invalid thread %u (stale "
-                        "replay trace?)",
-                        A.Tid));
-      return;
-    }
-    Thread &T = *Threads[A.Tid];
-
-    bool Progress;
-    if (A.Kind == sched::Action::Flush) {
-      if (T.Buf.empty()) {
-        violate(Outcome::Deadlock,
-                strformat("scheduler flushed empty buffer of thread %u "
-                          "(stale replay trace?)",
-                          A.Tid));
-        return;
-      }
-      // A per-variable flush of a variable with nothing pending (possible
-      // only with a foreign trace) degrades to a positional flush.
-      if (A.HasVar && T.Buf.model() == MemModel::PSO &&
-          T.Buf.emptyFor(A.Var))
-        A.HasVar = false;
-      flushOne(T, A.HasVar, A.Var);
-      ++Result.Stats.SchedFlushes;
-      Progress = true;
-    } else {
-      Progress = stepThread(T);
-      ++Result.Stats.SchedSteps;
-    }
-    ++Steps;
-
-    if (Progress) {
-      NoProgress = 0;
-    } else if (++NoProgress > 100000) {
-      violate(Outcome::Deadlock, "no thread can make progress");
-      return;
-    }
-  }
-}
-
-void Engine::finalDrain() {
-  for (auto &TPtr : Threads) {
-    while (!TPtr->Buf.empty() && !Halted)
-      flushOne(*TPtr, false, 0);
-  }
-}
-
-ExecResult Engine::run() {
-  Sched->reset();
-  layoutGlobals();
-  if (!C.InitFunc.empty() && !Halted)
-    runInit();
-  createClientThreads();
-  if (!Halted)
-    mainLoop();
-  if (!Halted)
-    finalDrain();
-  Result.Steps = Steps;
-  Result.Repairs.assign(Repairs.begin(), Repairs.end());
-  return std::move(Result);
-}
-
 ExecResult vm::runExecution(const Module &M, const Client &Client,
                             const ExecConfig &Cfg) {
-  Engine E(M, Client, Cfg);
-  return E.run();
+  PreparedProgram P(M, Client);
+  ExecContext Ctx;
+  ExecResult R;
+  Ctx.run(P, 0, Cfg, R);
+  return R;
 }
 
 Word vm::runSequential(const Module &M, const std::string &Func,

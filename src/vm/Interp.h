@@ -25,7 +25,6 @@
 #include "vm/StoreBuffer.h"
 
 #include <memory>
-#include <set>
 #include <string>
 
 namespace dfence::vm {
@@ -45,7 +44,7 @@ const char *outcomeName(Outcome O);
 
 /// Per-execution configuration.
 struct ExecConfig {
-  MemModel Model = MemModel::SC;
+  MemModel Model = DefaultMemModel;
   uint64_t Seed = 1;
   size_t MaxSteps = 1 << 20;
   /// Collect ordering predicates (instrumented semantics).

@@ -13,6 +13,16 @@ Memory::Memory() : BumpPtr(16) {
   Blocks.reserve(16);
 }
 
+void Memory::reset() {
+  // clear-then-resize keeps the capacity; allocate() re-zeroes words as
+  // it extends the logical size back over them.
+  Data.clear();
+  Data.resize(16, 0);
+  Blocks.clear();
+  LastBlock = 0;
+  BumpPtr = 16;
+}
+
 Word Memory::allocate(Word SizeWords) {
   if (SizeWords == 0)
     SizeWords = 1;

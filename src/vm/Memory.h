@@ -35,6 +35,12 @@ class Memory {
 public:
   Memory();
 
+  /// Returns the memory to its freshly constructed state — no blocks, all
+  /// words zero, bump pointer at the red zone — with the backing vectors'
+  /// capacities retained, so a reused Memory stops allocating once it has
+  /// seen its largest execution.
+  void reset();
+
   /// Allocates \p SizeWords fresh words (at least one). Never returns 0.
   Word allocate(Word SizeWords);
 

@@ -19,22 +19,57 @@ const char *vm::memModelName(MemModel M) {
   dfenceUnreachable("invalid memory model");
 }
 
+void StoreBufferSet::reset(MemModel M) {
+  Model = M;
+  Count = 0;
+  Fifo.clear();
+  FifoHead = 0;
+  for (VarFifo &V : PerVar) {
+    V.Q.clear();
+    V.Head = 0;
+  }
+}
+
+const StoreBufferSet::VarFifo *StoreBufferSet::findVar(Word Addr) const {
+  auto It = std::lower_bound(
+      PerVar.begin(), PerVar.end(), Addr,
+      [](const VarFifo &V, Word A) { return V.Addr < A; });
+  if (It == PerVar.end() || It->Addr != Addr)
+    return nullptr;
+  return &*It;
+}
+
+StoreBufferSet::VarFifo &StoreBufferSet::findOrCreateVar(Word Addr) {
+  auto It = std::lower_bound(
+      PerVar.begin(), PerVar.end(), Addr,
+      [](const VarFifo &V, Word A) { return V.Addr < A; });
+  if (It == PerVar.end() || It->Addr != Addr) {
+    // First store to this address in the buffer's lifetime; later
+    // executions reusing the buffer hit the same addresses and land in
+    // the existing (possibly drained) slot.
+    VarFifo V;
+    V.Addr = Addr;
+    It = PerVar.insert(It, std::move(V));
+  }
+  return *It;
+}
+
 bool StoreBufferSet::forward(Word Addr, Word &Out) const {
   switch (Model) {
   case MemModel::SC:
     return false;
   case MemModel::PSO: {
-    auto It = PerVar.find(Addr);
-    if (It == PerVar.end() || It->second.empty())
+    const VarFifo *V = findVar(Addr);
+    if (!V || V->empty())
       return false;
-    Out = It->second.back().Val;
+    Out = V->Q.back().Val;
     return true;
   }
   case MemModel::TSO: {
     // Newest pending store to Addr wins.
-    for (auto It = Fifo.rbegin(), E = Fifo.rend(); It != E; ++It) {
-      if (It->Addr == Addr) {
-        Out = It->Val;
+    for (size_t I = Fifo.size(); I != FifoHead; --I) {
+      if (Fifo[I - 1].Addr == Addr) {
+        Out = Fifo[I - 1].Val;
         return true;
       }
     }
@@ -48,7 +83,7 @@ void StoreBufferSet::push(Word Addr, Word Val, InstrId Label) {
   assert(Model != MemModel::SC && "SC never buffers stores");
   BufferEntry E{Addr, Val, Label};
   if (Model == MemModel::PSO)
-    PerVar[Addr].push_back(E);
+    findOrCreateVar(Addr).Q.push_back(E);
   else
     Fifo.push_back(E);
   ++Count;
@@ -59,11 +94,11 @@ bool StoreBufferSet::emptyFor(Word Addr) const {
   case MemModel::SC:
     return true;
   case MemModel::PSO: {
-    auto It = PerVar.find(Addr);
-    return It == PerVar.end() || It->second.empty();
+    const VarFifo *V = findVar(Addr);
+    return !V || V->empty();
   }
   case MemModel::TSO:
-    return Fifo.empty();
+    return Count == 0;
   }
   dfenceUnreachable("invalid memory model");
 }
@@ -72,17 +107,22 @@ BufferEntry StoreBufferSet::popOldest() {
   assert(Count > 0 && "pop from empty buffer");
   --Count;
   if (Model == MemModel::TSO) {
-    BufferEntry E = Fifo.front();
-    Fifo.pop_front();
+    BufferEntry E = Fifo[FifoHead++];
+    if (FifoHead == Fifo.size()) {
+      Fifo.clear();
+      FifoHead = 0;
+    }
     return E;
   }
-  for (auto &[Addr, Q] : PerVar) {
-    if (Q.empty())
+  // Lowest-addressed non-empty variable FIFO (slots are address-sorted).
+  for (VarFifo &V : PerVar) {
+    if (V.empty())
       continue;
-    BufferEntry E = Q.front();
-    Q.pop_front();
-    if (Q.empty())
-      PerVar.erase(Addr);
+    BufferEntry E = V.Q[V.Head++];
+    if (V.empty()) {
+      V.Q.clear();
+      V.Head = 0;
+    }
     return E;
   }
   dfenceUnreachable("count/buffer mismatch");
@@ -91,27 +131,31 @@ BufferEntry StoreBufferSet::popOldest() {
 BufferEntry StoreBufferSet::popOldestFor(Word Addr) {
   if (Model == MemModel::TSO)
     return popOldest();
-  auto It = PerVar.find(Addr);
-  assert(It != PerVar.end() && !It->second.empty() &&
-         "no pending store for variable");
+  VarFifo *V = const_cast<VarFifo *>(findVar(Addr));
+  assert(V && !V->empty() && "no pending store for variable");
   --Count;
-  BufferEntry E = It->second.front();
-  It->second.pop_front();
-  if (It->second.empty())
-    PerVar.erase(It);
+  BufferEntry E = V->Q[V->Head++];
+  if (V->empty()) {
+    V->Q.clear();
+    V->Head = 0;
+  }
   return E;
+}
+
+void StoreBufferSet::nonEmptyVars(std::vector<Word> &Out) const {
+  Out.clear();
+  if (Model == MemModel::PSO) {
+    for (const VarFifo &V : PerVar)
+      if (!V.empty())
+        Out.push_back(V.Addr);
+  } else if (Model == MemModel::TSO && Count != 0) {
+    Out.push_back(0);
+  }
 }
 
 std::vector<Word> StoreBufferSet::nonEmptyVars() const {
   std::vector<Word> Vars;
-  if (Model == MemModel::PSO) {
-    Vars.reserve(PerVar.size());
-    for (const auto &[Addr, Q] : PerVar)
-      if (!Q.empty())
-        Vars.push_back(Addr);
-  } else if (Model == MemModel::TSO && !Fifo.empty()) {
-    Vars.push_back(0);
-  }
+  nonEmptyVars(Vars);
   return Vars;
 }
 
@@ -124,11 +168,11 @@ void StoreBufferSet::pendingLabelsExcept(Word ExcludeAddr,
       Out.push_back(E.Label);
   };
   if (Model == MemModel::PSO) {
-    for (const auto &[Addr, Q] : PerVar)
-      for (const BufferEntry &E : Q)
-        Append(E);
+    for (const VarFifo &V : PerVar)
+      for (size_t I = V.Head, E = V.Q.size(); I != E; ++I)
+        Append(V.Q[I]);
   } else if (Model == MemModel::TSO) {
-    for (const BufferEntry &E : Fifo)
-      Append(E);
+    for (size_t I = FifoHead, E = Fifo.size(); I != E; ++I)
+      Append(Fifo[I]);
   }
 }

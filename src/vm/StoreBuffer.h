@@ -18,8 +18,6 @@
 #include "ir/Instr.h"
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <vector>
 
 namespace dfence::vm {
@@ -32,6 +30,20 @@ enum class MemModel : uint8_t { SC, TSO, PSO };
 
 const char *memModelName(MemModel M);
 
+/// The default model everywhere a model is not given explicitly
+/// (vm::ExecConfig, harness::ReproBundle). SC: the conservative choice —
+/// an unconfigured run exercises the interleaving semantics only, never a
+/// relaxation the caller did not ask for.
+inline constexpr MemModel DefaultMemModel = MemModel::SC;
+
+/// The paper's §6.5 flush-probability optima: ~0.1 under TSO (long
+/// store-load delays surface the F1-class races), ~0.5 under PSO (mixing
+/// reorder and delay). SC has no buffers, so the value is inert; 0.5
+/// keeps it the scheduler's neutral default.
+constexpr double defaultFlushProb(MemModel M) {
+  return M == MemModel::TSO ? 0.1 : 0.5;
+}
+
 /// A pending buffered store.
 struct BufferEntry {
   Word Addr = 0;
@@ -40,9 +52,22 @@ struct BufferEntry {
 };
 
 /// The write-buffer state of a single thread.
+///
+/// Storage is flat: under TSO one vector with a head index (FIFO pops
+/// advance the head, no deque nodes); under PSO a vector of per-variable
+/// FIFOs kept sorted by address — the bump allocator recycles the same
+/// addresses run after run, so a reused buffer reaches a steady state
+/// where push/pop never allocate. Fully-drained variable slots are
+/// retained (and skipped) rather than erased, preserving both their
+/// capacity and the ascending-address iteration order the old
+/// std::map-backed storage guaranteed.
 class StoreBufferSet {
 public:
   explicit StoreBufferSet(MemModel M) : Model(M) {}
+
+  /// Revives the buffer for a new execution under \p M: logically empty,
+  /// every vector capacity (including per-variable FIFOs) retained.
+  void reset(MemModel M);
 
   MemModel model() const { return Model; }
 
@@ -71,9 +96,14 @@ public:
   /// (PSO) / be non-empty (TSO).
   BufferEntry popOldestFor(Word Addr);
 
-  /// Variables with pending stores. PSO: the distinct addresses; TSO: a
-  /// singleton {0} marker when non-empty (the flush choice is positional).
+  /// Variables with pending stores. PSO: the distinct addresses in
+  /// ascending order; TSO: a singleton {0} marker when non-empty (the
+  /// flush choice is positional).
   std::vector<Word> nonEmptyVars() const;
+
+  /// Allocation-free variant for the per-step scheduler views: clears
+  /// \p Out and fills it with the same content nonEmptyVars() returns.
+  void nonEmptyVars(std::vector<Word> &Out) const;
 
   /// Labels of pending stores to variables other than \p ExcludeAddr —
   /// the candidate "earlier store" sides of ordering predicates
@@ -82,12 +112,29 @@ public:
                            std::vector<InstrId> &Out) const;
 
 private:
+  /// One variable's FIFO under PSO; [Head, Q.size()) are the pending
+  /// entries. A fully drained FIFO clears Q (capacity kept) so growth is
+  /// bounded by the variable's peak occupancy, not its store count.
+  struct VarFifo {
+    Word Addr = 0;
+    std::vector<BufferEntry> Q;
+    size_t Head = 0;
+    bool empty() const { return Head == Q.size(); }
+    size_t pending() const { return Q.size() - Head; }
+  };
+
+  /// PSO: the slot for \p Addr, or null. Binary search (sorted by Addr).
+  const VarFifo *findVar(Word Addr) const;
+  VarFifo &findOrCreateVar(Word Addr);
+
   MemModel Model;
   size_t Count = 0;
-  // PSO state.
-  std::map<Word, std::deque<BufferEntry>> PerVar;
-  // TSO state.
-  std::deque<BufferEntry> Fifo;
+  // PSO state: per-variable FIFOs sorted by address; drained slots are
+  // retained empty.
+  std::vector<VarFifo> PerVar;
+  // TSO state: one FIFO; [FifoHead, Fifo.size()) pending.
+  std::vector<BufferEntry> Fifo;
+  size_t FifoHead = 0;
 };
 
 } // namespace dfence::vm

@@ -143,9 +143,10 @@ TEST(RoundRunnerTest, ParallelSlotsMatchSequentialRun) {
                                            : R.Message;
   };
 
+  vm::PreparedProgram Prog(CR.Module, Clients);
   ExecPool Seq(1), Par(4);
-  RoundResult A = runRound(Seq, CR.Module, Clients, Plan, Policy, Check);
-  RoundResult B = runRound(Par, CR.Module, Clients, Plan, Policy, Check);
+  RoundResult A = runRound(Seq, Prog, Plan, Policy, Check);
+  RoundResult B = runRound(Par, Prog, Plan, Policy, Check);
   ASSERT_EQ(A.Ran, Plan.Slots.size());
   ASSERT_EQ(B.Ran, Plan.Slots.size());
   for (size_t I = 0; I != Plan.Slots.size(); ++I) {
@@ -165,10 +166,11 @@ TEST(RoundRunnerTest, StopPredicateCancelsPendingSlots) {
   RoundPlan Plan = smallPlan(500);
   harness::ExecPolicy Policy;
 
+  vm::PreparedProgram Prog(CR.Module, Clients);
   ExecPool Pool(4);
   std::atomic<size_t> Started{0};
   RoundResult RR = runRound(
-      Pool, CR.Module, Clients, Plan, Policy,
+      Pool, Prog, Plan, Policy,
       [&](const vm::ExecResult &) {
         ++Started;
         return std::string();

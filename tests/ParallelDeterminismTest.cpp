@@ -194,6 +194,44 @@ TEST(ParallelDeterminismTest, MetricsCountersIdenticalAcrossJobs) {
   EXPECT_GT(Counters.find("vm_steps_total")->asU64(), 0u);
 }
 
+TEST(ParallelDeterminismTest, PooledContextPathJobsEightBitIdentical) {
+  // Every pool slot owns one persistent vm::ExecContext reused across all
+  // executions it claims, over all rounds of the run. Reuse must be
+  // invisible: any state leaking from one execution into the next (a
+  // stale buffer slot, a dirty arena, an unreset RNG) would desync the
+  // comparison below, because jobs=8 hands each context a different and
+  // timing-dependent subset of the slots while jobs=1 funnels every slot
+  // through one context. Bundle capture is on so recorded schedules are
+  // compared byte-for-byte too.
+  const programs::Benchmark &B = programs::benchmarkByName("Cilk THE WSQ");
+  auto RunCounted = [&B](unsigned Jobs, obs::Registry &Reg) {
+    auto CR = frontend::compileMiniC(B.Source);
+    EXPECT_TRUE(CR.Ok) << CR.Error;
+    obs::ObsContext Obs;
+    Obs.Metrics = &Reg;
+    SynthConfig Cfg;
+    Cfg.Model = MemModel::PSO;
+    Cfg.Spec = SpecKind::Linearizability;
+    Cfg.Factory = B.Factory;
+    Cfg.ExecsPerRound = 100;
+    Cfg.MaxRounds = 6;
+    Cfg.MaxRepairRounds = 6;
+    Cfg.Jobs = Jobs;
+    Cfg.CaptureBundles = true;
+    Cfg.Obs = &Obs;
+    return synthesize(CR.Module, B.Clients, Cfg);
+  };
+  obs::Registry RegSeq, RegPar;
+  SynthResult Seq = RunCounted(1, RegSeq);
+  SynthResult Par = RunCounted(8, RegPar);
+  expectIdentical(Seq, Par, "Cilk THE WSQ pooled contexts");
+  EXPECT_EQ(RegSeq.countersJson().dump(), RegPar.countersJson().dump());
+  // Both runs actually took the context-reuse path (the gauge is
+  // jobs-variant, so only its positivity is asserted, never its value).
+  EXPECT_GT(RegSeq.gauge("exec_pool_context_reuses").value(), 0.0);
+  EXPECT_GT(RegPar.gauge("exec_pool_context_reuses").value(), 0.0);
+}
+
 TEST(ParallelDeterminismTest, TotalBudgetStarvationDegradesSafely) {
   // A 1 ms total budget cancels almost everything. The cut index is
   // timing-dependent (as it is sequentially), but the run must still end

@@ -1,0 +1,193 @@
+//===- StoreBufferTest.cpp - StoreBufferSet contract coverage -------------===//
+//
+// Pins the behavioral contracts of the per-thread write buffers that the
+// flat-vector storage must preserve (these are the contracts the
+// interpreter's TSO/PSO semantics and the repair instrumentation lean
+// on): TSO popOldestFor ignores the address to keep FIFO order, PSO
+// popOldest drains the lowest-addressed non-empty variable buffer,
+// forward() returns the newest buffered value, and pendingLabelsExcept
+// dedups in deterministic (ascending address, then FIFO) order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/StoreBuffer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dfence;
+using namespace dfence::vm;
+
+namespace {
+
+TEST(StoreBufferTest, ScNeverBuffersOrForwards) {
+  StoreBufferSet B(MemModel::SC);
+  EXPECT_TRUE(B.empty());
+  EXPECT_TRUE(B.emptyFor(8));
+  Word V = 0;
+  EXPECT_FALSE(B.forward(8, V));
+  EXPECT_TRUE(B.nonEmptyVars().empty());
+}
+
+TEST(StoreBufferTest, TsoIsOneFifoAcrossVariables) {
+  StoreBufferSet B(MemModel::TSO);
+  B.push(/*Addr=*/16, /*Val=*/1, /*Label=*/100);
+  B.push(/*Addr=*/8, /*Val=*/2, /*Label=*/101);
+  B.push(/*Addr=*/16, /*Val=*/3, /*Label=*/102);
+  EXPECT_EQ(B.size(), 3u);
+  // TSO emptyFor is whole-buffer emptiness: a pending store to any
+  // variable blocks the CAS/fence premise for every variable.
+  EXPECT_FALSE(B.emptyFor(999));
+
+  // popOldestFor ignores the address under TSO — flushing "for" var 8
+  // must still commit the older store to 16 first or FIFO order breaks.
+  BufferEntry E = B.popOldestFor(8);
+  EXPECT_EQ(E.Addr, 16u);
+  EXPECT_EQ(E.Val, 1u);
+  EXPECT_EQ(E.Label, 100u);
+  E = B.popOldestFor(16);
+  EXPECT_EQ(E.Addr, 8u);
+  EXPECT_EQ(E.Label, 101u);
+  E = B.popOldest();
+  EXPECT_EQ(E.Val, 3u);
+  EXPECT_TRUE(B.empty());
+  EXPECT_TRUE(B.emptyFor(999));
+}
+
+TEST(StoreBufferTest, TsoForwardReturnsNewestForAddress) {
+  StoreBufferSet B(MemModel::TSO);
+  B.push(8, 1, 100);
+  B.push(16, 7, 101);
+  B.push(8, 2, 102); // Newer store to 8 shadows the first.
+  Word V = 0;
+  ASSERT_TRUE(B.forward(8, V));
+  EXPECT_EQ(V, 2u);
+  ASSERT_TRUE(B.forward(16, V));
+  EXPECT_EQ(V, 7u);
+  EXPECT_FALSE(B.forward(24, V));
+}
+
+TEST(StoreBufferTest, TsoNonEmptyVarsIsPositionalMarker) {
+  StoreBufferSet B(MemModel::TSO);
+  EXPECT_TRUE(B.nonEmptyVars().empty());
+  B.push(8, 1, 100);
+  B.push(16, 2, 101);
+  // One FIFO, so the flush choice is positional: a singleton {0} marker,
+  // not the set of buffered addresses.
+  EXPECT_EQ(B.nonEmptyVars(), std::vector<Word>({0}));
+}
+
+TEST(StoreBufferTest, PsoPopOldestTakesLowestAddressedBuffer) {
+  StoreBufferSet B(MemModel::PSO);
+  B.push(24, 1, 100); // Arrival order deliberately not address order.
+  B.push(8, 2, 101);
+  B.push(16, 3, 102);
+  B.push(8, 4, 103);
+
+  // Lowest-addressed non-empty buffer first, FIFO within the variable.
+  BufferEntry E = B.popOldest();
+  EXPECT_EQ(E.Addr, 8u);
+  EXPECT_EQ(E.Val, 2u);
+  E = B.popOldest();
+  EXPECT_EQ(E.Addr, 8u);
+  EXPECT_EQ(E.Val, 4u);
+  E = B.popOldest();
+  EXPECT_EQ(E.Addr, 16u);
+  E = B.popOldest();
+  EXPECT_EQ(E.Addr, 24u);
+  EXPECT_TRUE(B.empty());
+}
+
+TEST(StoreBufferTest, PsoPopOldestForDrainsPerVariableFifo) {
+  StoreBufferSet B(MemModel::PSO);
+  B.push(8, 1, 100);
+  B.push(16, 9, 101);
+  B.push(8, 2, 102);
+
+  BufferEntry E = B.popOldestFor(8);
+  EXPECT_EQ(E.Val, 1u);
+  EXPECT_EQ(E.Label, 100u);
+  EXPECT_FALSE(B.emptyFor(8)); // The second store to 8 is still pending.
+  E = B.popOldestFor(8);
+  EXPECT_EQ(E.Val, 2u);
+  EXPECT_TRUE(B.emptyFor(8));
+  EXPECT_FALSE(B.emptyFor(16));
+  EXPECT_EQ(B.size(), 1u);
+}
+
+TEST(StoreBufferTest, PsoForwardReturnsNewestPerVariable) {
+  StoreBufferSet B(MemModel::PSO);
+  B.push(8, 1, 100);
+  B.push(8, 2, 101);
+  Word V = 0;
+  ASSERT_TRUE(B.forward(8, V));
+  EXPECT_EQ(V, 2u);
+  // Draining one entry still leaves the newest (2) as the forward value.
+  (void)B.popOldestFor(8);
+  ASSERT_TRUE(B.forward(8, V));
+  EXPECT_EQ(V, 2u);
+  (void)B.popOldestFor(8);
+  EXPECT_FALSE(B.forward(8, V));
+}
+
+TEST(StoreBufferTest, PsoNonEmptyVarsAscendingAfterPartialDrain) {
+  StoreBufferSet B(MemModel::PSO);
+  B.push(32, 1, 100);
+  B.push(8, 2, 101);
+  B.push(16, 3, 102);
+  EXPECT_EQ(B.nonEmptyVars(), std::vector<Word>({8, 16, 32}));
+  // Draining a variable to empty removes it from the set; the rest stay
+  // in ascending address order.
+  (void)B.popOldestFor(16);
+  EXPECT_EQ(B.nonEmptyVars(), std::vector<Word>({8, 32}));
+  (void)B.popOldest(); // Drains 8 (lowest).
+  EXPECT_EQ(B.nonEmptyVars(), std::vector<Word>({32}));
+}
+
+TEST(StoreBufferTest, PsoReusedAddressAfterDrainIsFresh) {
+  StoreBufferSet B(MemModel::PSO);
+  B.push(8, 1, 100);
+  (void)B.popOldestFor(8);
+  EXPECT_TRUE(B.emptyFor(8));
+  B.push(8, 5, 103); // Re-buffering a fully drained variable.
+  EXPECT_FALSE(B.emptyFor(8));
+  Word V = 0;
+  ASSERT_TRUE(B.forward(8, V));
+  EXPECT_EQ(V, 5u);
+  EXPECT_EQ(B.popOldest().Val, 5u);
+}
+
+TEST(StoreBufferTest, PendingLabelsExceptDedupsAndExcludes) {
+  StoreBufferSet B(MemModel::PSO);
+  B.push(16, 1, 200); // Same label twice (e.g. a store in a loop).
+  B.push(16, 2, 200);
+  B.push(8, 3, 201);
+  B.push(24, 4, 202);
+
+  std::vector<InstrId> Labels;
+  B.pendingLabelsExcept(/*ExcludeAddr=*/24, Labels);
+  // Ascending address order (8 before 16), label 200 deduped, the
+  // excluded variable's label absent.
+  EXPECT_EQ(Labels, std::vector<InstrId>({201, 200}));
+
+  // The call appends without clearing and dedups against prior content.
+  B.pendingLabelsExcept(/*ExcludeAddr=*/999, Labels);
+  EXPECT_EQ(Labels, std::vector<InstrId>({201, 200, 202}));
+}
+
+TEST(StoreBufferTest, PendingLabelsExceptTsoFifoOrder) {
+  StoreBufferSet B(MemModel::TSO);
+  B.push(16, 1, 300);
+  B.push(8, 2, 301);
+  B.push(16, 3, 300); // Dup label.
+  B.push(8, 4, 302);
+
+  std::vector<InstrId> Labels;
+  B.pendingLabelsExcept(/*ExcludeAddr=*/8, Labels);
+  // FIFO order, deduped, stores to 8 excluded.
+  EXPECT_EQ(Labels, std::vector<InstrId>({300}));
+  Labels.clear();
+  B.pendingLabelsExcept(/*ExcludeAddr=*/1234, Labels);
+  EXPECT_EQ(Labels, std::vector<InstrId>({300, 301, 302}));
+}
+
+} // namespace

@@ -115,7 +115,8 @@ void printHelp(FILE *Out) {
       "threads\n"
       "  --model sc|tso|pso  memory model (default pso)\n"
       "  --seeds N           number of executions (default 1000)\n"
-      "  --flush P           scheduler flush probability (default 0.3)\n"
+      "  --flush P           scheduler flush probability (default: "
+      "0.1 tso, 0.5 otherwise)\n"
       "\n"
       "synth / bench flags:\n"
       "  --client DSL        client script (synth only; bench has "
@@ -291,7 +292,10 @@ int cmdLitmus(const Options &Opt) {
     return 1;
   }
   long Seeds = Opt.getInt("seeds", 1000);
-  double Flush = Opt.getDouble("flush", 0.3);
+  // The paper's tuned flush-delay probabilities per model (§6.3); an
+  // explicit --flush always wins.
+  double Flush = Opt.has("flush") ? Opt.getDouble("flush", 0.5)
+                                  : vm::defaultFlushProb(*Model);
 
   std::map<std::string, int> Hist;
   int Violations = 0;
@@ -340,9 +344,12 @@ int runSynthesis(const ir::Module &M,
   if (Opt.has("flush")) {
     Cfg.FlushProb = Opt.getDouble("flush", 0.5);
   } else if (*Model == vm::MemModel::TSO) {
-    Cfg.FlushProb = 0.1;
+    Cfg.FlushProb = vm::defaultFlushProb(*Model); // the paper's ~0.1
   } else {
-    Cfg.FlushProbs = {0.5, 0.1};
+    // PSO portfolio: mostly the tuned PSO probability, with the TSO one
+    // mixed in to also catch bugs that need long store delays.
+    Cfg.FlushProbs = {vm::defaultFlushProb(vm::MemModel::PSO),
+                      vm::defaultFlushProb(vm::MemModel::TSO)};
   }
   std::string Enf = Opt.get("enforce", "fence");
   if (Enf == "cas")
