@@ -1,0 +1,229 @@
+//===- cache_speedup.cpp - Result-cache round-loop speedup ----------------===//
+//
+// Measures what the result caches (src/cache/) buy on linearizability
+// subjects whose histories duplicate heavily:
+//
+//   * in-round check memoization: the same synthesis run with --cache on
+//     vs off. The CheckCache's hit rate is very high on these subjects
+//     (most schedules collapse onto a few dozen distinct histories), but
+//     the absolute win is bounded by how much of a round the checker
+//     costs next to the interpreter — reported honestly per subject.
+//
+//   * cross-run re-verification (the headline): verify a fenced module
+//     through a shared ExecCache twice. The cold pass populates the
+//     cache; the warm pass — the "re-verify the same program with the
+//     same knobs" loop that CI and the suite-sweep verification step
+//     run constantly — serves its entire round loop from the cache,
+//     skipping interpretation and checking both.
+//
+// Emits BENCH_cache.json (schema "dfence-cache-speedup-v1"). Pass a
+// number to scale executions per round (default 2000); pass "--smoke"
+// for a tiny run that validates the pipeline — the binary re-reads the
+// JSON it wrote, checks its structure plus the deterministic invariants
+// (full exec-cache hit rate on the warm pass), and exits nonzero on
+// failure, which the bench_cache_smoke ctest entry asserts. The ≥1.3x
+// round-loop-speedup acceptance bar is enforced on full runs only;
+// smoke runs are too short to time reliably.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "cache/ExecCache.h"
+#include "support/Json.h"
+#include "support/Rng.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace dfence;
+using vm::MemModel;
+
+namespace {
+
+// Linearizability subjects with duplicate-heavy histories: short client
+// scripts whose schedules collapse onto few distinct histories (the MS2
+// locks serialize almost everything; the CAS structures still duplicate
+// most interleavings at these script lengths).
+const char *Subjects[] = {"MS2 Queue", "MSN Queue", "Treiber Stack"};
+
+synth::SynthConfig verifyConfig(const programs::Benchmark &B, unsigned K) {
+  synth::SynthConfig Cfg =
+      bench::makeConfig(MemModel::PSO, synth::SpecKind::Linearizability,
+                        B.Factory, K);
+  // Pure verification rounds: never enforce, never stop early, so both
+  // timed passes run the identical number of executions.
+  Cfg.MaxRounds = 3;
+  Cfg.MaxRepairRounds = 0;
+  Cfg.CleanRoundsRequired = 3;
+  Cfg.BaseSeed = deriveSeed(0xfeedbeef, B.Name);
+  return Cfg;
+}
+
+double seconds(std::chrono::steady_clock::time_point T0,
+               std::chrono::steady_clock::time_point T1) {
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned ExecsPer = 2000;
+  bool Smoke = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--smoke") == 0) {
+      Smoke = true;
+      ExecsPer = 100;
+    } else {
+      ExecsPer = static_cast<unsigned>(std::atoi(Argv[I]));
+      if (ExecsPer == 0)
+        ExecsPer = 1;
+    }
+  }
+
+  Json Doc = Json::object();
+  Doc.set("schema", Json::string("dfence-cache-speedup-v1"));
+  Doc.set("schema_version", Json::number(uint64_t(1)));
+  Doc.set("execs_per_round", Json::number(uint64_t(ExecsPer)));
+
+  // --- Scenario 1: in-round check memoization, cache on vs off --------
+  std::printf("In-round check memoization (%u execs/round, PSO, "
+              "linearizability)\n\n",
+              ExecsPer);
+  std::printf("%-14s %10s %10s %9s %9s %8s\n", "subject", "on(s)",
+              "off(s)", "hits", "misses", "speedup");
+  Json JMemo = Json::array();
+  for (const char *Name : Subjects) {
+    const programs::Benchmark &B = programs::benchmarkByName(Name);
+    auto CR = frontend::compileMiniC(B.Source);
+    if (!CR.Ok)
+      reportFatalError(B.Name + ": " + CR.Error);
+    synth::SynthConfig Cfg = verifyConfig(B, ExecsPer);
+
+    Cfg.CacheEnabled = true;
+    auto T0 = std::chrono::steady_clock::now();
+    synth::SynthResult On = synth::synthesize(CR.Module, B.Clients, Cfg);
+    auto T1 = std::chrono::steady_clock::now();
+    Cfg.CacheEnabled = false;
+    synth::SynthResult Off = synth::synthesize(CR.Module, B.Clients, Cfg);
+    auto T2 = std::chrono::steady_clock::now();
+
+    double SecOn = seconds(T0, T1), SecOff = seconds(T1, T2);
+    double Speedup = SecOn > 0 ? SecOff / SecOn : 0;
+    uint64_t Checked = On.CheckCacheHits + On.CheckCacheMisses;
+    std::printf("%-14s %10.3f %10.3f %9llu %9llu %7.2fx\n", Name, SecOn,
+                SecOff,
+                static_cast<unsigned long long>(On.CheckCacheHits),
+                static_cast<unsigned long long>(On.CheckCacheMisses),
+                Speedup);
+
+    Json JS = Json::object();
+    JS.set("subject", Json::string(Name));
+    JS.set("seconds_on", Json::number(SecOn));
+    JS.set("seconds_off", Json::number(SecOff));
+    JS.set("check_hits", Json::number(On.CheckCacheHits));
+    JS.set("check_misses", Json::number(On.CheckCacheMisses));
+    JS.set("hit_rate",
+           Json::number(Checked ? static_cast<double>(On.CheckCacheHits) /
+                                      static_cast<double>(Checked)
+                                : 0));
+    JS.set("speedup", Json::number(Speedup));
+    JMemo.push(std::move(JS));
+  }
+  Doc.set("memoization", std::move(JMemo));
+
+  // --- Scenario 2: shared-cache re-verification (headline) ------------
+  // Synthesize fences once, then verify the fenced module twice through
+  // one shared ExecCache: cold populates, warm replays the whole round
+  // loop from the cache.
+  const programs::Benchmark &B = programs::benchmarkByName("MS2 Queue");
+  auto CR = frontend::compileMiniC(B.Source);
+  if (!CR.Ok)
+    reportFatalError(B.Name + ": " + CR.Error);
+  synth::SynthResult Fenced =
+      bench::runOne(B, MemModel::PSO, synth::SpecKind::Linearizability,
+                    Smoke ? 100 : 400);
+  if (!Fenced.Converged)
+    reportFatalError(B.Name + " did not converge: " +
+                     Fenced.FirstViolation);
+
+  synth::SynthConfig Cfg = verifyConfig(B, ExecsPer);
+  cache::ExecCache Shared;
+  Cfg.ExecResultCache = &Shared;
+  auto T0 = std::chrono::steady_clock::now();
+  synth::SynthResult Cold =
+      synth::synthesize(Fenced.FencedModule, B.Clients, Cfg);
+  auto T1 = std::chrono::steady_clock::now();
+  synth::SynthResult Warm =
+      synth::synthesize(Fenced.FencedModule, B.Clients, Cfg);
+  auto T2 = std::chrono::steady_clock::now();
+
+  double SecCold = seconds(T0, T1), SecWarm = seconds(T1, T2);
+  double Speedup = SecWarm > 0 ? SecCold / SecWarm : 0;
+  std::printf("\nShared-cache re-verification (%s, %llu executions)\n",
+              B.Name.c_str(),
+              static_cast<unsigned long long>(Warm.TotalExecutions));
+  std::printf("cold %.3fs -> warm %.3fs  round-loop speedup %.1fx "
+              "(exec hits %llu/%llu)\n",
+              SecCold, SecWarm, Speedup,
+              static_cast<unsigned long long>(Warm.ExecCacheHits),
+              static_cast<unsigned long long>(Warm.TotalExecutions));
+
+  Json JRe = Json::object();
+  JRe.set("subject", Json::string(B.Name));
+  JRe.set("cold_seconds", Json::number(SecCold));
+  JRe.set("warm_seconds", Json::number(SecWarm));
+  JRe.set("executions", Json::number(Warm.TotalExecutions));
+  JRe.set("exec_hits", Json::number(Warm.ExecCacheHits));
+  JRe.set("round_loop_speedup", Json::number(Speedup));
+  Doc.set("reverification", std::move(JRe));
+
+  {
+    std::ofstream Out("BENCH_cache.json");
+    Out << Doc.dump(2) << "\n";
+  }
+  std::printf("\nwrote BENCH_cache.json%s\n", Smoke ? " (smoke)" : "");
+
+  // Self-check: re-read the emitted document and validate its shape and
+  // the deterministic invariants; the ≥1.3x bar applies to full runs.
+  std::ifstream In("BENCH_cache.json");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Error;
+  auto Parsed = Json::parse(SS.str(), Error);
+  if (!Parsed) {
+    std::fprintf(stderr, "BENCH_cache.json is unparsable: %s\n",
+                 Error.c_str());
+    return 1;
+  }
+  const Json *Schema = Parsed->find("schema");
+  const Json *Memo = Parsed->find("memoization");
+  const Json *Re = Parsed->find("reverification");
+  if (!Schema || Schema->asString() != "dfence-cache-speedup-v1" ||
+      !Memo || !Memo->isArray() || Memo->items().size() != 3 || !Re) {
+    std::fprintf(stderr, "BENCH_cache.json is malformed\n");
+    return 1;
+  }
+  for (const Json &JS : Memo->items())
+    if (!JS.find("speedup") || !JS.find("hit_rate") ||
+        JS.find("check_hits")->asU64() == 0) {
+      std::fprintf(stderr,
+                   "BENCH_cache.json has an inactive memoization entry\n");
+      return 1;
+    }
+  // The warm pass must be served entirely from the shared cache; this is
+  // deterministic, so it gates smoke runs too.
+  if (Re->find("exec_hits")->asU64() != Re->find("executions")->asU64() ||
+      Re->find("executions")->asU64() == 0) {
+    std::fprintf(stderr, "warm re-verification was not fully cached\n");
+    return 1;
+  }
+  if (!Smoke && Re->find("round_loop_speedup")->asDouble() < 1.3) {
+    std::fprintf(stderr, "round-loop speedup below the 1.3x bar\n");
+    return 1;
+  }
+  return 0;
+}

@@ -6,7 +6,11 @@
 # A CMake workflow preset cannot chain steps across different configure
 # presets, so "verify-all" is this driver over the three single-preset
 # workflows (verify-default, verify-sanitize, verify-tsan) defined in
-# CMakePresets.json. Run from the repository root.
+# CMakePresets.json. Run from the repository root. Everything labelled
+# tier1 rides along automatically — including the result-cache suite
+# (history_hash_test, check_cache_property_test, cache_differential_test,
+# bench_cache_smoke), which the tsan leg exercises with the sharded
+# CheckCache under real pool concurrency.
 
 foreach(preset IN ITEMS verify-default verify-sanitize verify-tsan)
   message(STATUS "==== workflow: ${preset} ====")

@@ -1,0 +1,109 @@
+//===- CheckCache.h - Memoized history-check verdicts -----------*- C++ -*-===//
+//
+// Round-scoped memoization of checkExecution verdicts. Linearizability
+// checking dominates round cost on history-heavy subjects, and a round's
+// K executions of one small client mix produce many duplicate histories;
+// re-deciding a history that was already decided this round is pure
+// waste. The cache keys entries by the engine-maintained History::Hash
+// and is collision-safe by construction: a hit is trusted only after a
+// full structural compare of the stored history against the query, so a
+// 64-bit collision degrades to a miss, never to a wrong verdict. Verdicts
+// are pure functions of the history (checkExecution reads nothing else
+// for Completed outcomes), which is what makes memoization sound at all.
+//
+// Concurrency: one shard per pool worker, and a worker only ever touches
+// its own shard (shard index = exec::currentWorker()), so workers share
+// nothing during a round. beginRound() and totals() run on the merge
+// thread between rounds, ordered against the workers by the pool's batch
+// barrier. Shard contents — and therefore shard hit counts — depend on
+// which worker claimed which slot; the synthesizer reports jobs-invariant
+// duplicate counts computed on the merge thread instead, and publishes
+// shard totals only as gauges.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_CACHE_CHECKCACHE_H
+#define DFENCE_CACHE_CHECKCACHE_H
+
+#include "vm/History.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dfence::cache {
+
+class CheckCache {
+public:
+  explicit CheckCache(unsigned NumShards)
+      : Shards(NumShards == 0 ? 1 : NumShards) {}
+
+  /// Drops every memoized entry (bucket capacity is kept). Called at
+  /// round boundaries: enforcement changes the module between rounds, and
+  /// while the verdict for a given history would still be valid, rounds
+  /// are where duplicates concentrate — scoping entries to the round
+  /// bounds memory by K without a second eviction policy.
+  void beginRound() {
+    for (Shard &S : Shards)
+      S.Map.clear();
+  }
+
+  /// Returns the verdict memoized for \p H in \p Shard, or null on a miss
+  /// — including the hash-collision case where an entry exists but holds
+  /// a structurally different history. The empty verdict ("acceptable")
+  /// is a valid cached value, distinct from a miss.
+  const std::string *lookup(unsigned Shard, const vm::History &H) {
+    ShardState &S = Shards[Shard];
+    auto It = S.Map.find(H.Hash);
+    if (It != S.Map.end() && It->second.Hist == H) {
+      ++S.Stats.Hits;
+      return &It->second.Verdict;
+    }
+    ++S.Stats.Misses;
+    return nullptr;
+  }
+
+  /// Memoizes \p Verdict for \p H. The first entry per hash wins; a
+  /// colliding later insert is dropped (dropping is always sound — the
+  /// collider simply keeps re-checking).
+  void insert(unsigned Shard, const vm::History &H, std::string Verdict) {
+    Shards[Shard].Map.try_emplace(H.Hash, Entry{H, std::move(Verdict)});
+  }
+
+  struct Totals {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+  };
+
+  /// Cumulative shard-local hit/miss counts over the cache's lifetime.
+  /// Jobs-variant (slot-to-worker assignment decides who sees the
+  /// duplicate): publish to gauges only, never to counters.
+  Totals totals() const {
+    Totals T;
+    for (const Shard &S : Shards) {
+      T.Hits += S.Stats.Hits;
+      T.Misses += S.Stats.Misses;
+    }
+    return T;
+  }
+
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
+
+private:
+  struct Entry {
+    vm::History Hist; ///< Full copy: the collision-safety witness.
+    std::string Verdict;
+  };
+  // Cache-line-aligned so two workers hammering adjacent shards do not
+  // false-share.
+  struct alignas(64) Shard {
+    std::unordered_map<uint64_t, Entry> Map;
+    Totals Stats;
+  };
+  using ShardState = Shard;
+  std::vector<Shard> Shards;
+};
+
+} // namespace dfence::cache
+
+#endif // DFENCE_CACHE_CHECKCACHE_H

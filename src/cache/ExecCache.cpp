@@ -1,0 +1,63 @@
+//===- ExecCache.cpp - Cross-round execution result cache -----------------===//
+
+#include "cache/ExecCache.h"
+
+#include "ir/Printer.h"
+#include "vm/History.h" // hashMix64 / hashCombine primitives.
+
+using namespace dfence;
+using namespace dfence::cache;
+
+uint64_t cache::fingerprintModule(const ir::Module &M) {
+  // The printer renders every observable detail of the program —
+  // functions, instruction operands, labels, synthesized fences — so its
+  // text is a faithful canonical form and FNV-1a over it a sound
+  // fingerprint. Cost is linear in module size and paid once per
+  // enforcement, not per execution.
+  std::string Text = ir::printModule(M);
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : Text)
+    H = (H ^ static_cast<unsigned char>(C)) * 1099511628211ULL;
+  return vm::hashMix64(H);
+}
+
+static uint64_t fingerprintString(uint64_t H, const std::string &S) {
+  uint64_t F = 1469598103934665603ULL;
+  for (char C : S)
+    F = (F ^ static_cast<unsigned char>(C)) * 1099511628211ULL;
+  return vm::hashCombine(H, F);
+}
+
+uint64_t cache::fingerprintClient(const vm::Client &C) {
+  uint64_t H = 0x13198a2e03707344ULL;
+  H = fingerprintString(H, C.InitFunc);
+  H = vm::hashCombine(H, C.Threads.size());
+  for (const vm::ThreadScript &T : C.Threads) {
+    H = vm::hashCombine(H, T.Calls.size());
+    for (const vm::MethodCall &MC : T.Calls) {
+      H = fingerprintString(H, MC.Func);
+      H = vm::hashCombine(H, MC.Args.size());
+      for (const vm::Arg &A : MC.Args) {
+        H = vm::hashCombine(H, static_cast<uint64_t>(A.Ref));
+        // The literal only matters when it is not shadowed by a backref.
+        if (A.Ref < 0)
+          H = vm::hashCombine(H, static_cast<uint64_t>(A.Literal));
+      }
+    }
+  }
+  return vm::hashMix64(H);
+}
+
+uint64_t ExecKey::hash() const {
+  uint64_t H = ModuleFp;
+  H = vm::hashCombine(H, ClientFp);
+  H = vm::hashCombine(H, Seed);
+  H = vm::hashCombine(H, FlushProbBits);
+  H = vm::hashCombine(H, MaxSteps);
+  H = vm::hashCombine(H, PolicyFp);
+  H = vm::hashCombine(H, (static_cast<uint64_t>(Model) << 3) |
+                             (static_cast<uint64_t>(CollectRepairs) << 2) |
+                             (static_cast<uint64_t>(InterOpPredicates) << 1) |
+                             static_cast<uint64_t>(PartialOrderReduction));
+  return H;
+}

@@ -1,0 +1,127 @@
+//===- ExecCache.h - Cross-round execution result cache ---------*- C++ -*-===//
+//
+// After a repair round, synthesis keeps running rounds against a module
+// that no longer changes; under the nominal-index seed derivation each
+// (module, client, seed, flush, policy) configuration is a pure function
+// of its key, so re-running one that was already run — the final
+// confirming rounds of a converged run, or a whole re-verification of an
+// unchanged program — is redundant work. The ExecCache maps a full
+// execution key to a compact summary of everything the synthesis merge
+// fold observes (outcome, stats, repair disjunction, verdict, harness
+// accounting) — deliberately *not* the history or trace, which is why
+// bundle capture disables the cache rather than storing them.
+//
+// Keys embed a fingerprint of the module *after* fence enforcement and of
+// the client, plus every ExecConfig and retry-policy field that can alter
+// the result. The full key is stored and compared on lookup, so a
+// fingerprint collision degrades to a miss. Insertion stops at a fixed
+// capacity (no eviction): hits or misses must depend only on the sequence
+// of lookups/inserts, never on timing, to keep results reproducible.
+//
+// Concurrency contract: frozen during a round (workers only call the
+// const lookup); mutated only between rounds on the merge thread, in
+// execution-index order. The pool's batch barrier orders the two phases.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_CACHE_EXECCACHE_H
+#define DFENCE_CACHE_EXECCACHE_H
+
+#include "vm/Client.h"
+#include "vm/Interp.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace dfence::ir {
+class Module;
+} // namespace dfence::ir
+
+namespace dfence::cache {
+
+/// Fingerprint of a module's observable program text (hash of
+/// ir::printModule, which renders every function, label and synthesized
+/// fence). Recompute after enforcement mutates the module.
+uint64_t fingerprintModule(const ir::Module &M);
+
+/// Fingerprint of a client's semantics: init function and the per-thread
+/// call scripts with literal/backref arguments. The advisory Name is
+/// excluded — it never reaches the engine.
+uint64_t fingerprintClient(const vm::Client &C);
+
+/// Everything a supervised execution's result is a function of. Scheduler
+/// must be the engine-internal RandomFlushScheduler (an external Sched,
+/// wall-clock watchdogs, fault plans and trace capture make a slot
+/// non-cacheable; the planner simply never builds keys for those).
+struct ExecKey {
+  uint64_t ModuleFp = 0;
+  uint64_t ClientFp = 0;
+  uint64_t Seed = 0;
+  uint64_t FlushProbBits = 0; ///< Bit pattern of ExecConfig::FlushProb.
+  uint64_t MaxSteps = 0;
+  uint64_t PolicyFp = 0; ///< Retry policy (it remixes seed/steps).
+  uint8_t Model = 0;
+  bool CollectRepairs = false;
+  bool InterOpPredicates = false;
+  bool PartialOrderReduction = false;
+
+  bool operator==(const ExecKey &) const = default;
+  uint64_t hash() const;
+};
+
+struct ExecKeyHasher {
+  size_t operator()(const ExecKey &K) const {
+    return static_cast<size_t>(K.hash());
+  }
+};
+
+/// Compact record of one supervised execution: exactly the fields the
+/// synthesis merge fold reads, minus history and trace.
+struct ExecSummary {
+  vm::Outcome Out = vm::Outcome::Completed;
+  vm::ExecStats Stats;
+  vm::RepairDisjunction Repairs;
+  std::string Message;
+  size_t Steps = 0;
+  /// The spec verdict for this execution (a pure function of the result,
+  /// so memoizing it alongside is sound); empty = acceptable.
+  std::string Violation;
+  unsigned Attempts = 1;
+  bool Discarded = false;
+  bool TimedOut = false;
+  uint64_t UsedSeed = 0;
+  size_t UsedMaxSteps = 0;
+};
+
+class ExecCache {
+public:
+  explicit ExecCache(size_t MaxEntries = 1 << 15)
+      : MaxEntries(MaxEntries) {}
+
+  /// Returns the summary stored for \p K, or null. Safe to call
+  /// concurrently with other lookups (the map is not mutated).
+  const ExecSummary *lookup(const ExecKey &K) const {
+    auto It = Map.find(K);
+    return It == Map.end() ? nullptr : &It->second;
+  }
+
+  /// Stores \p S under \p K. Returns false (and stores nothing) when the
+  /// key is already present or the deterministic capacity is reached.
+  /// Merge-thread only; never call while a round is in flight.
+  bool insert(const ExecKey &K, ExecSummary S) {
+    if (Map.size() >= MaxEntries)
+      return false;
+    return Map.try_emplace(K, std::move(S)).second;
+  }
+
+  size_t size() const { return Map.size(); }
+  size_t capacity() const { return MaxEntries; }
+
+private:
+  size_t MaxEntries;
+  std::unordered_map<ExecKey, ExecSummary, ExecKeyHasher> Map;
+};
+
+} // namespace dfence::cache
+
+#endif // DFENCE_CACHE_EXECCACHE_H

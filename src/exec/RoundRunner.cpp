@@ -9,13 +9,38 @@
 using namespace dfence;
 using namespace dfence::exec;
 
+/// Reconstructs a slot result from a cached summary. The summary carries
+/// every field the merge fold reads — but no history and no trace, so
+/// served slots must never reach a consumer that needs either (the
+/// synthesizer disables the execution cache when capturing bundles).
+static void applySummary(const cache::ExecSummary &Sum, RoundSlot &S) {
+  vm::ExecResult &R = S.SE.Result;
+  R.Out = Sum.Out;
+  R.Hist.Ops.clear();
+  R.Hist.Hash = 0;
+  R.Stats = Sum.Stats;
+  R.Repairs = Sum.Repairs;
+  R.Message = Sum.Message;
+  R.Steps = Sum.Steps;
+  R.Trace.clear();
+  S.SE.Attempts = Sum.Attempts;
+  S.SE.Discarded = Sum.Discarded;
+  S.SE.TimedOut = Sum.TimedOut;
+  S.SE.UsedSeed = Sum.UsedSeed;
+  S.SE.UsedMaxSteps = Sum.UsedMaxSteps;
+  S.Violation = Sum.Violation;
+  S.FromExecCache = true;
+}
+
 RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
                            const RoundPlan &Plan,
                            const harness::ExecPolicy &Policy,
                            const ViolationCheck &Check,
                            const std::function<bool()> &Stop,
-                           const obs::ObsContext *Obs) {
+                           const obs::ObsContext *Obs,
+                           const RoundCaches &Caches) {
   obs::TraceSink *Trace = obs::traceOrNull(Obs);
+  assert(!Caches.Check || Caches.Check->numShards() >= Pool.jobs());
   RoundResult RR;
   RR.Slots.resize(Plan.Slots.size());
   RR.Ran = Pool.runOrdered(
@@ -25,6 +50,20 @@ RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
         assert(EP.ClientIdx < P.numClients());
         RoundSlot &S = RR.Slots[I];
         OBS_SPAN(SlotSpan, Trace, "slot", "exec", currentWorker());
+        // Cross-round cache: a cacheable slot whose exact key was run
+        // before (against this module generation) skips the execution
+        // and the check both; the summary already embeds the verdict.
+        if (Caches.Exec && EP.Cacheable) {
+          if (const cache::ExecSummary *Sum = Caches.Exec->lookup(EP.Key)) {
+            applySummary(*Sum, S);
+            if (Trace) {
+              SlotSpan.arg("index", static_cast<uint64_t>(I));
+              SlotSpan.arg("seed", EP.EC.Seed);
+              SlotSpan.arg("cache", std::string("exec-hit"));
+            }
+            return;
+          }
+        }
         // Each slot runs on its pool worker's persistent context; the
         // context carries the arenas across executions, so steady-state
         // slots are reset-and-go rather than build-and-tear-down.
@@ -33,9 +72,24 @@ RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
             Policy);
         // Discarded executions are counted, never judged; everything else
         // is judged here so the (possibly exponential) spec check also
-        // runs off the merge thread.
-        if (!S.SE.Discarded && Check)
-          S.Violation = Check(S.SE.Result);
+        // runs off the merge thread. The check cache memoizes verdicts of
+        // Completed histories within this worker's shard — a hit is
+        // trusted only after the full history compare inside lookup, so
+        // memoization can never alter a verdict, only skip recomputing it.
+        if (!S.SE.Discarded && Check) {
+          const vm::ExecResult &R = S.SE.Result;
+          if (Caches.Check && R.Out == vm::Outcome::Completed) {
+            unsigned Shard = currentWorker();
+            if (const std::string *V = Caches.Check->lookup(Shard, R.Hist)) {
+              S.Violation = *V;
+            } else {
+              S.Violation = Check(R);
+              Caches.Check->insert(Shard, R.Hist, S.Violation);
+            }
+          } else {
+            S.Violation = Check(R);
+          }
+        }
         if (Trace) {
           SlotSpan.arg("index", static_cast<uint64_t>(I));
           SlotSpan.arg("seed", EP.EC.Seed);

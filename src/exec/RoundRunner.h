@@ -21,6 +21,8 @@
 #ifndef DFENCE_EXEC_ROUNDRUNNER_H
 #define DFENCE_EXEC_ROUNDRUNNER_H
 
+#include "cache/CheckCache.h"
+#include "cache/ExecCache.h"
 #include "exec/ExecPool.h"
 #include "harness/Harness.h"
 #include "vm/Client.h"
@@ -37,6 +39,24 @@ namespace dfence::exec {
 struct ExecPlan {
   vm::ExecConfig EC;
   uint32_t ClientIdx = 0; ///< Index into the round's client vector.
+  /// Cross-round cache key; meaningful only when Cacheable.
+  cache::ExecKey Key;
+  /// The slot's result is a pure function of Key: no external scheduler,
+  /// wall-clock watchdog, fault plan or trace capture involved. Only such
+  /// slots consult (or later populate) the execution cache.
+  bool Cacheable = false;
+};
+
+/// The caches a round runs against; both optional and caller-owned.
+struct RoundCaches {
+  /// Round-scoped verdict memoization, sharded per pool worker (shard
+  /// index = currentWorker(); must have been built with at least
+  /// Pool.jobs() shards). Null disables check memoization.
+  cache::CheckCache *Check = nullptr;
+  /// Cross-round summaries. Frozen for the whole round — runRound only
+  /// reads it; the caller inserts new results between rounds. Null
+  /// disables execution skipping.
+  const cache::ExecCache *Exec = nullptr;
 };
 
 /// A whole round's worth of slots. Slot I of round R must be planned from
@@ -54,6 +74,11 @@ struct RoundSlot {
   /// Violation diagnostics from the caller-supplied check; empty when the
   /// execution was acceptable or discarded.
   std::string Violation;
+  /// The slot was served from the execution cache: SE/Violation were
+  /// reconstructed from a summary and SE.Result carries no history or
+  /// trace. Jobs-invariant (the cache is frozen during the round, so a
+  /// hit depends only on the plan and cache contents, not on timing).
+  bool FromExecCache = false;
 };
 
 struct RoundResult {
@@ -76,13 +101,17 @@ using ViolationCheck = std::function<std::string(const vm::ExecResult &)>;
 /// slots are cancelled and the result is the executed prefix. When \p Obs
 /// carries a trace sink, every slot emits a "slot" span on its worker's
 /// trace track (tid = currentWorker()) with the slot index, seed, outcome
-/// and retry count as args.
+/// and retry count as args. \p Caches may carry a per-worker-sharded
+/// check cache (verdict memoization) and a frozen execution cache
+/// (cacheable slots with a stored key skip execution entirely); both
+/// default to off and neither changes any slot's observable result.
 RoundResult runRound(ExecPool &Pool, const vm::PreparedProgram &P,
                      const RoundPlan &Plan,
                      const harness::ExecPolicy &Policy,
                      const ViolationCheck &Check,
                      const std::function<bool()> &Stop = nullptr,
-                     const obs::ObsContext *Obs = nullptr);
+                     const obs::ObsContext *Obs = nullptr,
+                     const RoundCaches &Caches = {});
 
 } // namespace dfence::exec
 

@@ -121,5 +121,6 @@ void Supervisor::capture(const ir::Module &M, const vm::Client &C,
   ReproBundle B = makeBundle(M, C, EC, R, Message);
   B.SpecName = SpecName;
   B.SeqSpecName = SeqSpecName;
+  B.CacheMode = CacheMode;
   Bundles.push_back(std::move(B));
 }

@@ -137,6 +137,12 @@ public:
     SeqSpecName = std::move(SeqSpec);
   }
 
+  /// Advisory cache configuration ("on"/"off") stamped into captured
+  /// bundles, so a repro records whether the run it came from had the
+  /// result caches enabled. (Capture itself disables the execution
+  /// cache, but the check cache still runs under --cache=on.)
+  void setCacheInfo(std::string Mode) { CacheMode = std::move(Mode); }
+
   /// Supervises one execution. When capture is enabled, trace recording
   /// is forced on and an aborted (still-discarded) execution is captured
   /// automatically; violating executions are captured by the caller via
@@ -171,7 +177,7 @@ private:
   SupervisorStats Stats;
   bool CaptureBundles = false;
   size_t MaxBundles = 4;
-  std::string SpecName, SeqSpecName;
+  std::string SpecName, SeqSpecName, CacheMode;
   std::vector<ReproBundle> Bundles;
 };
 

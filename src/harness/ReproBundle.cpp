@@ -159,6 +159,8 @@ Json ReproBundle::toJson() const {
     J.set("spec", Json::string(SpecName));
   if (!SeqSpecName.empty())
     J.set("seqSpec", Json::string(SeqSpecName));
+  if (!CacheMode.empty())
+    J.set("cache", Json::string(CacheMode));
   J.set("model", Json::string(modelName(Model)));
   J.set("seed", Json::number(Seed));
   J.set("flushProb", Json::number(FlushProb));
@@ -199,6 +201,8 @@ std::optional<ReproBundle> ReproBundle::fromJson(const Json &J,
     B.SpecName = S->asString();
   if (const Json *S = J.find("seqSpec"))
     B.SeqSpecName = S->asString();
+  if (const Json *S = J.find("cache"))
+    B.CacheMode = S->asString();
   const Json *ModelJ = J.find("model");
   auto Model = modelByName(ModelJ ? ModelJ->asString() : "");
   if (!Model) {

@@ -53,6 +53,10 @@ struct ReproBundle {
   /// produced Message. Empty when unknown.
   std::string SpecName;
   std::string SeqSpecName;
+  /// Advisory cache configuration of the capturing run ("on"/"off");
+  /// empty when unknown. Serialized only when non-empty, so bundles from
+  /// cache-unaware producers round-trip unchanged.
+  std::string CacheMode;
 
   /// Optional metrics snapshot of the run that captured this bundle (the
   /// registry's deterministic counter subset, stamped by the synthesizer

@@ -12,8 +12,25 @@
 
 #include <cassert>
 #include <cstdint>
+#include <string_view>
 
 namespace dfence {
+
+/// Derives an independent 64-bit seed from \p Base and a textual \p Tag:
+/// FNV-1a over the tag, finalized through the SplitMix64 mixer. Used
+/// wherever a family of runs (per-subject test sweeps, portfolio members)
+/// needs decorrelated seed streams from one base seed — handing every
+/// subject the same constant makes their schedule streams identical,
+/// which overstates duplicate-history rates and understates coverage.
+inline uint64_t deriveSeed(uint64_t Base, std::string_view Tag) {
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : Tag)
+    H = (H ^ static_cast<unsigned char>(C)) * 1099511628211ULL;
+  uint64_t Z = Base ^ (H + 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
 
 /// Deterministic xoshiro256** generator.
 class Rng {

@@ -2,6 +2,8 @@
 
 #include "synth/Synthesizer.h"
 
+#include "cache/CheckCache.h"
+#include "cache/ExecCache.h"
 #include "exec/ExecPool.h"
 #include "exec/RoundRunner.h"
 #include "harness/Harness.h"
@@ -13,9 +15,11 @@
 #include "synth/StaticBaseline.h"
 #include "vm/Prepared.h"
 
+#include <cstring>
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
 
 using namespace dfence;
 using namespace dfence::synth;
@@ -118,8 +122,20 @@ std::string synth::checkExecution(const vm::ExecResult &R,
 /// wart on its own, and fatal for parallel dispatch, which must know the
 /// whole plan before anything runs. For untruncated runs the two schemes
 /// coincide (TotalExecutions advances by exactly K per round).
+///
+/// Fingerprints of everything outside the per-slot ExecConfig that an
+/// execution result depends on; planRound bakes them into the slots'
+/// cross-round cache keys. ModuleFp must be recomputed after enforcement.
+struct RunFingerprints {
+  bool Cacheable = false; ///< The run's slots qualify for the ExecCache.
+  uint64_t ModuleFp = 0;
+  uint64_t PolicyFp = 0;
+  std::vector<uint64_t> ClientFps; ///< One per client, computed once.
+};
+
 static exec::RoundPlan planRound(const SynthConfig &Cfg,
-                                 size_t NumClients, unsigned Round) {
+                                 size_t NumClients, unsigned Round,
+                                 const RunFingerprints &FP) {
   exec::RoundPlan Plan;
   Plan.Slots.resize(Cfg.ExecsPerRound);
   uint64_t First = static_cast<uint64_t>(Round - 1) * Cfg.ExecsPerRound;
@@ -142,8 +158,42 @@ static exec::RoundPlan planRound(const SynthConfig &Cfg,
     EC.RecordTrace = Cfg.CaptureBundles;
     if (Cfg.Faults.enabled())
       EC.Faults = &Cfg.Faults;
+    if (FP.Cacheable) {
+      P.Cacheable = true;
+      cache::ExecKey &K = P.Key;
+      K.ModuleFp = FP.ModuleFp;
+      K.ClientFp = FP.ClientFps[P.ClientIdx];
+      K.Seed = EC.Seed;
+      std::memcpy(&K.FlushProbBits, &EC.FlushProb, sizeof(double));
+      K.MaxSteps = EC.MaxSteps;
+      K.PolicyFp = FP.PolicyFp;
+      K.Model = static_cast<uint8_t>(EC.Model);
+      K.CollectRepairs = EC.CollectRepairs;
+      K.InterOpPredicates = EC.InterOpPredicates;
+      K.PartialOrderReduction = EC.PartialOrderReduction;
+    }
   }
   return Plan;
+}
+
+/// Condenses a ran slot into the compact form the ExecCache stores:
+/// exactly what the merge fold reads, history and trace dropped.
+static cache::ExecSummary makeSummary(const harness::SupervisedExec &SE,
+                                      const std::string &Violation) {
+  cache::ExecSummary Sum;
+  const vm::ExecResult &R = SE.Result;
+  Sum.Out = R.Out;
+  Sum.Stats = R.Stats;
+  Sum.Repairs = R.Repairs;
+  Sum.Message = R.Message;
+  Sum.Steps = R.Steps;
+  Sum.Violation = Violation;
+  Sum.Attempts = SE.Attempts;
+  Sum.Discarded = SE.Discarded;
+  Sum.TimedOut = SE.TimedOut;
+  Sum.UsedSeed = SE.UsedSeed;
+  Sum.UsedMaxSteps = SE.UsedMaxSteps;
+  return Sum;
 }
 
 SynthResult synth::synthesize(const ir::Module &M,
@@ -203,6 +253,17 @@ SynthResult synth::synthesize(const ir::Module &M,
       obs::counterOrNull(Cfg.Obs, "sat_decisions_total");
   obs::Counter *SatPropsC =
       obs::counterOrNull(Cfg.Obs, "sat_propagations_total");
+  // Cache counters count merge-thread events only (see the fold loop), so
+  // they are jobs-invariant like every other counter; per-worker shard
+  // totals are inherently jobs-dependent and go to gauges at end of run.
+  obs::Counter *CacheCheckHitsC =
+      obs::counterOrNull(Cfg.Obs, "cache_check_hits");
+  obs::Counter *CacheCheckMissesC =
+      obs::counterOrNull(Cfg.Obs, "cache_check_misses");
+  obs::Counter *CacheExecHitsC =
+      obs::counterOrNull(Cfg.Obs, "cache_exec_hits");
+  obs::Counter *CacheExecMissesC =
+      obs::counterOrNull(Cfg.Obs, "cache_exec_misses");
 
   OBS_SPAN(RunSpan, Trace, "synthesize", "synth", 0);
   RunSpan.arg("model", std::string(vm::memModelName(Cfg.Model)));
@@ -221,6 +282,7 @@ SynthResult synth::synthesize(const ir::Module &M,
   if (Cfg.CaptureBundles)
     Sup.enableBundleCapture(Cfg.MaxBundles);
   Sup.setSpecInfo(specKindName(Cfg.Spec), Cfg.SeqSpecName);
+  Sup.setCacheInfo(Cfg.CacheEnabled ? "on" : "off");
   harness::Stopwatch Watch;
   harness::Budget TotalBudget{Cfg.TotalWallMs};
 
@@ -252,6 +314,50 @@ SynthResult synth::synthesize(const ir::Module &M,
   exec::ExecPool Pool(Cfg.Jobs);
   Pool.setObs(Cfg.Obs);
 
+  // Result caches (src/cache/). Verdict memoization only pays for specs
+  // with a non-trivial history check; the cross-round execution cache is
+  // only sound when a slot's result is a pure function of its key — no
+  // wall-clock watchdog (timeouts depend on machine load), no fault plan
+  // (the plan is keyed by pointer, not content), and no bundle capture
+  // (cached summaries carry no history or trace to capture from).
+  bool CheckCaching = Cfg.CacheEnabled &&
+                      (Cfg.Spec == SpecKind::NoGarbage ||
+                       Cfg.Spec == SpecKind::SequentialConsistency ||
+                       Cfg.Spec == SpecKind::Linearizability);
+  bool ExecCaching = Cfg.CacheEnabled && !Cfg.CaptureBundles &&
+                     !Cfg.Faults.enabled() && Cfg.Exec.ExecWallMs == 0;
+  std::optional<cache::ExecCache> OwnedExecCache;
+  cache::ExecCache *ExecC = nullptr;
+  if (ExecCaching) {
+    ExecC = Cfg.ExecResultCache;
+    if (!ExecC) {
+      OwnedExecCache.emplace();
+      ExecC = &*OwnedExecCache;
+    }
+  }
+  std::optional<cache::CheckCache> CheckC;
+  if (CheckCaching)
+    CheckC.emplace(Pool.jobs());
+
+  // Cross-round cache keys: fingerprints of everything a slot's result
+  // depends on beyond its ExecConfig. The module fingerprint is
+  // recomputed after every enforcement (fences change the program).
+  RunFingerprints FP;
+  FP.Cacheable = ExecC != nullptr;
+  if (FP.Cacheable) {
+    FP.ModuleFp = cache::fingerprintModule(Cur);
+    FP.ClientFps.reserve(Clients.size());
+    for (const vm::Client &C : Clients)
+      FP.ClientFps.push_back(cache::fingerprintClient(C));
+    uint64_t GrowthBits;
+    std::memcpy(&GrowthBits, &Cfg.Exec.StepBudgetGrowth, sizeof(double));
+    uint64_t PH = vm::hashCombine(0x9216d5d98979fb1bULL,
+                                  Cfg.Exec.ExecWallMs);
+    PH = vm::hashCombine(PH, Cfg.Exec.MaxRetries);
+    PH = vm::hashCombine(PH, GrowthBits);
+    FP.PolicyFp = vm::hashCombine(PH, Cfg.Exec.RetrySeedSalt);
+  }
+
   // Resolve the clients against the working module once up front; every
   // execution of every round runs from these tables. Rebuilt below after
   // fence enforcement mutates Cur (cheap: a handful of name lookups).
@@ -275,17 +381,37 @@ SynthResult synth::synthesize(const ir::Module &M,
     // front (seed/client/flush-prob derive from the round-local index),
     // dispatched across the pool, each run under the harness (watchdog +
     // retry escalation for discards) with the spec check on the worker.
-    exec::RoundPlan Plan = planRound(Cfg, Clients.size(), Round);
+    exec::RoundPlan Plan = planRound(Cfg, Clients.size(), Round, FP);
     std::function<bool()> StopFn;
     if (Cfg.TotalWallMs != 0 || Cfg.RoundWallMs != 0)
       StopFn = [&] {
         return TotalBudget.expired(Watch) ||
                RoundBudget.expired(RoundWatch);
       };
+    // The check cache is round-scoped (verdicts memoize per program
+    // generation; enforcement between rounds changes the program). The
+    // execution cache is frozen for the duration of the round — workers
+    // only read it; new summaries are inserted below on this thread, and
+    // the pool's dispatch/join barriers order those writes before the
+    // next round's reads.
+    if (CheckC)
+      CheckC->beginRound();
     exec::RoundResult RR = exec::runRound(
         Pool, *Prepared, Plan, Cfg.Exec,
         [&Cfg](const vm::ExecResult &R) { return checkExecution(R, Cfg); },
-        StopFn, Cfg.Obs);
+        StopFn, Cfg.Obs,
+        exec::RoundCaches{CheckC ? &*CheckC : nullptr, ExecC});
+    // Populate the execution cache from this round's fresh results before
+    // the fold below moves repair disjunctions out of the slots. Index
+    // order + the deterministic capacity cap keep the cache's contents —
+    // and therefore every later round's hit pattern — jobs-invariant.
+    if (ExecC)
+      for (size_t I = 0; I != RR.Ran; ++I) {
+        const exec::ExecPlan &P = Plan.Slots[I];
+        const exec::RoundSlot &S = RR.Slots[I];
+        if (P.Cacheable && !S.FromExecCache && !S.SE.TimedOut)
+          ExecC->insert(P.Key, makeSummary(S.SE, S.Violation));
+      }
     // Budget expiry cancels the slots that had not started; the executed
     // prefix [0, Ran) truncates at a deterministic index boundary,
     // exactly where a sequential loop breaking on the budget would.
@@ -299,6 +425,13 @@ SynthResult synth::synthesize(const ir::Module &M,
     // implicated functions, repair formula — comes out of this loop in
     // the same order the sequential engine produced it.
     std::vector<std::vector<OrderingPredicate>> ViolationRepairs;
+    // Jobs-invariant check-cache accounting: rather than summing the
+    // per-worker shard hits (which depend on how slots landed on
+    // workers), replay what a sequential single-shard cache would have
+    // served — the first slot carrying each distinct Completed history
+    // is a miss, every later duplicate a hit, collisions excluded by the
+    // same full-history compare the real cache performs.
+    std::unordered_map<uint64_t, size_t> SeenHists;
     OBS_SPAN(FoldSpan, Trace, "fold", "synth", 0);
     for (size_t I = 0; I != RR.Ran; ++I) {
       const exec::ExecPlan &P = Plan.Slots[I];
@@ -317,6 +450,24 @@ SynthResult synth::synthesize(const ir::Module &M,
       OBS_COUNT(VmBufStoresC, R.Stats.BufferedStores);
       if (BufHighG)
         BufHighG->max(R.Stats.BufHighWater);
+      if (RR.Slots[I].FromExecCache) {
+        ++Result.ExecCacheHits;
+        OBS_COUNT(CacheExecHitsC, 1);
+      } else if (P.Cacheable) {
+        ++Result.ExecCacheMisses;
+        OBS_COUNT(CacheExecMissesC, 1);
+      }
+      if (CheckC && !RR.Slots[I].FromExecCache && !SE.Discarded &&
+          R.Out == vm::Outcome::Completed) {
+        auto [It, New] = SeenHists.try_emplace(R.Hist.Hash, I);
+        if (!New && RR.Slots[It->second].SE.Result.Hist == R.Hist) {
+          ++Result.CheckCacheHits;
+          OBS_COUNT(CacheCheckHitsC, 1);
+        } else {
+          ++Result.CheckCacheMisses;
+          OBS_COUNT(CacheCheckMissesC, 1);
+        }
+      }
 
       if (SE.Discarded) {
         ++Result.DiscardedExecutions;
@@ -472,8 +623,12 @@ SynthResult synth::synthesize(const ir::Module &M,
         mergeRedundantFences(Cur);
       // Fence insertion changes no FuncId, name, arity or register
       // count, but the prepared program points into Cur — rebuild so the
-      // next round runs against the fenced bodies with fresh tables.
+      // next round runs against the fenced bodies with fresh tables, and
+      // refresh the module fingerprint so cross-round cache keys of the
+      // fenced program can never match pre-enforcement entries.
       Prepared.emplace(Cur, Clients);
+      if (FP.Cacheable)
+        FP.ModuleFp = cache::fingerprintModule(Cur);
     }
     ++RepairRounds;
     OBS_COUNT(RepairRoundsC, 1);
@@ -524,6 +679,19 @@ SynthResult synth::synthesize(const ir::Module &M,
     Reg.counter("harness_retries_total").add(Sup.stats().Retries);
     Reg.counter("harness_discarded_total").add(Sup.stats().Discarded);
     Reg.counter("harness_timeouts_total").add(Sup.stats().TimedOut);
+    // Worker-shard cache totals are jobs-dependent (they depend on which
+    // worker ran which slot), so they are exported as gauges, which stay
+    // out of countersJson and the bundle snapshot by design.
+    if (CheckC) {
+      cache::CheckCache::Totals T = CheckC->totals();
+      Reg.gauge("cache_check_worker_hits")
+          .set(static_cast<double>(T.Hits));
+      Reg.gauge("cache_check_worker_misses")
+          .set(static_cast<double>(T.Misses));
+    }
+    if (ExecC)
+      Reg.gauge("cache_exec_entries")
+          .set(static_cast<double>(ExecC->size()));
     Json Snap = Reg.countersJson();
     for (harness::ReproBundle &B : Result.Bundles)
       B.Metrics = Snap;

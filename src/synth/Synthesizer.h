@@ -28,6 +28,10 @@ namespace dfence::obs {
 struct ObsContext;
 } // namespace dfence::obs
 
+namespace dfence::cache {
+class ExecCache;
+} // namespace dfence::cache
+
 namespace dfence::synth {
 
 /// Which specification violations trigger repair. Memory safety checking
@@ -108,6 +112,24 @@ struct SynthConfig {
   /// exact production synthesis loop.
   vm::FaultPlan Faults;
 
+  //===--- Result caching (see src/cache/) ---===//
+
+  /// Master switch for the result caches (`dfence --cache on|off`). On by
+  /// default. The caches are invisible in results by construction — the
+  /// check cache re-verifies hash hits with a full history compare, and
+  /// the execution cache only serves keys that pin every input of a pure
+  /// execution — so SynthResult and the deterministic counter snapshot
+  /// are byte-identical with caching on or off, at any Jobs value
+  /// (CacheDifferentialTest is the gate).
+  bool CacheEnabled = true;
+  /// Optional externally owned cross-round execution cache, shared across
+  /// synthesize() calls so re-verifying an unchanged program (same base
+  /// seed, clients and knobs) skips whole executions. Not owned; when
+  /// null and caching is on, the run uses a private cache. synthesize()
+  /// mutates it between rounds on its merge thread — do not share one
+  /// instance across concurrent synthesize() calls.
+  cache::ExecCache *ExecResultCache = nullptr;
+
   //===--- Observability (see src/obs/) ---===//
 
   /// Optional observability context (metrics registry, trace sink,
@@ -166,6 +188,18 @@ struct SynthResult {
   /// Crash-repro bundles captured for violating executions (when
   /// SynthConfig::CaptureBundles is set).
   std::vector<harness::ReproBundle> Bundles;
+
+  //===--- Cache statistics (jobs-invariant; see docs/ALGORITHM.md §12).
+  //===--- The only SynthResult fields allowed to differ between cache=on
+  //===--- and cache=off runs. ---===//
+
+  /// Duplicate Completed histories per round (what a sequential run's
+  /// check cache serves as hits), counted on the merge thread.
+  uint64_t CheckCacheHits = 0;
+  uint64_t CheckCacheMisses = 0;
+  /// Executions served from / missed in the cross-round ExecCache.
+  uint64_t ExecCacheHits = 0;
+  uint64_t ExecCacheMisses = 0;
 
   std::string fenceSummary() const;
 };

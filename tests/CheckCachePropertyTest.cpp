@@ -1,0 +1,119 @@
+//===- CheckCachePropertyTest.cpp - Memoized verdict == fresh verdict -----===//
+//
+// Seeded fuzz over (specification, memory model, history): a verdict
+// served by the CheckCache must always equal what a fresh checkExecution
+// call decides — including the empty ("acceptable") verdict produced by
+// the checkers' early-accept fast path, which must memoize as a present
+// empty string, never be conflated with a miss. Histories come from real
+// engine executions of the benchmark suite, where duplicate histories are
+// plentiful, so hit paths are genuinely exercised.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CheckCache.h"
+#include "frontend/Compiler.h"
+#include "programs/Benchmark.h"
+#include "support/Rng.h"
+#include "synth/Synthesizer.h"
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace dfence;
+using namespace dfence::synth;
+
+namespace {
+
+/// Every spec the cache may legally memoize for this benchmark.
+std::vector<SpecKind> specsFor(const programs::Benchmark &B) {
+  std::vector<SpecKind> S;
+  if (B.UseNoGarbage)
+    S.push_back(SpecKind::NoGarbage);
+  if (B.Factory) {
+    S.push_back(SpecKind::SequentialConsistency);
+    S.push_back(SpecKind::Linearizability);
+  }
+  return S;
+}
+
+} // namespace
+
+TEST(CheckCachePropertyTest, MemoizedVerdictsEqualFreshVerdicts) {
+  uint64_t Hits = 0, Inserts = 0;
+  for (const programs::Benchmark &B : programs::allBenchmarks()) {
+    auto CR = frontend::compileMiniC(B.Source);
+    ASSERT_TRUE(CR.Ok) << B.Name << ": " << CR.Error;
+    for (SpecKind Spec : specsFor(B)) {
+      SynthConfig Cfg;
+      Cfg.Spec = Spec;
+      Cfg.Factory = B.Factory;
+
+      // One cache per (subject, spec, model) — verdicts are only
+      // comparable within one checker configuration, mirroring how the
+      // synthesizer scopes its cache to one run.
+      for (vm::MemModel Model :
+           {vm::MemModel::TSO, vm::MemModel::PSO}) {
+        cache::CheckCache Cache(1);
+        for (uint64_t Seed = 1; Seed <= 120; ++Seed) {
+          vm::ExecConfig EC;
+          EC.Model = Model;
+          EC.Seed = deriveSeed(Seed, B.Name);
+          EC.FlushProb = Model == vm::MemModel::TSO ? 0.1 : 0.5;
+          vm::ExecResult R = vm::runExecution(
+              CR.Module, B.Clients[Seed % B.Clients.size()], EC);
+          if (R.Out != vm::Outcome::Completed)
+            continue;
+
+          // The property: fresh recomputation and the memoized verdict
+          // must agree, on every history, at every point in the cache's
+          // fill state.
+          std::string Fresh = checkExecution(R, Cfg);
+          if (const std::string *Memo = Cache.lookup(0, R.Hist)) {
+            ++Hits;
+            EXPECT_EQ(*Memo, Fresh)
+                << B.Name << " spec=" << specKindName(Spec)
+                << " model=" << vm::memModelName(Model)
+                << " seed=" << EC.Seed;
+          } else {
+            ++Inserts;
+            Cache.insert(0, R.Hist, Fresh);
+            // An accepted (empty) verdict must memoize as a present
+            // entry, not be mistaken for a miss on the next lookup.
+            const std::string *Now = Cache.lookup(0, R.Hist);
+            ASSERT_NE(Now, nullptr);
+            EXPECT_EQ(*Now, Fresh);
+          }
+        }
+      }
+    }
+  }
+  // The suite must actually exercise the hit path; duplicate histories
+  // are the whole premise of the check cache.
+  EXPECT_GT(Hits, 100u);
+  EXPECT_GT(Inserts, 50u);
+}
+
+TEST(CheckCachePropertyTest, RoundScopingDropsEntries) {
+  cache::CheckCache Cache(2);
+  vm::History H;
+  vm::OpRecord Op;
+  Op.Func = "put";
+  Op.Thread = 0;
+  Op.InvokeSeq = 1;
+  Op.RespondSeq = 2;
+  Op.Completed = true;
+  H.Ops.push_back(Op);
+  H.Hash = vm::hashHistory(H);
+
+  Cache.insert(1, H, "");
+  ASSERT_NE(Cache.lookup(1, H), nullptr);
+  // Shards are isolated: the other shard never sees the entry.
+  EXPECT_EQ(Cache.lookup(0, H), nullptr);
+  Cache.beginRound();
+  EXPECT_EQ(Cache.lookup(1, H), nullptr);
+
+  // Totals survive the round boundary (cumulative accounting).
+  cache::CheckCache::Totals T = Cache.totals();
+  EXPECT_EQ(T.Hits, 1u);
+  EXPECT_EQ(T.Misses, 2u);
+}

@@ -136,6 +136,11 @@ void printHelp(FILE *Out) {
       "concurrency\n"
       "                      (default 0; the result is bit-identical at "
       "any N)\n"
+      "  --cache on|off      result caches: memoized history checking "
+      "and the\n"
+      "                      cross-round execution cache (default on; "
+      "results\n"
+      "                      are byte-identical either way)\n"
       "  --exec-ms N         per-execution wall-clock watchdog\n"
       "  --retries N         retry budget for discarded executions "
       "(default 2)\n"
@@ -171,14 +176,14 @@ const std::map<std::string, std::vector<const char *>> &knownFlags() {
       {"litmus", {"client", "init", "model", "seeds", "flush"}},
       {"synth",
        {"client", "init", "model", "spec", "seq-spec", "k", "rounds",
-        "flush", "enforce", "=no-merge", "=dump", "jobs", "exec-ms",
-        "retries", "round-ms", "total-ms", "repro", "metrics-out",
-        "trace-out", "log-level", "=log-json"}},
+        "flush", "enforce", "=no-merge", "=dump", "jobs", "cache",
+        "exec-ms", "retries", "round-ms", "total-ms", "repro",
+        "metrics-out", "trace-out", "log-level", "=log-json"}},
       {"bench",
        {"model", "spec", "seq-spec", "k", "rounds", "flush", "enforce",
-        "=no-merge", "=dump", "jobs", "exec-ms", "retries", "round-ms",
-        "total-ms", "repro", "metrics-out", "trace-out", "log-level",
-        "=log-json"}},
+        "=no-merge", "=dump", "jobs", "cache", "exec-ms", "retries",
+        "round-ms", "total-ms", "repro", "metrics-out", "trace-out",
+        "log-level", "=log-json"}},
       {"replay", {}},
   };
   return Table;
@@ -364,6 +369,15 @@ int runSynthesis(const ir::Module &M,
   // Parallel round engine; 0 = hardware concurrency (the CLI default —
   // deterministic merge makes the result identical at any width).
   Cfg.Jobs = static_cast<unsigned>(Opt.getInt("jobs", 0));
+  // Result caches (src/cache/): on by default, and invisible in results
+  // by construction — --cache off exists for differential testing and
+  // for bounding memory on enormous runs.
+  std::string CacheMode = Opt.get("cache", "on");
+  if (CacheMode != "on" && CacheMode != "off") {
+    std::fprintf(stderr, "error: --cache must be 'on' or 'off'\n");
+    return 1;
+  }
+  Cfg.CacheEnabled = CacheMode == "on";
 
   // Resilience policy: watchdogs, retry budget, wall budgets, bundles.
   Cfg.Exec.ExecWallMs =
@@ -405,9 +419,10 @@ int runSynthesis(const ir::Module &M,
     std::fprintf(stderr, "error: %s\n", R.Error.c_str());
     return 1;
   }
-  std::printf("model: %s, spec: %s, K=%u, jobs=%u\n",
+  std::printf("model: %s, spec: %s, K=%u, jobs=%u, cache=%s\n",
               vm::memModelName(Cfg.Model), synth::specKindName(Cfg.Spec),
-              Cfg.ExecsPerRound, exec::resolveJobs(Cfg.Jobs));
+              Cfg.ExecsPerRound, exec::resolveJobs(Cfg.Jobs),
+              CacheMode.c_str());
   for (const synth::RoundStats &S : R.RoundLog)
     std::printf("round %u: %llu violating / %llu executions, %u "
                 "enforcement(s) in program\n",
@@ -666,6 +681,13 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     std::string Key = A.substr(2);
+    // Both value-flag spellings are accepted: "--cache off" and
+    // "--cache=off".
+    std::optional<std::string> Inline;
+    if (size_t Eq = Key.find('='); Eq != std::string::npos) {
+      Inline = Key.substr(Eq + 1);
+      Key = Key.substr(0, Eq);
+    }
     bool IsBool = false, IsValue = false;
     for (const char *K : Known) {
       if (K[0] == '=' && Key == K + 1)
@@ -674,8 +696,17 @@ int main(int Argc, char **Argv) {
         IsValue = true;
     }
     if (IsBool) {
+      if (Inline) {
+        std::fprintf(stderr, "error: flag '--%s' takes no value\n",
+                     Key.c_str());
+        return 2;
+      }
       Opt.Flags[Key] = "1";
     } else if (IsValue) {
+      if (Inline) {
+        Opt.Flags[Key] = *Inline;
+        continue;
+      }
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "error: flag '--%s' requires a value\n",
                      Key.c_str());
