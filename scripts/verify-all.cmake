@@ -10,7 +10,10 @@
 # tier1 rides along automatically — including the result-cache suite
 # (history_hash_test, check_cache_property_test, cache_differential_test,
 # bench_cache_smoke), which the tsan leg exercises with the sharded
-# CheckCache under real pool concurrency.
+# CheckCache under real pool concurrency, and the serve-daemon suite
+# (serve_protocol_test, server_test, serve_smoke_test), whose smoke test
+# the tsan leg runs against the real `dfence serve` binary: submit /
+# dispatcher / transport threads plus SIGTERM drain under TSan.
 
 foreach(preset IN ITEMS verify-default verify-sanitize verify-tsan)
   message(STATUS "==== workflow: ${preset} ====")

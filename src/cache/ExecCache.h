@@ -30,6 +30,7 @@
 #include "vm/Client.h"
 #include "vm/Interp.h"
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
 
@@ -98,28 +99,62 @@ public:
   explicit ExecCache(size_t MaxEntries = 1 << 15)
       : MaxEntries(MaxEntries) {}
 
+  /// Lifetime accounting of a shared cache instance (the serve daemon
+  /// keeps one warm cache across requests and reports these). Purely
+  /// observational: the counters never feed back into lookup/insert
+  /// decisions, so they cannot perturb the deterministic hit pattern.
+  struct Stats {
+    uint64_t Lookups = 0;
+    uint64_t Hits = 0;
+    uint64_t Inserts = 0;
+    uint64_t RejectedFull = 0; ///< Inserts dropped at capacity.
+  };
+
   /// Returns the summary stored for \p K, or null. Safe to call
-  /// concurrently with other lookups (the map is not mutated).
+  /// concurrently with other lookups (the map is not mutated; the stat
+  /// counters are relaxed atomics).
   const ExecSummary *lookup(const ExecKey &K) const {
+    Lookups.fetch_add(1, std::memory_order_relaxed);
     auto It = Map.find(K);
-    return It == Map.end() ? nullptr : &It->second;
+    if (It == Map.end())
+      return nullptr;
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return &It->second;
   }
 
   /// Stores \p S under \p K. Returns false (and stores nothing) when the
   /// key is already present or the deterministic capacity is reached.
   /// Merge-thread only; never call while a round is in flight.
   bool insert(const ExecKey &K, ExecSummary S) {
-    if (Map.size() >= MaxEntries)
+    if (Map.size() >= MaxEntries) {
+      RejectedFull.fetch_add(1, std::memory_order_relaxed);
       return false;
-    return Map.try_emplace(K, std::move(S)).second;
+    }
+    if (!Map.try_emplace(K, std::move(S)).second)
+      return false;
+    Inserts.fetch_add(1, std::memory_order_relaxed);
+    return true;
   }
 
   size_t size() const { return Map.size(); }
   size_t capacity() const { return MaxEntries; }
 
+  /// Snapshot of the lifetime counters; safe to call concurrently with
+  /// lookups (values are individually consistent, not a global cut).
+  Stats stats() const {
+    Stats S;
+    S.Lookups = Lookups.load(std::memory_order_relaxed);
+    S.Hits = Hits.load(std::memory_order_relaxed);
+    S.Inserts = Inserts.load(std::memory_order_relaxed);
+    S.RejectedFull = RejectedFull.load(std::memory_order_relaxed);
+    return S;
+  }
+
 private:
   size_t MaxEntries;
   std::unordered_map<ExecKey, ExecSummary, ExecKeyHasher> Map;
+  mutable std::atomic<uint64_t> Lookups{0}, Hits{0};
+  std::atomic<uint64_t> Inserts{0}, RejectedFull{0};
 };
 
 } // namespace dfence::cache

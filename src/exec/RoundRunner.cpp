@@ -38,7 +38,8 @@ RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
                            const ViolationCheck &Check,
                            const std::function<bool()> &Stop,
                            const obs::ObsContext *Obs,
-                           const RoundCaches &Caches) {
+                           const RoundCaches &Caches,
+                           const harness::Deadline &DL) {
   obs::TraceSink *Trace = obs::traceOrNull(Obs);
   assert(!Caches.Check || Caches.Check->numShards() >= Pool.jobs());
   RoundResult RR;
@@ -69,7 +70,7 @@ RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
         // slots are reset-and-go rather than build-and-tear-down.
         S.SE = harness::runSupervised(
             P, EP.ClientIdx, Pool.workerContext(currentWorker()), EP.EC,
-            Policy);
+            Policy, DL);
         // Discarded executions are counted, never judged; everything else
         // is judged here so the (possibly exponential) spec check also
         // runs off the merge thread. The check cache memoizes verdicts of

@@ -105,13 +105,21 @@ using ViolationCheck = std::function<std::string(const vm::ExecResult &)>;
 /// check cache (verdict memoization) and a frozen execution cache
 /// (cacheable slots with a stored key skip execution entirely); both
 /// default to off and neither changes any slot's observable result.
+///
+/// \p DL is the round's wall-clock deadline. Unlike \p Stop (which only
+/// cancels slots that have not started), an armed deadline is threaded
+/// into every in-flight execution: each attempt's watchdog is capped at
+/// the time remaining, so cancellation fires mid-round — a slot that is
+/// already running times out instead of overrunning. Completed slots
+/// stay bit-identical (the watchdog only decides timeout-vs-complete).
 RoundResult runRound(ExecPool &Pool, const vm::PreparedProgram &P,
                      const RoundPlan &Plan,
                      const harness::ExecPolicy &Policy,
                      const ViolationCheck &Check,
                      const std::function<bool()> &Stop = nullptr,
                      const obs::ObsContext *Obs = nullptr,
-                     const RoundCaches &Caches = {});
+                     const RoundCaches &Caches = {},
+                     const harness::Deadline &DL = {});
 
 } // namespace dfence::exec
 

@@ -27,9 +27,17 @@ static uint64_t remixSeed(uint64_t Seed, uint64_t Salt, unsigned Attempt) {
 /// The shared supervision loop: watchdog, reseeded retries, growing step
 /// budget. \p Run fills an ExecResult for the attempt's config; both
 /// public overloads differ only in how an attempt executes.
+///
+/// When \p DL is armed, each attempt's watchdog is capped at the time
+/// remaining, and an expired deadline yields a synthetic Timeout without
+/// running at all. Capping WallClockMs never changes the *content* of an
+/// execution that completes (the watchdog only decides timeout-vs-
+/// complete), so deadline-capped runs stay bit-identical to uncapped
+/// ones whenever they finish in time.
 template <typename RunFn>
 static SupervisedExec superviseLoop(vm::ExecConfig EC,
-                                    const ExecPolicy &Policy, RunFn Run) {
+                                    const ExecPolicy &Policy,
+                                    const Deadline &DL, RunFn Run) {
   if (Policy.ExecWallMs != 0)
     EC.WallClockMs = Policy.ExecWallMs;
 
@@ -44,6 +52,26 @@ static SupervisedExec superviseLoop(vm::ExecConfig EC,
       EC.MaxSteps = Grown > static_cast<double>(BaseSteps)
                         ? static_cast<size_t>(Grown)
                         : BaseSteps;
+    }
+    if (DL.armed()) {
+      if (DL.expired()) {
+        // No time left for this attempt (or any retry): report an
+        // immediate Timeout instead of starting work we would only
+        // kill. Counts as timed-out AND discarded, like a watchdog
+        // expiry that exhausted its retries.
+        SE.Result = vm::ExecResult();
+        SE.Result.Out = vm::Outcome::Timeout;
+        SE.Result.Message = "wall-clock deadline expired";
+        SE.Attempts = Attempt == 0 ? 1 : Attempt;
+        SE.UsedSeed = EC.Seed;
+        SE.UsedMaxSteps = EC.MaxSteps;
+        SE.TimedOut = true;
+        SE.Discarded = true;
+        return SE;
+      }
+      uint32_t Cap = DL.remainingMs();
+      if (EC.WallClockMs == 0 || EC.WallClockMs > Cap)
+        EC.WallClockMs = Cap;
     }
     Run(EC, SE.Result);
     SE.Attempts = Attempt + 1;
@@ -64,8 +92,9 @@ static SupervisedExec superviseLoop(vm::ExecConfig EC,
 SupervisedExec harness::runSupervised(const ir::Module &M,
                                       const vm::Client &C,
                                       vm::ExecConfig EC,
-                                      const ExecPolicy &Policy) {
-  return superviseLoop(EC, Policy,
+                                      const ExecPolicy &Policy,
+                                      const Deadline &DL) {
+  return superviseLoop(EC, Policy, DL,
                        [&](const vm::ExecConfig &AttemptEC,
                            vm::ExecResult &R) {
                          R = vm::runExecution(M, C, AttemptEC);
@@ -76,8 +105,9 @@ SupervisedExec harness::runSupervised(const vm::PreparedProgram &P,
                                       size_t ClientIdx,
                                       vm::ExecContext &Ctx,
                                       vm::ExecConfig EC,
-                                      const ExecPolicy &Policy) {
-  return superviseLoop(EC, Policy,
+                                      const ExecPolicy &Policy,
+                                      const Deadline &DL) {
+  return superviseLoop(EC, Policy, DL,
                        [&](const vm::ExecConfig &AttemptEC,
                            vm::ExecResult &R) {
                          Ctx.run(P, ClientIdx, AttemptEC, R);
@@ -122,5 +152,6 @@ void Supervisor::capture(const ir::Module &M, const vm::Client &C,
   B.SpecName = SpecName;
   B.SeqSpecName = SeqSpecName;
   B.CacheMode = CacheMode;
+  B.RequestId = RequestId;
   Bundles.push_back(std::move(B));
 }

@@ -74,6 +74,55 @@ struct Budget {
   }
 };
 
+/// An absolute wall-clock deadline. Unlike Budget (a relative allowance
+/// consulted between executions), a Deadline is threaded *into* in-flight
+/// work: the supervision loop caps every attempt's watchdog at the time
+/// remaining, so cancellation fires mid-execution — and therefore
+/// mid-round — instead of only at round boundaries. A default-constructed
+/// Deadline is unarmed and never expires.
+class Deadline {
+public:
+  Deadline() = default;
+
+  /// A deadline \p Ms milliseconds from now (0 = unarmed).
+  static Deadline after(uint32_t Ms) {
+    Deadline D;
+    if (Ms != 0) {
+      D.Armed = true;
+      D.At = std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(Ms);
+    }
+    return D;
+  }
+
+  bool armed() const { return Armed; }
+  bool expired() const {
+    return Armed && std::chrono::steady_clock::now() >= At;
+  }
+
+  /// Milliseconds until expiry, clamped to >= 1 so the value can be used
+  /// directly as a watchdog budget (0 would mean "unlimited" to the VM).
+  /// Returns 1 when already expired; meaningless when unarmed.
+  uint32_t remainingMs() const {
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        At - std::chrono::steady_clock::now());
+    return Left.count() < 1 ? 1u : static_cast<uint32_t>(Left.count());
+  }
+
+  /// The earlier of two deadlines (an unarmed one never wins).
+  static Deadline sooner(const Deadline &A, const Deadline &B) {
+    if (!A.Armed)
+      return B;
+    if (!B.Armed)
+      return A;
+    return A.At <= B.At ? A : B;
+  }
+
+private:
+  std::chrono::steady_clock::time_point At{};
+  bool Armed = false;
+};
+
 /// The outcome of one supervised execution.
 struct SupervisedExec {
   vm::ExecResult Result;
@@ -93,9 +142,14 @@ bool isDiscardedOutcome(vm::Outcome O);
 /// Runs one execution of \p C against \p M under \p Policy: applies the
 /// watchdog and retries discarded runs with a reseeded schedule and an
 /// exponentially larger step budget. \p EC is taken by value; the policy
-/// overrides its WallClockMs and (on retries) Seed and MaxSteps.
+/// overrides its WallClockMs and (on retries) Seed and MaxSteps. When
+/// \p DL is armed, every attempt's watchdog is additionally capped at
+/// the time remaining (an expired deadline yields an immediate Timeout
+/// without running), so an in-flight execution cannot outlive its
+/// caller's wall-clock budget.
 SupervisedExec runSupervised(const ir::Module &M, const vm::Client &C,
-                             vm::ExecConfig EC, const ExecPolicy &Policy);
+                             vm::ExecConfig EC, const ExecPolicy &Policy,
+                             const Deadline &DL = {});
 
 /// Prepared-program variant: the same supervision loop (same retry
 /// seeds, same budget growth, bit-identical results), but every attempt
@@ -106,7 +160,8 @@ SupervisedExec runSupervised(const ir::Module &M, const vm::Client &C,
 /// used concurrently from another thread.
 SupervisedExec runSupervised(const vm::PreparedProgram &P, size_t ClientIdx,
                              vm::ExecContext &Ctx, vm::ExecConfig EC,
-                             const ExecPolicy &Policy);
+                             const ExecPolicy &Policy,
+                             const Deadline &DL = {});
 
 /// Cumulative accounting across a supervisor's lifetime.
 struct SupervisorStats {
@@ -143,6 +198,12 @@ public:
   /// cache, but the check cache still runs under --cache=on.)
   void setCacheInfo(std::string Mode) { CacheMode = std::move(Mode); }
 
+  /// Advisory originating-request identifier stamped into captured
+  /// bundles. The serve daemon sets this per request, turning the
+  /// bundles a request produces into its crash reports — a bundle on
+  /// disk names the request that generated it.
+  void setRequestInfo(std::string Id) { RequestId = std::move(Id); }
+
   /// Supervises one execution. When capture is enabled, trace recording
   /// is forced on and an aborted (still-discarded) execution is captured
   /// automatically; violating executions are captured by the caller via
@@ -177,7 +238,7 @@ private:
   SupervisorStats Stats;
   bool CaptureBundles = false;
   size_t MaxBundles = 4;
-  std::string SpecName, SeqSpecName, CacheMode;
+  std::string SpecName, SeqSpecName, CacheMode, RequestId;
   std::vector<ReproBundle> Bundles;
 };
 

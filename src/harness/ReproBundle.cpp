@@ -119,7 +119,7 @@ static vm::Client clientFromJson(const Json &J) {
   return C;
 }
 
-static Json faultsToJson(const vm::FaultPlan &F) {
+Json harness::faultPlanToJson(const vm::FaultPlan &F) {
   Json J = Json::object();
   J.set("flushStormProb", Json::number(F.FlushStormProb));
   Json Labels = Json::array();
@@ -133,7 +133,7 @@ static Json faultsToJson(const vm::FaultPlan &F) {
   return J;
 }
 
-static vm::FaultPlan faultsFromJson(const Json &J) {
+vm::FaultPlan harness::faultPlanFromJson(const Json &J) {
   vm::FaultPlan F;
   if (const Json *P = J.find("flushStormProb"))
     F.FlushStormProb = P->asDouble();
@@ -161,6 +161,8 @@ Json ReproBundle::toJson() const {
     J.set("seqSpec", Json::string(SeqSpecName));
   if (!CacheMode.empty())
     J.set("cache", Json::string(CacheMode));
+  if (!RequestId.empty())
+    J.set("requestId", Json::string(RequestId));
   J.set("model", Json::string(modelName(Model)));
   J.set("seed", Json::number(Seed));
   J.set("flushProb", Json::number(FlushProb));
@@ -168,7 +170,7 @@ Json ReproBundle::toJson() const {
   J.set("interOpPredicates", Json::boolean(InterOpPredicates));
   J.set("partialOrderReduction", Json::boolean(PartialOrderReduction));
   if (Faults.enabled())
-    J.set("faults", faultsToJson(Faults));
+    J.set("faults", faultPlanToJson(Faults));
   J.set("client", clientToJson(Client));
   Json TraceJ = Json::array();
   for (const sched::Action &A : Trace)
@@ -203,6 +205,8 @@ std::optional<ReproBundle> ReproBundle::fromJson(const Json &J,
     B.SeqSpecName = S->asString();
   if (const Json *S = J.find("cache"))
     B.CacheMode = S->asString();
+  if (const Json *S = J.find("requestId"))
+    B.RequestId = S->asString();
   const Json *ModelJ = J.find("model");
   auto Model = modelByName(ModelJ ? ModelJ->asString() : "");
   if (!Model) {
@@ -221,7 +225,7 @@ std::optional<ReproBundle> ReproBundle::fromJson(const Json &J,
   if (const Json *V = J.find("partialOrderReduction"))
     B.PartialOrderReduction = V->asBool(true);
   if (const Json *F = J.find("faults"))
-    B.Faults = faultsFromJson(*F);
+    B.Faults = faultPlanFromJson(*F);
   if (const Json *C = J.find("client"))
     B.Client = clientFromJson(*C);
   if (const Json *T = J.find("trace"); T && T->isArray())

@@ -57,6 +57,11 @@ struct ReproBundle {
   /// empty when unknown. Serialized only when non-empty, so bundles from
   /// cache-unaware producers round-trip unchanged.
   std::string CacheMode;
+  /// Advisory originating-request identifier: when the serve daemon
+  /// captures this bundle as a request's crash report, the request id is
+  /// stamped here so the report names the request that produced it.
+  /// Serialized only when non-empty.
+  std::string RequestId;
 
   /// Optional metrics snapshot of the run that captured this bundle (the
   /// registry's deterministic counter subset, stamped by the synthesizer
@@ -86,6 +91,12 @@ ReproBundle makeBundle(const ir::Module &M, const vm::Client &C,
 /// parse; every other failure mode surfaces as the ExecResult's outcome.
 std::optional<vm::ExecResult> replayBundle(const ReproBundle &B,
                                            std::string &Error);
+
+/// FaultPlan <-> JSON, in the bundle's "faults" schema. Shared with the
+/// serve protocol so daemon requests describe fault plans in exactly the
+/// vocabulary repro bundles already use.
+Json faultPlanToJson(const vm::FaultPlan &F);
+vm::FaultPlan faultPlanFromJson(const Json &J);
 
 } // namespace dfence::harness
 

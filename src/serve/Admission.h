@@ -1,0 +1,113 @@
+//===- Admission.h - Bounded admission queue with explicit shed -*- C++ -*-===//
+//
+// The daemon's backpressure mechanism. Admission is a bounded FIFO with
+// three verdicts and no other behavior:
+//
+//   Admitted   the request is queued; the dispatcher will run it.
+//   QueueFull  capacity reached — the caller must send a structured
+//              `rejected: queue_full` response. Never a silent drop: the
+//              queue refuses work instead of buffering unboundedly or
+//              discarding quietly.
+//   Draining   beginDrain() was called (SIGTERM / shutdown op); no new
+//              work is admitted, already-queued work still runs.
+//
+// pop() blocks until an item is available; once draining, it returns the
+// remaining items and then nullopt, which is the dispatcher's signal to
+// exit. One producer-side mutex covers depth + drain state, so the
+// "exactly the excess gets rejected" property of the overload test is a
+// direct consequence of push being atomic.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SERVE_ADMISSION_H
+#define DFENCE_SERVE_ADMISSION_H
+
+#include "harness/Harness.h"
+#include "serve/Protocol.h"
+#include "support/Json.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+namespace dfence::serve {
+
+/// One admitted unit of work, queued for the dispatcher.
+struct Pending {
+  ServeRequest Req;
+  /// The request's wall-clock deadline, armed at *admission* so queue
+  /// wait counts against it — a request cannot hang past its deadline
+  /// just because the queue was long. Unarmed when the request (and the
+  /// server default) specify no deadline.
+  harness::Deadline DL;
+  /// Delivers the response; invoked exactly once, on the dispatcher
+  /// thread.
+  std::function<void(Json)> Respond;
+  uint64_t Seq = 0; ///< Admission order, for logs and crash reports.
+};
+
+class AdmissionQueue {
+public:
+  enum class Verdict : uint8_t { Admitted, QueueFull, Draining };
+
+  explicit AdmissionQueue(size_t Capacity) : Capacity(Capacity) {}
+
+  /// Attempts to admit \p P. Never blocks. \p P is moved from only on
+  /// Admitted — on rejection the caller still owns it intact (it needs
+  /// the Respond callback to deliver the structured rejection).
+  Verdict push(Pending &P) {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Draining_)
+      return Verdict::Draining;
+    if (Q.size() >= Capacity)
+      return Verdict::QueueFull;
+    Q.push_back(std::move(P));
+    Cv.notify_one();
+    return Verdict::Admitted;
+  }
+
+  /// Blocks until an item is available or the queue is draining and
+  /// empty (then returns nullopt — the dispatcher's exit signal).
+  std::optional<Pending> pop() {
+    std::unique_lock<std::mutex> L(Mu);
+    Cv.wait(L, [&] { return !Q.empty() || Draining_; });
+    if (Q.empty())
+      return std::nullopt;
+    Pending P = std::move(Q.front());
+    Q.pop_front();
+    return P;
+  }
+
+  /// Stops admitting; queued work still drains through pop(). Idempotent.
+  void beginDrain() {
+    std::lock_guard<std::mutex> L(Mu);
+    Draining_ = true;
+    Cv.notify_all();
+  }
+
+  bool draining() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Draining_;
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Q.size();
+  }
+
+  size_t capacity() const { return Capacity; }
+
+private:
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<Pending> Q;
+  size_t Capacity;
+  bool Draining_ = false;
+};
+
+} // namespace dfence::serve
+
+#endif // DFENCE_SERVE_ADMISSION_H

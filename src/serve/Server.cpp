@@ -1,0 +1,380 @@
+//===- Server.cpp - The dfence synthesis-as-a-service daemon core ---------===//
+
+#include "serve/Server.h"
+
+#include "synth/StaticBaseline.h"
+
+#include <chrono>
+#include <fstream>
+#include <sys/stat.h>
+#include <thread>
+
+using namespace dfence;
+using namespace dfence::serve;
+
+namespace {
+
+/// Request ids are caller-chosen; when they become file names (crash
+/// reports, bundles) everything outside [A-Za-z0-9._-] flattens to '_'
+/// so an id cannot escape the crash directory.
+std::string sanitizeId(const std::string &Id) {
+  std::string S = Id.empty() ? std::string("anonymous") : Id;
+  for (char &C : S) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '.' || C == '_' || C == '-';
+    if (!Ok)
+      C = '_';
+  }
+  return S;
+}
+
+Json makeTimeoutResponse(const std::string &Id, const char *Where) {
+  Json J = Json::object();
+  J.set("id", Json::string(Id));
+  J.set("status", Json::string("timeout"));
+  J.set("reason", Json::string(Where));
+  return J;
+}
+
+} // namespace
+
+Server::Server(const ServeConfig &C)
+    : Cfg(C), OwnObs{&OwnReg, nullptr, nullptr},
+      Obs(C.Obs ? C.Obs : &OwnObs),
+      Reg((C.Obs && C.Obs->Metrics) ? *C.Obs->Metrics : OwnReg),
+      Pool(C.Jobs), Cache(C.CacheCapacity), Queue(C.QueueCapacity),
+      RequestsC(Reg.counter("serve_requests_total")),
+      AdmittedC(Reg.counter("serve_admitted_total")),
+      ShedC(Reg.counter("serve_shed_total")),
+      DrainRejC(Reg.counter("serve_rejected_draining_total")),
+      CompletedC(Reg.counter("serve_completed_total")),
+      TimeoutsC(Reg.counter("serve_deadline_timeouts_total")),
+      DegradedC(Reg.counter("serve_degraded_total")),
+      ErrorsC(Reg.counter("serve_errors_total")),
+      CrashesC(Reg.counter("serve_crashes_total")),
+      RetriesC(Reg.counter("serve_request_retries_total")),
+      QueueDepthG(Reg.gauge("serve_queue_depth")),
+      InflightG(Reg.gauge("serve_inflight")),
+      RequestUsH(Reg.histogram("serve_request_duration_us")) {
+  if (!Cfg.CrashDir.empty())
+    ::mkdir(Cfg.CrashDir.c_str(), 0755); // EEXIST is fine.
+  Paused = Cfg.StartPaused;
+  Dispatcher = std::thread(&Server::dispatcherMain, this);
+}
+
+Server::~Server() { drain(); }
+
+void Server::pause() {
+  std::lock_guard<std::mutex> L(PauseMu);
+  Paused = true;
+}
+
+void Server::resume() {
+  {
+    std::lock_guard<std::mutex> L(PauseMu);
+    Paused = false;
+  }
+  PauseCv.notify_all();
+}
+
+void Server::beginDrain() { Queue.beginDrain(); }
+
+void Server::drain() {
+  std::lock_guard<std::mutex> L(JoinMu);
+  if (Joined)
+    return;
+  Queue.beginDrain();
+  resume(); // A paused dispatcher cannot drain.
+  Dispatcher.join();
+  Joined = true;
+}
+
+void Server::waitWhilePaused() {
+  std::unique_lock<std::mutex> L(PauseMu);
+  PauseCv.wait(L, [&] { return !Paused; });
+}
+
+void Server::submit(const std::string &Line,
+                    std::function<void(Json)> Respond) {
+  RequestsC.add(1);
+  std::string Error;
+  auto J = Json::parse(Line, Error);
+  if (!J) {
+    ErrorsC.add(1);
+    Respond(makeErrorResponse("", "parse: " + Error));
+    return;
+  }
+  auto R = parseRequest(*J, Error);
+  if (!R) {
+    ErrorsC.add(1);
+    std::string Id;
+    if (const Json *IdJ = J->find("id"))
+      Id = IdJ->asString();
+    Respond(makeErrorResponse(Id, Error));
+    return;
+  }
+
+  switch (R->Kind) {
+  case ServeRequest::Op::Ping:
+    Respond(makePongResponse(R->Id));
+    return;
+  case ServeRequest::Op::Stats: {
+    Json Resp = Json::object();
+    Resp.set("id", Json::string(R->Id));
+    Resp.set("status", Json::string("ok"));
+    Resp.set("stats", statsJson());
+    Respond(std::move(Resp));
+    return;
+  }
+  case ServeRequest::Op::Shutdown: {
+    beginDrain();
+    Json Resp = Json::object();
+    Resp.set("id", Json::string(R->Id));
+    Resp.set("status", Json::string("ok"));
+    Resp.set("draining", Json::boolean(true));
+    Respond(std::move(Resp));
+    return;
+  }
+  case ServeRequest::Op::Synth:
+  case ServeRequest::Op::Bench:
+    break;
+  }
+
+  Pending P;
+  P.Req = std::move(*R);
+  // Armed at admission: queue wait counts against the deadline, so a
+  // request cannot hang past it just because the queue was long.
+  uint32_t DeadlineMs =
+      P.Req.DeadlineMs ? P.Req.DeadlineMs : Cfg.DefaultDeadlineMs;
+  P.DL = harness::Deadline::after(DeadlineMs);
+  P.Respond = std::move(Respond);
+  P.Seq = Seq.fetch_add(1, std::memory_order_relaxed);
+
+  // push moves from P only on admission; on rejection P (and its
+  // Respond) are still ours, so every shed is an explicit structured
+  // response — never a silent drop.
+  switch (Queue.push(P)) {
+  case AdmissionQueue::Verdict::Admitted:
+    AdmittedC.add(1);
+    QueueDepthG.set(static_cast<double>(Queue.depth()));
+    return;
+  case AdmissionQueue::Verdict::QueueFull:
+    ShedC.add(1);
+    P.Respond(makeRejectedResponse(P.Req.Id, "queue_full"));
+    return;
+  case AdmissionQueue::Verdict::Draining:
+    DrainRejC.add(1);
+    P.Respond(makeRejectedResponse(P.Req.Id, "draining"));
+    return;
+  }
+}
+
+void Server::dispatcherMain() {
+  while (true) {
+    // The pause gate sits BEFORE pop: a paused dispatcher leaves the
+    // queue untouched, so a paused server holds exactly QueueCapacity
+    // requests and the overload test's shed count is deterministic.
+    waitWhilePaused();
+    std::optional<Pending> P = Queue.pop();
+    if (!P)
+      return; // Draining and empty: clean exit.
+    QueueDepthG.set(static_cast<double>(Queue.depth()));
+    InflightG.set(1);
+    Json Resp = runJob(*P);
+    InflightG.set(0);
+    P->Respond(std::move(Resp));
+  }
+}
+
+Json Server::runJob(Pending &P) {
+  auto Start = std::chrono::steady_clock::now();
+  OBS_SPAN(S, obs::traceOrNull(Obs), "request", "serve", 0);
+  S.arg("id", P.Req.Id);
+
+  auto Finish = [&](Json Resp, const char *Status) {
+    auto End = std::chrono::steady_clock::now();
+    double Us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    End - Start)
+                    .count();
+    RequestUsH.observe(Us);
+    Resp.set("elapsedMs", Json::number(static_cast<uint64_t>(Us / 1000)));
+    CompletedC.add(1);
+    S.arg("status", Status);
+    return Resp;
+  };
+
+  // Deadline already gone (the request aged out in the queue): answer
+  // timeout without running anything.
+  if (P.DL.armed() && P.DL.expired()) {
+    TimeoutsC.add(1);
+    return Finish(makeTimeoutResponse(P.Req.Id,
+                                      "deadline expired while queued"),
+                  "timeout");
+  }
+
+  std::string Error;
+  auto Job = prepareJob(P.Req, Error);
+  if (!Job) {
+    ErrorsC.add(1);
+    return Finish(makeErrorResponse(P.Req.Id, Error), "error");
+  }
+
+  // Stamp the server's execution environment. Semantic knobs came from
+  // the request (prepareJob mirrors the CLI); only the *where it runs*
+  // part is ours: the shared pool, the shared warm cache, observability,
+  // and the deadline cap on the total wall budget. Capping TotalWallMs
+  // cannot change a run that finishes in time (watchdog purity), which
+  // is what keeps daemon results byte-identical to the one-shot CLI.
+  Job->Cfg.Pool = &Pool;
+  Job->Cfg.Jobs = Pool.jobs();
+  Job->Cfg.Obs = Obs;
+  if (!(Cfg.CacheEnabled && Job->Cfg.CacheEnabled))
+    Job->Cfg.CacheEnabled = false;
+  else
+    Job->Cfg.ExecResultCache = &Cache;
+  if (P.DL.armed()) {
+    uint32_t Rem = P.DL.remainingMs();
+    if (Job->Cfg.TotalWallMs == 0 || Job->Cfg.TotalWallMs > Rem)
+      Job->Cfg.TotalWallMs = Rem;
+  }
+
+  // Crash isolation: a request that throws is retried with exponential
+  // backoff (transient faults — injected or real), then degraded to
+  // conservative static fencing. The daemon survives either way.
+  synth::SynthResult R;
+  bool Crashed = false;
+  std::string CrashWhy;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    try {
+      R = synth::synthesize(Job->M, Job->Clients, Job->Cfg);
+      Crashed = false;
+      break;
+    } catch (const std::exception &E) {
+      Crashed = true;
+      CrashWhy = E.what();
+    } catch (...) {
+      Crashed = true;
+      CrashWhy = "unknown exception";
+    }
+    CrashesC.add(1);
+    if (Attempt >= Cfg.RequestRetries ||
+        (P.DL.armed() && P.DL.expired()))
+      break;
+    RetriesC.add(1);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Cfg.RetryBackoffMs << Attempt));
+  }
+
+  if (Crashed) {
+    DegradedC.add(1);
+    std::string Report = writeCrashReport(P, CrashWhy);
+    synth::StaticBaselineResult SB =
+        synth::staticDelaySetFences(Job->M, Job->Cfg.Model);
+    Json Resp = Json::object();
+    Resp.set("id", Json::string(P.Req.Id));
+    Resp.set("status", Json::string("degraded"));
+    Resp.set("reason", Json::string("static_fencing"));
+    Resp.set("error", Json::string(CrashWhy));
+    Resp.set("staticFences",
+             Json::number(static_cast<uint64_t>(SB.FencesInserted)));
+    if (!Report.empty())
+      Resp.set("crashReport", Json::string(Report));
+    return Finish(std::move(Resp), "degraded");
+  }
+
+  if (R.Status == synth::SynthStatus::ConfigError) {
+    ErrorsC.add(1);
+    return Finish(makeErrorResponse(P.Req.Id, R.Error), "error");
+  }
+
+  const char *Status = statusOfResult(R);
+  if (R.TimedOut)
+    TimeoutsC.add(1);
+  else if (R.Degraded)
+    DegradedC.add(1);
+  Json Resp = Json::object();
+  Resp.set("id", Json::string(P.Req.Id));
+  Resp.set("status", Json::string(Status));
+  Resp.set("result", resultToJson(R, P.Req.Dump));
+  Resp.set("cache", cacheStatsToJson(R));
+  std::vector<std::string> Reports = writeBundles(P.Req.Id, R.Bundles);
+  if (!Reports.empty()) {
+    Json Arr = Json::array();
+    for (const std::string &Path : Reports)
+      Arr.push(Json::string(Path));
+    Resp.set("crashReports", std::move(Arr));
+  }
+  return Finish(std::move(Resp), Status);
+}
+
+std::vector<std::string>
+Server::writeBundles(const std::string &RequestId,
+                     const std::vector<harness::ReproBundle> &Bundles) {
+  std::vector<std::string> Paths;
+  if (Cfg.CrashDir.empty() || Bundles.empty())
+    return Paths;
+  std::string Base = Cfg.CrashDir + "/" + sanitizeId(RequestId);
+  for (size_t I = 0; I != Bundles.size(); ++I) {
+    std::string Path = Base + ".bundle" +
+                       (I ? "." + std::to_string(I) : std::string()) +
+                       ".json";
+    std::string Error;
+    if (Bundles[I].saveFile(Path, Error))
+      Paths.push_back(Path);
+  }
+  return Paths;
+}
+
+std::string Server::writeCrashReport(const Pending &P,
+                                     const std::string &Why) {
+  if (Cfg.CrashDir.empty())
+    return "";
+  std::string Path =
+      Cfg.CrashDir + "/" + sanitizeId(P.Req.Id) + ".crash.json";
+  Json J = Json::object();
+  J.set("requestId", Json::string(P.Req.Id));
+  J.set("seq", Json::number(P.Seq));
+  J.set("error", Json::string(Why));
+  J.set("op", Json::string(P.Req.Kind == ServeRequest::Op::Bench
+                               ? "bench"
+                               : "synth"));
+  if (P.Req.Kind == ServeRequest::Op::Bench)
+    J.set("bench", Json::string(P.Req.BenchName));
+  std::ofstream Out(Path);
+  if (!Out)
+    return "";
+  Out << J.dump(2) << "\n";
+  return Path;
+}
+
+Json Server::statsJson() const {
+  Json J = Json::object();
+  J.set("proto", Json::string(ProtoName));
+  J.set("jobs", Json::number(static_cast<uint64_t>(Pool.jobs())));
+  J.set("queueDepth",
+        Json::number(static_cast<uint64_t>(Queue.depth())));
+  J.set("queueCapacity",
+        Json::number(static_cast<uint64_t>(Queue.capacity())));
+  J.set("draining", Json::boolean(Queue.draining()));
+  J.set("requests", Json::number(RequestsC.value()));
+  J.set("admitted", Json::number(AdmittedC.value()));
+  J.set("shed", Json::number(ShedC.value()));
+  J.set("rejectedDraining", Json::number(DrainRejC.value()));
+  J.set("completed", Json::number(CompletedC.value()));
+  J.set("deadlineTimeouts", Json::number(TimeoutsC.value()));
+  J.set("degraded", Json::number(DegradedC.value()));
+  J.set("errors", Json::number(ErrorsC.value()));
+  J.set("crashes", Json::number(CrashesC.value()));
+  J.set("requestRetries", Json::number(RetriesC.value()));
+  cache::ExecCache::Stats CS = Cache.stats();
+  Json C = Json::object();
+  C.set("entries", Json::number(static_cast<uint64_t>(Cache.size())));
+  C.set("capacity",
+        Json::number(static_cast<uint64_t>(Cache.capacity())));
+  C.set("lookups", Json::number(CS.Lookups));
+  C.set("hits", Json::number(CS.Hits));
+  C.set("inserts", Json::number(CS.Inserts));
+  C.set("rejectedFull", Json::number(CS.RejectedFull));
+  J.set("cache", std::move(C));
+  return J;
+}

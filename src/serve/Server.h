@@ -1,0 +1,160 @@
+//===- Server.h - The dfence synthesis-as-a-service daemon core -*- C++ -*-===//
+//
+// A long-lived Server owns the expensive, warm state one-shot runs throw
+// away — one shared exec::ExecPool (persistent workers + per-worker
+// ExecContexts), one cross-request cache::ExecCache, one metrics
+// registry — and a single dispatcher thread that executes admitted
+// requests serially against them. Parallelism comes from *within* a
+// request (the pool fans each round's K executions across its workers),
+// which keeps the shared ExecCache inside its documented contract (never
+// used by concurrent synthesize() calls) and makes the determinism
+// guarantee direct: a request's canonical result is byte-identical to
+// the one-shot CLI run of the same request at the same --jobs.
+//
+// Robustness core (the reason this daemon exists):
+//   * bounded admission with explicit shed — see Admission.h;
+//   * per-request deadlines armed at admission, threaded into in-flight
+//     rounds via harness::Deadline (mid-round cancellation), so no
+//     request outlives its deadline by more than one execution attempt;
+//   * per-request isolation — a request that throws is retried with
+//     backoff (transient faults), then falls back to conservative
+//     static fencing and answers `degraded: static_fencing` with a
+//     crash report on disk; the daemon itself never dies with it;
+//   * graceful drain — beginDrain() stops admission, queued work still
+//     completes (or deadlines out), drain() joins the dispatcher.
+//
+// Threading: submit() may be called from any one transport thread;
+// responses for admitted work are delivered on the dispatcher thread;
+// inline ops (ping/stats/shutdown and every rejection) are answered on
+// the submitting thread before submit() returns.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SERVE_SERVER_H
+#define DFENCE_SERVE_SERVER_H
+
+#include "cache/ExecCache.h"
+#include "exec/ExecPool.h"
+#include "obs/Obs.h"
+#include "serve/Admission.h"
+#include "serve/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace dfence::serve {
+
+struct ServeConfig {
+  /// Pool width shared by every request; 0 = hardware concurrency. A
+  /// request's result is what the one-shot CLI produces at --jobs N.
+  unsigned Jobs = 0;
+  /// Admission queue capacity; request N+1 while N are queued is shed
+  /// with `rejected: queue_full`.
+  size_t QueueCapacity = 16;
+  /// Deadline applied to requests that do not carry their own
+  /// "deadlineMs"; 0 = no default deadline.
+  uint32_t DefaultDeadlineMs = 0;
+  /// Crash-isolation retry budget: how many times a request that threw
+  /// is re-run (transient faults) before degrading to static fencing.
+  unsigned RequestRetries = 1;
+  /// Backoff before retry attempt k: RetryBackoffMs << k milliseconds.
+  uint32_t RetryBackoffMs = 50;
+  /// Master switch for the shared cross-request execution cache
+  /// (requests can individually opt out with "cache":"off").
+  bool CacheEnabled = true;
+  size_t CacheCapacity = 1 << 15;
+  /// Directory for crash reports and captured repro bundles; empty
+  /// disables the on-disk reports (responses still carry the status).
+  std::string CrashDir;
+  /// Start with the dispatcher held (tests use this to make overload
+  /// and drain scenarios deterministic); resume() releases it.
+  bool StartPaused = false;
+  /// Optional external observability context. Null: the server uses its
+  /// own private metrics registry (reachable via registry()).
+  const obs::ObsContext *Obs = nullptr;
+};
+
+class Server {
+public:
+  explicit Server(const ServeConfig &C);
+  ~Server(); ///< Drains (resuming if paused) and joins.
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Handles one request line: parses, answers inline ops and every
+  /// rejection synchronously via \p Respond, enqueues synth/bench work
+  /// (whose response arrives later, on the dispatcher thread). \p
+  /// Respond must be callable from both threads; it is invoked exactly
+  /// once per submit.
+  void submit(const std::string &Line, std::function<void(Json)> Respond);
+
+  /// Holds the dispatcher before it claims the next request / releases
+  /// it. Pausing does not interrupt a request already running.
+  void pause();
+  void resume();
+
+  /// Stops admitting new work; queued work still runs. Idempotent.
+  void beginDrain();
+  bool draining() const { return Queue.draining(); }
+
+  /// beginDrain + resume + join: returns once every admitted request
+  /// has been answered. Idempotent.
+  void drain();
+
+  /// Daemon statistics snapshot (the "stats" op's payload).
+  Json statsJson() const;
+
+  /// The metrics registry serve_* metrics land in (the external one
+  /// when ServeConfig::Obs carries a registry, else the private one) —
+  /// the Prometheus endpoint scrapes this.
+  obs::Registry &registry() { return Reg; }
+
+  unsigned jobs() const { return Pool.jobs(); }
+  cache::ExecCache &execCache() { return Cache; }
+
+private:
+  void dispatcherMain();
+  void waitWhilePaused();
+  /// Runs one admitted request with isolation, retries and deadline
+  /// enforcement; returns the response object.
+  Json runJob(Pending &P);
+  /// Writes captured bundles / a crash report; returns the paths (empty
+  /// when CrashDir is unset).
+  std::vector<std::string>
+  writeBundles(const std::string &RequestId,
+               const std::vector<harness::ReproBundle> &Bundles);
+  std::string writeCrashReport(const Pending &P, const std::string &Why);
+
+  ServeConfig Cfg;
+  obs::Registry OwnReg;           ///< Used when Cfg.Obs has no registry.
+  obs::ObsContext OwnObs;         ///< {&OwnReg, null, null}.
+  const obs::ObsContext *Obs;     ///< What requests run under.
+  obs::Registry &Reg;             ///< Where serve_* metrics live.
+  exec::ExecPool Pool;
+  cache::ExecCache Cache;
+  AdmissionQueue Queue;
+
+  // Pre-resolved serve metrics (always non-null; Reg outlives them).
+  obs::Counter &RequestsC, &AdmittedC, &ShedC, &DrainRejC, &CompletedC,
+      &TimeoutsC, &DegradedC, &ErrorsC, &CrashesC, &RetriesC;
+  obs::Gauge &QueueDepthG, &InflightG;
+  obs::Histogram &RequestUsH;
+
+  std::mutex PauseMu;
+  std::condition_variable PauseCv;
+  bool Paused = false;
+
+  std::atomic<uint64_t> Seq{0};
+  std::thread Dispatcher;
+  std::mutex JoinMu; ///< Serializes drain()/~Server join.
+  bool Joined = false;
+};
+
+} // namespace dfence::serve
+
+#endif // DFENCE_SERVE_SERVER_H

@@ -1,0 +1,314 @@
+//===- Transport.cpp - dfence serve front-ends (stdio/socket/HTTP) --------===//
+
+#include "serve/Transport.h"
+
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace dfence;
+using namespace dfence::serve;
+
+namespace {
+
+// Self-pipe for async-signal-safe shutdown notification: the handler
+// does exactly one write(2) and nothing else.
+int SignalPipe[2] = {-1, -1};
+
+void onSignal(int) {
+  char C = 1;
+  ssize_t Ignored = ::write(SignalPipe[1], &C, 1);
+  (void)Ignored;
+}
+
+/// Serializes whole-line writes to client fds. Responses arrive both on
+/// the transport thread (inline ops, rejections) and the dispatcher
+/// thread (admitted work); one mutex + one full line per write keeps
+/// concurrent responses from interleaving mid-line.
+class LineWriter {
+public:
+  void writeLine(int Fd, const Json &J) {
+    std::string Line = J.dump();
+    Line += '\n';
+    std::lock_guard<std::mutex> L(Mu);
+    size_t Off = 0;
+    while (Off < Line.size()) {
+      ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+      if (N <= 0) {
+        if (N < 0 && errno == EINTR)
+          continue;
+        return; // Peer gone; the response is undeliverable, not fatal.
+      }
+      Off += static_cast<size_t>(N);
+    }
+  }
+
+private:
+  std::mutex Mu;
+};
+
+/// Per-connection input buffer: bytes accumulate until '\n', each
+/// complete line becomes one request. Sockets read and write the same
+/// fd; stdio reads fd 0 and answers on fd 1.
+struct Conn {
+  int Fd = -1;    ///< Read side.
+  int OutFd = -1; ///< Where responses go.
+  std::string Buf;
+  bool IsStdio = false;
+};
+
+int listenTcp(int Port, std::string &Error) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(Fd, 16) < 0) {
+    Error = std::string("bind/listen: ") + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int listenUnix(const std::string &Path, std::string &Error) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long";
+    return -1;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(Path.c_str()); // Stale socket from a previous run.
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(Fd, 16) < 0) {
+    Error = std::string("bind/listen: ") + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// Answers one HTTP request on \p Fd with the Prometheus text form of
+/// the registry and closes. Minimal by design: the scrape endpoint
+/// serves exactly one thing.
+void serveMetricsOnce(int Fd, Server &S) {
+  char Discard[4096];
+  ssize_t Ignored = ::read(Fd, Discard, sizeof(Discard));
+  (void)Ignored;
+  std::string Body = S.registry().toPrometheus();
+  std::string Resp = "HTTP/1.0 200 OK\r\n"
+                     "Content-Type: text/plain; version=0.0.4\r\n"
+                     "Content-Length: " +
+                     std::to_string(Body.size()) + "\r\n\r\n" + Body;
+  size_t Off = 0;
+  while (Off < Resp.size()) {
+    ssize_t N = ::write(Fd, Resp.data() + Off, Resp.size() - Off);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      break;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  ::close(Fd);
+}
+
+/// Drains complete lines out of \p C's buffer into the server.
+void feedLines(Server &S, Conn &C, LineWriter &W) {
+  size_t Start = 0;
+  for (;;) {
+    size_t Nl = C.Buf.find('\n', Start);
+    if (Nl == std::string::npos)
+      break;
+    std::string Line = C.Buf.substr(Start, Nl - Start);
+    Start = Nl + 1;
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+    int Fd = C.OutFd;
+    S.submit(Line, [&W, Fd](Json Resp) { W.writeLine(Fd, Resp); });
+  }
+  C.Buf.erase(0, Start);
+}
+
+} // namespace
+
+int serve::runTransport(Server &S, const TransportOptions &Opt) {
+  if (::pipe(SignalPipe) != 0)
+    return 1;
+  struct sigaction SA{};
+  SA.sa_handler = onSignal;
+  ::sigemptyset(&SA.sa_mask);
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+  ::signal(SIGPIPE, SIG_IGN); // A vanished peer must not kill the daemon.
+
+  LineWriter W;
+  std::string Error;
+  int TcpFd = -1, UnixFd = -1, MetricsFd = -1;
+  if (Opt.TcpPort >= 0 && (TcpFd = listenTcp(Opt.TcpPort, Error)) < 0) {
+    std::fprintf(stderr, "serve: tcp %s\n", Error.c_str());
+    return 1;
+  }
+  if (!Opt.SocketPath.empty() &&
+      (UnixFd = listenUnix(Opt.SocketPath, Error)) < 0) {
+    std::fprintf(stderr, "serve: unix %s\n", Error.c_str());
+    return 1;
+  }
+  if (Opt.MetricsPort >= 0 &&
+      (MetricsFd = listenTcp(Opt.MetricsPort, Error)) < 0) {
+    std::fprintf(stderr, "serve: metrics %s\n", Error.c_str());
+    return 1;
+  }
+
+  // The hello line: clients wait for it before sending (it doubles as
+  // the smoke test's readiness signal).
+  if (Opt.Stdio)
+    W.writeLine(STDOUT_FILENO, makeHello());
+
+  std::vector<std::unique_ptr<Conn>> Conns;
+  // Fds whose read side hit EOF but that may still receive responses
+  // for admitted work (JSON-lines clients half-close after their last
+  // request); closed only after the drain completes.
+  std::vector<int> Parked;
+  if (Opt.Stdio) {
+    auto C = std::make_unique<Conn>();
+    C->Fd = STDIN_FILENO;
+    C->OutFd = STDOUT_FILENO;
+    C->IsStdio = true;
+    Conns.push_back(std::move(C));
+  }
+
+  bool Quit = false;
+  while (!Quit && !S.draining()) {
+    std::vector<pollfd> Fds;
+    Fds.push_back({SignalPipe[0], POLLIN, 0});
+    size_t FirstConn = Fds.size();
+    for (auto &C : Conns)
+      Fds.push_back({C->Fd, POLLIN, 0});
+    size_t TcpIdx = Fds.size();
+    if (TcpFd >= 0)
+      Fds.push_back({TcpFd, POLLIN, 0});
+    size_t UnixIdx = Fds.size();
+    if (UnixFd >= 0)
+      Fds.push_back({UnixFd, POLLIN, 0});
+    size_t MetricsIdx = Fds.size();
+    if (MetricsFd >= 0)
+      Fds.push_back({MetricsFd, POLLIN, 0});
+
+    // Finite timeout so a "shutdown" request submitted through a still-
+    // open connection is noticed even with no further input.
+    int N = ::poll(Fds.data(), Fds.size(), 200);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+
+    if (Fds[0].revents & POLLIN) {
+      Quit = true; // SIGTERM/SIGINT: graceful drain below.
+      break;
+    }
+
+    std::vector<int> Closed;
+    for (size_t I = 0; I != Conns.size(); ++I) {
+      short Re = Fds[FirstConn + I].revents;
+      if (!(Re & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      Conn &C = *Conns[I];
+      char Buf[8192];
+      ssize_t Got = ::read(C.Fd, Buf, sizeof(Buf));
+      if (Got > 0) {
+        C.Buf.append(Buf, static_cast<size_t>(Got));
+        feedLines(S, C, W);
+      } else if (Got == 0 || (Got < 0 && errno != EINTR)) {
+        // EOF. On stdio that means "no more requests ever": drain. A
+        // socket peer may have half-closed and still be reading, so its
+        // fd is parked until the drain has delivered every response.
+        if (C.IsStdio)
+          Quit = true;
+        else
+          Parked.push_back(C.Fd);
+        Closed.push_back(static_cast<int>(I));
+      }
+    }
+    for (auto It = Closed.rbegin(); It != Closed.rend(); ++It)
+      Conns.erase(Conns.begin() + *It);
+
+    if (TcpFd >= 0 && (Fds[TcpIdx].revents & POLLIN)) {
+      int Fd = ::accept(TcpFd, nullptr, nullptr);
+      if (Fd >= 0) {
+        auto C = std::make_unique<Conn>();
+        C->Fd = C->OutFd = Fd;
+        Conns.push_back(std::move(C));
+        W.writeLine(Fd, makeHello());
+      }
+    }
+    if (UnixFd >= 0 && (Fds[UnixIdx].revents & POLLIN)) {
+      int Fd = ::accept(UnixFd, nullptr, nullptr);
+      if (Fd >= 0) {
+        auto C = std::make_unique<Conn>();
+        C->Fd = C->OutFd = Fd;
+        Conns.push_back(std::move(C));
+        W.writeLine(Fd, makeHello());
+      }
+    }
+    if (MetricsFd >= 0 && (Fds[MetricsIdx].revents & POLLIN)) {
+      int Fd = ::accept(MetricsFd, nullptr, nullptr);
+      if (Fd >= 0)
+        serveMetricsOnce(Fd, S);
+    }
+  }
+
+  // Graceful drain: stop admitting, let queued work finish (or deadline
+  // out); every admitted request gets its response before we exit.
+  S.drain();
+
+  for (auto &C : Conns)
+    if (!C->IsStdio)
+      ::close(C->Fd);
+  for (int Fd : Parked)
+    ::close(Fd);
+  if (TcpFd >= 0)
+    ::close(TcpFd);
+  if (UnixFd >= 0)
+    ::close(UnixFd);
+  if (MetricsFd >= 0)
+    ::close(MetricsFd);
+  if (!Opt.SocketPath.empty())
+    ::unlink(Opt.SocketPath.c_str());
+  ::close(SignalPipe[0]);
+  ::close(SignalPipe[1]);
+  SignalPipe[0] = SignalPipe[1] = -1;
+  return 0;
+}

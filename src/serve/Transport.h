@@ -1,0 +1,50 @@
+//===- Transport.h - dfence serve front-ends (stdio/socket/HTTP) -*- C++ -*-===//
+//
+// The daemon's I/O edge. One poll(2) loop multiplexes:
+//
+//   * stdio        JSON-lines on stdin/stdout (the default; what the
+//                  smoke test and shell pipelines use);
+//   * TCP          --listen PORT: JSON-lines connections on localhost;
+//   * unix socket  --socket PATH: same protocol, filesystem-addressed;
+//   * HTTP metrics --metrics-port PORT: GET anything returns the metrics
+//                  registry in Prometheus text exposition format;
+//   * signals      SIGTERM/SIGINT via the self-pipe trick: stop
+//                  admitting, finish (or deadline out) in-flight work,
+//                  answer everything, exit 0.
+//
+// Responses for admitted work arrive on the Server's dispatcher thread;
+// all writes to a shared fd go through one mutex, one full line per
+// write, so concurrent responses never interleave mid-line.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_SERVE_TRANSPORT_H
+#define DFENCE_SERVE_TRANSPORT_H
+
+#include <string>
+
+namespace dfence::serve {
+
+class Server;
+
+struct TransportOptions {
+  /// Serve JSON-lines on stdin/stdout. On by default; stdin EOF begins
+  /// a graceful drain just like SIGTERM.
+  bool Stdio = true;
+  /// Unix-domain socket path; empty = no unix listener. The socket file
+  /// is unlinked on clean exit.
+  std::string SocketPath;
+  /// Localhost TCP port for JSON-lines; < 0 = no TCP listener.
+  int TcpPort = -1;
+  /// Localhost TCP port for the HTTP metrics endpoint; < 0 = none.
+  int MetricsPort = -1;
+};
+
+/// Runs the serve loop until SIGTERM/SIGINT, stdin EOF (in stdio mode)
+/// or a "shutdown" request, then drains the server gracefully. Returns
+/// the process exit code (0 on clean drain).
+int runTransport(Server &S, const TransportOptions &Opt);
+
+} // namespace dfence::serve
+
+#endif // DFENCE_SERVE_TRANSPORT_H

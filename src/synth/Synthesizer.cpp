@@ -283,8 +283,14 @@ SynthResult synth::synthesize(const ir::Module &M,
     Sup.enableBundleCapture(Cfg.MaxBundles);
   Sup.setSpecInfo(specKindName(Cfg.Spec), Cfg.SeqSpecName);
   Sup.setCacheInfo(Cfg.CacheEnabled ? "on" : "off");
+  Sup.setRequestInfo(Cfg.RequestTag);
   harness::Stopwatch Watch;
   harness::Budget TotalBudget{Cfg.TotalWallMs};
+  // The run-level deadline is threaded into every in-flight execution
+  // (each attempt's watchdog is capped at the time remaining), so the
+  // total budget cancels work mid-round; the Budget above only cancels
+  // slots that have not started.
+  harness::Deadline RunDL = harness::Deadline::after(Cfg.TotalWallMs);
 
   // Functions implicated by some violation's repair candidates; the
   // degradation fallback restricts static fencing to these (fencing
@@ -311,7 +317,12 @@ SynthResult synth::synthesize(const ir::Module &M,
   // The worker pool lives for the whole run; each round fans its K
   // executions across it and merges in execution-index order, so the
   // result is bit-identical to the sequential engine at any Jobs value.
-  exec::ExecPool Pool(Cfg.Jobs);
+  // A caller-owned pool (the serve daemon's shared warm pool) is used as
+  // is; otherwise a private pool is built for this run.
+  std::optional<exec::ExecPool> OwnedPool;
+  if (!Cfg.Pool)
+    OwnedPool.emplace(Cfg.Jobs);
+  exec::ExecPool &Pool = Cfg.Pool ? *Cfg.Pool : *OwnedPool;
   Pool.setObs(Cfg.Obs);
 
   // Result caches (src/cache/). Verdict memoization only pays for specs
@@ -373,6 +384,8 @@ SynthResult synth::synthesize(const ir::Module &M,
     Stats.Round = Round;
     harness::Stopwatch RoundWatch;
     harness::Budget RoundBudget{Cfg.RoundWallMs};
+    harness::Deadline RoundDL = harness::Deadline::sooner(
+        RunDL, harness::Deadline::after(Cfg.RoundWallMs));
     OBS_COUNT(RoundsC, 1);
     OBS_SPAN(RoundSpan, Trace, "round", "synth", 0);
     RoundSpan.arg("round", static_cast<uint64_t>(Round));
@@ -400,7 +413,7 @@ SynthResult synth::synthesize(const ir::Module &M,
         Pool, *Prepared, Plan, Cfg.Exec,
         [&Cfg](const vm::ExecResult &R) { return checkExecution(R, Cfg); },
         StopFn, Cfg.Obs,
-        exec::RoundCaches{CheckC ? &*CheckC : nullptr, ExecC});
+        exec::RoundCaches{CheckC ? &*CheckC : nullptr, ExecC}, RoundDL);
     // Populate the execution cache from this round's fresh results before
     // the fold below moves repair disjunctions out of the slots. Index
     // order + the deterministic capacity cap keep the cache's contents —
@@ -527,6 +540,7 @@ SynthResult synth::synthesize(const ir::Module &M,
       Stats.FencesEnforced =
           static_cast<unsigned>(collectSynthesizedFences(Cur).size());
       Result.RoundLog.push_back(std::move(Stats));
+      Result.TimedOut = true;
       Degrade(strformat("total wall-clock budget of %u ms exhausted "
                         "after %llu executions",
                         Cfg.TotalWallMs,

@@ -32,6 +32,10 @@ namespace dfence::cache {
 class ExecCache;
 } // namespace dfence::cache
 
+namespace dfence::exec {
+class ExecPool;
+} // namespace dfence::exec
+
 namespace dfence::synth {
 
 /// Which specification violations trigger repair. Memory safety checking
@@ -76,8 +80,17 @@ struct SynthConfig {
   /// round engine, src/exec/). Per-execution results are merged in
   /// execution-index order, so the SynthResult is bit-identical at any
   /// value; 1 = run in-process sequentially, 0 = use
-  /// std::thread::hardware_concurrency().
+  /// std::thread::hardware_concurrency(). Ignored when Pool is set.
   unsigned Jobs = 1;
+
+  /// Optional externally owned worker pool. When set, synthesize() fans
+  /// rounds across it instead of constructing a private pool — the serve
+  /// daemon shares one warm pool (and its per-worker ExecContexts)
+  /// across every request. Not owned; must outlive synthesize(), and
+  /// must not be used by concurrent synthesize() calls. Determinism is
+  /// unaffected: results are merged in execution-index order regardless
+  /// of who owns the workers.
+  exec::ExecPool *Pool = nullptr;
 
   EnforceMode Mode = EnforceMode::Fence;
   bool MergeFences = true;
@@ -107,6 +120,10 @@ struct SynthConfig {
   /// Advisory name of the sequential spec behind Factory, stamped into
   /// captured bundles so `dfence --replay` can re-run the checker.
   std::string SeqSpecName;
+  /// Advisory originating-request identifier (serve daemon), stamped
+  /// into captured bundles so a crash report names its request. Empty
+  /// for one-shot CLI runs.
+  std::string RequestTag;
   /// Fault-injection plan forwarded to every execution (hardening tests;
   /// empty by default). Lives here so fault campaigns run through the
   /// exact production synthesis loop.
@@ -170,6 +187,11 @@ struct SynthResult {
   /// True when budget exhaustion triggered the static-fencing fallback;
   /// FencedModule is then conservatively (over-)fenced but safe.
   bool Degraded = false;
+  /// True when the run's total wall-clock budget (TotalWallMs) expired
+  /// before a verdict — the run timed out. The result is then a partial
+  /// one (RoundLog records what ran); with DegradeToStatic it is also
+  /// Degraded, i.e. conservatively fenced.
+  bool TimedOut = false;
   SynthStatus Status = SynthStatus::Exhausted;
   std::string DegradeReason; ///< Why degradation / exhaustion happened.
   std::string Error;         ///< Non-empty iff Status == ConfigError.

@@ -170,3 +170,77 @@ TEST(CliObsSmokeTest, InvalidLogLevelExitsTwo) {
   EXPECT_EQ(Exit, 2);
   EXPECT_NE(Out.find("log-level"), std::string::npos) << Out;
 }
+
+//===--- Flag-spelling contract: --key value and --key=value are -----------
+//===--- interchangeable for every value flag, and boolean flags ----------
+//===--- strictly reject an inline value with exit 2. ---------------------===//
+
+TEST(CliObsSmokeTest, EqualsAndSpaceFlagSpellingsAgree) {
+  // The same run spelled both ways must print identical results (the
+  // parser normalizes the spelling before anything else sees it).
+  std::string SpaceOut, EqOut;
+  int SpaceExit = runCommand(std::string(DFENCE_BIN) +
+                                 " bench \"MSN Queue\" --k 50"
+                                 " --rounds 1 --jobs 2 --cache on",
+                             SpaceOut);
+  int EqExit = runCommand(std::string(DFENCE_BIN) +
+                              " bench \"MSN Queue\" --k=50"
+                              " --rounds=1 --jobs=2 --cache=on",
+                          EqOut);
+  EXPECT_EQ(SpaceExit, EqExit);
+  EXPECT_EQ(SpaceOut, EqOut);
+  EXPECT_NE(EqOut.find("result:"), std::string::npos) << EqOut;
+}
+
+TEST(CliObsSmokeTest, BooleanFlagRejectsInlineValue) {
+  std::string Out;
+  int Exit = runCommand(std::string(DFENCE_BIN) +
+                            " bench \"MSN Queue\" --k 50 --rounds 1"
+                            " --no-merge=1",
+                        Out);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_NE(Out.find("takes no value"), std::string::npos) << Out;
+}
+
+TEST(CliObsSmokeTest, ServeFlagsGoThroughTheSameParser) {
+  // The serve command rides the same flag machinery: unknown flags and
+  // missing values exit 2 before any daemon state is created.
+  std::string Out;
+  int Exit = runCommand(std::string(DFENCE_BIN) + " serve --bogus 1",
+                        Out);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_NE(Out.find("unknown flag '--bogus'"), std::string::npos)
+      << Out;
+  Exit = runCommand(std::string(DFENCE_BIN) + " serve --queue", Out);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_NE(Out.find("requires a value"), std::string::npos) << Out;
+  Exit =
+      runCommand(std::string(DFENCE_BIN) + " serve --no-stdio=yes", Out);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_NE(Out.find("takes no value"), std::string::npos) << Out;
+  // Bad serve option values are caught before the server spins up.
+  Exit = runCommand(std::string(DFENCE_BIN) + " serve --cache=maybe",
+                    Out);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_NE(Out.find("--cache"), std::string::npos) << Out;
+}
+
+TEST(CliObsSmokeTest, WallClockFlagReportsTimeoutWithPartialSummary) {
+  std::string Out;
+  int Exit = runCommand(std::string(DFENCE_BIN) +
+                            " bench \"MS2 Queue\" --wall-clock=1"
+                            " --k 400",
+                        Out);
+  // Timeout degrades to the static fallback, which counts as success.
+  EXPECT_EQ(Exit, 0);
+  EXPECT_NE(Out.find("result: timeout"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("wall-clock deadline"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("static fallback"), std::string::npos) << Out;
+
+  // The legacy --total-ms spelling keeps its historical wording.
+  Exit = runCommand(std::string(DFENCE_BIN) +
+                        " bench \"MS2 Queue\" --total-ms=1 --k 400",
+                    Out);
+  EXPECT_EQ(Exit, 0);
+  EXPECT_NE(Out.find("result: degraded"), std::string::npos) << Out;
+}

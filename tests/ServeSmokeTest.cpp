@@ -1,0 +1,235 @@
+//===- ServeSmokeTest.cpp - end-to-end daemon smoke test ------------------===//
+//
+// Spawns the real `dfence serve` binary over pipes and walks the whole
+// lifecycle the service contract promises: hello line on startup, inline
+// ping, an accepted synthesis request answered with a canonical result,
+// a request whose deadline expires answered with `timeout` (not a hang,
+// not a dropped connection), and a SIGTERM that drains gracefully —
+// every admitted request answered, exit code 0.
+//
+// This is the tier-1 gate for the serve subsystem (also run under the
+// tsan preset; see CMakePresets.json / scripts/verify-all.cmake).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dfence;
+
+namespace {
+
+const char *PubSource = R"(global int FLAG = 0;
+global int PTR = 0;
+int writer() {
+  int p = malloc(2);
+  *p = 5;
+  PTR = p;
+  FLAG = 1;
+  return 0;
+}
+int reader() {
+  int f = FLAG;
+  if (f == 1) {
+    int p = PTR;
+    return *p;
+  }
+  return 0;
+}
+)";
+
+/// A spawned daemon with pipes on stdin/stdout.
+struct Daemon {
+  pid_t Pid = -1;
+  int In = -1;  ///< Write end: daemon's stdin.
+  int Out = -1; ///< Read end: daemon's stdout.
+  std::string Buf;
+
+  bool start(std::vector<std::string> Args) {
+    int ToChild[2], FromChild[2];
+    if (::pipe(ToChild) != 0 || ::pipe(FromChild) != 0)
+      return false;
+    Pid = ::fork();
+    if (Pid < 0)
+      return false;
+    if (Pid == 0) {
+      ::dup2(ToChild[0], STDIN_FILENO);
+      ::dup2(FromChild[1], STDOUT_FILENO);
+      ::close(ToChild[0]);
+      ::close(ToChild[1]);
+      ::close(FromChild[0]);
+      ::close(FromChild[1]);
+      std::vector<char *> Argv;
+      Argv.push_back(const_cast<char *>(DFENCE_BIN));
+      Argv.push_back(const_cast<char *>("serve"));
+      for (std::string &A : Args)
+        Argv.push_back(A.data());
+      Argv.push_back(nullptr);
+      ::execv(DFENCE_BIN, Argv.data());
+      _exit(127);
+    }
+    ::close(ToChild[0]);
+    ::close(FromChild[1]);
+    In = ToChild[1];
+    Out = FromChild[0];
+    return true;
+  }
+
+  void send(const std::string &Line) {
+    std::string L = Line + "\n";
+    size_t Off = 0;
+    while (Off < L.size()) {
+      ssize_t N = ::write(In, L.data() + Off, L.size() - Off);
+      ASSERT_GT(N, 0) << "write to daemon failed";
+      Off += static_cast<size_t>(N);
+    }
+  }
+
+  /// Reads one line, waiting up to \p TimeoutMs. Empty on timeout/EOF.
+  std::string readLine(int TimeoutMs = 60000) {
+    for (;;) {
+      size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        std::string Line = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        return Line;
+      }
+      pollfd P{Out, POLLIN, 0};
+      int R = ::poll(&P, 1, TimeoutMs);
+      if (R <= 0)
+        return "";
+      char Tmp[8192];
+      ssize_t Got = ::read(Out, Tmp, sizeof(Tmp));
+      if (Got <= 0)
+        return "";
+      Buf.append(Tmp, static_cast<size_t>(Got));
+    }
+  }
+
+  /// SIGTERM + waitpid; returns the exit status (-1 on failure).
+  int terminate() {
+    if (Pid < 0)
+      return -1;
+    ::kill(Pid, SIGTERM);
+    return wait();
+  }
+
+  int wait() {
+    int Status = 0;
+    if (::waitpid(Pid, &Status, 0) != Pid)
+      return -1;
+    Pid = -1;
+    return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  }
+
+  ~Daemon() {
+    if (Pid > 0) {
+      ::kill(Pid, SIGKILL);
+      ::waitpid(Pid, nullptr, 0);
+    }
+    if (In >= 0)
+      ::close(In);
+    if (Out >= 0)
+      ::close(Out);
+  }
+};
+
+Json parseLine(const std::string &Line) {
+  std::string Error;
+  auto J = Json::parse(Line, Error);
+  EXPECT_TRUE(J) << "bad JSON from daemon: " << Line << " (" << Error
+                 << ")";
+  return J ? *J : Json();
+}
+
+std::string synthRequest(const std::string &Id, const std::string &Extra) {
+  return "{\"op\":\"synth\",\"id\":\"" + Id +
+         "\",\"source\":" + Json::string(PubSource).dump() +
+         ",\"client\":\"writer()|reader()\",\"spec\":\"safety\"" + Extra +
+         "}";
+}
+
+TEST(ServeSmoke, FullLifecycleWithDeadlineAndGracefulDrain) {
+  Daemon D;
+  ASSERT_TRUE(D.start({"--jobs", "2", "--queue", "8"}));
+
+  // Readiness: the hello line announces the protocol.
+  Json Hello = parseLine(D.readLine());
+  EXPECT_EQ(Hello.find("proto")->asString(), "dfence-serve-v1");
+
+  // Three requests: a ping, a normal synthesis, and one whose deadline
+  // is so tight it must time out rather than complete (or hang).
+  D.send("{\"op\":\"ping\",\"id\":\"p1\"}");
+  D.send(synthRequest("work", ",\"k\":60,\"rounds\":3"));
+  D.send(synthRequest("hurry",
+                      ",\"k\":20000,\"rounds\":16,\"deadlineMs\":50"));
+
+  std::vector<Json> Resps;
+  for (int I = 0; I != 3; ++I) {
+    std::string Line = D.readLine();
+    ASSERT_FALSE(Line.empty()) << "daemon stopped answering";
+    Resps.push_back(parseLine(Line));
+  }
+  auto ById = [&](const std::string &Id) -> Json {
+    for (const Json &J : Resps)
+      if (const Json *I = J.find("id"); I && I->asString() == Id)
+        return J;
+    return Json();
+  };
+
+  Json Pong = ById("p1");
+  ASSERT_FALSE(Pong.isNull());
+  EXPECT_EQ(Pong.find("status")->asString(), "ok");
+  EXPECT_TRUE(Pong.find("pong")->asBool(false));
+
+  Json Work = ById("work");
+  ASSERT_FALSE(Work.isNull());
+  EXPECT_EQ(Work.find("status")->asString(), "ok");
+  ASSERT_NE(Work.find("result"), nullptr);
+  EXPECT_NE(Work.find("result")->find("rounds"), nullptr);
+  // Canonical-result rule: cache stats live outside "result".
+  EXPECT_EQ(Work.find("result")->dump().find("execHits"),
+            std::string::npos);
+  ASSERT_NE(Work.find("cache"), nullptr);
+
+  Json Hurry = ById("hurry");
+  ASSERT_FALSE(Hurry.isNull());
+  EXPECT_EQ(Hurry.find("status")->asString(), "timeout");
+
+  // Graceful drain: SIGTERM, no further admissions, clean exit 0.
+  EXPECT_EQ(D.terminate(), 0);
+}
+
+TEST(ServeSmoke, StdinEofDrainsAdmittedWork) {
+  Daemon D;
+  ASSERT_TRUE(D.start({"--jobs", "2"}));
+  EXPECT_EQ(parseLine(D.readLine()).find("proto")->asString(),
+            "dfence-serve-v1");
+
+  // Submit and immediately close stdin: the admitted request must still
+  // be answered during the drain, then the daemon exits 0.
+  D.send(synthRequest("tail", ",\"k\":40,\"rounds\":2"));
+  ::close(D.In);
+  D.In = -1;
+
+  std::string Line = D.readLine();
+  ASSERT_FALSE(Line.empty()) << "drain dropped an admitted request";
+  Json R = parseLine(Line);
+  EXPECT_EQ(R.find("id")->asString(), "tail");
+  EXPECT_EQ(R.find("status")->asString(), "ok");
+  EXPECT_EQ(D.wait(), 0);
+}
+
+} // namespace

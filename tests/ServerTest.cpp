@@ -1,0 +1,348 @@
+//===- ServerTest.cpp - serve daemon robustness-core tests ----------------===//
+//
+// In-process tests of serve::Server against the acceptance criteria:
+//
+//   * overload: with queue capacity Q and a paused dispatcher, exactly
+//     the excess beyond Q is shed with `rejected: queue_full` — never a
+//     silent drop, never an extra rejection;
+//   * deadlines: queue wait counts (a request that ages out answers
+//     `timeout` without running), and an in-flight request is canceled
+//     mid-round through the harness deadline;
+//   * drain: queued work admitted before beginDrain still completes and
+//     every response is delivered; post-drain submits are rejected;
+//   * determinism: an accepted request's canonical result is
+//     byte-identical to a direct synthesize() at the same jobs, and
+//     byte-identical warm (shared cache populated) vs cold;
+//   * crash reports: fault-injected requests with bundle capture write
+//     replayable repro bundles stamped with the request id + cache mode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "harness/ReproBundle.h"
+#include "serve/Protocol.h"
+#include "synth/Synthesizer.h"
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace dfence;
+using namespace dfence::serve;
+
+namespace {
+
+const char *PubSource = R"(global int FLAG = 0;
+global int PTR = 0;
+int writer() {
+  int p = malloc(2);
+  *p = 5;
+  PTR = p;
+  FLAG = 1;
+  return 0;
+}
+int reader() {
+  int f = FLAG;
+  if (f == 1) {
+    int p = PTR;
+    return *p;
+  }
+  return 0;
+}
+)";
+
+/// A synth request over PubSource with caller-chosen id and extra knobs
+/// (comma-led JSON fragment, e.g. ",\"k\":25").
+std::string pubRequest(const std::string &Id, const std::string &Extra) {
+  return "{\"op\":\"synth\",\"id\":\"" + Id +
+         "\",\"source\":" + Json::string(PubSource).dump() +
+         ",\"client\":\"writer()|reader();reader()\","
+         "\"spec\":\"safety\"" +
+         Extra + "}";
+}
+
+/// Thread-safe response sink shared between the submitting thread
+/// (inline rejections) and the dispatcher (admitted work).
+struct Collector {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::vector<Json> Resps;
+
+  std::function<void(Json)> fn() {
+    return [this](Json J) {
+      {
+        std::lock_guard<std::mutex> L(Mu);
+        Resps.push_back(std::move(J));
+      }
+      Cv.notify_all();
+    };
+  }
+
+  size_t count() {
+    std::lock_guard<std::mutex> L(Mu);
+    return Resps.size();
+  }
+
+  bool waitFor(size_t N, int Ms) {
+    std::unique_lock<std::mutex> L(Mu);
+    return Cv.wait_for(L, std::chrono::milliseconds(Ms),
+                       [&] { return Resps.size() >= N; });
+  }
+
+  /// Responses with the given status, by snapshot.
+  std::vector<Json> withStatus(const std::string &S) {
+    std::lock_guard<std::mutex> L(Mu);
+    std::vector<Json> Out;
+    for (const Json &J : Resps)
+      if (const Json *St = J.find("status"); St && St->asString() == S)
+        Out.push_back(J);
+    return Out;
+  }
+
+  Json byId(const std::string &Id) {
+    std::lock_guard<std::mutex> L(Mu);
+    for (const Json &J : Resps)
+      if (const Json *I = J.find("id"); I && I->asString() == Id)
+        return J;
+    return Json();
+  }
+};
+
+TEST(Server, OverloadShedsExactlyTheExcess) {
+  ServeConfig C;
+  C.Jobs = 2;
+  C.QueueCapacity = 2;
+  C.StartPaused = true; // Dispatcher held BEFORE pop: queue stays full.
+  Server S(C);
+  Collector Col;
+
+  // 5 requests against capacity 2: exactly 3 structured rejections,
+  // delivered synchronously (no hang, no silent drop).
+  for (int I = 0; I != 5; ++I)
+    S.submit(pubRequest("r" + std::to_string(I), ",\"k\":30,\"rounds\":8"),
+             Col.fn());
+  EXPECT_EQ(Col.count(), 3u);
+  auto Rejected = Col.withStatus("rejected");
+  ASSERT_EQ(Rejected.size(), 3u);
+  for (const Json &R : Rejected)
+    EXPECT_EQ(R.find("reason")->asString(), "queue_full");
+  // FIFO admission: the first two requests got the two slots.
+  EXPECT_TRUE(Col.byId("r0").isNull());
+  EXPECT_TRUE(Col.byId("r1").isNull());
+  EXPECT_FALSE(Col.byId("r2").isNull());
+
+  // Releasing the dispatcher drains the two admitted requests.
+  S.resume();
+  S.drain();
+  EXPECT_EQ(Col.count(), 5u);
+  EXPECT_EQ(Col.byId("r0").find("status")->asString(), "ok");
+  EXPECT_EQ(Col.byId("r1").find("status")->asString(), "ok");
+}
+
+TEST(Server, DrainCompletesQueuedWorkAndRejectsNewWork) {
+  ServeConfig C;
+  C.Jobs = 2;
+  C.StartPaused = true;
+  Server S(C);
+  Collector Col;
+
+  S.submit(pubRequest("q0", ",\"k\":30,\"rounds\":8"), Col.fn());
+  S.submit(pubRequest("q1", ",\"k\":30,\"rounds\":8"), Col.fn());
+  S.beginDrain();
+  // Admission is closed the moment draining begins...
+  S.submit(pubRequest("late", ",\"k\":30,\"rounds\":8"), Col.fn());
+  Json Late = Col.byId("late");
+  ASSERT_FALSE(Late.isNull());
+  EXPECT_EQ(Late.find("status")->asString(), "rejected");
+  EXPECT_EQ(Late.find("reason")->asString(), "draining");
+
+  // ...but work admitted before it still completes during the drain.
+  S.drain();
+  EXPECT_EQ(Col.byId("q0").find("status")->asString(), "ok");
+  EXPECT_EQ(Col.byId("q1").find("status")->asString(), "ok");
+}
+
+TEST(Server, DeadlineExpiresInQueue) {
+  ServeConfig C;
+  C.Jobs = 2;
+  C.StartPaused = true; // Hold the request in the queue past its deadline.
+  Server S(C);
+  Collector Col;
+
+  S.submit(pubRequest("aged", ",\"k\":30,\"rounds\":8,\"deadlineMs\":30"),
+           Col.fn());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  S.resume();
+  S.drain();
+
+  Json R = Col.byId("aged");
+  ASSERT_FALSE(R.isNull());
+  EXPECT_EQ(R.find("status")->asString(), "timeout");
+  EXPECT_NE(R.find("reason")->asString().find("queued"),
+            std::string::npos);
+}
+
+TEST(Server, DeadlineCancelsInFlightWork) {
+  ServeConfig C;
+  C.Jobs = 2;
+  Server S(C);
+  Collector Col;
+
+  // A run that would take several seconds (a real benchmark, large K,
+  // many rounds) against a 150ms deadline: the harness deadline cancels
+  // mid-round and the response reports a partial, timed-out result — it
+  // must not hang anywhere near the run's natural duration.
+  S.submit("{\"op\":\"bench\",\"id\":\"dl\",\"bench\":\"MS2 Queue\","
+           "\"k\":20000,\"rounds\":16,\"deadlineMs\":150}",
+           Col.fn());
+  ASSERT_TRUE(Col.waitFor(1, 15000)) << "request hung past its deadline";
+  Json R = Col.byId("dl");
+  ASSERT_FALSE(R.isNull());
+  EXPECT_EQ(R.find("status")->asString(), "timeout");
+  const Json *Res = R.find("result");
+  ASSERT_NE(Res, nullptr);
+  EXPECT_TRUE(Res->find("timedOut")->asBool(false));
+  S.drain();
+}
+
+TEST(Server, CanonicalResultByteIdenticalToDirectRun) {
+  const std::string Extra = ",\"k\":150,\"rounds\":6,\"model\":\"pso\"";
+  ServeConfig C;
+  C.Jobs = 2;
+  Server S(C);
+  Collector Col;
+  S.submit(pubRequest("direct-cmp", Extra), Col.fn());
+  ASSERT_TRUE(Col.waitFor(1, 60000));
+
+  // The same request resolved and run directly, same jobs, cold cache.
+  std::string Error;
+  auto Req = parseRequest(
+      *Json::parse(pubRequest("direct-cmp", Extra), Error), Error);
+  ASSERT_TRUE(Req) << Error;
+  auto Job = prepareJob(*Req, Error);
+  ASSERT_TRUE(Job) << Error;
+  Job->Cfg.Jobs = 2;
+  synth::SynthResult Direct =
+      synth::synthesize(Job->M, Job->Clients, Job->Cfg);
+
+  Json Resp = Col.byId("direct-cmp");
+  ASSERT_FALSE(Resp.isNull());
+  ASSERT_EQ(Resp.find("status")->asString(), "ok");
+  EXPECT_EQ(Resp.find("result")->dump(), resultToJson(Direct).dump());
+  S.drain();
+}
+
+TEST(Server, WarmCacheKeepsCanonicalResultIdentical) {
+  const std::string Extra = ",\"k\":100,\"rounds\":4";
+  ServeConfig C;
+  C.Jobs = 2;
+  Server S(C);
+  Collector Col;
+  S.submit(pubRequest("cold", Extra), Col.fn());
+  ASSERT_TRUE(Col.waitFor(1, 60000));
+  S.submit(pubRequest("warm", Extra), Col.fn());
+  ASSERT_TRUE(Col.waitFor(2, 60000));
+  S.drain();
+
+  Json Cold = Col.byId("cold"), Warm = Col.byId("warm");
+  ASSERT_FALSE(Cold.isNull());
+  ASSERT_FALSE(Warm.isNull());
+  // Cache statistics may differ (that is the cache's whole point)...
+  EXPECT_GT(Warm.find("cache")->find("execHits")->asU64(0), 0u)
+      << "second identical request should hit the shared warm cache";
+  // ...but the canonical result must be bit-for-bit the same.
+  EXPECT_EQ(Cold.find("result")->dump(), Warm.find("result")->dump());
+}
+
+TEST(Server, FaultInjectedBundleRoundTripsThroughReplay) {
+  ServeConfig C;
+  C.Jobs = 2;
+  C.CrashDir = testing::TempDir() + "dfence_serve_crash";
+  Server S(C);
+  Collector Col;
+
+  // Every allocation fails: each execution dereferences the null
+  // allocation, so violating executions (and bundles) are guaranteed.
+  S.submit(pubRequest("bundle-req",
+                      ",\"k\":40,\"rounds\":2,\"cache\":\"off\","
+                      "\"captureBundles\":true,\"maxBundles\":2,"
+                      "\"faults\":{\"allocFailProb\":1.0}"),
+           Col.fn());
+  ASSERT_TRUE(Col.waitFor(1, 60000));
+  S.drain();
+
+  Json R = Col.byId("bundle-req");
+  ASSERT_FALSE(R.isNull());
+  const Json *Reports = R.find("crashReports");
+  ASSERT_NE(Reports, nullptr) << R.dump();
+  ASSERT_FALSE(Reports->items().empty());
+
+  // The on-disk bundle names its origin: request id and cache mode.
+  std::string Error;
+  auto B = harness::ReproBundle::loadFile(
+      Reports->items()[0].asString(), Error);
+  ASSERT_TRUE(B) << Error;
+  EXPECT_EQ(B->RequestId, "bundle-req");
+  EXPECT_EQ(B->CacheMode, "off");
+  EXPECT_DOUBLE_EQ(B->Faults.AllocFailProb, 1.0);
+  EXPECT_FALSE(B->Outcome.empty());
+
+  // And it replays: the deterministic re-execution reproduces the
+  // recorded outcome (the fault RNG stream re-fires identically).
+  auto Replayed = harness::replayBundle(*B, Error);
+  ASSERT_TRUE(Replayed) << Error;
+  EXPECT_EQ(vm::outcomeName(Replayed->Out), B->Outcome);
+  EXPECT_EQ(Replayed->Message, B->Message);
+}
+
+TEST(Server, StatsAndPrometheusExposeServeMetrics) {
+  ServeConfig C;
+  C.Jobs = 2;
+  Server S(C);
+  Collector Col;
+  S.submit("{\"op\":\"ping\",\"id\":\"p\"}", Col.fn());
+  S.submit("this is not json", Col.fn());
+  S.submit(pubRequest("m0", ",\"k\":30,\"rounds\":8"), Col.fn());
+  ASSERT_TRUE(Col.waitFor(3, 60000));
+
+  Json St = S.statsJson();
+  EXPECT_EQ(St.find("proto")->asString(), ProtoName);
+  EXPECT_EQ(St.find("requests")->asU64(0), 3u);
+  EXPECT_EQ(St.find("admitted")->asU64(0), 1u);
+  EXPECT_EQ(St.find("errors")->asU64(0), 1u);
+  EXPECT_EQ(St.find("jobs")->asU64(0), 2u);
+  ASSERT_NE(St.find("cache"), nullptr);
+
+  std::string Prom = S.registry().toPrometheus();
+  EXPECT_NE(Prom.find("serve_requests_total"), std::string::npos);
+  EXPECT_NE(Prom.find("serve_queue_depth"), std::string::npos);
+  EXPECT_NE(Prom.find("serve_request_duration_us"), std::string::npos);
+  S.drain();
+}
+
+TEST(Server, MalformedAndUnpreparableRequestsAreIsolated) {
+  ServeConfig C;
+  C.Jobs = 2;
+  Server S(C);
+  Collector Col;
+  // Parse error, schema error, prepare error: all structured, all
+  // answered, daemon stays up.
+  S.submit("{{{", Col.fn());
+  S.submit("{\"op\":\"warp\",\"id\":\"x\"}", Col.fn());
+  S.submit("{\"op\":\"bench\",\"id\":\"b\",\"bench\":\"nope\"}",
+           Col.fn());
+  ASSERT_TRUE(Col.waitFor(3, 60000));
+  EXPECT_EQ(Col.withStatus("error").size(), 3u);
+  // Still serving after the errors.
+  S.submit("{\"op\":\"ping\",\"id\":\"alive\"}", Col.fn());
+  EXPECT_EQ(Col.byId("alive").find("status")->asString(), "ok");
+  S.drain();
+}
+
+} // namespace

@@ -51,6 +51,8 @@
 #include "ir/Printer.h"
 #include "obs/Obs.h"
 #include "programs/Benchmark.h"
+#include "serve/Server.h"
+#include "serve/Transport.h"
 #include "support/StringUtils.h"
 #include "synth/Synthesizer.h"
 #include "vm/Interp.h"
@@ -102,6 +104,8 @@ void printHelp(FILE *Out) {
       "benchmark\n"
       "  replay  <bundle.json>           re-execute a crash-repro bundle "
       "(also: --replay)\n"
+      "  serve                           long-lived synthesis daemon "
+      "(JSON-lines)\n"
       "  --help                          print this help\n"
       "\n"
       "run flags:\n"
@@ -146,8 +150,36 @@ void printHelp(FILE *Out) {
       "(default 2)\n"
       "  --round-ms N        wall-clock budget per round\n"
       "  --total-ms N        wall-clock budget for the whole run\n"
+      "  --wall-clock N      hard deadline in ms: cancels mid-round and "
+      "reports\n"
+      "                      'result: timeout' with a partial-result "
+      "summary\n"
       "  --repro PATH        write crash-repro bundles of violating "
       "executions\n"
+      "\n"
+      "serve flags:\n"
+      "  --jobs N            shared worker pool width (0 = hardware)\n"
+      "  --queue N           admission queue capacity (default 16); "
+      "overflow is\n"
+      "                      shed with a structured rejected response\n"
+      "  --deadline-ms N     default per-request deadline incl. queue "
+      "wait\n"
+      "  --request-retries N crash-isolation retries before static "
+      "fallback\n"
+      "  --retry-backoff-ms N  base backoff between request retries "
+      "(default 50)\n"
+      "  --cache on|off      shared cross-request execution cache\n"
+      "  --cache-capacity N  entries in the shared cache (default "
+      "32768)\n"
+      "  --crash-dir DIR     where crash reports and repro bundles are "
+      "written\n"
+      "  --listen PORT       accept JSON-lines connections on "
+      "localhost TCP\n"
+      "  --socket PATH       accept JSON-lines connections on a unix "
+      "socket\n"
+      "  --metrics-port PORT HTTP endpoint serving Prometheus metrics\n"
+      "  --no-stdio          do not serve on stdin/stdout (socket-only "
+      "daemon)\n"
       "\n"
       "observability flags (synth / bench):\n"
       "  --metrics-out FILE  write run metrics; .prom/.txt gets "
@@ -177,14 +209,19 @@ const std::map<std::string, std::vector<const char *>> &knownFlags() {
       {"synth",
        {"client", "init", "model", "spec", "seq-spec", "k", "rounds",
         "flush", "enforce", "=no-merge", "=dump", "jobs", "cache",
-        "exec-ms", "retries", "round-ms", "total-ms", "repro",
-        "metrics-out", "trace-out", "log-level", "=log-json"}},
+        "exec-ms", "retries", "round-ms", "total-ms", "wall-clock",
+        "repro", "metrics-out", "trace-out", "log-level", "=log-json"}},
       {"bench",
        {"model", "spec", "seq-spec", "k", "rounds", "flush", "enforce",
         "=no-merge", "=dump", "jobs", "cache", "exec-ms", "retries",
-        "round-ms", "total-ms", "repro", "metrics-out", "trace-out",
-        "log-level", "=log-json"}},
+        "round-ms", "total-ms", "wall-clock", "repro", "metrics-out",
+        "trace-out", "log-level", "=log-json"}},
       {"replay", {}},
+      {"serve",
+       {"jobs", "queue", "deadline-ms", "request-retries",
+        "retry-backoff-ms", "cache", "cache-capacity", "crash-dir",
+        "listen", "socket", "metrics-port", "=no-stdio", "metrics-out",
+        "log-level", "=log-json"}},
   };
   return Table;
 }
@@ -386,6 +423,13 @@ int runSynthesis(const ir::Module &M,
       static_cast<unsigned>(Opt.getInt("retries", Cfg.Exec.MaxRetries));
   Cfg.RoundWallMs = static_cast<uint32_t>(Opt.getInt("round-ms", 0));
   Cfg.TotalWallMs = static_cast<uint32_t>(Opt.getInt("total-ms", 0));
+  // --wall-clock is the hard-deadline spelling of the total budget: it
+  // also threads into in-flight rounds (the harness caps each
+  // execution's watchdog to the remaining time) and flips the report
+  // below to an explicit timeout with a partial-result summary.
+  if (uint32_t WC = static_cast<uint32_t>(Opt.getInt("wall-clock", 0)))
+    if (Cfg.TotalWallMs == 0 || WC < Cfg.TotalWallMs)
+      Cfg.TotalWallMs = WC;
   Cfg.SeqSpecName = Opt.get("seq-spec");
   std::string ReproPath = Opt.get("repro");
   if (!ReproPath.empty())
@@ -440,6 +484,19 @@ int runSynthesis(const ir::Module &M,
     std::printf("result: violations not caused by reordering — cannot "
                 "be fixed with fences\nfirst violation: %s\n",
                 R.FirstViolation.c_str());
+  else if (R.TimedOut && Opt.has("wall-clock"))
+    // The explicit-deadline spelling reports a timeout with what the
+    // partial run established, instead of a bare failure. (--total-ms
+    // keeps the historical "degraded" wording below.)
+    std::printf("result: timeout — wall-clock deadline (%lld ms) "
+                "expired after %u round(s), %llu execution(s) (%llu "
+                "violating); partial program carries %zu "
+                "enforcement(s), %u from the static fallback\n",
+                static_cast<long long>(Opt.getInt("wall-clock", 0)),
+                R.Rounds,
+                static_cast<unsigned long long>(R.TotalExecutions),
+                static_cast<unsigned long long>(R.ViolatingExecutions),
+                R.Fences.size(), R.StaticFallbackFences);
   else if (R.Degraded)
     std::printf("result: degraded — %s; fell back to conservative "
                 "static fencing (%u fence(s) added)\n",
@@ -647,6 +704,83 @@ int cmdBench(const Options &Opt) {
                       *Spec);
 }
 
+/// `dfence serve`: the long-lived synthesis-as-a-service daemon
+/// (src/serve/). One warm worker pool and one shared execution cache
+/// serve JSON-lines requests on stdio and/or sockets until SIGTERM,
+/// stdin EOF or a shutdown request drains it.
+int cmdServe(const Options &Opt) {
+  serve::ServeConfig SC;
+  SC.Jobs = static_cast<unsigned>(Opt.getInt("jobs", 0));
+  SC.QueueCapacity = static_cast<size_t>(Opt.getInt("queue", 16));
+  SC.DefaultDeadlineMs =
+      static_cast<uint32_t>(Opt.getInt("deadline-ms", 0));
+  SC.RequestRetries =
+      static_cast<unsigned>(Opt.getInt("request-retries", 1));
+  SC.RetryBackoffMs =
+      static_cast<uint32_t>(Opt.getInt("retry-backoff-ms", 50));
+  std::string CacheMode = Opt.get("cache", "on");
+  if (CacheMode != "on" && CacheMode != "off") {
+    std::fprintf(stderr, "error: --cache must be 'on' or 'off'\n");
+    return 2;
+  }
+  SC.CacheEnabled = CacheMode == "on";
+  SC.CacheCapacity =
+      static_cast<size_t>(Opt.getInt("cache-capacity", 1 << 15));
+  SC.CrashDir = Opt.get("crash-dir");
+
+  std::string MetricsOut = Opt.get("metrics-out");
+  obs::Registry Metrics;
+  auto Level = obs::logLevelByName(Opt.get("log-level", "warn"));
+  if (!Level) {
+    std::fprintf(stderr, "error: --log-level must be one of "
+                         "debug|info|warn|error|off\n");
+    return 2;
+  }
+  obs::Logger Log(*Level, Opt.has("log-json"));
+  obs::ObsContext Obs;
+  Obs.Metrics = &Metrics; // serve_* metrics are always collected.
+  if (Opt.has("log-level") || Opt.has("log-json"))
+    Obs.Log = &Log;
+  SC.Obs = &Obs;
+
+  serve::TransportOptions TO;
+  TO.Stdio = !Opt.has("no-stdio");
+  TO.SocketPath = Opt.get("socket");
+  TO.TcpPort = Opt.has("listen")
+                   ? static_cast<int>(Opt.getInt("listen", -1))
+                   : -1;
+  TO.MetricsPort =
+      Opt.has("metrics-port")
+          ? static_cast<int>(Opt.getInt("metrics-port", -1))
+          : -1;
+
+  int Rc;
+  {
+    serve::Server S(SC);
+    Rc = serve::runTransport(S, TO);
+  } // Server drains before the metrics flush below.
+
+  if (!MetricsOut.empty()) {
+    auto EndsWith = [&](const char *Suf) {
+      size_t N = std::strlen(Suf);
+      return MetricsOut.size() >= N &&
+             MetricsOut.compare(MetricsOut.size() - N, N, Suf) == 0;
+    };
+    std::ofstream Out(MetricsOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   MetricsOut.c_str());
+      return 1;
+    }
+    if (EndsWith(".prom") || EndsWith(".txt"))
+      Out << Metrics.toPrometheus();
+    else
+      Out << Metrics.toJson().dump(2) << "\n";
+    std::fprintf(stderr, "metrics: %s\n", MetricsOut.c_str());
+  }
+  return Rc;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -655,7 +789,7 @@ int main(int Argc, char **Argv) {
     printHelp(stdout);
     return 0;
   }
-  if (Argc < 3)
+  if (Argc < 2)
     return usage();
   Options Opt;
   Opt.Command = Argv[1];
@@ -669,9 +803,17 @@ int main(int Argc, char **Argv) {
                  Opt.Command.c_str());
     return usage();
   }
-  Opt.File = Argv[2];
+  // Every command except serve takes a positional file/name argument.
+  int FlagStart = 3;
+  if (Opt.Command == "serve") {
+    FlagStart = 2;
+  } else {
+    if (Argc < 3)
+      return usage();
+    Opt.File = Argv[2];
+  }
   const std::vector<const char *> &Known = CmdIt->second;
-  for (int I = 3; I < Argc; ++I) {
+  for (int I = FlagStart; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A.rfind("--", 0) != 0) {
       std::fprintf(stderr,
@@ -735,6 +877,8 @@ int main(int Argc, char **Argv) {
       return cmdBench(Opt);
     if (Opt.Command == "replay")
       return cmdReplay(Opt);
+    if (Opt.Command == "serve")
+      return cmdServe(Opt);
   } catch (const std::exception &E) {
     // std::stol / std::stod throw on malformed numeric flag values.
     std::fprintf(stderr,
