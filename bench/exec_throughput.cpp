@@ -3,16 +3,22 @@
 // Measures the per-execution cost of the execution core in isolation: no
 // SAT, no enforcement, no checking — just the interpreter running the
 // synthesis hot-path configuration (CollectRepairs on, per-model flush
-// probability) over the parallel_scale workload subjects. Reports
-// executions/second and interpreter steps/second per memory model, which
-// is the curve the prepared-program / context-reuse work moves.
+// probability) over the parallel_scale workload subjects. Every
+// (subject, model) cell is timed under BOTH dispatch modes — generic
+// (runtime model dispatch, the pre-monomorphization interpreter) first,
+// then specialized (the policy-templated per-model loop) — over identical
+// seeds, so the emitted document doubles as the A/B comparison of the
+// monomorphization work. Step counts must agree exactly between the two
+// timings of a cell (the modes are one template; a mismatch is a bug)
+// and the binary exits nonzero if they don't, or if specialized is
+// slower than generic (beyond a noise margin) on any model's aggregate.
 //
-// Emits BENCH_exec.json (schema "dfence-exec-throughput-v1"). Pass a
-// number to scale the per-(subject, model) execution count (default 300);
-// pass "--smoke" for a tiny run that just validates the pipeline — the
-// binary re-reads and structurally checks the JSON it wrote and exits
-// nonzero on malformed output, which is what the bench_exec_smoke ctest
-// entry asserts.
+// Emits BENCH_exec.json (schema "dfence-exec-throughput-v1", version 2:
+// per-model entries gained generic_seconds / generic_execs_per_sec /
+// speedup_vs_generic). Pass a number to scale the per-(subject, model)
+// execution count (default 300); pass "--smoke" for a small run that
+// validates the pipeline and the two guards above — what the
+// bench_exec_smoke ctest entry asserts.
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +35,7 @@
 #include <string>
 
 using namespace dfence;
+using vm::DispatchMode;
 using vm::MemModel;
 
 namespace {
@@ -49,8 +56,32 @@ const Subject Subjects[] = {
 struct ModelRate {
   uint64_t Execs = 0;
   uint64_t Steps = 0;
-  double Seconds = 0;
+  double Seconds = 0;        ///< Specialized-dispatch wall time.
+  double GenericSeconds = 0; ///< Generic-dispatch wall time, same work.
 };
+
+/// Runs the cell's executions under \p Dispatch, returning wall seconds
+/// and accumulating interpreter steps into \p Steps. Same seeds and
+/// configs for both modes — only the dispatch flavor differs.
+double timeCell(vm::ExecContext &Ctx, const vm::PreparedProgram &Prog,
+                MemModel Model, DispatchMode Dispatch, unsigned ExecsPer,
+                uint64_t &Steps) {
+  vm::ExecResult R;
+  auto T0 = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I != ExecsPer; ++I) {
+    vm::ExecConfig EC;
+    EC.Model = Model;
+    EC.Dispatch = Dispatch;
+    EC.Seed = 0x5eed + I;
+    EC.MaxSteps = 30000;
+    EC.CollectRepairs = Model != MemModel::SC;
+    EC.FlushProb = vm::defaultFlushProb(Model);
+    Ctx.run(Prog, I % Prog.numClients(), EC, R);
+    Steps += R.Steps;
+  }
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T1 - T0).count();
+}
 
 } // namespace
 
@@ -60,7 +91,9 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--smoke") == 0) {
       Smoke = true;
-      ExecsPer = 4;
+      // Large enough that the not-slower guard below sits above timer
+      // noise while the smoke entry stays sub-second.
+      ExecsPer = 60;
     } else {
       ExecsPer = static_cast<unsigned>(std::atoi(Argv[I]));
       if (ExecsPer == 0)
@@ -71,10 +104,11 @@ int main(int Argc, char **Argv) {
   const MemModel Models[] = {MemModel::SC, MemModel::TSO, MemModel::PSO};
   ModelRate Rates[3];
 
-  std::printf("Execution core throughput (%u execs per subject/model)\n\n",
+  std::printf("Execution core throughput (%u execs per subject/model, "
+              "generic vs specialized dispatch)\n\n",
               ExecsPer);
-  std::printf("%-16s %5s %10s %12s %14s\n", "subject", "model", "seconds",
-              "execs/s", "steps/s");
+  std::printf("%-16s %5s %10s %12s %14s %9s\n", "subject", "model",
+              "seconds", "execs/s", "steps/s", "vs gen");
 
   for (const Subject &S : Subjects) {
     const programs::Benchmark &B = programs::benchmarkByName(S.Bench);
@@ -86,52 +120,71 @@ int main(int Argc, char **Argv) {
     // on one reusable context — what a pool slot does for a whole round.
     vm::PreparedProgram Prog(CR.Module, B.Clients);
     vm::ExecContext Ctx;
-    vm::ExecResult R;
 
     for (size_t MI = 0; MI != 3; ++MI) {
       MemModel Model = Models[MI];
-      uint64_t Steps = 0;
-      auto T0 = std::chrono::steady_clock::now();
-      for (unsigned I = 0; I != ExecsPer; ++I) {
-        vm::ExecConfig EC;
-        EC.Model = Model;
-        EC.Seed = 0x5eed + I;
-        EC.MaxSteps = 30000;
-        EC.CollectRepairs = Model != MemModel::SC;
-        EC.FlushProb = vm::defaultFlushProb(Model);
-        Ctx.run(Prog, I % Prog.numClients(), EC, R);
-        Steps += R.Steps;
+      // Generic first (it also warms the context's capacities for the
+      // specialized timing; ordering favors the baseline, not us).
+      uint64_t GenSteps = 0, SpecSteps = 0;
+      double GenSecs = timeCell(Ctx, Prog, Model, DispatchMode::Generic,
+                                ExecsPer, GenSteps);
+      double SpecSecs = timeCell(Ctx, Prog, Model,
+                                 DispatchMode::Specialized, ExecsPer,
+                                 SpecSteps);
+      // Hard equivalence check: the modes are one interpreter template;
+      // any divergence in total steps is a semantics bug, not noise.
+      if (GenSteps != SpecSteps) {
+        std::fprintf(stderr,
+                     "dispatch divergence on %s/%s: generic ran %llu "
+                     "steps, specialized %llu\n",
+                     S.Bench, vm::memModelName(Model),
+                     static_cast<unsigned long long>(GenSteps),
+                     static_cast<unsigned long long>(SpecSteps));
+        return 1;
       }
-      auto T1 = std::chrono::steady_clock::now();
-      double Secs = std::chrono::duration<double>(T1 - T0).count();
-      std::printf("%-16s %5s %10.3f %12.0f %14.0f\n", S.Bench,
-                  vm::memModelName(Model), Secs,
-                  Secs > 0 ? ExecsPer / Secs : 0,
-                  Secs > 0 ? static_cast<double>(Steps) / Secs : 0);
+      std::printf("%-16s %5s %10.3f %12.0f %14.0f %8.2fx\n", S.Bench,
+                  vm::memModelName(Model), SpecSecs,
+                  SpecSecs > 0 ? ExecsPer / SpecSecs : 0,
+                  SpecSecs > 0 ? static_cast<double>(SpecSteps) / SpecSecs
+                               : 0,
+                  SpecSecs > 0 ? GenSecs / SpecSecs : 0);
       Rates[MI].Execs += ExecsPer;
-      Rates[MI].Steps += Steps;
-      Rates[MI].Seconds += Secs;
+      Rates[MI].Steps += SpecSteps;
+      Rates[MI].Seconds += SpecSecs;
+      Rates[MI].GenericSeconds += GenSecs;
     }
   }
 
   Json Doc = Json::object();
   Doc.set("schema", Json::string("dfence-exec-throughput-v1"));
-  Doc.set("schema_version", Json::number(uint64_t(1)));
+  Doc.set("schema_version", Json::number(uint64_t(2)));
   Doc.set("execs_per_subject", Json::number(uint64_t(ExecsPer)));
   Json JModels = Json::array();
-  std::printf("\naggregate over %zu subjects:\n",
+  std::printf("\naggregate over %zu subjects (specialized dispatch; "
+              "speedup vs generic):\n",
               sizeof(Subjects) / sizeof(Subjects[0]));
-  std::printf("%5s %10s %12s %14s\n", "model", "seconds", "execs/s",
-              "steps/s");
+  std::printf("%5s %10s %12s %14s %9s\n", "model", "seconds", "execs/s",
+              "steps/s", "vs gen");
+  bool SpecSlower = false;
   for (size_t MI = 0; MI != 3; ++MI) {
     const ModelRate &R = Rates[MI];
     double ExecsPerSec =
         R.Seconds > 0 ? static_cast<double>(R.Execs) / R.Seconds : 0;
     double StepsPerSec =
         R.Seconds > 0 ? static_cast<double>(R.Steps) / R.Seconds : 0;
-    std::printf("%5s %10.3f %12.0f %14.0f\n",
+    double GenExecsPerSec =
+        R.GenericSeconds > 0
+            ? static_cast<double>(R.Execs) / R.GenericSeconds
+            : 0;
+    double Speedup = R.Seconds > 0 ? R.GenericSeconds / R.Seconds : 0;
+    std::printf("%5s %10.3f %12.0f %14.0f %8.2fx\n",
                 vm::memModelName(Models[MI]), R.Seconds, ExecsPerSec,
-                StepsPerSec);
+                StepsPerSec, Speedup);
+    // Regression guard: monomorphization must never cost throughput.
+    // 0.85 absorbs scheduler/timer noise at smoke sizes; a real
+    // regression (specialized meaningfully slower) still trips it.
+    if (Speedup > 0 && Speedup < 0.85)
+      SpecSlower = true;
     Json JM = Json::object();
     JM.set("model", Json::string(vm::memModelName(Models[MI])));
     JM.set("executions", Json::number(R.Execs));
@@ -139,6 +192,9 @@ int main(int Argc, char **Argv) {
     JM.set("seconds", Json::number(R.Seconds));
     JM.set("execs_per_sec", Json::number(ExecsPerSec));
     JM.set("steps_per_sec", Json::number(StepsPerSec));
+    JM.set("generic_seconds", Json::number(R.GenericSeconds));
+    JM.set("generic_execs_per_sec", Json::number(GenExecsPerSec));
+    JM.set("speedup_vs_generic", Json::number(Speedup));
     JModels.push(std::move(JM));
   }
   Doc.set("models", std::move(JModels));
@@ -148,6 +204,12 @@ int main(int Argc, char **Argv) {
     Out << Doc.dump(2) << "\n";
   }
   std::printf("\nwrote BENCH_exec.json%s\n", Smoke ? " (smoke)" : "");
+
+  if (SpecSlower) {
+    std::fprintf(stderr, "specialized dispatch is slower than generic on "
+                         "some model (see aggregate above)\n");
+    return 1;
+  }
 
   // Self-check: re-read the emitted document and validate its shape, so
   // the smoke ctest entry catches a malformed emitter without a parser
@@ -163,14 +225,18 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   const Json *Schema = Parsed->find("schema");
+  const Json *Version = Parsed->find("schema_version");
   const Json *ModelsJ = Parsed->find("models");
   if (!Schema || Schema->asString() != "dfence-exec-throughput-v1" ||
-      !ModelsJ || !ModelsJ->isArray() || ModelsJ->items().size() != 3) {
+      !Version || Version->asU64() != 2 || !ModelsJ ||
+      !ModelsJ->isArray() || ModelsJ->items().size() != 3) {
     std::fprintf(stderr, "BENCH_exec.json is malformed\n");
     return 1;
   }
   for (const Json &JM : ModelsJ->items())
     if (!JM.find("execs_per_sec") || !JM.find("steps_per_sec") ||
+        !JM.find("generic_execs_per_sec") ||
+        !JM.find("speedup_vs_generic") ||
         JM.find("executions")->asU64() == 0) {
       std::fprintf(stderr, "BENCH_exec.json has an empty model entry\n");
       return 1;

@@ -15,6 +15,7 @@
 #include "synth/StaticBaseline.h"
 #include "vm/Prepared.h"
 
+#include <cctype>
 #include <cstring>
 #include <map>
 #include <optional>
@@ -145,6 +146,7 @@ static exec::RoundPlan planRound(const SynthConfig &Cfg,
     P.ClientIdx = static_cast<uint32_t>(G % NumClients);
     vm::ExecConfig &EC = P.EC;
     EC.Model = Cfg.Model;
+    EC.Dispatch = Cfg.Dispatch;
     EC.Seed = Cfg.BaseSeed + G;
     EC.MaxSteps = Cfg.MaxStepsPerExec;
     EC.CollectRepairs = true;
@@ -264,6 +266,14 @@ SynthResult synth::synthesize(const ir::Module &M,
       obs::counterOrNull(Cfg.Obs, "cache_exec_hits");
   obs::Counter *CacheExecMissesC =
       obs::counterOrNull(Cfg.Obs, "cache_exec_misses");
+  // Dispatch counters are folded per ran slot on the merge thread (the
+  // slot set is identical with caching on or off, so the cache stays
+  // invisible in the counter snapshot minus the cache_* AND
+  // exec_dispatch_* prefixes compared by the differential tests).
+  obs::Counter *DispatchSpecC =
+      obs::counterOrNull(Cfg.Obs, "exec_dispatch_specialized");
+  obs::Counter *DispatchGenC =
+      obs::counterOrNull(Cfg.Obs, "exec_dispatch_generic");
 
   OBS_SPAN(RunSpan, Trace, "synthesize", "synth", 0);
   RunSpan.arg("model", std::string(vm::memModelName(Cfg.Model)));
@@ -455,6 +465,10 @@ SynthResult synth::synthesize(const ir::Module &M,
       ++Result.TotalExecutions;
       ++Stats.Executions;
       OBS_COUNT(ExecsC, 1);
+      if (P.EC.Dispatch == vm::DispatchMode::Specialized)
+        OBS_COUNT(DispatchSpecC, 1);
+      else
+        OBS_COUNT(DispatchGenC, 1);
       OBS_COUNT(VmStepsC, R.Steps);
       OBS_COUNT(VmFlushesC, R.Stats.Flushes);
       OBS_COUNT(VmSchedStepsC, R.Stats.SchedSteps);
@@ -706,6 +720,18 @@ SynthResult synth::synthesize(const ir::Module &M,
     if (ExecC)
       Reg.gauge("cache_exec_entries")
           .set(static_cast<double>(ExecC->size()));
+    // Per-model execution throughput of this run. Wall-clock derived, so
+    // a gauge (jobs-variant; stays out of countersJson and the bundle
+    // snapshot), named by the run's model so a mixed-model service
+    // exposes one series per model.
+    if (uint64_t Ms = Watch.elapsedMs(); Ms > 0 && Result.TotalExecutions) {
+      std::string Model = vm::memModelName(Cfg.Model);
+      for (char &C : Model)
+        C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+      Reg.gauge("exec_execs_per_sec_" + Model)
+          .set(static_cast<double>(Result.TotalExecutions) * 1000.0 /
+               static_cast<double>(Ms));
+    }
     Json Snap = Reg.countersJson();
     for (harness::ReproBundle &B : Result.Bundles)
       B.Metrics = Snap;

@@ -92,6 +92,16 @@ struct SynthConfig {
   /// of who owns the workers.
   exec::ExecPool *Pool = nullptr;
 
+  /// Interpreter dispatch mode forwarded to every execution (`dfence
+  /// --dispatch specialized|generic`). Specialized binds each execution
+  /// to the monomorphized per-model interpreter (policy-typed store
+  /// buffers, threaded opcode dispatch); generic runs the runtime-
+  /// dispatched loop. Semantically identical by construction — both are
+  /// one template in ExecContext.cpp, results and step counts are
+  /// byte-identical (DispatchDifferentialTest is the gate) — so this is
+  /// a performance escape hatch, never part of any cache key.
+  vm::DispatchMode Dispatch = vm::DispatchMode::Specialized;
+
   EnforceMode Mode = EnforceMode::Fence;
   bool MergeFences = true;
   bool PartialOrderReduction = true;

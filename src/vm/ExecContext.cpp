@@ -9,6 +9,22 @@
 // every diagnostic — are byte-for-byte those of the old engine, which is
 // what keeps recorded replay traces reproducing.
 //
+// The interpreter loops are written once as templates over a memory-model
+// policy and instantiated four ways. The three specialized policies carry
+// their model as a constexpr, so bufOf<MP> resolves every store-buffer
+// call to one concrete policy class (ScBuffer/TsoBuffer/PsoBuffer — fully
+// inlined, zero model branches) and modelOf<MP> constant-folds every
+// model comparison; opcode dispatch then goes through a computed-goto
+// jump table indexed by the prepared program's pre-translated OpIdx
+// stream (a plain switch on compilers without the extension). The generic
+// policy reads the model tag at runtime through the StoreBufferSet facade
+// — exactly the pre-monomorphization interpreter — and exists as the
+// `--dispatch generic` A/B + debugging path. Both modes share this one
+// template, so they cannot drift semantically: DispatchDifferentialTest
+// pins byte-identical results, and the init thread (which always runs
+// under SC regardless of Cfg.Model) steps through the SC policy in
+// specialized mode and through the facade's SC tag in generic mode.
+//
 //===----------------------------------------------------------------------===//
 
 #include "vm/ExecContext.h"
@@ -18,10 +34,70 @@
 
 #include <algorithm>
 #include <cassert>
+#include <type_traits>
 
 using namespace dfence;
 using namespace dfence::vm;
 using namespace dfence::ir;
+
+// Threaded dispatch needs GNU labels-as-values; the switch fallback below
+// is semantically identical (same OpIdx stream, same jump-table order).
+#if defined(__GNUC__) || defined(__clang__)
+#define DFENCE_COMPUTED_GOTO 1
+#else
+#define DFENCE_COMPUTED_GOTO 0
+#endif
+
+namespace {
+
+/// Runtime-dispatched policy: the model tag is read per operation from
+/// Cfg.Model / the thread's buffer (the StoreBufferSet facade).
+struct GenericPolicy {
+  static constexpr bool Specialized = false;
+};
+
+/// Monomorphized policy: the model is a compile-time constant and every
+/// buffer operation binds to the model's policy class.
+template <MemModel M> struct ModelPolicy {
+  static constexpr bool Specialized = true;
+  static constexpr MemModel Model = M;
+};
+
+using ScPolicy = ModelPolicy<MemModel::SC>;
+using TsoPolicy = ModelPolicy<MemModel::TSO>;
+using PsoPolicy = ModelPolicy<MemModel::PSO>;
+
+/// The policy the init function steps under: always SC semantics (the
+/// init thread is unbuffered regardless of Cfg.Model). Under the generic
+/// policy the facade's SC tag provides that; under a specialized policy
+/// the SC policy class does.
+template <class MP>
+using InitPolicy = std::conditional_t<MP::Specialized, ScPolicy, MP>;
+
+/// Per-opcode "next step is a scheduling point" table, indexed by the
+/// prepared OpIdx stream: Instr::isSharedAccess() plus the opcodes the
+/// main loop treats as visible (fences, call/ret boundaries, thread
+/// operations, allocation). Precomputed so the per-step scheduler-view
+/// update never loads the fat Instr record.
+constexpr bool SharedStep[] = {
+    /*Const=*/false,      /*Move=*/false,  /*BinOp=*/false,
+    /*Not=*/false,        /*Load=*/true,   /*Store=*/true,
+    /*Cas=*/true,         /*Fence=*/true,  /*GlobalAddr=*/false,
+    /*Alloc=*/true,       /*Free=*/true,   /*Br=*/false,
+    /*CondBr=*/false,     /*Call=*/true,   /*Ret=*/true,
+    /*Self=*/false,       /*Spawn=*/true,  /*Join=*/true,
+    /*Lock=*/true,        /*Unlock=*/true, /*Assert=*/false,
+    /*Nop=*/false};
+static_assert(sizeof(SharedStep) ==
+                  static_cast<size_t>(Opcode::Nop) + 1,
+              "shared-step table must cover every opcode");
+static_assert(SharedStep[static_cast<size_t>(Opcode::Load)] &&
+                  SharedStep[static_cast<size_t>(Opcode::Unlock)] &&
+                  !SharedStep[static_cast<size_t>(Opcode::Self)] &&
+                  !SharedStep[static_cast<size_t>(Opcode::CondBr)],
+              "shared-step table out of sync with Opcode order");
+
+} // namespace
 
 /// A VM thread: client-script threads and Spawn-created threads alike.
 /// Pooled by the context; reset() revives a retired object with all its
@@ -91,6 +167,24 @@ struct ExecContext::Thread {
   Word &reg(const Frame &F, Reg Rg) { return RegArena[F.RegBase + Rg]; }
 };
 
+template <class MP> decltype(auto) ExecContext::bufOf(Thread &T) {
+  if constexpr (!MP::Specialized)
+    return (T.Buf);
+  else if constexpr (MP::Model == MemModel::SC)
+    return (T.Buf.sc());
+  else if constexpr (MP::Model == MemModel::TSO)
+    return (T.Buf.tso());
+  else
+    return (T.Buf.pso());
+}
+
+template <class MP> MemModel ExecContext::modelOf() const {
+  if constexpr (MP::Specialized)
+    return MP::Model;
+  else
+    return Cfg.Model;
+}
+
 ExecContext::ExecContext() = default;
 ExecContext::~ExecContext() = default;
 
@@ -122,7 +216,7 @@ void ExecContext::layoutGlobals() {
   }
 }
 
-void ExecContext::runInit() {
+template <class MP> void ExecContext::runInitT() {
   // The init function runs to completion, alone, with SC semantics: a
   // dedicated SC-buffered (i.e. unbuffered) thread stepping until done.
   if (!InitThread)
@@ -138,7 +232,7 @@ void ExecContext::runInit() {
     }
     if ((InitSteps & 1023) == 0 && deadlineExpired())
       return;
-    stepThread(Init);
+    stepThreadT<InitPolicy<MP>>(Init);
   }
 }
 
@@ -203,16 +297,17 @@ bool ExecContext::checkAddr(Word Addr, const char *What, InstrId Label) {
   return false;
 }
 
-void ExecContext::collectRepairs(Thread &T, InstrId K, Word Addr,
-                                 bool IsLoad) {
-  if (!Cfg.CollectRepairs || Cfg.Model == MemModel::SC)
+template <class MP>
+void ExecContext::collectRepairsT(Thread &T, InstrId K, Word Addr,
+                                  bool IsLoad) {
+  if (!Cfg.CollectRepairs || modelOf<MP>() == MemModel::SC)
     return;
   // Under TSO only store→load reordering is possible, so only later loads
   // yield ordering predicates; PSO additionally relaxes store→store.
-  if (Cfg.Model == MemModel::TSO && !IsLoad)
+  if (modelOf<MP>() == MemModel::TSO && !IsLoad)
     return;
   LabelScratch.clear();
-  T.Buf.pendingLabelsExcept(Addr, LabelScratch);
+  bufOf<MP>(T).pendingLabelsExcept(Addr, LabelScratch);
   for (InstrId L : LabelScratch)
     Repairs.push_back(OrderingPredicate{L, K, IsLoad});
 }
@@ -238,7 +333,7 @@ bool ExecContext::allocFaultFires() {
   return FP->AllocFailProb > 0.0 && FaultR.nextBool(FP->AllocFailProb);
 }
 
-bool ExecContext::maybeFlushStorm() {
+template <class MP> bool ExecContext::maybeFlushStormT() {
   const FaultPlan *FP = Cfg.Faults;
   if (!FP || FP->FlushStormProb <= 0.0 ||
       !FaultR.nextBool(FP->FlushStormProb))
@@ -253,10 +348,10 @@ bool ExecContext::maybeFlushStorm() {
   Thread &T = *Threads[Tid];
   // Drain the whole buffer; each flush is a recorded action so a replay
   // of the trace reproduces the storm without needing the fault plan.
-  while (!T.Buf.empty() && !Halted && Steps < Cfg.MaxSteps) {
+  while (!bufOf<MP>(T).empty() && !Halted && Steps < Cfg.MaxSteps) {
     if (Cfg.RecordTrace)
       Result->Trace.push_back(sched::Action::flush(Tid));
-    flushOne(T, false, 0);
+    flushOneT<MP>(T, false, 0);
     ++Steps;
   }
   NoProgress = 0;
@@ -296,11 +391,13 @@ sched::Action ExecContext::applyForcedSwitch(sched::Action A) {
   return A;
 }
 
-void ExecContext::flushOne(Thread &T, bool HasVar, Word Var) {
-  assert(!T.Buf.empty() && "flush of empty buffer");
-  BufferEntry E = (HasVar && Cfg.Model == MemModel::PSO)
-                      ? T.Buf.popOldestFor(Var)
-                      : T.Buf.popOldest();
+template <class MP>
+void ExecContext::flushOneT(Thread &T, bool HasVar, Word Var) {
+  decltype(auto) B = bufOf<MP>(T);
+  assert(!B.empty() && "flush of empty buffer");
+  BufferEntry E = (HasVar && modelOf<MP>() == MemModel::PSO)
+                      ? B.popOldestFor(Var)
+                      : B.popOldest();
   // The FLUSH rule is where delayed stores become visible; the paper
   // checks safety of the target here (a store to memory freed in the
   // meantime is a violation).
@@ -310,19 +407,21 @@ void ExecContext::flushOne(Thread &T, bool HasVar, Word Var) {
   Mem.write(E.Addr, E.Val);
 }
 
-void ExecContext::drainForAtomic(Thread &T, Word Addr) {
-  if (Cfg.Model == MemModel::PSO && !T.Buf.emptyFor(Addr)) {
-    BufferEntry E = T.Buf.popOldestFor(Addr);
+template <class MP>
+void ExecContext::drainForAtomicT(Thread &T, Word Addr) {
+  decltype(auto) B = bufOf<MP>(T);
+  if (modelOf<MP>() == MemModel::PSO && !B.emptyFor(Addr)) {
+    BufferEntry E = B.popOldestFor(Addr);
     ++Result->Stats.Flushes;
     if (!checkAddr(E.Addr, "flush of buffered store", E.Label))
       return;
     Mem.write(E.Addr, E.Val);
     return;
   }
-  flushOne(T, false, 0);
+  flushOneT<MP>(T, false, 0);
 }
 
-bool ExecContext::stepThread(Thread &T) {
+template <class MP> bool ExecContext::stepThreadT(Thread &T) {
   if (T.Frames.empty()) {
     if (T.Script && T.ScriptPos < T.Script->Calls.size()) {
       startNextCall(T);
@@ -337,51 +436,87 @@ bool ExecContext::stepThread(Thread &T) {
   const Function &Fn = M.Funcs[F.F];
   assert(F.Ip < Fn.Body.size() && "instruction pointer out of range");
   const Instr &I = Fn.Body[F.Ip];
+  const PreparedFunc &PF = P->func(F.F);
+  decltype(auto) B = bufOf<MP>(T);
 
-  switch (I.Op) {
-  case Opcode::Const:
+  // Dispatch off the prepared OpIdx stream (one dense byte per Body
+  // position) instead of the fat Instr record. The jump-table order must
+  // match ir::Opcode exactly; each case ends in `goto Advance` (the
+  // shared ++Ip) or returns with the Ip it set. DF_CASE expands to a
+  // label or a case depending on the dispatch flavor.
+#if DFENCE_COMPUTED_GOTO
+  static const void *const Table[] = {
+      &&Op_Const, &&Op_Move,  &&Op_BinOp,  &&Op_Not,   &&Op_Load,
+      &&Op_Store, &&Op_Cas,   &&Op_Fence,  &&Op_GlobalAddr, &&Op_Alloc,
+      &&Op_Free,  &&Op_Br,    &&Op_CondBr, &&Op_Call,  &&Op_Ret,
+      &&Op_Self,  &&Op_Spawn, &&Op_Join,   &&Op_Lock,  &&Op_Unlock,
+      &&Op_Assert, &&Op_Nop};
+  static_assert(sizeof(Table) / sizeof(Table[0]) ==
+                    static_cast<size_t>(Opcode::Nop) + 1,
+                "jump table must cover every opcode");
+  goto *Table[PF.OpIdx[F.Ip]];
+#define DF_CASE(Name) Op_##Name:
+#else
+  switch (static_cast<Opcode>(PF.OpIdx[F.Ip])) {
+#define DF_CASE(Name) case Opcode::Name:
+#endif
+
+  DF_CASE(Const) {
     T.reg(F, I.Dst) = I.Imm;
-    break;
-  case Opcode::Move:
+    goto Advance;
+  }
+  DF_CASE(Move) {
     T.reg(F, I.Dst) = T.reg(F, I.Ops[0]);
-    break;
-  case Opcode::BinOp:
+    goto Advance;
+  }
+  DF_CASE(BinOp) {
     T.reg(F, I.Dst) =
         evalBinOp(I.BK, T.reg(F, I.Ops[0]), T.reg(F, I.Ops[1]));
-    break;
-  case Opcode::Not:
+    goto Advance;
+  }
+  DF_CASE(Not) {
     T.reg(F, I.Dst) = T.reg(F, I.Ops[0]) == 0;
-    break;
-  case Opcode::GlobalAddr:
+    goto Advance;
+  }
+  DF_CASE(GlobalAddr) {
     assert(I.GV < GlobalAddrs.size());
     T.reg(F, I.Dst) = GlobalAddrs[I.GV];
-    break;
-  case Opcode::Self:
+    goto Advance;
+  }
+  DF_CASE(Self) {
     T.reg(F, I.Dst) = T.Tid;
-    break;
-  case Opcode::Nop:
-    break;
+    goto Advance;
+  }
+  DF_CASE(Nop) { goto Advance; }
 
-  case Opcode::Load: {
+  DF_CASE(Load) {
     Word Addr = T.reg(F, I.Ops[0]);
-    collectRepairs(T, I.Id, Addr, /*IsLoad=*/true);
+    collectRepairsT<MP>(T, I.Id, Addr, /*IsLoad=*/true);
     if (!checkAddr(Addr, "load", I.Id))
       return true;
     Word V;
-    if (T.Buf.forward(Addr, V)) { // LOAD-B else LOAD-G
+    if (B.forward(Addr, V)) { // LOAD-B else LOAD-G
       ++Result->Stats.StoreForwards;
     } else {
       V = Mem.read(Addr);
     }
     T.reg(F, I.Dst) = V;
-    break;
+    goto Advance;
   }
 
-  case Opcode::Store: {
+  DF_CASE(Store) {
     Word Addr = T.reg(F, I.Ops[0]);
     Word Val = T.reg(F, I.Ops[1]);
-    collectRepairs(T, I.Id, Addr, /*IsLoad=*/false);
-    if (T.Buf.model() == MemModel::SC) {
+    collectRepairsT<MP>(T, I.Id, Addr, /*IsLoad=*/false);
+    // Buffering keys off the *thread's* model, not Cfg.Model: the init
+    // thread always runs SC (specialized mode steps it through the SC
+    // policy, so BufModel folds to a constant in every instantiation).
+    MemModel BufModel;
+    if constexpr (MP::Specialized)
+      BufModel = MP::Model;
+    else
+      BufModel = T.Buf.model();
+    if (BufModel == MemModel::SC) {
       if (!checkAddr(Addr, "store", I.Id))
         return true;
       Mem.write(Addr, Val);
@@ -389,29 +524,29 @@ bool ExecContext::stepThread(Thread &T) {
       // Bounded-buffer fault: at capacity, the oldest entry commits
       // before the new store can be buffered (as real hardware would).
       if (Cfg.Faults && Cfg.Faults->BufferCapacity > 0) {
-        while (T.Buf.size() >= Cfg.Faults->BufferCapacity && !Halted)
-          flushOne(T, false, 0);
+        while (B.size() >= Cfg.Faults->BufferCapacity && !Halted)
+          flushOneT<MP>(T, false, 0);
         if (Halted)
           return true;
       }
       // STORE rule: append to the buffer; safety is checked at flush.
-      T.Buf.push(Addr, Val, I.Id);
+      B.push(Addr, Val, I.Id);
       ++Result->Stats.BufferedStores;
-      if (T.Buf.size() > Result->Stats.BufHighWater)
-        Result->Stats.BufHighWater = static_cast<uint32_t>(T.Buf.size());
+      if (B.size() > Result->Stats.BufHighWater)
+        Result->Stats.BufHighWater = static_cast<uint32_t>(B.size());
     }
-    break;
+    goto Advance;
   }
 
-  case Opcode::Cas: {
+  DF_CASE(Cas) {
     Word Addr = T.reg(F, I.Ops[0]);
     // CAS premise: the buffer of the accessed variable must be empty
     // (TSO: the whole per-thread buffer). Make progress by draining.
-    if (!T.Buf.emptyFor(Addr)) {
-      drainForAtomic(T, Addr);
+    if (!B.emptyFor(Addr)) {
+      drainForAtomicT<MP>(T, Addr);
       return true;
     }
-    collectRepairs(T, I.Id, Addr, /*IsLoad=*/false);
+    collectRepairsT<MP>(T, I.Id, Addr, /*IsLoad=*/false);
     if (!checkAddr(Addr, "cas", I.Id))
       return true;
     Word Expected = T.reg(F, I.Ops[1]);
@@ -422,22 +557,22 @@ bool ExecContext::stepThread(Thread &T) {
     } else {
       T.reg(F, I.Dst) = 0;
     }
-    break;
+    goto Advance;
   }
 
-  case Opcode::Fence: {
+  DF_CASE(Fence) {
     // FENCE rule: blocks until all of the thread's buffers are empty.
-    if (!T.Buf.empty()) {
-      flushOne(T, false, 0);
+    if (!B.empty()) {
+      flushOneT<MP>(T, false, 0);
       return true;
     }
-    break;
+    goto Advance;
   }
 
-  case Opcode::Lock: {
+  DF_CASE(Lock) {
     // Lock acquire is a CAS loop surrounded by full fences (paper §5.2).
-    if (!T.Buf.empty()) {
-      flushOne(T, false, 0);
+    if (!B.empty()) {
+      flushOneT<MP>(T, false, 0);
       return true;
     }
     Word Addr = T.reg(F, I.Ops[0]);
@@ -446,22 +581,22 @@ bool ExecContext::stepThread(Thread &T) {
     if (Mem.read(Addr) != 0)
       return false; // Spin; no progress this step.
     Mem.write(Addr, 1);
-    break;
+    goto Advance;
   }
 
-  case Opcode::Unlock: {
-    if (!T.Buf.empty()) {
-      flushOne(T, false, 0);
+  DF_CASE(Unlock) {
+    if (!B.empty()) {
+      flushOneT<MP>(T, false, 0);
       return true;
     }
     Word Addr = T.reg(F, I.Ops[0]);
     if (!checkAddr(Addr, "unlock", I.Id))
       return true;
     Mem.write(Addr, 0);
-    break;
+    goto Advance;
   }
 
-  case Opcode::Alloc: {
+  DF_CASE(Alloc) {
     Word Size = T.reg(F, I.Ops[0]);
     if (Size > (1u << 24)) {
       violate(Outcome::MemSafety,
@@ -472,10 +607,10 @@ bool ExecContext::stepThread(Thread &T) {
     // Simulated OOM: the allocation yields null and the memory-safety
     // checker flags whichever access dereferences it.
     T.reg(F, I.Dst) = allocFaultFires() ? 0 : Mem.allocate(Size);
-    break;
+    goto Advance;
   }
 
-  case Opcode::Free: {
+  DF_CASE(Free) {
     Word Addr = T.reg(F, I.Ops[0]);
     // Note: free does NOT flush write buffers (paper §5.2); pending
     // stores into the freed block will fault when they flush.
@@ -485,19 +620,19 @@ bool ExecContext::stepThread(Thread &T) {
                         static_cast<unsigned long long>(Addr), I.Id));
       return true;
     }
-    break;
+    goto Advance;
   }
 
-  case Opcode::Br:
-    F.Ip = P->func(F.F).Jump0[F.Ip];
+  DF_CASE(Br) {
+    F.Ip = PF.Jump0[F.Ip];
     return true;
-  case Opcode::CondBr: {
-    const PreparedFunc &PF = P->func(F.F);
+  }
+  DF_CASE(CondBr) {
     F.Ip = T.reg(F, I.Ops[0]) != 0 ? PF.Jump0[F.Ip] : PF.Jump1[F.Ip];
     return true;
   }
 
-  case Opcode::Call: {
+  DF_CASE(Call) {
     ArgScratch.clear();
     for (size_t A = 0; A != I.Ops.size(); ++A)
       ArgScratch.push_back(T.reg(F, I.Ops[A]));
@@ -514,7 +649,7 @@ bool ExecContext::stepThread(Thread &T) {
     return true;
   }
 
-  case Opcode::Ret: {
+  DF_CASE(Ret) {
     Word RetVal = I.Ops.empty() ? 0 : T.reg(F, I.Ops[0]);
     bool WasTopLevel = F.IsTopLevel;
     // Inter-operation predicates: a store still buffered when its method
@@ -523,9 +658,9 @@ bool ExecContext::stepThread(Thread &T) {
     // [pending-store ≺ return] so enforcement can place a fence at the
     // end of the method (the paper's "(m, line:-)" inter-op fences).
     if (WasTopLevel && Cfg.CollectRepairs && Cfg.InterOpPredicates &&
-        !T.Buf.empty() && Cfg.Model != MemModel::SC) {
+        !B.empty() && modelOf<MP>() != MemModel::SC) {
       LabelScratch.clear();
-      T.Buf.pendingLabelsExcept(static_cast<Word>(-1), LabelScratch);
+      B.pendingLabelsExcept(static_cast<Word>(-1), LabelScratch);
       for (InstrId L : LabelScratch)
         Repairs.push_back(
             OrderingPredicate{L, I.Id, /*AfterIsLoad=*/false});
@@ -546,7 +681,7 @@ bool ExecContext::stepThread(Thread &T) {
     return true;
   }
 
-  case Opcode::Spawn: {
+  DF_CASE(Spawn) {
     if (T.Tid == ~0u)
       reportFatalError("spawn is not allowed in client init functions");
     ArgScratch.clear();
@@ -561,10 +696,10 @@ bool ExecContext::stepThread(Thread &T) {
     if (NewT.RegArena.size() > CStats.RegArenaHighWater)
       CStats.RegArenaHighWater = NewT.RegArena.size();
     T.reg(F, I.Dst) = NewTid;
-    break;
+    goto Advance;
   }
 
-  case Opcode::Join: {
+  DF_CASE(Join) {
     Word Target = T.reg(F, I.Ops[0]);
     if (Target >= LiveThreads) {
       violate(Outcome::AssertFail,
@@ -573,33 +708,38 @@ bool ExecContext::stepThread(Thread &T) {
       return true;
     }
     Thread &U = *Threads[Target];
-    // JOIN rule: target finished and its buffers drained.
+    // JOIN rule: target finished and its buffers drained. The target is
+    // a client thread, so it steps under the same policy as T.
     if (U.hasWork())
       return false;
-    if (!U.Buf.empty()) {
-      flushOne(U, false, 0);
+    if (!bufOf<MP>(U).empty()) {
+      flushOneT<MP>(U, false, 0);
       return true;
     }
-    break;
+    goto Advance;
   }
 
-  case Opcode::Assert: {
+  DF_CASE(Assert) {
     if (T.reg(F, I.Ops[0]) == 0) {
       violate(Outcome::AssertFail,
               strformat("assertion failed (%%%u, line %u)", I.Id,
                         I.SrcLine));
       return true;
     }
-    break;
-  }
+    goto Advance;
   }
 
+#if !DFENCE_COMPUTED_GOTO
+  }
+#endif
+#undef DF_CASE
+
+Advance:
   ++F.Ip;
   return true;
 }
 
-void ExecContext::mainLoop() {
-  const Module &M = P->module();
+template <class MP> void ExecContext::mainLoopT() {
   while (!Halted) {
     if (Steps >= Cfg.MaxSteps) {
       violate(Outcome::StepLimit, "execution exceeded step limit");
@@ -614,26 +754,21 @@ void ExecContext::mainLoop() {
     bool AnyWork = false;
     for (size_t TI = 0; TI != LiveThreads; ++TI) {
       Thread &T = *Threads[TI];
+      decltype(auto) B = bufOf<MP>(T);
       sched::ThreadView &V = Views[TI];
       V.Tid = T.Tid;
       V.Runnable = T.hasWork();
-      V.PendingStores = T.Buf.size();
+      V.PendingStores = B.size();
       V.NextIsShared = false;
       if (V.Runnable || V.PendingStores > 0) {
         AnyWork = true;
-        T.Buf.nonEmptyVars(V.BufferedVars);
+        B.nonEmptyVars(V.BufferedVars);
         if (V.Runnable) {
           if (T.Frames.empty()) {
             V.NextIsShared = true; // Next step records an invoke.
           } else {
             const Thread::Frame &F = T.Frames.back();
-            const Instr &I = M.Funcs[F.F].Body[F.Ip];
-            V.NextIsShared = I.isSharedAccess() ||
-                             I.Op == Opcode::Fence ||
-                             I.Op == Opcode::Call || I.Op == Opcode::Ret ||
-                             I.Op == Opcode::Spawn ||
-                             I.Op == Opcode::Join ||
-                             I.Op == Opcode::Alloc;
+            V.NextIsShared = SharedStep[P->func(F.F).OpIdx[F.Ip]];
           }
         }
       } else {
@@ -643,7 +778,7 @@ void ExecContext::mainLoop() {
     if (!AnyWork)
       return; // Completed.
 
-    if (maybeFlushStorm())
+    if (maybeFlushStormT<MP>())
       continue;
 
     sched::Action A = Sched->pick(Views, R);
@@ -664,7 +799,8 @@ void ExecContext::mainLoop() {
 
     bool Progress;
     if (A.Kind == sched::Action::Flush) {
-      if (T.Buf.empty()) {
+      decltype(auto) B = bufOf<MP>(T);
+      if (B.empty()) {
         violate(Outcome::Deadlock,
                 strformat("scheduler flushed empty buffer of thread %u "
                           "(stale replay trace?)",
@@ -673,14 +809,14 @@ void ExecContext::mainLoop() {
       }
       // A per-variable flush of a variable with nothing pending (possible
       // only with a foreign trace) degrades to a positional flush.
-      if (A.HasVar && T.Buf.model() == MemModel::PSO &&
-          T.Buf.emptyFor(A.Var))
+      if (A.HasVar && modelOf<MP>() == MemModel::PSO &&
+          B.emptyFor(A.Var))
         A.HasVar = false;
-      flushOne(T, A.HasVar, A.Var);
+      flushOneT<MP>(T, A.HasVar, A.Var);
       ++Result->Stats.SchedFlushes;
       Progress = true;
     } else {
-      Progress = stepThread(T);
+      Progress = stepThreadT<MP>(T);
       ++Result->Stats.SchedSteps;
     }
     ++Steps;
@@ -694,12 +830,24 @@ void ExecContext::mainLoop() {
   }
 }
 
-void ExecContext::finalDrain() {
+template <class MP> void ExecContext::finalDrainT() {
   for (size_t TI = 0; TI != LiveThreads; ++TI) {
     Thread &T = *Threads[TI];
-    while (!T.Buf.empty() && !Halted)
-      flushOne(T, false, 0);
+    while (!bufOf<MP>(T).empty() && !Halted)
+      flushOneT<MP>(T, false, 0);
   }
+}
+
+template <class MP> void ExecContext::runLoops() {
+  Sched->reset();
+  layoutGlobals();
+  if (PC->HasInit && !Halted)
+    runInitT<MP>();
+  createClientThreads();
+  if (!Halted)
+    mainLoopT<MP>();
+  if (!Halted)
+    finalDrainT<MP>();
 }
 
 void ExecContext::run(const PreparedProgram &Prog, size_t ClientIdx,
@@ -752,15 +900,19 @@ void ExecContext::run(const PreparedProgram &Prog, size_t ClientIdx,
     Sched = &OwnedSched;
   }
 
-  Sched->reset();
-  layoutGlobals();
-  if (PC->HasInit && !Halted)
-    runInit();
-  createClientThreads();
-  if (!Halted)
-    mainLoop();
-  if (!Halted)
-    finalDrain();
+  // Bind the interpreter once per execution: specialized dispatch picks
+  // the model's monomorphized instantiation, generic runs the runtime-
+  // dispatched one. Identical semantics either way (the loops are one
+  // template); only the machine code differs.
+  if (Cfg.Dispatch == DispatchMode::Specialized) {
+    switch (Cfg.Model) {
+    case MemModel::SC:  runLoops<ScPolicy>(); break;
+    case MemModel::TSO: runLoops<TsoPolicy>(); break;
+    case MemModel::PSO: runLoops<PsoPolicy>(); break;
+    }
+  } else {
+    runLoops<GenericPolicy>();
+  }
   Out.Steps = Steps;
 
   // Repairs were collected without dedup; sort-and-unique here produces

@@ -62,24 +62,39 @@ private:
   struct Thread;
 
   // Per-run driver steps (the old per-execution engine, now operating on
-  // reset-in-place state).
+  // reset-in-place state). The loops are templated over a memory-model
+  // policy `MP` (see ExecContext.cpp): the specialized policies carry a
+  // constexpr model so every store-buffer call inlines against one policy
+  // class and every model comparison constant-folds; the generic policy
+  // reads Cfg.Model / the thread's buffer tag at runtime, reproducing
+  // the pre-monomorphization interpreter exactly. run() binds the policy
+  // once per execution from (Cfg.Dispatch, Cfg.Model).
+  template <class MP> void runLoops();
   void layoutGlobals();
-  void runInit();
+  template <class MP> void runInitT();
   void createClientThreads();
-  void mainLoop();
-  void finalDrain();
+  template <class MP> void mainLoopT();
+  template <class MP> void finalDrainT();
   void startNextCall(Thread &T);
-  bool stepThread(Thread &T);
-  void flushOne(Thread &T, bool HasVar, Word Var);
-  void drainForAtomic(Thread &T, Word Addr);
-  void collectRepairs(Thread &T, ir::InstrId K, Word Addr, bool IsLoad);
+  template <class MP> bool stepThreadT(Thread &T);
+  template <class MP> void flushOneT(Thread &T, bool HasVar, Word Var);
+  template <class MP> void drainForAtomicT(Thread &T, Word Addr);
+  template <class MP>
+  void collectRepairsT(Thread &T, ir::InstrId K, Word Addr, bool IsLoad);
   bool deadlineExpired();
   bool allocFaultFires();
-  bool maybeFlushStorm();
+  template <class MP> bool maybeFlushStormT();
   sched::Action applyForcedSwitch(sched::Action A);
   bool checkAddr(Word Addr, const char *What, ir::InstrId Label);
   void violate(Outcome O, std::string Msg);
   Thread &acquireThread(uint32_t Tid, MemModel Model);
+
+  /// The buffer the policy steps against: the matching policy object
+  /// under a specialized policy, the runtime facade under the generic
+  /// one. Defined (and only used) in ExecContext.cpp.
+  template <class MP> static decltype(auto) bufOf(Thread &T);
+  /// Cfg.Model, constant-folded under a specialized policy.
+  template <class MP> MemModel modelOf() const;
 
   // Long-lived state, reset (not reallocated) per run.
   Memory Mem;

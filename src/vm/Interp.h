@@ -42,9 +42,24 @@ enum class Outcome : uint8_t {
 
 const char *outcomeName(Outcome O);
 
+/// How the interpreter binds its memory model. Specialized (the default)
+/// runs the per-model monomorphized step loop: store-buffer operations
+/// inline against the model's policy class and opcode dispatch goes
+/// through a pre-translated jump table (computed goto where the compiler
+/// supports it). Generic runs the single runtime-dispatched loop that
+/// switches on the model tag per operation — the debugging/A-B escape
+/// hatch (`--dispatch generic`). The two are semantically identical:
+/// step counts, histories and repair sets are byte-for-byte the same
+/// (DispatchDifferentialTest pins this), so the mode is deliberately
+/// *not* part of any cache key.
+enum class DispatchMode : uint8_t { Generic, Specialized };
+
+const char *dispatchModeName(DispatchMode D);
+
 /// Per-execution configuration.
 struct ExecConfig {
   MemModel Model = DefaultMemModel;
+  DispatchMode Dispatch = DispatchMode::Specialized;
   uint64_t Seed = 1;
   size_t MaxSteps = 1 << 20;
   /// Collect ordering predicates (instrumented semantics).

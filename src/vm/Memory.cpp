@@ -74,11 +74,6 @@ const Memory::Block *Memory::findBlock(Word Addr) const {
   return nullptr;
 }
 
-bool Memory::isValid(Word Addr) const {
-  const Block *B = findBlock(Addr);
-  return B && B->Live;
-}
-
 bool Memory::isFreed(Word Addr) const {
   const Block *B = findBlock(Addr);
   return B && !B->Live;

@@ -53,8 +53,18 @@ public:
   /// unit is marked non-freeable.
   Word allocateGlobal(Word SizeWords);
 
-  /// True when \p Addr lies inside a live allocation unit.
-  bool isValid(Word Addr) const;
+  /// True when \p Addr lies inside a live allocation unit. The last-block
+  /// cache hit — nearly every access the interpreter makes — stays
+  /// inline; only the binary-search miss goes out of line.
+  bool isValid(Word Addr) const {
+    if (LastBlock < Blocks.size()) {
+      const Block &C = Blocks[LastBlock];
+      if (Addr >= C.Start && Addr - C.Start < C.Size)
+        return C.Live;
+    }
+    const Block *B = findBlock(Addr);
+    return B && B->Live;
+  }
 
   /// True when \p Addr lies inside a unit that was freed (use-after-free
   /// diagnostics); false for wild addresses.

@@ -55,8 +55,10 @@ void PreparedProgram::prepareModule() {
     PreparedFunc &PF = Funcs[FI];
     PF.Jump0.resize(Fn.Body.size());
     PF.Jump1.resize(Fn.Body.size());
+    PF.OpIdx.resize(Fn.Body.size());
     for (size_t Ip = 0, IE = Fn.Body.size(); Ip != IE; ++Ip) {
       const Instr &I = Fn.Body[Ip];
+      PF.OpIdx[Ip] = static_cast<uint8_t>(I.Op);
       if (I.Op == Opcode::Br || I.Op == Opcode::CondBr)
         PF.Jump0[Ip] = static_cast<uint32_t>(Fn.indexOf(I.Target0));
       if (I.Op == Opcode::CondBr)

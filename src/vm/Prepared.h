@@ -34,14 +34,19 @@ struct PreparedThread {
   std::vector<ir::FuncId> Calls;
 };
 
-/// Pre-resolved branch targets for one function. For the Br/CondBr at
-/// Body position Ip, Jump0[Ip] / Jump1[Ip] are the Body positions of
-/// Target0 / Target1 — the label hash lookup hoisted out of the
-/// interpreter's hottest dispatch path. Entries at non-branch positions
-/// are unspecified.
+/// Pre-resolved branch targets and dispatch indices for one function.
+/// For the Br/CondBr at Body position Ip, Jump0[Ip] / Jump1[Ip] are the
+/// Body positions of Target0 / Target1 — the label hash lookup hoisted
+/// out of the interpreter's hottest dispatch path. Entries at non-branch
+/// positions are unspecified. OpIdx[Ip] is the instruction's dispatch-
+/// table index (the opcode, pre-translated at prepare time into one
+/// dense contiguous byte array): the interpreter's threaded dispatch
+/// indexes its jump table straight off this stream instead of loading
+/// the opcode out of the ~100-byte Instr records.
 struct PreparedFunc {
   std::vector<uint32_t> Jump0;
   std::vector<uint32_t> Jump1;
+  std::vector<uint8_t> OpIdx;
 };
 
 /// One client, resolved against the module.

@@ -1,11 +1,12 @@
 //===- StoreBuffer.cpp ----------------------------------------------------===//
+//
+// The buffer implementations themselves live in the header so both the
+// monomorphized interpreter and the runtime facade inline them; only the
+// name tables stay out of line.
+//
+//===----------------------------------------------------------------------===//
 
 #include "vm/StoreBuffer.h"
-
-#include "support/Diagnostics.h"
-
-#include <algorithm>
-#include <cassert>
 
 using namespace dfence;
 using namespace dfence::vm;
@@ -17,162 +18,4 @@ const char *vm::memModelName(MemModel M) {
   case MemModel::PSO: return "PSO";
   }
   dfenceUnreachable("invalid memory model");
-}
-
-void StoreBufferSet::reset(MemModel M) {
-  Model = M;
-  Count = 0;
-  Fifo.clear();
-  FifoHead = 0;
-  for (VarFifo &V : PerVar) {
-    V.Q.clear();
-    V.Head = 0;
-  }
-}
-
-const StoreBufferSet::VarFifo *StoreBufferSet::findVar(Word Addr) const {
-  auto It = std::lower_bound(
-      PerVar.begin(), PerVar.end(), Addr,
-      [](const VarFifo &V, Word A) { return V.Addr < A; });
-  if (It == PerVar.end() || It->Addr != Addr)
-    return nullptr;
-  return &*It;
-}
-
-StoreBufferSet::VarFifo &StoreBufferSet::findOrCreateVar(Word Addr) {
-  auto It = std::lower_bound(
-      PerVar.begin(), PerVar.end(), Addr,
-      [](const VarFifo &V, Word A) { return V.Addr < A; });
-  if (It == PerVar.end() || It->Addr != Addr) {
-    // First store to this address in the buffer's lifetime; later
-    // executions reusing the buffer hit the same addresses and land in
-    // the existing (possibly drained) slot.
-    VarFifo V;
-    V.Addr = Addr;
-    It = PerVar.insert(It, std::move(V));
-  }
-  return *It;
-}
-
-bool StoreBufferSet::forward(Word Addr, Word &Out) const {
-  switch (Model) {
-  case MemModel::SC:
-    return false;
-  case MemModel::PSO: {
-    const VarFifo *V = findVar(Addr);
-    if (!V || V->empty())
-      return false;
-    Out = V->Q.back().Val;
-    return true;
-  }
-  case MemModel::TSO: {
-    // Newest pending store to Addr wins.
-    for (size_t I = Fifo.size(); I != FifoHead; --I) {
-      if (Fifo[I - 1].Addr == Addr) {
-        Out = Fifo[I - 1].Val;
-        return true;
-      }
-    }
-    return false;
-  }
-  }
-  dfenceUnreachable("invalid memory model");
-}
-
-void StoreBufferSet::push(Word Addr, Word Val, InstrId Label) {
-  assert(Model != MemModel::SC && "SC never buffers stores");
-  BufferEntry E{Addr, Val, Label};
-  if (Model == MemModel::PSO)
-    findOrCreateVar(Addr).Q.push_back(E);
-  else
-    Fifo.push_back(E);
-  ++Count;
-}
-
-bool StoreBufferSet::emptyFor(Word Addr) const {
-  switch (Model) {
-  case MemModel::SC:
-    return true;
-  case MemModel::PSO: {
-    const VarFifo *V = findVar(Addr);
-    return !V || V->empty();
-  }
-  case MemModel::TSO:
-    return Count == 0;
-  }
-  dfenceUnreachable("invalid memory model");
-}
-
-BufferEntry StoreBufferSet::popOldest() {
-  assert(Count > 0 && "pop from empty buffer");
-  --Count;
-  if (Model == MemModel::TSO) {
-    BufferEntry E = Fifo[FifoHead++];
-    if (FifoHead == Fifo.size()) {
-      Fifo.clear();
-      FifoHead = 0;
-    }
-    return E;
-  }
-  // Lowest-addressed non-empty variable FIFO (slots are address-sorted).
-  for (VarFifo &V : PerVar) {
-    if (V.empty())
-      continue;
-    BufferEntry E = V.Q[V.Head++];
-    if (V.empty()) {
-      V.Q.clear();
-      V.Head = 0;
-    }
-    return E;
-  }
-  dfenceUnreachable("count/buffer mismatch");
-}
-
-BufferEntry StoreBufferSet::popOldestFor(Word Addr) {
-  if (Model == MemModel::TSO)
-    return popOldest();
-  VarFifo *V = const_cast<VarFifo *>(findVar(Addr));
-  assert(V && !V->empty() && "no pending store for variable");
-  --Count;
-  BufferEntry E = V->Q[V->Head++];
-  if (V->empty()) {
-    V->Q.clear();
-    V->Head = 0;
-  }
-  return E;
-}
-
-void StoreBufferSet::nonEmptyVars(std::vector<Word> &Out) const {
-  Out.clear();
-  if (Model == MemModel::PSO) {
-    for (const VarFifo &V : PerVar)
-      if (!V.empty())
-        Out.push_back(V.Addr);
-  } else if (Model == MemModel::TSO && Count != 0) {
-    Out.push_back(0);
-  }
-}
-
-std::vector<Word> StoreBufferSet::nonEmptyVars() const {
-  std::vector<Word> Vars;
-  nonEmptyVars(Vars);
-  return Vars;
-}
-
-void StoreBufferSet::pendingLabelsExcept(Word ExcludeAddr,
-                                         std::vector<InstrId> &Out) const {
-  auto Append = [&](const BufferEntry &E) {
-    if (E.Addr == ExcludeAddr)
-      return;
-    if (std::find(Out.begin(), Out.end(), E.Label) == Out.end())
-      Out.push_back(E.Label);
-  };
-  if (Model == MemModel::PSO) {
-    for (const VarFifo &V : PerVar)
-      for (size_t I = V.Head, E = V.Q.size(); I != E; ++I)
-        Append(V.Q[I]);
-  } else if (Model == MemModel::TSO) {
-    for (size_t I = FifoHead, E = Fifo.size(); I != E; ++I)
-      Append(Fifo[I]);
-  }
 }

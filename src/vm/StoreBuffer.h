@@ -10,13 +10,26 @@
 // — the auxiliary map B-hat of the paper's instrumented semantics
 // (Semantics 2) used to derive ordering predicates for repair.
 //
+// Each model is its own policy class (ScBuffer / TsoBuffer / PsoBuffer)
+// with a fully inline implementation and zero model branches — the
+// monomorphized interpreter (ExecContext) binds one policy per execution
+// and every forward/push/emptyFor/popOldest call inlines against concrete
+// flat-vector state. StoreBufferSet remains as a thin runtime facade that
+// switches on a model tag per call: it is the generic-dispatch path
+// (`--dispatch generic`), the API every existing test pins, and the
+// reference the policy classes are differentially tested against. A new
+// memory model is one new policy class plus a facade case.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef DFENCE_VM_STOREBUFFER_H
 #define DFENCE_VM_STOREBUFFER_H
 
 #include "ir/Instr.h"
+#include "support/Diagnostics.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -51,90 +64,433 @@ struct BufferEntry {
   InstrId Label = ir::InvalidInstrId; ///< Label of the originating store.
 };
 
-/// The write-buffer state of a single thread.
-///
-/// Storage is flat: under TSO one vector with a head index (FIFO pops
-/// advance the head, no deque nodes); under PSO a vector of per-variable
-/// FIFOs kept sorted by address — the bump allocator recycles the same
-/// addresses run after run, so a reused buffer reaches a steady state
-/// where push/pop never allocate. Fully-drained variable slots are
-/// retained (and skipped) rather than erased, preserving both their
-/// capacity and the ascending-address iteration order the old
-/// std::map-backed storage guaranteed.
-class StoreBufferSet {
+//===----------------------------------------------------------------------===//
+// Policy classes
+//
+// All three expose the same surface (reset/forward/push/empty/size/
+// emptyFor/popOldest/popOldestFor/nonEmptyVars/pendingLabelsExcept) so
+// the templated interpreter and the policy-contract tests are written
+// once against it. reset() revives a buffer for a new execution with all
+// vector capacities — and address-slot layouts — retained: the bump
+// allocator recycles the same addresses run after run, so a reused buffer
+// reaches a steady state where push/pop never allocate.
+//===----------------------------------------------------------------------===//
+
+/// SC: no buffering. Every query is a constant the optimizer folds, which
+/// is what deletes the buffer machinery from the specialized SC loop.
+class ScBuffer {
 public:
-  explicit StoreBufferSet(MemModel M) : Model(M) {}
+  static constexpr MemModel Model = MemModel::SC;
 
-  /// Revives the buffer for a new execution under \p M: logically empty,
-  /// every vector capacity (including per-variable FIFOs) retained.
-  void reset(MemModel M);
+  void reset() {}
+  bool forward(Word, Word &) const { return false; }
+  void push(Word, Word, InstrId) {
+    dfenceUnreachable("SC never buffers stores");
+  }
+  bool empty() const { return true; }
+  size_t size() const { return 0; }
+  bool emptyFor(Word) const { return true; }
+  BufferEntry popOldest() { dfenceUnreachable("pop from SC buffer"); }
+  BufferEntry popOldestFor(Word) {
+    dfenceUnreachable("pop from SC buffer");
+  }
+  void nonEmptyVars(std::vector<Word> &Out) const { Out.clear(); }
+  void pendingLabelsExcept(Word, std::vector<InstrId> &) const {}
+};
 
-  MemModel model() const { return Model; }
+/// TSO: one FIFO of (variable, value) pairs; [Head, Fifo.size()) are
+/// pending. Store→load forwarding is answered from a sorted per-address
+/// index carrying the newest pending value — the old implementation
+/// walked the whole FIFO backwards per load, a cost that grew with buffer
+/// occupancy and never shrank for addresses long since drained. The
+/// newest value stays valid under pops because pops remove the *oldest*
+/// entry: it is only replaced by a newer push or invalidated when the
+/// address's pending count reaches zero.
+class TsoBuffer {
+public:
+  static constexpr MemModel Model = MemModel::TSO;
 
-  /// Store-to-load forwarding: returns true and sets \p Out to the newest
-  /// buffered value for \p Addr if one exists (LOAD-B rule).
-  bool forward(Word Addr, Word &Out) const;
+  void reset() {
+    Fifo.clear();
+    Head = 0;
+    // Index slots are retained (addresses recur across executions); only
+    // the pending counts go back to zero.
+    for (AddrSlot &S : Index)
+      S.Pending = 0;
+  }
 
-  /// Buffers a store (STORE rule). Must not be called under SC.
-  void push(Word Addr, Word Val, InstrId Label);
+  bool forward(Word Addr, Word &Out) const {
+    const AddrSlot *S = findSlot(Addr);
+    if (!S || S->Pending == 0)
+      return false;
+    Out = S->Newest;
+    return true;
+  }
+
+  void push(Word Addr, Word Val, InstrId Label) {
+    Fifo.push_back(BufferEntry{Addr, Val, Label});
+    AddrSlot &S = findOrCreateSlot(Addr);
+    S.Newest = Val;
+    ++S.Pending;
+  }
+
+  bool empty() const { return Head == Fifo.size(); }
+  size_t size() const { return Fifo.size() - Head; }
+
+  /// TSO emptyFor is whole-buffer emptiness: the CAS/fence premise
+  /// quantifies over the single per-thread buffer.
+  bool emptyFor(Word) const { return empty(); }
+
+  BufferEntry popOldest() {
+    assert(!empty() && "pop from empty buffer");
+    BufferEntry E = Fifo[Head++];
+    AddrSlot *S = findSlot(E.Addr);
+    assert(S && S->Pending > 0 && "index out of sync");
+    --S->Pending;
+    if (empty()) {
+      Fifo.clear();
+      Head = 0;
+    }
+    return E;
+  }
+
+  /// Ignores the address to preserve FIFO order (flushing "for" a
+  /// variable must still commit older stores to other variables first).
+  BufferEntry popOldestFor(Word) { return popOldest(); }
+
+  /// One FIFO, so the flush choice is positional: a singleton {0} marker
+  /// when non-empty, not the set of buffered addresses.
+  void nonEmptyVars(std::vector<Word> &Out) const {
+    Out.clear();
+    if (!empty())
+      Out.push_back(0);
+  }
+
+  /// FIFO order, deduplicated, stores to \p ExcludeAddr skipped. Appends
+  /// without clearing and dedups against prior content.
+  void pendingLabelsExcept(Word ExcludeAddr,
+                           std::vector<InstrId> &Out) const {
+    for (size_t I = Head, E = Fifo.size(); I != E; ++I) {
+      const BufferEntry &En = Fifo[I];
+      if (En.Addr == ExcludeAddr)
+        continue;
+      if (std::find(Out.begin(), Out.end(), En.Label) == Out.end())
+        Out.push_back(En.Label);
+    }
+  }
+
+private:
+  /// Store-forwarding index entry for one address, sorted by Addr.
+  struct AddrSlot {
+    Word Addr = 0;
+    Word Newest = 0;
+    uint32_t Pending = 0;
+  };
+
+  const AddrSlot *findSlot(Word Addr) const {
+    auto It = std::lower_bound(
+        Index.begin(), Index.end(), Addr,
+        [](const AddrSlot &S, Word A) { return S.Addr < A; });
+    if (It == Index.end() || It->Addr != Addr)
+      return nullptr;
+    return &*It;
+  }
+  AddrSlot *findSlot(Word Addr) {
+    return const_cast<AddrSlot *>(
+        static_cast<const TsoBuffer *>(this)->findSlot(Addr));
+  }
+  AddrSlot &findOrCreateSlot(Word Addr) {
+    auto It = std::lower_bound(
+        Index.begin(), Index.end(), Addr,
+        [](const AddrSlot &S, Word A) { return S.Addr < A; });
+    if (It == Index.end() || It->Addr != Addr)
+      It = Index.insert(It, AddrSlot{Addr, 0, 0});
+    return *It;
+  }
+
+  std::vector<BufferEntry> Fifo; ///< [Head, size()) pending.
+  size_t Head = 0;
+  std::vector<AddrSlot> Index; ///< Sorted by Addr; drained slots kept.
+};
+
+/// PSO: one FIFO per variable, slots sorted by address. Fully-drained
+/// slots are retained (capacity and layout kept) — but unlike the old
+/// implementation they are never *scanned*: a sorted Active list of the
+/// addresses with pending stores answers popOldest (lowest active
+/// address, no walk over permanently-drained slots) and nonEmptyVars
+/// (the per-step scheduler view, previously a full PerVar scan per live
+/// thread per step), so a buffer reused across a long round does not
+/// degrade with the number of addresses it has ever seen.
+class PsoBuffer {
+public:
+  static constexpr MemModel Model = MemModel::PSO;
+
+  void reset() {
+    Count = 0;
+    for (VarFifo &V : PerVar) {
+      V.Q.clear();
+      V.Head = 0;
+    }
+    Active.clear();
+  }
+
+  bool forward(Word Addr, Word &Out) const {
+    const VarFifo *V = findVar(Addr);
+    if (!V || V->empty())
+      return false;
+    Out = V->Q.back().Val; // Newest pending store to Addr.
+    return true;
+  }
+
+  void push(Word Addr, Word Val, InstrId Label) {
+    VarFifo &V = findOrCreateVar(Addr);
+    if (V.empty())
+      activate(Addr);
+    V.Q.push_back(BufferEntry{Addr, Val, Label});
+    ++Count;
+  }
 
   bool empty() const { return Count == 0; }
   size_t size() const { return Count; }
 
-  /// True when no store to \p Addr is pending. Under TSO this is the
-  /// whole-buffer emptiness (the TSO CAS/fence premise quantifies over the
-  /// single per-thread buffer).
-  bool emptyFor(Word Addr) const;
+  bool emptyFor(Word Addr) const {
+    const VarFifo *V = findVar(Addr);
+    return !V || V->empty();
+  }
 
-  /// Pops the oldest pending entry (TSO: of the FIFO; PSO: of the lowest-
-  /// addressed non-empty variable buffer). Buffer must be non-empty.
-  BufferEntry popOldest();
+  /// Pops the oldest entry of the lowest-addressed non-empty variable
+  /// FIFO (Active is sorted, so that is its front).
+  BufferEntry popOldest() {
+    assert(Count > 0 && "pop from empty buffer");
+    assert(!Active.empty() && "active list out of sync");
+    VarFifo *V = findVar(Active.front());
+    assert(V && !V->empty() && "active list out of sync");
+    return popFrom(*V);
+  }
 
-  /// Pops the oldest pending entry for \p Addr (PSO flush of a particular
-  /// variable). Under TSO, pops the oldest entry regardless of \p Addr to
-  /// preserve FIFO order. Buffer must have a pending store to \p Addr
-  /// (PSO) / be non-empty (TSO).
-  BufferEntry popOldestFor(Word Addr);
+  BufferEntry popOldestFor(Word Addr) {
+    VarFifo *V = findVar(Addr);
+    assert(V && !V->empty() && "no pending store for variable");
+    return popFrom(*V);
+  }
 
-  /// Variables with pending stores. PSO: the distinct addresses in
-  /// ascending order; TSO: a singleton {0} marker when non-empty (the
-  /// flush choice is positional).
-  std::vector<Word> nonEmptyVars() const;
+  /// The distinct addresses with pending stores, ascending.
+  void nonEmptyVars(std::vector<Word> &Out) const {
+    Out.assign(Active.begin(), Active.end());
+  }
 
-  /// Allocation-free variant for the per-step scheduler views: clears
-  /// \p Out and fills it with the same content nonEmptyVars() returns.
-  void nonEmptyVars(std::vector<Word> &Out) const;
-
-  /// Labels of pending stores to variables other than \p ExcludeAddr —
-  /// the candidate "earlier store" sides of ordering predicates
-  /// (Semantics 2). Deduplicated, deterministic order.
+  /// Ascending address order, FIFO within a variable, deduplicated,
+  /// stores to \p ExcludeAddr skipped. Appends without clearing.
   void pendingLabelsExcept(Word ExcludeAddr,
-                           std::vector<InstrId> &Out) const;
+                           std::vector<InstrId> &Out) const {
+    for (const VarFifo &V : PerVar) {
+      if (V.Addr == ExcludeAddr)
+        continue;
+      for (size_t I = V.Head, E = V.Q.size(); I != E; ++I) {
+        InstrId L = V.Q[I].Label;
+        if (std::find(Out.begin(), Out.end(), L) == Out.end())
+          Out.push_back(L);
+      }
+    }
+  }
 
 private:
-  /// One variable's FIFO under PSO; [Head, Q.size()) are the pending
-  /// entries. A fully drained FIFO clears Q (capacity kept) so growth is
-  /// bounded by the variable's peak occupancy, not its store count.
+  /// One variable's FIFO; [Head, Q.size()) are the pending entries. A
+  /// fully drained FIFO clears Q (capacity kept) so growth is bounded by
+  /// the variable's peak occupancy, not its store count.
   struct VarFifo {
     Word Addr = 0;
     std::vector<BufferEntry> Q;
     size_t Head = 0;
     bool empty() const { return Head == Q.size(); }
-    size_t pending() const { return Q.size() - Head; }
   };
 
-  /// PSO: the slot for \p Addr, or null. Binary search (sorted by Addr).
-  const VarFifo *findVar(Word Addr) const;
-  VarFifo &findOrCreateVar(Word Addr);
+  const VarFifo *findVar(Word Addr) const {
+    auto It = std::lower_bound(
+        PerVar.begin(), PerVar.end(), Addr,
+        [](const VarFifo &V, Word A) { return V.Addr < A; });
+    if (It == PerVar.end() || It->Addr != Addr)
+      return nullptr;
+    return &*It;
+  }
+  VarFifo *findVar(Word Addr) {
+    return const_cast<VarFifo *>(
+        static_cast<const PsoBuffer *>(this)->findVar(Addr));
+  }
+  VarFifo &findOrCreateVar(Word Addr) {
+    auto It = std::lower_bound(
+        PerVar.begin(), PerVar.end(), Addr,
+        [](const VarFifo &V, Word A) { return V.Addr < A; });
+    if (It == PerVar.end() || It->Addr != Addr) {
+      // First store to this address in the buffer's lifetime; later
+      // executions reusing the buffer hit the same addresses and land in
+      // the existing (possibly drained) slot.
+      VarFifo V;
+      V.Addr = Addr;
+      It = PerVar.insert(It, std::move(V));
+    }
+    return *It;
+  }
 
-  MemModel Model;
+  void activate(Word Addr) {
+    auto It = std::lower_bound(Active.begin(), Active.end(), Addr);
+    assert((It == Active.end() || *It != Addr) && "already active");
+    Active.insert(It, Addr);
+  }
+  void deactivate(Word Addr) {
+    auto It = std::lower_bound(Active.begin(), Active.end(), Addr);
+    assert(It != Active.end() && *It == Addr && "not active");
+    Active.erase(It);
+  }
+
+  BufferEntry popFrom(VarFifo &V) {
+    --Count;
+    BufferEntry E = V.Q[V.Head++];
+    if (V.empty()) {
+      V.Q.clear();
+      V.Head = 0;
+      deactivate(V.Addr);
+    }
+    return E;
+  }
+
   size_t Count = 0;
-  // PSO state: per-variable FIFOs sorted by address; drained slots are
-  // retained empty.
-  std::vector<VarFifo> PerVar;
-  // TSO state: one FIFO; [FifoHead, Fifo.size()) pending.
-  std::vector<BufferEntry> Fifo;
-  size_t FifoHead = 0;
+  std::vector<VarFifo> PerVar; ///< Sorted by Addr; drained slots kept.
+  std::vector<Word> Active;    ///< Sorted addresses with pending stores.
+};
+
+//===----------------------------------------------------------------------===//
+// Runtime facade
+//===----------------------------------------------------------------------===//
+
+/// The write-buffer state of a single thread, dispatching on a runtime
+/// model tag: the generic interpreter path and the model-agnostic API the
+/// rest of the system (tests, litmus driver) programs against. Only the
+/// active policy ever holds entries; the inactive ones stay empty, so the
+/// per-thread footprint matches the old single-class layout.
+class StoreBufferSet {
+public:
+  explicit StoreBufferSet(MemModel M) : Model(M) {}
+
+  /// Revives the buffer for a new execution under \p M: logically empty,
+  /// every vector capacity (including per-variable FIFOs and address
+  /// indexes) retained.
+  void reset(MemModel M) {
+    Model = M;
+    TsoB.reset();
+    PsoB.reset();
+  }
+
+  MemModel model() const { return Model; }
+
+  /// The policy objects, for the monomorphized interpreter (and the
+  /// policy-contract tests). Callers must touch only the policy matching
+  /// model() — the facade's aggregate queries read the active one.
+  ScBuffer &sc() { return ScB; }
+  TsoBuffer &tso() { return TsoB; }
+  PsoBuffer &pso() { return PsoB; }
+  const ScBuffer &sc() const { return ScB; }
+  const TsoBuffer &tso() const { return TsoB; }
+  const PsoBuffer &pso() const { return PsoB; }
+
+  /// Store-to-load forwarding: returns true and sets \p Out to the newest
+  /// buffered value for \p Addr if one exists (LOAD-B rule).
+  bool forward(Word Addr, Word &Out) const {
+    switch (Model) {
+    case MemModel::SC:  return ScB.forward(Addr, Out);
+    case MemModel::TSO: return TsoB.forward(Addr, Out);
+    case MemModel::PSO: return PsoB.forward(Addr, Out);
+    }
+    dfenceUnreachable("invalid memory model");
+  }
+
+  /// Buffers a store (STORE rule). Must not be called under SC.
+  void push(Word Addr, Word Val, InstrId Label) {
+    assert(Model != MemModel::SC && "SC never buffers stores");
+    if (Model == MemModel::PSO)
+      PsoB.push(Addr, Val, Label);
+    else
+      TsoB.push(Addr, Val, Label);
+  }
+
+  bool empty() const { return size() == 0; }
+  size_t size() const {
+    switch (Model) {
+    case MemModel::SC:  return ScB.size();
+    case MemModel::TSO: return TsoB.size();
+    case MemModel::PSO: return PsoB.size();
+    }
+    dfenceUnreachable("invalid memory model");
+  }
+
+  /// True when no store to \p Addr is pending. Under TSO this is the
+  /// whole-buffer emptiness (the TSO CAS/fence premise quantifies over the
+  /// single per-thread buffer).
+  bool emptyFor(Word Addr) const {
+    switch (Model) {
+    case MemModel::SC:  return ScB.emptyFor(Addr);
+    case MemModel::TSO: return TsoB.emptyFor(Addr);
+    case MemModel::PSO: return PsoB.emptyFor(Addr);
+    }
+    dfenceUnreachable("invalid memory model");
+  }
+
+  /// Pops the oldest pending entry (TSO: of the FIFO; PSO: of the lowest-
+  /// addressed non-empty variable buffer). Buffer must be non-empty.
+  BufferEntry popOldest() {
+    if (Model == MemModel::PSO)
+      return PsoB.popOldest();
+    return TsoB.popOldest();
+  }
+
+  /// Pops the oldest pending entry for \p Addr (PSO flush of a particular
+  /// variable). Under TSO, pops the oldest entry regardless of \p Addr to
+  /// preserve FIFO order. Buffer must have a pending store to \p Addr
+  /// (PSO) / be non-empty (TSO).
+  BufferEntry popOldestFor(Word Addr) {
+    if (Model == MemModel::PSO)
+      return PsoB.popOldestFor(Addr);
+    return TsoB.popOldestFor(Addr);
+  }
+
+  /// Variables with pending stores. PSO: the distinct addresses in
+  /// ascending order; TSO: a singleton {0} marker when non-empty (the
+  /// flush choice is positional).
+  std::vector<Word> nonEmptyVars() const {
+    std::vector<Word> Vars;
+    nonEmptyVars(Vars);
+    return Vars;
+  }
+
+  /// Allocation-free variant for the per-step scheduler views: clears
+  /// \p Out and fills it with the same content nonEmptyVars() returns.
+  void nonEmptyVars(std::vector<Word> &Out) const {
+    switch (Model) {
+    case MemModel::SC:  ScB.nonEmptyVars(Out); return;
+    case MemModel::TSO: TsoB.nonEmptyVars(Out); return;
+    case MemModel::PSO: PsoB.nonEmptyVars(Out); return;
+    }
+    dfenceUnreachable("invalid memory model");
+  }
+
+  /// Labels of pending stores to variables other than \p ExcludeAddr —
+  /// the candidate "earlier store" sides of ordering predicates
+  /// (Semantics 2). Deduplicated, deterministic order.
+  void pendingLabelsExcept(Word ExcludeAddr,
+                           std::vector<InstrId> &Out) const {
+    switch (Model) {
+    case MemModel::SC:  ScB.pendingLabelsExcept(ExcludeAddr, Out); return;
+    case MemModel::TSO: TsoB.pendingLabelsExcept(ExcludeAddr, Out); return;
+    case MemModel::PSO: PsoB.pendingLabelsExcept(ExcludeAddr, Out); return;
+    }
+    dfenceUnreachable("invalid memory model");
+  }
+
+private:
+  MemModel Model;
+  ScBuffer ScB;
+  TsoBuffer TsoB;
+  PsoBuffer PsoB;
 };
 
 } // namespace dfence::vm

@@ -145,6 +145,11 @@ void printHelp(FILE *Out) {
       "                      cross-round execution cache (default on; "
       "results\n"
       "                      are byte-identical either way)\n"
+      "  --dispatch MODE     specialized|generic interpreter dispatch "
+      "(default\n"
+      "                      specialized: monomorphized per-model loop; "
+      "results\n"
+      "                      are byte-identical either way)\n"
       "  --exec-ms N         per-execution wall-clock watchdog\n"
       "  --retries N         retry budget for discarded executions "
       "(default 2)\n"
@@ -171,6 +176,9 @@ void printHelp(FILE *Out) {
       "  --cache on|off      shared cross-request execution cache\n"
       "  --cache-capacity N  entries in the shared cache (default "
       "32768)\n"
+      "  --dispatch MODE     specialized|generic default interpreter "
+      "dispatch for\n"
+      "                      requests that do not choose one\n"
       "  --crash-dir DIR     where crash reports and repro bundles are "
       "written\n"
       "  --listen PORT       accept JSON-lines connections on "
@@ -209,17 +217,19 @@ const std::map<std::string, std::vector<const char *>> &knownFlags() {
       {"synth",
        {"client", "init", "model", "spec", "seq-spec", "k", "rounds",
         "flush", "enforce", "=no-merge", "=dump", "jobs", "cache",
-        "exec-ms", "retries", "round-ms", "total-ms", "wall-clock",
-        "repro", "metrics-out", "trace-out", "log-level", "=log-json"}},
+        "dispatch", "exec-ms", "retries", "round-ms", "total-ms",
+        "wall-clock", "repro", "metrics-out", "trace-out", "log-level",
+        "=log-json"}},
       {"bench",
        {"model", "spec", "seq-spec", "k", "rounds", "flush", "enforce",
-        "=no-merge", "=dump", "jobs", "cache", "exec-ms", "retries",
-        "round-ms", "total-ms", "wall-clock", "repro", "metrics-out",
-        "trace-out", "log-level", "=log-json"}},
+        "=no-merge", "=dump", "jobs", "cache", "dispatch", "exec-ms",
+        "retries", "round-ms", "total-ms", "wall-clock", "repro",
+        "metrics-out", "trace-out", "log-level", "=log-json"}},
       {"replay", {}},
       {"serve",
        {"jobs", "queue", "deadline-ms", "request-retries",
-        "retry-backoff-ms", "cache", "cache-capacity", "crash-dir",
+        "retry-backoff-ms", "cache", "cache-capacity", "dispatch",
+        "crash-dir",
         "listen", "socket", "metrics-port", "=no-stdio", "metrics-out",
         "log-level", "=log-json"}},
   };
@@ -415,6 +425,17 @@ int runSynthesis(const ir::Module &M,
     return 1;
   }
   Cfg.CacheEnabled = CacheMode == "on";
+  // Interpreter dispatch (src/vm/ExecContext.cpp): specialized (the
+  // monomorphized per-model loop) by default; --dispatch generic is the
+  // A/B + debugging escape hatch. Results are byte-identical either way.
+  std::string Dispatch = Opt.get("dispatch", "specialized");
+  if (Dispatch == "generic")
+    Cfg.Dispatch = vm::DispatchMode::Generic;
+  else if (Dispatch != "specialized") {
+    std::fprintf(stderr,
+                 "error: --dispatch must be 'specialized' or 'generic'\n");
+    return 1;
+  }
 
   // Resilience policy: watchdogs, retry budget, wall budgets, bundles.
   Cfg.Exec.ExecWallMs =
@@ -726,6 +747,14 @@ int cmdServe(const Options &Opt) {
   SC.CacheEnabled = CacheMode == "on";
   SC.CacheCapacity =
       static_cast<size_t>(Opt.getInt("cache-capacity", 1 << 15));
+  std::string Dispatch = Opt.get("dispatch", "specialized");
+  if (Dispatch == "generic")
+    SC.Dispatch = vm::DispatchMode::Generic;
+  else if (Dispatch != "specialized") {
+    std::fprintf(stderr,
+                 "error: --dispatch must be 'specialized' or 'generic'\n");
+    return 2;
+  }
   SC.CrashDir = Opt.get("crash-dir");
 
   std::string MetricsOut = Opt.get("metrics-out");
