@@ -13,7 +13,12 @@
 # CheckCache under real pool concurrency, and the serve-daemon suite
 # (serve_protocol_test, server_test, serve_smoke_test), whose smoke test
 # the tsan leg runs against the real `dfence serve` binary: submit /
-# dispatcher / transport threads plus SIGTERM drain under TSan.
+# dispatcher / transport threads plus SIGTERM drain under TSan. The
+# flight-recorder suite rides along the same way: the
+# flight_recorder_differential_test read-only gate and bench_obs_smoke
+# (obs_overhead --smoke, which validates BENCH_obs.json; the <=2%
+# recorder-off overhead budget is enforced by the full `obs_overhead`
+# run, not here — timing bars are meaningless under sanitizers).
 
 foreach(preset IN ITEMS verify-default verify-sanitize verify-tsan)
   message(STATUS "==== workflow: ${preset} ====")

@@ -3,6 +3,7 @@
 #include "exec/RoundRunner.h"
 
 #include "obs/Obs.h"
+#include "vm/ExecContext.h"
 
 #include <cassert>
 
@@ -41,6 +42,7 @@ RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
                            const RoundCaches &Caches,
                            const harness::Deadline &DL) {
   obs::TraceSink *Trace = obs::traceOrNull(Obs);
+  obs::Profiler *Prof = obs::profilerOrNull(Obs);
   assert(!Caches.Check || Caches.Check->numShards() >= Pool.jobs());
   RoundResult RR;
   RR.Slots.resize(Plan.Slots.size());
@@ -50,7 +52,8 @@ RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
         const ExecPlan &EP = Plan.Slots[I];
         assert(EP.ClientIdx < P.numClients());
         RoundSlot &S = RR.Slots[I];
-        OBS_SPAN(SlotSpan, Trace, "slot", "exec", currentWorker());
+        unsigned Worker = currentWorker();
+        OBS_SPAN(SlotSpan, Trace, "slot", "exec", Worker);
         // Cross-round cache: a cacheable slot whose exact key was run
         // before (against this module generation) skips the execution
         // and the check both; the summary already embeds the verdict.
@@ -65,12 +68,30 @@ RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
             return;
           }
         }
+        // Flight recorder: attach (or detach) this worker's phase shard
+        // before every slot — the persistent context outlives rounds, so
+        // a run without a profiler must clear a previously attached
+        // shard. Exec wall time is measured here; the in-loop phases
+        // accumulate inside run(), and ExecOther absorbs the remainder
+        // at flush so the per-execution attribution is total.
+        vm::ExecContext &EC = Pool.workerContext(Worker);
+        obs::ProfilerShard *Shard =
+            Prof ? &Prof->shard(Worker) : nullptr;
+        EC.setProfilerShard(Shard);
+        std::chrono::steady_clock::time_point ProfT0{};
+        if (Shard) {
+          Shard->reset();
+          ProfT0 = std::chrono::steady_clock::now();
+        }
         // Each slot runs on its pool worker's persistent context; the
         // context carries the arenas across executions, so steady-state
         // slots are reset-and-go rather than build-and-tear-down.
-        S.SE = harness::runSupervised(
-            P, EP.ClientIdx, Pool.workerContext(currentWorker()), EP.EC,
-            Policy, DL);
+        S.SE = harness::runSupervised(P, EP.ClientIdx, EC, EP.EC, Policy,
+                                      DL);
+        uint64_t ExecWallNs =
+            Shard ? obs::ProfilerShard::elapsedNs(
+                        ProfT0, std::chrono::steady_clock::now())
+                  : 0;
         // Discarded executions are counted, never judged; everything else
         // is judged here so the (possibly exponential) spec check also
         // runs off the merge thread. The check cache memoizes verdicts of
@@ -78,19 +99,28 @@ RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
         // trusted only after the full history compare inside lookup, so
         // memoization can never alter a verdict, only skip recomputing it.
         if (!S.SE.Discarded && Check) {
+          std::chrono::steady_clock::time_point CheckT0{};
+          if (Shard)
+            CheckT0 = std::chrono::steady_clock::now();
           const vm::ExecResult &R = S.SE.Result;
           if (Caches.Check && R.Out == vm::Outcome::Completed) {
-            unsigned Shard = currentWorker();
-            if (const std::string *V = Caches.Check->lookup(Shard, R.Hist)) {
+            if (const std::string *V =
+                    Caches.Check->lookup(Worker, R.Hist)) {
               S.Violation = *V;
             } else {
               S.Violation = Check(R);
-              Caches.Check->insert(Shard, R.Hist, S.Violation);
+              Caches.Check->insert(Worker, R.Hist, S.Violation);
             }
           } else {
             S.Violation = Check(R);
           }
+          if (Shard)
+            Shard->addNs(obs::Phase::SpecCheck,
+                         obs::ProfilerShard::elapsedNs(
+                             CheckT0, std::chrono::steady_clock::now()));
         }
+        if (Shard)
+          Prof->flushExec(*Shard, ExecWallNs, Worker);
         if (Trace) {
           SlotSpan.arg("index", static_cast<uint64_t>(I));
           SlotSpan.arg("seed", EP.EC.Seed);

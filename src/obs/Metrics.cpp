@@ -181,6 +181,7 @@ Json histogramJson(const Histogram &H) {
   J.set("min", Json::number(H.minimum()));
   J.set("max", Json::number(H.maximum()));
   J.set("p50", Json::number(H.percentile(0.5)));
+  J.set("p90", Json::number(H.percentile(0.9)));
   J.set("p95", Json::number(H.percentile(0.95)));
   J.set("p99", Json::number(H.percentile(0.99)));
   Json Buckets = Json::array();

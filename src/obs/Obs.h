@@ -23,6 +23,7 @@
 
 #include "obs/Log.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/Trace.h"
 
 namespace dfence::obs {
@@ -31,6 +32,11 @@ struct ObsContext {
   Registry *Metrics = nullptr;
   TraceSink *Trace = nullptr;
   Logger *Log = nullptr;
+  /// The flight recorder's phase profiler (see Profiler.h). Null — the
+  /// default — keeps every phase hook at a branch on a null shard
+  /// pointer: no clock reads. Requires Metrics (the profiler's series
+  /// live in that registry).
+  Profiler *Prof = nullptr;
 };
 
 inline Counter *counterOrNull(const ObsContext *O,
@@ -53,6 +59,10 @@ inline TraceSink *traceOrNull(const ObsContext *O) {
 
 inline Logger *logOrNull(const ObsContext *O) {
   return O ? O->Log : nullptr;
+}
+
+inline Profiler *profilerOrNull(const ObsContext *O) {
+  return O ? O->Prof : nullptr;
 }
 
 } // namespace dfence::obs

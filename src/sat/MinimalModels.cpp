@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace dfence;
 using namespace dfence::sat;
@@ -60,6 +61,16 @@ void fillStats(SolveStats *Stats, const MonotoneCnf &F, const Solver &S,
 std::vector<std::vector<Var>>
 sat::enumerateMinimalModels(const MonotoneCnf &F, size_t MaxModels,
                             bool &Unsat, SolveStats *Stats) {
+  // Wall-clock effort accounting for the flight recorder; stamped into
+  // Stats on every exit path below.
+  auto T0 = std::chrono::steady_clock::now();
+  auto StampNs = [&](SolveStats *St) {
+    if (St)
+      St->SolveNs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - T0)
+              .count());
+  };
   Unsat = false;
   Solver S;
   for (unsigned V = 0; V != F.NumVars; ++V)
@@ -72,6 +83,7 @@ sat::enumerateMinimalModels(const MonotoneCnf &F, size_t MaxModels,
     if (!S.addClause(std::move(Lits))) {
       Unsat = true;
       fillStats(Stats, F, S, 0);
+      StampNs(Stats);
       return {};
     }
   }
@@ -101,6 +113,7 @@ sat::enumerateMinimalModels(const MonotoneCnf &F, size_t MaxModels,
   if (Models.empty() && !S.okay())
     Unsat = true;
   fillStats(Stats, F, S, Models.size());
+  StampNs(Stats);
   return Models;
 }
 

@@ -38,6 +38,11 @@ struct SolveStats {
   uint64_t Conflicts = 0;    ///< Solver conflicts across all solve() calls.
   uint64_t Decisions = 0;    ///< Solver decisions across all solve() calls.
   uint64_t Propagations = 0; ///< Solver propagations across all calls.
+  /// Wall-clock nanoseconds the enumeration took. Machine-dependent —
+  /// feeds the flight recorder's sat_solve phase histogram and the round
+  /// log, never a counter or a canonical result field (everything above
+  /// is deterministic given the formula; this is not).
+  uint64_t SolveNs = 0;
 };
 
 /// Enumerates all inclusion-minimal models via SAT + blocking clauses

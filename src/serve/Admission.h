@@ -26,6 +26,7 @@
 #include "serve/Protocol.h"
 #include "support/Json.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -47,6 +48,9 @@ struct Pending {
   /// thread.
   std::function<void(Json)> Respond;
   uint64_t Seq = 0; ///< Admission order, for logs and crash reports.
+  /// Stamped just before push(): the queue-wait histogram measures from
+  /// here to the moment the dispatcher picks the request up.
+  std::chrono::steady_clock::time_point Enqueued{};
 };
 
 class AdmissionQueue {

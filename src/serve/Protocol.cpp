@@ -59,6 +59,8 @@ std::optional<ServeRequest> serve::parseRequest(const Json &J,
     R.Kind = ServeRequest::Op::Ping;
   else if (OpS == "stats")
     R.Kind = ServeRequest::Op::Stats;
+  else if (OpS == "status")
+    R.Kind = ServeRequest::Op::Status;
   else if (OpS == "shutdown")
     R.Kind = ServeRequest::Op::Shutdown;
   else {
@@ -325,12 +327,27 @@ Json serve::resultToJson(const synth::SynthResult &R, bool IncludeModule) {
     J.set("firstViolation", Json::string(R.FirstViolation));
   Json Rounds = Json::array();
   for (const synth::RoundStats &S : R.RoundLog) {
+    // Only the deterministic, cache-invariant subset of RoundStats may
+    // appear here (canonical-result rule): wall-clock fields and cache
+    // hit counts travel in the round log file / "cache" sibling instead.
     Json RJ = Json::object();
     RJ.set("round", Json::number(static_cast<uint64_t>(S.Round)));
     RJ.set("executions", Json::number(S.Executions));
     RJ.set("violations", Json::number(S.Violations));
+    RJ.set("newPredicates", Json::number(S.NewPredicates));
+    RJ.set("distinctPredicates", Json::number(S.DistinctPredicates));
     RJ.set("fences",
            Json::number(static_cast<uint64_t>(S.FencesEnforced)));
+    RJ.set("cleanStreak",
+           Json::number(static_cast<uint64_t>(S.CleanStreak)));
+    RJ.set("truncated", Json::boolean(S.Truncated));
+    Json Sat = Json::object();
+    Sat.set("clauses", Json::number(S.SatClauses));
+    Sat.set("models", Json::number(S.SatModels));
+    Sat.set("conflicts", Json::number(S.SatConflicts));
+    Sat.set("decisions", Json::number(S.SatDecisions));
+    Sat.set("propagations", Json::number(S.SatPropagations));
+    RJ.set("sat", std::move(Sat));
     Rounds.push(std::move(RJ));
   }
   J.set("roundLog", std::move(Rounds));

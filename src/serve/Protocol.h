@@ -13,6 +13,8 @@
 //   bench    {"op":"bench","bench":<table-2 name>, knobs...}
 //   ping     liveness probe; answered inline
 //   stats    daemon statistics snapshot; answered inline
+//   status   live introspection snapshot (queue, in-flight request with
+//            elapsed time); answered inline even while work is running
 //   shutdown begin graceful drain; answered inline
 //
 // Response statuses:
@@ -50,7 +52,7 @@ inline constexpr const char *ProtoName = "dfence-serve-v1";
 /// One parsed request. Knob defaults equal the CLI's, so an empty knob
 /// set means "what `dfence synth file.mc --client DSL` would do".
 struct ServeRequest {
-  enum class Op : uint8_t { Synth, Bench, Ping, Stats, Shutdown };
+  enum class Op : uint8_t { Synth, Bench, Ping, Stats, Status, Shutdown };
 
   std::string Id; ///< Caller-chosen correlation id; echoed verbatim.
   Op Kind = Op::Ping;

@@ -55,7 +55,8 @@ Server::Server(const ServeConfig &C)
       RetriesC(Reg.counter("serve_request_retries_total")),
       QueueDepthG(Reg.gauge("serve_queue_depth")),
       InflightG(Reg.gauge("serve_inflight")),
-      RequestUsH(Reg.histogram("serve_request_duration_us")) {
+      RequestUsH(Reg.histogram("serve_request_duration_us")),
+      QueueWaitUsH(Reg.histogram("serve_queue_wait_us")) {
   if (!Cfg.CrashDir.empty())
     ::mkdir(Cfg.CrashDir.c_str(), 0755); // EEXIST is fine.
   Paused = Cfg.StartPaused;
@@ -94,6 +95,11 @@ void Server::waitWhilePaused() {
   PauseCv.wait(L, [&] { return !Paused; });
 }
 
+obs::Histogram &Server::outcomeHistogram(const char *Kind,
+                                         const char *Outcome) {
+  return Reg.histogram(std::string("serve_") + Kind + "_us_" + Outcome);
+}
+
 void Server::submit(const std::string &Line,
                     std::function<void(Json)> Respond) {
   RequestsC.add(1);
@@ -126,6 +132,16 @@ void Server::submit(const std::string &Line,
     Respond(std::move(Resp));
     return;
   }
+  case ServeRequest::Op::Status: {
+    // Answered inline on the submitting thread — never queued — so the
+    // snapshot is available even while the dispatcher is mid-request.
+    Json Resp = Json::object();
+    Resp.set("id", Json::string(R->Id));
+    Resp.set("status", Json::string("ok"));
+    Resp.set("server", statusJson());
+    Respond(std::move(Resp));
+    return;
+  }
   case ServeRequest::Op::Shutdown: {
     beginDrain();
     Json Resp = Json::object();
@@ -149,10 +165,12 @@ void Server::submit(const std::string &Line,
   P.DL = harness::Deadline::after(DeadlineMs);
   P.Respond = std::move(Respond);
   P.Seq = Seq.fetch_add(1, std::memory_order_relaxed);
+  P.Enqueued = std::chrono::steady_clock::now();
 
   // push moves from P only on admission; on rejection P (and its
   // Respond) are still ours, so every shed is an explicit structured
-  // response — never a silent drop.
+  // response — never a silent drop. Rejected requests never run, so
+  // their end-to-end latency (≈0) is recorded here, split by outcome.
   switch (Queue.push(P)) {
   case AdmissionQueue::Verdict::Admitted:
     AdmittedC.add(1);
@@ -160,10 +178,12 @@ void Server::submit(const std::string &Line,
     return;
   case AdmissionQueue::Verdict::QueueFull:
     ShedC.add(1);
+    outcomeHistogram("e2e", "shed").observe(0);
     P.Respond(makeRejectedResponse(P.Req.Id, "queue_full"));
     return;
   case AdmissionQueue::Verdict::Draining:
     DrainRejC.add(1);
+    outcomeHistogram("e2e", "draining").observe(0);
     P.Respond(makeRejectedResponse(P.Req.Id, "draining"));
     return;
   }
@@ -180,7 +200,19 @@ void Server::dispatcherMain() {
       return; // Draining and empty: clean exit.
     QueueDepthG.set(static_cast<double>(Queue.depth()));
     InflightG.set(1);
+    {
+      std::lock_guard<std::mutex> L(ActiveMu);
+      Active = ActiveInfo{P->Seq, P->Req.Id,
+                          P->Req.Kind == ServeRequest::Op::Bench
+                              ? "bench"
+                              : "synth",
+                          std::chrono::steady_clock::now()};
+    }
     Json Resp = runJob(*P);
+    {
+      std::lock_guard<std::mutex> L(ActiveMu);
+      Active.reset();
+    }
     InflightG.set(0);
     P->Respond(std::move(Resp));
   }
@@ -191,15 +223,40 @@ Json Server::runJob(Pending &P) {
   OBS_SPAN(S, obs::traceOrNull(Obs), "request", "serve", 0);
   S.arg("id", P.Req.Id);
 
+  // Queue wait is outcome-independent (the request had no outcome while
+  // it waited); run and end-to-end time are split by outcome so tail
+  // latency of healthy requests is not polluted by timeouts/degrades.
+  double QueueUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                       Start - P.Enqueued)
+                       .count();
+  QueueWaitUsH.observe(QueueUs);
+
   auto Finish = [&](Json Resp, const char *Status) {
     auto End = std::chrono::steady_clock::now();
     double Us = std::chrono::duration_cast<std::chrono::microseconds>(
                     End - Start)
                     .count();
+    double E2eUs = QueueUs + Us;
     RequestUsH.observe(Us);
+    outcomeHistogram("run", Status).observe(Us);
+    outcomeHistogram("e2e", Status).observe(E2eUs);
     Resp.set("elapsedMs", Json::number(static_cast<uint64_t>(Us / 1000)));
     CompletedC.add(1);
     S.arg("status", Status);
+    if (Cfg.SlowMs && E2eUs / 1000.0 > Cfg.SlowMs) {
+      if (obs::Logger *Log = obs::logOrNull(Obs))
+        Log->warn(
+            "serve", "slow request",
+            {{"id", P.Req.Id},
+             {"seq", std::to_string(P.Seq)},
+             {"op", P.Req.Kind == ServeRequest::Op::Bench ? "bench"
+                                                          : "synth"},
+             {"status", Status},
+             {"queueMs",
+              std::to_string(static_cast<uint64_t>(QueueUs / 1000))},
+             {"runMs", std::to_string(static_cast<uint64_t>(Us / 1000))},
+             {"thresholdMs", std::to_string(Cfg.SlowMs)}});
+    }
     return Resp;
   };
 
@@ -349,6 +406,38 @@ std::string Server::writeCrashReport(const Pending &P,
     return "";
   Out << J.dump(2) << "\n";
   return Path;
+}
+
+Json Server::statusJson() const {
+  Json J = Json::object();
+  J.set("proto", Json::string(ProtoName));
+  J.set("jobs", Json::number(static_cast<uint64_t>(Pool.jobs())));
+  J.set("queueDepth",
+        Json::number(static_cast<uint64_t>(Queue.depth())));
+  J.set("queueCapacity",
+        Json::number(static_cast<uint64_t>(Queue.capacity())));
+  J.set("draining", Json::boolean(Queue.draining()));
+  J.set("slowMs", Json::number(static_cast<uint64_t>(Cfg.SlowMs)));
+  Json Arr = Json::array();
+  {
+    std::lock_guard<std::mutex> L(ActiveMu);
+    if (Active) {
+      Json A = Json::object();
+      A.set("seq", Json::number(Active->Seq));
+      A.set("id", Json::string(Active->Id));
+      A.set("op", Json::string(Active->Op));
+      uint64_t Ms = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - Active->Start)
+              .count());
+      A.set("elapsedMs", Json::number(Ms));
+      Arr.push(std::move(A));
+    }
+  }
+  J.set("inflight",
+        Json::number(static_cast<uint64_t>(Arr.items().size())));
+  J.set("active", std::move(Arr));
+  return J;
 }
 
 Json Server::statsJson() const {

@@ -25,8 +25,9 @@
 //
 // Threading: submit() may be called from any one transport thread;
 // responses for admitted work are delivered on the dispatcher thread;
-// inline ops (ping/stats/shutdown and every rejection) are answered on
-// the submitting thread before submit() returns.
+// inline ops (ping/stats/status/shutdown and every rejection) are
+// answered on the submitting thread before submit() returns — which is
+// what makes "status" usable as live introspection while a request runs.
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,9 +41,11 @@
 #include "serve/Protocol.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -80,6 +83,10 @@ struct ServeConfig {
   /// Optional external observability context. Null: the server uses its
   /// own private metrics registry (reachable via registry()).
   const obs::ObsContext *Obs = nullptr;
+  /// Slow-request threshold: a request whose end-to-end time (queue wait
+  /// included) exceeds this emits one structured warn log line with the
+  /// request id, op, outcome and timing breakdown. 0 disables.
+  uint32_t SlowMs = 0;
 };
 
 class Server {
@@ -112,6 +119,12 @@ public:
 
   /// Daemon statistics snapshot (the "stats" op's payload).
   Json statsJson() const;
+
+  /// Live introspection snapshot (the "status" op's payload): queue
+  /// depth/capacity, drain state, and the active-request listing with
+  /// per-request elapsed milliseconds. Answered inline on the submitting
+  /// thread, so it works mid-request by construction.
+  Json statusJson() const;
 
   /// The metrics registry serve_* metrics land in (the external one
   /// when ServeConfig::Obs carries a registry, else the private one) —
@@ -147,7 +160,24 @@ private:
   obs::Counter &RequestsC, &AdmittedC, &ShedC, &DrainRejC, &CompletedC,
       &TimeoutsC, &DegradedC, &ErrorsC, &CrashesC, &RetriesC;
   obs::Gauge &QueueDepthG, &InflightG;
-  obs::Histogram &RequestUsH;
+  obs::Histogram &RequestUsH, &QueueWaitUsH;
+  /// Per-outcome latency split: the registry has no label support, so
+  /// the outcome rides in the metric name (serve_run_us_ok, ..._timeout,
+  /// ..._degraded, ..._error; serve_e2e_us_* adds _shed/_draining for
+  /// requests rejected before running). Resolved on first use.
+  obs::Histogram &outcomeHistogram(const char *Kind, const char *Outcome);
+
+  /// What the dispatcher is running right now (at most one request; the
+  /// daemon runs admitted work serially). Read by statusJson() from the
+  /// submitting thread, hence the mutex.
+  struct ActiveInfo {
+    uint64_t Seq = 0;
+    std::string Id;
+    const char *Op = "synth";
+    std::chrono::steady_clock::time_point Start{};
+  };
+  mutable std::mutex ActiveMu;
+  std::optional<ActiveInfo> Active;
 
   std::mutex PauseMu;
   std::condition_variable PauseCv;

@@ -7,6 +7,7 @@
 #include "exec/ExecPool.h"
 #include "exec/RoundRunner.h"
 #include "harness/Harness.h"
+#include "obs/Convergence.h"
 #include "obs/Obs.h"
 #include "sat/MinimalModels.h"
 #include "spec/Checkers.h"
@@ -16,6 +17,7 @@
 #include "vm/Prepared.h"
 
 #include <cctype>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <optional>
@@ -274,6 +276,12 @@ SynthResult synth::synthesize(const ir::Module &M,
       obs::counterOrNull(Cfg.Obs, "exec_dispatch_specialized");
   obs::Counter *DispatchGenC =
       obs::counterOrNull(Cfg.Obs, "exec_dispatch_generic");
+  // Flight recorder (optional). Exec-side phases accumulate on the round
+  // workers; the merge-thread phases (sat_solve, enforce, fold) and the
+  // per-round remainder are observed below. Phase times are wall-clock
+  // and live in histograms only — never counters — so the deterministic
+  // counter snapshot stays byte-identical with the recorder on or off.
+  obs::Profiler *Prof = obs::profilerOrNull(Cfg.Obs);
 
   OBS_SPAN(RunSpan, Trace, "synthesize", "synth", 0);
   RunSpan.arg("model", std::string(vm::memModelName(Cfg.Model)));
@@ -393,6 +401,52 @@ SynthResult synth::synthesize(const ir::Module &M,
     RoundStats Stats;
     Stats.Round = Round;
     harness::Stopwatch RoundWatch;
+    // Flight recorder bookkeeping: wall-clock bracket of the round and
+    // the profiler's attribution watermark, so the round remainder
+    // (round_other) can absorb whatever no phase claimed. Finalizes and
+    // publishes the round's stats on every exit path of the loop body.
+    auto RoundT0 = std::chrono::steady_clock::now();
+    uint64_t ProfBase = Prof ? Prof->totalNs() : 0;
+    auto FinishRound = [&](RoundStats &S) {
+      S.RoundWallUs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - RoundT0)
+              .count());
+      S.CleanStreak = CleanRounds;
+      S.DistinctPredicates = VarPred.size();
+      if (Prof) {
+        uint64_t WallNs = S.RoundWallUs * 1000;
+        uint64_t Attr = Prof->totalNs() - ProfBase;
+        // At --jobs > 1 worker phases overlap the wall clock and Attr
+        // can exceed it; the remainder is then simply zero.
+        Prof->observePhaseNs(obs::Phase::RoundOther,
+                             WallNs > Attr ? WallNs - Attr : 0);
+      }
+      if (Cfg.RoundLog) {
+        obs::RoundRecord RR;
+        RR.Round = S.Round;
+        RR.Executions = S.Executions;
+        RR.Violations = S.Violations;
+        RR.NewPredicates = S.NewPredicates;
+        RR.DistinctPredicates = S.DistinctPredicates;
+        RR.FencesEnforced = S.FencesEnforced;
+        RR.CleanStreak = S.CleanStreak;
+        RR.Truncated = S.Truncated;
+        RR.CheckCacheHits = S.CheckCacheHits;
+        RR.CheckCacheMisses = S.CheckCacheMisses;
+        RR.ExecCacheHits = S.ExecCacheHits;
+        RR.ExecCacheMisses = S.ExecCacheMisses;
+        RR.SatClauses = S.SatClauses;
+        RR.SatModels = S.SatModels;
+        RR.SatConflicts = S.SatConflicts;
+        RR.SatDecisions = S.SatDecisions;
+        RR.SatPropagations = S.SatPropagations;
+        RR.RoundWallUs = S.RoundWallUs;
+        RR.SatSolveUs = S.SatSolveUs;
+        Cfg.RoundLog->write(RR);
+      }
+      Result.RoundLog.push_back(std::move(S));
+    };
     harness::Budget RoundBudget{Cfg.RoundWallMs};
     harness::Deadline RoundDL = harness::Deadline::sooner(
         RunDL, harness::Deadline::after(Cfg.RoundWallMs));
@@ -455,6 +509,7 @@ SynthResult synth::synthesize(const ir::Module &M,
     // is a miss, every later duplicate a hit, collisions excluded by the
     // same full-history compare the real cache performs.
     std::unordered_map<uint64_t, size_t> SeenHists;
+    auto FoldT0 = std::chrono::steady_clock::now();
     OBS_SPAN(FoldSpan, Trace, "fold", "synth", 0);
     for (size_t I = 0; I != RR.Ran; ++I) {
       const exec::ExecPlan &P = Plan.Slots[I];
@@ -479,9 +534,11 @@ SynthResult synth::synthesize(const ir::Module &M,
         BufHighG->max(R.Stats.BufHighWater);
       if (RR.Slots[I].FromExecCache) {
         ++Result.ExecCacheHits;
+        ++Stats.ExecCacheHits;
         OBS_COUNT(CacheExecHitsC, 1);
       } else if (P.Cacheable) {
         ++Result.ExecCacheMisses;
+        ++Stats.ExecCacheMisses;
         OBS_COUNT(CacheExecMissesC, 1);
       }
       if (CheckC && !RR.Slots[I].FromExecCache && !SE.Discarded &&
@@ -489,9 +546,11 @@ SynthResult synth::synthesize(const ir::Module &M,
         auto [It, New] = SeenHists.try_emplace(R.Hist.Hash, I);
         if (!New && RR.Slots[It->second].SE.Result.Hist == R.Hist) {
           ++Result.CheckCacheHits;
+          ++Stats.CheckCacheHits;
           OBS_COUNT(CacheCheckHitsC, 1);
         } else {
           ++Result.CheckCacheMisses;
+          ++Stats.CheckCacheMisses;
           OBS_COUNT(CacheCheckMissesC, 1);
         }
       }
@@ -539,6 +598,12 @@ SynthResult synth::synthesize(const ir::Module &M,
     }
     FoldSpan.arg("ran", static_cast<uint64_t>(RR.Ran));
     FoldSpan.end();
+    Stats.Truncated = Truncated;
+    if (Prof)
+      Prof->observePhaseNs(
+          obs::Phase::Fold,
+          obs::ProfilerShard::elapsedNs(
+              FoldT0, std::chrono::steady_clock::now()));
     RoundSpan.arg("executions", Stats.Executions);
     RoundSpan.arg("violations", Stats.Violations);
     if (Log)
@@ -553,7 +618,7 @@ SynthResult synth::synthesize(const ir::Module &M,
     if (OutOfTime) {
       Stats.FencesEnforced =
           static_cast<unsigned>(collectSynthesizedFences(Cur).size());
-      Result.RoundLog.push_back(std::move(Stats));
+      FinishRound(Stats);
       Result.TimedOut = true;
       Degrade(strformat("total wall-clock budget of %u ms exhausted "
                         "after %llu executions",
@@ -566,14 +631,16 @@ SynthResult synth::synthesize(const ir::Module &M,
     if (Stats.Violations == 0) {
       Stats.FencesEnforced =
           static_cast<unsigned>(collectSynthesizedFences(Cur).size());
-      Result.RoundLog.push_back(std::move(Stats));
-      if (Truncated) {
-        // A cut-short round with no violations proves nothing; do not
-        // let it count toward (or keep) a convergence streak.
+      // A cut-short round with no violations proves nothing; do not let
+      // it count toward (or keep) a convergence streak. The streak is
+      // updated before FinishRound so the round log line reports it.
+      if (Truncated)
         CleanRounds = 0;
-        continue;
-      }
-      if (++CleanRounds >= std::max(1u, Cfg.CleanRoundsRequired)) {
+      else
+        ++CleanRounds;
+      FinishRound(Stats);
+      if (!Truncated &&
+          CleanRounds >= std::max(1u, Cfg.CleanRoundsRequired)) {
         Result.Converged = true;
         break;
       }
@@ -584,11 +651,11 @@ SynthResult synth::synthesize(const ir::Module &M,
       // Every violation this round had an empty repair disjunction: the
       // misbehaviour is not caused by reordering ("cannot be fixed").
       Result.CannotFix = true;
-      Result.RoundLog.push_back(std::move(Stats));
+      FinishRound(Stats);
       break;
     }
     if (RepairRounds >= Cfg.MaxRepairRounds) {
-      Result.RoundLog.push_back(std::move(Stats));
+      FinishRound(Stats);
       Degrade(strformat("repair budget of %u rounds exhausted with "
                         "violations remaining",
                         Cfg.MaxRepairRounds));
@@ -597,6 +664,7 @@ SynthResult synth::synthesize(const ir::Module &M,
 
     // Build Φ = conjunction of the per-execution disjunctions and find a
     // minimal satisfying assignment.
+    size_t PredsBefore = VarPred.size();
     sat::MonotoneCnf F;
     for (const std::vector<OrderingPredicate> &Disj : ViolationRepairs) {
       std::vector<sat::Var> Clause;
@@ -613,6 +681,7 @@ SynthResult synth::synthesize(const ir::Module &M,
     }
     F.NumVars = static_cast<unsigned>(VarPred.size());
     Result.DistinctPredicates = VarPred.size();
+    Stats.NewPredicates = VarPred.size() - PredsBefore;
 
     bool Unsat = false;
     sat::SolveStats SS;
@@ -629,10 +698,18 @@ SynthResult synth::synthesize(const ir::Module &M,
     OBS_COUNT(SatConflictsC, SS.Conflicts);
     OBS_COUNT(SatDecisionsC, SS.Decisions);
     OBS_COUNT(SatPropsC, SS.Propagations);
+    Stats.SatClauses = SS.Clauses;
+    Stats.SatModels = SS.Models;
+    Stats.SatConflicts = SS.Conflicts;
+    Stats.SatDecisions = SS.Decisions;
+    Stats.SatPropagations = SS.Propagations;
+    Stats.SatSolveUs = SS.SolveNs / 1000;
+    if (Prof)
+      Prof->observePhaseNs(obs::Phase::SatSolve, SS.SolveNs);
     if (Unsat) {
       // A positive CNF with non-empty clauses is always satisfiable, so
       // this is a solver defect — degrade rather than enforce garbage.
-      Result.RoundLog.push_back(std::move(Stats));
+      FinishRound(Stats);
       Degrade("SAT solver reported a positive repair formula "
               "unsatisfiable (solver defect)");
       break;
@@ -643,6 +720,7 @@ SynthResult synth::synthesize(const ir::Module &M,
     for (sat::Var V : Chosen)
       ChosenPreds.push_back(VarPred[V]);
     {
+      auto EnforceT0 = std::chrono::steady_clock::now();
       OBS_SPAN(EnforceSpan, Trace, "enforce", "synth", 0);
       EnforceSpan.arg("predicates",
                       static_cast<uint64_t>(ChosenPreds.size()));
@@ -657,6 +735,11 @@ SynthResult synth::synthesize(const ir::Module &M,
       Prepared.emplace(Cur, Clients);
       if (FP.Cacheable)
         FP.ModuleFp = cache::fingerprintModule(Cur);
+      if (Prof)
+        Prof->observePhaseNs(
+            obs::Phase::Enforce,
+            obs::ProfilerShard::elapsedNs(
+                EnforceT0, std::chrono::steady_clock::now()));
     }
     ++RepairRounds;
     OBS_COUNT(RepairRoundsC, 1);
@@ -669,7 +752,7 @@ SynthResult synth::synthesize(const ir::Module &M,
                           "(%u fences total after merge)",
                           Round, ChosenPreds.size(),
                           Stats.FencesEnforced));
-    Result.RoundLog.push_back(std::move(Stats));
+    FinishRound(Stats);
   }
 
   // MaxRounds ran out (or a truncated-round stall) without a verdict.

@@ -26,6 +26,7 @@
 
 namespace dfence::obs {
 struct ObsContext;
+class RoundLogWriter;
 } // namespace dfence::obs
 
 namespace dfence::cache {
@@ -167,7 +168,21 @@ struct SynthConfig {
   /// on the merge thread in execution-index order, or count
   /// jobs-invariant events); wall-clock readings go to gauges and
   /// histograms only.
+  ///
+  /// When Obs->Prof carries the flight recorder's profiler, every round
+  /// additionally attributes its wall time across the phase histograms
+  /// (obs_phase_*_us) and counts per-opcode dispatch steps. Profiling is
+  /// never a cache key and never changes the SynthResult — the
+  /// FlightRecorderDifferentialTest pins canonical bytes identical with
+  /// the recorder on or off.
   const obs::ObsContext *Obs = nullptr;
+
+  /// Optional convergence round log (`--round-log FILE`): one JSON line
+  /// per completed round (see obs/Convergence.h for the record schema).
+  /// Not owned; must outlive synthesize(). Written on the merge thread
+  /// as each round finishes, so a consumer tailing the file sees rounds
+  /// live. Null — the default — emits nothing.
+  obs::RoundLogWriter *RoundLog = nullptr;
 };
 
 /// Overall disposition of a synthesis run, most desirable first.
@@ -181,13 +196,43 @@ enum class SynthStatus : uint8_t {
 
 const char *synthStatusName(SynthStatus S);
 
-/// Per-round synthesis statistics (drives the Fig. 4 reproduction).
+/// Per-round synthesis statistics (drives the Fig. 4 reproduction and
+/// the flight recorder's convergence telemetry). Fields up to and
+/// including SatPropagations are deterministic — byte-identical at any
+/// --jobs width and either dispatch mode, and (except the cache hit/miss
+/// split) across cache modes; the canonical result serialization
+/// (serve::resultToJson) carries only that deterministic, cache-invariant
+/// subset. The wall-clock fields at the end are machine-dependent and
+/// only ever reach the round log file and the phase histograms.
 struct RoundStats {
   unsigned Round = 0;
   uint64_t Executions = 0;
   uint64_t Violations = 0;
   unsigned FencesEnforced = 0; ///< Fences present after this round.
   std::string SampleViolation;
+
+  //===--- Convergence telemetry (the fuzzer/bandit reward signal) ---===//
+
+  uint64_t NewPredicates = 0;      ///< Distinct predicates Φ gained.
+  uint64_t DistinctPredicates = 0; ///< |Φ| after this round.
+  unsigned CleanStreak = 0; ///< Consecutive clean rounds incl. this one.
+  bool Truncated = false;   ///< Cut short by a budget/deadline.
+  /// Per-round cache effectiveness (jobs-invariant; cache-mode variant —
+  /// the run-level totals' per-round split).
+  uint64_t CheckCacheHits = 0;
+  uint64_t CheckCacheMisses = 0;
+  uint64_t ExecCacheHits = 0;
+  uint64_t ExecCacheMisses = 0;
+  /// SAT effort of this round's solve; all zero when no solve ran.
+  uint64_t SatClauses = 0;
+  uint64_t SatModels = 0;
+  uint64_t SatConflicts = 0;
+  uint64_t SatDecisions = 0;
+  uint64_t SatPropagations = 0;
+
+  // Wall-clock (machine-dependent; round log + histograms only).
+  uint64_t SatSolveUs = 0;
+  uint64_t RoundWallUs = 0;
 };
 
 /// The outcome of a synthesis run.

@@ -29,6 +29,7 @@
 
 #include "vm/ExecContext.h"
 
+#include "obs/Profiler.h"
 #include "support/Diagnostics.h"
 #include "support/StringUtils.h"
 
@@ -439,6 +440,12 @@ template <class MP> bool ExecContext::stepThreadT(Thread &T) {
   const PreparedFunc &PF = P->func(F.F);
   decltype(auto) B = bufOf<MP>(T);
 
+  // Flight recorder: per-opcode step counts come straight off the
+  // prepared dispatch stream — one array increment, both dispatch modes
+  // (they share this template). Null shard = no work at all.
+  if (PShard)
+    ++PShard->OpSteps[PF.OpIdx[F.Ip]];
+
   // Dispatch off the prepared OpIdx stream (one dense byte per Body
   // position) instead of the fat Instr record. The jump-table order must
   // match ir::Opcode exactly; each case ends in `goto Advance` (the
@@ -740,6 +747,13 @@ Advance:
 }
 
 template <class MP> void ExecContext::mainLoopT() {
+  // Flight-recorder phase attribution. A null shard (the default) costs
+  // exactly these pointer tests per iteration — zero clock reads; an
+  // attached shard brackets the three sections of an iteration (view
+  // refresh, scheduler pick, step-or-flush) with steady-clock reads.
+  using ProfClock = std::chrono::steady_clock;
+  obs::ProfilerShard *PS = PShard;
+  ProfClock::time_point PT0{}, PT1{}, PT2{};
   while (!Halted) {
     if (Steps >= Cfg.MaxSteps) {
       violate(Outcome::StepLimit, "execution exceeded step limit");
@@ -747,6 +761,8 @@ template <class MP> void ExecContext::mainLoopT() {
     }
     if ((Steps & 1023) == 0 && deadlineExpired())
       return;
+    if (PS)
+      PT0 = ProfClock::now();
 
     // Views are updated in place (Views[Tid] describes thread Tid): the
     // vector and its BufferedVars keep their capacities across steps.
@@ -775,17 +791,31 @@ template <class MP> void ExecContext::mainLoopT() {
         V.BufferedVars.clear();
       }
     }
+    if (PS) {
+      PT1 = ProfClock::now();
+      PS->addNs(obs::Phase::ViewRefresh,
+                obs::ProfilerShard::elapsedNs(PT0, PT1));
+    }
     if (!AnyWork)
       return; // Completed.
 
-    if (maybeFlushStormT<MP>())
+    if (maybeFlushStormT<MP>()) {
+      if (PS)
+        PS->addNs(obs::Phase::BufferFlush,
+                  obs::ProfilerShard::elapsedNs(PT1, ProfClock::now()));
       continue;
+    }
 
     sched::Action A = Sched->pick(Views, R);
     if (Cfg.Faults)
       A = applyForcedSwitch(A);
     if (Cfg.RecordTrace)
       Result->Trace.push_back(A);
+    if (PS) {
+      PT2 = ProfClock::now();
+      PS->addNs(obs::Phase::SchedPick,
+                obs::ProfilerShard::elapsedNs(PT1, PT2));
+    }
     // Validate the action for real (not assert-only): a stale or corrupt
     // replay trace must end the execution, not corrupt the engine.
     if (A.Tid >= LiveThreads) {
@@ -815,9 +845,15 @@ template <class MP> void ExecContext::mainLoopT() {
       flushOneT<MP>(T, A.HasVar, A.Var);
       ++Result->Stats.SchedFlushes;
       Progress = true;
+      if (PS)
+        PS->addNs(obs::Phase::BufferFlush,
+                  obs::ProfilerShard::elapsedNs(PT2, ProfClock::now()));
     } else {
       Progress = stepThreadT<MP>(T);
       ++Result->Stats.SchedSteps;
+      if (PS)
+        PS->addNs(obs::Phase::OpDispatch,
+                  obs::ProfilerShard::elapsedNs(PT2, ProfClock::now()));
     }
     ++Steps;
 
@@ -831,11 +867,18 @@ template <class MP> void ExecContext::mainLoopT() {
 }
 
 template <class MP> void ExecContext::finalDrainT() {
+  using ProfClock = std::chrono::steady_clock;
+  ProfClock::time_point PT0{};
+  if (PShard)
+    PT0 = ProfClock::now();
   for (size_t TI = 0; TI != LiveThreads; ++TI) {
     Thread &T = *Threads[TI];
     while (!bufOf<MP>(T).empty() && !Halted)
       flushOneT<MP>(T, false, 0);
   }
+  if (PShard)
+    PShard->addNs(obs::Phase::BufferFlush,
+                  obs::ProfilerShard::elapsedNs(PT0, ProfClock::now()));
 }
 
 template <class MP> void ExecContext::runLoops() {

@@ -31,6 +31,10 @@
 #include <memory>
 #include <vector>
 
+namespace dfence::obs {
+struct ProfilerShard;
+} // namespace dfence::obs
+
 namespace dfence::vm {
 
 /// Lifetime telemetry of one context; all values are reuse diagnostics
@@ -57,6 +61,16 @@ public:
            const ExecConfig &Cfg, ExecResult &Out);
 
   const ContextStats &stats() const { return CStats; }
+
+  /// Attaches (or detaches, with null) the flight recorder's per-worker
+  /// phase accumulator. Null — the default — keeps the hot loop free of
+  /// clock reads (the recorder-off contract); non-null adds steady-clock
+  /// phase attribution per scheduler iteration and one array increment
+  /// per dispatched opcode. Profiling never changes an execution's
+  /// observable result, and the shard is never part of any cache key.
+  /// The shard must outlive every run() that observes it; the caller
+  /// (exec::runRound) resets and flushes it around each execution.
+  void setProfilerShard(obs::ProfilerShard *S) { PShard = S; }
 
 private:
   struct Thread;
@@ -109,6 +123,7 @@ private:
   std::vector<ir::InstrId> DeferredAt;
   sched::RandomFlushScheduler OwnedSched;
   ContextStats CStats;
+  obs::ProfilerShard *PShard = nullptr; ///< Flight recorder; optional.
 
   // Per-run state (reinitialized by run()).
   const PreparedProgram *P = nullptr;

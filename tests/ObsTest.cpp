@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "harness/ReproBundle.h"
+#include "obs/Convergence.h"
 #include "obs/Obs.h"
 #include "sat/MinimalModels.h"
 #include "support/Json.h"
@@ -18,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -189,6 +191,58 @@ TEST(RegistryTest, PrometheusExposition) {
   EXPECT_NE(Text.find("le=\"+Inf\""), std::string::npos);
 }
 
+TEST(RegistryTest, PrometheusHistogramExpositionIsCumulative) {
+  // The histogram exposition pinned byte-for-byte: cumulative _bucket
+  // series with inclusive le edges, the +Inf overflow line equal to
+  // _count, then _sum and _count. Scrapers rely on this exact shape.
+  Registry R;
+  Histogram &H = R.histogram("lat_us", {1.0, 10.0});
+  H.observe(0.5);
+  H.observe(5.0);
+  H.observe(5.0);
+  H.observe(100.0);
+  EXPECT_EQ(R.toPrometheus(),
+            "# TYPE dfence_lat_us histogram\n"
+            "dfence_lat_us_bucket{le=\"1\"} 1\n"
+            "dfence_lat_us_bucket{le=\"10\"} 3\n"
+            "dfence_lat_us_bucket{le=\"+Inf\"} 4\n"
+            "dfence_lat_us_sum 110.5\n"
+            "dfence_lat_us_count 4\n");
+}
+
+TEST(RegistryTest, HistogramJsonCarriesPercentilesAndBuckets) {
+  Registry R;
+  Histogram &H = R.histogram("h_us", {1.0, 10.0, 100.0});
+  for (int I = 0; I != 90; ++I)
+    H.observe(5.0);
+  for (int I = 0; I != 10; ++I)
+    H.observe(50.0);
+  Json Doc = parseOrFail(R.toJson().dump());
+  const Json *HJ = Doc.find("histograms")->find("h_us");
+  ASSERT_NE(HJ, nullptr);
+  ASSERT_NE(HJ->find("p50"), nullptr);
+  ASSERT_NE(HJ->find("p90"), nullptr);
+  ASSERT_NE(HJ->find("p95"), nullptr);
+  ASSERT_NE(HJ->find("p99"), nullptr);
+  double P50 = HJ->find("p50")->asDouble(0);
+  double P90 = HJ->find("p90")->asDouble(0);
+  double P99 = HJ->find("p99")->asDouble(0);
+  EXPECT_LE(P50, P90);
+  EXPECT_LE(P90, P99);
+  // 90% of the mass is in (1, 10], the rest in (10, 100]: p50 must
+  // interpolate inside the second bucket, p99 inside the third.
+  EXPECT_GT(P50, 1.0);
+  EXPECT_LE(P50, 10.0);
+  EXPECT_GT(P99, 10.0);
+  EXPECT_LE(P99, 100.0);
+  // Empty buckets are skipped: only the two populated ones appear.
+  const Json *Buckets = HJ->find("buckets");
+  ASSERT_NE(Buckets, nullptr);
+  ASSERT_EQ(Buckets->items().size(), 2u);
+  EXPECT_EQ(Buckets->items()[0].find("count")->asU64(), 90u);
+  EXPECT_EQ(Buckets->items()[1].find("count")->asU64(), 10u);
+}
+
 TEST(TraceTest, ChromeTraceJsonIsWellFormed) {
   TraceSink Sink;
   Sink.setThreadName(0, "merge");
@@ -265,6 +319,56 @@ TEST(TraceTest, SpanNestingOrdersTimestamps) {
   EXPECT_GE(OutE, InE);
 }
 
+TEST(TraceTest, ConcurrentSpansFromEightWorkersStayWellFormed) {
+  // The sink's contract under --jobs 8: eight workers emitting nested
+  // spans concurrently (as the exec pool does per slot) must produce a
+  // parseable trace where every thread's inner span is contained in its
+  // outer span and nothing is lost or interleaved across threads.
+  TraceSink Sink;
+  constexpr unsigned Workers = 8;
+  constexpr unsigned SpansPerWorker = 50;
+  std::vector<std::thread> Ts;
+  for (unsigned W = 0; W != Workers; ++W)
+    Ts.emplace_back([&Sink, W] {
+      for (unsigned I = 0; I != SpansPerWorker; ++I) {
+        OBS_SPAN(Outer, &Sink, "slot", "exec", W);
+        Outer.arg("index", static_cast<uint64_t>(I));
+        OBS_SPAN(Inner, &Sink, "check", "exec", W);
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(Sink.eventCount(), Workers * SpansPerWorker * 2);
+
+  Json Doc = parseOrFail(Sink.toJson().dump());
+  // Per thread: collect complete events in emission order (the sink
+  // appends at span end, so inner precedes its outer), then check
+  // pairwise containment and per-thread count.
+  std::vector<std::vector<Json>> ByTid(Workers);
+  for (const Json &E : Doc.find("traceEvents")->items()) {
+    if (E.find("ph")->asString() != "X")
+      continue;
+    uint64_t Tid = E.find("tid")->asU64();
+    ASSERT_LT(Tid, Workers);
+    ByTid[Tid].push_back(E);
+  }
+  for (unsigned W = 0; W != Workers; ++W) {
+    ASSERT_EQ(ByTid[W].size(), SpansPerWorker * 2) << "tid " << W;
+    for (unsigned I = 0; I != SpansPerWorker; ++I) {
+      const Json &Inner = ByTid[W][2 * I];
+      const Json &Outer = ByTid[W][2 * I + 1];
+      EXPECT_EQ(Inner.find("name")->asString(), "check");
+      EXPECT_EQ(Outer.find("name")->asString(), "slot");
+      uint64_t InS = Inner.find("ts")->asU64();
+      uint64_t InE = InS + Inner.find("dur")->asU64();
+      uint64_t OutS = Outer.find("ts")->asU64();
+      uint64_t OutE = OutS + Outer.find("dur")->asU64();
+      EXPECT_LE(OutS, InS) << "tid " << W << " span " << I;
+      EXPECT_GE(OutE, InE) << "tid " << W << " span " << I;
+    }
+  }
+}
+
 TEST(TraceTest, NullSinkSpanAndCountersAreSafe) {
   // The disabled-observability path: every helper must be callable with
   // null sinks and do nothing.
@@ -286,6 +390,8 @@ TEST(TraceTest, NullSinkSpanAndCountersAreSafe) {
   EXPECT_EQ(traceOrNull(&Empty), nullptr);
   EXPECT_EQ(traceOrNull(nullptr), nullptr);
   EXPECT_EQ(logOrNull(&Empty), nullptr);
+  EXPECT_EQ(profilerOrNull(&Empty), nullptr);
+  EXPECT_EQ(profilerOrNull(nullptr), nullptr);
 }
 
 TEST(TraceTest, SpanEndIsIdempotent) {
@@ -349,6 +455,113 @@ TEST(LogTest, OffSuppressesEverythingAndNamesParse) {
   EXPECT_EQ(logLevelByName("warn"), LogLevel::Warn);
   EXPECT_EQ(logLevelByName("off"), LogLevel::Off);
   EXPECT_FALSE(logLevelByName("verbose").has_value());
+}
+
+TEST(ProfilerTest, PhaseNamesAreStable) {
+  // Dashboard series names hang off these; renames are breaking.
+  EXPECT_STREQ(phaseName(Phase::ViewRefresh), "view_refresh");
+  EXPECT_STREQ(phaseName(Phase::SchedPick), "sched_pick");
+  EXPECT_STREQ(phaseName(Phase::OpDispatch), "op_dispatch");
+  EXPECT_STREQ(phaseName(Phase::BufferFlush), "buffer_flush");
+  EXPECT_STREQ(phaseName(Phase::SpecCheck), "spec_check");
+  EXPECT_STREQ(phaseName(Phase::SatSolve), "sat_solve");
+  EXPECT_STREQ(phaseName(Phase::Enforce), "enforce");
+  EXPECT_STREQ(phaseName(Phase::Fold), "fold");
+  EXPECT_STREQ(phaseName(Phase::ExecOther), "exec_other");
+  EXPECT_STREQ(phaseName(Phase::RoundOther), "round_other");
+}
+
+TEST(ProfilerTest, FlushExecAttributesRemainderAndCountsOps) {
+  Registry Reg;
+  Profiler P(Reg, {"const", "load"});
+  ProfilerShard &S = P.shard(0);
+  S.addNs(Phase::ViewRefresh, 1000);
+  S.addNs(Phase::OpDispatch, 2000);
+  S.OpSteps[0] = 5;
+  S.OpSteps[1] = 7;
+  P.flushExec(S, /*ExecWallNs=*/10000, /*Worker=*/0);
+
+  // The in-loop phases land in their histograms in microseconds; the
+  // unattributed remainder (10000 - 3000 ns) goes to exec_other, so the
+  // per-execution attribution is total by construction.
+  EXPECT_EQ(Reg.histogram("obs_phase_view_refresh_us").count(), 1u);
+  EXPECT_DOUBLE_EQ(Reg.histogram("obs_phase_view_refresh_us").sum(), 1.0);
+  EXPECT_DOUBLE_EQ(Reg.histogram("obs_phase_op_dispatch_us").sum(), 2.0);
+  EXPECT_DOUBLE_EQ(Reg.histogram("obs_phase_exec_other_us").sum(), 7.0);
+  EXPECT_EQ(P.totalNs(), 10000u);
+
+  EXPECT_EQ(Reg.counter("obs_op_const_steps_total").value(), 5u);
+  EXPECT_EQ(Reg.counter("obs_op_load_steps_total").value(), 7u);
+  EXPECT_EQ(Reg.counter("obs_execs_profiled_total").value(), 1u);
+
+  // The shard is reset for the next execution.
+  EXPECT_EQ(S.PhaseNs[0], 0u);
+  EXPECT_EQ(S.OpSteps[0], 0u);
+}
+
+TEST(ProfilerTest, ObservePhaseFeedsHistogramAndWatermark) {
+  Registry Reg;
+  Profiler P(Reg, {"nop"});
+  uint64_t Before = P.totalNs();
+  P.observePhaseNs(Phase::SatSolve, 2500);
+  P.observePhaseNs(Phase::RoundOther, 500);
+  EXPECT_EQ(Reg.histogram("obs_phase_sat_solve_us").count(), 1u);
+  EXPECT_DOUBLE_EQ(Reg.histogram("obs_phase_sat_solve_us").sum(), 2.5);
+  EXPECT_EQ(P.totalNs() - Before, 3000u);
+}
+
+TEST(ConvergenceTest, RoundRecordJsonShapeIsPinned) {
+  RoundRecord R;
+  R.Round = 3;
+  R.Executions = 150;
+  R.Violations = 4;
+  R.NewPredicates = 2;
+  R.DistinctPredicates = 11;
+  R.FencesEnforced = 5;
+  R.CleanStreak = 0;
+  R.Truncated = false;
+  R.CheckCacheHits = 10;
+  R.CheckCacheMisses = 140;
+  R.ExecCacheHits = 20;
+  R.ExecCacheMisses = 130;
+  R.SatClauses = 4;
+  R.SatModels = 2;
+  R.SatConflicts = 1;
+  R.SatDecisions = 9;
+  R.SatPropagations = 33;
+  R.SatSolveUs = 120;
+  R.RoundWallUs = 4500;
+  EXPECT_EQ(
+      roundRecordJson(R).dump(),
+      "{\"round\":3,\"executions\":150,\"violations\":4,"
+      "\"newPredicates\":2,\"distinctPredicates\":11,\"fences\":5,"
+      "\"cleanStreak\":0,\"truncated\":false,"
+      "\"cache\":{\"checkHits\":10,\"checkMisses\":140,"
+      "\"execHits\":20,\"execMisses\":130},"
+      "\"sat\":{\"clauses\":4,\"models\":2,\"conflicts\":1,"
+      "\"decisions\":9,\"propagations\":33,\"solveUs\":120},"
+      "\"roundWallUs\":4500}");
+}
+
+TEST(ConvergenceTest, RoundLogWriterEmitsOneParseableLinePerRound) {
+  std::ostringstream OS;
+  RoundLogWriter W(OS);
+  for (unsigned I = 1; I <= 3; ++I) {
+    RoundRecord R;
+    R.Round = I;
+    R.Executions = 100 * I;
+    W.write(R);
+  }
+  std::istringstream In(OS.str());
+  std::string Line;
+  unsigned Round = 0;
+  while (std::getline(In, Line)) {
+    ++Round;
+    Json J = parseOrFail(Line);
+    EXPECT_EQ(J.find("round")->asU64(), Round);
+    EXPECT_EQ(J.find("executions")->asU64(), 100u * Round);
+  }
+  EXPECT_EQ(Round, 3u);
 }
 
 TEST(SolveStatsTest, MinimumModelFillsStats) {

@@ -301,6 +301,91 @@ TEST(Server, FaultInjectedBundleRoundTripsThroughReplay) {
   EXPECT_EQ(Replayed->Message, B->Message);
 }
 
+TEST(Server, StatusAnswersInlineMidRequestWithSnapshot) {
+  FILE *LogFile = std::tmpfile();
+  ASSERT_NE(LogFile, nullptr);
+  obs::Logger Log(obs::LogLevel::Warn, /*JsonLines=*/true, LogFile);
+  obs::ObsContext Obs;
+  Obs.Log = &Log;
+  ServeConfig C;
+  C.Jobs = 2;
+  C.SlowMs = 1; // Everything is slow: the log line must fire.
+  C.Obs = &Obs;
+  Server S(C);
+  Collector Col;
+
+  // A deliberately heavy request, bounded by its own deadline so the
+  // test cannot hang: it stays in flight long enough to observe.
+  S.submit(pubRequest(
+               "big", ",\"k\":20000,\"rounds\":64,\"deadlineMs\":1500"),
+           Col.fn());
+
+  // Poll status from this thread. It is answered inline (before submit
+  // returns) even though the dispatcher is busy — that is the point.
+  bool SawActive = false;
+  for (int I = 0; I != 400 && !SawActive; ++I) {
+    Collector StCol;
+    S.submit("{\"op\":\"status\",\"id\":\"st\"}", StCol.fn());
+    ASSERT_EQ(StCol.count(), 1u) << "status must answer inline";
+    Json Resp = StCol.byId("st");
+    ASSERT_FALSE(Resp.isNull());
+    EXPECT_EQ(Resp.find("status")->asString(), "ok");
+    const Json *Srv = Resp.find("server");
+    ASSERT_NE(Srv, nullptr);
+    ASSERT_NE(Srv->find("proto"), nullptr);
+    ASSERT_NE(Srv->find("queueDepth"), nullptr);
+    ASSERT_NE(Srv->find("queueCapacity"), nullptr);
+    ASSERT_NE(Srv->find("draining"), nullptr);
+    ASSERT_NE(Srv->find("inflight"), nullptr);
+    const Json *Active = Srv->find("active");
+    ASSERT_NE(Active, nullptr);
+    ASSERT_TRUE(Active->isArray());
+    if (!Active->items().empty()) {
+      SawActive = true;
+      const Json &A = Active->items()[0];
+      EXPECT_EQ(A.find("id")->asString(), "big");
+      EXPECT_EQ(A.find("op")->asString(), "synth");
+      ASSERT_NE(A.find("seq"), nullptr);
+      ASSERT_NE(A.find("elapsedMs"), nullptr);
+      EXPECT_EQ(Srv->find("inflight")->asU64(), 1u);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(SawActive) << "status never saw the request in flight";
+
+  ASSERT_TRUE(Col.waitFor(1, 20000));
+  S.drain();
+
+  // After drain the listing is empty again...
+  Json Final = S.statusJson();
+  EXPECT_EQ(Final.find("inflight")->asU64(), 0u);
+  EXPECT_TRUE(Final.find("active")->items().empty());
+
+  // ...the per-outcome latency split exists for the request's outcome
+  // (timeout here — its deadline expired mid-flight), plus queue wait...
+  std::string Prom = S.registry().toPrometheus();
+  EXPECT_NE(Prom.find("dfence_serve_queue_wait_us_bucket"),
+            std::string::npos);
+  std::string Outcome = Col.byId("big").find("status")->asString();
+  EXPECT_NE(Prom.find("dfence_serve_run_us_" + Outcome + "_bucket"),
+            std::string::npos)
+      << Outcome;
+  EXPECT_NE(Prom.find("dfence_serve_e2e_us_" + Outcome + "_bucket"),
+            std::string::npos)
+      << Outcome;
+
+  // ...and the 1ms slow threshold logged the structured warn line.
+  std::fflush(LogFile);
+  long Len = std::ftell(LogFile);
+  std::rewind(LogFile);
+  std::string LogText(static_cast<size_t>(Len), '\0');
+  size_t Read = std::fread(LogText.data(), 1, LogText.size(), LogFile);
+  LogText.resize(Read);
+  std::fclose(LogFile);
+  EXPECT_NE(LogText.find("slow request"), std::string::npos) << LogText;
+  EXPECT_NE(LogText.find("big"), std::string::npos) << LogText;
+}
+
 TEST(Server, StatsAndPrometheusExposeServeMetrics) {
   ServeConfig C;
   C.Jobs = 2;

@@ -48,7 +48,9 @@
 #include "exec/ExecPool.h"
 #include "frontend/Compiler.h"
 #include "harness/ReproBundle.h"
+#include "ir/Instr.h"
 #include "ir/Printer.h"
+#include "obs/Convergence.h"
 #include "obs/Obs.h"
 #include "programs/Benchmark.h"
 #include "serve/Server.h"
@@ -186,13 +188,25 @@ void printHelp(FILE *Out) {
       "  --socket PATH       accept JSON-lines connections on a unix "
       "socket\n"
       "  --metrics-port PORT HTTP endpoint serving Prometheus metrics\n"
+      "  --slow-ms N         warn-log any request whose end-to-end time "
+      "(queue\n"
+      "                      wait included) exceeds N ms (default 0 = "
+      "off)\n"
       "  --no-stdio          do not serve on stdin/stdout (socket-only "
       "daemon)\n"
       "\n"
       "observability flags (synth / bench):\n"
       "  --metrics-out FILE  write run metrics; .prom/.txt gets "
       "Prometheus text,\n"
-      "                      anything else JSON\n"
+      "                      anything else JSON; '-' writes JSON to "
+      "stdout\n"
+      "                      (also enables the phase profiler: "
+      "obs_phase_*\n"
+      "                      histograms and obs_op_* step counters)\n"
+      "  --round-log FILE    append one JSON line per synthesis round "
+      "(violations,\n"
+      "                      new predicates, cache hits, SAT effort, "
+      "wall time)\n"
       "  --trace-out FILE    write Chrome trace-event JSON (open in "
       "chrome://tracing\n"
       "                      or https://ui.perfetto.dev)\n"
@@ -218,20 +232,24 @@ const std::map<std::string, std::vector<const char *>> &knownFlags() {
        {"client", "init", "model", "spec", "seq-spec", "k", "rounds",
         "flush", "enforce", "=no-merge", "=dump", "jobs", "cache",
         "dispatch", "exec-ms", "retries", "round-ms", "total-ms",
-        "wall-clock", "repro", "metrics-out", "trace-out", "log-level",
-        "=log-json"}},
+        "wall-clock", "repro", "metrics-out", "trace-out", "round-log",
+        "log-level", "=log-json"}},
       {"bench",
        {"model", "spec", "seq-spec", "k", "rounds", "flush", "enforce",
         "=no-merge", "=dump", "jobs", "cache", "dispatch", "exec-ms",
         "retries", "round-ms", "total-ms", "wall-clock", "repro",
-        "metrics-out", "trace-out", "log-level", "=log-json"}},
-      {"replay", {}},
+        "metrics-out", "trace-out", "round-log", "log-level",
+        "=log-json"}},
+      // replay knows "round-log" only to reject it with a specific
+      // message: a replay runs no rounds, and silently writing an empty
+      // log would look like a successful-but-empty run.
+      {"replay", {"round-log"}},
       {"serve",
        {"jobs", "queue", "deadline-ms", "request-retries",
         "retry-backoff-ms", "cache", "cache-capacity", "dispatch",
         "crash-dir",
         "listen", "socket", "metrics-port", "=no-stdio", "metrics-out",
-        "log-level", "=log-json"}},
+        "slow-ms", "log-level", "=log-json"}},
   };
   return Table;
 }
@@ -476,8 +494,35 @@ int runSynthesis(const ir::Module &M,
     Obs.Trace = &Trace;
   if (Opt.has("log-level") || Opt.has("log-json"))
     Obs.Log = &Log;
-  if (Obs.Metrics || Obs.Trace || Obs.Log)
+  // The flight recorder's phase profiler rides on the metrics registry:
+  // requesting metrics output turns it on, every other run keeps the
+  // null-shard fast path (zero clock reads in the engine's hot loops).
+  std::optional<obs::Profiler> Prof;
+  if (Obs.Metrics) {
+    std::vector<std::string> OpNames;
+    for (unsigned I = 0; I <= static_cast<unsigned>(ir::Opcode::Nop); ++I)
+      OpNames.push_back(ir::opcodeName(static_cast<ir::Opcode>(I)));
+    Prof.emplace(Metrics, OpNames);
+    Obs.Prof = &*Prof;
+  }
+  if (Obs.Metrics || Obs.Trace || Obs.Log || Obs.Prof)
     Cfg.Obs = &Obs;
+
+  // Convergence telemetry: one JSON line per round, usable while the
+  // run is still going (the writer flushes per line).
+  std::string RoundLogPath = Opt.get("round-log");
+  std::ofstream RoundLogFile;
+  std::optional<obs::RoundLogWriter> RoundLog;
+  if (!RoundLogPath.empty()) {
+    RoundLogFile.open(RoundLogPath);
+    if (!RoundLogFile) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   RoundLogPath.c_str());
+      return 1;
+    }
+    RoundLog.emplace(RoundLogFile);
+    Cfg.RoundLog = &*RoundLog;
+  }
 
   synth::SynthResult R = synth::synthesize(M, Clients, Cfg);
   if (R.Status == synth::SynthStatus::ConfigError) {
@@ -551,24 +596,30 @@ int runSynthesis(const ir::Module &M,
 
   if (!MetricsOut.empty()) {
     // File extension picks the exposition format: .prom/.txt gets the
-    // Prometheus text format, everything else the JSON document.
+    // Prometheus text format, everything else the JSON document. "-"
+    // streams JSON to stdout (the --log-json stream convention), so the
+    // "metrics: PATH" confirmation line moves to stderr there.
     auto EndsWith = [&](const char *Suf) {
       size_t N = std::strlen(Suf);
       return MetricsOut.size() >= N &&
              MetricsOut.compare(MetricsOut.size() - N, N, Suf) == 0;
     };
     bool Prom = EndsWith(".prom") || EndsWith(".txt");
-    std::ofstream Out(MetricsOut);
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write %s\n",
-                   MetricsOut.c_str());
-      return 1;
+    if (MetricsOut == "-") {
+      std::printf("%s\n", Metrics.toJson().dump(2).c_str());
+    } else {
+      std::ofstream Out(MetricsOut);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     MetricsOut.c_str());
+        return 1;
+      }
+      if (Prom)
+        Out << Metrics.toPrometheus();
+      else
+        Out << Metrics.toJson().dump(2) << "\n";
+      std::printf("metrics: %s\n", MetricsOut.c_str());
     }
-    if (Prom)
-      Out << Metrics.toPrometheus();
-    else
-      Out << Metrics.toJson().dump(2) << "\n";
-    std::printf("metrics: %s\n", MetricsOut.c_str());
   }
   if (!TraceOut.empty()) {
     std::string Error;
@@ -579,6 +630,9 @@ int runSynthesis(const ir::Module &M,
     std::printf("trace: %s (%zu events)\n", TraceOut.c_str(),
                 Trace.eventCount());
   }
+  if (!RoundLogPath.empty())
+    std::printf("round log: %s (%zu round(s))\n", RoundLogPath.c_str(),
+                R.RoundLog.size());
   // Degraded counts as success: the output program is conservatively
   // fenced and safe, which is the harness's whole point.
   return R.Converged || R.Degraded || R.Fences.empty() ? 0 : 1;
@@ -634,6 +688,14 @@ std::optional<synth::SpecKind> specKindByName(const std::string &S) {
 }
 
 int cmdReplay(const Options &Opt) {
+  if (Opt.has("round-log")) {
+    // A replay runs a single recorded execution, never synthesis rounds;
+    // accepting the flag would silently write an empty log.
+    std::fprintf(stderr, "error: --round-log does not apply to replay "
+                         "(a replay runs no synthesis rounds); use it "
+                         "with 'dfence synth' or 'dfence bench'\n");
+    return 2;
+  }
   std::string Error;
   auto B = harness::ReproBundle::loadFile(Opt.File, Error);
   if (!B) {
@@ -756,6 +818,7 @@ int cmdServe(const Options &Opt) {
     return 2;
   }
   SC.CrashDir = Opt.get("crash-dir");
+  SC.SlowMs = static_cast<uint32_t>(Opt.getInt("slow-ms", 0));
 
   std::string MetricsOut = Opt.get("metrics-out");
   obs::Registry Metrics;
@@ -795,17 +858,23 @@ int cmdServe(const Options &Opt) {
       return MetricsOut.size() >= N &&
              MetricsOut.compare(MetricsOut.size() - N, N, Suf) == 0;
     };
-    std::ofstream Out(MetricsOut);
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write %s\n",
-                   MetricsOut.c_str());
-      return 1;
+    if (MetricsOut == "-") {
+      // Flushed after the server drained, so stdio transport responses
+      // and the metrics document cannot interleave.
+      std::printf("%s\n", Metrics.toJson().dump(2).c_str());
+    } else {
+      std::ofstream Out(MetricsOut);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     MetricsOut.c_str());
+        return 1;
+      }
+      if (EndsWith(".prom") || EndsWith(".txt"))
+        Out << Metrics.toPrometheus();
+      else
+        Out << Metrics.toJson().dump(2) << "\n";
+      std::fprintf(stderr, "metrics: %s\n", MetricsOut.c_str());
     }
-    if (EndsWith(".prom") || EndsWith(".txt"))
-      Out << Metrics.toPrometheus();
-    else
-      Out << Metrics.toJson().dump(2) << "\n";
-    std::fprintf(stderr, "metrics: %s\n", MetricsOut.c_str());
   }
   return Rc;
 }
