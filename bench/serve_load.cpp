@@ -1,0 +1,326 @@
+//===- serve_load.cpp - Concurrent-dispatcher throughput benchmark --------===//
+//
+// Measures what the partitioned serve dispatcher buys: a real `dfence
+// serve` daemon is spawned per slot count (1, 2, 4) on a unix socket,
+// and a mixed workload — a few wall-budget-bounded *expensive* requests
+// plus a batch of *cheap* ones — is pipelined through one connection
+// using the tools/dfence_client library. Reported per slot count:
+//
+//   * requests/s            completed responses over total wall time;
+//   * p99 e2e latency (ms)  client-observed send-to-response, all
+//                           requests;
+//   * cheap p99 (ms)        the same restricted to cheap requests — the
+//                           headline number: with one slot a cheap
+//                           request queues behind every expensive one in
+//                           front of it; with slots it takes a free slot
+//                           and overtakes.
+//
+// The expensive requests carry "totalMs" (a synthesis wall budget, so
+// they cost a fixed ~BUDGET ms of wall time each, status "timeout",
+// partial result) and "cache":"off" (no shard serialization between
+// them). This is why throughput scales with slots even on a single
+// hardware thread: overlapping wall-bounded work needs concurrency, not
+// cores.
+//
+// Emits BENCH_serve.json (schema "dfence-serve-load-v1") and
+// self-validates it; `--smoke` runs a tiny workload at slots {1,2} with
+// shape checks only (timing gates are full-run only: >=2x requests/s at
+// 4 slots and a cheap-p99 improvement, both asserted here).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfence_client/Client.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace dfence;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// One spawned `dfence serve --socket ... --no-stdio` daemon.
+struct Daemon {
+  pid_t Pid = -1;
+  std::string SocketPath;
+
+  static std::optional<Daemon> spawn(unsigned Slots, unsigned Queue) {
+    Daemon D;
+    D.SocketPath = "serve_load_" + std::to_string(::getpid()) + "_" +
+                   std::to_string(Slots) + ".sock";
+    ::unlink(D.SocketPath.c_str());
+    std::string SlotsS = std::to_string(Slots);
+    std::string QueueS = std::to_string(Queue);
+    D.Pid = ::fork();
+    if (D.Pid < 0)
+      return std::nullopt;
+    if (D.Pid == 0) {
+      // Width-1 slices: on this benchmark the point is overlapping
+      // wall-bounded requests, not intra-request fan-out.
+      ::execl(DFENCE_BIN, DFENCE_BIN, "serve", "--socket",
+              D.SocketPath.c_str(), "--no-stdio", "--slots",
+              SlotsS.c_str(), "--jobs-per-slot", "1", "--queue",
+              QueueS.c_str(), static_cast<char *>(nullptr));
+      _exit(127);
+    }
+    // Wait for the listening socket to appear.
+    for (int I = 0; I != 2000; ++I) {
+      struct stat St;
+      if (::stat(D.SocketPath.c_str(), &St) == 0)
+        return D;
+      ::usleep(5000);
+    }
+    D.terminate();
+    return std::nullopt;
+  }
+
+  void terminate() {
+    if (Pid <= 0)
+      return;
+    ::kill(Pid, SIGTERM);
+    int Status = 0;
+    ::waitpid(Pid, &Status, 0);
+    ::unlink(SocketPath.c_str());
+    Pid = -1;
+  }
+};
+
+Json benchRequest(const std::string &Id, bool Expensive,
+                  unsigned BudgetMs) {
+  Json J = Json::object();
+  J.set("op", Json::string("bench"));
+  J.set("id", Json::string(Id));
+  J.set("bench", Json::string("LIFO WSQ"));
+  J.set("model", Json::string("pso"));
+  if (Expensive) {
+    // Enough planned work that the wall budget always binds: each
+    // expensive request costs ~BudgetMs of wall time, then answers
+    // "timeout" with a partial result.
+    J.set("k", Json::number(static_cast<uint64_t>(50000)));
+    J.set("rounds", Json::number(static_cast<uint64_t>(64)));
+    J.set("totalMs", Json::number(static_cast<uint64_t>(BudgetMs)));
+    J.set("cache", Json::string("off"));
+  } else {
+    J.set("k", Json::number(static_cast<uint64_t>(60)));
+    J.set("rounds", Json::number(static_cast<uint64_t>(2)));
+  }
+  return J;
+}
+
+struct RunStats {
+  unsigned Slots = 0;
+  size_t Requests = 0;
+  double WallMs = 0;
+  double RequestsPerSec = 0;
+  double P99Ms = 0;
+  double CheapP99Ms = 0;
+};
+
+double percentile(std::vector<double> V, double P) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  size_t Idx = static_cast<size_t>(P * (V.size() - 1) + 0.5);
+  return V[std::min(Idx, V.size() - 1)];
+}
+
+/// Pipelines the whole workload through one connection and collects
+/// client-observed per-request latency. Expensive requests are sent
+/// first: with one slot every cheap request queues behind them, which is
+/// exactly the head-of-line blocking the slot count is meant to remove.
+std::optional<RunStats> runWorkload(unsigned Slots, size_t Expensive,
+                                    size_t Cheap, unsigned BudgetMs) {
+  auto D = Daemon::spawn(Slots, Expensive + Cheap + 8);
+  if (!D) {
+    std::fprintf(stderr, "failed to spawn daemon (slots=%u)\n", Slots);
+    return std::nullopt;
+  }
+  std::string Error;
+  auto C = client::ServeClient::connectUnix(D->SocketPath, Error);
+  if (!C) {
+    std::fprintf(stderr, "connect: %s\n", Error.c_str());
+    D->terminate();
+    return std::nullopt;
+  }
+
+  struct Tracked {
+    Clock::time_point Sent;
+    bool Expensive = false;
+  };
+  std::map<std::string, Tracked> InFlight;
+  std::vector<double> AllMs, CheapMs;
+
+  auto Start = Clock::now();
+  bool Ok = true;
+  for (size_t I = 0; I != Expensive + Cheap && Ok; ++I) {
+    bool Exp = I < Expensive;
+    std::string Id = (Exp ? "exp" : "cheap") + std::to_string(I);
+    InFlight[Id] = {Clock::now(), Exp};
+    Ok = C->send(benchRequest(Id, Exp, BudgetMs), Error);
+  }
+  while (Ok && !InFlight.empty()) {
+    auto Resp = C->recv(Error);
+    if (!Resp) {
+      Ok = false;
+      break;
+    }
+    auto Now = Clock::now();
+    const Json *IdJ = Resp->find("id");
+    auto It = IdJ ? InFlight.find(IdJ->asString()) : InFlight.end();
+    if (It == InFlight.end())
+      continue; // Not ours (hello already consumed; be permissive).
+    const Json *St = Resp->find("status");
+    std::string Status = St ? St->asString() : "";
+    // Expensive requests run out their wall budget by design.
+    if (Status != "ok" && !(It->second.Expensive && Status == "timeout")) {
+      std::fprintf(stderr, "unexpected status '%s' for %s\n",
+                   Status.c_str(), It->first.c_str());
+      Ok = false;
+      break;
+    }
+    double Ms = std::chrono::duration_cast<std::chrono::microseconds>(
+                    Now - It->second.Sent)
+                    .count() /
+                1000.0;
+    AllMs.push_back(Ms);
+    if (!It->second.Expensive)
+      CheapMs.push_back(Ms);
+    InFlight.erase(It);
+  }
+  double WallMs = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - Start)
+                      .count() /
+                  1000.0;
+  D->terminate();
+  if (!Ok) {
+    if (!Error.empty())
+      std::fprintf(stderr, "workload failed: %s\n", Error.c_str());
+    return std::nullopt;
+  }
+
+  RunStats S;
+  S.Slots = Slots;
+  S.Requests = AllMs.size();
+  S.WallMs = WallMs;
+  S.RequestsPerSec = WallMs > 0 ? AllMs.size() * 1000.0 / WallMs : 0;
+  S.P99Ms = percentile(AllMs, 0.99);
+  S.CheapP99Ms = percentile(CheapMs, 0.99);
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      Smoke = true;
+
+  // Smoke: tiny budgets, slots {1,2}, shape checks only. Full: the
+  // throughput and tail-latency gates at slots {1,2,4}.
+  std::vector<unsigned> SlotCounts =
+      Smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4};
+  size_t Expensive = Smoke ? 2 : 8;
+  size_t Cheap = Smoke ? 4 : 16;
+  unsigned BudgetMs = Smoke ? 120 : 400;
+
+  std::vector<RunStats> Runs;
+  for (unsigned Slots : SlotCounts) {
+    auto S = runWorkload(Slots, Expensive, Cheap, BudgetMs);
+    if (!S)
+      return 1;
+    std::printf("slots=%u  requests=%zu  wall=%.0fms  req/s=%.2f  "
+                "p99=%.1fms  cheap-p99=%.1fms\n",
+                S->Slots, S->Requests, S->WallMs, S->RequestsPerSec,
+                S->P99Ms, S->CheapP99Ms);
+    Runs.push_back(*S);
+  }
+
+  Json Doc = Json::object();
+  Doc.set("schema", Json::string("dfence-serve-load-v1"));
+  Doc.set("smoke", Json::boolean(Smoke));
+  Doc.set("expensiveRequests",
+          Json::number(static_cast<uint64_t>(Expensive)));
+  Doc.set("cheapRequests", Json::number(static_cast<uint64_t>(Cheap)));
+  Doc.set("expensiveBudgetMs",
+          Json::number(static_cast<uint64_t>(BudgetMs)));
+  Json Arr = Json::array();
+  for (const RunStats &S : Runs) {
+    Json R = Json::object();
+    R.set("slots", Json::number(static_cast<uint64_t>(S.Slots)));
+    R.set("requests", Json::number(static_cast<uint64_t>(S.Requests)));
+    R.set("wallMs", Json::number(S.WallMs));
+    R.set("requestsPerSec", Json::number(S.RequestsPerSec));
+    R.set("p99Ms", Json::number(S.P99Ms));
+    R.set("cheapP99Ms", Json::number(S.CheapP99Ms));
+    Arr.push(std::move(R));
+  }
+  Doc.set("runs", std::move(Arr));
+  {
+    std::ofstream Out("BENCH_serve.json");
+    Out << Doc.dump(2) << "\n";
+  }
+  std::printf("wrote BENCH_serve.json%s\n", Smoke ? " (smoke)" : "");
+
+  // Self-check: re-read and validate shape, so the smoke ctest entry
+  // catches a malformed emitter without an external JSON oracle.
+  std::ifstream In("BENCH_serve.json");
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  std::string Error;
+  auto Parsed = Json::parse(Text, Error);
+  if (!Parsed) {
+    std::fprintf(stderr, "BENCH_serve.json is unparsable: %s\n",
+                 Error.c_str());
+    return 1;
+  }
+  const Json *RunsJ = Parsed->find("runs");
+  if (!RunsJ || !RunsJ->isArray() ||
+      RunsJ->items().size() != SlotCounts.size()) {
+    std::fprintf(stderr, "BENCH_serve.json is malformed\n");
+    return 1;
+  }
+  for (const Json &R : RunsJ->items()) {
+    if (!R.find("requestsPerSec") || !R.find("cheapP99Ms") ||
+        R.find("requests")->asU64() != Expensive + Cheap) {
+      std::fprintf(stderr, "BENCH_serve.json has a bad run entry\n");
+      return 1;
+    }
+  }
+
+  if (!Smoke) {
+    // The point of the exercise: 4 slots must at least double 1-slot
+    // throughput, and the cheap tail must shrink (cheap requests no
+    // longer queue behind wall-bounded expensive ones).
+    const RunStats &S1 = Runs.front(), &S4 = Runs.back();
+    if (S4.RequestsPerSec < 2.0 * S1.RequestsPerSec) {
+      std::fprintf(stderr,
+                   "FAIL: 4-slot throughput %.2f req/s < 2x 1-slot "
+                   "%.2f req/s\n",
+                   S4.RequestsPerSec, S1.RequestsPerSec);
+      return 1;
+    }
+    if (S4.CheapP99Ms >= S1.CheapP99Ms) {
+      std::fprintf(stderr,
+                   "FAIL: cheap p99 did not improve (%.1fms -> %.1fms)\n",
+                   S1.CheapP99Ms, S4.CheapP99Ms);
+      return 1;
+    }
+    std::printf("gates: 4-slot/1-slot throughput %.2fx, cheap p99 "
+                "%.1fms -> %.1fms\n",
+                S4.RequestsPerSec / S1.RequestsPerSec, S1.CheapP99Ms,
+                S4.CheapP99Ms);
+  }
+  return 0;
+}

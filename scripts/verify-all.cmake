@@ -11,9 +11,14 @@
 # (history_hash_test, check_cache_property_test, cache_differential_test,
 # bench_cache_smoke), which the tsan leg exercises with the sharded
 # CheckCache under real pool concurrency, and the serve-daemon suite
-# (serve_protocol_test, server_test, serve_smoke_test), whose smoke test
-# the tsan leg runs against the real `dfence serve` binary: submit /
-# dispatcher / transport threads plus SIGTERM drain under TSan. The
+# (serve_protocol_test, server_test, serve_concurrency_test,
+# serve_smoke_test), whose smoke test the tsan leg runs against the real
+# `dfence serve` binary: submit / dispatcher-slot / transport threads
+# plus SIGTERM drain under TSan. serve_concurrency_test is the
+# concurrent-dispatcher gate on that leg — multi-slot slice leases,
+# sharded-cache locking and the interleaved byte-identity differential
+# all execute under TSan (bench_serve_smoke rides the default leg and
+# exercises the same paths through the real binary). The
 # flight-recorder suite rides along the same way: the
 # flight_recorder_differential_test read-only gate and bench_obs_smoke
 # (obs_overhead --smoke, which validates BENCH_obs.json; the <=2%

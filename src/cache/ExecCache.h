@@ -31,8 +31,11 @@
 #include "vm/Interp.h"
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace dfence::ir {
 class Module;
@@ -155,6 +158,86 @@ private:
   std::unordered_map<ExecKey, ExecSummary, ExecKeyHasher> Map;
   mutable std::atomic<uint64_t> Lookups{0}, Hits{0};
   std::atomic<uint64_t> Inserts{0}, RejectedFull{0};
+};
+
+/// N independent ExecCaches behind a request-fingerprint router, for the
+/// concurrent serve dispatcher. The plain ExecCache's contract — frozen
+/// during a round, mutated only between rounds, never used by concurrent
+/// synthesize() calls — becomes a *per-shard* invariant: a request is
+/// routed to shardIndex(requestFp) and must hold that shard's mutex for
+/// its whole run, so two concurrent requests either touch different
+/// shards (fully independent) or serialize on the same one.
+///
+/// Routing is keyed by the request's content fingerprint, not by which
+/// dispatcher slot happens to run it: a repeated request always lands on
+/// the shard holding its warm entries, so hit patterns (and therefore
+/// the reported cache stats) are scheduling-independent. Canonical
+/// result bytes never depend on hits at all — a hit replays a recorded
+/// result bit-identical to a fresh execution.
+class ShardedExecCache {
+public:
+  /// \p TotalEntries is split evenly across \p NumShards (each shard
+  /// gets at least 1 entry of capacity).
+  explicit ShardedExecCache(size_t NumShards, size_t TotalEntries)
+      : Mutexes(NumShards ? NumShards : 1) {
+    size_t N = NumShards ? NumShards : 1;
+    size_t Per = TotalEntries / N;
+    if (Per == 0)
+      Per = 1;
+    Shards.reserve(N);
+    for (size_t I = 0; I < N; ++I)
+      Shards.push_back(std::make_unique<ExecCache>(Per));
+  }
+
+  size_t numShards() const { return Shards.size(); }
+
+  /// The shard every request with content fingerprint \p Fp must use.
+  size_t shardIndex(uint64_t Fp) const {
+    // Fingerprints are already well-mixed hashes; fold the halves so a
+    // power-of-two shard count still sees the high bits.
+    return static_cast<size_t>((Fp ^ (Fp >> 32)) % Shards.size());
+  }
+
+  ExecCache &shard(size_t I) { return *Shards[I]; }
+  const ExecCache &shard(size_t I) const { return *Shards[I]; }
+
+  /// Serializes same-shard requests: lock for the whole synthesize()
+  /// call that uses shard(I) — that is what makes the per-shard
+  /// exclusivity contract hold under a concurrent dispatcher.
+  std::mutex &shardMutex(size_t I) { return Mutexes[I]; }
+
+  size_t size() const {
+    size_t N = 0;
+    for (const auto &S : Shards)
+      N += S->size();
+    return N;
+  }
+  size_t capacity() const {
+    size_t N = 0;
+    for (const auto &S : Shards)
+      N += S->capacity();
+    return N;
+  }
+
+  /// Summed lifetime counters across shards (each shard's snapshot is
+  /// individually consistent; the sum is not a global cut).
+  ExecCache::Stats stats() const {
+    ExecCache::Stats T;
+    for (const auto &S : Shards) {
+      ExecCache::Stats P = S->stats();
+      T.Lookups += P.Lookups;
+      T.Hits += P.Hits;
+      T.Inserts += P.Inserts;
+      T.RejectedFull += P.RejectedFull;
+    }
+    return T;
+  }
+
+private:
+  std::vector<std::unique_ptr<ExecCache>> Shards;
+  /// Deque-free stable addresses: mutexes are neither movable nor
+  /// copyable, so the vector is sized once in the ctor.
+  std::vector<std::mutex> Mutexes;
 };
 
 } // namespace dfence::cache

@@ -1,4 +1,4 @@
-//===- ExecPool.cpp - Persistent worker pool for round execution ----------===//
+//===- ExecPool.cpp - Partitionable worker pool for round execution -------===//
 
 #include "exec/ExecPool.h"
 
@@ -35,12 +35,12 @@ int64_t monoUs() {
 
 unsigned exec::currentWorker() { return TlsWorker; }
 
-vm::ExecContext &ExecPool::workerContext(unsigned Worker) {
-  assert(Worker < Contexts.size() && "not a pool worker index");
+vm::ExecContext &PoolSlice::workerContext(unsigned Worker) {
+  assert(Worker < Contexts.size() && "not a slice worker index");
   return *Contexts[Worker];
 }
 
-void ExecPool::publishContextStats() {
+void PoolSlice::publishContextStats() {
   if (!CtxReusesG && !RegArenaHwG)
     return;
   uint64_t Reuses = 0;
@@ -55,16 +55,19 @@ void ExecPool::publishContextStats() {
     RegArenaHwG->max(static_cast<double>(RegHw));
 }
 
-ExecPool::ExecPool(unsigned Jobs) : NumJobs(resolveJobs(Jobs)) {
-  Contexts.reserve(NumJobs);
-  for (unsigned I = 0; I < NumJobs; ++I)
+PoolSlice::PoolSlice(unsigned Width, unsigned SliceIndex,
+                     unsigned WorkerBase)
+    : Width(Width), SliceIndex(SliceIndex), WorkerBase(WorkerBase) {
+  assert(Width >= 1 && "a slice needs at least its caller");
+  Contexts.reserve(Width);
+  for (unsigned I = 0; I < Width; ++I)
     Contexts.push_back(std::make_unique<vm::ExecContext>());
-  Workers.reserve(NumJobs - 1);
-  for (unsigned I = 1; I < NumJobs; ++I)
+  Workers.reserve(Width - 1);
+  for (unsigned I = 1; I < Width; ++I)
     Workers.emplace_back([this, I] { workerMain(I); });
 }
 
-ExecPool::~ExecPool() {
+PoolSlice::~PoolSlice() {
   {
     std::lock_guard<std::mutex> L(Mu);
     ShuttingDown = true;
@@ -74,7 +77,7 @@ ExecPool::~ExecPool() {
     W.join();
 }
 
-void ExecPool::setObs(const obs::ObsContext *O) {
+void PoolSlice::setObs(const obs::ObsContext *O) {
   ClaimsC = obs::counterOrNull(O, "exec_pool_claims_total");
   BatchesC = obs::counterOrNull(O, "exec_pool_batches_total");
   CancelledC = obs::counterOrNull(O, "exec_pool_cancelled_total");
@@ -85,17 +88,26 @@ void ExecPool::setObs(const obs::ObsContext *O) {
   QueueWaitH = obs::histogramOrNull(O, "exec_pool_queue_wait_us");
   Trace = obs::traceOrNull(O);
   if (Trace) {
-    Trace->setThreadName(0, "merge");
-    for (unsigned I = 1; I < NumJobs; ++I)
-      Trace->setThreadName(I, strformat("worker-%u", I));
+    // Trace thread ids are pool-global (base + relative index) so
+    // concurrently running slices get disjoint tracks. Slice 0 keeps the
+    // pre-partition names.
+    if (SliceIndex == 0)
+      Trace->setThreadName(WorkerBase, "merge");
+    else
+      Trace->setThreadName(WorkerBase, strformat("s%u-merge", SliceIndex));
+    for (unsigned I = 1; I < Width; ++I)
+      Trace->setThreadName(WorkerBase + I,
+                           SliceIndex == 0
+                               ? strformat("worker-%u", I)
+                               : strformat("s%u-worker-%u", SliceIndex, I));
   }
 }
 
-void ExecPool::claimLoop(unsigned Worker) {
+void PoolSlice::claimLoop(unsigned Worker) {
   TlsWorker = Worker;
   // One occupancy span per worker per batch: its extent is the worker's
   // active window in this batch, its args the work it actually did.
-  OBS_SPAN(WorkerSpan, Trace, "worker", "pool", Worker);
+  OBS_SPAN(WorkerSpan, Trace, "worker", "pool", WorkerBase + Worker);
   const bool Timing = BusyUsG || QueueWaitH;
   uint64_t Claims = 0;
   for (;;) {
@@ -115,7 +127,7 @@ void ExecPool::claimLoop(unsigned Worker) {
       break;
     ++Claims;
     if (ClaimsC)
-      ClaimsC->add(1, Worker);
+      ClaimsC->add(1, WorkerBase + Worker);
     if (Timing) {
       int64_t T0 = monoUs();
       if (QueueWaitH)
@@ -131,7 +143,7 @@ void ExecPool::claimLoop(unsigned Worker) {
   TlsWorker = 0;
 }
 
-void ExecPool::workerMain(unsigned Worker) {
+void PoolSlice::workerMain(unsigned Worker) {
   uint64_t SeenGen = 0;
   for (;;) {
     {
@@ -151,15 +163,15 @@ void ExecPool::workerMain(unsigned Worker) {
   }
 }
 
-size_t ExecPool::runOrdered(size_t Count,
-                            const std::function<void(size_t)> &Body,
-                            const std::function<bool()> &ShouldStop) {
+size_t PoolSlice::runOrdered(size_t Count,
+                             const std::function<void(size_t)> &Body,
+                             const std::function<bool()> &ShouldStop) {
   OBS_COUNT(BatchesC, 1);
   const bool Timing = BusyUsG || WallUsG || QueueWaitH;
   int64_t WallT0 = Timing ? monoUs() : 0;
   BatchStartUs = WallT0;
   if (Workers.empty()) {
-    // Jobs == 1: the plain sequential loop, byte-for-byte the shape the
+    // Width == 1: the plain sequential loop, byte-for-byte the shape the
     // pre-pool synthesizer ran (plus at most a clock read per iteration
     // when timing sinks are attached).
     size_t I = 0;
@@ -212,4 +224,43 @@ size_t ExecPool::runOrdered(size_t Count,
   OBS_COUNT(CancelledC, Count - Cut);
   publishContextStats();
   return Cut;
+}
+
+ExecPool::ExecPool(unsigned Jobs) : TotalJobs(resolveJobs(Jobs)) {
+  Slices.push_back(std::unique_ptr<PoolSlice>(
+      new PoolSlice(TotalJobs, /*SliceIndex=*/0, /*WorkerBase=*/0)));
+  FreeSlices.push_back(Slices[0].get());
+}
+
+ExecPool::ExecPool(unsigned NumSlices, unsigned JobsPerSlice) {
+  assert(NumSlices >= 1 && JobsPerSlice >= 1 &&
+         "partitioned pool needs explicit positive dimensions");
+  TotalJobs = NumSlices * JobsPerSlice;
+  Slices.reserve(NumSlices);
+  for (unsigned I = 0; I < NumSlices; ++I)
+    Slices.push_back(std::unique_ptr<PoolSlice>(
+        new PoolSlice(JobsPerSlice, I, I * JobsPerSlice)));
+  // LIFO free list popping from the back: seed it in reverse so the
+  // first lease hands out slice 0.
+  for (unsigned I = NumSlices; I-- > 0;)
+    FreeSlices.push_back(Slices[I].get());
+}
+
+PoolSlice *ExecPool::lease() {
+  std::lock_guard<std::mutex> L(LeaseMu);
+  if (FreeSlices.empty())
+    return nullptr;
+  PoolSlice *S = FreeSlices.back();
+  FreeSlices.pop_back();
+  return S;
+}
+
+void ExecPool::release(PoolSlice *S) {
+  if (!S)
+    return;
+  std::lock_guard<std::mutex> L(LeaseMu);
+  assert(std::find(FreeSlices.begin(), FreeSlices.end(), S) ==
+             FreeSlices.end() &&
+         "double release");
+  FreeSlices.push_back(S);
 }

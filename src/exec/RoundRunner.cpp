@@ -33,7 +33,7 @@ static void applySummary(const cache::ExecSummary &Sum, RoundSlot &S) {
   S.FromExecCache = true;
 }
 
-RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
+RoundResult exec::runRound(PoolSlice &Slice, const vm::PreparedProgram &P,
                            const RoundPlan &Plan,
                            const harness::ExecPolicy &Policy,
                            const ViolationCheck &Check,
@@ -43,17 +43,22 @@ RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
                            const harness::Deadline &DL) {
   obs::TraceSink *Trace = obs::traceOrNull(Obs);
   obs::Profiler *Prof = obs::profilerOrNull(Obs);
-  assert(!Caches.Check || Caches.Check->numShards() >= Pool.jobs());
+  assert(!Caches.Check || Caches.Check->numShards() >= Slice.jobs());
   RoundResult RR;
   RR.Slots.resize(Plan.Slots.size());
-  RR.Ran = Pool.runOrdered(
+  RR.Ran = Slice.runOrdered(
       Plan.Slots.size(),
       [&](size_t I) {
         const ExecPlan &EP = Plan.Slots[I];
         assert(EP.ClientIdx < P.numClients());
         RoundSlot &S = RR.Slots[I];
         unsigned Worker = currentWorker();
-        OBS_SPAN(SlotSpan, Trace, "slot", "exec", Worker);
+        // Pool-global identity for anything shared across concurrently
+        // running slices: profiler shards and trace tracks must not
+        // collide between slices, while counter shards and the check
+        // cache stay slice-relative.
+        unsigned GWorker = Slice.base() + Worker;
+        OBS_SPAN(SlotSpan, Trace, "slot", "exec", GWorker);
         // Cross-round cache: a cacheable slot whose exact key was run
         // before (against this module generation) skips the execution
         // and the check both; the summary already embeds the verdict.
@@ -74,9 +79,9 @@ RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
         // shard. Exec wall time is measured here; the in-loop phases
         // accumulate inside run(), and ExecOther absorbs the remainder
         // at flush so the per-execution attribution is total.
-        vm::ExecContext &EC = Pool.workerContext(Worker);
+        vm::ExecContext &EC = Slice.workerContext(Worker);
         obs::ProfilerShard *Shard =
-            Prof ? &Prof->shard(Worker) : nullptr;
+            Prof ? &Prof->shard(GWorker) : nullptr;
         EC.setProfilerShard(Shard);
         std::chrono::steady_clock::time_point ProfT0{};
         if (Shard) {
@@ -120,7 +125,7 @@ RoundResult exec::runRound(ExecPool &Pool, const vm::PreparedProgram &P,
                              CheckT0, std::chrono::steady_clock::now()));
         }
         if (Shard)
-          Prof->flushExec(*Shard, ExecWallNs, Worker);
+          Prof->flushExec(*Shard, ExecWallNs, GWorker);
         if (Trace) {
           SlotSpan.arg("index", static_cast<uint64_t>(I));
           SlotSpan.arg("seed", EP.EC.Seed);

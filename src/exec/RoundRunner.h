@@ -49,9 +49,9 @@ struct ExecPlan {
 
 /// The caches a round runs against; both optional and caller-owned.
 struct RoundCaches {
-  /// Round-scoped verdict memoization, sharded per pool worker (shard
-  /// index = currentWorker(); must have been built with at least
-  /// Pool.jobs() shards). Null disables check memoization.
+  /// Round-scoped verdict memoization, sharded per slice worker (shard
+  /// index = currentWorker(), slice-relative; must have been built with
+  /// at least Slice.jobs() shards). Null disables check memoization.
   cache::CheckCache *Check = nullptr;
   /// Cross-round summaries. Frozen for the whole round — runRound only
   /// reads it; the caller inserts new results between rounds. Null
@@ -97,14 +97,19 @@ using ViolationCheck = std::function<std::string(const vm::ExecResult &)>;
 
 /// Runs \p Plan against prepared program \p P (read-only for the whole
 /// round; its module and clients must stay alive and unmodified until
-/// runRound returns). \p Stop may be null; when it fires, not-yet-started
-/// slots are cancelled and the result is the executed prefix. When \p Obs
-/// carries a trace sink, every slot emits a "slot" span on its worker's
-/// trace track (tid = currentWorker()) with the slot index, seed, outcome
-/// and retry count as args. \p Caches may carry a per-worker-sharded
-/// check cache (verdict memoization) and a frozen execution cache
-/// (cacheable slots with a stored key skip execution entirely); both
-/// default to off and neither changes any slot's observable result.
+/// runRound returns) on pool slice \p Slice, which the caller must hold
+/// exclusively for the duration (the one-shot path uses the pool's only
+/// slice; the serve daemon leases one per dispatcher slot). \p Stop may
+/// be null; when it fires, not-yet-started slots are cancelled and the
+/// result is the executed prefix. When \p Obs carries a trace sink,
+/// every slot emits a "slot" span on its worker's trace track
+/// (tid = Slice.base() + currentWorker(), globally unique across
+/// concurrently running slices) with the slot index, seed, outcome and
+/// retry count as args. \p Caches may carry a per-worker-sharded check
+/// cache (verdict memoization, shard index = slice-relative worker) and
+/// a frozen execution cache (cacheable slots with a stored key skip
+/// execution entirely); both default to off and neither changes any
+/// slot's observable result.
 ///
 /// \p DL is the round's wall-clock deadline. Unlike \p Stop (which only
 /// cancels slots that have not started), an armed deadline is threaded
@@ -112,7 +117,7 @@ using ViolationCheck = std::function<std::string(const vm::ExecResult &)>;
 /// the time remaining, so cancellation fires mid-round — a slot that is
 /// already running times out instead of overrunning. Completed slots
 /// stay bit-identical (the watchdog only decides timeout-vs-complete).
-RoundResult runRound(ExecPool &Pool, const vm::PreparedProgram &P,
+RoundResult runRound(PoolSlice &Slice, const vm::PreparedProgram &P,
                      const RoundPlan &Plan,
                      const harness::ExecPolicy &Policy,
                      const ViolationCheck &Check,

@@ -1,9 +1,9 @@
-//===- Admission.h - Bounded admission queue with explicit shed -*- C++ -*-===//
+//===- Admission.h - Bounded two-level admission queue ----------*- C++ -*-===//
 //
-// The daemon's backpressure mechanism. Admission is a bounded FIFO with
-// three verdicts and no other behavior:
+// The daemon's backpressure mechanism. Admission is a bounded two-level
+// priority queue with three verdicts and no other behavior:
 //
-//   Admitted   the request is queued; the dispatcher will run it.
+//   Admitted   the request is queued; a dispatcher slot will run it.
 //   QueueFull  capacity reached — the caller must send a structured
 //              `rejected: queue_full` response. Never a silent drop: the
 //              queue refuses work instead of buffering unboundedly or
@@ -11,11 +11,17 @@
 //   Draining   beginDrain() was called (SIGTERM / shutdown op); no new
 //              work is admitted, already-queued work still runs.
 //
+// Two priority levels (the request's `priority` field): high-priority
+// requests are always popped before normal ones, FIFO within each level.
+// Both levels share one capacity — priority changes *ordering*, never
+// admission (a high request at a full queue is still shed; anything
+// subtler would make the overload-exactness property timing-dependent).
+//
 // pop() blocks until an item is available; once draining, it returns the
-// remaining items and then nullopt, which is the dispatcher's signal to
-// exit. One producer-side mutex covers depth + drain state, so the
-// "exactly the excess gets rejected" property of the overload test is a
-// direct consequence of push being atomic.
+// remaining items and then nullopt, which is each dispatcher slot's
+// signal to exit. One producer-side mutex covers depth + drain state, so
+// the "exactly the excess gets rejected" property of the overload test
+// is a direct consequence of push being atomic.
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,8 +54,11 @@ struct Pending {
   /// thread.
   std::function<void(Json)> Respond;
   uint64_t Seq = 0; ///< Admission order, for logs and crash reports.
+  /// Queue level: high-priority requests are dispatched before normal
+  /// ones (see the header comment — ordering only, never admission).
+  bool High = false;
   /// Stamped just before push(): the queue-wait histogram measures from
-  /// here to the moment the dispatcher picks the request up.
+  /// here to the moment a dispatcher slot picks the request up.
   std::chrono::steady_clock::time_point Enqueued{};
 };
 
@@ -66,18 +75,22 @@ public:
     std::lock_guard<std::mutex> L(Mu);
     if (Draining_)
       return Verdict::Draining;
-    if (Q.size() >= Capacity)
+    if (HighQ.size() + NormalQ.size() >= Capacity)
       return Verdict::QueueFull;
-    Q.push_back(std::move(P));
+    (P.High ? HighQ : NormalQ).push_back(std::move(P));
     Cv.notify_one();
     return Verdict::Admitted;
   }
 
   /// Blocks until an item is available or the queue is draining and
-  /// empty (then returns nullopt — the dispatcher's exit signal).
+  /// empty (then returns nullopt — the dispatcher slot's exit signal).
+  /// High level first, FIFO within a level.
   std::optional<Pending> pop() {
     std::unique_lock<std::mutex> L(Mu);
-    Cv.wait(L, [&] { return !Q.empty() || Draining_; });
+    Cv.wait(L, [&] {
+      return !HighQ.empty() || !NormalQ.empty() || Draining_;
+    });
+    std::deque<Pending> &Q = HighQ.empty() ? NormalQ : HighQ;
     if (Q.empty())
       return std::nullopt;
     Pending P = std::move(Q.front());
@@ -99,7 +112,7 @@ public:
 
   size_t depth() const {
     std::lock_guard<std::mutex> L(Mu);
-    return Q.size();
+    return HighQ.size() + NormalQ.size();
   }
 
   size_t capacity() const { return Capacity; }
@@ -107,7 +120,7 @@ public:
 private:
   mutable std::mutex Mu;
   std::condition_variable Cv;
-  std::deque<Pending> Q;
+  std::deque<Pending> HighQ, NormalQ;
   size_t Capacity;
   bool Draining_ = false;
 };

@@ -118,6 +118,15 @@ std::optional<ServeRequest> serve::parseRequest(const Json &J,
     R.HasFaults = true;
     R.Faults = harness::faultPlanFromJson(*V);
   }
+  if (const Json *V = J.find("priority")) {
+    std::string P = V->asString();
+    if (P == "high")
+      R.HighPriority = true;
+    else if (P != "normal" && !P.empty()) {
+      Error = "unknown priority '" + P + "' (high|normal)";
+      return std::nullopt;
+    }
+  }
 
   if (R.Kind == ServeRequest::Op::Synth && R.Source.empty()) {
     Error = "synth request has no \"source\"";

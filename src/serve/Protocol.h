@@ -87,6 +87,10 @@ struct ServeRequest {
   uint32_t TotalMs = 0;    ///< Synthesis wall budget (degrade on expiry).
   uint32_t DeadlineMs = 0; ///< Request deadline incl. queue wait;
                            ///< 0 = the server's default.
+  /// Admission priority: "high" requests are dispatched before "normal"
+  /// ones (FIFO within a level). Ordering only — a high request at a
+  /// full queue is still shed.
+  bool HighPriority = false;
   bool CaptureBundles = false;
   unsigned MaxBundles = 4;
   bool HasFaults = false;

@@ -3,6 +3,7 @@
 #include "serve/Server.h"
 
 #include "synth/StaticBaseline.h"
+#include "vm/History.h"
 
 #include <chrono>
 #include <fstream>
@@ -36,13 +37,41 @@ Json makeTimeoutResponse(const std::string &Id, const char *Where) {
   return J;
 }
 
+unsigned resolveSlots(const ServeConfig &C) {
+  return C.Slots ? C.Slots : 1;
+}
+
+/// Slice width per slot: explicit, or the resolved Jobs budget divided
+/// evenly across slots (at least 1 — a slot can always run width-1
+/// sequentially).
+unsigned resolveSlotJobs(const ServeConfig &C) {
+  if (C.JobsPerSlot)
+    return C.JobsPerSlot;
+  unsigned Total = exec::resolveJobs(C.Jobs);
+  unsigned Per = Total / resolveSlots(C);
+  return Per ? Per : 1;
+}
+
+/// The content fingerprint that routes a request to its cache shard:
+/// module + clients, exactly the identity the ExecCache keys embed — so
+/// a repeated request always lands on the shard holding its warm
+/// entries, independent of which slot runs it.
+uint64_t requestFingerprint(const SynthJob &Job) {
+  uint64_t Fp = cache::fingerprintModule(Job.M);
+  for (const vm::Client &C : Job.Clients)
+    Fp = vm::hashCombine(Fp, cache::fingerprintClient(C));
+  return Fp;
+}
+
 } // namespace
 
 Server::Server(const ServeConfig &C)
     : Cfg(C), OwnObs{&OwnReg, nullptr, nullptr},
       Obs(C.Obs ? C.Obs : &OwnObs),
       Reg((C.Obs && C.Obs->Metrics) ? *C.Obs->Metrics : OwnReg),
-      Pool(C.Jobs), Cache(C.CacheCapacity), Queue(C.QueueCapacity),
+      NumSlots(resolveSlots(C)), SlotJobs(resolveSlotJobs(C)),
+      Pool(NumSlots, SlotJobs), Cache(NumSlots, C.CacheCapacity),
+      Queue(C.QueueCapacity),
       RequestsC(Reg.counter("serve_requests_total")),
       AdmittedC(Reg.counter("serve_admitted_total")),
       ShedC(Reg.counter("serve_shed_total")),
@@ -53,14 +82,21 @@ Server::Server(const ServeConfig &C)
       ErrorsC(Reg.counter("serve_errors_total")),
       CrashesC(Reg.counter("serve_crashes_total")),
       RetriesC(Reg.counter("serve_request_retries_total")),
+      SlotLeasesC(Reg.counter("serve_slot_leases_total")),
+      ShardWaitsC(Reg.counter("cache_shard_waits_total")),
+      AdmittedHighC(Reg.counter("serve_admitted_high_total")),
       QueueDepthG(Reg.gauge("serve_queue_depth")),
       InflightG(Reg.gauge("serve_inflight")),
+      SlotsBusyG(Reg.gauge("serve_slots_busy")),
       RequestUsH(Reg.histogram("serve_request_duration_us")),
       QueueWaitUsH(Reg.histogram("serve_queue_wait_us")) {
   if (!Cfg.CrashDir.empty())
     ::mkdir(Cfg.CrashDir.c_str(), 0755); // EEXIST is fine.
   Paused = Cfg.StartPaused;
-  Dispatcher = std::thread(&Server::dispatcherMain, this);
+  Active.resize(NumSlots);
+  Dispatchers.reserve(NumSlots);
+  for (unsigned Slot = 0; Slot < NumSlots; ++Slot)
+    Dispatchers.emplace_back(&Server::dispatcherMain, this, Slot);
 }
 
 Server::~Server() { drain(); }
@@ -85,8 +121,9 @@ void Server::drain() {
   if (Joined)
     return;
   Queue.beginDrain();
-  resume(); // A paused dispatcher cannot drain.
-  Dispatcher.join();
+  resume(); // A paused slot cannot drain.
+  for (std::thread &D : Dispatchers)
+    D.join();
   Joined = true;
 }
 
@@ -134,7 +171,7 @@ void Server::submit(const std::string &Line,
   }
   case ServeRequest::Op::Status: {
     // Answered inline on the submitting thread — never queued — so the
-    // snapshot is available even while the dispatcher is mid-request.
+    // snapshot is available even while every slot is mid-request.
     Json Resp = Json::object();
     Resp.set("id", Json::string(R->Id));
     Resp.set("status", Json::string("ok"));
@@ -165,15 +202,19 @@ void Server::submit(const std::string &Line,
   P.DL = harness::Deadline::after(DeadlineMs);
   P.Respond = std::move(Respond);
   P.Seq = Seq.fetch_add(1, std::memory_order_relaxed);
+  P.High = P.Req.HighPriority;
   P.Enqueued = std::chrono::steady_clock::now();
 
   // push moves from P only on admission; on rejection P (and its
   // Respond) are still ours, so every shed is an explicit structured
   // response — never a silent drop. Rejected requests never run, so
   // their end-to-end latency (≈0) is recorded here, split by outcome.
+  bool High = P.High;
   switch (Queue.push(P)) {
   case AdmissionQueue::Verdict::Admitted:
     AdmittedC.add(1);
+    if (High)
+      AdmittedHighC.add(1);
     QueueDepthG.set(static_cast<double>(Queue.depth()));
     return;
   case AdmissionQueue::Verdict::QueueFull:
@@ -189,39 +230,45 @@ void Server::submit(const std::string &Line,
   }
 }
 
-void Server::dispatcherMain() {
+void Server::dispatcherMain(unsigned Slot) {
   while (true) {
-    // The pause gate sits BEFORE pop: a paused dispatcher leaves the
-    // queue untouched, so a paused server holds exactly QueueCapacity
-    // requests and the overload test's shed count is deterministic.
+    // The pause gate sits BEFORE pop: a paused slot leaves the queue
+    // untouched, so a paused server holds exactly QueueCapacity
+    // requests and the overload test's shed count is deterministic
+    // whatever the slot count.
     waitWhilePaused();
     std::optional<Pending> P = Queue.pop();
     if (!P)
-      return; // Draining and empty: clean exit.
+      return; // Draining and empty: clean exit for this slot.
     QueueDepthG.set(static_cast<double>(Queue.depth()));
-    InflightG.set(1);
     {
       std::lock_guard<std::mutex> L(ActiveMu);
-      Active = ActiveInfo{P->Seq, P->Req.Id,
-                          P->Req.Kind == ServeRequest::Op::Bench
-                              ? "bench"
-                              : "synth",
-                          std::chrono::steady_clock::now()};
+      Active[Slot] = ActiveInfo{P->Seq, P->Req.Id,
+                                P->Req.Kind == ServeRequest::Op::Bench
+                                    ? "bench"
+                                    : "synth",
+                                P->High, std::chrono::steady_clock::now()};
+      ++BusySlots;
+      InflightG.set(static_cast<double>(BusySlots));
+      SlotsBusyG.set(static_cast<double>(BusySlots));
     }
-    Json Resp = runJob(*P);
+    Json Resp = runJob(*P, Slot);
     {
       std::lock_guard<std::mutex> L(ActiveMu);
-      Active.reset();
+      Active[Slot].reset();
+      --BusySlots;
+      InflightG.set(static_cast<double>(BusySlots));
+      SlotsBusyG.set(static_cast<double>(BusySlots));
     }
-    InflightG.set(0);
     P->Respond(std::move(Resp));
   }
 }
 
-Json Server::runJob(Pending &P) {
+Json Server::runJob(Pending &P, unsigned Slot) {
   auto Start = std::chrono::steady_clock::now();
-  OBS_SPAN(S, obs::traceOrNull(Obs), "request", "serve", 0);
+  OBS_SPAN(S, obs::traceOrNull(Obs), "request", "serve", Slot);
   S.arg("id", P.Req.Id);
+  S.arg("slot", static_cast<uint64_t>(Slot));
 
   // Queue wait is outcome-independent (the request had no outcome while
   // it waited); run and end-to-end time are split by outcome so tail
@@ -249,8 +296,10 @@ Json Server::runJob(Pending &P) {
             "serve", "slow request",
             {{"id", P.Req.Id},
              {"seq", std::to_string(P.Seq)},
+             {"slot", std::to_string(Slot)},
              {"op", P.Req.Kind == ServeRequest::Op::Bench ? "bench"
                                                           : "synth"},
+             {"priority", P.High ? "high" : "normal"},
              {"status", Status},
              {"queueMs",
               std::to_string(static_cast<uint64_t>(QueueUs / 1000))},
@@ -278,17 +327,37 @@ Json Server::runJob(Pending &P) {
 
   // Stamp the server's execution environment. Semantic knobs came from
   // the request (prepareJob mirrors the CLI); only the *where it runs*
-  // part is ours: the shared pool, the shared warm cache, observability,
-  // and the deadline cap on the total wall budget. Capping TotalWallMs
-  // cannot change a run that finishes in time (watchdog purity), which
-  // is what keeps daemon results byte-identical to the one-shot CLI.
-  Job->Cfg.Pool = &Pool;
-  Job->Cfg.Jobs = Pool.jobs();
+  // part is ours: an exclusively leased pool slice, the fingerprint-
+  // routed cache shard, observability, and the deadline cap on the
+  // total wall budget. Capping TotalWallMs cannot change a run that
+  // finishes in time (watchdog purity), which is what keeps daemon
+  // results byte-identical to the one-shot CLI.
+  exec::PoolSlice *Slice = Pool.lease();
+  // One slice per slot by construction, so a lease is always available.
+  assert(Slice && "slot without a free slice");
+  SlotLeasesC.add(1);
+  Job->Cfg.Slice = Slice;
+  Job->Cfg.Jobs = Slice->jobs();
   Job->Cfg.Obs = Obs;
-  if (!(Cfg.CacheEnabled && Job->Cfg.CacheEnabled))
+
+  // Cache shard: routed by content fingerprint and held (its mutex) for
+  // the whole run — the ExecCache exclusivity contract, per shard.
+  // Same-shard requests serialize here; the wait counter is the
+  // contention signal.
+  std::unique_lock<std::mutex> ShardLock;
+  if (!(Cfg.CacheEnabled && Job->Cfg.CacheEnabled)) {
     Job->Cfg.CacheEnabled = false;
-  else
-    Job->Cfg.ExecResultCache = &Cache;
+  } else {
+    size_t Shard = Cache.shardIndex(requestFingerprint(*Job));
+    ShardLock = std::unique_lock<std::mutex>(Cache.shardMutex(Shard),
+                                             std::try_to_lock);
+    if (!ShardLock.owns_lock()) {
+      ShardWaitsC.add(1);
+      ShardLock.lock();
+    }
+    Job->Cfg.ExecResultCache = &Cache.shard(Shard);
+    S.arg("cacheShard", static_cast<uint64_t>(Shard));
+  }
   // Requests that chose a dispatch mode keep it (prepareJob applied it);
   // the rest inherit the server default.
   if (P.Req.Dispatch.empty())
@@ -299,9 +368,10 @@ Json Server::runJob(Pending &P) {
       Job->Cfg.TotalWallMs = Rem;
   }
 
-  // Crash isolation: a request that throws is retried with exponential
-  // backoff (transient faults — injected or real), then degraded to
-  // conservative static fencing. The daemon survives either way.
+  // Crash isolation, per slot: a request that throws is retried with
+  // exponential backoff (transient faults — injected or real), then
+  // degraded to conservative static fencing. Other slots keep serving;
+  // the daemon survives either way.
   synth::SynthResult R;
   bool Crashed = false;
   std::string CrashWhy;
@@ -325,6 +395,7 @@ Json Server::runJob(Pending &P) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(Cfg.RetryBackoffMs << Attempt));
   }
+  Pool.release(Slice);
 
   if (Crashed) {
     DegradedC.add(1);
@@ -412,31 +483,43 @@ Json Server::statusJson() const {
   Json J = Json::object();
   J.set("proto", Json::string(ProtoName));
   J.set("jobs", Json::number(static_cast<uint64_t>(Pool.jobs())));
+  J.set("jobsPerSlot", Json::number(static_cast<uint64_t>(SlotJobs)));
   J.set("queueDepth",
         Json::number(static_cast<uint64_t>(Queue.depth())));
   J.set("queueCapacity",
         Json::number(static_cast<uint64_t>(Queue.capacity())));
   J.set("draining", Json::boolean(Queue.draining()));
   J.set("slowMs", Json::number(static_cast<uint64_t>(Cfg.SlowMs)));
+  // Per-slot state: one entry per dispatcher slot, active or idle, so
+  // callers see occupancy at a glance (and which priority level each
+  // busy slot is serving).
   Json Arr = Json::array();
+  unsigned Busy = 0;
+  auto Now = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> L(ActiveMu);
-    if (Active) {
+    Busy = BusySlots;
+    for (unsigned Slot = 0; Slot < NumSlots; ++Slot) {
       Json A = Json::object();
-      A.set("seq", Json::number(Active->Seq));
-      A.set("id", Json::string(Active->Id));
-      A.set("op", Json::string(Active->Op));
-      uint64_t Ms = static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              std::chrono::steady_clock::now() - Active->Start)
-              .count());
-      A.set("elapsedMs", Json::number(Ms));
+      A.set("slot", Json::number(static_cast<uint64_t>(Slot)));
+      A.set("active", Json::boolean(Active[Slot].has_value()));
+      if (Active[Slot]) {
+        const ActiveInfo &I = *Active[Slot];
+        A.set("seq", Json::number(I.Seq));
+        A.set("id", Json::string(I.Id));
+        A.set("op", Json::string(I.Op));
+        A.set("priority", Json::string(I.High ? "high" : "normal"));
+        uint64_t Ms = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Now - I.Start)
+                .count());
+        A.set("elapsedMs", Json::number(Ms));
+      }
       Arr.push(std::move(A));
     }
   }
-  J.set("inflight",
-        Json::number(static_cast<uint64_t>(Arr.items().size())));
-  J.set("active", std::move(Arr));
+  J.set("inflight", Json::number(static_cast<uint64_t>(Busy)));
+  J.set("slots", std::move(Arr));
   return J;
 }
 
@@ -444,6 +527,8 @@ Json Server::statsJson() const {
   Json J = Json::object();
   J.set("proto", Json::string(ProtoName));
   J.set("jobs", Json::number(static_cast<uint64_t>(Pool.jobs())));
+  J.set("slots", Json::number(static_cast<uint64_t>(NumSlots)));
+  J.set("jobsPerSlot", Json::number(static_cast<uint64_t>(SlotJobs)));
   J.set("queueDepth",
         Json::number(static_cast<uint64_t>(Queue.depth())));
   J.set("queueCapacity",
@@ -451,6 +536,7 @@ Json Server::statsJson() const {
   J.set("draining", Json::boolean(Queue.draining()));
   J.set("requests", Json::number(RequestsC.value()));
   J.set("admitted", Json::number(AdmittedC.value()));
+  J.set("admittedHigh", Json::number(AdmittedHighC.value()));
   J.set("shed", Json::number(ShedC.value()));
   J.set("rejectedDraining", Json::number(DrainRejC.value()));
   J.set("completed", Json::number(CompletedC.value()));
@@ -459,6 +545,8 @@ Json Server::statsJson() const {
   J.set("errors", Json::number(ErrorsC.value()));
   J.set("crashes", Json::number(CrashesC.value()));
   J.set("requestRetries", Json::number(RetriesC.value()));
+  J.set("slotLeases", Json::number(SlotLeasesC.value()));
+  J.set("shardWaits", Json::number(ShardWaitsC.value()));
   cache::ExecCache::Stats CS = Cache.stats();
   Json C = Json::object();
   C.set("entries", Json::number(static_cast<uint64_t>(Cache.size())));
@@ -468,6 +556,18 @@ Json Server::statsJson() const {
   C.set("hits", Json::number(CS.Hits));
   C.set("inserts", Json::number(CS.Inserts));
   C.set("rejectedFull", Json::number(CS.RejectedFull));
+  // Shard-level occupancy: which shards actually hold warm entries.
+  Json Shards = Json::array();
+  for (size_t I = 0; I < Cache.numShards(); ++I) {
+    const cache::ExecCache &Sh = Cache.shard(I);
+    Json SJ = Json::object();
+    SJ.set("shard", Json::number(static_cast<uint64_t>(I)));
+    SJ.set("entries", Json::number(static_cast<uint64_t>(Sh.size())));
+    SJ.set("capacity",
+           Json::number(static_cast<uint64_t>(Sh.capacity())));
+    Shards.push(std::move(SJ));
+  }
+  C.set("shards", std::move(Shards));
   J.set("cache", std::move(C));
   return J;
 }

@@ -1,33 +1,48 @@
 //===- Server.h - The dfence synthesis-as-a-service daemon core -*- C++ -*-===//
 //
 // A long-lived Server owns the expensive, warm state one-shot runs throw
-// away — one shared exec::ExecPool (persistent workers + per-worker
-// ExecContexts), one cross-request cache::ExecCache, one metrics
-// registry — and a single dispatcher thread that executes admitted
-// requests serially against them. Parallelism comes from *within* a
-// request (the pool fans each round's K executions across its workers),
-// which keeps the shared ExecCache inside its documented contract (never
-// used by concurrent synthesize() calls) and makes the determinism
-// guarantee direct: a request's canonical result is byte-identical to
-// the one-shot CLI run of the same request at the same --jobs.
+// away — one partitioned exec::ExecPool (persistent workers + per-worker
+// ExecContexts, split into exclusively-leasable slices), one sharded
+// cross-request cache::ShardedExecCache, one metrics registry — and N
+// dispatcher *slots*, each a thread that pops admitted requests off a
+// two-level priority queue, leases a pool slice, and runs the request
+// against it. Requests overlap across slots; parallelism *within* a
+// request still comes from the slice fanning each round's K executions
+// across its workers.
+//
+// Concurrency model (see docs/SERVICE.md):
+//   * one slice per slot — concurrent synthesize() calls never share
+//     batch state, per-worker contexts, or observability handles;
+//   * the execution cache is sharded by request content fingerprint; a
+//     request holds its shard's mutex for its whole run, so the cache's
+//     "never used by concurrent synthesize() calls" contract becomes a
+//     per-shard invariant (same-shard requests serialize, repeat
+//     requests always find their warm shard regardless of scheduling);
+//   * determinism is unchanged: a request's canonical result is
+//     byte-identical to the one-shot CLI run of the same request —
+//     results are jobs-invariant and cache hits replay recorded results,
+//     so neither slicing nor interleaving can move a byte.
 //
 // Robustness core (the reason this daemon exists):
-//   * bounded admission with explicit shed — see Admission.h;
+//   * bounded admission with explicit shed — see Admission.h; priority
+//     orders dispatch, never admission;
 //   * per-request deadlines armed at admission, threaded into in-flight
 //     rounds via harness::Deadline (mid-round cancellation), so no
 //     request outlives its deadline by more than one execution attempt;
-//   * per-request isolation — a request that throws is retried with
+//   * per-slot crash isolation — a request that throws is retried with
 //     backoff (transient faults), then falls back to conservative
 //     static fencing and answers `degraded: static_fencing` with a
-//     crash report on disk; the daemon itself never dies with it;
+//     crash report on disk; the slot (and the daemon) never dies with
+//     it;
 //   * graceful drain — beginDrain() stops admission, queued work still
-//     completes (or deadlines out), drain() joins the dispatcher.
+//     completes (or deadlines out), drain() joins every slot.
 //
 // Threading: submit() may be called from any one transport thread;
-// responses for admitted work are delivered on the dispatcher thread;
-// inline ops (ping/stats/status/shutdown and every rejection) are
-// answered on the submitting thread before submit() returns — which is
-// what makes "status" usable as live introspection while a request runs.
+// responses for admitted work are delivered on the running slot's
+// thread; inline ops (ping/stats/status/shutdown and every rejection)
+// are answered on the submitting thread before submit() returns — which
+// is what makes "status" usable as live introspection while requests
+// run.
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,15 +63,24 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace dfence::serve {
 
 struct ServeConfig {
-  /// Pool width shared by every request; 0 = hardware concurrency. A
-  /// request's result is what the one-shot CLI produces at --jobs N.
+  /// Total pool width budget; 0 = hardware concurrency. With the default
+  /// single slot, a request's result is what the one-shot CLI produces
+  /// at --jobs N (results are jobs-invariant, so this holds at any
+  /// slicing).
   unsigned Jobs = 0;
+  /// Concurrent dispatcher slots; each slot leases its own pool slice.
+  /// 1 = the serial dispatcher (the pre-partition daemon shape).
+  unsigned Slots = 1;
+  /// Pool-slice width per slot; 0 = divide the resolved Jobs budget
+  /// evenly across slots (at least 1 per slot).
+  unsigned JobsPerSlot = 0;
   /// Admission queue capacity; request N+1 while N are queued is shed
-  /// with `rejected: queue_full`.
+  /// with `rejected: queue_full`. Shared by both priority levels.
   size_t QueueCapacity = 16;
   /// Deadline applied to requests that do not carry their own
   /// "deadlineMs"; 0 = no default deadline.
@@ -69,7 +93,7 @@ struct ServeConfig {
   /// Master switch for the shared cross-request execution cache
   /// (requests can individually opt out with "cache":"off").
   bool CacheEnabled = true;
-  size_t CacheCapacity = 1 << 15;
+  size_t CacheCapacity = 1 << 15; ///< Total, split across shards.
   /// Default interpreter dispatch for requests that do not carry their
   /// own "dispatch" knob (`dfence serve --dispatch`). Byte-identical
   /// results either way; the generic mode exists for A/B and debugging.
@@ -77,35 +101,36 @@ struct ServeConfig {
   /// Directory for crash reports and captured repro bundles; empty
   /// disables the on-disk reports (responses still carry the status).
   std::string CrashDir;
-  /// Start with the dispatcher held (tests use this to make overload
-  /// and drain scenarios deterministic); resume() releases it.
+  /// Start with every dispatcher slot held (tests use this to make
+  /// overload, priority and drain scenarios deterministic); resume()
+  /// releases them.
   bool StartPaused = false;
   /// Optional external observability context. Null: the server uses its
   /// own private metrics registry (reachable via registry()).
   const obs::ObsContext *Obs = nullptr;
   /// Slow-request threshold: a request whose end-to-end time (queue wait
   /// included) exceeds this emits one structured warn log line with the
-  /// request id, op, outcome and timing breakdown. 0 disables.
+  /// request id, op, slot, outcome and timing breakdown. 0 disables.
   uint32_t SlowMs = 0;
 };
 
 class Server {
 public:
   explicit Server(const ServeConfig &C);
-  ~Server(); ///< Drains (resuming if paused) and joins.
+  ~Server(); ///< Drains (resuming if paused) and joins every slot.
 
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
   /// Handles one request line: parses, answers inline ops and every
   /// rejection synchronously via \p Respond, enqueues synth/bench work
-  /// (whose response arrives later, on the dispatcher thread). \p
-  /// Respond must be callable from both threads; it is invoked exactly
-  /// once per submit.
+  /// (whose response arrives later, on a dispatcher slot's thread). \p
+  /// Respond must be callable from any of those threads; it is invoked
+  /// exactly once per submit.
   void submit(const std::string &Line, std::function<void(Json)> Respond);
 
-  /// Holds the dispatcher before it claims the next request / releases
-  /// it. Pausing does not interrupt a request already running.
+  /// Holds every dispatcher slot before it claims the next request /
+  /// releases them. Pausing does not interrupt requests already running.
   void pause();
   void resume();
 
@@ -113,16 +138,18 @@ public:
   void beginDrain();
   bool draining() const { return Queue.draining(); }
 
-  /// beginDrain + resume + join: returns once every admitted request
-  /// has been answered. Idempotent.
+  /// beginDrain + resume + join all slots: returns once every admitted
+  /// request has been answered. Idempotent.
   void drain();
 
-  /// Daemon statistics snapshot (the "stats" op's payload).
+  /// Daemon statistics snapshot (the "stats" op's payload), including
+  /// per-shard execution-cache occupancy.
   Json statsJson() const;
 
   /// Live introspection snapshot (the "status" op's payload): queue
-  /// depth/capacity, drain state, and the active-request listing with
-  /// per-request elapsed milliseconds. Answered inline on the submitting
+  /// depth/capacity, drain state, and a per-slot listing ("slots": one
+  /// entry per dispatcher slot with its active request, elapsed
+  /// milliseconds and priority). Answered inline on the submitting
   /// thread, so it works mid-request by construction.
   Json statusJson() const;
 
@@ -132,14 +159,16 @@ public:
   obs::Registry &registry() { return Reg; }
 
   unsigned jobs() const { return Pool.jobs(); }
-  cache::ExecCache &execCache() { return Cache; }
+  unsigned slots() const { return NumSlots; }
+  unsigned jobsPerSlot() const { return SlotJobs; }
+  cache::ShardedExecCache &execCache() { return Cache; }
 
 private:
-  void dispatcherMain();
+  void dispatcherMain(unsigned Slot);
   void waitWhilePaused();
-  /// Runs one admitted request with isolation, retries and deadline
-  /// enforcement; returns the response object.
-  Json runJob(Pending &P);
+  /// Runs one admitted request on \p Slot with isolation, retries and
+  /// deadline enforcement; returns the response object.
+  Json runJob(Pending &P, unsigned Slot);
   /// Writes captured bundles / a crash report; returns the paths (empty
   /// when CrashDir is unset).
   std::vector<std::string>
@@ -152,14 +181,17 @@ private:
   obs::ObsContext OwnObs;         ///< {&OwnReg, null, null}.
   const obs::ObsContext *Obs;     ///< What requests run under.
   obs::Registry &Reg;             ///< Where serve_* metrics live.
-  exec::ExecPool Pool;
-  cache::ExecCache Cache;
+  unsigned NumSlots;              ///< Resolved dispatcher slot count.
+  unsigned SlotJobs;              ///< Resolved slice width per slot.
+  exec::ExecPool Pool;            ///< NumSlots slices × SlotJobs workers.
+  cache::ShardedExecCache Cache;  ///< One shard per slot's worth of work.
   AdmissionQueue Queue;
 
   // Pre-resolved serve metrics (always non-null; Reg outlives them).
   obs::Counter &RequestsC, &AdmittedC, &ShedC, &DrainRejC, &CompletedC,
-      &TimeoutsC, &DegradedC, &ErrorsC, &CrashesC, &RetriesC;
-  obs::Gauge &QueueDepthG, &InflightG;
+      &TimeoutsC, &DegradedC, &ErrorsC, &CrashesC, &RetriesC,
+      &SlotLeasesC, &ShardWaitsC, &AdmittedHighC;
+  obs::Gauge &QueueDepthG, &InflightG, &SlotsBusyG;
   obs::Histogram &RequestUsH, &QueueWaitUsH;
   /// Per-outcome latency split: the registry has no label support, so
   /// the outcome rides in the metric name (serve_run_us_ok, ..._timeout,
@@ -167,24 +199,25 @@ private:
   /// requests rejected before running). Resolved on first use.
   obs::Histogram &outcomeHistogram(const char *Kind, const char *Outcome);
 
-  /// What the dispatcher is running right now (at most one request; the
-  /// daemon runs admitted work serially). Read by statusJson() from the
-  /// submitting thread, hence the mutex.
+  /// What each dispatcher slot is running right now. Read by
+  /// statusJson() from the submitting thread, hence the mutex.
   struct ActiveInfo {
     uint64_t Seq = 0;
     std::string Id;
     const char *Op = "synth";
+    bool High = false;
     std::chrono::steady_clock::time_point Start{};
   };
   mutable std::mutex ActiveMu;
-  std::optional<ActiveInfo> Active;
+  std::vector<std::optional<ActiveInfo>> Active; ///< Indexed by slot.
+  unsigned BusySlots = 0; ///< Guarded by ActiveMu.
 
   std::mutex PauseMu;
   std::condition_variable PauseCv;
   bool Paused = false;
 
   std::atomic<uint64_t> Seq{0};
-  std::thread Dispatcher;
+  std::vector<std::thread> Dispatchers; ///< One thread per slot.
   std::mutex JoinMu; ///< Serializes drain()/~Server join.
   bool Joined = false;
 };

@@ -332,16 +332,23 @@ SynthResult synth::synthesize(const ir::Module &M,
   std::map<OrderingPredicate, sat::Var> PredVar;
   std::vector<OrderingPredicate> VarPred;
 
-  // The worker pool lives for the whole run; each round fans its K
+  // The pool slice lives for the whole run; each round fans its K
   // executions across it and merges in execution-index order, so the
-  // result is bit-identical to the sequential engine at any Jobs value.
-  // A caller-owned pool (the serve daemon's shared warm pool) is used as
-  // is; otherwise a private pool is built for this run.
+  // result is bit-identical to the sequential engine at any Jobs value
+  // (and any slice width). A caller-leased slice (the concurrent serve
+  // dispatcher) is used as is; a caller-owned pool contributes its
+  // slice 0; otherwise a private pool is built for this run. setObs is
+  // per-slice, so concurrent synthesize() calls on separately leased
+  // slices never race on observability handles.
   std::optional<exec::ExecPool> OwnedPool;
-  if (!Cfg.Pool)
-    OwnedPool.emplace(Cfg.Jobs);
-  exec::ExecPool &Pool = Cfg.Pool ? *Cfg.Pool : *OwnedPool;
-  Pool.setObs(Cfg.Obs);
+  exec::PoolSlice *SliceP = Cfg.Slice;
+  if (!SliceP) {
+    if (!Cfg.Pool)
+      OwnedPool.emplace(Cfg.Jobs);
+    SliceP = Cfg.Pool ? &Cfg.Pool->slice(0) : &OwnedPool->slice(0);
+  }
+  exec::PoolSlice &Slice = *SliceP;
+  Slice.setObs(Cfg.Obs);
 
   // Result caches (src/cache/). Verdict memoization only pays for specs
   // with a non-trivial history check; the cross-round execution cache is
@@ -366,7 +373,7 @@ SynthResult synth::synthesize(const ir::Module &M,
   }
   std::optional<cache::CheckCache> CheckC;
   if (CheckCaching)
-    CheckC.emplace(Pool.jobs());
+    CheckC.emplace(Slice.jobs());
 
   // Cross-round cache keys: fingerprints of everything a slot's result
   // depends on beyond its ExecConfig. The module fingerprint is
@@ -474,7 +481,7 @@ SynthResult synth::synthesize(const ir::Module &M,
     if (CheckC)
       CheckC->beginRound();
     exec::RoundResult RR = exec::runRound(
-        Pool, *Prepared, Plan, Cfg.Exec,
+        Slice, *Prepared, Plan, Cfg.Exec,
         [&Cfg](const vm::ExecResult &R) { return checkExecution(R, Cfg); },
         StopFn, Cfg.Obs,
         exec::RoundCaches{CheckC ? &*CheckC : nullptr, ExecC}, RoundDL);

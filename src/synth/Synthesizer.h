@@ -35,6 +35,7 @@ class ExecCache;
 
 namespace dfence::exec {
 class ExecPool;
+class PoolSlice;
 } // namespace dfence::exec
 
 namespace dfence::synth {
@@ -85,13 +86,20 @@ struct SynthConfig {
   unsigned Jobs = 1;
 
   /// Optional externally owned worker pool. When set, synthesize() fans
-  /// rounds across it instead of constructing a private pool — the serve
-  /// daemon shares one warm pool (and its per-worker ExecContexts)
-  /// across every request. Not owned; must outlive synthesize(), and
-  /// must not be used by concurrent synthesize() calls. Determinism is
-  /// unaffected: results are merged in execution-index order regardless
-  /// of who owns the workers.
+  /// rounds across its slice 0 instead of constructing a private pool.
+  /// Not owned; must outlive synthesize(), and slice 0 must not be used
+  /// by concurrent synthesize() calls. Determinism is unaffected:
+  /// results are merged in execution-index order regardless of who owns
+  /// the workers. Ignored when Slice is set.
   exec::ExecPool *Pool = nullptr;
+
+  /// Optional exclusively-leased pool slice. When set, synthesize()
+  /// fans rounds across exactly this slice — the concurrent serve
+  /// dispatcher leases one slice per dispatcher slot, so concurrent
+  /// synthesize() calls never share batch state, per-worker contexts or
+  /// observability handles. Not owned; the caller must hold the lease
+  /// until synthesize() returns. Takes precedence over Pool/Jobs.
+  exec::PoolSlice *Slice = nullptr;
 
   /// Interpreter dispatch mode forwarded to every execution (`dfence
   /// --dispatch specialized|generic`). Specialized binds each execution

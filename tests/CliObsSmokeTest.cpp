@@ -225,6 +225,38 @@ TEST(CliObsSmokeTest, ServeFlagsGoThroughTheSameParser) {
   EXPECT_NE(Out.find("--cache"), std::string::npos) << Out;
 }
 
+TEST(CliObsSmokeTest, ContradictorySlotFlagsExitTwo) {
+  // slots x jobs-per-slot must fit an explicit --jobs budget; a
+  // contradiction is a hard error, not a silent re-partition.
+  std::string Out;
+  int Exit = runCommand(std::string(DFENCE_BIN) +
+                            " serve --jobs 2 --slots 2 --jobs-per-slot 2",
+                        Out);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_NE(Out.find("exceeds"), std::string::npos) << Out;
+  // Even without an explicit per-slot width: each slot needs at least
+  // one worker from the budget.
+  Exit = runCommand(std::string(DFENCE_BIN) + " serve --jobs 2 --slots 4",
+                    Out);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_NE(Out.find("exceeds"), std::string::npos) << Out;
+  // Zero-width requests are nonsense.
+  Exit = runCommand(std::string(DFENCE_BIN) + " serve --slots 0", Out);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_NE(Out.find("--slots"), std::string::npos) << Out;
+  Exit = runCommand(std::string(DFENCE_BIN) + " serve --jobs-per-slot 0",
+                    Out);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_NE(Out.find("--jobs-per-slot"), std::string::npos) << Out;
+  // --slots belongs to serve alone; the strict per-command flag table
+  // rejects it anywhere else.
+  Exit = runCommand(std::string(DFENCE_BIN) +
+                        " bench \"MSN Queue\" --k 50 --rounds 1 --slots 2",
+                    Out);
+  EXPECT_EQ(Exit, 2);
+  EXPECT_NE(Out.find("unknown flag '--slots'"), std::string::npos) << Out;
+}
+
 TEST(CliObsSmokeTest, WallClockFlagReportsTimeoutWithPartialSummary) {
   std::string Out;
   int Exit = runCommand(std::string(DFENCE_BIN) +

@@ -145,8 +145,8 @@ TEST(RoundRunnerTest, ParallelSlotsMatchSequentialRun) {
 
   vm::PreparedProgram Prog(CR.Module, Clients);
   ExecPool Seq(1), Par(4);
-  RoundResult A = runRound(Seq, Prog, Plan, Policy, Check);
-  RoundResult B = runRound(Par, Prog, Plan, Policy, Check);
+  RoundResult A = runRound(Seq.slice(0), Prog, Plan, Policy, Check);
+  RoundResult B = runRound(Par.slice(0), Prog, Plan, Policy, Check);
   ASSERT_EQ(A.Ran, Plan.Slots.size());
   ASSERT_EQ(B.Ran, Plan.Slots.size());
   for (size_t I = 0; I != Plan.Slots.size(); ++I) {
@@ -170,7 +170,7 @@ TEST(RoundRunnerTest, StopPredicateCancelsPendingSlots) {
   ExecPool Pool(4);
   std::atomic<size_t> Started{0};
   RoundResult RR = runRound(
-      Pool, Prog, Plan, Policy,
+      Pool.slice(0), Prog, Plan, Policy,
       [&](const vm::ExecResult &) {
         ++Started;
         return std::string();

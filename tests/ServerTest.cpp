@@ -337,14 +337,19 @@ TEST(Server, StatusAnswersInlineMidRequestWithSnapshot) {
     ASSERT_NE(Srv->find("queueCapacity"), nullptr);
     ASSERT_NE(Srv->find("draining"), nullptr);
     ASSERT_NE(Srv->find("inflight"), nullptr);
-    const Json *Active = Srv->find("active");
-    ASSERT_NE(Active, nullptr);
-    ASSERT_TRUE(Active->isArray());
-    if (!Active->items().empty()) {
+    const Json *Slots = Srv->find("slots");
+    ASSERT_NE(Slots, nullptr);
+    ASSERT_TRUE(Slots->isArray());
+    // One entry per dispatcher slot, active or idle (default: 1 slot).
+    ASSERT_EQ(Slots->items().size(), 1u);
+    const Json &A = Slots->items()[0];
+    ASSERT_NE(A.find("slot"), nullptr);
+    ASSERT_NE(A.find("active"), nullptr);
+    if (A.find("active")->asBool()) {
       SawActive = true;
-      const Json &A = Active->items()[0];
       EXPECT_EQ(A.find("id")->asString(), "big");
       EXPECT_EQ(A.find("op")->asString(), "synth");
+      EXPECT_EQ(A.find("priority")->asString(), "normal");
       ASSERT_NE(A.find("seq"), nullptr);
       ASSERT_NE(A.find("elapsedMs"), nullptr);
       EXPECT_EQ(Srv->find("inflight")->asU64(), 1u);
@@ -359,7 +364,8 @@ TEST(Server, StatusAnswersInlineMidRequestWithSnapshot) {
   // After drain the listing is empty again...
   Json Final = S.statusJson();
   EXPECT_EQ(Final.find("inflight")->asU64(), 0u);
-  EXPECT_TRUE(Final.find("active")->items().empty());
+  for (const Json &Slot : Final.find("slots")->items())
+    EXPECT_FALSE(Slot.find("active")->asBool());
 
   // ...the per-outcome latency split exists for the request's outcome
   // (timeout here — its deadline expired mid-flight), plus queue wait...

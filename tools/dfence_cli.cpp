@@ -165,7 +165,15 @@ void printHelp(FILE *Out) {
       "executions\n"
       "\n"
       "serve flags:\n"
-      "  --jobs N            shared worker pool width (0 = hardware)\n"
+      "  --jobs N            total worker pool width (0 = hardware)\n"
+      "  --slots N           concurrent dispatcher slots, each leasing "
+      "its own\n"
+      "                      pool slice (default 1 = serial dispatch)\n"
+      "  --jobs-per-slot N   pool-slice width per slot (default: --jobs "
+      "divided\n"
+      "                      evenly across slots, at least 1). "
+      "slots x jobs-per-slot\n"
+      "                      must not exceed an explicit --jobs\n"
       "  --queue N           admission queue capacity (default 16); "
       "overflow is\n"
       "                      shed with a structured rejected response\n"
@@ -245,7 +253,8 @@ const std::map<std::string, std::vector<const char *>> &knownFlags() {
       // log would look like a successful-but-empty run.
       {"replay", {"round-log"}},
       {"serve",
-       {"jobs", "queue", "deadline-ms", "request-retries",
+       {"jobs", "slots", "jobs-per-slot", "queue", "deadline-ms",
+        "request-retries",
         "retry-backoff-ms", "cache", "cache-capacity", "dispatch",
         "crash-dir",
         "listen", "socket", "metrics-port", "=no-stdio", "metrics-out",
@@ -794,6 +803,31 @@ int cmdBench(const Options &Opt) {
 int cmdServe(const Options &Opt) {
   serve::ServeConfig SC;
   SC.Jobs = static_cast<unsigned>(Opt.getInt("jobs", 0));
+  SC.Slots = static_cast<unsigned>(Opt.getInt("slots", 1));
+  SC.JobsPerSlot =
+      static_cast<unsigned>(Opt.getInt("jobs-per-slot", 0));
+  if (Opt.has("slots") && SC.Slots == 0) {
+    std::fprintf(stderr, "error: --slots must be at least 1\n");
+    return 2;
+  }
+  if (Opt.has("jobs-per-slot") && SC.JobsPerSlot == 0) {
+    std::fprintf(stderr, "error: --jobs-per-slot must be at least 1\n");
+    return 2;
+  }
+  // Contradictory widths are a hard error, not a silent re-partition: an
+  // explicit --jobs budget must cover one slice per slot.
+  if (Opt.has("jobs") && SC.Jobs) {
+    unsigned Width =
+        SC.Slots * (SC.JobsPerSlot ? SC.JobsPerSlot : 1);
+    if (Width > SC.Jobs) {
+      std::fprintf(stderr,
+                   "error: --slots %u x --jobs-per-slot %u exceeds the "
+                   "--jobs %u pool width\n",
+                   SC.Slots, SC.JobsPerSlot ? SC.JobsPerSlot : 1,
+                   SC.Jobs);
+      return 2;
+    }
+  }
   SC.QueueCapacity = static_cast<size_t>(Opt.getInt("queue", 16));
   SC.DefaultDeadlineMs =
       static_cast<uint32_t>(Opt.getInt("deadline-ms", 0));

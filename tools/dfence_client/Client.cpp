@@ -1,0 +1,185 @@
+//===- Client.cpp - Minimal dfence serve client library -------------------===//
+
+#include "dfence_client/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+using namespace dfence;
+using namespace dfence::client;
+
+std::optional<ServeClient>
+ServeClient::connectUnix(const std::string &Path, std::string &Error) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    ::close(Fd);
+    Error = "socket path too long: " + Path;
+    return std::nullopt;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    Error = "connect " + Path + ": " + std::strerror(errno);
+    ::close(Fd);
+    return std::nullopt;
+  }
+  ServeClient C(Fd);
+  if (!C.readHello(Error))
+    return std::nullopt;
+  return C;
+}
+
+std::optional<ServeClient> ServeClient::connectTcp(int Port,
+                                                   std::string &Error) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    Error = "connect localhost:" + std::to_string(Port) + ": " +
+            std::strerror(errno);
+    ::close(Fd);
+    return std::nullopt;
+  }
+  ServeClient C(Fd);
+  if (!C.readHello(Error))
+    return std::nullopt;
+  return C;
+}
+
+ServeClient::ServeClient(ServeClient &&O) noexcept
+    : Fd(std::exchange(O.Fd, -1)), Buf(std::move(O.Buf)),
+      Stash(std::move(O.Stash)), Hello(std::move(O.Hello)) {}
+
+ServeClient &ServeClient::operator=(ServeClient &&O) noexcept {
+  if (this != &O) {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = std::exchange(O.Fd, -1);
+    Buf = std::move(O.Buf);
+    Stash = std::move(O.Stash);
+    Hello = std::move(O.Hello);
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool ServeClient::readHello(std::string &Error) {
+  auto Line = readLine(Error);
+  if (!Line) {
+    if (Error.empty())
+      Error = "connection closed before hello";
+    return false;
+  }
+  auto J = Json::parse(*Line, Error);
+  if (!J) {
+    Error = "bad hello line: " + Error;
+    return false;
+  }
+  Hello = std::move(*J);
+  return true;
+}
+
+std::optional<std::string> ServeClient::readLine(std::string &Error) {
+  while (true) {
+    size_t Nl = Buf.find('\n');
+    if (Nl != std::string::npos) {
+      std::string Line = Buf.substr(0, Nl);
+      Buf.erase(0, Nl + 1);
+      return Line;
+    }
+    char Chunk[4096];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N == 0) {
+      Error.clear(); // Clean EOF: the daemon drained and closed.
+      return std::nullopt;
+    }
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = std::string("read: ") + std::strerror(errno);
+      return std::nullopt;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+bool ServeClient::send(const Json &Request, std::string &Error) {
+  std::string Line = Request.dump() + "\n";
+  size_t Off = 0;
+  while (Off < Line.size()) {
+    ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::optional<Json> ServeClient::recv(std::string &Error) {
+  auto Line = readLine(Error);
+  if (!Line)
+    return std::nullopt;
+  auto J = Json::parse(*Line, Error);
+  if (!J)
+    Error = "bad response line: " + Error;
+  return J;
+}
+
+std::optional<Json> ServeClient::waitFor(const std::string &Id,
+                                         std::string &Error) {
+  auto Hit = Stash.find(Id);
+  if (Hit != Stash.end()) {
+    Json J = std::move(Hit->second);
+    Stash.erase(Hit);
+    return J;
+  }
+  // Concurrent slots answer in completion order, not submission order;
+  // park strangers until their waiter shows up.
+  while (true) {
+    auto J = recv(Error);
+    if (!J)
+      return std::nullopt;
+    std::string RespId;
+    if (const Json *IdJ = J->find("id"))
+      RespId = IdJ->asString();
+    if (RespId == Id)
+      return J;
+    Stash[RespId] = std::move(*J);
+  }
+}
+
+std::optional<Json> ServeClient::call(const Json &Request,
+                                      std::string &Error) {
+  if (!send(Request, Error))
+    return std::nullopt;
+  std::string Id;
+  if (const Json *IdJ = Request.find("id"))
+    Id = IdJ->asString();
+  return waitFor(Id, Error);
+}
