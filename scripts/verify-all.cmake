@@ -23,7 +23,14 @@
 # flight_recorder_differential_test read-only gate and bench_obs_smoke
 # (obs_overhead --smoke, which validates BENCH_obs.json; the <=2%
 # recorder-off overhead budget is enforced by the full `obs_overhead`
-# run, not here — timing bars are meaningless under sanitizers).
+# run, not here — timing bars are meaningless under sanitizers). The
+# fuzz suite (fuzz_determinism_test, litmus_corpus_test,
+# fuzz_serve_test, bench_fuzz_smoke) is tier1 too: fuzz_serve_test
+# hammers the multi-slot dispatcher on the tsan leg, and
+# bench_fuzz_smoke (fuzz_campaign --smoke) hard-fails on any
+# distinct-fingerprint drift across the direct/warm/serve postures —
+# that gate is deterministic, so it holds at smoke sizes and under
+# sanitizers alike (scenarios/s bars are full-run only).
 
 foreach(preset IN ITEMS verify-default verify-sanitize verify-tsan)
   message(STATUS "==== workflow: ${preset} ====")

@@ -1,0 +1,28 @@
+//===- Fingerprint.cpp - Canonical repair-outcome fingerprint -------------===//
+
+#include "fuzz/Fingerprint.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace dfence;
+using namespace dfence::fuzz;
+
+std::string Fingerprint::hex() const {
+  return strformat("%016llx", static_cast<unsigned long long>(Hash));
+}
+
+Fingerprint fuzz::fingerprintOutcome(const std::string &Family,
+                                     const std::string &Status,
+                                     std::vector<std::string> Fences) {
+  std::sort(Fences.begin(), Fences.end());
+  Fences.erase(std::unique(Fences.begin(), Fences.end()), Fences.end());
+  Fingerprint FP;
+  FP.Canon = Family + "|" + Status + "|" + join(Fences, ";");
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : FP.Canon)
+    H = (H ^ static_cast<unsigned char>(C)) * 1099511628211ULL;
+  FP.Hash = H;
+  return FP;
+}

@@ -1,0 +1,45 @@
+//===- Fingerprint.h - Canonical repair-outcome fingerprint -----*- C++ -*-===//
+//
+// Dedups fuzz campaign violations by *synthesis outcome*, not by raw
+// failure: two scenarios that drive the same module shape to the same
+// status class and the same minimized fence set are the same discovery,
+// however different their clients or seeds were. The canonical text is
+//
+//   <family> "|" <status> "|" <sorted, deduped fence strings>
+//
+// where fence strings are synth::InsertedFence::str() renderings
+// ("(func, 14:15) st-st") — module-shape-relative, because every
+// scenario of a family shares the family's source prefix (wrapper
+// templates are appended after it), so equal placements render equally.
+// The 64-bit FNV-1a hash of that text is the bucket key; the text rides
+// along so collisions are detectable and reports are self-describing.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_FUZZ_FINGERPRINT_H
+#define DFENCE_FUZZ_FINGERPRINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfence::fuzz {
+
+struct Fingerprint {
+  uint64_t Hash = 0;
+  std::string Canon; ///< The canonical text the hash covers.
+
+  /// 16-hex-digit rendering of Hash (the report/bucket key).
+  std::string hex() const;
+};
+
+/// Builds the fingerprint of one synthesis outcome. \p Status is the
+/// synth status name ("converged", "cannot-fix", ...); \p Fences the
+/// InsertedFence::str() strings of the final program.
+Fingerprint fingerprintOutcome(const std::string &Family,
+                               const std::string &Status,
+                               std::vector<std::string> Fences);
+
+} // namespace dfence::fuzz
+
+#endif // DFENCE_FUZZ_FINGERPRINT_H

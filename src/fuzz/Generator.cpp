@@ -1,0 +1,172 @@
+//===- Generator.cpp - Seeded MiniC scenario generator --------------------===//
+
+#include "fuzz/Generator.h"
+
+#include "programs/Benchmark.h"
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+using namespace dfence;
+using namespace dfence::fuzz;
+
+std::vector<std::string> fuzz::knownFamilyNames() {
+  std::vector<std::string> Names;
+  for (const programs::ApiFamily &F : programs::fuzzApiFamilies())
+    Names.push_back(F.Name);
+  return Names;
+}
+
+namespace {
+
+const programs::ApiFamily &familyByName(const std::string &Name) {
+  for (const programs::ApiFamily &F : programs::fuzzApiFamilies())
+    if (F.Name == Name)
+      return F;
+  reportFatalError("unknown fuzz family: " + Name);
+}
+
+/// Renders the default wrapper for \p Fam: a driver function looping
+/// \c n times over the family's mix statements.
+std::string defaultWrapper(const programs::ApiFamily &Fam) {
+  std::string Body = "int fuzz_mix(int n) {\n  int i = 0;\n"
+                     "  while (i < n) {\n";
+  for (const std::string &Line : Fam.MixBody)
+    Body += "    " + Line + "\n";
+  Body += "    i = i + 1;\n  }\n  return 0;\n}\n";
+  return Body;
+}
+
+/// One thread's random operation sequence, rendered as DSL text.
+std::string generateThreadScript(Rng &R, const GeneratorOptions &O,
+                                 const programs::ApiFamily &Fam,
+                                 bool Owner, uint64_t &ValueCounter) {
+  std::vector<const programs::ApiOp *> Avail;
+  for (const programs::ApiOp &Op : Fam.Ops)
+    if (Owner ? !Op.ThiefOnly : !Op.OwnerOnly)
+      Avail.push_back(&Op);
+  if (Avail.empty())
+    for (const programs::ApiOp &Op : Fam.Ops)
+      Avail.push_back(&Op);
+
+  unsigned N =
+      O.MinOps + static_cast<unsigned>(
+                     R.nextBelow(O.MaxOps >= O.MinOps
+                                     ? O.MaxOps - O.MinOps + 1
+                                     : 1));
+  std::vector<std::string> Calls;
+  // Producer-call indices not yet consumed by a TakesRef op: release
+  // always frees something this thread actually allocated, exactly once.
+  std::vector<unsigned> Unconsumed;
+  for (unsigned K = 0; K != N; ++K) {
+    const programs::ApiOp *Op = Avail[R.nextBelow(Avail.size())];
+    if (Op->TakesRef && Unconsumed.empty()) {
+      // Nothing to release yet: substitute a producer when the family
+      // has one, else fall back to any non-ref op.
+      const programs::ApiOp *Sub = nullptr;
+      for (const programs::ApiOp *Cand : Avail)
+        if (Cand->Producer)
+          Sub = Cand;
+      if (!Sub)
+        for (const programs::ApiOp *Cand : Avail)
+          if (!Cand->TakesRef)
+            Sub = Cand;
+      Op = Sub ? Sub : Op;
+    }
+    if (Op->TakesRef && !Unconsumed.empty()) {
+      size_t Pick = R.nextBelow(Unconsumed.size());
+      unsigned Ref = Unconsumed[Pick];
+      Unconsumed.erase(Unconsumed.begin() +
+                       static_cast<ptrdiff_t>(Pick));
+      Calls.push_back(Op->Func + "($" + std::to_string(Ref) + ")");
+    } else if (Op->TakesValue) {
+      uint64_t Arg = Op->ArgRange
+                         ? 1 + R.nextBelow(Op->ArgRange)
+                         : ++ValueCounter;
+      Calls.push_back(Op->Func + "(" + std::to_string(Arg) + ")");
+    } else {
+      Calls.push_back(Op->Func + "()");
+    }
+    if (Op->Producer)
+      Unconsumed.push_back(K);
+  }
+  return join(Calls, ";");
+}
+
+} // namespace
+
+std::vector<Scenario> fuzz::generateScenarios(const GeneratorOptions &O) {
+  std::vector<const programs::ApiFamily *> Enabled;
+  if (O.Families.empty())
+    for (const programs::ApiFamily &F : programs::fuzzApiFamilies())
+      Enabled.push_back(&F);
+  else
+    for (const std::string &Name : O.Families)
+      Enabled.push_back(&familyByName(Name));
+
+  unsigned LoT = O.MinThreads < 2 ? 2 : O.MinThreads;
+  unsigned HiT = O.MaxThreads < LoT ? LoT : O.MaxThreads;
+
+  std::vector<Scenario> Out;
+  Out.reserve(O.Count);
+  for (unsigned I = 0; I != O.Count; ++I) {
+    Scenario S;
+    S.Name = strformat("fuzz-%06u", I);
+    Rng R(deriveSeed(O.FuzzSeed, "scenario-" + std::to_string(I)));
+    const programs::ApiFamily &Fam =
+        *Enabled[R.nextBelow(Enabled.size())];
+    const programs::Benchmark &Bench =
+        programs::benchmarkByName(Fam.BenchName);
+    S.Family = Fam.Name;
+    S.InitFunc = Bench.InitFunc;
+    S.Seed = deriveSeed(O.FuzzSeed, S.Name);
+
+    unsigned Threads =
+        LoT + static_cast<unsigned>(R.nextBelow(HiT - LoT + 1));
+    bool HaveTemplates =
+        !Fam.MixBody.empty() || !O.ExtraTemplates.empty();
+    bool UseTemplate = HaveTemplates && R.nextBool(O.TemplateProb);
+
+    uint64_t ValueCounter = 0;
+    std::vector<std::string> ThreadScripts;
+    for (unsigned T = 0; T != Threads; ++T) {
+      bool Owner = T == 0;
+      if (Owner && UseTemplate) {
+        // Thread 0 runs the wrapper; the loop count is drawn here so
+        // the remaining threads' draw sequence is template-invariant.
+        unsigned LoopN = 2 + static_cast<unsigned>(R.nextBelow(4));
+        size_t NumDefault = Fam.MixBody.empty() ? 0 : 1;
+        size_t Pick = R.nextBelow(NumDefault + O.ExtraTemplates.size());
+        std::string CallName;
+        std::string Body;
+        if (Pick < NumDefault) {
+          CallName = "fuzz_mix";
+          Body = defaultWrapper(Fam);
+        } else {
+          const ScenarioTemplate &TT =
+              O.ExtraTemplates[Pick - NumDefault];
+          CallName = TT.Name;
+          Body = TT.Body;
+        }
+        S.Source = Bench.Source + "\n" + Body;
+        ThreadScripts.push_back(CallName + "(" +
+                                std::to_string(LoopN) + ")");
+        continue;
+      }
+      ThreadScripts.push_back(
+          generateThreadScript(R, O, Fam, Owner, ValueCounter));
+    }
+    S.ClientDsl = join(ThreadScripts, "|");
+    if (UseTemplate) {
+      // Wrapper calls hide the API operations from the history-based
+      // sequential checkers, so template scenarios check memory safety.
+      S.SpecName = "safety";
+    } else {
+      S.Source = Bench.Source;
+      S.SpecName = Fam.SpecName;
+      S.SeqSpecName = Fam.SeqSpecName;
+    }
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}

@@ -1,0 +1,77 @@
+//===- Generator.h - Seeded MiniC scenario generator ------------*- C++ -*-===//
+//
+// Turns one 64-bit fuzz seed into an arbitrarily large, fully
+// deterministic corpus of synthesis scenarios: random operation mixes
+// over the data-structure APIs of the benchmark suite
+// (enqueue/dequeue/push/pop/steal/add/remove/contains), with randomized
+// thread counts, argument streams and interleaved-call wrapper
+// templates. Scenario i's private Rng is seeded
+// deriveSeed(FuzzSeed, "scenario-i"), so corpora are byte-identical
+// across runs, machines and generation order, and adding scenario i+1
+// never perturbs scenario i.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_FUZZ_GENERATOR_H
+#define DFENCE_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfence::fuzz {
+
+/// An extra interleaved-call wrapper injected into the template pool.
+/// \c Name is the MiniC function the generated client calls (with one
+/// integer loop-count argument); \c Body is the full function text
+/// appended after the benchmark source. Tests use a template whose body
+/// references a missing API to pin the compile-rejection path.
+struct ScenarioTemplate {
+  std::string Name;
+  std::string Body;
+};
+
+struct GeneratorOptions {
+  uint64_t FuzzSeed = 1;
+  unsigned Count = 100;
+  /// Per-thread operation count range (inclusive).
+  unsigned MinOps = 1;
+  unsigned MaxOps = 6;
+  /// Thread count range (inclusive); clamped to at least 2 — a
+  /// single-thread scenario cannot exhibit a reordering violation.
+  unsigned MinThreads = 2;
+  unsigned MaxThreads = 4;
+  /// Families to draw from (programs::fuzzApiFamilies() names); empty =
+  /// all. Unknown names are a fatal error — the CLI validates first.
+  std::vector<std::string> Families;
+  /// Probability that a scenario wraps thread 0's script into a
+  /// generated MiniC driver function instead of direct DSL calls.
+  double TemplateProb = 0.25;
+  std::vector<ScenarioTemplate> ExtraTemplates;
+};
+
+/// One runnable scenario. Source/ClientDsl/InitFunc/SpecName/SeqSpecName
+/// use the serve-protocol spellings, so a scenario runs identically
+/// through the direct synthesis path and as a daemon request; Seed is
+/// the synthesis base seed (deriveSeed(FuzzSeed, Name), never 0).
+struct Scenario {
+  std::string Name;
+  std::string Family;
+  std::string Source;
+  std::string ClientDsl;
+  std::string InitFunc;
+  std::string SpecName;
+  std::string SeqSpecName;
+  uint64_t Seed = 0;
+};
+
+/// The generator family names (for --families validation and usage).
+std::vector<std::string> knownFamilyNames();
+
+/// Generates \p O.Count scenarios. Deterministic: same options, same
+/// corpus, byte for byte. Fatal error on unknown family names.
+std::vector<Scenario> generateScenarios(const GeneratorOptions &O);
+
+} // namespace dfence::fuzz
+
+#endif // DFENCE_FUZZ_GENERATOR_H

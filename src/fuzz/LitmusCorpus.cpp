@@ -1,0 +1,238 @@
+//===- LitmusCorpus.cpp - Mined litmus shapes with golden fences ----------===//
+
+#include "fuzz/LitmusCorpus.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+
+using namespace dfence;
+using namespace dfence::fuzz;
+
+namespace {
+
+// Store buffering: both writers may read the other's variable before
+// either store committed. Forbidden outcome (R1,R2) = (0,0); repair is
+// one store-load fence per writer, under TSO and PSO alike.
+const char *SbSource = R"(global int X = 0;
+global int Y = 0;
+global int R1 = 0;
+global int R2 = 0;
+int sb_t1() {
+  X = 1;
+  R1 = Y;
+  return 0;
+}
+int sb_t2() {
+  Y = 1;
+  R2 = X;
+  return 0;
+}
+int sb_test() {
+  int a = spawn(sb_t1);
+  int b = spawn(sb_t2);
+  join(a);
+  join(b);
+  assert(R1 + R2 != 0);
+  return 0;
+}
+)";
+
+// Message passing: data is published before the flag. TSO keeps the two
+// stores ordered; PSO's per-variable buffers can commit the flag first,
+// so the repair is one store-store fence in the writer.
+const char *MpSource = R"(global int MDATA = 0;
+global int MFLAG = 0;
+global int MR1 = 0;
+global int MR2 = 0;
+int mp_writer() {
+  MDATA = 1;
+  MFLAG = 1;
+  return 0;
+}
+int mp_reader() {
+  MR1 = MFLAG;
+  MR2 = MDATA;
+  return 0;
+}
+int mp_test() {
+  int a = spawn(mp_writer);
+  int b = spawn(mp_reader);
+  join(a);
+  join(b);
+  assert(MR1 - MR2 != 1);
+  return 0;
+}
+)";
+
+// Load buffering: each thread loads before it stores. Store buffers
+// never make a load overtake an earlier load of the same thread, so the
+// (1,1) outcome is forbidden under TSO and PSO — a zero-fence pin.
+const char *LbSource = R"(global int LX = 0;
+global int LY = 0;
+global int LR1 = 0;
+global int LR2 = 0;
+int lb_t1() {
+  LR1 = LY;
+  LX = 1;
+  return 0;
+}
+int lb_t2() {
+  LR2 = LX;
+  LY = 1;
+  return 0;
+}
+int lb_test() {
+  int a = spawn(lb_t1);
+  int b = spawn(lb_t2);
+  join(a);
+  join(b);
+  assert(LR1 + LR2 != 2);
+  return 0;
+}
+)";
+
+// Write-to-read causality: a single shared memory commits stores in one
+// order, so observing the chained write implies observing its cause —
+// forbidden under both models, zero fences.
+const char *WrcSource = R"(global int WX = 0;
+global int WY = 0;
+global int WR1 = 0;
+global int WR2 = 0;
+global int WR3 = 0;
+int wrc_w1() {
+  WX = 1;
+  return 0;
+}
+int wrc_w2() {
+  WR1 = WX;
+  WY = 1;
+  return 0;
+}
+int wrc_w3() {
+  WR2 = WY;
+  WR3 = WX;
+  return 0;
+}
+int wrc_test() {
+  int a = spawn(wrc_w1);
+  int b = spawn(wrc_w2);
+  int c = spawn(wrc_w3);
+  join(a);
+  join(b);
+  join(c);
+  assert(WR1 + WR2 - WR3 != 2);
+  return 0;
+}
+)";
+
+// Independent reads of independent writes: store-buffer models are
+// multi-copy atomic, so the two readers cannot disagree on the commit
+// order — forbidden under both models, zero fences.
+const char *IriwSource = R"(global int IX = 0;
+global int IY = 0;
+global int IR1 = 0;
+global int IR2 = 0;
+global int IR3 = 0;
+global int IR4 = 0;
+int iriw_w1() {
+  IX = 1;
+  return 0;
+}
+int iriw_w2() {
+  IY = 1;
+  return 0;
+}
+int iriw_r1() {
+  IR1 = IX;
+  IR2 = IY;
+  return 0;
+}
+int iriw_r2() {
+  IR3 = IY;
+  IR4 = IX;
+  return 0;
+}
+int iriw_test() {
+  int a = spawn(iriw_w1);
+  int b = spawn(iriw_w2);
+  int c = spawn(iriw_r1);
+  int d = spawn(iriw_r2);
+  join(a);
+  join(b);
+  join(c);
+  join(d);
+  assert(IR1 - IR2 + IR3 - IR4 != 2);
+  return 0;
+}
+)";
+
+} // namespace
+
+const std::vector<LitmusShape> &fuzz::litmusCorpus() {
+  static const std::vector<LitmusShape> Corpus = [] {
+    std::vector<LitmusShape> C;
+    std::vector<GoldenFence> SbFix = {{"sb_t1", "st-ld"},
+                                      {"sb_t2", "st-ld"}};
+
+    // The SB family: the base shape plus two variants that must dedup
+    // into the same repair fingerprint — a repeated-call client (the
+    // second call's assert is vacuous once X and Y are set) and a
+    // reseeded run of the identical module.
+    C.push_back({"sb", "litmus-sb", SbSource, "sb_test()", SbFix, SbFix});
+    C.push_back({"sb-twice", "litmus-sb", SbSource, "sb_test();sb_test()",
+                 SbFix, SbFix});
+    C.push_back(
+        {"sb-reseeded", "litmus-sb", SbSource, "sb_test()", SbFix, SbFix});
+
+    C.push_back({"mp",
+                 "litmus-mp",
+                 MpSource,
+                 "mp_test()",
+                 {},
+                 {{"mp_writer", "st-st"}}});
+    C.push_back({"lb", "litmus-lb", LbSource, "lb_test()", {}, {}});
+    C.push_back({"wrc", "litmus-wrc", WrcSource, "wrc_test()", {}, {}});
+    C.push_back({"iriw", "litmus-iriw", IriwSource, "iriw_test()", {}, {}});
+    return C;
+  }();
+  return Corpus;
+}
+
+std::vector<Scenario> fuzz::litmusScenarios(uint64_t FuzzSeed) {
+  std::vector<Scenario> Out;
+  for (const LitmusShape &Shape : litmusCorpus()) {
+    Scenario S;
+    S.Name = "litmus-" + Shape.Name;
+    S.Family = Shape.Family;
+    S.Source = Shape.Source;
+    S.ClientDsl = Shape.ClientDsl;
+    S.SpecName = "safety"; // The embedded assert is the oracle.
+    S.Seed = deriveSeed(FuzzSeed, S.Name);
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+bool fuzz::fencesMatchGolden(const std::vector<std::string> &FenceStrs,
+                             const std::vector<GoldenFence> &Golden) {
+  // Fence strings look like "(func, 14:15) st-st"; reduce each to the
+  // position-independent (function, kind) pair.
+  std::vector<std::string> Got;
+  for (const std::string &F : FenceStrs) {
+    size_t Open = F.find('(');
+    size_t Comma = F.find(',');
+    size_t Close = F.find(") ");
+    if (Open == std::string::npos || Comma == std::string::npos ||
+        Close == std::string::npos || Comma < Open)
+      return false;
+    Got.push_back(F.substr(Open + 1, Comma - Open - 1) + "|" +
+                  F.substr(Close + 2));
+  }
+  std::vector<std::string> Want;
+  for (const GoldenFence &G : Golden)
+    Want.push_back(G.Func + "|" + G.Kind);
+  std::sort(Got.begin(), Got.end());
+  std::sort(Want.begin(), Want.end());
+  return Got == Want;
+}

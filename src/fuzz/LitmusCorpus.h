@@ -1,0 +1,66 @@
+//===- LitmusCorpus.h - Mined litmus shapes with golden fences --*- C++ -*-===//
+//
+// The canonical store-buffer litmus shapes (SB, MP, LB, WRC, IRIW — the
+// corpus fence-insertion tools are traditionally seeded with) encoded as
+// MiniC modules: a single client call spawns the worker threads, joins
+// them (the JOIN rule drains their buffers), and asserts that the
+// forbidden outcome did not occur. An assertion failure is a repairable
+// violation, so each shape runs through the normal synthesis path and
+// its synthesized fence set can be pinned against the known minimal
+// placement per memory model.
+//
+// Under the framework's store-buffer models the expectations are:
+//   SB    observable under TSO and PSO -> one st-ld fence per writer;
+//   MP    observable only under PSO    -> one st-st fence in the writer;
+//   LB, WRC, IRIW  forbidden under both -> zero fences (clean pins).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DFENCE_FUZZ_LITMUSCORPUS_H
+#define DFENCE_FUZZ_LITMUSCORPUS_H
+
+#include "fuzz/Generator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfence::fuzz {
+
+/// One expected fence, position-independent: the function it lands in
+/// and its kind ("full" | "st-st" | "st-ld"). Goldens deliberately avoid
+/// line numbers so editing a shape's unrelated lines cannot break pins.
+struct GoldenFence {
+  std::string Func;
+  std::string Kind;
+};
+
+/// One mined litmus shape. Family groups dedup variants (all SB
+/// variants carry Family "litmus-sb" and must land in one fingerprint
+/// bucket).
+struct LitmusShape {
+  std::string Name;
+  std::string Family;
+  std::string Source;
+  std::string ClientDsl;
+  std::vector<GoldenFence> MinTso; ///< Known minimal placement, TSO.
+  std::vector<GoldenFence> MinPso; ///< Known minimal placement, PSO.
+};
+
+/// The corpus: SB plus its dedup variants, MP, LB, WRC, IRIW.
+const std::vector<LitmusShape> &litmusCorpus();
+
+/// Renders the corpus as runnable scenarios (Name "litmus-<shape>",
+/// SpecName "safety" — the assert is the oracle; Seed derived from
+/// \p FuzzSeed and the shape name).
+std::vector<Scenario> litmusScenarios(uint64_t FuzzSeed);
+
+/// True when the synthesized fence strings ("(func, a:b) kind", see
+/// synth::InsertedFence::str) equal \p Golden as a multiset of
+/// (function, kind) pairs.
+bool fencesMatchGolden(const std::vector<std::string> &FenceStrs,
+                       const std::vector<GoldenFence> &Golden);
+
+} // namespace dfence::fuzz
+
+#endif // DFENCE_FUZZ_LITMUSCORPUS_H

@@ -38,6 +38,53 @@ struct Benchmark {
 /// The full suite, in Table 2 order.
 const std::vector<Benchmark> &allBenchmarks();
 
+//===--- Fuzz client-template hooks (src/fuzz/ generator input) ---===//
+
+/// One callable API operation of a benchmark, with the constraints the
+/// scenario generator must respect when composing random client scripts.
+struct ApiOp {
+  std::string Func;
+  /// Takes one integer argument. ArgRange == 0 draws the value from the
+  /// scenario's unique-value counter (queue/deque task ids, so the
+  /// sequential specs match extractions to insertions unambiguously);
+  /// ArgRange > 0 draws a key uniformly from [1, ArgRange] (set keys,
+  /// where collisions are the point).
+  bool TakesValue = false;
+  unsigned ArgRange = 0;
+  /// Takes one `$N` backref to the result of an earlier Producer call of
+  /// the same thread (the allocator's release-what-you-allocated
+  /// discipline).
+  bool TakesRef = false;
+  /// The op's result may be referenced by a later TakesRef call.
+  bool Producer = false;
+  /// Role constraints for single-owner structures (WSQs): OwnerOnly ops
+  /// go to thread 0 only, ThiefOnly ops to the remaining threads only.
+  bool OwnerOnly = false;
+  bool ThiefOnly = false;
+};
+
+/// One data-structure API family the fuzzer can generate clients for.
+/// Source, init function and spec factory come from the referenced
+/// benchmark; SpecName/SeqSpecName are the serve-protocol spellings so a
+/// generated scenario runs identically as a one-shot config or a daemon
+/// request.
+struct ApiFamily {
+  std::string Name;        ///< Generator family id ("wsq", "queue", ...).
+  std::string BenchName;   ///< Table-2 / extended benchmark to exercise.
+  std::string SpecName;    ///< "safety" | "nogarbage" | "sc" | "lin".
+  std::string SeqSpecName; ///< driver::specByName name, "" when none.
+  std::vector<ApiOp> Ops;
+  /// Statement templates for the interleaved-call wrapper (a generated
+  /// MiniC driver function looping over these lines with loop variable
+  /// `i`). Empty = the family supports no wrapper templates.
+  std::vector<std::string> MixBody;
+};
+
+/// The API families the scenario fuzzer composes clients over (the
+/// enqueue/dequeue/push/pop/steal/add/remove/contains surface of the
+/// suite).
+const std::vector<ApiFamily> &fuzzApiFamilies();
+
 /// The extended suite beyond Table 2 (the paper's "wider set of
 /// concurrent C programs" future work): Peterson's lock, Treiber's
 /// stack, Lamport's SPSC ring, and the full Chase-Lev deque with

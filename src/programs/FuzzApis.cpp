@@ -1,0 +1,122 @@
+//===- FuzzApis.cpp - API families the scenario fuzzer composes over ------===//
+//
+// Each family points at one benchmark of the suite and describes its
+// callable surface with the constraints the generator must respect:
+// owner/thief roles for the single-owner deques, unique task values for
+// the queue-like specs, small colliding keys for the sets, and the
+// allocator's release-what-you-allocated backref discipline. The
+// MixBody lines are the statement vocabulary of the interleaved-call
+// wrapper templates (generated MiniC driver functions appended after
+// the benchmark source, so the family's own line numbers — and with
+// them the repair fingerprints — stay module-shape-relative).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Benchmark.h"
+
+using namespace dfence;
+using namespace dfence::programs;
+
+const std::vector<ApiFamily> &programs::fuzzApiFamilies() {
+  static const std::vector<ApiFamily> Families = [] {
+    std::vector<ApiFamily> F;
+
+    auto Value = [](const char *Func, bool OwnerOnly = false) {
+      ApiOp Op;
+      Op.Func = Func;
+      Op.TakesValue = true;
+      Op.OwnerOnly = OwnerOnly;
+      return Op;
+    };
+    auto Key = [](const char *Func, unsigned Range) {
+      ApiOp Op;
+      Op.Func = Func;
+      Op.TakesValue = true;
+      Op.ArgRange = Range;
+      return Op;
+    };
+    auto Plain = [](const char *Func, bool OwnerOnly = false,
+                    bool ThiefOnly = false) {
+      ApiOp Op;
+      Op.Func = Func;
+      Op.OwnerOnly = OwnerOnly;
+      Op.ThiefOnly = ThiefOnly;
+      return Op;
+    };
+
+    {
+      ApiFamily Fam;
+      Fam.Name = "wsq";
+      Fam.BenchName = "Chase-Lev WSQ";
+      Fam.SpecName = "sc";
+      Fam.SeqSpecName = "wsq";
+      Fam.Ops = {Value("put", /*OwnerOnly=*/true),
+                 Plain("take", /*OwnerOnly=*/true),
+                 Plain("steal", /*OwnerOnly=*/false, /*ThiefOnly=*/true)};
+      Fam.MixBody = {"put(i + 100);", "take();"};
+      F.push_back(std::move(Fam));
+    }
+    {
+      ApiFamily Fam;
+      Fam.Name = "iwsq";
+      Fam.BenchName = "FIFO iWSQ";
+      Fam.SpecName = "nogarbage";
+      Fam.Ops = {Value("put", /*OwnerOnly=*/true),
+                 Plain("take", /*OwnerOnly=*/true),
+                 Plain("steal", /*OwnerOnly=*/false, /*ThiefOnly=*/true)};
+      Fam.MixBody = {"put(i + 100);", "take();"};
+      F.push_back(std::move(Fam));
+    }
+    {
+      ApiFamily Fam;
+      Fam.Name = "queue";
+      Fam.BenchName = "MS2 Queue";
+      Fam.SpecName = "sc";
+      Fam.SeqSpecName = "queue";
+      Fam.Ops = {Value("enqueue"), Plain("dequeue")};
+      Fam.MixBody = {"enqueue(i + 100);", "dequeue();"};
+      F.push_back(std::move(Fam));
+    }
+    {
+      ApiFamily Fam;
+      Fam.Name = "set";
+      Fam.BenchName = "LazyList Set";
+      Fam.SpecName = "sc";
+      Fam.SeqSpecName = "set";
+      Fam.Ops = {Key("add", 4), Key("remove", 4), Key("contains", 4)};
+      Fam.MixBody = {"add(i + 1);", "contains(i + 1);", "remove(i + 1);"};
+      F.push_back(std::move(Fam));
+    }
+    {
+      // Treiber's stack rides the extended suite; its StackSpec has no
+      // serve-registry name, so generated scenarios check memory safety
+      // (push/pop still exercise the CAS top-pointer races).
+      ApiFamily Fam;
+      Fam.Name = "stack";
+      Fam.BenchName = "Treiber Stack";
+      Fam.SpecName = "safety";
+      Fam.Ops = {Value("push"), Plain("pop")};
+      Fam.MixBody = {"push(i + 100);", "pop();"};
+      F.push_back(std::move(Fam));
+    }
+    {
+      ApiFamily Fam;
+      Fam.Name = "allocator";
+      Fam.BenchName = "Michael Allocator";
+      Fam.SpecName = "sc";
+      Fam.SeqSpecName = "allocator";
+      ApiOp Alloc;
+      Alloc.Func = "alloc";
+      Alloc.Producer = true;
+      ApiOp Release;
+      Release.Func = "release";
+      Release.TakesRef = true;
+      Fam.Ops = {Alloc, Release};
+      Fam.MixBody = {"int p = alloc();", "release(p);"};
+      F.push_back(std::move(Fam));
+    }
+
+    return F;
+  }();
+  return Families;
+}

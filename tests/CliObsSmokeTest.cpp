@@ -257,6 +257,100 @@ TEST(CliObsSmokeTest, ContradictorySlotFlagsExitTwo) {
   EXPECT_NE(Out.find("unknown flag '--slots'"), std::string::npos) << Out;
 }
 
+//===--- Fuzz command: the strict parser covers its flags, bad values ------
+//===--- exit 2 before any campaign state is created, and same-seed -------
+//===--- runs are byte-identical at the CLI level. ------------------------===//
+
+TEST(CliObsSmokeTest, FuzzFlagSpellingsAgreeAndRunsAreByteIdentical) {
+  // Same campaign spelled --key value vs --key=value, run twice: all
+  // four outputs must be identical bytes — the fuzz path prints no
+  // wall-clock text, so same-seed determinism is visible at the shell.
+  const std::string SpaceCmd = std::string(DFENCE_BIN) +
+                               " fuzz --fuzz-seed 11 --count 6 --k 40"
+                               " --rounds 3 --threads 2-3";
+  const std::string EqCmd = std::string(DFENCE_BIN) +
+                            " fuzz --fuzz-seed=11 --count=6 --k=40"
+                            " --rounds=3 --threads=2-3";
+  std::string A, B, C;
+  ASSERT_EQ(runCommand(SpaceCmd, A), 0) << A;
+  ASSERT_EQ(runCommand(SpaceCmd, B), 0) << B;
+  ASSERT_EQ(runCommand(EqCmd, C), 0) << C;
+  EXPECT_EQ(A, B) << "same-seed fuzz reruns must be byte-identical";
+  EXPECT_EQ(A, C) << "flag spellings must not change the campaign";
+  EXPECT_NE(A.find("distinct fingerprint"), std::string::npos) << A;
+}
+
+TEST(CliObsSmokeTest, FuzzBadValuesExitTwo) {
+  struct {
+    const char *Flags;
+    const char *Needle;
+  } Cases[] = {
+      {"--count 0", "--count"},
+      {"--threads 0", "--threads"},
+      {"--ops 9-2", "--ops"},
+      {"--via-serve 0", "--via-serve"},
+      {"--model sc", "--model"},
+      {"--cache maybe", "--cache"},
+      {"--families wsq,frobnicator", "frobnicator"},
+      {"--no-litmus=1", "takes no value"},
+  };
+  for (const auto &Case : Cases) {
+    std::string Out;
+    int Exit = runCommand(std::string(DFENCE_BIN) + " fuzz " + Case.Flags,
+                          Out);
+    EXPECT_EQ(Exit, 2) << Case.Flags << ": " << Out;
+    EXPECT_NE(Out.find(Case.Needle), std::string::npos)
+        << Case.Flags << ": " << Out;
+  }
+}
+
+TEST(CliObsSmokeTest, FuzzSeedBelongsToFuzzAlone) {
+  // --fuzz-seed is a fuzz flag; the strict per-command tables reject it
+  // on every other command instead of silently ignoring it.
+  for (const char *Cmd :
+       {" bench \"MSN Queue\" --fuzz-seed 3", " serve --fuzz-seed 3"}) {
+    std::string Out;
+    int Exit = runCommand(std::string(DFENCE_BIN) + Cmd, Out);
+    EXPECT_EQ(Exit, 2) << Cmd << ": " << Out;
+    EXPECT_NE(Out.find("unknown flag '--fuzz-seed'"), std::string::npos)
+        << Cmd << ": " << Out;
+  }
+}
+
+TEST(CliObsSmokeTest, HelpDocumentsTheFuzzCommand) {
+  std::string Out;
+  int Exit = runCommand(std::string(DFENCE_BIN) + " --help", Out);
+  EXPECT_EQ(Exit, 0);
+  for (const char *Needle :
+       {"fuzz", "--fuzz-seed", "--count", "--via-serve", "--families",
+        "--no-litmus"})
+    EXPECT_NE(Out.find(Needle), std::string::npos)
+        << "help is missing " << Needle << "\n" << Out;
+}
+
+TEST(CliObsSmokeTest, FuzzMetricsArtifactCarriesFuzzCounters) {
+  const std::string Path = "cli_fuzz_metrics.json";
+  std::string Out;
+  int Exit = runCommand(std::string(DFENCE_BIN) +
+                            " fuzz --fuzz-seed 11 --count 4 --k 40"
+                            " --rounds 3 --metrics-out " + Path,
+                        Out);
+  ASSERT_EQ(Exit, 0) << Out;
+  Json Metrics = parseOrFail(readFile(Path), Path);
+  const Json *Counters = Metrics.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_NE(Counters->find("fuzz_scenarios_total"), nullptr);
+  // 4 generated + 7 litmus shapes.
+  EXPECT_EQ(Counters->find("fuzz_scenarios_total")->asU64(), 11u);
+  ASSERT_NE(Counters->find("fuzz_violations_total"), nullptr);
+  EXPECT_GT(Counters->find("fuzz_violations_total")->asU64(), 0u);
+  const Json *Gauges = Metrics.find("gauges");
+  ASSERT_NE(Gauges, nullptr);
+  ASSERT_NE(Gauges->find("fuzz_distinct_fingerprints"), nullptr);
+  EXPECT_GT(Gauges->find("fuzz_distinct_fingerprints")->asDouble(), 0.0);
+  std::remove(Path.c_str());
+}
+
 TEST(CliObsSmokeTest, WallClockFlagReportsTimeoutWithPartialSummary) {
   std::string Out;
   int Exit = runCommand(std::string(DFENCE_BIN) +

@@ -47,6 +47,9 @@
 #include "driver/SpecRegistry.h"
 #include "exec/ExecPool.h"
 #include "frontend/Compiler.h"
+#include "fuzz/Campaign.h"
+#include "fuzz/Generator.h"
+#include "fuzz/LitmusCorpus.h"
 #include "harness/ReproBundle.h"
 #include "ir/Instr.h"
 #include "ir/Printer.h"
@@ -59,6 +62,7 @@
 #include "synth/Synthesizer.h"
 #include "vm/Interp.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -108,6 +112,8 @@ void printHelp(FILE *Out) {
       "(also: --replay)\n"
       "  serve                           long-lived synthesis daemon "
       "(JSON-lines)\n"
+      "  fuzz                            seeded scenario campaign with "
+      "fingerprint dedup\n"
       "  --help                          print this help\n"
       "\n"
       "run flags:\n"
@@ -203,6 +209,34 @@ void printHelp(FILE *Out) {
       "  --no-stdio          do not serve on stdin/stdout (socket-only "
       "daemon)\n"
       "\n"
+      "fuzz flags:\n"
+      "  --fuzz-seed S       64-bit campaign seed (default 1; hex with "
+      "0x); the\n"
+      "                      whole campaign is deterministic from it\n"
+      "  --count N           generated scenarios (default 100)\n"
+      "  --ops A-B           per-thread operation count range (default "
+      "1-6)\n"
+      "  --threads A-B       thread count range (default 2-4; min 2)\n"
+      "  --families a,b      generator families (default all: wsq, iwsq, "
+      "queue,\n"
+      "                      set, stack, allocator)\n"
+      "  --no-litmus         skip the litmus corpus scenarios\n"
+      "  --via-serve N       fan the campaign through an in-process "
+      "serve daemon\n"
+      "                      with N dispatcher slots (default: direct "
+      "path)\n"
+      "  --model tso|pso     memory model (default pso)\n"
+      "  --k N               executions per round per scenario (default "
+      "60)\n"
+      "  --rounds N          max rounds per scenario (default 6)\n"
+      "  --jobs N            worker threads (0 = hardware; results are\n"
+      "                      bit-identical at any N)\n"
+      "  --cache on|off      result caches (default on)\n"
+      "  --dispatch MODE     specialized|generic interpreter dispatch\n"
+      "  --report FILE       write the JSONL campaign report (one line "
+      "per\n"
+      "                      scenario plus a summary line)\n"
+      "\n"
       "observability flags (synth / bench):\n"
       "  --metrics-out FILE  write run metrics; .prom/.txt gets "
       "Prometheus text,\n"
@@ -259,6 +293,12 @@ const std::map<std::string, std::vector<const char *>> &knownFlags() {
         "crash-dir",
         "listen", "socket", "metrics-port", "=no-stdio", "metrics-out",
         "slow-ms", "log-level", "=log-json"}},
+      // fuzz owns --fuzz-seed; the strict per-command tables are what
+      // reject it on every other command (CliObsSmokeTest pins that).
+      {"fuzz",
+       {"fuzz-seed", "count", "ops", "threads", "families", "=no-litmus",
+        "via-serve", "model", "k", "rounds", "jobs", "cache", "dispatch",
+        "report", "metrics-out", "log-level", "=log-json"}},
   };
   return Table;
 }
@@ -913,6 +953,209 @@ int cmdServe(const Options &Opt) {
   return Rc;
 }
 
+/// Parses "N" or "A-B" (inclusive, 1-based). False on malformed input,
+/// zero bounds, or an inverted range.
+bool parseRange(const std::string &S, unsigned &Lo, unsigned &Hi) {
+  try {
+    size_t Dash = S.find('-');
+    if (Dash == std::string::npos) {
+      long V = std::stol(S);
+      if (V < 1)
+        return false;
+      Lo = Hi = static_cast<unsigned>(V);
+      return true;
+    }
+    long A = std::stol(S.substr(0, Dash));
+    long B = std::stol(S.substr(Dash + 1));
+    if (A < 1 || B < A)
+      return false;
+    Lo = static_cast<unsigned>(A);
+    Hi = static_cast<unsigned>(B);
+    return true;
+  } catch (const std::exception &) {
+    return false;
+  }
+}
+
+/// `dfence fuzz`: a seeded scenario campaign (src/fuzz/) — generated
+/// MiniC clients plus the litmus corpus, run through the normal
+/// synthesis path (or an in-process serve daemon with --via-serve),
+/// outcomes deduped by repair fingerprint. Stdout carries no wall-clock
+/// fields: same seed, same bytes.
+int cmdFuzz(const Options &Opt) {
+  fuzz::GeneratorOptions GO;
+  GO.FuzzSeed = std::stoull(Opt.get("fuzz-seed", "1"), nullptr, 0);
+  GO.Count = static_cast<unsigned>(Opt.getInt("count", 100));
+  if (GO.Count == 0) {
+    std::fprintf(stderr, "error: --count must be at least 1\n");
+    return 2;
+  }
+  if (Opt.has("ops") &&
+      !parseRange(Opt.get("ops"), GO.MinOps, GO.MaxOps)) {
+    std::fprintf(stderr,
+                 "error: --ops must be N or A-B with 1 <= A <= B\n");
+    return 2;
+  }
+  if (Opt.has("threads") &&
+      !parseRange(Opt.get("threads"), GO.MinThreads, GO.MaxThreads)) {
+    std::fprintf(stderr,
+                 "error: --threads must be N or A-B with 1 <= A <= B\n");
+    return 2;
+  }
+  if (Opt.has("families")) {
+    std::vector<std::string> Known = fuzz::knownFamilyNames();
+    std::stringstream SS(Opt.get("families"));
+    std::string Tok;
+    while (std::getline(SS, Tok, ',')) {
+      if (std::find(Known.begin(), Known.end(), Tok) == Known.end()) {
+        std::fprintf(stderr,
+                     "error: unknown fuzz family '%s' (one of %s)\n",
+                     Tok.c_str(), join(Known, ", ").c_str());
+        return 2;
+      }
+      GO.Families.push_back(Tok);
+    }
+    if (GO.Families.empty()) {
+      std::fprintf(stderr, "error: --families must name at least one "
+                           "family\n");
+      return 2;
+    }
+  }
+
+  fuzz::CampaignConfig CC;
+  CC.Model = Opt.get("model", "pso");
+  auto Model = parseModel(CC.Model);
+  if (!Model || *Model == vm::MemModel::SC) {
+    std::fprintf(stderr,
+                 "error: --model must be tso or pso for fuzzing\n");
+    return 2;
+  }
+  CC.K = static_cast<unsigned>(Opt.getInt("k", 60));
+  CC.Rounds = static_cast<unsigned>(Opt.getInt("rounds", 6));
+  CC.Jobs = static_cast<unsigned>(Opt.getInt("jobs", 0));
+  std::string CacheMode = Opt.get("cache", "on");
+  if (CacheMode != "on" && CacheMode != "off") {
+    std::fprintf(stderr, "error: --cache must be 'on' or 'off'\n");
+    return 2;
+  }
+  CC.CacheOn = CacheMode == "on";
+  std::string Dispatch = Opt.get("dispatch", "specialized");
+  if (Dispatch != "specialized" && Dispatch != "generic") {
+    std::fprintf(stderr,
+                 "error: --dispatch must be 'specialized' or 'generic'\n");
+    return 2;
+  }
+  CC.Dispatch = Dispatch;
+  if (Opt.has("via-serve")) {
+    long Slots = Opt.getInt("via-serve", 0);
+    if (Slots < 1) {
+      std::fprintf(stderr, "error: --via-serve must be at least 1\n");
+      return 2;
+    }
+    CC.ServeSlots = static_cast<unsigned>(Slots);
+    CC.ServeJobs = CC.Jobs;
+  }
+
+  // Observability: same sink-attachment pattern as runSynthesis.
+  std::string MetricsOut = Opt.get("metrics-out");
+  obs::Registry Metrics;
+  auto Level = obs::logLevelByName(Opt.get("log-level", "warn"));
+  if (!Level) {
+    std::fprintf(stderr, "error: --log-level must be one of "
+                         "debug|info|warn|error|off\n");
+    return 2;
+  }
+  obs::Logger Log(*Level, Opt.has("log-json"));
+  obs::ObsContext Obs;
+  if (!MetricsOut.empty())
+    Obs.Metrics = &Metrics;
+  if (Opt.has("log-level") || Opt.has("log-json"))
+    Obs.Log = &Log;
+  if (Obs.Metrics || Obs.Log)
+    CC.Obs = &Obs;
+
+  std::ofstream ReportFile;
+  std::string ReportPath = Opt.get("report");
+  if (!ReportPath.empty()) {
+    ReportFile.open(ReportPath);
+    if (!ReportFile) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   ReportPath.c_str());
+      return 1;
+    }
+    CC.Report = &ReportFile;
+  }
+
+  std::vector<fuzz::Scenario> Corpus = fuzz::generateScenarios(GO);
+  size_t Generated = Corpus.size();
+  size_t Litmus = 0;
+  if (!Opt.has("no-litmus")) {
+    for (fuzz::Scenario &S : fuzz::litmusScenarios(GO.FuzzSeed)) {
+      Corpus.push_back(std::move(S));
+      ++Litmus;
+    }
+  }
+
+  std::printf("fuzz: model %s, fuzz-seed %llu, %zu generated + %zu "
+              "litmus scenario(s), K=%u, rounds=%u, cache=%s, path=%s\n",
+              CC.Model.c_str(),
+              static_cast<unsigned long long>(GO.FuzzSeed), Generated,
+              Litmus, CC.K, CC.Rounds, CacheMode.c_str(),
+              CC.ServeSlots
+                  ? strformat("serve:%u-slot", CC.ServeSlots).c_str()
+                  : "direct");
+
+  fuzz::CampaignResult R = fuzz::runCampaign(Corpus, CC);
+
+  std::printf("scenarios: %llu run, %llu rejected, %llu violating, "
+              "%zu distinct fingerprint(s)\n",
+              static_cast<unsigned long long>(R.Scenarios),
+              static_cast<unsigned long long>(R.Rejected),
+              static_cast<unsigned long long>(R.Violating),
+              R.Distinct.size());
+  if (!R.Distinct.empty()) {
+    std::printf("rank  count  fingerprint       family        status      "
+                "exemplar\n");
+    for (size_t I = 0; I != R.Distinct.size(); ++I) {
+      const fuzz::FingerprintBucket &B = R.Distinct[I];
+      std::printf("%4zu  %5llu  %s  %-12s  %-10s  %s\n", I + 1,
+                  static_cast<unsigned long long>(B.Count),
+                  B.Hex.c_str(), B.Family.c_str(), B.Status.c_str(),
+                  B.Exemplar.c_str());
+      std::printf("      fences: %s\n",
+                  B.Fences.empty() ? "(none)"
+                                   : join(B.Fences, "; ").c_str());
+    }
+  }
+  if (!ReportPath.empty())
+    std::printf("report: %s (%llu line(s))\n", ReportPath.c_str(),
+                static_cast<unsigned long long>(R.Scenarios + 1));
+
+  if (!MetricsOut.empty()) {
+    auto EndsWith = [&](const char *Suf) {
+      size_t N = std::strlen(Suf);
+      return MetricsOut.size() >= N &&
+             MetricsOut.compare(MetricsOut.size() - N, N, Suf) == 0;
+    };
+    if (MetricsOut == "-") {
+      std::printf("%s\n", Metrics.toJson().dump(2).c_str());
+    } else {
+      std::ofstream Out(MetricsOut);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     MetricsOut.c_str());
+        return 1;
+      }
+      if (EndsWith(".prom") || EndsWith(".txt"))
+        Out << Metrics.toPrometheus();
+      else
+        Out << Metrics.toJson().dump(2) << "\n";
+      std::printf("metrics: %s\n", MetricsOut.c_str());
+    }
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -935,9 +1178,10 @@ int main(int Argc, char **Argv) {
                  Opt.Command.c_str());
     return usage();
   }
-  // Every command except serve takes a positional file/name argument.
+  // Every command except serve and fuzz takes a positional file/name
+  // argument.
   int FlagStart = 3;
-  if (Opt.Command == "serve") {
+  if (Opt.Command == "serve" || Opt.Command == "fuzz") {
     FlagStart = 2;
   } else {
     if (Argc < 3)
@@ -1011,6 +1255,8 @@ int main(int Argc, char **Argv) {
       return cmdReplay(Opt);
     if (Opt.Command == "serve")
       return cmdServe(Opt);
+    if (Opt.Command == "fuzz")
+      return cmdFuzz(Opt);
   } catch (const std::exception &E) {
     // std::stol / std::stod throw on malformed numeric flag values.
     std::fprintf(stderr,
